@@ -1,0 +1,57 @@
+//! Figure 3: `sumCols`/`sumRows` across matrix shapes and mapping
+//! strategies, normalized to MultiDim.
+//!
+//! The paper uses 64M-element matrices ([64K,1K], [8K,8K], [1K,64K]); we
+//! scale to 4M elements ([8K,512], [2K,2K], [512,8K]) — every reported
+//! number is a ratio, which the scaling preserves. Expected shape: all
+//! MultiDim times equal (the total element count is constant); 1D
+//! collapses on skewed shapes (up to ~58× in the paper); warp-based is bad
+//! on sumCols; thread-block/thread suffers on the 64K-outer shapes.
+
+use multidim::prelude::Strategy;
+use multidim_bench::{fmt_secs, normalized, print_table};
+use multidim_workloads::sums::{run_sum, SumKind};
+
+fn main() {
+    let shapes: [(usize, usize); 3] = [(8192, 512), (2048, 2048), (512, 8192)];
+    let strategies = [
+        Strategy::MultiDim,
+        Strategy::OneD,
+        Strategy::ThreadBlockThread,
+        Strategy::WarpBased,
+    ];
+
+    let mut rows = Vec::new();
+    let mut multidim_times = Vec::new();
+    for kind in [SumKind::Cols, SumKind::Rows] {
+        for (r, c) in shapes {
+            let times: Vec<f64> = strategies
+                .iter()
+                .map(|&s| run_sum(kind, s, r, c).expect("sum run").gpu_seconds)
+                .collect();
+            multidim_times.push(times[0]);
+            let label = format!(
+                "{} [{}K,{}K]",
+                if kind == SumKind::Cols { "sumCols" } else { "sumRows" },
+                (r as f64 / 1024.0),
+                (c as f64 / 1024.0)
+            );
+            rows.push((label, normalized(&times, 0)));
+        }
+    }
+
+    print_table(
+        "Figure 3: normalized execution time (1.0 = MultiDim)",
+        &["MultiDim", "1D", "TB/Thread", "Warp"],
+        &rows,
+    );
+    println!(
+        "MultiDim absolute times (should be nearly equal): {}",
+        multidim_times.iter().map(|&t| fmt_secs(t)).collect::<Vec<_>>().join(", ")
+    );
+    let worst = rows
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .fold(0.0f64, |a, &b| a.max(b));
+    println!("worst fixed-strategy slowdown: {worst:.1}x (paper: up to 58x)");
+}

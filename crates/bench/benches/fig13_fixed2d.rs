@@ -1,0 +1,57 @@
+//! Figure 13: MultiDim vs the fixed two-dimensional strategies
+//! (thread-block/thread and warp-based) on Rodinia applications written in
+//! row-major (R) and column-major (C) traversal orders, normalized to
+//! MultiDim.
+//!
+//! Expected shape (paper): (R) variants roughly tie (fixed strategies up
+//! to ~1.5× slower); (C) variants hurt the fixed strategies badly (1.5–
+//! 9.6×) because they cannot re-assign dimensions to coalesce.
+
+use multidim::prelude::Strategy;
+use multidim_bench::{normalized, print_table};
+use multidim_workloads::rodinia::{gaussian, hotspot, mandelbrot, srad, Traversal};
+
+fn main() {
+    let strategies = [Strategy::MultiDim, Strategy::ThreadBlockThread, Strategy::WarpBased];
+    let mut rows = Vec::new();
+
+    for t in [Traversal::RowMajor, Traversal::ColMajor] {
+        let times: Vec<f64> = strategies
+            .iter()
+            .map(|&s| {
+                gaussian::run(t, gaussian::GaussianMode::Strategy(s), 96)
+                    .expect("gaussian")
+                    .gpu_seconds
+            })
+            .collect();
+        rows.push((format!("Gaussian {}", t.label()), normalized(&times, 0)));
+    }
+    for t in [Traversal::RowMajor, Traversal::ColMajor] {
+        let times: Vec<f64> = strategies
+            .iter()
+            .map(|&s| hotspot::run(t, s, 256, 256, 2).expect("hotspot").gpu_seconds)
+            .collect();
+        rows.push((format!("Hotspot {}", t.label()), normalized(&times, 0)));
+    }
+    for t in [Traversal::RowMajor, Traversal::ColMajor] {
+        let times: Vec<f64> = strategies
+            .iter()
+            .map(|&s| mandelbrot::run(t, s, 256, 512).expect("mandelbrot").gpu_seconds)
+            .collect();
+        rows.push((format!("Mandelbrot {}", t.label()), normalized(&times, 0)));
+    }
+    for t in [Traversal::RowMajor, Traversal::ColMajor] {
+        let times: Vec<f64> = strategies
+            .iter()
+            .map(|&s| srad::run(t, s, 192, 192, 2).expect("srad").gpu_seconds)
+            .collect();
+        rows.push((format!("Srad {}", t.label()), normalized(&times, 0)));
+    }
+
+    print_table(
+        "Figure 13: normalized execution time (1.0 = MultiDim)",
+        &["MultiDim", "TB/Thread", "Warp"],
+        &rows,
+    );
+    println!("paper reference: (R) rows ≈ 1.0–1.6; (C) rows 1.5–9.6 for fixed strategies");
+}

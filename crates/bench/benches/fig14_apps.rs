@@ -1,0 +1,87 @@
+//! Figure 14: real-world applications vs the multicore CPU baseline and
+//! the 1D GPU mapping, normalized to CPU.
+//!
+//! Expected shape (paper): QPSCD — 1D *slower than the CPU* (random outer
+//! gather cannot coalesce), MultiDim 4.38× faster than CPU (8.95× over
+//! 1D); MSMBuilder — small per-level domains starve 1D, MultiDim 2.4×
+//! over CPU (8.7× over 1D); Naive Bayes — MultiDim 12.5× over CPU (4.5×
+//! over 1D), dropping to ~1.15× once the input transfer is charged.
+
+use multidim::prelude::Strategy;
+use multidim_bench::{fmt_secs, print_table};
+use multidim_workloads::apps::{msm, naive_bayes, qpscd};
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // QPSCD HogWild!: 768-dim problem, 2 epochs.
+    {
+        let (n, epochs) = (768, 2);
+        let cpu = qpscd::cpu_seconds(n, epochs);
+        let od = qpscd::run(Strategy::OneD, n, epochs).expect("qpscd").gpu_seconds;
+        let md = qpscd::run(Strategy::MultiDim, n, epochs).expect("qpscd").gpu_seconds;
+        rows.push(("QPSCD HogWild".to_string(), vec![1.0, od / cpu, md / cpu]));
+        println!(
+            "QPSCD: cpu {}  1D {}  MultiDim {}  (MultiDim {:.2}x over CPU, {:.2}x over 1D)",
+            fmt_secs(cpu),
+            fmt_secs(od),
+            fmt_secs(md),
+            cpu / md,
+            od / md
+        );
+    }
+
+    // MSMBuilder clustering: 256 frames x 96 clusters x 96 dims.
+    {
+        let (f, k, d) = (256, 96, 96);
+        let cpu = msm::cpu_seconds(f, k, d);
+        let od = msm::run(Strategy::OneD, f, k, d).expect("msm").gpu_seconds;
+        let md = msm::run(Strategy::MultiDim, f, k, d).expect("msm").gpu_seconds;
+        rows.push(("MSMBuilder".to_string(), vec![1.0, od / cpu, md / cpu]));
+        println!(
+            "MSM: cpu {}  1D {}  MultiDim {}  (MultiDim {:.2}x over CPU, {:.2}x over 1D)",
+            fmt_secs(cpu),
+            fmt_secs(od),
+            fmt_secs(md),
+            cpu / md,
+            od / md
+        );
+    }
+
+    // Naive Bayes training: 2048 docs x 8192 words (+ transfer).
+    {
+        let (docs, words) = (2048, 8192);
+        let cpu = naive_bayes::cpu_seconds(docs, words);
+        let od = naive_bayes::run(Strategy::OneD, docs, words).expect("nb");
+        let md = naive_bayes::run(Strategy::MultiDim, docs, words).expect("nb");
+        rows.push((
+            "NaiveBayes".to_string(),
+            vec![1.0, od.gpu_seconds / cpu, md.gpu_seconds / cpu],
+        ));
+        rows.push((
+            "NaiveBayes (+transfer)".to_string(),
+            vec![
+                1.0,
+                od.gpu_seconds_with_transfer / cpu,
+                md.gpu_seconds_with_transfer / cpu,
+            ],
+        ));
+        println!(
+            "NB: cpu {}  MultiDim {} (+transfer {})  ({:.2}x over CPU, {:.2}x with transfer)",
+            fmt_secs(cpu),
+            fmt_secs(md.gpu_seconds),
+            fmt_secs(md.gpu_seconds_with_transfer),
+            cpu / md.gpu_seconds,
+            cpu / md.gpu_seconds_with_transfer
+        );
+    }
+
+    print_table(
+        "Figure 14: normalized execution time (1.0 = multicore CPU)",
+        &["CPU", "1D GPU", "MultiDim"],
+        &rows,
+    );
+    println!("paper reference (normalized to CPU=1.0):");
+    println!("  QPSCD: 1D 2.0, MultiDim 0.23 | MSM: 1D 3.6, MultiDim 0.4");
+    println!("  NB: 1D 0.36, MultiDim 0.08; with transfer MultiDim 0.85");
+}

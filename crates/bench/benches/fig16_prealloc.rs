@@ -1,0 +1,51 @@
+//! Figure 16: the dynamic-allocation optimizations (Section V-A) on the
+//! weighted-sum microbenchmark of Figure 15, normalized to the fully
+//! optimized configuration.
+//!
+//! Expected shape (paper): per-thread malloc is 16–21× slower; fixed
+//! row-major preallocation recovers most of it for `sumWeightedRows` but
+//! stays ~5× slow for `sumWeightedCols` until the mapping-directed layout
+//! (Figure 11b) fixes the coalescing; with layout chosen per mapping both
+//! variants run in the same time.
+
+use multidim_bench::{fmt_secs, normalized, print_table};
+use multidim_workloads::sums::{run_sum_weighted, AllocMode, SumKind};
+
+fn main() {
+    // Large enough that ControlDOP does not split the reduce (a split
+    // section re-runs the per-thread malloc, inflating the baseline
+    // beyond what the paper's configuration measures).
+    let (rows_n, cols_n) = (1024, 1024);
+    let modes = [
+        AllocMode::PreallocOptimizedLayout,
+        AllocMode::PreallocRowMajor,
+        AllocMode::Malloc,
+    ];
+
+    let mut rows = Vec::new();
+    let mut opt_times = Vec::new();
+    for kind in [SumKind::Cols, SumKind::Rows] {
+        let times: Vec<f64> = modes
+            .iter()
+            .map(|&m| run_sum_weighted(kind, m, rows_n, cols_n).expect("weighted").gpu_seconds)
+            .collect();
+        opt_times.push(times[0]);
+        let label = match kind {
+            SumKind::Cols => "sumWeightedCols",
+            SumKind::Rows => "sumWeightedRows",
+        };
+        rows.push((label.to_string(), normalized(&times, 0)));
+    }
+
+    print_table(
+        "Figure 16: normalized execution time (1.0 = prealloc + layout opt)",
+        &["Prealloc+Layout", "Prealloc RowMajor", "Malloc"],
+        &rows,
+    );
+    println!(
+        "optimized absolute times (paper: equal for both variants): {} vs {}",
+        fmt_secs(opt_times[0]),
+        fmt_secs(opt_times[1])
+    );
+    println!("paper reference: Cols 1.0 / 5.3 / 20.8  —  Rows 1.0 / ~1 / 16.2");
+}

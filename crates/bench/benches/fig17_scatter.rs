@@ -1,0 +1,81 @@
+//! Figure 17: performance vs mapping score across the whole candidate
+//! space, on Mandelbrot with a skewed (50 × 20K-class) output.
+//!
+//! Every hard-valid candidate the search enumerates is compiled with its
+//! explicit mapping and simulated; the bench prints `(score, normalized
+//! time, mapping)` tuples — the paper's scatter. Expected shape: a region
+//! of high-score mappings with the best performance (region A), the
+//! warp-based point far off it (region B), and some low-score/
+//! high-performance false negatives (region C).
+
+use multidim::prelude::*;
+use multidim_bench::fmt_secs;
+use multidim_mapping::{enumerate_scored, fixed_mapping, Weights};
+use multidim_workloads::rodinia::{mandelbrot, Traversal};
+use multidim_ir::NestInfo;
+use std::collections::HashMap;
+
+fn main() {
+    // Skewed grid (paper: 50 x 20K; scaled to 50 x 512 — ratios preserved).
+    let (h, w) = (50usize, 512usize);
+    let (p, hs, ws) = mandelbrot::program(Traversal::RowMajor);
+    let mut bind = Bindings::new();
+    bind.bind(hs, h as i64);
+    bind.bind(ws, w as i64);
+    let gpu = GpuSpec::tesla_k20c();
+
+    let candidates = enumerate_scored(&p, &bind, &gpu, &Weights::default());
+    println!("candidates passing hard constraints: {}", candidates.len());
+
+    let compiler = Compiler::new();
+    let inputs: HashMap<_, _> = HashMap::new();
+    let mut points = Vec::new();
+    let mut skipped = 0usize;
+    for cand in &candidates {
+        match compiler
+            .compile_with_mapping(&p, &bind, cand.mapping.clone())
+            .and_then(|exe| exe.run(&inputs).map_err(|e| multidim::CompileError(e.to_string())))
+        {
+            Ok(report) => points.push((cand.normalized_score, report.gpu_seconds, cand.mapping.clone())),
+            Err(_) => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        println!("skipped {skipped} candidates the code generator rejects");
+    }
+
+    let best = points.iter().map(|(_, t, _)| *t).fold(f64::INFINITY, f64::min);
+    println!("\nscore, normalized_time, mapping   (normalized to best = 1.0)");
+    let mut sorted: Vec<_> = points.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (score, t, m) in &sorted {
+        println!("{score:7.3}, {:9.2}, {m}", t / best);
+    }
+
+    // The analysis's own choice (region A) and warp-based (region B).
+    let analysis = multidim_mapping::analyze(&p, &bind, &gpu);
+    let exe = compiler.compile(&p, &bind).expect("compile");
+    let chosen = exe.run(&inputs).expect("run").gpu_seconds;
+    println!(
+        "\nanalysis choice: {} score {:.3} time {} ({:.2}x of best)",
+        analysis.decision,
+        analysis.normalized_score,
+        fmt_secs(chosen),
+        chosen / best
+    );
+    let warp = fixed_mapping(Strategy::WarpBased, &NestInfo::of(&p), &analysis.constraints);
+    let wt = compiler
+        .compile_with_mapping(&p, &bind, warp.clone())
+        .expect("warp compile")
+        .run(&inputs)
+        .expect("warp run")
+        .gpu_seconds;
+    println!("warp-based (region B): {warp} time {} ({:.2}x of best)", fmt_secs(wt), wt / best);
+
+    // False negatives: low score but within 1.5x of best (region C).
+    let c: usize = sorted
+        .iter()
+        .filter(|(s, t, _)| *s < 0.5 * analysis.normalized_score && t / best < 1.5)
+        .count();
+    println!("region C (false negatives: score < half of chosen, time < 1.5x best): {c}");
+}

@@ -1,0 +1,52 @@
+//! Section IV-D claim: "for typical loops (1 to 3 levels) it takes less
+//! than a few seconds for brute-force search to find an efficient
+//! mapping."
+//!
+//! Criterion micro-benchmark of the full analysis (constraint collection +
+//! candidate enumeration + scoring + ControlDOP) on 1-, 2- and 3-level
+//! nests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multidim_device::GpuSpec;
+use multidim_ir::{Bindings, Program, ProgramBuilder, ReduceOp, ScalarKind, Size};
+use multidim_mapping::analyze;
+
+fn nest(levels: usize) -> (Program, Bindings) {
+    let mut b = ProgramBuilder::new(format!("nest{levels}"));
+    let n = b.sym("N");
+    let a = match levels {
+        1 => b.input("a", ScalarKind::F32, &[Size::sym(n)]),
+        2 => b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n)]),
+        _ => b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n), Size::sym(n)]),
+    };
+    let root = match levels {
+        1 => b.map(Size::sym(n), |b, i| b.read(a, &[i.into()])),
+        2 => b.map(Size::sym(n), |b, i| {
+            b.reduce(Size::sym(n), ReduceOp::Add, |b, j| b.read(a, &[i.into(), j.into()]))
+        }),
+        _ => b.map(Size::sym(n), |b, i| {
+            b.map(Size::sym(n), |b, j| {
+                b.reduce(Size::sym(n), ReduceOp::Add, |b, k| {
+                    b.read(a, &[i.into(), j.into(), k.into()])
+                })
+            })
+        }),
+    };
+    let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 1024);
+    (p, bind)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let gpu = GpuSpec::tesla_k20c();
+    for levels in [1usize, 2, 3] {
+        let (p, bind) = nest(levels);
+        c.bench_function(&format!("mapping_search_{levels}_levels"), |bench| {
+            bench.iter(|| std::hint::black_box(analyze(&p, &bind, &gpu)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

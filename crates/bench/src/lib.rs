@@ -1,0 +1,61 @@
+//! Shared output helpers for the figure-reproduction benches.
+//!
+//! Each `cargo bench` target in this crate regenerates one table or figure
+//! of the paper: it runs the relevant workloads on the simulator and
+//! prints the same rows/series the paper plots, normalized the same way.
+//! Absolute times are simulator estimates; the *ratios* are the result.
+
+/// Print a titled table: a label column plus one column per series.
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!();
+    println!("=== {title} ===");
+    print!("{:<28}", "");
+    for c in columns {
+        print!("{c:>18}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<28}");
+        for v in values {
+            print!("{v:>18.3}");
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Normalize a row of times to the value at `base` (the paper's
+/// "normalized execution time").
+pub fn normalized(times: &[f64], base: usize) -> Vec<f64> {
+    let b = times[base];
+    times.iter().map(|t| t / b).collect()
+}
+
+/// Format seconds for auxiliary prints.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalized(&[2.0, 4.0, 1.0], 2), vec![2.0, 4.0, 1.0]);
+        assert_eq!(normalized(&[2.0, 4.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5 µs");
+    }
+}

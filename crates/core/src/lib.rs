@@ -1,0 +1,477 @@
+//! `multidim` — locality-aware mapping of nested parallel patterns on GPUs.
+//!
+//! This is the facade crate of a full reproduction of *Locality-Aware
+//! Mapping of Nested Parallel Patterns on GPUs* (MICRO 2014). It wires the
+//! pipeline together:
+//!
+//! 1. write an application as nested parallel patterns
+//!    ([`prelude::ProgramBuilder`], Section III of the paper);
+//! 2. run the mapping analysis ([`multidim_mapping::analyze`], Section IV)
+//!    or pick a fixed baseline [`prelude::Strategy`];
+//! 3. lower to CUDA-shaped kernels with the Section V optimizations
+//!    ([`multidim_codegen::lower`]);
+//! 4. execute on the warp-synchronous GPU simulator
+//!    ([`multidim_sim::run_program`]) for both *results* and *time*.
+//!
+//! # Examples
+//!
+//! ```
+//! use multidim::prelude::*;
+//! use std::collections::HashMap;
+//!
+//! // Figure 1's sumRows.
+//! let mut b = ProgramBuilder::new("sumRows");
+//! let r = b.sym("R");
+//! let c = b.sym("C");
+//! let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+//! let root = b.map(Size::sym(r), |b, row| {
+//!     b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+//!         b.read(m, &[row.into(), col.into()])
+//!     })
+//! });
+//! let program = b.finish_map(root, "sums", ScalarKind::F32)?;
+//!
+//! let mut bind = Bindings::new();
+//! bind.bind(r, 64);
+//! bind.bind(c, 128);
+//!
+//! let exe = Compiler::new().compile(&program, &bind)?;
+//! // The analysis puts the inner (column) loop on dimension x.
+//! assert!(exe.mapping.level(1).dim.is_x());
+//!
+//! let inputs: HashMap<_, _> = [(m, vec![1.0f64; 64 * 128])].into_iter().collect();
+//! let report = exe.run(&inputs)?;
+//! assert_eq!(report.outputs[&program.output.unwrap()][0], 128.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use multidim_codegen::{emit_cuda, fuse_map_reduce, lower, CodegenOptions, KernelProgram};
+use multidim_device::GpuSpec;
+use multidim_ir::{ArrayId, Bindings, NestInfo, Program};
+use multidim_mapping::{
+    analyze_with, collect_constraints, fixed_mapping, Analysis, MappingDecision, Strategy, Weights,
+};
+use multidim_sim::{run_program, KernelCost, KernelTime};
+use std::collections::HashMap;
+use std::fmt;
+
+pub use multidim_codegen::LayoutPolicy;
+pub use multidim_mapping::{Dim, Span};
+
+/// Commonly used items, re-exported for applications.
+pub mod prelude {
+    pub use crate::{Compiler, Executable, RunReport};
+    pub use multidim_codegen::{CodegenOptions, LayoutPolicy};
+    pub use multidim_device::{CpuSpec, GpuSpec, PcieSpec};
+    pub use multidim_ir::{
+        Bindings, Effect, Expr, Program, ProgramBuilder, ReduceOp, ScalarKind, Size, SymId,
+    };
+    pub use multidim_mapping::{Dim, MappingDecision, Span, Strategy};
+}
+
+/// A compilation failure anywhere in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An execution failure on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError(pub String);
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The pipeline driver: configure once, compile many programs.
+///
+/// Defaults: Tesla K20c, the paper's *MultiDim* analysis, fusion on, all
+/// Section V optimizations on.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    gpu: GpuSpec,
+    strategy: Strategy,
+    options: CodegenOptions,
+    weights: Weights,
+    fusion: bool,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with the paper's evaluation configuration.
+    pub fn new() -> Self {
+        Compiler {
+            gpu: GpuSpec::tesla_k20c(),
+            strategy: Strategy::MultiDim,
+            options: CodegenOptions::default(),
+            weights: Weights::default(),
+            fusion: true,
+        }
+    }
+
+    /// Target a different device.
+    pub fn gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Use a fixed mapping strategy instead of the analysis (the paper's
+    /// baselines: 1D, thread-block/thread, warp-based).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Code-generation options (Section V optimizations).
+    pub fn options(mut self, options: CodegenOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Soft-constraint weights for the analysis.
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Enable/disable map→reduce fusion (on by default; Figure 16's
+    /// preallocation study runs with it off).
+    pub fn fusion(mut self, on: bool) -> Self {
+        self.fusion = on;
+        self
+    }
+
+    /// Compile `program` for the sizes in `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if validation or lowering fails.
+    pub fn compile(&self, program: &Program, bindings: &Bindings) -> Result<Executable, CompileError> {
+        let (program, fused) = if self.fusion {
+            fuse_map_reduce(program)
+        } else {
+            (program.clone(), 0)
+        };
+        program.validate().map_err(|e| CompileError(e.to_string()))?;
+
+        let (mapping, analysis) = match self.strategy {
+            Strategy::MultiDim => {
+                let a = analyze_with(&program, bindings, &self.gpu, &self.weights);
+                (a.decision.clone(), Some(a))
+            }
+            fixed => {
+                let nest = NestInfo::of(&program);
+                let cs = collect_constraints(&program, &nest, bindings, &self.gpu, &self.weights);
+                (fixed_mapping(fixed, &nest, &cs), None)
+            }
+        };
+        self.compile_mapped(program, bindings, mapping, analysis, fused)
+    }
+
+    /// Empirically auto-tune the mapping: enumerate the hard-valid
+    /// candidates (optionally score-pruned), simulate each with the given
+    /// inputs, and return the executable for the fastest one.
+    ///
+    /// This recovers the Figure 17 "region C" false negatives the static
+    /// score misses, at the cost of one simulation per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when no candidate both compiles and runs.
+    pub fn autotune(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        inputs: &HashMap<ArrayId, Vec<f64>>,
+        options: &multidim_mapping::TuneOptions,
+    ) -> Result<(Executable, multidim_mapping::TuneResult), CompileError> {
+        let (program, _) = if self.fusion {
+            fuse_map_reduce(program)
+        } else {
+            (program.clone(), 0)
+        };
+        program.validate().map_err(|e| CompileError(e.to_string()))?;
+        let result = multidim_mapping::tune(
+            &program,
+            bindings,
+            &self.gpu,
+            &self.weights,
+            options,
+            |mapping| {
+                let kernels = lower(&program, mapping, &self.options).ok()?;
+                multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
+                let sim = run_program(&kernels, &self.gpu, bindings, inputs).ok()?;
+                Some(sim.total_seconds)
+            },
+        )
+        .ok_or_else(|| CompileError("no mapping candidate was executable".into()))?;
+        let exe = self.compile_mapped(program, bindings, result.best.clone(), None, 0)?;
+        Ok((exe, result))
+    }
+
+    /// Compile with an explicit mapping decision (used by the Figure 17
+    /// score/performance sweep and by auto-tuners).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if validation or lowering fails.
+    pub fn compile_with_mapping(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        mapping: MappingDecision,
+    ) -> Result<Executable, CompileError> {
+        let (program, fused) = if self.fusion {
+            fuse_map_reduce(program)
+        } else {
+            (program.clone(), 0)
+        };
+        program.validate().map_err(|e| CompileError(e.to_string()))?;
+        self.compile_mapped(program, bindings, mapping, None, fused)
+    }
+
+    fn compile_mapped(
+        &self,
+        program: Program,
+        bindings: &Bindings,
+        mapping: MappingDecision,
+        analysis: Option<Analysis>,
+        fused_patterns: usize,
+    ) -> Result<Executable, CompileError> {
+        let kernels =
+            lower(&program, &mapping, &self.options).map_err(|e| CompileError(e.to_string()))?;
+        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)
+            .map_err(|e| CompileError(e.to_string()))?;
+        Ok(Executable {
+            program,
+            mapping,
+            analysis,
+            kernels,
+            fused_patterns,
+            gpu: self.gpu.clone(),
+            bindings: bindings.clone(),
+        })
+    }
+}
+
+/// A compiled program, ready to run on the simulator.
+#[derive(Debug, Clone)]
+pub struct Executable {
+    /// The (possibly fused) program that was compiled.
+    pub program: Program,
+    /// The selected mapping decision.
+    pub mapping: MappingDecision,
+    /// The full analysis result when the *MultiDim* strategy ran.
+    pub analysis: Option<Analysis>,
+    /// The generated kernels and buffer plan.
+    pub kernels: KernelProgram,
+    /// Number of map→reduce fusions applied before analysis.
+    pub fused_patterns: usize,
+    gpu: GpuSpec,
+    bindings: Bindings,
+}
+
+impl Executable {
+    /// Execute on the simulator with host `inputs` (keyed by array id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] for missing inputs or kernel faults.
+    pub fn run(&self, inputs: &HashMap<ArrayId, Vec<f64>>) -> Result<RunReport, RunError> {
+        let sim = run_program(&self.kernels, &self.gpu, &self.bindings, inputs)
+            .map_err(|e| RunError(e.to_string()))?;
+        Ok(RunReport {
+            outputs: sim.arrays,
+            gpu_seconds: sim.total_seconds,
+            kernel_times: sim.times,
+            kernel_costs: sim.costs,
+        })
+    }
+
+    /// The generated CUDA C source (Figure 9's shape), for inspection.
+    pub fn cuda_source(&self) -> String {
+        emit_cuda(&self.kernels)
+    }
+
+    /// A profiler-style report for a finished run: per-kernel bound-by
+    /// classification, coalescing ratios, and occupancy.
+    pub fn report(&self, run: &RunReport) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "program `{}` under {}", self.kernels.name, self.mapping);
+        for ((kernel, cost), time) in
+            self.kernels.kernels.iter().zip(&run.kernel_costs).zip(&run.kernel_times)
+        {
+            let blocks: u64 = kernel
+                .grid
+                .iter()
+                .map(|g| g.eval(&self.bindings).max(1) as u64)
+                .product();
+            let shape = multidim_sim::LaunchShape {
+                blocks,
+                block_threads: kernel.block_threads(),
+                smem_bytes: kernel.smem_bytes(),
+            };
+            s.push_str(&multidim_sim::kernel_report(
+                &self.gpu,
+                &kernel.name,
+                &shape,
+                cost,
+                time,
+            ));
+        }
+        let _ = writeln!(s, "total: {:.3} ms", run.gpu_seconds * 1e3);
+        s
+    }
+
+    /// The launch-time size bindings this executable was specialized for.
+    pub fn bindings(&self) -> &Bindings {
+        &self.bindings
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &GpuSpec {
+        &self.gpu
+    }
+}
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Final contents of every materialized program array.
+    pub outputs: HashMap<ArrayId, Vec<f64>>,
+    /// Total simulated GPU time (sum over kernels), seconds.
+    pub gpu_seconds: f64,
+    /// Per-kernel timing breakdowns.
+    pub kernel_times: Vec<KernelTime>,
+    /// Per-kernel cost records.
+    pub kernel_costs: Vec<KernelCost>,
+}
+
+impl RunReport {
+    /// The output array for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not an output of the program.
+    pub fn output(&self, id: ArrayId) -> &[f64] {
+        &self.outputs[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn sum_cols(r: i64, c: i64) -> (Program, Bindings, ArrayId) {
+        let mut b = ProgramBuilder::new("sumCols");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(cs), |b, col| {
+            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        (p, bind, m)
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let (p, bind, m) = sum_cols(32, 48);
+        let exe = Compiler::new().compile(&p, &bind).unwrap();
+        let data: Vec<f64> = (0..32 * 48).map(|x| (x % 7) as f64).collect();
+        let inputs: HashMap<_, _> = [(m, data.clone())].into_iter().collect();
+        let report = exe.run(&inputs).unwrap();
+
+        let r = multidim_ir::interpret(&p, &bind, &inputs).unwrap();
+        assert_eq!(report.output(p.output.unwrap()), &r.array(p.output.unwrap()).data[..]);
+        assert!(report.gpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn fixed_strategy_pipeline() {
+        let (p, bind, m) = sum_cols(16, 16);
+        for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+            let exe = Compiler::new().strategy(s).compile(&p, &bind).unwrap();
+            let inputs: HashMap<_, _> = [(m, vec![1.0f64; 16 * 16])].into_iter().collect();
+            let report = exe.run(&inputs).unwrap();
+            assert!(
+                report.output(p.output.unwrap()).iter().all(|&v| v == 16.0),
+                "{s} wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn cuda_source_is_emitted() {
+        let (p, bind, _) = sum_cols(8, 8);
+        let exe = Compiler::new().compile(&p, &bind).unwrap();
+        let src = exe.cuda_source();
+        assert!(src.contains("__global__"));
+        assert!(src.contains("sumCols"));
+    }
+
+    #[test]
+    fn explicit_mapping_respected() {
+        use multidim_mapping::LevelMapping;
+        let (p, bind, m) = sum_cols(16, 64);
+        let mapping = MappingDecision::new(vec![
+            LevelMapping { dim: Dim::Y, block_size: 8, span: Span::ONE },
+            LevelMapping { dim: Dim::X, block_size: 32, span: Span::All },
+        ]);
+        let exe = Compiler::new().compile_with_mapping(&p, &bind, mapping.clone()).unwrap();
+        assert_eq!(exe.mapping, mapping);
+        let inputs: HashMap<_, _> = [(m, vec![2.0f64; 16 * 64])].into_iter().collect();
+        let report = exe.run(&inputs).unwrap();
+        assert!(report.output(p.output.unwrap()).iter().all(|&v| v == 32.0));
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+    use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    #[test]
+    fn report_renders_per_kernel_diagnosis() {
+        let mut b = ProgramBuilder::new("sumRows");
+        let r = b.sym("R");
+        let c = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+        let root = b.map(Size::sym(r), |b, row| {
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(r, 128);
+        bind.bind(c, 256);
+        let exe = Compiler::new().compile(&p, &bind).unwrap();
+        let inputs: HashMap<_, _> = [(m, vec![1.0; 128 * 256])].into_iter().collect();
+        let run = exe.run(&inputs).unwrap();
+        let text = exe.report(&run);
+        assert!(text.contains("sumRows_kernel"), "{text}");
+        assert!(text.contains("coalescing"), "{text}");
+        assert!(text.contains("total:"), "{text}");
+    }
+}

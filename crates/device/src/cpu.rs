@@ -1,0 +1,78 @@
+//! CPU reference-machine specification.
+
+/// Static description of the multicore CPU used as the Figure 14 baseline.
+///
+/// The paper's reference machine is a Dell Precision T7500n with two
+/// quad-core Xeon 2.67 GHz processors. The simulator's CPU model is analytic:
+/// given op and byte counts from the reference interpreter it computes a
+/// roofline time `max(compute, bandwidth)`, derating bandwidth for random
+/// access.
+///
+/// # Examples
+///
+/// ```
+/// use multidim_device::CpuSpec;
+///
+/// let cpu = CpuSpec::dual_xeon_x5550();
+/// assert_eq!(cpu.cores, 8);
+/// let flops = cpu.peak_flops();
+/// assert!(flops > 8.0 * 2.67e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Total physical cores across sockets.
+    pub cores: u32,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// SIMD lanes per core for f64 math (SSE3 ≈ 2 doubles / 4 floats; the
+    /// MSMBuilder baseline uses hand-written SSE3 intrinsics).
+    pub simd_width: u32,
+    /// Scalar instructions retired per cycle per core (superscalar factor).
+    pub ipc: f64,
+    /// Aggregate DRAM bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// Cache-line size in bytes (for random-access bandwidth derating).
+    pub cache_line_bytes: u64,
+}
+
+impl CpuSpec {
+    /// Two quad-core Xeon 2.67 GHz sockets — the paper's CPU baseline
+    /// (Section VI-B).
+    pub fn dual_xeon_x5550() -> Self {
+        CpuSpec {
+            name: "2x quad-core Xeon 2.67GHz",
+            cores: 8,
+            clock_hz: 2.67e9,
+            simd_width: 4,
+            ipc: 1.5,
+            dram_bandwidth: 25e9,
+            cache_line_bytes: 64,
+        }
+    }
+
+    /// Peak floating-point throughput in operations per second assuming all
+    /// cores issue full-width SIMD at the modeled IPC.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_hz * self.simd_width as f64 * self.ipc
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        CpuSpec::dual_xeon_x5550()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_peak() {
+        let c = CpuSpec::dual_xeon_x5550();
+        let expect = 8.0 * 2.67e9 * 4.0 * 1.5;
+        assert!((c.peak_flops() - expect).abs() < 1.0);
+    }
+}

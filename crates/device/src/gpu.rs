@@ -1,0 +1,188 @@
+//! GPU device specification.
+
+use crate::WARP_SIZE;
+
+/// Static description of a CUDA-class GPU.
+///
+/// Carries both the *architectural limits* the mapping analysis needs
+/// (maximum block sizes, resident thread/block counts, shared-memory
+/// capacity) and the *performance parameters* the timing model needs
+/// (clock, bandwidth, latencies, overheads).
+///
+/// The default constructors are presets for the devices mentioned in the
+/// paper: [`GpuSpec::tesla_k20c`] (the evaluation machine) and
+/// [`GpuSpec::tesla_c2050`] (mentioned in the background section).
+///
+/// # Examples
+///
+/// ```
+/// use multidim_device::GpuSpec;
+///
+/// let gpu = GpuSpec::tesla_k20c();
+/// // ControlDOP thresholds from Section IV-D of the paper:
+/// assert_eq!(gpu.min_dop(), gpu.sm_count as u64 * gpu.max_threads_per_sm as u64);
+/// assert_eq!(gpu.max_dop(), 100 * gpu.min_dop());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Maximum number of resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum number of resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum number of threads in one thread block.
+    pub max_threads_per_block: u32,
+    /// Per-dimension limits on the block shape `[x, y, z]`.
+    pub max_block_dim: [u32; 3],
+    /// Shared memory capacity per SM, in bytes.
+    pub smem_per_sm: u32,
+    /// Shared memory bank count (4-byte banks).
+    pub smem_banks: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Warp instructions issued per cycle per SM (number of warp schedulers).
+    pub issue_width: u32,
+    /// Peak DRAM bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// Average global-memory latency in core cycles.
+    pub mem_latency_cycles: f64,
+    /// DRAM transaction (segment) size in bytes used by the coalescer.
+    pub transaction_bytes: u64,
+    /// Memory-level parallelism sustained per warp (outstanding requests).
+    pub mlp_per_warp: f64,
+    /// Maximum outstanding memory transactions per SM (MSHR limit) —
+    /// caps how much latency resident warps can hide.
+    pub mshr_per_sm: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub kernel_launch_overhead_s: f64,
+    /// Per-thread-block dispatch cost in cycles (scheduling overhead; the
+    /// paper cites "the overhead of too many thread blocks").
+    pub block_dispatch_cycles: f64,
+    /// Cost of one in-kernel `malloc` call in cycles. Device-side allocation
+    /// is heavily serialized on real hardware; Section V-A calls its cost
+    /// "significant".
+    pub device_malloc_cycles: f64,
+    /// Shared-memory access latency in cycles (per conflict-free access).
+    pub smem_cycles: f64,
+    /// Cycles consumed by a block-wide `__syncthreads()`.
+    pub sync_cycles: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla K20c: the evaluation GPU of Section VI-B.
+    ///
+    /// 13 SMX units, 2048 resident threads each, 48 KB shared memory,
+    /// 208 GB/s GDDR5, 706 MHz core clock.
+    pub fn tesla_k20c() -> Self {
+        GpuSpec {
+            name: "Tesla K20c",
+            sm_count: 13,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            max_block_dim: [1024, 1024, 64],
+            smem_per_sm: 48 * 1024,
+            smem_banks: 32,
+            clock_hz: 706e6,
+            issue_width: 4,
+            dram_bandwidth: 208e9,
+            mem_latency_cycles: 400.0,
+            transaction_bytes: 128,
+            mlp_per_warp: 6.0,
+            mshr_per_sm: 64.0,
+            kernel_launch_overhead_s: 5e-6,
+            block_dispatch_cycles: 30.0,
+            device_malloc_cycles: 30_000.0,
+            smem_cycles: 2.0,
+            sync_cycles: 12.0,
+        }
+    }
+
+    /// NVIDIA Tesla C2050 (Fermi), mentioned in Section II: 14 SMs.
+    pub fn tesla_c2050() -> Self {
+        GpuSpec {
+            name: "Tesla C2050",
+            sm_count: 14,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            max_block_dim: [1024, 1024, 64],
+            smem_per_sm: 48 * 1024,
+            smem_banks: 32,
+            clock_hz: 1150e6,
+            issue_width: 2,
+            dram_bandwidth: 144e9,
+            mem_latency_cycles: 500.0,
+            transaction_bytes: 128,
+            mlp_per_warp: 4.0,
+            mshr_per_sm: 48.0,
+            kernel_launch_overhead_s: 6e-6,
+            block_dispatch_cycles: 30.0,
+            device_malloc_cycles: 50_000.0,
+            smem_cycles: 2.0,
+            sync_cycles: 12.0,
+        }
+    }
+
+    /// Minimum degree of parallelism `ControlDOP` aims for: enough threads
+    /// to fill every SM (`sm_count * max_threads_per_sm`, Section IV-D).
+    pub fn min_dop(&self) -> u64 {
+        self.sm_count as u64 * self.max_threads_per_sm as u64
+    }
+
+    /// Maximum degree of parallelism before `ControlDOP` coarsens spans:
+    /// `100 * min_dop` (Section IV-D).
+    pub fn max_dop(&self) -> u64 {
+        100 * self.min_dop()
+    }
+
+    /// Number of warps per SM when fully occupied.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / WARP_SIZE
+    }
+
+    /// Convert a cycle count on this device to seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+impl Default for GpuSpec {
+    /// The paper's evaluation device ([`GpuSpec::tesla_k20c`]).
+    fn default() -> Self {
+        GpuSpec::tesla_k20c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20c_dop_thresholds_match_paper() {
+        let g = GpuSpec::tesla_k20c();
+        assert_eq!(g.min_dop(), 13 * 2048);
+        assert_eq!(g.max_dop(), 100 * 13 * 2048);
+    }
+
+    #[test]
+    fn max_warps() {
+        assert_eq!(GpuSpec::tesla_k20c().max_warps_per_sm(), 64);
+        assert_eq!(GpuSpec::tesla_c2050().max_warps_per_sm(), 48);
+    }
+
+    #[test]
+    fn cycles_round_trip() {
+        let g = GpuSpec::tesla_k20c();
+        let secs = g.cycles_to_seconds(706e6);
+        assert!((secs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_k20c() {
+        assert_eq!(GpuSpec::default(), GpuSpec::tesla_k20c());
+    }
+}

@@ -1,0 +1,48 @@
+//! Device models used across the `multidim` framework.
+//!
+//! The mapping analysis of *Locality-Aware Mapping of Nested Parallel
+//! Patterns on GPUs* (MICRO 2014) is parameterized by a handful of hardware
+//! characteristics: warp width, shared-memory capacity, the maximum number of
+//! resident threads and blocks per streaming multiprocessor, and the
+//! device-wide `MIN_DOP` / `MAX_DOP` thresholds used by `ControlDOP`
+//! (Algorithm 1 in the paper). The simulator additionally needs throughput
+//! and latency figures to turn executed kernels into time estimates.
+//!
+//! This crate holds those descriptions so that the mapping analysis
+//! ([`GpuSpec`]), the code generator, and the simulator all agree on the
+//! hardware they target.
+//!
+//! # Examples
+//!
+//! ```
+//! use multidim_device::GpuSpec;
+//!
+//! let k20c = GpuSpec::tesla_k20c();
+//! assert_eq!(k20c.sm_count, 13);
+//! assert_eq!(k20c.min_dop(), 13 * 2048);
+//! ```
+
+mod cpu;
+mod gpu;
+mod pcie;
+
+pub use cpu::CpuSpec;
+pub use gpu::GpuSpec;
+pub use pcie::PcieSpec;
+
+/// Number of lanes in a warp on every device modeled by this crate.
+///
+/// NVIDIA GPUs execute 32 threads per warp; the paper's soft constraints
+/// ("block size multiple of `WARP_SIZE`") and the coalescing model both use
+/// this value.
+pub const WARP_SIZE: u32 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_size_is_nvidia_width() {
+        assert_eq!(WARP_SIZE, 32);
+    }
+}

@@ -1,0 +1,58 @@
+//! Host-to-device interconnect model.
+
+/// PCIe transfer model used to charge input-transfer cost where the paper
+/// includes it (Section VI-E charges the Naive Bayes training matrix).
+///
+/// # Examples
+///
+/// ```
+/// use multidim_device::PcieSpec;
+///
+/// let pcie = PcieSpec::gen2_x16();
+/// let t = pcie.transfer_seconds(6_000_000_000);
+/// assert!(t > 0.9 && t < 1.5); // ~6 GB/s effective
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieSpec {
+    /// Effective (not theoretical) bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer setup latency in seconds.
+    pub latency_s: f64,
+}
+
+impl PcieSpec {
+    /// PCIe 2.0 x16 as on the K20c host: ~6 GB/s effective.
+    pub fn gen2_x16() -> Self {
+        PcieSpec { bandwidth: 6e9, latency_s: 10e-6 }
+    }
+
+    /// Seconds to move `bytes` across the link, including setup latency.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth
+    }
+}
+
+impl Default for PcieSpec {
+    fn default() -> Self {
+        PcieSpec::gen2_x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_floor() {
+        let p = PcieSpec::gen2_x16();
+        assert!(p.transfer_seconds(0) >= 10e-6);
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly() {
+        let p = PcieSpec::gen2_x16();
+        let t1 = p.transfer_seconds(1 << 20) - p.latency_s;
+        let t2 = p.transfer_seconds(2 << 20) - p.latency_s;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

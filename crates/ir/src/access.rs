@@ -1,0 +1,561 @@
+//! Nest structure and memory-access summaries.
+//!
+//! These are the facts the mapping analysis (Section IV-C) consumes:
+//!
+//! * [`NestInfo`] — which patterns sit at which nesting level, whether a
+//!   level needs global synchronization (`Reduce`/`Filter`/`GroupBy`),
+//!   whether its extent is dynamic, and whether the nest is *imperfect*
+//!   (memory accesses outside the innermost pattern — the trigger for the
+//!   Section V-B shared-memory prefetch).
+//! * [`Access`] — every array read/write with its linearized affine address
+//!   form, the chain of enclosing patterns, and execution-count modifiers
+//!   (sequential-loop trip factors, branch discounts).
+
+use crate::affine::{linearize, AffineForm};
+use crate::expr::{Expr, ReadSrc, VarId};
+use crate::pattern::{Body, Effect, Pattern, PatternId, PatternKind};
+use crate::program::{ArrayId, Program};
+use crate::size::Size;
+use std::collections::HashMap;
+
+/// One pattern's occurrence at a nest level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelPattern {
+    /// The pattern.
+    pub id: PatternId,
+    /// Extent (analysis view).
+    pub size: Size,
+    /// `true` for `Reduce`/`Filter`/`GroupBy` (Table II hard constraint).
+    pub needs_sync: bool,
+    /// `true` when the extent is only known dynamically.
+    pub dynamic: bool,
+    /// Pattern kind name (diagnostics).
+    pub kind_name: &'static str,
+}
+
+/// All patterns at one nesting level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelInfo {
+    /// Patterns at this level, in traversal order.
+    pub patterns: Vec<LevelPattern>,
+}
+
+impl LevelInfo {
+    /// The level's representative extent: the maximum of its patterns'
+    /// (they usually agree; e.g. PageRank's inner map and reduce both range
+    /// over a node's neighbors).
+    pub fn representative_size(&self) -> Size {
+        // Symbolic max is not supported; the first pattern's size is the
+        // representative and codegen guards each pattern by its own extent.
+        self.patterns.first().map(|p| p.size.clone()).unwrap_or(Size::Const(1))
+    }
+
+    /// Whether any pattern at this level needs global synchronization.
+    pub fn needs_sync(&self) -> bool {
+        self.patterns.iter().any(|p| p.needs_sync)
+    }
+
+    /// Whether any pattern at this level has a dynamic extent.
+    pub fn has_dynamic(&self) -> bool {
+        self.patterns.iter().any(|p| p.dynamic)
+    }
+}
+
+/// Nest-level structure of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestInfo {
+    /// Levels, outermost first.
+    pub levels: Vec<LevelInfo>,
+    /// `true` when some memory access or nontrivial computation happens at
+    /// a non-innermost level (Section V-B's "imperfectly nested").
+    pub imperfect: bool,
+}
+
+impl NestInfo {
+    /// Analyze `program`'s root nest.
+    pub fn of(program: &Program) -> NestInfo {
+        let mut levels: Vec<LevelInfo> = Vec::new();
+        program.root.visit_patterns(&mut |p, lvl| {
+            if levels.len() <= lvl {
+                levels.resize(lvl + 1, LevelInfo::default());
+            }
+            levels[lvl].patterns.push(LevelPattern {
+                id: p.id,
+                size: p.size.clone(),
+                needs_sync: p.kind.needs_global_sync(),
+                dynamic: p.size.is_dynamic() || p.dyn_extent.is_some(),
+                kind_name: p.kind.name(),
+            });
+        });
+        let accesses = collect_accesses(program);
+        let depth = levels.len();
+        // Only shallow *reads* make a nest imperfect for our purposes:
+        // they are what the Section V-B prefetch can stage through shared
+        // memory (a map's own output store is not re-read in-kernel).
+        let imperfect = accesses.iter().any(|a| !a.is_write && a.chain.len() < depth);
+        NestInfo { levels, imperfect }
+    }
+
+    /// Number of nest levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// One enclosing pattern on the path from the root to an access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainLink {
+    /// The enclosing pattern.
+    pub pattern: PatternId,
+    /// Its nest level.
+    pub level: usize,
+    /// Its bound index variable.
+    pub var: VarId,
+    /// Its extent.
+    pub size: Size,
+}
+
+/// A summarized memory access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Target array, or `None` when the access touches a `let`-bound
+    /// collection (a preallocatable temporary whose layout is flexible,
+    /// Section V-A).
+    pub array: Option<ArrayId>,
+    /// Element width in bytes (8 for flexible temporaries).
+    pub elem_bytes: u64,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// Linearized address form over all in-scope variables.
+    pub addr: AffineForm,
+    /// Enclosing patterns, outermost first.
+    pub chain: Vec<ChainLink>,
+    /// Number of enclosing conditional branches (each halves the expected
+    /// execution count, Section IV-C).
+    pub branch_depth: u32,
+    /// Estimated trip-count multiplier from enclosing sequential
+    /// [`Expr::Iterate`] loops.
+    pub iterate_factor: i64,
+    /// The access's physical layout may be chosen by the compiler
+    /// (preallocated temporary), so its locality constraints are soft-er
+    /// (Section V-A "relaxes the constraints").
+    pub flexible_layout: bool,
+}
+
+impl Access {
+    /// The stride (in elements) of this access with respect to pattern
+    /// variable `var`, with unknown symbols defaulted; `None` = random.
+    pub fn stride_for(&self, var: VarId, bindings: &crate::size::Bindings) -> Option<i64> {
+        self.addr.coeff_of(var, bindings)
+    }
+}
+
+struct Collector<'p> {
+    program: &'p Program,
+    chain: Vec<ChainLink>,
+    branch_depth: u32,
+    iterate_factor: i64,
+    /// Shapes of let-bound collections (for linearizing their reads).
+    var_shapes: HashMap<VarId, Vec<Size>>,
+    out: Vec<Access>,
+}
+
+/// Collect every memory access in the program's root nest, including the
+/// implicit output stores of collection-producing patterns.
+pub fn collect_accesses(program: &Program) -> Vec<Access> {
+    let mut c = Collector {
+        program,
+        chain: Vec::new(),
+        branch_depth: 0,
+        iterate_factor: 1,
+        var_shapes: HashMap::new(),
+        out: Vec::new(),
+    };
+    c.pattern(&program.root, 0);
+    c.out
+}
+
+impl<'p> Collector<'p> {
+    fn pattern(&mut self, p: &'p Pattern, level: usize) {
+        // Dynamic extents are evaluated outside the pattern scope.
+        if let Some(e) = &p.dyn_extent {
+            self.expr(e);
+        }
+        self.chain.push(ChainLink { pattern: p.id, level, var: p.var, size: p.size.clone() });
+
+        match &p.kind {
+            PatternKind::Filter { pred } => self.expr(pred),
+            PatternKind::GroupBy { key, .. } => self.expr(key),
+            _ => {}
+        }
+
+        match &p.body {
+            Body::Value(e) => {
+                self.expr(e);
+                // Implicit output store. `Map` writes one element per index,
+                // sequential in the map chain (see module docs); reductions
+                // accumulate in registers; filter/groupBy land at
+                // data-dependent positions.
+                match &p.kind {
+                    PatternKind::Map => {
+                        if !produces_collection(e) {
+                            self.implicit_map_store(level);
+                        }
+                    }
+                    PatternKind::Filter { .. } | PatternKind::GroupBy { .. } => {
+                        self.push_access(None, 8, true, AffineForm::NonAffine, false);
+                    }
+                    _ => {}
+                }
+            }
+            Body::Effects(effs) => self.effects(effs, level),
+        }
+        self.chain.pop();
+    }
+
+    fn effects(&mut self, effs: &'p [Effect], level: usize) {
+        for eff in effs {
+            match eff {
+                Effect::Write { cond, array, idx, value } => {
+                    if let Some(c) = cond {
+                        self.expr(c);
+                        self.branch_depth += 1;
+                    }
+                    for i in idx {
+                        self.expr(i);
+                    }
+                    self.expr(value);
+                    let decl = self.program.array(*array);
+                    let addr = linearize(idx, &decl.shape);
+                    self.push_access(Some(*array), decl.elem.bytes(), true, addr, false);
+                    if cond.is_some() {
+                        self.branch_depth -= 1;
+                    }
+                }
+                Effect::AtomicRmw { cond, array, idx, value, .. } => {
+                    if let Some(c) = cond {
+                        self.expr(c);
+                        self.branch_depth += 1;
+                    }
+                    for i in idx {
+                        self.expr(i);
+                    }
+                    self.expr(value);
+                    let decl = self.program.array(*array);
+                    let addr = linearize(idx, &decl.shape);
+                    // Atomics read and write the location.
+                    self.push_access(Some(*array), decl.elem.bytes(), true, addr.clone(), false);
+                    self.push_access(Some(*array), decl.elem.bytes(), false, addr, false);
+                    if cond.is_some() {
+                        self.branch_depth -= 1;
+                    }
+                }
+                Effect::Nested(inner) => self.pattern(inner, level + 1),
+                Effect::LetScalar(_, e) => self.expr(e),
+            }
+        }
+    }
+
+    /// The store of a scalar-bodied `Map` chain: out[i0][i1]... over the
+    /// enclosing *map* links (levels that produce the output collection).
+    fn implicit_map_store(&mut self, _level: usize) {
+        let idxs: Vec<Expr> =
+            self.map_output_chain().iter().map(|l| Expr::Var(l.var)).collect();
+        let shape: Vec<Size> = self.map_output_chain().iter().map(|l| l.size.clone()).collect();
+        let addr = linearize(&idxs, &shape);
+        self.push_access(self.program.output, 8, true, addr, false);
+    }
+
+    /// The suffix-maximal chain of map links ending at the current pattern
+    /// whose collections compose into the stored output (all links, since
+    /// only directly-nested maps produce multi-dim outputs; conservative).
+    fn map_output_chain(&self) -> &[ChainLink] {
+        &self.chain
+    }
+
+    fn push_access(
+        &mut self,
+        array: Option<ArrayId>,
+        elem_bytes: u64,
+        is_write: bool,
+        addr: AffineForm,
+        flexible: bool,
+    ) {
+        self.out.push(Access {
+            array,
+            elem_bytes,
+            is_write,
+            addr,
+            chain: self.chain.clone(),
+            branch_depth: self.branch_depth,
+            iterate_factor: self.iterate_factor,
+            flexible_layout: flexible,
+        });
+    }
+
+    fn expr(&mut self, e: &'p Expr) {
+        match e {
+            Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) | Expr::LengthOf(..) => {}
+            Expr::Read(src, idxs) => {
+                for i in idxs {
+                    self.expr(i);
+                }
+                match src {
+                    ReadSrc::Array(a) => {
+                        let decl = self.program.array(*a);
+                        let addr = linearize(idxs, &decl.shape);
+                        self.push_access(Some(*a), decl.elem.bytes(), false, addr, false);
+                    }
+                    ReadSrc::Var(v) => {
+                        let shape = self.var_shapes.get(v).cloned().unwrap_or_default();
+                        let addr = if shape.len() == idxs.len() && !shape.is_empty() {
+                            linearize(idxs, &shape)
+                        } else {
+                            AffineForm::NonAffine
+                        };
+                        self.push_access(None, 8, false, addr, true);
+                    }
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Un(_, a) => self.expr(a),
+            Expr::Select(c, t, el) => {
+                self.expr(c);
+                self.branch_depth += 1;
+                self.expr(t);
+                self.expr(el);
+                self.branch_depth -= 1;
+            }
+            Expr::Let(v, val, body) => {
+                // A let-bound nested pattern materializes a temporary whose
+                // writes are flexible-layout (Section V-A).
+                if let Expr::Pat(p) = &**val {
+                    let shape = crate::builder::produced_shape(p);
+                    // Temp shape is prefixed by the *enclosing* map extents
+                    // after preallocation, but reads inside this scope index
+                    // only the logical (inner) dimensions.
+                    self.var_shapes.insert(*v, shape);
+                    self.pattern_flexible(p);
+                } else {
+                    self.expr(val);
+                }
+                self.expr(body);
+            }
+            Expr::Iterate { max, inits, cond, updates, result } => {
+                self.expr(max);
+                for (_, i) in inits {
+                    self.expr(i);
+                }
+                let factor = estimate_trip(max);
+                let saved = self.iterate_factor;
+                self.iterate_factor = saved.saturating_mul(factor);
+                self.expr(cond);
+                for u in updates {
+                    self.expr(u);
+                }
+                self.iterate_factor = saved;
+                self.expr(result);
+            }
+            Expr::Pat(p) => {
+                let level = self.chain.last().map_or(0, |l| l.level + 1);
+                self.pattern(p, level);
+            }
+        }
+    }
+
+    /// Like [`Collector::pattern`] but marks the pattern's implicit stores
+    /// as flexible-layout (its collection is a preallocated temporary).
+    fn pattern_flexible(&mut self, p: &'p Pattern) {
+        let level = self.chain.last().map_or(0, |l| l.level + 1);
+        if let Some(e) = &p.dyn_extent {
+            self.expr(e);
+        }
+        self.chain.push(ChainLink { pattern: p.id, level, var: p.var, size: p.size.clone() });
+        match &p.kind {
+            PatternKind::Filter { pred } => self.expr(pred),
+            PatternKind::GroupBy { key, .. } => self.expr(key),
+            _ => {}
+        }
+        match &p.body {
+            Body::Value(e) => {
+                self.expr(e);
+                if matches!(p.kind, PatternKind::Map) && !produces_collection(e) {
+                    // Temp store: address is flexible.
+                    self.push_access(None, 8, true, AffineForm::NonAffine, true);
+                }
+            }
+            Body::Effects(effs) => self.effects(effs, level),
+        }
+        self.chain.pop();
+    }
+}
+
+/// Does this expression evaluate to a collection (so an enclosing `Map`
+/// produces a nested array rather than storing scalars)?
+fn produces_collection(e: &Expr) -> bool {
+    match e {
+        Expr::Pat(p) => !matches!(p.kind, PatternKind::Reduce { .. } | PatternKind::Foreach),
+        Expr::Let(_, _, body) => produces_collection(body),
+        _ => false,
+    }
+}
+
+/// Estimated trip count of an `Iterate` (literal max, else a default).
+fn estimate_trip(max: &Expr) -> i64 {
+    match max {
+        Expr::Lit(v) if *v >= 1.0 => *v as i64,
+        _ => 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::pattern::ReduceOp;
+    use crate::size::Bindings;
+    use crate::types::ScalarKind;
+
+    fn sum_rows() -> Program {
+        let mut b = ProgramBuilder::new("sumRows");
+        let r = b.sym("R");
+        let c = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+        let root = b.map(Size::sym(r), |b, row| {
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        b.finish_map(root, "out", ScalarKind::F32).unwrap()
+    }
+
+    #[test]
+    fn nest_info_two_levels() {
+        let p = sum_rows();
+        let n = NestInfo::of(&p);
+        assert_eq!(n.depth(), 2);
+        assert!(!n.levels[0].needs_sync());
+        assert!(n.levels[1].needs_sync());
+        assert!(!n.levels[1].has_dynamic());
+    }
+
+    #[test]
+    fn sum_rows_access_strides() {
+        let p = sum_rows();
+        let accesses = collect_accesses(&p);
+        // One read of m (inner) + one implicit output store (outer map).
+        let reads: Vec<_> = accesses.iter().filter(|a| !a.is_write).collect();
+        assert_eq!(reads.len(), 1);
+        let mut bind = Bindings::new();
+        bind.bind(crate::size::SymId(0), 100); // R
+        bind.bind(crate::size::SymId(1), 200); // C
+        let read = reads[0];
+        // m[row*C + col]: stride C in row, 1 in col.
+        let row_var = read.chain[0].var;
+        let col_var = read.chain[1].var;
+        assert_eq!(read.stride_for(row_var, &bind), Some(200));
+        assert_eq!(read.stride_for(col_var, &bind), Some(1));
+
+        let writes: Vec<_> = accesses.iter().filter(|a| a.is_write).collect();
+        assert_eq!(writes.len(), 1);
+        // out[row]: stride 1 in row.
+        assert_eq!(writes[0].stride_for(row_var, &bind), Some(1));
+    }
+
+    #[test]
+    fn imperfect_nest_detected() {
+        // map(I) { i => let a = x[i]; reduce(J) { j => a * y[j] } } :
+        // the x[i] read sits at level 0 while the nest is 2 deep.
+        let mut b = ProgramBuilder::new("imperfect");
+        let i_sz = b.sym("I");
+        let j_sz = b.sym("J");
+        let x = b.input("x", ScalarKind::F32, &[Size::sym(i_sz)]);
+        let y = b.input("y", ScalarKind::F32, &[Size::sym(j_sz)]);
+        let root = b.map(Size::sym(i_sz), |b, i| {
+            let xi = b.read(x, &[i.into()]);
+            b.let_(xi, |b, a| {
+                b.reduce(Size::sym(j_sz), ReduceOp::Add, |b, j| {
+                    Expr::var(a) * b.read(y, &[j.into()])
+                })
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        assert!(NestInfo::of(&p).imperfect);
+    }
+
+    #[test]
+    fn perfect_nest_not_flagged() {
+        let p = sum_rows();
+        // The inner read is at depth 2 == nest depth, but the implicit
+        // output store of the outer map is at level 0... which is exactly
+        // the paper's situation: sumRows output store happens once per
+        // outer iteration. The *reads* determine the prefetch opportunity;
+        // writes don't prefetch. NestInfo therefore only considers reads
+        // shallower than the innermost level… sumRows' store is a write, so
+        // not imperfect.
+        assert!(!NestInfo::of(&p).imperfect);
+    }
+
+    #[test]
+    fn iterate_factor_multiplies() {
+        let mut b = ProgramBuilder::new("mandel");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| {
+            let start = b.read(a, &[i.into()]);
+            b.iterate(Expr::int(256), vec![start], |b, vars| {
+                let v = Expr::var(vars[0]);
+                let next = v.clone() * Expr::lit(0.5) + b.read(a, &[i.into()]);
+                (v.clone().lt(Expr::lit(4.0)), vec![next], v)
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let acc = collect_accesses(&p);
+        // The read inside the loop body carries factor 256.
+        assert!(acc.iter().any(|a| !a.is_write && a.iterate_factor == 256));
+        // The init read carries factor 1.
+        assert!(acc.iter().any(|a| !a.is_write && a.iterate_factor == 1));
+    }
+
+    #[test]
+    fn random_access_is_nonaffine() {
+        let mut b = ProgramBuilder::new("gather");
+        let n = b.sym("N");
+        let idx = b.input("idx", ScalarKind::I32, &[Size::sym(n)]);
+        let data = b.input("data", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| {
+            let j = b.read(idx, &[i.into()]);
+            b.read(data, &[j])
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let acc = collect_accesses(&p);
+        let data_reads: Vec<_> = acc
+            .iter()
+            .filter(|a| a.array == Some(ArrayId(1)) && !a.is_write)
+            .collect();
+        assert_eq!(data_reads.len(), 1);
+        assert_eq!(data_reads[0].addr, AffineForm::NonAffine);
+    }
+
+    #[test]
+    fn flexible_temp_marked() {
+        // map(M) { i => let t = map(N){ j => ... }; reduce over t }
+        let mut b = ProgramBuilder::new("prealloc");
+        let m_sz = b.sym("M");
+        let n_sz = b.sym("N");
+        let x = b.input("x", ScalarKind::F32, &[Size::sym(m_sz), Size::sym(n_sz)]);
+        let root = b.map(Size::sym(m_sz), |b, i| {
+            let inner = b.map(Size::sym(n_sz), |b, j| {
+                b.read(x, &[i.into(), j.into()]) * Expr::lit(2.0)
+            });
+            b.let_(inner, |b, t| {
+                b.reduce(Size::sym(n_sz), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let acc = collect_accesses(&p);
+        assert!(acc.iter().any(|a| a.flexible_layout && a.is_write));
+        assert!(acc.iter().any(|a| a.flexible_layout && !a.is_write));
+    }
+}

@@ -1,0 +1,326 @@
+//! Affine analysis of index expressions.
+//!
+//! The mapping analysis needs to know, for every array access, the *stride*
+//! of the linearized address with respect to each enclosing pattern index:
+//! stride 1 means adjacent iterations touch adjacent memory (the access is
+//! "sequential" in that index, wanting dimension `x` per Table II), a large
+//! constant stride means strided access, and a data-dependent index means
+//! random access (no coalescing constraint can be satisfied — e.g. the
+//! QPSCD HogWild outer pattern over randomly sampled rows).
+//!
+//! Index expressions here are affine forms `Σ coeff_v · v + const` where the
+//! coefficients are [`Size`] expressions (so `row * C + col` has coefficient
+//! `C` for `row` even when `C` is a launch-time symbol).
+
+use crate::expr::{BinOp, Expr, UnOp, VarId};
+use crate::size::{Bindings, Size};
+use std::collections::BTreeMap;
+
+/// An affine form over pattern/loop variables, or `NonAffine` if the
+/// expression cannot be put in that shape (data-dependent indexing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AffineForm {
+    /// `Σ terms[v] · v + constant`.
+    Affine {
+        /// Per-variable coefficients (absent = 0).
+        terms: BTreeMap<VarId, Size>,
+        /// Constant offset.
+        constant: Size,
+    },
+    /// The expression involves a memory read, non-linear arithmetic, or
+    /// control flow: treat as random for locality purposes.
+    NonAffine,
+}
+
+impl AffineForm {
+    /// The zero form.
+    pub fn zero() -> Self {
+        AffineForm::Affine { terms: BTreeMap::new(), constant: Size::from(0) }
+    }
+
+    /// A constant form.
+    pub fn konst(s: Size) -> Self {
+        AffineForm::Affine { terms: BTreeMap::new(), constant: s }
+    }
+
+    /// The form `1 · v`.
+    pub fn var(v: VarId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, Size::from(1));
+        AffineForm::Affine { terms, constant: Size::from(0) }
+    }
+
+    /// The coefficient of `v` evaluated with `bindings` (defaulting unknown
+    /// symbols), or `None` if the form is non-affine.
+    pub fn coeff_of(&self, v: VarId, bindings: &Bindings) -> Option<i64> {
+        match self {
+            AffineForm::Affine { terms, .. } => {
+                Some(terms.get(&v).map_or(0, |s| s.eval_or_default(bindings)))
+            }
+            AffineForm::NonAffine => None,
+        }
+    }
+
+    /// `true` when this form mentions `v` with a (symbolically) nonzero
+    /// coefficient.
+    pub fn mentions(&self, v: VarId) -> bool {
+        match self {
+            AffineForm::Affine { terms, .. } => terms.contains_key(&v),
+            AffineForm::NonAffine => true,
+        }
+    }
+
+    fn add(self, other: AffineForm) -> AffineForm {
+        match (self, other) {
+            (
+                AffineForm::Affine { mut terms, constant },
+                AffineForm::Affine { terms: t2, constant: c2 },
+            ) => {
+                for (v, c) in t2 {
+                    match terms.remove(&v) {
+                        Some(prev) => {
+                            terms.insert(v, prev + c);
+                        }
+                        None => {
+                            terms.insert(v, c);
+                        }
+                    }
+                }
+                AffineForm::Affine { terms, constant: constant + c2 }
+            }
+            _ => AffineForm::NonAffine,
+        }
+    }
+
+    fn scale(self, k: Size) -> AffineForm {
+        match self {
+            AffineForm::Affine { terms, constant } => AffineForm::Affine {
+                terms: terms.into_iter().map(|(v, c)| (v, c * k.clone())).collect(),
+                constant: constant * k,
+            },
+            AffineForm::NonAffine => AffineForm::NonAffine,
+        }
+    }
+
+    /// Scale by `-1` is not representable in `Size` (sizes are
+    /// non-negative); negation therefore degrades to `NonAffine` unless the
+    /// form is a constant 0. Subtraction of a *constant* is kept by clamped
+    /// `Size::Sub`.
+    fn sub_const(self, k: Size) -> AffineForm {
+        match self {
+            AffineForm::Affine { terms, constant } => {
+                AffineForm::Affine { terms, constant: constant - k }
+            }
+            AffineForm::NonAffine => AffineForm::NonAffine,
+        }
+    }
+}
+
+/// Compute the affine form of an index expression.
+///
+/// Handled shapes: literals, variables, `SizeOf`, `+`, `*` by a
+/// variable-free factor, `-` by a variable-free subtrahend, `min`/`max` and
+/// `Select` degrade to the branch union (non-affine if they disagree on
+/// terms), everything else (reads, division, iterate, …) is `NonAffine`.
+///
+/// # Examples
+///
+/// ```
+/// use multidim_ir::{affine_of, AffineForm, Expr, VarId, Size, Bindings, SymId};
+///
+/// // row * C + col
+/// let e = Expr::var(VarId(0)) * Expr::size(Size::sym(SymId(0))) + Expr::var(VarId(1));
+/// let form = affine_of(&e);
+/// let mut b = Bindings::new();
+/// b.bind(SymId(0), 512);
+/// assert_eq!(form.coeff_of(VarId(0), &b), Some(512));
+/// assert_eq!(form.coeff_of(VarId(1), &b), Some(1));
+/// ```
+pub fn affine_of(e: &Expr) -> AffineForm {
+    match e {
+        Expr::Lit(v) => {
+            if v.fract() == 0.0 && *v >= 0.0 {
+                AffineForm::konst(Size::from(*v as i64))
+            } else {
+                AffineForm::NonAffine
+            }
+        }
+        Expr::Var(v) => AffineForm::var(*v),
+        Expr::SizeOf(s) => AffineForm::konst(s.clone()),
+        Expr::Bin(BinOp::Add, a, b) => affine_of(a).add(affine_of(b)),
+        Expr::Bin(BinOp::Sub, a, b) => match variable_free_size(b) {
+            Some(k) => affine_of(a).sub_const(k),
+            None => AffineForm::NonAffine,
+        },
+        Expr::Bin(BinOp::Mul, a, b) => match (variable_free_size(a), variable_free_size(b)) {
+            (_, Some(k)) => affine_of(a).scale(k),
+            (Some(k), _) => affine_of(b).scale(k),
+            _ => AffineForm::NonAffine,
+        },
+        Expr::Bin(BinOp::Min | BinOp::Max, a, b) => {
+            // Conservative: affine only if both sides have identical terms
+            // (e.g. min(i, i) — rare); otherwise the stride is ambiguous.
+            let (fa, fb) = (affine_of(a), affine_of(b));
+            if fa == fb {
+                fa
+            } else {
+                AffineForm::NonAffine
+            }
+        }
+        Expr::Select(_, t, f) => {
+            let (ft, ff) = (affine_of(t), affine_of(f));
+            if ft == ff {
+                ft
+            } else {
+                AffineForm::NonAffine
+            }
+        }
+        Expr::Un(UnOp::Floor, a) => affine_of(a),
+        Expr::Let(_, _, body) => affine_of(body),
+        _ => AffineForm::NonAffine,
+    }
+}
+
+/// If `e` contains no variables and is expressible as a [`Size`], return it.
+fn variable_free_size(e: &Expr) -> Option<Size> {
+    match e {
+        Expr::Lit(v) if v.fract() == 0.0 && *v >= 0.0 => Some(Size::from(*v as i64)),
+        Expr::SizeOf(s) => Some(s.clone()),
+        Expr::Bin(BinOp::Add, a, b) => Some(variable_free_size(a)? + variable_free_size(b)?),
+        Expr::Bin(BinOp::Mul, a, b) => Some(variable_free_size(a)? * variable_free_size(b)?),
+        Expr::Bin(BinOp::Sub, a, b) => Some(variable_free_size(a)? - variable_free_size(b)?),
+        _ => None,
+    }
+}
+
+/// Linearize a multi-dimensional access `src[idx...]` against a row-major
+/// `shape` into a single affine address form (in elements).
+///
+/// Returns `NonAffine` as soon as one component is non-affine.
+pub fn linearize(idxs: &[Expr], shape: &[Size]) -> AffineForm {
+    debug_assert_eq!(idxs.len(), shape.len());
+    let mut acc = AffineForm::zero();
+    for (k, idx) in idxs.iter().enumerate() {
+        // stride of dimension k = product of trailing extents
+        let mut stride = Size::from(1);
+        for s in &shape[k + 1..] {
+            stride = stride * s.clone();
+        }
+        acc = acc.add(affine_of(idx).scale(stride));
+        if acc == AffineForm::NonAffine {
+            return AffineForm::NonAffine;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::SymId;
+
+    fn bind(sym: SymId, v: i64) -> Bindings {
+        let mut b = Bindings::new();
+        b.bind(sym, v);
+        b
+    }
+
+    #[test]
+    fn var_has_unit_coeff() {
+        let f = affine_of(&Expr::var(VarId(3)));
+        assert_eq!(f.coeff_of(VarId(3), &Bindings::new()), Some(1));
+        assert_eq!(f.coeff_of(VarId(4), &Bindings::new()), Some(0));
+    }
+
+    #[test]
+    fn row_major_linearization() {
+        // m[i, j] with shape [R, C]: address = i*C + j
+        let c_sym = SymId(1);
+        let f = linearize(
+            &[Expr::var(VarId(0)), Expr::var(VarId(1))],
+            &[Size::sym(SymId(0)), Size::sym(c_sym)],
+        );
+        let b = bind(c_sym, 100);
+        assert_eq!(f.coeff_of(VarId(0), &b), Some(100));
+        assert_eq!(f.coeff_of(VarId(1), &b), Some(1));
+    }
+
+    #[test]
+    fn three_d_linearization() {
+        // t[i, j, k] shape [A, B, C]: i*B*C + j*C + k
+        let (b_sym, c_sym) = (SymId(1), SymId(2));
+        let f = linearize(
+            &[Expr::var(VarId(0)), Expr::var(VarId(1)), Expr::var(VarId(2))],
+            &[Size::sym(SymId(0)), Size::sym(b_sym), Size::sym(c_sym)],
+        );
+        let mut b = Bindings::new();
+        b.bind(b_sym, 10);
+        b.bind(c_sym, 7);
+        assert_eq!(f.coeff_of(VarId(0), &b), Some(70));
+        assert_eq!(f.coeff_of(VarId(1), &b), Some(7));
+        assert_eq!(f.coeff_of(VarId(2), &b), Some(1));
+    }
+
+    #[test]
+    fn offset_access_keeps_stride() {
+        // stencil access m[i, j+1]
+        let f = affine_of(&(Expr::var(VarId(1)) + Expr::int(1)));
+        assert_eq!(f.coeff_of(VarId(1), &Bindings::new()), Some(1));
+    }
+
+    #[test]
+    fn data_dependent_index_is_nonaffine() {
+        use crate::expr::ReadSrc;
+        use crate::program::ArrayId;
+        let e = Expr::Read(ReadSrc::Array(ArrayId(0)), vec![Expr::var(VarId(0))]);
+        assert_eq!(affine_of(&e), AffineForm::NonAffine);
+        assert_eq!(affine_of(&e).coeff_of(VarId(0), &Bindings::new()), None);
+    }
+
+    #[test]
+    fn scaled_var() {
+        let e = Expr::var(VarId(0)) * Expr::int(4);
+        let f = affine_of(&e);
+        assert_eq!(f.coeff_of(VarId(0), &Bindings::new()), Some(4));
+    }
+
+    #[test]
+    fn subtraction_of_constant() {
+        let e = Expr::var(VarId(0)) - Expr::int(1);
+        let f = affine_of(&e);
+        assert_eq!(f.coeff_of(VarId(0), &Bindings::new()), Some(1));
+    }
+
+    #[test]
+    fn subtraction_of_var_degrades() {
+        let e = Expr::var(VarId(0)) - Expr::var(VarId(1));
+        assert_eq!(affine_of(&e), AffineForm::NonAffine);
+    }
+
+    #[test]
+    fn nonlinear_product_degrades() {
+        let e = Expr::var(VarId(0)) * Expr::var(VarId(1));
+        assert_eq!(affine_of(&e), AffineForm::NonAffine);
+    }
+
+    #[test]
+    fn select_with_equal_strides_stays_affine() {
+        let c = Expr::var(VarId(2)).gt(Expr::lit(0.0));
+        let e = c.select(Expr::var(VarId(0)) + Expr::int(1), Expr::var(VarId(0)));
+        // constant differs but terms equal? terms equal requires same constant
+        // too (we compare whole forms), so this degrades:
+        assert_eq!(affine_of(&e), AffineForm::NonAffine);
+        let e2 = Expr::var(VarId(2))
+            .gt(Expr::lit(0.0))
+            .select(Expr::var(VarId(0)), Expr::var(VarId(0)));
+        assert!(matches!(affine_of(&e2), AffineForm::Affine { .. }));
+    }
+
+    #[test]
+    fn mentions_checks_terms() {
+        let f = affine_of(&(Expr::var(VarId(0)) * Expr::int(8)));
+        assert!(f.mentions(VarId(0)));
+        assert!(!f.mentions(VarId(1)));
+        assert!(AffineForm::NonAffine.mentions(VarId(5)));
+    }
+}

@@ -1,0 +1,603 @@
+//! Ergonomic construction of pattern programs.
+//!
+//! [`ProgramBuilder`] is the "thin wrapper language" of Section III: a small
+//! embedded DSL for writing applications as compositions of parallel
+//! patterns. Pattern constructors take closures that receive the builder and
+//! the bound index variable, so nests read like the paper's pseudocode.
+//!
+//! # Examples
+//!
+//! `sumRows` from Figure 1 of the paper:
+//!
+//! ```
+//! use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind, Size};
+//!
+//! let mut b = ProgramBuilder::new("sumRows");
+//! let r = b.sym("R");
+//! let c = b.sym("C");
+//! let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+//! let root = b.map(Size::sym(r), |b, row| {
+//!     b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+//!         b.read(m, &[row.into(), col.into()])
+//!     })
+//! });
+//! let program = b.finish_map(root, "sums", ScalarKind::F32)?;
+//! assert_eq!(program.nest_depth(), 2);
+//! # Ok::<(), multidim_ir::ValidateError>(())
+//! ```
+
+use crate::expr::{Expr, ReadSrc, VarId};
+use crate::pattern::{Body, Effect, Pattern, PatternId, PatternKind, ReduceOp};
+use crate::program::{ArrayDecl, ArrayId, ArrayRole, Program, SymDecl, ValidateError};
+use crate::size::{Size, SymId};
+use crate::types::ScalarKind;
+
+/// Incremental builder for a [`Program`].
+///
+/// Allocates size symbols, arrays, variables and pattern ids, and assembles
+/// the root nest. Finish with one of the `finish_*` methods matching the
+/// root pattern kind; they declare the output array, validate, and return
+/// the completed [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    symbols: Vec<SymDecl>,
+    arrays: Vec<ArrayDecl>,
+    next_var: u32,
+    next_pattern: u32,
+}
+
+impl ProgramBuilder {
+    /// Start building a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Declare a size symbol.
+    pub fn sym(&mut self, name: impl Into<String>) -> SymId {
+        let id = SymId(self.symbols.len() as u32);
+        self.symbols.push(SymDecl { id, name: name.into() });
+        id
+    }
+
+    /// Declare an input array.
+    pub fn input(&mut self, name: impl Into<String>, elem: ScalarKind, shape: &[Size]) -> ArrayId {
+        self.declare(name, elem, shape, ArrayRole::Input)
+    }
+
+    /// Declare an output array written by `Foreach` effects (the `finish_*`
+    /// methods declare value-producing outputs themselves).
+    pub fn output(&mut self, name: impl Into<String>, elem: ScalarKind, shape: &[Size]) -> ArrayId {
+        self.declare(name, elem, shape, ArrayRole::Output)
+    }
+
+    /// Declare a device-resident temporary.
+    pub fn temp(&mut self, name: impl Into<String>, elem: ScalarKind, shape: &[Size]) -> ArrayId {
+        self.declare(name, elem, shape, ArrayRole::Temp)
+    }
+
+    fn declare(
+        &mut self,
+        name: impl Into<String>,
+        elem: ScalarKind,
+        shape: &[Size],
+        role: ArrayRole,
+    ) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl { id, name: name.into(), elem, shape: shape.to_vec(), role });
+        id
+    }
+
+    /// Allocate a fresh variable (mostly internal; exposed for custom
+    /// `Iterate` state).
+    pub fn fresh_var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn fresh_pattern(&mut self) -> PatternId {
+        let p = PatternId(self.next_pattern);
+        self.next_pattern += 1;
+        p
+    }
+
+    /// Read `array[idx...]`.
+    pub fn read(&self, array: ArrayId, idx: &[Expr]) -> Expr {
+        Expr::Read(ReadSrc::Array(array), idx.to_vec())
+    }
+
+    /// Read element `idx...` of a `let`-bound collection.
+    pub fn read_var(&self, var: VarId, idx: &[Expr]) -> Expr {
+        Expr::Read(ReadSrc::Var(var), idx.to_vec())
+    }
+
+    /// `let v = value in body(v)`.
+    pub fn let_(&mut self, value: Expr, body: impl FnOnce(&mut Self, VarId) -> Expr) -> Expr {
+        let v = self.fresh_var();
+        let b = body(self, v);
+        Expr::Let(v, Box::new(value), Box::new(b))
+    }
+
+    /// `map(size) { i => body(i) }` — yields a collection-valued expression.
+    pub fn map(&mut self, size: Size, body: impl FnOnce(&mut Self, VarId) -> Expr) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let body = body(self, var);
+        Expr::Pat(Box::new(Pattern { id, kind: PatternKind::Map, size, dyn_extent: None, var, body: Body::Value(body) }))
+    }
+
+    /// `zipWith` over two rank-1 sources (Table I): sugar for a `Map` whose
+    /// body reads both sources at the bound index.
+    pub fn zip_with(
+        &mut self,
+        size: Size,
+        a: ReadSrc,
+        b: ReadSrc,
+        f: impl FnOnce(&mut Self, Expr, Expr) -> Expr,
+    ) -> Expr {
+        self.map(size, |bld, i| {
+            let ea = Expr::Read(a, vec![i.into()]);
+            let eb = Expr::Read(b, vec![i.into()]);
+            f(bld, ea, eb)
+        })
+    }
+
+    /// `reduce(size, op) { i => elem(i) }` — yields a scalar expression.
+    pub fn reduce(
+        &mut self,
+        size: Size,
+        op: ReduceOp,
+        body: impl FnOnce(&mut Self, VarId) -> Expr,
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let body = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Reduce { op },
+            size,
+            dyn_extent: None,
+            var,
+            body: Body::Value(body),
+        }))
+    }
+
+    /// `filter(size) { i => (pred(i), elem(i)) }` — yields a dynamically
+    /// sized collection.
+    pub fn filter(
+        &mut self,
+        size: Size,
+        body: impl FnOnce(&mut Self, VarId) -> (Expr, Expr),
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let (pred, elem) = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Filter { pred },
+            size,
+            dyn_extent: None,
+            var,
+            body: Body::Value(elem),
+        }))
+    }
+
+    /// `groupBy(size, num_keys, op) { i => (key(i), value(i)) }` — a keyed
+    /// reduction into `num_keys` buckets.
+    pub fn group_by(
+        &mut self,
+        size: Size,
+        num_keys: Size,
+        op: ReduceOp,
+        body: impl FnOnce(&mut Self, VarId) -> (Expr, Expr),
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let (key, value) = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::GroupBy { key, num_keys, op },
+            size,
+            dyn_extent: None,
+            var,
+            body: Body::Value(value),
+        }))
+    }
+
+    /// `foreach(size) { i => effects(i) }` — effectful iteration.
+    pub fn foreach(
+        &mut self,
+        size: Size,
+        body: impl FnOnce(&mut Self, VarId) -> Vec<Effect>,
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let effects = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Foreach,
+            size,
+            dyn_extent: None,
+            var,
+            body: Body::Effects(effects),
+        }))
+    }
+
+    /// A `Map` whose extent is data-dependent (evaluated in the enclosing
+    /// scope), e.g. a CSR node's neighbor count. `estimate` is the analysis
+    /// stand-in size (Section IV-C lets applications provide it).
+    pub fn map_dyn(
+        &mut self,
+        extent: Expr,
+        estimate: i64,
+        body: impl FnOnce(&mut Self, VarId) -> Expr,
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let body = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Map,
+            size: Size::dynamic_with_estimate(estimate),
+            dyn_extent: Some(extent),
+            var,
+            body: Body::Value(body),
+        }))
+    }
+
+    /// A `Reduce` whose extent is data-dependent; see [`Self::map_dyn`].
+    pub fn reduce_dyn(
+        &mut self,
+        extent: Expr,
+        estimate: i64,
+        op: ReduceOp,
+        body: impl FnOnce(&mut Self, VarId) -> Expr,
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let body = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Reduce { op },
+            size: Size::dynamic_with_estimate(estimate),
+            dyn_extent: Some(extent),
+            var,
+            body: Body::Value(body),
+        }))
+    }
+
+    /// A `Foreach` whose extent is data-dependent; see [`Self::map_dyn`].
+    pub fn foreach_dyn(
+        &mut self,
+        extent: Expr,
+        estimate: i64,
+        body: impl FnOnce(&mut Self, VarId) -> Vec<Effect>,
+    ) -> Expr {
+        let var = self.fresh_var();
+        let id = self.fresh_pattern();
+        let effects = body(self, var);
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Foreach,
+            size: Size::dynamic_with_estimate(estimate),
+            dyn_extent: Some(extent),
+            var,
+            body: Body::Effects(effects),
+        }))
+    }
+
+    /// Wrap a pattern-valued expression as an [`Effect`] (for `Foreach`
+    /// bodies containing nested patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a pattern expression.
+    pub fn nested_effect(&self, e: Expr) -> Effect {
+        match e {
+            Expr::Pat(p) => Effect::Nested(*p),
+            other => panic!("nested_effect expects a pattern expression, got {other:?}"),
+        }
+    }
+
+    /// A bounded sequential loop (see [`Expr::Iterate`]): `states` provides
+    /// initial values; `f` receives the state vars and returns
+    /// `(cond, updates, result)`.
+    pub fn iterate(
+        &mut self,
+        max: Expr,
+        states: Vec<Expr>,
+        f: impl FnOnce(&mut Self, &[VarId]) -> (Expr, Vec<Expr>, Expr),
+    ) -> Expr {
+        let vars: Vec<VarId> = states.iter().map(|_| self.fresh_var()).collect();
+        let (cond, updates, result) = f(self, &vars);
+        assert_eq!(updates.len(), states.len(), "one update per state variable");
+        Expr::Iterate {
+            max: Box::new(max),
+            inits: vars.into_iter().zip(states).collect(),
+            cond: Box::new(cond),
+            updates,
+            result: Box::new(result),
+        }
+    }
+
+    /// Finish a program whose root is a `Map` (possibly producing a nested
+    /// collection); declares the output array with the produced shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the root is not a `Map` or the
+    /// program fails [`Program::validate`].
+    pub fn finish_map(
+        self,
+        root: Expr,
+        out_name: impl Into<String>,
+        out_elem: ScalarKind,
+    ) -> Result<Program, ValidateError> {
+        let root = Self::unwrap_root(root)?;
+        if !matches!(root.kind, PatternKind::Map) {
+            return Err(ValidateError(format!("finish_map requires a map root, got {}", root.kind.name())));
+        }
+        let shape = produced_shape(&root);
+        self.finish_with_output(root, out_name, out_elem, shape, None)
+    }
+
+    /// Finish a program whose root is a `Reduce`; output is a single-element
+    /// array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] on kind mismatch or validation failure.
+    pub fn finish_reduce(
+        self,
+        root: Expr,
+        out_name: impl Into<String>,
+        out_elem: ScalarKind,
+    ) -> Result<Program, ValidateError> {
+        let root = Self::unwrap_root(root)?;
+        if !matches!(root.kind, PatternKind::Reduce { .. }) {
+            return Err(ValidateError(format!(
+                "finish_reduce requires a reduce root, got {}",
+                root.kind.name()
+            )));
+        }
+        self.finish_with_output(root, out_name, out_elem, vec![Size::from(1)], None)
+    }
+
+    /// Finish a `Filter` root; declares both the (maximally sized) output
+    /// collection and a one-element count array named `<out>_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] on kind mismatch or validation failure.
+    pub fn finish_filter(
+        mut self,
+        root: Expr,
+        out_name: impl Into<String>,
+        out_elem: ScalarKind,
+    ) -> Result<Program, ValidateError> {
+        let root = Self::unwrap_root(root)?;
+        if !matches!(root.kind, PatternKind::Filter { .. }) {
+            return Err(ValidateError(format!(
+                "finish_filter requires a filter root, got {}",
+                root.kind.name()
+            )));
+        }
+        let out_name = out_name.into();
+        let count = self.declare(format!("{out_name}_count"), ScalarKind::I32, &[Size::from(1)], ArrayRole::Output);
+        let shape = vec![root.size.clone()];
+        self.finish_with_output(root, out_name, out_elem, shape, Some(count))
+    }
+
+    /// Finish a `GroupBy` root; output has `num_keys` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] on kind mismatch or validation failure.
+    pub fn finish_group_by(
+        self,
+        root: Expr,
+        out_name: impl Into<String>,
+        out_elem: ScalarKind,
+    ) -> Result<Program, ValidateError> {
+        let root = Self::unwrap_root(root)?;
+        let nk = match &root.kind {
+            PatternKind::GroupBy { num_keys, .. } => num_keys.clone(),
+            other => {
+                return Err(ValidateError(format!(
+                    "finish_group_by requires a groupBy root, got {}",
+                    other.name()
+                )))
+            }
+        };
+        self.finish_with_output(root, out_name, out_elem, vec![nk], None)
+    }
+
+    /// Finish a `Foreach` root; all outputs must already be declared.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] on kind mismatch or validation failure.
+    pub fn finish_foreach(self, root: Expr) -> Result<Program, ValidateError> {
+        let root = Self::unwrap_root(root)?;
+        if !matches!(root.kind, PatternKind::Foreach) {
+            return Err(ValidateError(format!(
+                "finish_foreach requires a foreach root, got {}",
+                root.kind.name()
+            )));
+        }
+        let p = Program {
+            name: self.name,
+            symbols: self.symbols,
+            arrays: self.arrays,
+            root,
+            output: None,
+            output_count: None,
+            var_count: self.next_var,
+            pattern_count: self.next_pattern,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn unwrap_root(root: Expr) -> Result<Pattern, ValidateError> {
+        match root {
+            Expr::Pat(p) => Ok(*p),
+            other => Err(ValidateError(format!("root must be a pattern expression, got {other:?}"))),
+        }
+    }
+
+    fn finish_with_output(
+        mut self,
+        root: Pattern,
+        out_name: impl Into<String>,
+        out_elem: ScalarKind,
+        shape: Vec<Size>,
+        output_count: Option<ArrayId>,
+    ) -> Result<Program, ValidateError> {
+        let out = self.declare(out_name, out_elem, &shape, ArrayRole::Output);
+        let p = Program {
+            name: self.name,
+            symbols: self.symbols,
+            arrays: self.arrays,
+            root,
+            output: Some(out),
+            output_count,
+            var_count: self.next_var,
+            pattern_count: self.next_pattern,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// The logical shape of the collection a pattern produces.
+///
+/// `Map` contributes its extent and recurses into a directly-nested
+/// collection body; `Reduce` produces a scalar (no dimensions); `Filter`
+/// conservatively produces up to its extent; `GroupBy` produces `num_keys`.
+pub fn produced_shape(p: &Pattern) -> Vec<Size> {
+    match &p.kind {
+        PatternKind::Map => {
+            let mut shape = vec![p.size.clone()];
+            if let Body::Value(e) = &p.body {
+                shape.extend(value_shape(e));
+            }
+            shape
+        }
+        PatternKind::Reduce { .. } => vec![],
+        PatternKind::Filter { .. } => vec![p.size.clone()],
+        PatternKind::GroupBy { num_keys, .. } => vec![num_keys.clone()],
+        PatternKind::Foreach => vec![],
+    }
+}
+
+/// Shape of the value an expression evaluates to (empty = scalar).
+fn value_shape(e: &Expr) -> Vec<Size> {
+    match e {
+        Expr::Pat(p) => produced_shape(p),
+        Expr::Let(_, _, body) => value_shape(body),
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_map_output_shape() {
+        let mut b = ProgramBuilder::new("grid");
+        let h = b.sym("H");
+        let w = b.sym("W");
+        let root = b.map(Size::sym(h), |b, y| {
+            b.map(Size::sym(w), |_, x| Expr::var(y) + Expr::var(x))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let out = p.array(p.output.unwrap());
+        assert_eq!(out.shape, vec![Size::sym(h), Size::sym(w)]);
+    }
+
+    #[test]
+    fn reduce_root_scalar_output() {
+        let mut b = ProgramBuilder::new("total");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.reduce(Size::sym(n), ReduceOp::Add, |b, i| b.read(a, &[i.into()]));
+        let p = b.finish_reduce(root, "total", ScalarKind::F32).unwrap();
+        assert_eq!(p.array(p.output.unwrap()).shape, vec![Size::from(1)]);
+    }
+
+    #[test]
+    fn filter_declares_count() {
+        let mut b = ProgramBuilder::new("pos");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.filter(Size::sym(n), |b, i| {
+            let e = b.read(a, &[i.into()]);
+            (e.clone().gt(Expr::lit(0.0)), e)
+        });
+        let p = b.finish_filter(root, "pos", ScalarKind::F32).unwrap();
+        assert!(p.output_count.is_some());
+        assert!(p.array_by_name("pos_count").is_some());
+    }
+
+    #[test]
+    fn group_by_output_is_num_keys() {
+        let mut b = ProgramBuilder::new("hist");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::I32, &[Size::sym(n)]);
+        let root = b.group_by(Size::sym(n), Size::from(16), ReduceOp::Add, |b, i| {
+            (b.read(a, &[i.into()]), Expr::lit(1.0))
+        });
+        let p = b.finish_group_by(root, "hist", ScalarKind::F32).unwrap();
+        assert_eq!(p.array(p.output.unwrap()).shape, vec![Size::from(16)]);
+    }
+
+    #[test]
+    fn foreach_root_has_no_output() {
+        let mut b = ProgramBuilder::new("scatter");
+        let n = b.sym("N");
+        let flags = b.output("flags", ScalarKind::Bool, &[Size::sym(n)]);
+        let a = b.input("a", ScalarKind::I32, &[Size::sym(n)]);
+        let root = b.foreach(Size::sym(n), |b, i| {
+            vec![Effect::Write {
+                cond: Some(b.read(a, &[i.into()]).gt(Expr::lit(0.0))),
+                array: flags,
+                idx: vec![Expr::var(i)],
+                value: Expr::lit(1.0),
+            }]
+        });
+        let p = b.finish_foreach(root).unwrap();
+        assert!(p.output.is_none());
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut b = ProgramBuilder::new("x");
+        let n = b.sym("N");
+        let root = b.map(Size::sym(n), |_, i| Expr::var(i));
+        assert!(b.finish_reduce(root, "o", ScalarKind::F32).is_err());
+    }
+
+    #[test]
+    fn zip_with_is_a_map() {
+        let mut b = ProgramBuilder::new("z");
+        let n = b.sym("N");
+        let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+        let y = b.input("y", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.zip_with(Size::sym(n), ReadSrc::Array(x), ReadSrc::Array(y), |_, a, c| a + c);
+        let p = b.finish_map(root, "sum", ScalarKind::F32).unwrap();
+        assert!(matches!(p.root.kind, PatternKind::Map));
+    }
+
+    #[test]
+    fn iterate_builder_checks_arity() {
+        let mut b = ProgramBuilder::new("it");
+        let e = b.iterate(Expr::int(10), vec![Expr::lit(0.0)], |_, vars| {
+            let v = Expr::var(vars[0]);
+            (v.clone().lt(Expr::lit(5.0)), vec![v.clone() + Expr::lit(1.0)], v)
+        });
+        assert!(matches!(e, Expr::Iterate { .. }));
+    }
+}

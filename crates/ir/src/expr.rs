@@ -1,0 +1,425 @@
+//! Scalar expressions.
+//!
+//! Pattern bodies are expressions in a small functional language: literals,
+//! bound variables (pattern indices, `let`s, sequential-loop state), array
+//! reads, arithmetic/comparison/logic, selection, `let` binding, a bounded
+//! sequential loop ([`Expr::Iterate`], used e.g. for the Mandelbrot escape
+//! iteration), and *nested parallel patterns* ([`Expr::Pat`]) — the feature
+//! this whole framework exists to map well.
+
+use crate::pattern::Pattern;
+use crate::program::ArrayId;
+use crate::size::Size;
+use std::ops;
+
+/// Identifier of a bound variable (pattern index, `let`, or loop state).
+///
+/// Allocated by [`crate::ProgramBuilder`]; unique within one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a % b` (truncated, like C)
+    Rem,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `a < b` → 0.0 / 1.0
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// logical and (non-zero = true)
+    And,
+    /// logical or
+    Or,
+}
+
+impl BinOp {
+    /// `true` for comparison and logical operators (result is 0/1).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-a`
+    Neg,
+    /// `!a`
+    Not,
+    /// `sqrt(a)`
+    Sqrt,
+    /// `exp(a)`
+    Exp,
+    /// `log(a)` (natural)
+    Log,
+    /// `|a|`
+    Abs,
+    /// `floor(a)`
+    Floor,
+}
+
+/// Where an array read resolves: a named program array or a `let`-bound
+/// collection produced by a nested pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadSrc {
+    /// A declared input/output/temp array of the program.
+    Array(ArrayId),
+    /// A collection value bound by [`Expr::Let`] (produced by a nested
+    /// `Map`/`Filter`); this is exactly the "dynamic allocation from inner
+    /// patterns" that Section V-A preallocates.
+    Var(VarId),
+}
+
+/// A scalar expression tree.
+///
+/// Expressions evaluate to `f64` in the reference interpreter; booleans are
+/// 0.0/1.0 and integer values are exact `f64` integers (indices are checked
+/// for integrality on use).
+///
+/// # Examples
+///
+/// Build `i * 2 + 1` with the operator sugar:
+///
+/// ```
+/// use multidim_ir::{Expr, VarId};
+///
+/// let i = Expr::var(VarId(0));
+/// let e = i * Expr::lit(2.0) + Expr::lit(1.0);
+/// assert!(matches!(e, Expr::Bin(..)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Floating literal.
+    Lit(f64),
+    /// Bound variable reference.
+    Var(VarId),
+    /// The value of a (possibly symbolic) size, usable in arithmetic.
+    SizeOf(Size),
+    /// Element read: `src[idx...]` (row-major logical indexing).
+    Read(ReadSrc, Vec<Expr>),
+    /// The dynamic length of a `let`-bound collection (e.g. a `Filter`
+    /// result) or a declared array dimension.
+    LengthOf(ReadSrc, usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `if c { t } else { e }` — both sides cost-modeled per the branch
+    /// discount of Section IV-C.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let v = value in body`. If `value` is a nested pattern producing a
+    /// collection, `v` names that collection.
+    Let(VarId, Box<Expr>, Box<Expr>),
+    /// Bounded sequential loop with carried state, used for per-element
+    /// iterative computations (Mandelbrot escape, Newton steps, …):
+    ///
+    /// state := inits; for step in 0..max { if !cond(state) break;
+    /// state := updates(state) }; yield result(state).
+    Iterate {
+        /// Maximum trip count.
+        max: Box<Expr>,
+        /// Loop-carried state variables and their initial values.
+        inits: Vec<(VarId, Expr)>,
+        /// Continue-while condition over the state (evaluated before each step).
+        cond: Box<Expr>,
+        /// New values for the state variables, in order.
+        updates: Vec<Expr>,
+        /// Result expression over the final state.
+        result: Box<Expr>,
+    },
+    /// A nested parallel pattern in value position (`Map` yields a
+    /// collection, `Reduce` a scalar, `Filter` a collection).
+    Pat(Box<Pattern>),
+}
+
+impl Expr {
+    /// Literal constructor.
+    pub fn lit(v: f64) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// Integer literal (stored exactly as `f64`).
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(v as f64)
+    }
+
+    /// Variable reference.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// The runtime value of a size expression.
+    pub fn size(s: Size) -> Expr {
+        Expr::SizeOf(s)
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helpers returning 0/1-valued expressions.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Gt, Box::new(self), Box::new(rhs))
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Ge, Box::new(self), Box::new(rhs))
+    }
+    /// `self == rhs`
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+    /// `self != rhs`
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+    /// logical `self && rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+    /// logical `self || rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+    /// `sqrt(self)`
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(UnOp::Sqrt, Box::new(self))
+    }
+    /// `exp(self)`
+    pub fn exp(self) -> Expr {
+        Expr::Un(UnOp::Exp, Box::new(self))
+    }
+    /// `ln(self)`
+    pub fn log(self) -> Expr {
+        Expr::Un(UnOp::Log, Box::new(self))
+    }
+    /// `|self|`
+    pub fn abs(self) -> Expr {
+        Expr::Un(UnOp::Abs, Box::new(self))
+    }
+    /// `floor(self)`
+    pub fn floor(self) -> Expr {
+        Expr::Un(UnOp::Floor, Box::new(self))
+    }
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// `if self { t } else { e }`.
+    pub fn select(self, t: Expr, e: Expr) -> Expr {
+        Expr::Select(Box::new(self), Box::new(t), Box::new(e))
+    }
+
+    /// Visit every sub-expression (pre-order), *descending into nested
+    /// patterns' bodies as well*.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) | Expr::LengthOf(..) => {}
+            Expr::Read(_, idxs) => {
+                for i in idxs {
+                    i.visit(f);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Un(_, a) => a.visit(f),
+            Expr::Select(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Expr::Let(_, v, b) => {
+                v.visit(f);
+                b.visit(f);
+            }
+            Expr::Iterate { max, inits, cond, updates, result } => {
+                max.visit(f);
+                for (_, e) in inits {
+                    e.visit(f);
+                }
+                cond.visit(f);
+                for e in updates {
+                    e.visit(f);
+                }
+                result.visit(f);
+            }
+            Expr::Pat(p) => p.visit_exprs(f),
+        }
+    }
+
+    /// Count of scalar operation nodes (used for arithmetic-intensity
+    /// estimates). Does not descend into nested patterns.
+    pub fn op_count_shallow(&self) -> u64 {
+        let mut n = 0u64;
+        self.visit_shallow(&mut |e| {
+            if matches!(e, Expr::Bin(..) | Expr::Un(..) | Expr::Select(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Visit sub-expressions without entering nested patterns.
+    pub fn visit_shallow<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) | Expr::LengthOf(..) | Expr::Pat(_) => {}
+            Expr::Read(_, idxs) => {
+                for i in idxs {
+                    i.visit_shallow(f);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.visit_shallow(f);
+                b.visit_shallow(f);
+            }
+            Expr::Un(_, a) => a.visit_shallow(f),
+            Expr::Select(c, t, e) => {
+                c.visit_shallow(f);
+                t.visit_shallow(f);
+                e.visit_shallow(f);
+            }
+            Expr::Let(_, v, b) => {
+                v.visit_shallow(f);
+                b.visit_shallow(f);
+            }
+            Expr::Iterate { max, inits, cond, updates, result } => {
+                max.visit_shallow(f);
+                for (_, e) in inits {
+                    e.visit_shallow(f);
+                }
+                cond.visit_shallow(f);
+                for e in updates {
+                    e.visit_shallow(f);
+                }
+                result.visit_shallow(f);
+            }
+        }
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Lit(v)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::int(v)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+macro_rules! impl_expr_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs))
+            }
+        }
+    };
+}
+
+impl_expr_op!(Add, add, BinOp::Add);
+impl_expr_op!(Sub, sub, BinOp::Sub);
+impl_expr_op!(Mul, mul, BinOp::Mul);
+impl_expr_op!(Div, div, BinOp::Div);
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let e = Expr::var(VarId(0)) + Expr::lit(1.0) * Expr::lit(2.0);
+        match e {
+            Expr::Bin(BinOp::Add, a, b) => {
+                assert_eq!(*a, Expr::Var(VarId(0)));
+                assert!(matches!(*b, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let e = (Expr::var(VarId(0)) + Expr::lit(1.0)).sqrt();
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, 4); // sqrt, add, var, lit
+    }
+
+    #[test]
+    fn op_count_shallow_ignores_leaves() {
+        let e = Expr::var(VarId(0)) * Expr::lit(3.0) + Expr::lit(1.0);
+        assert_eq!(e.op_count_shallow(), 2);
+    }
+
+    #[test]
+    fn predicates_flagged() {
+        assert!(BinOp::Lt.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Expr::from(2i64), Expr::Lit(2.0));
+        assert_eq!(Expr::from(VarId(7)), Expr::Var(VarId(7)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Parallel-pattern intermediate representation.
+//!
+//! This crate implements the IR of Section III of *Locality-Aware Mapping of
+//! Nested Parallel Patterns on GPUs* (MICRO 2014): programs are nests of the
+//! six parallel patterns of Table I (`map`, `zipWith`, `foreach`, `filter`,
+//! `reduce`, `groupBy`) over a small scalar expression language, with
+//! symbolic sizes bound at launch time.
+//!
+//! The crate also provides the analyses the mapping framework consumes
+//! ([`NestInfo`], [`collect_accesses`]) and a sequential [reference
+//! interpreter](interpret) used as a correctness oracle.
+//!
+//! # Examples
+//!
+//! `sumCols`/`sumRows` from Figure 1 of the paper:
+//!
+//! ```
+//! use multidim_ir::*;
+//! use std::collections::HashMap;
+//!
+//! // sumCols = m mapCols { c => c reduce { (a,b) => a + b } }
+//! let mut b = ProgramBuilder::new("sumCols");
+//! let r = b.sym("R");
+//! let c = b.sym("C");
+//! let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+//! let root = b.map(Size::sym(c), |b, col| {
+//!     b.reduce(Size::sym(r), ReduceOp::Add, |b, row| {
+//!         b.read(m, &[row.into(), col.into()])
+//!     })
+//! });
+//! let program = b.finish_map(root, "sums", ScalarKind::F32)?;
+//!
+//! // Execute on the reference interpreter.
+//! let mut bind = Bindings::new();
+//! bind.bind(r, 2);
+//! bind.bind(c, 3);
+//! let inputs: HashMap<_, _> = [(m, vec![1., 2., 3., 4., 5., 6.])].into_iter().collect();
+//! let result = interpret(&program, &bind, &inputs)?;
+//! assert_eq!(result.array(program.output.unwrap()).data, vec![5., 7., 9.]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod access;
+mod affine;
+mod builder;
+mod expr;
+mod interp;
+mod pattern;
+mod pretty;
+mod program;
+mod size;
+mod types;
+
+pub use access::{collect_accesses, Access, ChainLink, LevelInfo, LevelPattern, NestInfo};
+pub use affine::{affine_of, linearize, AffineForm};
+pub use builder::{produced_shape, ProgramBuilder};
+pub use expr::{BinOp, Expr, ReadSrc, UnOp, VarId};
+pub use interp::{apply_bin, apply_un, interpret, ArrVal, CostCounters, InterpError, InterpResult, Val};
+pub use pattern::{
+    collect_immediate_patterns, Body, Effect, Pattern, PatternId, PatternKind, ReduceOp,
+};
+pub use pretty::{expr as pretty_expr, pretty};
+pub use program::{ArrayDecl, ArrayId, ArrayRole, Program, SymDecl, ValidateError};
+pub use size::{Bindings, Size, SymId, DEFAULT_UNKNOWN_SIZE};
+pub use types::ScalarKind;

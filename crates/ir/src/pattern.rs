@@ -1,0 +1,388 @@
+//! Parallel patterns (Table I of the paper).
+//!
+//! Each pattern binds an index variable ranging over `0..size` and carries a
+//! body. Bodies may contain further patterns, giving the *nested* structure
+//! whose mapping is the subject of the paper. `zipWith` is provided by the
+//! builder as sugar over [`PatternKind::Map`] (a map whose body reads two
+//! collections at the same index), which is also how the paper's own IR
+//! treats it for mapping purposes.
+
+use crate::expr::{Expr, VarId};
+use crate::program::ArrayId;
+use crate::size::Size;
+
+/// Associative combine functions accepted by `Reduce` and `GroupBy`.
+///
+/// Restricting combines to a known-associative set is what lets the code
+/// generator emit tree reductions in shared memory and cross-block combiner
+/// kernels without a general function-inverter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum; identity 0.
+    Add,
+    /// Product; identity 1.
+    Mul,
+    /// Minimum; identity +inf.
+    Min,
+    /// Maximum; identity -inf.
+    Max,
+}
+
+impl ReduceOp {
+    /// The identity element of the combine.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Add => 0.0,
+            ReduceOp::Mul => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Apply the combine to two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Add => a + b,
+            ReduceOp::Mul => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// A side effect performed by a `Foreach` body for each index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// `if cond { array[idx...] = value }` (cond of `None` is unconditional).
+    Write {
+        /// Guard; the write happens only when it evaluates non-zero.
+        cond: Option<Expr>,
+        /// Destination array.
+        array: ArrayId,
+        /// Logical indices.
+        idx: Vec<Expr>,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `array[idx...] <combine>= value` performed atomically (used by
+    /// `GroupBy` lowering and scatter-accumulate workloads).
+    AtomicRmw {
+        /// Guard, as for `Write`.
+        cond: Option<Expr>,
+        /// Destination array.
+        array: ArrayId,
+        /// Logical indices.
+        idx: Vec<Expr>,
+        /// Combine function.
+        op: ReduceOp,
+        /// Operand.
+        value: Expr,
+    },
+    /// A nested pattern executed for its effects (e.g. an inner `Foreach`).
+    Nested(Pattern),
+    /// Bind a scalar for use by subsequent effects.
+    LetScalar(VarId, Expr),
+}
+
+/// The computation a pattern performs per index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A value-producing body (`Map`, `Reduce`, `Filter`, `GroupBy`).
+    Value(Expr),
+    /// An effect list (`Foreach`).
+    Effects(Vec<Effect>),
+}
+
+/// Which parallel pattern (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternKind {
+    /// Construct a collection by applying the body to every index.
+    Map,
+    /// Combine the body's value over all indices with an associative `op`.
+    Reduce {
+        /// The associative combine.
+        op: ReduceOp,
+    },
+    /// Apply an effectful body to every index; produces no value.
+    Foreach,
+    /// Keep body values whose predicate holds; produces a *dynamically
+    /// sized* collection (a hard case for mapping, per Section III).
+    Filter {
+        /// The predicate; evaluated per index.
+        pred: Expr,
+    },
+    /// Key-wise reduction: combine each index's value into bucket
+    /// `key(index)` of `0..num_keys`.
+    GroupBy {
+        /// Bucket index expression (integral, `0..num_keys`).
+        key: Expr,
+        /// Number of buckets.
+        num_keys: Size,
+        /// The associative combine applied within a bucket.
+        op: ReduceOp,
+    },
+}
+
+impl PatternKind {
+    /// Whether correct parallel execution of this pattern requires
+    /// synchronization across all its iterations (the hard-constraint
+    /// trigger for `Span(all)` in Table II, "e.g. Reduce").
+    ///
+    /// `Filter` and `GroupBy` combine with device-wide atomics in our code
+    /// generator, so they place no span requirement.
+    pub fn needs_global_sync(&self) -> bool {
+        matches!(self, PatternKind::Reduce { .. })
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternKind::Map => "map",
+            PatternKind::Reduce { .. } => "reduce",
+            PatternKind::Foreach => "foreach",
+            PatternKind::Filter { .. } => "filter",
+            PatternKind::GroupBy { .. } => "groupBy",
+        }
+    }
+}
+
+/// Identifier of a pattern instance within a program (assigned by the
+/// builder in construction order; stable across analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u32);
+
+/// One parallel pattern instance.
+///
+/// # Examples
+///
+/// Patterns are normally built with [`crate::ProgramBuilder`]; see the crate
+/// docs for the `sumRows` example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Stable identifier.
+    pub id: PatternId,
+    /// Which pattern this is.
+    pub kind: PatternKind,
+    /// Iteration extent used for analysis. When [`Pattern::dyn_extent`] is
+    /// set this must be a [`Size::Dynamic`] estimate.
+    pub size: Size,
+    /// Data-dependent extent, evaluated in the *enclosing* scope (e.g. a
+    /// CSR node's degree `row_ptr[n+1] - row_ptr[n]`). Such patterns force
+    /// the conservative `Span(all)` because the launch configuration cannot
+    /// depend on them (Section IV-A).
+    pub dyn_extent: Option<Expr>,
+    /// The bound index variable.
+    pub var: VarId,
+    /// Per-index computation.
+    pub body: Body,
+}
+
+impl Pattern {
+    /// Visit all expressions contained in this pattern (body, predicates,
+    /// keys, effects), recursively including nested patterns'.
+    pub fn visit_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        if let Some(e) = &self.dyn_extent {
+            e.visit(f);
+        }
+        match &self.kind {
+            PatternKind::Filter { pred } => pred.visit(f),
+            PatternKind::GroupBy { key, .. } => key.visit(f),
+            _ => {}
+        }
+        match &self.body {
+            Body::Value(e) => e.visit(f),
+            Body::Effects(effs) => {
+                for eff in effs {
+                    match eff {
+                        Effect::Write { cond, idx, value, .. }
+                        | Effect::AtomicRmw { cond, idx, value, .. } => {
+                            if let Some(c) = cond {
+                                c.visit(f);
+                            }
+                            for i in idx {
+                                i.visit(f);
+                            }
+                            value.visit(f);
+                        }
+                        Effect::Nested(p) => p.visit_exprs(f),
+                        Effect::LetScalar(_, e) => e.visit(f),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit this pattern and every nested pattern, with nesting level
+    /// (0 = this pattern).
+    pub fn visit_patterns<'a>(&'a self, f: &mut impl FnMut(&'a Pattern, usize)) {
+        self.visit_patterns_at(0, &mut |p, l| f(p, l));
+    }
+
+    fn visit_patterns_at<'a>(&'a self, level: usize, f: &mut dyn FnMut(&'a Pattern, usize)) {
+        f(self, level);
+        let walk_expr = |e: &'a Expr, f: &mut dyn FnMut(&'a Pattern, usize)| {
+            collect_immediate_patterns(e, &mut |p| p.visit_patterns_at(level + 1, f));
+        };
+        match &self.body {
+            Body::Value(e) => walk_expr(e, f),
+            Body::Effects(effs) => {
+                for eff in effs {
+                    match eff {
+                        Effect::Write { cond, idx, value, .. }
+                        | Effect::AtomicRmw { cond, idx, value, .. } => {
+                            if let Some(c) = cond {
+                                walk_expr(c, f);
+                            }
+                            for i in idx {
+                                walk_expr(i, f);
+                            }
+                            walk_expr(value, f);
+                        }
+                        Effect::Nested(p) => p.visit_patterns_at(level + 1, f),
+                        Effect::LetScalar(_, e) => walk_expr(e, f),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Invoke `f` on each pattern that appears *immediately* inside `e`
+/// (not inside further-nested patterns).
+pub fn collect_immediate_patterns<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Pattern)) {
+    match e {
+        Expr::Pat(p) => f(p),
+        Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) | Expr::LengthOf(..) => {}
+        Expr::Read(_, idxs) => {
+            for i in idxs {
+                collect_immediate_patterns(i, f);
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            collect_immediate_patterns(a, f);
+            collect_immediate_patterns(b, f);
+        }
+        Expr::Un(_, a) => collect_immediate_patterns(a, f),
+        Expr::Select(c, t, el) => {
+            collect_immediate_patterns(c, f);
+            collect_immediate_patterns(t, f);
+            collect_immediate_patterns(el, f);
+        }
+        Expr::Let(_, v, b) => {
+            collect_immediate_patterns(v, f);
+            collect_immediate_patterns(b, f);
+        }
+        Expr::Iterate { max, inits, cond, updates, result } => {
+            collect_immediate_patterns(max, f);
+            for (_, e) in inits {
+                collect_immediate_patterns(e, f);
+            }
+            collect_immediate_patterns(cond, f);
+            for e in updates {
+                collect_immediate_patterns(e, f);
+            }
+            collect_immediate_patterns(result, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn leaf_map(id: u32, var: u32) -> Pattern {
+        Pattern {
+            id: PatternId(id),
+            kind: PatternKind::Map,
+            size: Size::from(4),
+            dyn_extent: None,
+            var: VarId(var),
+            body: Body::Value(Expr::var(VarId(var))),
+        }
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Add.identity(), 0.0);
+        assert_eq!(ReduceOp::Mul.identity(), 1.0);
+        assert_eq!(ReduceOp::Min.identity(), f64::INFINITY);
+        assert_eq!(ReduceOp::Max.identity(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reduce_apply() {
+        assert_eq!(ReduceOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Mul.apply(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn sync_requirements() {
+        assert!(PatternKind::Reduce { op: ReduceOp::Add }.needs_global_sync());
+        assert!(!PatternKind::Map.needs_global_sync());
+        assert!(!PatternKind::Foreach.needs_global_sync());
+        // Filter/GroupBy lower with atomics: no span requirement.
+        assert!(!PatternKind::Filter { pred: Expr::lit(1.0) }.needs_global_sync());
+    }
+
+    #[test]
+    fn visit_patterns_reports_levels() {
+        let inner = leaf_map(1, 1);
+        let outer = Pattern {
+            id: PatternId(0),
+            kind: PatternKind::Map,
+            size: Size::from(8),
+            dyn_extent: None,
+            var: VarId(0),
+            body: Body::Value(Expr::Pat(Box::new(inner))),
+        };
+        let mut seen = Vec::new();
+        outer.visit_patterns(&mut |p, lvl| seen.push((p.id, lvl)));
+        assert_eq!(seen, vec![(PatternId(0), 0), (PatternId(1), 1)]);
+    }
+
+    #[test]
+    fn nested_inside_let_found() {
+        let inner = leaf_map(1, 1);
+        let outer = Pattern {
+            id: PatternId(0),
+            kind: PatternKind::Map,
+            size: Size::from(8),
+            dyn_extent: None,
+            var: VarId(0),
+            body: Body::Value(Expr::Let(
+                VarId(2),
+                Box::new(Expr::Pat(Box::new(inner))),
+                Box::new(Expr::var(VarId(2))),
+            )),
+        };
+        let mut count = 0;
+        outer.visit_patterns(&mut |_, _| count += 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn foreach_nested_effects() {
+        let inner = Pattern {
+            id: PatternId(1),
+            kind: PatternKind::Foreach,
+            size: Size::from(4),
+            dyn_extent: None,
+            var: VarId(1),
+            body: Body::Effects(vec![]),
+        };
+        let outer = Pattern {
+            id: PatternId(0),
+            kind: PatternKind::Foreach,
+            size: Size::from(4),
+            dyn_extent: None,
+            var: VarId(0),
+            body: Body::Effects(vec![Effect::Nested(inner)]),
+        };
+        let mut levels = Vec::new();
+        outer.visit_patterns(&mut |p, l| levels.push((p.id.0, l)));
+        assert_eq!(levels, vec![(0, 0), (1, 1)]);
+    }
+}

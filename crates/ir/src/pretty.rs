@@ -1,0 +1,272 @@
+//! Human-readable rendering of programs (for diagnostics and docs).
+
+use crate::expr::{BinOp, Expr, ReadSrc, UnOp};
+use crate::pattern::{Body, Effect, Pattern, PatternKind};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Render a program as indented pseudo-code close to the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use multidim_ir::{pretty, ProgramBuilder, ReduceOp, ScalarKind, Size};
+///
+/// let mut b = ProgramBuilder::new("sum");
+/// let n = b.sym("N");
+/// let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+/// let root = b.reduce(Size::sym(n), ReduceOp::Add, |b, i| b.read(a, &[i.into()]));
+/// let p = b.finish_reduce(root, "total", ScalarKind::F32).unwrap();
+/// let text = pretty(&p);
+/// assert!(text.contains("reduce"));
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "program {} {{", program.name);
+    for a in &program.arrays {
+        let dims: Vec<String> = a.shape.iter().map(|d| d.to_string()).collect();
+        let _ = writeln!(s, "  {:?} {}: {}[{}]", a.role, a.name, a.elem, dims.join(", "));
+    }
+    pattern(&mut s, &program.root, 1);
+    s.push_str("}\n");
+    s
+}
+
+fn pattern(s: &mut String, p: &Pattern, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let ext = match &p.dyn_extent {
+        Some(e) => format!("dyn[{}]", expr(e)),
+        None => p.size.to_string(),
+    };
+    let _ = writeln!(s, "{pad}{}#{} v{} in 0..{ext} {{", p.kind.name(), p.id.0, p.var.0);
+    match &p.kind {
+        PatternKind::Filter { pred } => {
+            let _ = writeln!(s, "{pad}  where {}", expr(pred));
+        }
+        PatternKind::GroupBy { key, num_keys, .. } => {
+            let _ = writeln!(s, "{pad}  key {} into {}", expr(key), num_keys);
+        }
+        _ => {}
+    }
+    match &p.body {
+        Body::Value(e) => body_expr(s, e, indent + 1),
+        Body::Effects(effs) => {
+            for eff in effs {
+                effect(s, eff, indent + 1);
+            }
+        }
+    }
+    let _ = writeln!(s, "{pad}}}");
+}
+
+fn body_expr(s: &mut String, e: &Expr, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match e {
+        Expr::Pat(p) => pattern(s, p, indent),
+        Expr::Let(v, val, body) => {
+            if let Expr::Pat(p) = &**val {
+                let _ = writeln!(s, "{pad}let v{} =", v.0);
+                pattern(s, p, indent + 1);
+            } else {
+                let _ = writeln!(s, "{pad}let v{} = {}", v.0, expr(val));
+            }
+            body_expr(s, body, indent);
+        }
+        other => {
+            let _ = writeln!(s, "{pad}{}", expr(other));
+        }
+    }
+}
+
+fn effect(s: &mut String, eff: &Effect, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match eff {
+        Effect::Write { cond, array, idx, value } => {
+            let idxs: Vec<String> = idx.iter().map(expr).collect();
+            let guard = cond.as_ref().map(|c| format!("if {} ", expr(c))).unwrap_or_default();
+            let _ = writeln!(s, "{pad}{guard}a{}[{}] = {}", array.0, idxs.join(", "), expr(value));
+        }
+        Effect::AtomicRmw { cond, array, idx, op, value } => {
+            let idxs: Vec<String> = idx.iter().map(expr).collect();
+            let guard = cond.as_ref().map(|c| format!("if {} ", expr(c))).unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "{pad}{guard}atomic a{}[{}] {op:?}= {}",
+                array.0,
+                idxs.join(", "),
+                expr(value)
+            );
+        }
+        Effect::Nested(p) => pattern(s, p, indent),
+        Effect::LetScalar(v, e) => {
+            let _ = writeln!(s, "{pad}let v{} = {}", v.0, expr(e));
+        }
+    }
+}
+
+/// Render a single expression compactly.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(v) => format!("v{}", v.0),
+        Expr::SizeOf(s) => format!("{s}"),
+        Expr::LengthOf(src, d) => format!("len({}, {d})", src_name(src)),
+        Expr::Read(src, idx) => {
+            let idxs: Vec<String> = idx.iter().map(expr).collect();
+            format!("{}[{}]", src_name(src), idxs.join(", "))
+        }
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), bin_name(*op), expr(b)),
+        Expr::Un(op, a) => format!("{}({})", un_name(*op), expr(a)),
+        Expr::Select(c, t, f) => format!("({} ? {} : {})", expr(c), expr(t), expr(f)),
+        Expr::Let(v, val, body) => format!("let v{} = {} in {}", v.0, expr(val), expr(body)),
+        Expr::Iterate { max, .. } => format!("iterate(max={})", expr(max)),
+        Expr::Pat(p) => format!("{}#{}", p.kind.name(), p.id.0),
+    }
+}
+
+fn src_name(src: &ReadSrc) -> String {
+    match src {
+        ReadSrc::Array(a) => format!("a{}", a.0),
+        ReadSrc::Var(v) => format!("v{}", v.0),
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn un_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Exp => "exp",
+        UnOp::Log => "log",
+        UnOp::Abs => "abs",
+        UnOp::Floor => "floor",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::pattern::ReduceOp;
+    use crate::size::Size;
+    use crate::types::ScalarKind;
+
+    #[test]
+    fn renders_nested_structure() {
+        let mut b = ProgramBuilder::new("sumRows");
+        let r = b.sym("R");
+        let c = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+        let root = b.map(Size::sym(r), |b, row| {
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("map#0"));
+        assert!(text.contains("reduce#1"));
+        assert!(text.contains("a0[v0, v1]"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::pattern::{Effect, ReduceOp};
+    use crate::size::Size;
+    use crate::types::ScalarKind;
+
+    #[test]
+    fn renders_foreach_effects() {
+        let mut b = ProgramBuilder::new("scatter");
+        let n = b.sym("N");
+        let src = b.input("src", ScalarKind::I32, &[Size::sym(n)]);
+        let dst = b.output("dst", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.foreach(Size::sym(n), |b, i| {
+            let v = b.read(src, &[i.into()]);
+            vec![
+                Effect::Write {
+                    cond: Some(v.clone().gt(Expr::lit(0.0))),
+                    array: dst,
+                    idx: vec![i.into()],
+                    value: v.clone(),
+                },
+                Effect::AtomicRmw {
+                    cond: None,
+                    array: dst,
+                    idx: vec![Expr::int(0)],
+                    op: ReduceOp::Max,
+                    value: v,
+                },
+            ]
+        });
+        let p = b.finish_foreach(root).unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("foreach#0"), "{text}");
+        assert!(text.contains("if "), "{text}");
+        assert!(text.contains("atomic"), "{text}");
+        assert!(text.contains("Max="), "{text}");
+    }
+
+    #[test]
+    fn renders_filter_and_group_by() {
+        let mut b = ProgramBuilder::new("fg");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.filter(Size::sym(n), |b, i| {
+            let e = b.read(a, &[i.into()]);
+            (e.clone().gt(Expr::lit(0.5)), e)
+        });
+        let p = b.finish_filter(root, "kept", ScalarKind::F32).unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("filter#0"), "{text}");
+        assert!(text.contains("where "), "{text}");
+
+        let mut b2 = ProgramBuilder::new("h");
+        let n2 = b2.sym("N");
+        let k = b2.input("k", ScalarKind::I32, &[Size::sym(n2)]);
+        let root2 = b2.group_by(Size::sym(n2), Size::from(8), ReduceOp::Add, |b, i| {
+            (b.read(k, &[i.into()]), Expr::lit(1.0))
+        });
+        let p2 = b2.finish_group_by(root2, "h", ScalarKind::F32).unwrap();
+        let text2 = pretty(&p2);
+        assert!(text2.contains("groupBy#0"), "{text2}");
+        assert!(text2.contains("key "), "{text2}");
+    }
+
+    #[test]
+    fn renders_iterate_and_operators() {
+        let e = Expr::var(crate::VarId(0)).min(Expr::lit(3.0)).sqrt();
+        assert_eq!(expr(&e), "sqrt((v0 min 3))");
+        let sel = Expr::lit(1.0).select(Expr::lit(2.0), Expr::lit(3.0));
+        assert_eq!(expr(&sel), "(1 ? 2 : 3)");
+        let len = Expr::LengthOf(crate::expr::ReadSrc::Array(crate::program::ArrayId(2)), 1);
+        assert_eq!(expr(&len), "len(a2, 1)");
+    }
+}

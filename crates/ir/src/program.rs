@@ -1,0 +1,398 @@
+//! Whole-program container: array declarations, size symbols, and the root
+//! pattern nest.
+
+use crate::expr::{Expr, ReadSrc, VarId};
+use crate::pattern::{Body, Effect, Pattern, PatternKind};
+use crate::size::{Bindings, Size, SymId};
+use crate::types::ScalarKind;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a declared array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// How an array participates in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayRole {
+    /// Provided by the host before launch (charged for PCIe transfer when
+    /// the experiment includes it).
+    Input,
+    /// Produced by the root pattern (or written by `Foreach` effects).
+    Output,
+    /// Device-resident scratch that persists across kernels of the same
+    /// program (e.g. `Split` partial buffers, preallocated temporaries).
+    Temp,
+}
+
+/// A declared array: name, element kind, logical shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Unique id.
+    pub id: ArrayId,
+    /// Host-visible name.
+    pub name: String,
+    /// Element type (determines byte width for traffic accounting).
+    pub elem: ScalarKind,
+    /// Logical shape; linearized row-major.
+    pub shape: Vec<Size>,
+    /// Role.
+    pub role: ArrayRole,
+}
+
+impl ArrayDecl {
+    /// Total element count under `bindings`.
+    pub fn len(&self, bindings: &Bindings) -> usize {
+        self.shape.iter().map(|s| s.eval(bindings) as usize).product()
+    }
+
+    /// `true` when any dimension evaluates to zero.
+    pub fn is_empty(&self, bindings: &Bindings) -> bool {
+        self.len(bindings) == 0
+    }
+
+    /// Total bytes under `bindings`.
+    pub fn bytes(&self, bindings: &Bindings) -> u64 {
+        self.len(bindings) as u64 * self.elem.bytes()
+    }
+}
+
+/// A named size symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymDecl {
+    /// Unique id.
+    pub id: SymId,
+    /// Host-visible name.
+    pub name: String,
+}
+
+/// A complete pattern program: one nested-pattern computation that the
+/// pipeline compiles to one kernel group.
+///
+/// Host-side algorithms that launch many kernels (iterative stencils,
+/// Gaussian elimination steps) are sequences of `Program`s driven by the
+/// `multidim` pipeline.
+///
+/// # Examples
+///
+/// See [`crate::ProgramBuilder`] for construction; `Program::validate` is
+/// run automatically by the builder's `finish` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Diagnostic name.
+    pub name: String,
+    /// Size symbols in id order.
+    pub symbols: Vec<SymDecl>,
+    /// Arrays in id order.
+    pub arrays: Vec<ArrayDecl>,
+    /// The outermost pattern.
+    pub root: Pattern,
+    /// Where the root's produced collection is stored. `None` for `Foreach`
+    /// roots (all effects write declared arrays directly).
+    pub output: Option<ArrayId>,
+    /// For `Filter` roots: the array receiving the kept-element count.
+    pub output_count: Option<ArrayId>,
+    /// Number of variables allocated (vars are `0..var_count`).
+    pub var_count: u32,
+    /// Number of patterns allocated (ids are `0..pattern_count`).
+    pub pattern_count: u32,
+}
+
+/// A structural defect found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(pub String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Look up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared in this program.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Find an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Find a symbol by name.
+    pub fn symbol_by_name(&self, name: &str) -> Option<&SymDecl> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Maximum nesting depth (a single un-nested pattern has depth 1).
+    pub fn nest_depth(&self) -> usize {
+        let mut depth = 0;
+        self.root.visit_patterns(&mut |_, lvl| depth = depth.max(lvl + 1));
+        depth
+    }
+
+    /// Structural validation: every read/write targets a declared array,
+    /// every variable reference is in scope, pattern ids are unique, and the
+    /// output declaration is consistent with the root pattern kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        // Unique pattern ids.
+        let mut ids = HashSet::new();
+        let mut dup = None;
+        self.root.visit_patterns(&mut |p, _| {
+            if !ids.insert(p.id) {
+                dup = Some(p.id);
+            }
+        });
+        if let Some(d) = dup {
+            return Err(ValidateError(format!("duplicate pattern id {d:?}")));
+        }
+
+        // Output consistency.
+        match (&self.root.kind, self.output) {
+            (PatternKind::Foreach, Some(_)) => {
+                return Err(ValidateError("foreach root cannot have an output array".into()))
+            }
+            (PatternKind::Foreach, None) => {}
+            (_, None) => {
+                return Err(ValidateError(format!(
+                    "{} root requires an output array",
+                    self.root.kind.name()
+                )))
+            }
+            (_, Some(out)) => {
+                if out.0 as usize >= self.arrays.len() {
+                    return Err(ValidateError(format!("undeclared output array {out:?}")));
+                }
+            }
+        }
+        if let Some(c) = self.output_count {
+            if c.0 as usize >= self.arrays.len() {
+                return Err(ValidateError(format!("undeclared count array {c:?}")));
+            }
+            if !matches!(self.root.kind, PatternKind::Filter { .. }) {
+                return Err(ValidateError("output_count only valid for filter roots".into()));
+            }
+        }
+
+        // Scope check.
+        let mut scope: Vec<VarId> = Vec::new();
+        self.check_pattern(&self.root, &mut scope)
+    }
+
+    fn check_pattern(&self, p: &Pattern, scope: &mut Vec<VarId>) -> Result<(), ValidateError> {
+        // The dynamic extent is evaluated in the enclosing scope, before the
+        // pattern's own index variable exists.
+        if let Some(ext) = &p.dyn_extent {
+            self.check_expr(ext, scope)?;
+            if !p.size.is_dynamic() {
+                return Err(ValidateError(format!(
+                    "pattern {:?} has a dynamic extent but a static analysis size",
+                    p.id
+                )));
+            }
+        }
+        scope.push(p.var);
+        let r = (|| {
+            match &p.kind {
+                PatternKind::Filter { pred } => self.check_expr(pred, scope)?,
+                PatternKind::GroupBy { key, .. } => self.check_expr(key, scope)?,
+                _ => {}
+            }
+            match &p.body {
+                Body::Value(e) => self.check_expr(e, scope)?,
+                Body::Effects(effs) => {
+                    let mut extra = 0usize;
+                    for eff in effs {
+                        match eff {
+                            Effect::Write { cond, array, idx, value }
+                            | Effect::AtomicRmw { cond, array, idx, value, .. } => {
+                                if array.0 as usize >= self.arrays.len() {
+                                    return Err(ValidateError(format!(
+                                        "write to undeclared array {array:?}"
+                                    )));
+                                }
+                                let decl = self.array(*array);
+                                if decl.shape.len() != idx.len() {
+                                    return Err(ValidateError(format!(
+                                        "array `{}` has rank {} but write uses {} indices",
+                                        decl.name,
+                                        decl.shape.len(),
+                                        idx.len()
+                                    )));
+                                }
+                                if let Some(c) = cond {
+                                    self.check_expr(c, scope)?;
+                                }
+                                for i in idx {
+                                    self.check_expr(i, scope)?;
+                                }
+                                self.check_expr(value, scope)?;
+                            }
+                            Effect::Nested(inner) => self.check_pattern(inner, scope)?,
+                            Effect::LetScalar(v, e) => {
+                                self.check_expr(e, scope)?;
+                                scope.push(*v);
+                                extra += 1;
+                            }
+                        }
+                    }
+                    for _ in 0..extra {
+                        scope.pop();
+                    }
+                }
+            }
+            Ok(())
+        })();
+        scope.pop();
+        r
+    }
+
+    fn check_expr(&self, e: &Expr, scope: &mut Vec<VarId>) -> Result<(), ValidateError> {
+        match e {
+            Expr::Lit(_) | Expr::SizeOf(_) => Ok(()),
+            Expr::Var(v) => {
+                if scope.contains(v) {
+                    Ok(())
+                } else {
+                    Err(ValidateError(format!("variable {v:?} used out of scope")))
+                }
+            }
+            Expr::LengthOf(src, _) => match src {
+                ReadSrc::Array(a) if (a.0 as usize) < self.arrays.len() => Ok(()),
+                ReadSrc::Array(a) => Err(ValidateError(format!("length of undeclared array {a:?}"))),
+                ReadSrc::Var(v) if scope.contains(v) => Ok(()),
+                ReadSrc::Var(v) => Err(ValidateError(format!("length of out-of-scope var {v:?}"))),
+            },
+            Expr::Read(src, idxs) => {
+                match src {
+                    ReadSrc::Array(a) => {
+                        if a.0 as usize >= self.arrays.len() {
+                            return Err(ValidateError(format!("read of undeclared array {a:?}")));
+                        }
+                        let decl = self.array(*a);
+                        if decl.shape.len() != idxs.len() {
+                            return Err(ValidateError(format!(
+                                "array `{}` has rank {} but read uses {} indices",
+                                decl.name,
+                                decl.shape.len(),
+                                idxs.len()
+                            )));
+                        }
+                    }
+                    ReadSrc::Var(v) => {
+                        if !scope.contains(v) {
+                            return Err(ValidateError(format!(
+                                "read of out-of-scope collection {v:?}"
+                            )));
+                        }
+                    }
+                }
+                for i in idxs {
+                    self.check_expr(i, scope)?;
+                }
+                Ok(())
+            }
+            Expr::Bin(_, a, b) => {
+                self.check_expr(a, scope)?;
+                self.check_expr(b, scope)
+            }
+            Expr::Un(_, a) => self.check_expr(a, scope),
+            Expr::Select(c, t, el) => {
+                self.check_expr(c, scope)?;
+                self.check_expr(t, scope)?;
+                self.check_expr(el, scope)
+            }
+            Expr::Let(v, val, body) => {
+                self.check_expr(val, scope)?;
+                scope.push(*v);
+                let r = self.check_expr(body, scope);
+                scope.pop();
+                r
+            }
+            Expr::Iterate { max, inits, cond, updates, result } => {
+                self.check_expr(max, scope)?;
+                for (_, init) in inits {
+                    self.check_expr(init, scope)?;
+                }
+                let n = inits.len();
+                for (v, _) in inits {
+                    scope.push(*v);
+                }
+                let r = (|| {
+                    self.check_expr(cond, scope)?;
+                    if updates.len() != inits.len() {
+                        return Err(ValidateError(format!(
+                            "iterate has {} state vars but {} updates",
+                            inits.len(),
+                            updates.len()
+                        )));
+                    }
+                    for u in updates {
+                        self.check_expr(u, scope)?;
+                    }
+                    self.check_expr(result, scope)
+                })();
+                for _ in 0..n {
+                    scope.pop();
+                }
+                r
+            }
+            Expr::Pat(p) => self.check_pattern(p, scope),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn nest_depth_of_two_level_map() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.sym("R");
+        let c = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+        let root = b.map(Size::sym(r), |b, i| {
+            b.reduce(Size::sym(c), crate::ReduceOp::Add, |b, j| b.read(m, &[i.into(), j.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        assert_eq!(p.nest_depth(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rank() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.sym("N");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(n), Size::sym(n)]);
+        // Read a rank-2 array with 1 index: invalid.
+        let root = b.map(Size::sym(n), |b, i| b.read(m, &[i.into()]));
+        let err = b.finish_map(root, "out", ScalarKind::F32).unwrap_err();
+        assert!(err.0.contains("rank"));
+    }
+
+    #[test]
+    fn array_len_and_bytes() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F64, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| b.read(a, &[i.into()]));
+        let p = b.finish_map(root, "out", ScalarKind::F64).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 10);
+        let d = p.array_by_name("a").unwrap();
+        assert_eq!(d.len(&bind), 10);
+        assert_eq!(d.bytes(&bind), 80);
+        assert!(!d.is_empty(&bind));
+    }
+}

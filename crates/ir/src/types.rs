@@ -1,0 +1,92 @@
+//! Scalar element types.
+
+use std::fmt;
+
+/// Element type of an array in the IR.
+///
+/// The reference interpreter and the simulator compute in `f64` regardless of
+/// the declared kind; the kind determines the *byte width* used for memory
+/// traffic accounting (coalescing, bandwidth) and is carried through to CUDA
+/// source emission.
+///
+/// # Examples
+///
+/// ```
+/// use multidim_ir::ScalarKind;
+///
+/// assert_eq!(ScalarKind::F32.bytes(), 4);
+/// assert_eq!(ScalarKind::F64.bytes(), 8);
+/// assert_eq!(ScalarKind::F32.to_string(), "float");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScalarKind {
+    /// 32-bit IEEE float (`float`).
+    #[default]
+    F32,
+    /// 64-bit IEEE float (`double`).
+    F64,
+    /// 32-bit signed integer (`int`).
+    I32,
+    /// 64-bit signed integer (`long long`).
+    I64,
+    /// Boolean stored as one byte (`bool`).
+    Bool,
+}
+
+impl ScalarKind {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            ScalarKind::F32 | ScalarKind::I32 => 4,
+            ScalarKind::F64 | ScalarKind::I64 => 8,
+            ScalarKind::Bool => 1,
+        }
+    }
+
+    /// `true` for the floating-point kinds.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarKind::F32 | ScalarKind::F64)
+    }
+}
+
+impl fmt::Display for ScalarKind {
+    /// Formats as the corresponding CUDA C type name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarKind::F32 => "float",
+            ScalarKind::F64 => "double",
+            ScalarKind::I32 => "int",
+            ScalarKind::I64 => "long long",
+            ScalarKind::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(ScalarKind::F32.bytes(), 4);
+        assert_eq!(ScalarKind::F64.bytes(), 8);
+        assert_eq!(ScalarKind::I32.bytes(), 4);
+        assert_eq!(ScalarKind::I64.bytes(), 8);
+        assert_eq!(ScalarKind::Bool.bytes(), 1);
+    }
+
+    #[test]
+    fn float_predicate() {
+        assert!(ScalarKind::F32.is_float());
+        assert!(ScalarKind::F64.is_float());
+        assert!(!ScalarKind::I32.is_float());
+        assert!(!ScalarKind::Bool.is_float());
+    }
+
+    #[test]
+    fn cuda_names() {
+        assert_eq!(ScalarKind::I64.to_string(), "long long");
+        assert_eq!(ScalarKind::Bool.to_string(), "bool");
+    }
+}

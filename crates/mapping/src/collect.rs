@@ -1,0 +1,324 @@
+//! Constraint collection (Section IV-C).
+//!
+//! Walks the program's access summaries and nest structure and produces a
+//! [`ConstraintSet`]:
+//!
+//! * hard span requirements from pattern kinds (`Reduce`/`Filter`/`GroupBy`
+//!   need cross-iteration synchronization) and dynamic extents;
+//! * hard device limits (block threads, shared-memory capacity);
+//! * soft locality constraints: every access whose linearized address has
+//!   stride 1 in some pattern index wants that pattern's level on dimension
+//!   `x` with a warp-multiple block size, weighted by `intrinsic ×
+//!   execution count ÷ 2^branch-depth` (Figure 8's `α·I` vs `α·I·J`);
+//! * soft utilization constraints (minimum block threads, no idle threads).
+//!
+//! Accesses into compiler-preallocated temporaries (`flexible_layout`) are
+//! skipped: Section V-A chooses their physical layout *after* the mapping,
+//! so they impose no locality constraint.
+
+use crate::constraint::{
+    ConstraintSet, HardConstraint, SoftConstraint, SoftKind, SpanAllReason, Weights,
+};
+use multidim_device::GpuSpec;
+use multidim_ir::{collect_accesses, Bindings, NestInfo, Program};
+use std::collections::HashMap;
+
+/// Collect the constraint set for `program`.
+///
+/// `bindings` provides launch-time sizes where known; unknown symbols use
+/// the paper's default estimate of 1000 (Section IV-C).
+pub fn collect_constraints(
+    program: &Program,
+    nest: &NestInfo,
+    bindings: &Bindings,
+    gpu: &GpuSpec,
+    weights: &Weights,
+) -> ConstraintSet {
+    let mut cs = ConstraintSet::default();
+
+    // --- Hard: device limits -------------------------------------------
+    cs.hard.push(HardConstraint::MaxBlockThreads(gpu.max_threads_per_block));
+    cs.hard.push(HardConstraint::SmemCapacity {
+        bytes: gpu.smem_per_sm,
+        // One f64 accumulator slot per thread for block-level reductions.
+        bytes_per_thread: 8,
+    });
+
+    // --- Hard: span requirements per level ------------------------------
+    for (lvl, info) in nest.levels.iter().enumerate() {
+        if info.has_dynamic() {
+            cs.hard.push(HardConstraint::SpanAll { level: lvl, reason: SpanAllReason::DynamicSize });
+        }
+        if info.needs_sync() {
+            cs.hard
+                .push(HardConstraint::SpanAll { level: lvl, reason: SpanAllReason::Synchronization });
+        }
+    }
+    // Nested span-all levels cannot both be block-parallel (the inner
+    // barrier would sit under the outer's lane-dependent loop).
+    let forced: Vec<usize> = cs.span_all_levels().iter().map(|(l, _)| *l).collect();
+    for (i, &outer) in forced.iter().enumerate() {
+        for &inner in &forced[i + 1..] {
+            cs.hard.push(HardConstraint::NestedSyncExclusive {
+                outer: outer.min(inner),
+                inner: outer.max(inner),
+            });
+        }
+    }
+
+    // --- Soft: locality from accesses ------------------------------------
+    // Accumulate merged weights keyed by (constraint kind, level).
+    let mut dim_x: HashMap<usize, f64> = HashMap::new();
+    let mut warp_mult: HashMap<usize, f64> = HashMap::new();
+
+    for access in collect_accesses(program) {
+        if access.flexible_layout {
+            continue;
+        }
+        let exec = exec_count(&access, bindings);
+        for link in &access.chain {
+            match access.stride_for(link.var, bindings) {
+                Some(1) => {
+                    *dim_x.entry(link.level).or_insert(0.0) += weights.coalesce * exec;
+                    *warp_mult.entry(link.level).or_insert(0.0) += weights.warp_multiple * exec;
+                }
+                // Strided or invariant: no coalescing preference for this
+                // level from this access. Random (None): likewise.
+                _ => {}
+            }
+        }
+    }
+    for (level, weight) in dim_x {
+        cs.soft.push(SoftConstraint { kind: SoftKind::DimX { level }, weight });
+    }
+    for (level, weight) in warp_mult {
+        cs.soft.push(SoftConstraint { kind: SoftKind::WarpMultiple { level }, weight });
+    }
+
+    // --- Soft: utilization -----------------------------------------------
+    let root_extent = nest
+        .levels
+        .first()
+        .map(|l| l.representative_size().eval_or_default(bindings))
+        .unwrap_or(1) as f64;
+    cs.soft.push(SoftConstraint {
+        kind: SoftKind::MinBlockThreads { min: 64 },
+        weight: weights.min_block * root_extent,
+    });
+    cs.soft.push(SoftConstraint {
+        kind: SoftKind::ModerateBlock,
+        weight: weights.moderate_block * root_extent,
+    });
+
+    let mut cum = 1.0f64;
+    for (lvl, info) in nest.levels.iter().enumerate() {
+        let extent = info.representative_size().eval_or_default(bindings);
+        cum *= extent.max(1) as f64;
+        cs.soft.push(SoftConstraint {
+            kind: SoftKind::NoIdleThreads { level: lvl, extent },
+            weight: weights.no_idle * cum,
+        });
+    }
+
+    // Deterministic order for reproducible scoring/pretty-printing.
+    cs.soft.sort_by(|a, b| {
+        b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cs
+}
+
+/// Derived execution count of an access: product of enclosing extents ×
+/// sequential-loop trip factor ÷ 2 per enclosing branch (Section IV-C).
+fn exec_count(access: &multidim_ir::Access, bindings: &Bindings) -> f64 {
+    let mut n = 1.0f64;
+    for link in &access.chain {
+        n *= link.size.eval_or_default(bindings).max(1) as f64;
+    }
+    n *= access.iterate_factor.max(1) as f64;
+    n / 2f64.powi(access.branch_depth as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::SoftKind;
+    use multidim_ir::{Expr, ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn k20c() -> GpuSpec {
+        GpuSpec::tesla_k20c()
+    }
+
+    fn weights() -> Weights {
+        Weights::default()
+    }
+
+    fn sum_rows(r: i64, c: i64) -> (Program, Bindings) {
+        let mut b = ProgramBuilder::new("sumRows");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(rs), |b, row| {
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        (p, bind)
+    }
+
+    fn sum_cols(r: i64, c: i64) -> (Program, Bindings) {
+        let mut b = ProgramBuilder::new("sumCols");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(cs), |b, col| {
+            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        (p, bind)
+    }
+
+    fn dim_x_weight(cs: &ConstraintSet, level: usize) -> f64 {
+        cs.soft
+            .iter()
+            .filter(|s| matches!(s.kind, SoftKind::DimX { level: l } if l == level))
+            .map(|s| s.weight)
+            .sum()
+    }
+
+    #[test]
+    fn sum_rows_wants_inner_on_x() {
+        let (p, bind) = sum_rows(1024, 2048);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        // The matrix read is sequential in the inner (col) index: weight
+        // ~ 10 * R * C on level 1. The output store is sequential in the
+        // outer index: weight ~ 10 * R on level 0. Inner must dominate.
+        let w1 = dim_x_weight(&cs, 1);
+        let w0 = dim_x_weight(&cs, 0);
+        assert!(w1 > 0.0 && w0 > 0.0);
+        assert!(w1 > 100.0 * w0, "inner weight {w1} should dwarf outer {w0}");
+    }
+
+    #[test]
+    fn sum_cols_wants_outer_on_x() {
+        let (p, bind) = sum_cols(1024, 2048);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        // m[row*C + col] with the *outer* pattern over col: stride 1 in the
+        // outer var, stride C in the inner: level 0 gets the big weight.
+        let w0 = dim_x_weight(&cs, 0);
+        let w1 = dim_x_weight(&cs, 1);
+        assert!(w0 > 0.0);
+        assert_eq!(w1, 0.0, "row index is strided, no DimX want at level 1");
+    }
+
+    #[test]
+    fn reduce_level_gets_hard_span_all() {
+        let (p, bind) = sum_rows(64, 64);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        let spans = cs.span_all_levels();
+        assert_eq!(spans, vec![(1, SpanAllReason::Synchronization)]);
+    }
+
+    #[test]
+    fn figure8_weight_ordering() {
+        // Pattern1(I) reads a1[i]; Pattern2(J) nested reads a2[i, j]:
+        // conflicting DimX wants where level 1's weight is J times level
+        // 0's (Figure 8).
+        let mut b = ProgramBuilder::new("fig8");
+        let i_s = b.sym("I");
+        let j_s = b.sym("J");
+        let a1 = b.input("a1", ScalarKind::F32, &[Size::sym(i_s)]);
+        let a2 = b.input("a2", ScalarKind::F32, &[Size::sym(i_s), Size::sym(j_s)]);
+        let root = b.map(Size::sym(i_s), |b, i| {
+            let outer_read = b.read(a1, &[i.into()]);
+            let inner = b.reduce(Size::sym(j_s), ReduceOp::Add, |b, j| {
+                b.read(a2, &[i.into(), j.into()])
+            });
+            outer_read + inner
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(i_s, 100);
+        bind.bind(j_s, 50);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        let w0 = dim_x_weight(&cs, 0);
+        let w1 = dim_x_weight(&cs, 1);
+        // Level 0 want: a1[i] (α·I) + out[i] store (α·I) = 2·α·I.
+        // Level 1 want: a2 (α·I·J).
+        assert!((w1 / w0 - 50.0 / 2.0).abs() < 1e-9, "w1={w1} w0={w0}");
+    }
+
+    #[test]
+    fn branch_discount_halves_weight() {
+        let mut b = ProgramBuilder::new("branchy");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let g = b.input("g", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| {
+            let cond = b.read(g, &[i.into()]).gt(Expr::lit(0.0));
+            // `a` read only in the then-branch.
+            let then_e = b.read(a, &[i.into()]);
+            cond.select(then_e, Expr::lit(0.0))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 1000);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        // level0 weight = g (unbranched: 10*1000) + a (branched: 10*500) +
+        // store (10*1000) = 25000.
+        let w0 = dim_x_weight(&cs, 0);
+        assert!((w0 - 25_000.0).abs() < 1e-6, "w0={w0}");
+    }
+
+    #[test]
+    fn dynamic_inner_forces_span_all() {
+        let mut b = ProgramBuilder::new("dyn");
+        let n = b.sym("N");
+        let deg = b.input("deg", ScalarKind::I32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| {
+            let d = b.read(deg, &[i.into()]);
+            b.reduce_dyn(d, 32, ReduceOp::Add, |_, _| Expr::lit(1.0))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 100);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        assert_eq!(cs.span_all_levels(), vec![(1, SpanAllReason::DynamicSize)]);
+    }
+
+    #[test]
+    fn flexible_temporaries_add_no_locality_constraints() {
+        // map { i => let t = map { j => x[j] * 2 }; reduce over t } where x
+        // is read only via j: the temp accesses are flexible, so level-1
+        // DimX weight comes only from x[j].
+        let mut b = ProgramBuilder::new("flex");
+        let m_s = b.sym("M");
+        let n_s = b.sym("N");
+        let x = b.input("x", ScalarKind::F32, &[Size::sym(n_s)]);
+        let root = b.map(Size::sym(m_s), |b, _i| {
+            let inner = b.map(Size::sym(n_s), |b, j| b.read(x, &[j.into()]) * Expr::lit(2.0));
+            b.let_(inner, |b, t| {
+                b.reduce(Size::sym(n_s), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(m_s, 10);
+        bind.bind(n_s, 20);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &k20c(), &weights());
+        let w1 = dim_x_weight(&cs, 1);
+        // Only x[j]: 10 * (10*20) = 2000.
+        assert!((w1 - 2000.0).abs() < 1e-9, "w1={w1}");
+    }
+}

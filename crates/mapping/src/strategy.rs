@@ -1,0 +1,213 @@
+//! Fixed mapping strategies from previous work (Section IV-B, Figure 7).
+//!
+//! These are the baselines the paper compares against, each expressed as a
+//! point in the same mapping-parameter space the search explores:
+//!
+//! * **1D** — parallelize only the outermost pattern (Thrust, Firepile,
+//!   Nikola); inner levels run sequentially inside each thread.
+//! * **thread-block/thread** — outer iteration per thread block, inner
+//!   pattern across the block's threads (Copperhead).
+//! * **warp-based** — outer iteration per warp, inner pattern across the
+//!   warp's 32 lanes (Hong et al.).
+
+use crate::constraint::ConstraintSet;
+use crate::params::{Dim, LevelMapping, MappingDecision, Span};
+use multidim_device::WARP_SIZE;
+use multidim_ir::NestInfo;
+use std::fmt;
+
+/// Which mapping strategy to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The paper's locality-aware search (Section IV).
+    MultiDim,
+    /// Outer level only.
+    OneD,
+    /// Outer → thread block, inner → threads (Figure 7a).
+    ThreadBlockThread,
+    /// Outer → warp, inner → lanes (Figure 7b).
+    WarpBased,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::MultiDim => "MultiDim",
+            Strategy::OneD => "1D",
+            Strategy::ThreadBlockThread => "ThreadBlock/Thread",
+            Strategy::WarpBased => "Warp-based",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Build the fixed mapping a strategy prescribes for a nest of the given
+/// structure (Figure 7's equivalences).
+///
+/// The returned mapping always satisfies the nest's *hard* span
+/// requirements (levels needing synchronization or having dynamic extents
+/// get `Span(all)`) — a fixed strategy changes performance, not
+/// correctness.
+///
+/// # Panics
+///
+/// Panics when called with [`Strategy::MultiDim`]; run the search
+/// ([`crate::analyze`]) for that.
+pub fn fixed_mapping(strategy: Strategy, nest: &NestInfo, constraints: &ConstraintSet) -> MappingDecision {
+    let depth = nest.depth().max(1);
+    let forced: Vec<bool> = (0..depth)
+        .map(|l| constraints.span_all_levels().iter().any(|(lvl, _)| *lvl == l))
+        .collect();
+
+    let levels: Vec<LevelMapping> = match strategy {
+        Strategy::MultiDim => panic!("MultiDim is not a fixed strategy; use analyze()"),
+        Strategy::OneD => (0..depth)
+            .map(|l| {
+                if l == 0 {
+                    LevelMapping {
+                        dim: Dim::X,
+                        block_size: 256,
+                        span: if forced[0] { Span::All } else { Span::ONE },
+                    }
+                } else {
+                    // Inner levels sequential within the thread.
+                    LevelMapping { dim: Dim(l as u8), block_size: 1, span: Span::All }
+                }
+            })
+            .collect(),
+        Strategy::ThreadBlockThread => fixed_two_level(depth, &forced, 1, 1024),
+        Strategy::WarpBased => fixed_two_level(depth, &forced, 16, WARP_SIZE),
+    };
+    MappingDecision::new(levels)
+}
+
+/// Shared shape of the two fixed 2D strategies: outer on y with
+/// `outer_block` threads, inner on x with `inner_block` threads and
+/// `Span(all)`, deeper levels sequential.
+fn fixed_two_level(depth: usize, forced: &[bool], outer_block: u32, inner_block: u32) -> Vec<LevelMapping> {
+    (0..depth)
+        .map(|l| {
+            if l == 0 {
+                if depth == 1 {
+                    // Degenerate: a single level behaves like 1D.
+                    LevelMapping {
+                        dim: Dim::X,
+                        block_size: 256,
+                        span: if forced[0] { Span::All } else { Span::ONE },
+                    }
+                } else {
+                    LevelMapping {
+                        dim: Dim::Y,
+                        block_size: outer_block,
+                        span: if forced[0] { Span::All } else { Span::ONE },
+                    }
+                }
+            } else if l == 1 {
+                LevelMapping { dim: Dim::X, block_size: inner_block, span: Span::All }
+            } else {
+                LevelMapping { dim: Dim(l as u8), block_size: 1, span: Span::All }
+            }
+        })
+        .collect()
+}
+
+/// Reasons a fixed strategy's mapping is what it is — used in tests to
+/// assert the Figure 7 equivalence of DOP formulas.
+pub fn figure7_dop(strategy: Strategy, outer: i64, inner: i64) -> u64 {
+    match strategy {
+        Strategy::ThreadBlockThread => outer as u64 * inner.min(1024).max(1) as u64,
+        Strategy::WarpBased => outer as u64 * inner.min(WARP_SIZE as i64).max(1) as u64,
+        Strategy::OneD => outer as u64,
+        Strategy::MultiDim => panic!("no fixed DOP formula for MultiDim"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect_constraints;
+    use crate::constraint::Weights;
+    use multidim_device::GpuSpec;
+    use multidim_ir::{Bindings, Program, ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn nested(r: i64, c: i64) -> (Program, Bindings, NestInfo, ConstraintSet) {
+        let mut b = ProgramBuilder::new("sumRows");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(rs), |b, row| {
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        let nest = NestInfo::of(&p);
+        let cs2 = collect_constraints(&p, &nest, &bind, &GpuSpec::tesla_k20c(), &Weights::default());
+        (p, bind, nest, cs2)
+    }
+
+    #[test]
+    fn one_d_parallelizes_outer_only() {
+        let (_, _, nest, cs) = nested(1000, 1000);
+        let m = fixed_mapping(Strategy::OneD, &nest, &cs);
+        assert_eq!(m.level(0).dim, Dim::X);
+        assert_eq!(m.level(1).block_size, 1);
+        assert_eq!(m.dop(&[1000, 1000]), 1000);
+    }
+
+    #[test]
+    fn thread_block_thread_matches_figure7a() {
+        let (_, _, nest, cs) = nested(1000, 8000);
+        let m = fixed_mapping(Strategy::ThreadBlockThread, &nest, &cs);
+        assert_eq!(m.level(0).dim, Dim::Y);
+        assert_eq!(m.level(0).block_size, 1);
+        assert_eq!(m.level(1).dim, Dim::X);
+        assert_eq!(m.level(1).block_size, 1024);
+        // DOP = I * min(J, MAX_BLOCK_SIZE).
+        assert_eq!(m.dop(&[1000, 8000]), figure7_dop(Strategy::ThreadBlockThread, 1000, 8000));
+    }
+
+    #[test]
+    fn warp_based_matches_figure7b() {
+        let (_, _, nest, cs) = nested(1000, 8000);
+        let m = fixed_mapping(Strategy::WarpBased, &nest, &cs);
+        assert_eq!(m.level(0).block_size, 16);
+        assert_eq!(m.level(1).block_size, 32);
+        assert_eq!(m.dop(&[1000, 8000]), figure7_dop(Strategy::WarpBased, 1000, 8000));
+    }
+
+    #[test]
+    fn fixed_strategies_respect_hard_constraints() {
+        let (_, _, nest, cs) = nested(512, 512);
+        for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+            let m = fixed_mapping(s, &nest, &cs);
+            assert!(cs.hard_ok(&m), "{s} produced a hard-invalid mapping {m}");
+        }
+    }
+
+    #[test]
+    fn single_level_strategies_coincide() {
+        let mut b = ProgramBuilder::new("flat");
+        let n = b.sym("N");
+        let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]));
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 4096);
+        let nest = NestInfo::of(&p);
+        let cs = collect_constraints(&p, &nest, &bind, &GpuSpec::tesla_k20c(), &Weights::default());
+        let a = fixed_mapping(Strategy::OneD, &nest, &cs);
+        let b2 = fixed_mapping(Strategy::ThreadBlockThread, &nest, &cs);
+        let c = fixed_mapping(Strategy::WarpBased, &nest, &cs);
+        assert_eq!(a, b2);
+        assert_eq!(b2, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a fixed strategy")]
+    fn multidim_is_not_fixed() {
+        let (_, _, nest, cs) = nested(8, 8);
+        fixed_mapping(Strategy::MultiDim, &nest, &cs);
+    }
+}

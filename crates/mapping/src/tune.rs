@@ -1,0 +1,193 @@
+//! Empirical auto-tuning over the mapping space.
+//!
+//! Section IV-B: "our mapping parameters can be used by other compiler or
+//! auto-tuners to explore the mapping space", and the Figure 17 discussion
+//! notes the static score has false negatives that only measurement can
+//! recover. This module provides that exploration: enumerate the
+//! hard-valid candidates, optionally pre-filter by static score, measure
+//! each with a caller-provided cost function, and return the empirically
+//! best mapping.
+
+use crate::constraint::Weights;
+use crate::params::MappingDecision;
+use crate::search::{enumerate_scored, ScoredMapping};
+use multidim_device::GpuSpec;
+use multidim_ir::{Bindings, Program};
+
+/// Tuning configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOptions {
+    /// Only measure candidates whose normalized score is at least this
+    /// fraction of the best score (1.0 = only ties with the static
+    /// winner; 0.0 = measure everything). Score-guided pruning trades
+    /// tuning time against Figure 17's region-C false negatives.
+    pub score_floor: f64,
+    /// Hard cap on measured candidates (highest-scored first).
+    pub max_measurements: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { score_floor: 0.0, max_measurements: usize::MAX }
+    }
+}
+
+/// One measured candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measured {
+    /// The candidate and its static score.
+    pub candidate: ScoredMapping,
+    /// Measured cost (seconds, or any monotone figure of merit).
+    pub cost: f64,
+}
+
+/// The tuning outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Empirically best mapping.
+    pub best: MappingDecision,
+    /// Its measured cost.
+    pub best_cost: f64,
+    /// All measurements, sorted by cost ascending.
+    pub measured: Vec<Measured>,
+    /// Candidates skipped by the cost function (not executable).
+    pub skipped: usize,
+}
+
+/// Exhaustively (or score-guided) tune `program`'s mapping with the given
+/// measurement function. `measure` returns the cost of one candidate, or
+/// `None` when the candidate cannot be compiled/executed.
+///
+/// Returns `None` when no candidate could be measured.
+pub fn tune(
+    program: &Program,
+    bindings: &Bindings,
+    gpu: &GpuSpec,
+    weights: &Weights,
+    options: &TuneOptions,
+    mut measure: impl FnMut(&MappingDecision) -> Option<f64>,
+) -> Option<TuneResult> {
+    let mut candidates = enumerate_scored(program, bindings, gpu, weights);
+    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let best_score = candidates.first().map(|c| c.normalized_score).unwrap_or(0.0);
+
+    let mut measured = Vec::new();
+    let mut skipped = 0usize;
+    for cand in candidates {
+        if measured.len() >= options.max_measurements {
+            break;
+        }
+        if cand.normalized_score < options.score_floor * best_score {
+            continue;
+        }
+        match measure(&cand.mapping) {
+            Some(cost) => measured.push(Measured { candidate: cand, cost }),
+            None => skipped += 1,
+        }
+    }
+    measured.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    let best = measured.first()?;
+    Some(TuneResult {
+        best: best.candidate.mapping.clone(),
+        best_cost: best.cost,
+        measured,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Span;
+    use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn program() -> (Program, Bindings) {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.sym("R");
+        let c = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+        let root = b.map(Size::sym(r), |b, row| {
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(r, 512);
+        bind.bind(c, 512);
+        (p, bind)
+    }
+
+    #[test]
+    fn finds_the_synthetic_optimum() {
+        // Synthetic cost: block_threads distance from 128 — the tuner must
+        // find a 128-thread candidate.
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        let r = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |m| {
+            Some((m.block_threads() as f64 - 128.0).abs())
+        })
+        .unwrap();
+        assert_eq!(r.best.block_threads(), 128);
+        assert_eq!(r.best_cost, 0.0);
+        assert!(r.measured.len() > 10);
+    }
+
+    #[test]
+    fn score_floor_prunes() {
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        let full = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |_| {
+            Some(1.0)
+        })
+        .unwrap();
+        let pruned = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions { score_floor: 0.9, ..Default::default() },
+            |_| Some(1.0),
+        )
+        .unwrap();
+        assert!(pruned.measured.len() < full.measured.len());
+    }
+
+    #[test]
+    fn measurement_cap() {
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        let r = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions { max_measurements: 5, ..Default::default() },
+            |_| Some(1.0),
+        )
+        .unwrap();
+        assert_eq!(r.measured.len(), 5);
+    }
+
+    #[test]
+    fn unmeasurable_candidates_are_skipped() {
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        let r = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |m| {
+            // Pretend splits are not executable.
+            if m.levels().iter().any(|l| matches!(l.span, Span::Split(_))) {
+                None
+            } else {
+                Some(m.block_threads() as f64)
+            }
+        })
+        .unwrap();
+        assert!(!r.measured.is_empty());
+    }
+
+    #[test]
+    fn none_when_nothing_measurable() {
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        assert!(tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |_| None)
+            .is_none());
+    }
+}

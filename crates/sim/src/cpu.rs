@@ -1,0 +1,170 @@
+//! Analytic multicore-CPU baseline (the Figure 14 reference machine).
+//!
+//! The reference interpreter executes the program once for correctness and
+//! op/byte counters; this module turns those counters into a time estimate
+//! with a two-term roofline — compute throughput and memory bandwidth —
+//! where the bandwidth term derates *random* accesses to cache-line
+//! efficiency. Access randomness is classified statically from the IR's
+//! affine access summaries, exactly the information the GPU mapping
+//! analysis uses.
+
+use multidim_device::CpuSpec;
+use multidim_ir::{
+    collect_accesses, AffineForm, Bindings, CostCounters, InterpError, InterpResult, Program,
+};
+use std::collections::HashMap;
+
+/// CPU time estimate with its ingredients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuEstimate {
+    /// Wall-clock estimate in seconds.
+    pub seconds: f64,
+    /// Arithmetic operations counted by the interpreter.
+    pub flops: u64,
+    /// Total bytes moved (reads + writes).
+    pub bytes: u64,
+    /// Fraction of traffic classified as random-access (0..1).
+    pub random_fraction: f64,
+}
+
+/// Execute `program` on the reference interpreter and estimate multicore
+/// CPU time for it.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run_cpu(
+    program: &Program,
+    cpu: &CpuSpec,
+    bindings: &Bindings,
+    inputs: &HashMap<multidim_ir::ArrayId, Vec<f64>>,
+) -> Result<(InterpResult, CpuEstimate), InterpError> {
+    let result = multidim_ir::interpret(program, bindings, inputs)?;
+    let est = estimate_cpu(program, cpu, bindings, &result.counters);
+    Ok((result, est))
+}
+
+/// Estimate CPU time from execution counters plus a static random-access
+/// classification.
+pub fn estimate_cpu(
+    program: &Program,
+    cpu: &CpuSpec,
+    bindings: &Bindings,
+    counters: &CostCounters,
+) -> CpuEstimate {
+    let random_fraction = random_access_fraction(program, bindings);
+    let bytes = counters.bytes_read + counters.bytes_written;
+    let flops = counters.flops;
+
+    let t_compute = flops as f64 / cpu.peak_flops();
+    // Random traffic wastes the rest of each cache line. Approximate the
+    // average element as 4 bytes.
+    let line_factor = (cpu.cache_line_bytes as f64 / 4.0).max(1.0);
+    let effective_bytes =
+        bytes as f64 * (1.0 - random_fraction) + bytes as f64 * random_fraction * line_factor;
+    let t_mem = effective_bytes / cpu.dram_bandwidth;
+
+    CpuEstimate { seconds: t_compute.max(t_mem), flops, bytes, random_fraction }
+}
+
+/// Share of access executions whose innermost-varying index is data
+/// dependent (non-affine), weighted by execution count.
+pub fn random_access_fraction(program: &Program, bindings: &Bindings) -> f64 {
+    let mut total = 0.0f64;
+    let mut random = 0.0f64;
+    for a in collect_accesses(program) {
+        let mut n = 1.0f64;
+        for link in &a.chain {
+            n *= link.size.eval_or_default(bindings).max(1) as f64;
+        }
+        n *= a.iterate_factor.max(1) as f64;
+        n /= 2f64.powi(a.branch_depth as i32);
+        total += n;
+        if a.addr == AffineForm::NonAffine && !a.flexible_layout {
+            random += n;
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        random / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidim_ir::{Expr, ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn cpu() -> CpuSpec {
+        CpuSpec::dual_xeon_x5550()
+    }
+
+    #[test]
+    fn streaming_sum_is_bandwidth_bound() {
+        let mut b = ProgramBuilder::new("sum");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.reduce(Size::sym(n), ReduceOp::Add, |b, i| b.read(a, &[i.into()]));
+        let p = b.finish_reduce(root, "total", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 1 << 20);
+        let inputs: HashMap<_, _> = [(a, vec![1.0; 1 << 20])].into_iter().collect();
+        let (res, est) = run_cpu(&p, &cpu(), &bind, &inputs).unwrap();
+        assert_eq!(res.array(p.output.unwrap()).data[0], (1 << 20) as f64);
+        assert_eq!(est.random_fraction, 0.0);
+        // 4 MiB at 25 GB/s ≈ 0.17 ms; compute is far below it.
+        assert!(est.seconds > 1e-4 && est.seconds < 1e-3, "t = {}", est.seconds);
+    }
+
+    #[test]
+    fn gather_counts_as_random() {
+        let mut b = ProgramBuilder::new("gather");
+        let n = b.sym("N");
+        let idx = b.input("idx", ScalarKind::I32, &[Size::sym(n)]);
+        let data = b.input("data", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.map(Size::sym(n), |b, i| {
+            let j = b.read(idx, &[i.into()]);
+            b.read(data, &[j])
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 1000);
+        let f = random_access_fraction(&p, &bind);
+        // One of three accesses (idx read, data read, out store) is random.
+        assert!((f - 1.0 / 3.0).abs() < 1e-9, "f = {f}");
+    }
+
+    #[test]
+    fn random_traffic_costs_more() {
+        let mut b1 = ProgramBuilder::new("seq");
+        let n1 = b1.sym("N");
+        let a1 = b1.input("a", ScalarKind::F32, &[Size::sym(n1)]);
+        let root1 = b1.map(Size::sym(n1), |b, i| b.read(a1, &[i.into()]) * Expr::lit(2.0));
+        let p1 = b1.finish_map(root1, "o", ScalarKind::F32).unwrap();
+
+        let mut b2 = ProgramBuilder::new("rand");
+        let n2 = b2.sym("N");
+        let ix = b2.input("idx", ScalarKind::I32, &[Size::sym(n2)]);
+        let a2 = b2.input("a", ScalarKind::F32, &[Size::sym(n2)]);
+        let root2 = b2.map(Size::sym(n2), |b, i| {
+            let j = b.read(ix, &[i.into()]);
+            b.read(a2, &[j]) * Expr::lit(2.0)
+        });
+        let p2 = b2.finish_map(root2, "o", ScalarKind::F32).unwrap();
+
+        let n = 1 << 16;
+        let mut bind = Bindings::new();
+        bind.bind(n1, n);
+        let inputs1: HashMap<_, _> = [(a1, vec![1.0; n as usize])].into_iter().collect();
+        let (_, e1) = run_cpu(&p1, &cpu(), &bind, &inputs1).unwrap();
+
+        let mut bind2 = Bindings::new();
+        bind2.bind(n2, n);
+        let ids: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64).collect();
+        let inputs2: HashMap<_, _> =
+            [(ix, ids), (a2, vec![1.0; n as usize])].into_iter().collect();
+        let (_, e2) = run_cpu(&p2, &cpu(), &bind2, &inputs2).unwrap();
+        assert!(e2.seconds > 2.0 * e1.seconds, "{} vs {}", e2.seconds, e1.seconds);
+    }
+}

@@ -1,0 +1,1206 @@
+//! Warp-synchronous execution of kernel IR.
+//!
+//! Kernels execute with real data, warp by warp, with lane masks for
+//! divergence — both sides of a divergent branch run (and cost), inactive
+//! lanes are masked. Blocks containing `__syncthreads` execute in
+//! *block-lockstep*: every statement runs across all warps before the next
+//! statement starts, which is exactly the synchronization the generated
+//! reduction trees rely on. Loop bounds and branch conditions enclosing a
+//! `Sync` must be block-uniform (our code generator guarantees this).
+//!
+//! Every global access is coalesced through [`crate::coalesce`] and every
+//! shared-memory access through [`crate::bank_conflicts`], accumulating the
+//! [`KernelCost`] record that the timing model converts to seconds.
+
+use crate::cost::{kernel_time, KernelCost, KernelTime, LaunchShape};
+use crate::memory::{bank_conflicts, coalesce};
+use multidim_codegen::{BufId, BufferInit, KExpr, Kernel, KernelProgram, Stmt};
+use multidim_device::{GpuSpec, WARP_SIZE};
+use multidim_ir::{apply_bin, apply_un, ArrayId, Bindings, ReduceOp, Size};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulation failure (out-of-bounds access, missing input, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError(pub String);
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A device buffer during simulation.
+#[derive(Debug, Clone)]
+pub struct DeviceBuffer {
+    /// Element width in bytes (for coalescing).
+    pub elem_bytes: u64,
+    /// Contents.
+    pub data: Vec<f64>,
+    /// Virtual base byte address (distinct buffers never share segments).
+    pub base: u64,
+}
+
+/// Result of simulating a [`KernelProgram`].
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Final contents of buffers that materialize program arrays.
+    pub arrays: HashMap<ArrayId, Vec<f64>>,
+    /// Per-kernel cost records (same order as `kp.kernels`).
+    pub costs: Vec<KernelCost>,
+    /// Per-kernel timing breakdowns.
+    pub times: Vec<KernelTime>,
+    /// Sum of kernel times in seconds.
+    pub total_seconds: f64,
+}
+
+impl SimResult {
+    /// The final contents of `array`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array was not materialized by the program.
+    pub fn array(&self, array: ArrayId) -> &[f64] {
+        &self.arrays[&array]
+    }
+}
+
+/// Simulate `kp` on `gpu` with launch-time `bindings` and host `inputs`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for missing inputs or faulting kernels.
+pub fn run_program(
+    kp: &KernelProgram,
+    gpu: &GpuSpec,
+    bindings: &Bindings,
+    inputs: &HashMap<ArrayId, Vec<f64>>,
+) -> Result<SimResult, SimError> {
+    // Allocate and initialize buffers.
+    let mut buffers = Vec::with_capacity(kp.buffers.len());
+    let mut base = 0u64;
+    for decl in &kp.buffers {
+        let len = decl.len.eval(bindings).max(0) as usize;
+        let data = match decl.init {
+            BufferInit::Zero => vec![0.0; len],
+            BufferInit::Fill(v) => vec![v; len],
+            BufferInit::FromArrayOrZero(a) => match inputs.get(&a) {
+                Some(host) => {
+                    if host.len() != len {
+                        return Err(SimError(format!(
+                            "seed for `{}` has {} elements, buffer needs {len}",
+                            decl.name,
+                            host.len()
+                        )));
+                    }
+                    host.clone()
+                }
+                None => vec![0.0; len],
+            },
+            BufferInit::FromArray(a) => {
+                let host = inputs.get(&a).ok_or_else(|| {
+                    SimError(format!("missing host input for buffer `{}`", decl.name))
+                })?;
+                if host.len() != len {
+                    return Err(SimError(format!(
+                        "input `{}` has {} elements, buffer needs {len}",
+                        decl.name,
+                        host.len()
+                    )));
+                }
+                host.clone()
+            }
+        };
+        buffers.push(DeviceBuffer { elem_bytes: decl.elem_bytes, data, base });
+        // Segment-align the next buffer.
+        base += (len as u64 * decl.elem_bytes).next_multiple_of(gpu.transaction_bytes.max(1));
+        base += gpu.transaction_bytes;
+    }
+
+    let mut costs = Vec::new();
+    let mut times = Vec::new();
+    let mut total = 0.0f64;
+    for kernel in &kp.kernels {
+        let k = specialize(kernel, bindings);
+        let mut ex = Exec { gpu, buffers: &mut buffers, cost: KernelCost::default(), kernel: &k };
+        let blocks = ex.run()?;
+        let shape = LaunchShape {
+            blocks,
+            block_threads: k.block_threads(),
+            smem_bytes: k.smem_bytes(),
+        };
+        let t = kernel_time(gpu, &shape, &ex.cost);
+        total += t.total;
+        costs.push(ex.cost);
+        times.push(t);
+    }
+
+    let mut arrays = HashMap::new();
+    for (i, decl) in kp.buffers.iter().enumerate() {
+        if let Some(a) = decl.array {
+            arrays.insert(a, buffers[i].data.clone());
+        }
+    }
+    Ok(SimResult { arrays, costs, times, total_seconds: total })
+}
+
+/// Resolve every symbolic size in the kernel to a constant.
+fn specialize(k: &Kernel, bindings: &Bindings) -> Kernel {
+    let mut out = k.clone();
+    out.grid = [
+        Size::from(k.grid[0].eval(bindings).max(1)),
+        Size::from(k.grid[1].eval(bindings).max(1)),
+        Size::from(k.grid[2].eval(bindings).max(1)),
+    ];
+    out.body = k.body.iter().map(|s| spec_stmt(s, bindings)).collect();
+    out
+}
+
+fn spec_stmt(s: &Stmt, b: &Bindings) -> Stmt {
+    match s {
+        Stmt::Assign { dst, value } => Stmt::Assign { dst: *dst, value: spec_expr(value, b) },
+        Stmt::Store { buf, idx, value } => {
+            Stmt::Store { buf: *buf, idx: spec_expr(idx, b), value: spec_expr(value, b) }
+        }
+        Stmt::AtomicRmw { buf, idx, op, value, capture } => Stmt::AtomicRmw {
+            buf: *buf,
+            idx: spec_expr(idx, b),
+            op: *op,
+            value: spec_expr(value, b),
+            capture: *capture,
+        },
+        Stmt::SmemStore { arr, idx, value } => {
+            Stmt::SmemStore { arr: *arr, idx: spec_expr(idx, b), value: spec_expr(value, b) }
+        }
+        Stmt::For { var, start, end, step, body } => Stmt::For {
+            var: *var,
+            start: spec_expr(start, b),
+            end: spec_expr(end, b),
+            step: spec_expr(step, b),
+            body: body.iter().map(|s| spec_stmt(s, b)).collect(),
+        },
+        Stmt::Break => Stmt::Break,
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: spec_expr(cond, b),
+            then: then.iter().map(|s| spec_stmt(s, b)).collect(),
+            els: els.iter().map(|s| spec_stmt(s, b)).collect(),
+        },
+        Stmt::Sync => Stmt::Sync,
+        Stmt::DeviceMalloc { bytes } => Stmt::DeviceMalloc { bytes: spec_expr(bytes, b) },
+    }
+}
+
+fn spec_expr(e: &KExpr, b: &Bindings) -> KExpr {
+    match e {
+        KExpr::SizeVal(s) => KExpr::Imm(s.eval(b) as f64),
+        KExpr::Load { buf, idx } => KExpr::Load { buf: *buf, idx: Box::new(spec_expr(idx, b)) },
+        KExpr::SmemLoad { arr, idx } => {
+            KExpr::SmemLoad { arr: *arr, idx: Box::new(spec_expr(idx, b)) }
+        }
+        KExpr::Bin(op, x, y) => {
+            KExpr::Bin(*op, Box::new(spec_expr(x, b)), Box::new(spec_expr(y, b)))
+        }
+        KExpr::Un(op, x) => KExpr::Un(*op, Box::new(spec_expr(x, b))),
+        KExpr::Select(c, t, f) => KExpr::Select(
+            Box::new(spec_expr(c, b)),
+            Box::new(spec_expr(t, b)),
+            Box::new(spec_expr(f, b)),
+        ),
+        other => other.clone(),
+    }
+}
+
+const W: usize = WARP_SIZE as usize;
+type Lanes = [f64; W];
+type Mask = u32;
+
+struct BlockState {
+    dims: [u32; 3],
+    threads: u32,
+    bid: [u32; 3],
+    /// locals[local * threads + tid]
+    locals: Vec<f64>,
+    smem: Vec<Vec<f64>>,
+}
+
+struct Exec<'a> {
+    gpu: &'a GpuSpec,
+    buffers: &'a mut Vec<DeviceBuffer>,
+    cost: KernelCost,
+    kernel: &'a Kernel,
+}
+
+impl<'a> Exec<'a> {
+    /// Run all blocks; returns the number of blocks launched.
+    fn run(&mut self) -> Result<u64, SimError> {
+        let g = [
+            size_const(&self.kernel.grid[0]),
+            size_const(&self.kernel.grid[1]),
+            size_const(&self.kernel.grid[2]),
+        ];
+        let dims = self.kernel.block;
+        let threads = self.kernel.block_threads().max(1);
+        let lockstep = self.kernel.has_sync();
+        let smem: Vec<Vec<f64>> =
+            self.kernel.smem.iter().map(|d| vec![0.0; d.len as usize]).collect();
+
+        for bz in 0..g[2] {
+            for by in 0..g[1] {
+                for bx in 0..g[0] {
+                    let mut blk = BlockState {
+                        dims,
+                        threads,
+                        bid: [bx as u32, by as u32, bz as u32],
+                        locals: vec![0.0; self.kernel.locals as usize * threads as usize],
+                        smem: smem.clone(),
+                    };
+                    if lockstep {
+                        self.exec_block(&self.kernel.body, &mut blk)?;
+                    } else {
+                        let warps = threads.div_ceil(WARP_SIZE);
+                        for w in 0..warps {
+                            let mask = full_mask(threads, w);
+                            self.exec_warp(&self.kernel.body, &mut blk, w, mask)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(g[0] * g[1] * g[2])
+    }
+
+    /// Block-lockstep execution (statements with internal `Sync`).
+    fn exec_block(&mut self, stmts: &[Stmt], blk: &mut BlockState) -> Result<(), SimError> {
+        let warps = blk.threads.div_ceil(WARP_SIZE);
+        for s in stmts {
+            if !stmt_has_sync(s) {
+                for w in 0..warps {
+                    let mask = full_mask(blk.threads, w);
+                    let broken = self.exec_warp(std::slice::from_ref(s), blk, w, mask)?;
+                    debug_assert_eq!(broken, 0, "break escaping to block level");
+                }
+                continue;
+            }
+            match s {
+                Stmt::Sync => self.cost.syncs += warps as u64,
+                Stmt::For { var, start, end, step, body } => {
+                    // Bounds must be block-uniform: evaluate on warp 0 lane 0.
+                    let s0 = self.eval_scalar(start, blk, 0, 0)?;
+                    let step0 = self.eval_scalar(step, blk, 0, 0)?;
+                    if step0 <= 0.0 {
+                        return Err(SimError("non-positive uniform loop step".into()));
+                    }
+                    let mut v = s0;
+                    loop {
+                        let e0 = self.eval_scalar(end, blk, 0, 0)?;
+                        if v >= e0 {
+                            break;
+                        }
+                        for t in 0..blk.threads {
+                            blk.locals[*var as usize * blk.threads as usize + t as usize] = v;
+                        }
+                        self.exec_block(body, blk)?;
+                        v += step0;
+                    }
+                }
+                Stmt::If { cond, then, els } => {
+                    let c = self.eval_scalar(cond, blk, 0, 0)?;
+                    if c != 0.0 {
+                        self.exec_block(then, blk)?;
+                    } else {
+                        self.exec_block(els, blk)?;
+                    }
+                }
+                other => {
+                    return Err(SimError(format!(
+                        "statement {other:?} cannot contain __syncthreads"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-warp masked execution; returns the set of lanes that executed
+    /// `Break`.
+    fn exec_warp(
+        &mut self,
+        stmts: &[Stmt],
+        blk: &mut BlockState,
+        warp: u32,
+        mut mask: Mask,
+    ) -> Result<Mask, SimError> {
+        let mut broken: Mask = 0;
+        for s in stmts {
+            if mask == 0 {
+                break;
+            }
+            match s {
+                Stmt::Assign { dst, value } => {
+                    let mut v = [0.0; W];
+                    self.eval(value, blk, warp, mask, &mut v)?;
+                    let base = *dst as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
+                    for l in lanes(mask) {
+                        blk.locals[base + l] = v[l];
+                    }
+                }
+                Stmt::Store { buf, idx, value } => {
+                    let mut v = [0.0; W];
+                    self.eval(value, blk, warp, mask, &mut v)?;
+                    let mut ix = [0.0; W];
+                    self.eval(idx, blk, warp, mask, &mut ix)?;
+                    self.global_access(*buf, &ix, mask, Some(&v), None)?;
+                }
+                Stmt::AtomicRmw { buf, idx, op, value, capture } => {
+                    let mut v = [0.0; W];
+                    self.eval(value, blk, warp, mask, &mut v)?;
+                    let mut ix = [0.0; W];
+                    self.eval(idx, blk, warp, mask, &mut ix)?;
+                    let old = self.atomic(*buf, &ix, mask, &v, *op)?;
+                    if let Some(c) = capture {
+                        let base =
+                            *c as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
+                        for l in lanes(mask) {
+                            blk.locals[base + l] = old[l];
+                        }
+                    }
+                }
+                Stmt::SmemStore { arr, idx, value } => {
+                    let mut v = [0.0; W];
+                    self.eval(value, blk, warp, mask, &mut v)?;
+                    let mut ix = [0.0; W];
+                    self.eval(idx, blk, warp, mask, &mut ix)?;
+                    self.smem_cost(&ix, mask);
+                    let a = *arr as usize;
+                    for l in lanes(mask) {
+                        let i = to_index(ix[l], blk.smem[a].len(), "shared store")?;
+                        blk.smem[a][i] = v[l];
+                    }
+                }
+                Stmt::For { var, start, end, step, body } => {
+                    let mut sv = [0.0; W];
+                    self.eval(start, blk, warp, mask, &mut sv)?;
+                    let base = *var as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
+                    for l in lanes(mask) {
+                        blk.locals[base + l] = sv[l];
+                    }
+                    let mut active = mask;
+                    loop {
+                        // cond: var < end
+                        let mut ev = [0.0; W];
+                        self.eval(end, blk, warp, active, &mut ev)?;
+                        self.cost.warp_instr += 1;
+                        let mut next: Mask = 0;
+                        for l in lanes(active) {
+                            let vv = blk.locals[*var as usize * blk.threads as usize
+                                + (warp * WARP_SIZE) as usize
+                                + l];
+                            if vv < ev[l] {
+                                next |= 1 << l;
+                            }
+                        }
+                        if next == 0 {
+                            break;
+                        }
+                        let b = self.exec_warp(body, blk, warp, next)?;
+                        let cont = next & !b;
+                        if cont == 0 {
+                            break;
+                        }
+                        // step
+                        let mut stv = [0.0; W];
+                        self.eval(step, blk, warp, cont, &mut stv)?;
+                        for l in lanes(cont) {
+                            blk.locals[*var as usize * blk.threads as usize
+                                + (warp * WARP_SIZE) as usize
+                                + l] += stv[l];
+                        }
+                        active = cont;
+                        if active == 0 {
+                            break;
+                        }
+                    }
+                }
+                Stmt::Break => {
+                    broken |= mask;
+                    mask = 0;
+                }
+                Stmt::If { cond, then, els } => {
+                    let mut cv = [0.0; W];
+                    self.eval(cond, blk, warp, mask, &mut cv)?;
+                    let mut tmask: Mask = 0;
+                    for l in lanes(mask) {
+                        if cv[l] != 0.0 {
+                            tmask |= 1 << l;
+                        }
+                    }
+                    let emask = mask & !tmask;
+                    let mut b = 0;
+                    if tmask != 0 {
+                        b |= self.exec_warp(then, blk, warp, tmask)?;
+                    }
+                    if emask != 0 {
+                        b |= self.exec_warp(els, blk, warp, emask)?;
+                    }
+                    broken |= b;
+                    mask &= !b;
+                }
+                Stmt::Sync => {
+                    // A sync reached in per-warp mode is only legal when the
+                    // kernel has no cross-warp dependence (single-warp
+                    // blocks); treat as a cost event.
+                    self.cost.syncs += 1;
+                }
+                Stmt::DeviceMalloc { bytes } => {
+                    let mut bv = [0.0; W];
+                    self.eval(bytes, blk, warp, mask, &mut bv)?;
+                    self.cost.mallocs += mask.count_ones() as u64;
+                    self.cost.warp_instr += 1;
+                }
+            }
+            self.cost.warp_instr += 1;
+        }
+        Ok(broken)
+    }
+
+    /// Evaluate `e` for every active lane of `warp` into `out`.
+    fn eval(
+        &mut self,
+        e: &KExpr,
+        blk: &mut BlockState,
+        warp: u32,
+        mask: Mask,
+        out: &mut Lanes,
+    ) -> Result<(), SimError> {
+        self.cost.warp_instr += 1;
+        let warp_base = warp * WARP_SIZE;
+        match e {
+            KExpr::Imm(v) => {
+                for l in lanes(mask) {
+                    out[l] = *v;
+                }
+            }
+            KExpr::Local(x) => {
+                let base = *x as usize * blk.threads as usize + warp_base as usize;
+                for l in lanes(mask) {
+                    out[l] = blk.locals[base + l];
+                }
+            }
+            KExpr::Tid(a) => {
+                let (dx, dy) = (blk.dims[0].max(1), blk.dims[1].max(1));
+                for l in lanes(mask) {
+                    let t = warp_base + l as u32;
+                    out[l] = match a.index() {
+                        0 => (t % dx) as f64,
+                        1 => ((t / dx) % dy) as f64,
+                        _ => (t / (dx * dy)) as f64,
+                    };
+                }
+            }
+            KExpr::Bid(a) => {
+                let v = blk.bid[a.index()] as f64;
+                for l in lanes(mask) {
+                    out[l] = v;
+                }
+            }
+            KExpr::Bdim(a) => {
+                let v = blk.dims[a.index()] as f64;
+                for l in lanes(mask) {
+                    out[l] = v;
+                }
+            }
+            KExpr::Gdim(a) => {
+                let v = size_const(&self.kernel.grid[a.index()]) as f64;
+                for l in lanes(mask) {
+                    out[l] = v;
+                }
+            }
+            KExpr::SizeVal(s) => {
+                // Normally removed by specialization.
+                let v = size_const(s) as f64;
+                for l in lanes(mask) {
+                    out[l] = v;
+                }
+            }
+            KExpr::Load { buf, idx } => {
+                let mut ix = [0.0; W];
+                self.eval(idx, blk, warp, mask, &mut ix)?;
+                let vals = self.global_access(*buf, &ix, mask, None, Some(out))?;
+                let _ = vals;
+            }
+            KExpr::SmemLoad { arr, idx } => {
+                let mut ix = [0.0; W];
+                self.eval(idx, blk, warp, mask, &mut ix)?;
+                self.smem_cost(&ix, mask);
+                let a = *arr as usize;
+                for l in lanes(mask) {
+                    let i = to_index(ix[l], blk.smem[a].len(), "shared load")?;
+                    out[l] = blk.smem[a][i];
+                }
+            }
+            KExpr::Bin(op, x, y) => {
+                let mut xv = [0.0; W];
+                self.eval(x, blk, warp, mask, &mut xv)?;
+                let mut yv = [0.0; W];
+                self.eval(y, blk, warp, mask, &mut yv)?;
+                for l in lanes(mask) {
+                    out[l] = apply_bin(*op, xv[l], yv[l]);
+                }
+            }
+            KExpr::Un(op, x) => {
+                let mut xv = [0.0; W];
+                self.eval(x, blk, warp, mask, &mut xv)?;
+                for l in lanes(mask) {
+                    out[l] = apply_un(*op, xv[l]);
+                }
+            }
+            KExpr::Select(c, t, f) => {
+                let mut cv = [0.0; W];
+                self.eval(c, blk, warp, mask, &mut cv)?;
+                let mut tv = [0.0; W];
+                self.eval(t, blk, warp, mask, &mut tv)?;
+                let mut fv = [0.0; W];
+                self.eval(f, blk, warp, mask, &mut fv)?;
+                for l in lanes(mask) {
+                    out[l] = if cv[l] != 0.0 { tv[l] } else { fv[l] };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a (block-uniform) expression on a single lane.
+    fn eval_scalar(
+        &mut self,
+        e: &KExpr,
+        blk: &mut BlockState,
+        warp: u32,
+        lane: u32,
+    ) -> Result<f64, SimError> {
+        let mut out = [0.0; W];
+        self.eval(e, blk, warp, 1 << lane, &mut out)?;
+        Ok(out[lane as usize])
+    }
+
+    /// Shared load/store (coalesced) or a load into `out` / store of
+    /// `store` values for one warp request.
+    fn global_access(
+        &mut self,
+        buf: BufId,
+        ix: &Lanes,
+        mask: Mask,
+        store: Option<&Lanes>,
+        load_out: Option<&mut Lanes>,
+    ) -> Result<(), SimError> {
+        let b = &mut self.buffers[buf.0 as usize];
+        let mut addrs = [0u64; W];
+        let mut n = 0usize;
+        for l in lanes(mask) {
+            let i = to_index(ix[l], b.data.len(), "global access")?;
+            addrs[n] = b.base + i as u64 * b.elem_bytes;
+            n += 1;
+        }
+        let (tx, bytes) = coalesce(self.gpu, &addrs[..n]);
+        self.cost.mem_requests += 1;
+        self.cost.transactions += tx;
+        self.cost.dram_bytes += bytes;
+        match (store, load_out) {
+            (Some(v), _) => {
+                for l in lanes(mask) {
+                    let i = to_index(ix[l], b.data.len(), "global store")?;
+                    b.data[i] = v[l];
+                }
+            }
+            (None, Some(out)) => {
+                for l in lanes(mask) {
+                    let i = to_index(ix[l], b.data.len(), "global load")?;
+                    out[l] = b.data[i];
+                }
+            }
+            (None, None) => {}
+        }
+        Ok(())
+    }
+
+    /// Atomic read-modify-write per lane (program order within the warp);
+    /// returns pre-update values.
+    fn atomic(
+        &mut self,
+        buf: BufId,
+        ix: &Lanes,
+        mask: Mask,
+        v: &Lanes,
+        op: ReduceOp,
+    ) -> Result<Lanes, SimError> {
+        let b = &mut self.buffers[buf.0 as usize];
+        let mut old = [0.0; W];
+        let mut addrs = [0u64; W];
+        let mut n = 0usize;
+        for l in lanes(mask) {
+            let i = to_index(ix[l], b.data.len(), "atomic")?;
+            addrs[n] = b.base + i as u64 * b.elem_bytes;
+            n += 1;
+            old[l] = b.data[i];
+            b.data[i] = op.apply(b.data[i], v[l]);
+        }
+        let (tx, bytes) = coalesce(self.gpu, &addrs[..n]);
+        self.cost.mem_requests += 1;
+        self.cost.transactions += tx;
+        self.cost.dram_bytes += bytes;
+        // Contention: lanes beyond the first hitting the same address
+        // serialize.
+        let distinct = {
+            let mut d = 0usize;
+            for i in 0..n {
+                if !addrs[..i].contains(&addrs[i]) {
+                    d += 1;
+                }
+            }
+            d
+        };
+        self.cost.atomic_serial += (n - distinct) as u64;
+        Ok(old)
+    }
+
+    fn smem_cost(&mut self, ix: &Lanes, mask: Mask) {
+        let mut words = [0u64; W];
+        let mut n = 0usize;
+        for l in lanes(mask) {
+            words[n] = ix[l] as u64;
+            n += 1;
+        }
+        self.cost.smem_accesses += 1;
+        self.cost.smem_conflicts += bank_conflicts(self.gpu.smem_banks, &words[..n]);
+    }
+}
+
+fn size_const(s: &Size) -> u64 {
+    s.eval(&Bindings::new()).max(0) as u64
+}
+
+fn full_mask(threads: u32, warp: u32) -> Mask {
+    let start = warp * WARP_SIZE;
+    let count = threads.saturating_sub(start).min(WARP_SIZE);
+    if count == 0 {
+        0
+    } else if count == 32 {
+        u32::MAX
+    } else {
+        (1u32 << count) - 1
+    }
+}
+
+fn lanes(mask: Mask) -> impl Iterator<Item = usize> {
+    (0..W).filter(move |l| mask & (1 << l) != 0)
+}
+
+fn to_index(v: f64, len: usize, what: &str) -> Result<usize, SimError> {
+    if !v.is_finite() || v.fract() != 0.0 {
+        return Err(SimError(format!("{what}: non-integral index {v}")));
+    }
+    let i = v as i64;
+    if i < 0 || i as usize >= len {
+        return Err(SimError(format!("{what}: index {i} out of bounds (len {len})")));
+    }
+    Ok(i as usize)
+}
+
+fn stmt_has_sync(s: &Stmt) -> bool {
+    match s {
+        Stmt::Sync => true,
+        Stmt::For { body, .. } => body.iter().any(stmt_has_sync),
+        Stmt::If { then, els, .. } => then.iter().any(stmt_has_sync) || els.iter().any(stmt_has_sync),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidim_codegen::{Axis, BufferDecl, SmemDecl};
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::tesla_k20c()
+    }
+
+    fn one_buffer_prog(len: i64, kernel: Kernel) -> KernelProgram {
+        KernelProgram {
+            name: "t".into(),
+            buffers: vec![
+                BufferDecl {
+                    name: "in".into(),
+                    elem_bytes: 4,
+                    len: Size::from(len),
+                    init: BufferInit::FromArray(ArrayId(0)),
+                    array: Some(ArrayId(0)),
+                },
+                BufferDecl {
+                    name: "out".into(),
+                    elem_bytes: 4,
+                    len: Size::from(len),
+                    init: BufferInit::Zero,
+                    array: Some(ArrayId(1)),
+                },
+            ],
+            kernels: vec![kernel],
+            notes: vec![],
+        }
+    }
+
+    /// out[i] = in[i] * 2 over one block of 32 threads.
+    fn double_kernel(len: i64) -> Kernel {
+        let idx = KExpr::global_tid(Axis::X);
+        Kernel {
+            name: "double".into(),
+            grid: [Size::from((len + 31) / 32), Size::from(1), Size::from(1)],
+            block: [32, 1, 1],
+            smem: vec![],
+            locals: 1,
+            body: vec![
+                Stmt::Assign { dst: 0, value: idx },
+                Stmt::If {
+                    cond: KExpr::lt(KExpr::Local(0), KExpr::imm(len)),
+                    then: vec![Stmt::Store {
+                        buf: BufId(1),
+                        idx: KExpr::Local(0),
+                        value: KExpr::mul(
+                            KExpr::Load { buf: BufId(0), idx: Box::new(KExpr::Local(0)) },
+                            KExpr::Imm(2.0),
+                        ),
+                    }],
+                    els: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn elementwise_double() {
+        let kp = one_buffer_prog(100, double_kernel(100));
+        let inputs: HashMap<_, _> =
+            [(ArrayId(0), (0..100).map(|x| x as f64).collect::<Vec<_>>())].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        let out = r.array(ArrayId(1));
+        assert_eq!(out[7], 14.0);
+        assert_eq!(out[99], 198.0);
+        assert!(r.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn coalesced_traffic_counted() {
+        let kp = one_buffer_prog(1024, double_kernel(1024));
+        let inputs: HashMap<_, _> =
+            [(ArrayId(0), vec![1.0; 1024])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        let c = &r.costs[0];
+        // 32 warps, each 1 load + 1 store request, each 1 transaction
+        // (32 lanes x 4B = 128B).
+        assert_eq!(c.mem_requests, 64);
+        assert_eq!(c.transactions, 64);
+        assert_eq!(c.dram_bytes, 64 * 128);
+    }
+
+    #[test]
+    fn oob_faults() {
+        let kp = one_buffer_prog(10, double_kernel(32)); // guard says 32, len 10
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0; 10])].into_iter().collect();
+        let err = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap_err();
+        assert!(err.0.contains("out of bounds"));
+    }
+
+    #[test]
+    fn block_tree_reduce_with_sync() {
+        // Sum 64 values with one 64-thread block using smem tree reduce.
+        let n = 64i64;
+        let idx = KExpr::global_tid(Axis::X);
+        let mut body = vec![
+            Stmt::Assign { dst: 0, value: idx },
+            Stmt::SmemStore {
+                arr: 0,
+                idx: KExpr::Tid(Axis::X),
+                value: KExpr::Load { buf: BufId(0), idx: Box::new(KExpr::Local(0)) },
+            },
+            Stmt::Sync,
+        ];
+        let mut s = 32;
+        while s >= 1 {
+            body.push(Stmt::If {
+                cond: KExpr::lt(KExpr::Tid(Axis::X), KExpr::imm(s)),
+                then: vec![Stmt::SmemStore {
+                    arr: 0,
+                    idx: KExpr::Tid(Axis::X),
+                    value: KExpr::add(
+                        KExpr::SmemLoad { arr: 0, idx: Box::new(KExpr::Tid(Axis::X)) },
+                        KExpr::SmemLoad {
+                            arr: 0,
+                            idx: Box::new(KExpr::add(KExpr::Tid(Axis::X), KExpr::imm(s))),
+                        },
+                    ),
+                }],
+                els: vec![],
+            });
+            body.push(Stmt::Sync);
+            s /= 2;
+        }
+        body.push(Stmt::If {
+            cond: KExpr::eq(KExpr::Tid(Axis::X), KExpr::imm(0)),
+            then: vec![Stmt::Store {
+                buf: BufId(1),
+                idx: KExpr::imm(0),
+                value: KExpr::SmemLoad { arr: 0, idx: Box::new(KExpr::imm(0)) },
+            }],
+            els: vec![],
+        });
+        let k = Kernel {
+            name: "reduce".into(),
+            grid: [Size::from(1), Size::from(1), Size::from(1)],
+            block: [64, 1, 1],
+            smem: vec![SmemDecl { name: "s".into(), len: 64 }],
+            locals: 1,
+            body,
+        };
+        let kp = one_buffer_prog(n, k);
+        let inputs: HashMap<_, _> =
+            [(ArrayId(0), (0..n).map(|x| x as f64).collect::<Vec<_>>())].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        assert_eq!(r.array(ArrayId(1))[0], (0..64).sum::<i64>() as f64);
+        assert!(r.costs[0].syncs > 0);
+        assert!(r.costs[0].smem_accesses > 0);
+    }
+
+    #[test]
+    fn divergence_costs_both_paths() {
+        // Even lanes take then, odd lanes take else: instructions should
+        // exceed the uniform case.
+        let mk = |divergent: bool| {
+            let cond = if divergent {
+                KExpr::eq(
+                    KExpr::Bin(
+                        multidim_ir::BinOp::Rem,
+                        Box::new(KExpr::Tid(Axis::X)),
+                        Box::new(KExpr::imm(2)),
+                    ),
+                    KExpr::imm(0),
+                )
+            } else {
+                KExpr::Imm(1.0)
+            };
+            Kernel {
+                name: "div".into(),
+                grid: [Size::from(1), Size::from(1), Size::from(1)],
+                block: [32, 1, 1],
+                smem: vec![],
+                locals: 1,
+                body: vec![Stmt::If {
+                    cond,
+                    then: vec![Stmt::Assign { dst: 0, value: KExpr::add(KExpr::Imm(1.0), KExpr::Imm(2.0)) }],
+                    els: vec![Stmt::Assign { dst: 0, value: KExpr::mul(KExpr::Imm(2.0), KExpr::Imm(3.0)) }],
+                }],
+            }
+        };
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0; 4])].into_iter().collect();
+        let r_uniform =
+            run_program(&one_buffer_prog(4, mk(false)), &gpu(), &Bindings::new(), &inputs).unwrap();
+        let r_div =
+            run_program(&one_buffer_prog(4, mk(true)), &gpu(), &Bindings::new(), &inputs).unwrap();
+        assert!(r_div.costs[0].warp_instr > r_uniform.costs[0].warp_instr);
+    }
+
+    #[test]
+    fn for_loop_with_break() {
+        // r1 = iterations until local exceeds 8, starting from tid.
+        let k = Kernel {
+            name: "brk".into(),
+            grid: [Size::from(1), Size::from(1), Size::from(1)],
+            block: [4, 1, 1],
+            smem: vec![],
+            locals: 2,
+            body: vec![
+                Stmt::Assign { dst: 1, value: KExpr::Tid(Axis::X) },
+                Stmt::For {
+                    var: 0,
+                    start: KExpr::imm(0),
+                    end: KExpr::imm(100),
+                    step: KExpr::imm(1),
+                    body: vec![Stmt::If {
+                        cond: KExpr::ge(KExpr::Local(1), KExpr::imm(8)),
+                        then: vec![Stmt::Break],
+                        els: vec![Stmt::Assign {
+                            dst: 1,
+                            value: KExpr::mul(KExpr::Local(1), KExpr::Imm(2.0)),
+                        }],
+                    }],
+                },
+                Stmt::Store { buf: BufId(1), idx: KExpr::Tid(Axis::X), value: KExpr::Local(1) },
+            ],
+        };
+        let kp = one_buffer_prog(4, k);
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0; 4])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        // lane0: 0 doubles forever -> stays 0 (loop ends at 100 iters).
+        // lane1: 1->2->4->8 stop. lane2: 2->4->8. lane3: 3->6->12? 12>=8 stop.
+        assert_eq!(r.array(ArrayId(1)), &[0.0, 8.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn atomic_accumulation() {
+        let k = Kernel {
+            name: "atomic".into(),
+            grid: [Size::from(2), Size::from(1), Size::from(1)],
+            block: [32, 1, 1],
+            smem: vec![],
+            locals: 0,
+            body: vec![Stmt::AtomicRmw {
+                buf: BufId(1),
+                idx: KExpr::imm(0),
+                op: ReduceOp::Add,
+                value: KExpr::Imm(1.0),
+                capture: None,
+            }],
+        };
+        let kp = one_buffer_prog(4, k);
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0; 4])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        assert_eq!(r.array(ArrayId(1))[0], 64.0);
+        assert!(r.costs[0].atomic_serial > 0);
+    }
+
+    #[test]
+    fn partial_warp_masks() {
+        let kp = one_buffer_prog(5, double_kernel(5));
+        let inputs: HashMap<_, _> =
+            [(ArrayId(0), vec![1.0, 2.0, 3.0, 4.0, 5.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        assert_eq!(r.array(ArrayId(1)), &[2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use multidim_codegen::{Axis, BufferDecl, SmemDecl};
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::tesla_k20c()
+    }
+
+    fn buffers(lens: &[(u64, i64)]) -> Vec<BufferDecl> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &(bytes, len))| BufferDecl {
+                name: format!("b{i}"),
+                elem_bytes: bytes,
+                len: Size::from(len),
+                init: if i == 0 { BufferInit::FromArray(ArrayId(0)) } else { BufferInit::Zero },
+                array: Some(ArrayId(i as u32)),
+            })
+            .collect()
+    }
+
+    /// A 2-D grid/block kernel writes its (x, y) coordinates: exercises
+    /// multi-axis thread indexing.
+    #[test]
+    fn two_dimensional_indexing() {
+        let w = 8i64;
+        let h = 6i64;
+        let x = 0u32;
+        let y = 1u32;
+        let body = vec![
+            Stmt::Assign { dst: x, value: KExpr::global_tid(Axis::X) },
+            Stmt::Assign { dst: y, value: KExpr::global_tid(Axis::Y) },
+            Stmt::If {
+                cond: KExpr::and(
+                    KExpr::lt(KExpr::Local(x), KExpr::imm(w)),
+                    KExpr::lt(KExpr::Local(y), KExpr::imm(h)),
+                ),
+                then: vec![Stmt::Store {
+                    buf: BufId(1),
+                    idx: KExpr::add(
+                        KExpr::mul(KExpr::Local(y), KExpr::imm(w)),
+                        KExpr::Local(x),
+                    ),
+                    value: KExpr::add(
+                        KExpr::mul(KExpr::Local(y), KExpr::Imm(100.0)),
+                        KExpr::Local(x),
+                    ),
+                }],
+                els: vec![],
+            },
+        ];
+        let kp = KernelProgram {
+            name: "grid2d".into(),
+            buffers: buffers(&[(4, 1), (4, w * h)]),
+            kernels: vec![Kernel {
+                name: "grid2d".into(),
+                grid: [Size::from(2), Size::from(3), Size::from(1)],
+                block: [4, 2, 1],
+                smem: vec![],
+                locals: 2,
+                body,
+            }],
+            notes: vec![],
+        };
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        let out = r.array(ArrayId(1));
+        for yy in 0..h {
+            for xx in 0..w {
+                assert_eq!(out[(yy * w + xx) as usize], (yy * 100 + xx) as f64);
+            }
+        }
+    }
+
+    /// Bank conflicts are observed in kernel cost when a kernel strides
+    /// shared memory by the bank count.
+    #[test]
+    fn smem_conflicts_counted() {
+        let body = vec![
+            Stmt::SmemStore {
+                arr: 0,
+                idx: KExpr::mul(KExpr::Tid(Axis::X), KExpr::imm(32)),
+                value: KExpr::Imm(1.0),
+            },
+        ];
+        let kp = KernelProgram {
+            name: "conflict".into(),
+            buffers: buffers(&[(4, 1)]),
+            kernels: vec![Kernel {
+                name: "conflict".into(),
+                grid: [Size::from(1), Size::from(1), Size::from(1)],
+                block: [32, 1, 1],
+                smem: vec![SmemDecl { name: "s".into(), len: 32 * 32 }],
+                locals: 0,
+                body,
+            }],
+            notes: vec![],
+        };
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        assert_eq!(r.costs[0].smem_conflicts, 31);
+    }
+
+    /// Atomic capture returns pre-update values — all distinct for a
+    /// shared counter.
+    #[test]
+    fn atomic_capture_is_exclusive() {
+        let body = vec![
+            Stmt::AtomicRmw {
+                buf: BufId(0),
+                idx: KExpr::imm(0),
+                op: ReduceOp::Add,
+                value: KExpr::Imm(1.0),
+                capture: Some(0),
+            },
+            Stmt::Store { buf: BufId(1), idx: KExpr::Local(0), value: KExpr::Imm(7.0) },
+        ];
+        let kp = KernelProgram {
+            name: "cap".into(),
+            buffers: buffers(&[(4, 1), (4, 64)]),
+            kernels: vec![Kernel {
+                name: "cap".into(),
+                grid: [Size::from(2), Size::from(1), Size::from(1)],
+                block: [32, 1, 1],
+                smem: vec![],
+                locals: 1,
+                body,
+            }],
+            notes: vec![],
+        };
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        // Every slot 0..64 received exactly one write.
+        assert!(r.array(ArrayId(1)).iter().all(|&v| v == 7.0));
+        assert_eq!(r.array(ArrayId(0))[0], 64.0);
+    }
+
+    /// Specialization resolves symbolic sizes before execution.
+    #[test]
+    fn symbolic_grid_sizes_resolve() {
+        let n = multidim_ir::SymId(0);
+        let body = vec![
+            Stmt::Assign { dst: 0, value: KExpr::global_tid(Axis::X) },
+            Stmt::If {
+                cond: KExpr::lt(KExpr::Local(0), KExpr::SizeVal(Size::sym(n))),
+                then: vec![Stmt::Store {
+                    buf: BufId(1),
+                    idx: KExpr::Local(0),
+                    value: KExpr::Imm(3.0),
+                }],
+                els: vec![],
+            },
+        ];
+        let kp = KernelProgram {
+            name: "sym".into(),
+            buffers: vec![
+                BufferDecl {
+                    name: "a".into(),
+                    elem_bytes: 4,
+                    len: Size::from(1),
+                    init: BufferInit::FromArray(ArrayId(0)),
+                    array: Some(ArrayId(0)),
+                },
+                BufferDecl {
+                    name: "o".into(),
+                    elem_bytes: 4,
+                    len: Size::sym(n),
+                    init: BufferInit::Zero,
+                    array: Some(ArrayId(1)),
+                },
+            ],
+            kernels: vec![Kernel {
+                name: "sym".into(),
+                grid: [Size::sym(n) / Size::from(32), Size::from(1), Size::from(1)],
+                block: [32, 1, 1],
+                smem: vec![],
+                locals: 1,
+                body,
+            }],
+            notes: vec![],
+        };
+        let mut bind = Bindings::new();
+        bind.bind(n, 77);
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &bind, &inputs).unwrap();
+        assert_eq!(r.array(ArrayId(1)).len(), 77);
+        assert!(r.array(ArrayId(1)).iter().all(|&v| v == 3.0));
+    }
+
+    /// Select evaluates both sides but picks per lane.
+    #[test]
+    fn select_is_per_lane() {
+        let body = vec![Stmt::Store {
+            buf: BufId(1),
+            idx: KExpr::Tid(Axis::X),
+            value: KExpr::Select(
+                Box::new(KExpr::Bin(
+                    multidim_ir::BinOp::Rem,
+                    Box::new(KExpr::Tid(Axis::X)),
+                    Box::new(KExpr::imm(2)),
+                )),
+                Box::new(KExpr::Imm(1.0)),
+                Box::new(KExpr::Imm(2.0)),
+            ),
+        }];
+        let kp = KernelProgram {
+            name: "sel".into(),
+            buffers: buffers(&[(4, 1), (4, 32)]),
+            kernels: vec![Kernel {
+                name: "sel".into(),
+                grid: [Size::from(1), Size::from(1), Size::from(1)],
+                block: [32, 1, 1],
+                smem: vec![],
+                locals: 0,
+                body,
+            }],
+            notes: vec![],
+        };
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
+        let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
+        let out = r.array(ArrayId(1));
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, if i % 2 == 1 { 1.0 } else { 2.0 });
+        }
+    }
+}

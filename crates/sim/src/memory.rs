@@ -1,0 +1,141 @@
+//! Memory-system models: global-memory coalescing and shared-memory bank
+//! conflicts.
+
+use multidim_device::{GpuSpec, WARP_SIZE};
+
+/// Coalesce one warp's global access: given the active lanes' byte
+/// addresses, count the distinct `transaction_bytes`-sized segments touched
+/// (NVIDIA-style coalescing — Section II of the paper).
+///
+/// Returns `(transactions, bytes)`.
+///
+/// # Examples
+///
+/// ```
+/// use multidim_sim::coalesce;
+/// use multidim_device::GpuSpec;
+///
+/// let gpu = GpuSpec::tesla_k20c();
+/// // 32 adjacent 4-byte accesses: one 128-byte transaction.
+/// let seq: Vec<u64> = (0..32).map(|i| i * 4).collect();
+/// assert_eq!(coalesce(&gpu, &seq), (1, 128));
+/// // 32 accesses strided by 4 KiB: 32 transactions.
+/// let strided: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+/// assert_eq!(coalesce(&gpu, &strided), (32, 32 * 128));
+/// ```
+pub fn coalesce(gpu: &GpuSpec, byte_addrs: &[u64]) -> (u64, u64) {
+    if byte_addrs.is_empty() {
+        return (0, 0);
+    }
+    let seg = gpu.transaction_bytes.max(1);
+    let mut segments: [u64; WARP_SIZE as usize] = [u64::MAX; WARP_SIZE as usize];
+    let mut n = 0usize;
+    for &a in byte_addrs {
+        let s = a / seg;
+        if !segments[..n].contains(&s) {
+            segments[n] = s;
+            n += 1;
+        }
+    }
+    (n as u64, n as u64 * seg)
+}
+
+/// Shared-memory bank conflicts for one warp access: word addresses map to
+/// `banks` 4-byte banks; the access replays once per extra hit on the most
+/// contended bank (identical addresses broadcast for free).
+///
+/// Returns the number of *extra* serialized passes (0 = conflict-free).
+///
+/// # Examples
+///
+/// ```
+/// use multidim_sim::bank_conflicts;
+///
+/// // Conflict-free: consecutive words.
+/// let seq: Vec<u64> = (0..32).collect();
+/// assert_eq!(bank_conflicts(32, &seq), 0);
+/// // 2-way conflict: stride 2.
+/// let s2: Vec<u64> = (0..32).map(|i| i * 2).collect();
+/// assert_eq!(bank_conflicts(32, &s2), 1);
+/// // Broadcast: same word everywhere — free.
+/// let b: Vec<u64> = vec![7; 32];
+/// assert_eq!(bank_conflicts(32, &b), 0);
+/// ```
+pub fn bank_conflicts(banks: u32, word_addrs: &[u64]) -> u64 {
+    if word_addrs.is_empty() {
+        return 0;
+    }
+    let banks = banks.max(1) as u64;
+    // Per bank, count *distinct* words (same word broadcasts).
+    let mut seen: Vec<(u64, u64)> = Vec::with_capacity(word_addrs.len()); // (bank, word)
+    let mut per_bank = vec![0u64; banks as usize];
+    for &w in word_addrs {
+        let b = w % banks;
+        if !seen.contains(&(b, w)) {
+            seen.push((b, w));
+            per_bank[b as usize] += 1;
+        }
+    }
+    per_bank.iter().copied().max().unwrap_or(1).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::tesla_k20c()
+    }
+
+    #[test]
+    fn single_lane_one_transaction() {
+        assert_eq!(coalesce(&gpu(), &[4096]), (1, 128));
+    }
+
+    #[test]
+    fn two_segments_when_straddling() {
+        // Two accesses in different 128B segments.
+        assert_eq!(coalesce(&gpu(), &[0, 128]).0, 2);
+        // Same segment: one.
+        assert_eq!(coalesce(&gpu(), &[0, 124]).0, 1);
+    }
+
+    #[test]
+    fn f64_sequential_is_two_transactions() {
+        // 32 lanes x 8 bytes = 256 bytes = 2 segments.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        assert_eq!(coalesce(&gpu(), &addrs).0, 2);
+    }
+
+    #[test]
+    fn stride_interacts_with_segment_size() {
+        // Stride 32 floats (128B): every lane its own segment.
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 128).collect();
+        assert_eq!(coalesce(&gpu(), &addrs).0, 32);
+        // Stride 8 floats (32B): 4 lanes share a segment.
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 32).collect();
+        assert_eq!(coalesce(&gpu(), &addrs).0, 8);
+    }
+
+    #[test]
+    fn conflict_heavy_stride() {
+        // Stride 32 words on 32 banks: all lanes hit bank 0: 31 replays.
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 32).collect();
+        assert_eq!(bank_conflicts(32, &addrs), 31);
+    }
+
+    #[test]
+    fn partial_warp() {
+        let addrs: Vec<u64> = (0..7u64).map(|i| i * 4).collect();
+        let (t, b) = coalesce(&gpu(), &addrs);
+        assert_eq!(t, 1);
+        assert_eq!(b, 128);
+        assert_eq!(bank_conflicts(32, &addrs), 0);
+    }
+
+    #[test]
+    fn empty_access() {
+        assert_eq!(coalesce(&gpu(), &[]), (0, 0));
+        assert_eq!(bank_conflicts(32, &[]), 0);
+    }
+}

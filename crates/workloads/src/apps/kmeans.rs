@@ -1,0 +1,193 @@
+//! K-means clustering — an extension workload exercising `groupBy` (the
+//! Table I pattern no other benchmark stresses) together with nested
+//! map/reduce, in the style the paper's introduction motivates for
+//! machine-learning pipelines.
+//!
+//! Each iteration: (1) assign every point to its nearest centroid
+//! (map × map × reduce — the MSMBuilder shape); (2) accumulate per-cluster
+//! coordinate sums and counts with `groupBy` (atomics on the GPU);
+//! (3) host divides to form the new centroids.
+
+use crate::data;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, ReduceOp, SymId};
+use std::collections::HashMap;
+
+/// Assignment kernel: `best[p] = argmin_k Σ_d (x[p][d] - c[k][d])²`,
+/// computed as an index-encoded min-reduce (`dist * K + k`).
+pub fn assign_program() -> (Program, SymId, SymId, SymId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new("kmeans_assign");
+    let p_ = b.sym("P");
+    let k_ = b.sym("K");
+    let d_ = b.sym("D");
+    let x = b.input("points", ScalarKind::F32, &[Size::sym(p_), Size::sym(d_)]);
+    let c = b.input("centroids", ScalarKind::F32, &[Size::sym(k_), Size::sym(d_)]);
+    let root = b.map(Size::sym(p_), |b, p| {
+        // Encode (distance, cluster) as floor(dist·1e4)·1e3 + k: an exact
+        // integer, so min carries the argmin and k decodes exactly.
+        let enc = b.map(Size::sym(k_), |b, k| {
+            let dist = b.reduce(Size::sym(d_), ReduceOp::Add, |b, d| {
+                let diff =
+                    b.read(x, &[p.into(), d.into()]) - b.read(c, &[k.into(), d.into()]);
+                diff.clone() * diff
+            });
+            (dist * Expr::lit(1e4)).floor() * Expr::lit(1e3) + Expr::var(k)
+        });
+        let min_enc = b.let_(enc, |b, t| {
+            b.reduce(Size::sym(k_), ReduceOp::Min, |b, k| b.read_var(t, &[k.into()]))
+        });
+        // Decode: k = enc mod 1000. Bind the reduce result once —
+        // duplicating the expression would duplicate the nested patterns.
+        b.let_(min_enc, |_, best| Expr::var(best).rem(Expr::lit(1e3)))
+    });
+    let p = b.finish_map(root, "assignment", ScalarKind::I32).expect("valid kmeans assign");
+    (p, p_, k_, d_, x, c)
+}
+
+/// Accumulation kernel for one coordinate `d`: per-cluster sums of that
+/// coordinate via `groupBy` (plus a count histogram from `values = 1`).
+pub fn accumulate_program() -> (Program, SymId, SymId, SymId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new("kmeans_accumulate");
+    let p_ = b.sym("P");
+    let k_ = b.sym("K");
+    let dsel = b.sym("DSEL"); // which coordinate this launch accumulates
+    let d_ = b.sym("D");
+    let x = b.input("points", ScalarKind::F32, &[Size::sym(p_), Size::sym(d_)]);
+    let assign = b.input("assignment", ScalarKind::I32, &[Size::sym(p_)]);
+    let root = b.group_by(Size::sym(p_), Size::sym(k_), ReduceOp::Add, |b, p| {
+        (
+            b.read(assign, &[p.into()]),
+            b.read(x, &[p.into(), Expr::size(Size::sym(dsel))]),
+        )
+    });
+    let p = b.finish_group_by(root, "sums", ScalarKind::F32).expect("valid kmeans accumulate");
+    (p, p_, k_, dsel, x, assign)
+}
+
+/// Count kernel: cluster sizes.
+pub fn count_program() -> (Program, SymId, SymId, ArrayId) {
+    let mut b = ProgramBuilder::new("kmeans_count");
+    let p_ = b.sym("P");
+    let k_ = b.sym("K");
+    let assign = b.input("assignment", ScalarKind::I32, &[Size::sym(p_)]);
+    let root = b.group_by(Size::sym(p_), Size::sym(k_), ReduceOp::Add, |b, p| {
+        (b.read(assign, &[p.into()]), Expr::lit(1.0))
+    });
+    let p = b.finish_group_by(root, "counts", ScalarKind::F32).expect("valid kmeans count");
+    (p, p_, k_, assign)
+}
+
+/// Run `iters` K-means iterations; returns the outcome plus the final
+/// centroids.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(
+    strategy: Strategy,
+    points: usize,
+    clusters: usize,
+    dims: usize,
+    iters: usize,
+) -> Result<(Outcome, Vec<f64>), WorkloadError> {
+    let (ap, ap_p, ap_k, ap_d, ax, ac) = assign_program();
+    let (sp, sp_p, sp_k, sp_dsel, sx, sassign) = accumulate_program();
+    let (cp, cp_p, cp_k, cassign) = count_program();
+
+    let (xs, mut centroids) = data::trajectories(points, clusters, dims, 77);
+    let mut run = HostRun::with_strategy(strategy);
+    let mut last_assign = vec![0.0; points];
+
+    for _ in 0..iters {
+        // 1. assign
+        let mut b1 = Bindings::new();
+        b1.bind(ap_p, points as i64);
+        b1.bind(ap_k, clusters as i64);
+        b1.bind(ap_d, dims as i64);
+        let i1: HashMap<_, _> =
+            [(ax, xs.clone()), (ac, centroids.clone())].into_iter().collect();
+        let o1 = run.launch(&ap, &b1, &i1)?;
+        last_assign = o1[&ap.output.unwrap()].clone();
+
+        // 2. counts
+        let mut b3 = Bindings::new();
+        b3.bind(cp_p, points as i64);
+        b3.bind(cp_k, clusters as i64);
+        let i3: HashMap<_, _> = [(cassign, last_assign.clone())].into_iter().collect();
+        let o3 = run.launch(&cp, &b3, &i3)?;
+        let counts = o3[&cp.output.unwrap()].clone();
+
+        // 3. per-coordinate sums -> new centroids
+        for d in 0..dims {
+            let mut b2 = Bindings::new();
+            b2.bind(sp_p, points as i64);
+            b2.bind(sp_k, clusters as i64);
+            b2.bind(sp_dsel, d as i64);
+            b2.bind(sx_dim_sym(&sp), dims as i64);
+            let i2: HashMap<_, _> =
+                [(sx, xs.clone()), (sassign, last_assign.clone())].into_iter().collect();
+            let o2 = run.launch(&sp, &b2, &i2)?;
+            let sums = &o2[&sp.output.unwrap()];
+            for k in 0..clusters {
+                if counts[k] > 0.0 {
+                    centroids[k * dims + d] = sums[k] / counts[k];
+                }
+            }
+        }
+    }
+    let outputs: HashMap<_, _> = [(ap.output.unwrap(), last_assign)].into_iter().collect();
+    Ok((run.finish(outputs), centroids))
+}
+
+fn sx_dim_sym(p: &Program) -> multidim_ir::SymId {
+    p.symbol_by_name("D").expect("D symbol").id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_are_valid_cluster_ids() {
+        let (o, _) = run(Strategy::MultiDim, 200, 5, 4, 2).unwrap();
+        let (ap, ..) = assign_program();
+        let a = &o.outputs[&ap.output.unwrap()];
+        assert!(a.iter().all(|&k| k >= 0.0 && k < 5.0 && k.fract() == 0.0), "{a:?}");
+    }
+
+    #[test]
+    fn assign_matches_reference() {
+        let (ap, p_, k_, d_, x, c) = assign_program();
+        let mut bind = Bindings::new();
+        bind.bind(p_, 40);
+        bind.bind(k_, 4);
+        bind.bind(d_, 6);
+        let (xs, cs) = data::trajectories(40, 4, 6, 77);
+        let inputs: HashMap<_, _> = [(x, xs), (c, cs)].into_iter().collect();
+        let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
+        run.launch(&ap, &bind, &inputs).unwrap();
+    }
+
+    #[test]
+    fn iterations_reduce_distortion() {
+        let (points, clusters, dims) = (300, 4, 3);
+        let (xs, _) = data::trajectories(points, clusters, dims, 77);
+        let distortion = |centroids: &[f64], assign: &[f64]| -> f64 {
+            (0..points)
+                .map(|p| {
+                    let k = assign[p] as usize;
+                    (0..dims)
+                        .map(|d| (xs[p * dims + d] - centroids[k * dims + d]).powi(2))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let (o1, c1) = run(Strategy::MultiDim, points, clusters, dims, 1).unwrap();
+        let (o5, c5) = run(Strategy::MultiDim, points, clusters, dims, 5).unwrap();
+        let (ap, ..) = assign_program();
+        let d1 = distortion(&c1, &o1.outputs[&ap.output.unwrap()]);
+        let d5 = distortion(&c5, &o5.outputs[&ap.output.unwrap()]);
+        assert!(d5 <= d1 * 1.0001, "distortion went up: {d1} -> {d5}");
+    }
+}

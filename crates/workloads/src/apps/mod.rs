@@ -1,0 +1,7 @@
+//! The real-world applications of Figure 14.
+
+pub mod kmeans;
+pub mod msm;
+pub mod spmv;
+pub mod naive_bayes;
+pub mod qpscd;

@@ -1,0 +1,157 @@
+//! Synthetic input generators.
+//!
+//! The paper's evaluation uses Rodinia inputs, MSMBuilder molecular
+//! trajectories, and a spam corpus — none of which we can ship. These
+//! generators produce inputs with the same *shapes* and access-relevant
+//! statistics (matrix dimensions, power-law graph degrees, sparse word
+//! counts), which is all the mapping analysis and the timing model observe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A row-major matrix of uniform values in `[0, 1)`.
+pub fn matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..rows * cols).map(|_| r.gen::<f64>()).collect()
+}
+
+/// A vector of uniform values in `[0, 1)`.
+pub fn vector(n: usize, seed: u64) -> Vec<f64> {
+    matrix(n, 1, seed)
+}
+
+/// A vector of uniform integers in `[0, max)` stored as `f64`.
+pub fn indices(n: usize, max: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..max) as f64).collect()
+}
+
+/// A CSR graph with a skewed (approximate power-law) degree distribution —
+/// the workload shape that motivated warp-based mapping (Hong et al.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// `row_ptr[n]..row_ptr[n+1]` bounds node `n`'s neighbor list.
+    pub row_ptr: Vec<f64>,
+    /// Flattened neighbor ids.
+    pub col_idx: Vec<f64>,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+}
+
+impl CsrGraph {
+    /// Generate a graph with `nodes` nodes and mean degree `mean_degree`,
+    /// degrees drawn from a discrete Pareto-like distribution.
+    pub fn power_law(nodes: usize, mean_degree: usize, seed: u64) -> CsrGraph {
+        let mut r = rng(seed);
+        let mut row_ptr = Vec::with_capacity(nodes + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0.0);
+        for _ in 0..nodes {
+            // Pareto(alpha≈1.8) truncated; scaled to the requested mean.
+            let u: f64 = r.gen_range(0.02..1.0f64);
+            let deg = ((mean_degree as f64 * 0.45) / u.powf(0.55)).round() as usize;
+            let deg = deg.min(nodes.saturating_sub(1)).max(1);
+            for _ in 0..deg {
+                col_idx.push(r.gen_range(0..nodes) as f64);
+            }
+            row_ptr.push(col_idx.len() as f64);
+        }
+        let edges = col_idx.len();
+        CsrGraph { row_ptr, col_idx, nodes, edges }
+    }
+
+    /// The degree of node `n`.
+    pub fn degree(&self, n: usize) -> usize {
+        (self.row_ptr[n + 1] - self.row_ptr[n]) as usize
+    }
+}
+
+/// A sparse binary document–term matrix: `docs × words` with `density`
+/// fraction of nonzero (word present) entries, plus labels (spam = 1).
+pub fn document_matrix(docs: usize, words: usize, density: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let m: Vec<f64> = (0..docs * words)
+        .map(|_| if r.gen::<f64>() < density { 1.0 } else { 0.0 })
+        .collect();
+    let labels: Vec<f64> = (0..docs).map(|_| if r.gen::<f64>() < 0.4 { 1.0 } else { 0.0 }).collect();
+    (m, labels)
+}
+
+/// Symmetric positive-definite-ish matrix for the QP solver: diagonally
+/// dominant so coordinate descent converges.
+pub fn spd_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut m = matrix(n, n, seed);
+    for i in 0..n {
+        for j in 0..i {
+            let v = (m[i * n + j] + m[j * n + i]) / 2.0;
+            m[i * n + j] = v;
+            m[j * n + i] = v;
+        }
+        m[i * n + i] = n as f64; // dominance
+    }
+    m
+}
+
+/// Trajectory data for the MSMBuilder clustering kernel: `points` frames of
+/// `dims` coordinates, and `clusters` centers of the same dimensionality.
+pub fn trajectories(points: usize, clusters: usize, dims: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    (matrix(points, dims, seed), matrix(clusters, dims, seed ^ 0x9e37_79b9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(matrix(4, 4, 7), matrix(4, 4, 7));
+        assert_ne!(matrix(4, 4, 7), matrix(4, 4, 8));
+    }
+
+    #[test]
+    fn graph_is_well_formed() {
+        let g = CsrGraph::power_law(200, 8, 1);
+        assert_eq!(g.row_ptr.len(), 201);
+        assert_eq!(g.row_ptr[200] as usize, g.edges);
+        assert!(g.col_idx.iter().all(|&c| (c as usize) < 200));
+        // Skew: max degree well above the mean.
+        let max_deg = (0..200).map(|n| g.degree(n)).max().unwrap();
+        let mean = g.edges / 200;
+        assert!(max_deg >= 3 * mean, "max {max_deg} mean {mean}");
+    }
+
+    #[test]
+    fn document_matrix_density() {
+        let (m, labels) = document_matrix(100, 100, 0.1, 3);
+        let nnz: f64 = m.iter().sum();
+        assert!(nnz > 500.0 && nnz < 1500.0);
+        assert_eq!(labels.len(), 100);
+        assert!(labels.iter().all(|&l| l == 0.0 || l == 1.0));
+    }
+
+    #[test]
+    fn spd_is_symmetric_dominant() {
+        let n = 16;
+        let m = spd_matrix(n, 2);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(m[i * n + j], m[j * n + i]);
+            }
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j].abs()).sum();
+            assert!(m[i * n + i] > off / 2.0);
+        }
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let ix = indices(1000, 37, 5);
+        assert!(ix.iter().all(|&i| i >= 0.0 && i < 37.0 && i.fract() == 0.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark applications for the `multidim` framework.
+//!
+//! Every workload the paper evaluates, written as nested parallel patterns
+//! against the `multidim` DSL:
+//!
+//! * [`sums`] — the running example (`sumRows`/`sumCols`, Figures 1 and 3)
+//!   and the weighted variants used by the allocation study (Figures 15
+//!   and 16);
+//! * [`rodinia`] — the Rodinia subset of Figures 12 and 13 (Nearest
+//!   Neighbor, Gaussian Elimination, Hotspot, Mandelbrot, SRAD,
+//!   Pathfinder, LUD, BFS), each with row-major and column-major
+//!   traversals where the paper uses both;
+//! * [`apps`] — the real-world applications of Figure 14 (QPSCD HogWild!,
+//!   MSMBuilder trajectory clustering, Naive Bayes spam training);
+//! * [`manual`] — hand-written kernel-IR baselines standing in for the
+//!   hand-optimized CUDA the paper compares against;
+//! * [`data`] — synthetic input generators;
+//! * [`runner`] — shared host-program execution helpers.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod data;
+pub mod manual;
+pub mod pagerank;
+pub mod rodinia;
+pub mod runner;
+pub mod sums;

@@ -1,0 +1,175 @@
+//! BFS: level-synchronous breadth-first search (Figure 12's text).
+//!
+//! Each level expands the frontier: for every frontier node, visit its
+//! neighbors (a *dynamically sized* inner pattern — the CSR degree). The
+//! Rodinia manual kernel only parallelizes over nodes (equivalent to the
+//! 1D strategy); the analysis additionally parallelizes the neighbor loop,
+//! improving load balance on skewed graphs (Section VI-C).
+
+use crate::data::CsrGraph;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, Effect, SymId};
+use std::collections::HashMap;
+
+/// One frontier-expansion step. Arrays: CSR (`row_ptr`, `col_idx`),
+/// `frontier` (0/1 mask), `visited` (0/1), `next` (output mask),
+/// `cost` (distance labels, updated for newly reached nodes).
+#[allow(clippy::type_complexity)]
+pub fn step_program(
+    mean_degree_hint: i64,
+) -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, ArrayId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new("bfs_step");
+    let n = b.sym("N");
+    let e = b.sym("E");
+    let row_ptr = b.input("row_ptr", ScalarKind::I32, &[Size::sym(n) + Size::from(1)]);
+    let col_idx = b.input("col_idx", ScalarKind::I32, &[Size::sym(e)]);
+    let frontier = b.input("frontier", ScalarKind::Bool, &[Size::sym(n)]);
+    let visited = b.input("visited", ScalarKind::Bool, &[Size::sym(n)]);
+    let next = b.output("next", ScalarKind::Bool, &[Size::sym(n)]);
+    let cost = b.output("cost", ScalarKind::F32, &[Size::sym(n)]);
+    let level = b.sym("LEVEL");
+
+    let root = b.foreach(Size::sym(n), |b, node| {
+        let start = b.read(row_ptr, &[node.into()]);
+        let end = b.read(row_ptr, &[Expr::var(node) + Expr::lit(1.0)]);
+        let in_frontier = b.read(frontier, &[node.into()]);
+        let degree = end - start.clone();
+        // Only frontier nodes expand; the guard discounts the inner work.
+        let extent = in_frontier.clone() * degree;
+        let inner = b.foreach_dyn(extent, mean_degree_hint, |b, j| {
+            let nbr = b.read(col_idx, &[start.clone() + Expr::var(j)]);
+            let unseen = Expr::lit(1.0) - b.read(visited, &[nbr.clone()]);
+            vec![
+                Effect::Write {
+                    cond: Some(unseen.clone()),
+                    array: next,
+                    idx: vec![nbr.clone()],
+                    value: Expr::lit(1.0),
+                },
+                Effect::Write {
+                    cond: Some(unseen),
+                    array: cost,
+                    idx: vec![nbr],
+                    value: Expr::size(Size::sym(level)),
+                },
+            ]
+        });
+        vec![b.nested_effect(inner)]
+    });
+    let p = b.finish_foreach(root).expect("valid bfs program");
+    (p, n, e, row_ptr, col_idx, frontier, visited, next, cost)
+}
+
+/// Run BFS from node 0 over a power-law graph.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(strategy: Strategy, nodes: usize, mean_degree: usize) -> Result<Outcome, WorkloadError> {
+    let g = CsrGraph::power_law(nodes, mean_degree, 13);
+    run_on(strategy, &g)
+}
+
+/// Run BFS on a prepared graph.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_on(strategy: Strategy, g: &CsrGraph) -> Result<Outcome, WorkloadError> {
+    let mean = (g.edges / g.nodes.max(1)).max(1) as i64;
+    let (p, ns, es, row_ptr, col_idx, fr, vis, next, cost) = step_program(mean);
+    let level_sym = p.symbol_by_name("LEVEL").expect("level symbol").id;
+
+    let mut frontier = vec![0.0; g.nodes];
+    let mut visited = vec![0.0; g.nodes];
+    let mut costs = vec![0.0; g.nodes];
+    frontier[0] = 1.0;
+    visited[0] = 1.0;
+
+    let mut run = HostRun::with_strategy(strategy);
+    let mut outputs;
+    let mut level = 1i64;
+    loop {
+        let mut bind = Bindings::new();
+        bind.bind(ns, g.nodes as i64);
+        bind.bind(es, g.edges as i64);
+        bind.bind(level_sym, level);
+        let inputs: HashMap<_, _> = [
+            (row_ptr, g.row_ptr.clone()),
+            (col_idx, g.col_idx.clone()),
+            (fr, frontier.clone()),
+            (vis, visited.clone()),
+            (cost, costs.clone()),
+        ]
+        .into_iter()
+        .collect();
+        outputs = run.launch(&p, &bind, &inputs)?;
+        let next_mask = outputs[&next].clone();
+        costs = outputs[&cost].clone();
+        // Host-side frontier bookkeeping (Rodinia does the same).
+        let mut any = false;
+        for i in 0..g.nodes {
+            let newly = next_mask[i] != 0.0 && visited[i] == 0.0;
+            frontier[i] = if newly { 1.0 } else { 0.0 };
+            if newly {
+                visited[i] = 1.0;
+                any = true;
+            }
+        }
+        if !any || level > g.nodes as i64 {
+            break;
+        }
+        level += 1;
+    }
+    outputs.insert(cost, costs);
+    Ok(run.finish(outputs))
+}
+
+/// Host-side reference BFS distances.
+pub fn reference(g: &CsrGraph) -> Vec<f64> {
+    let mut dist = vec![0.0; g.nodes];
+    let mut seen = vec![false; g.nodes];
+    let mut q = std::collections::VecDeque::new();
+    seen[0] = true;
+    q.push_back(0usize);
+    while let Some(u) = q.pop_front() {
+        let (s, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+        for k in s..e {
+            let v = g.col_idx[k] as usize;
+            if !seen[v] {
+                seen[v] = true;
+                dist[v] = dist[u] + 1.0;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_reference() {
+        let g = CsrGraph::power_law(120, 4, 13);
+        let o = run_on(Strategy::MultiDim, &g).unwrap();
+        let (p, .., cost) = step_program(4);
+        let _ = p;
+        let got = &o.outputs[&cost];
+        let want = reference(&g);
+        assert_eq!(got.len(), want.len());
+        for (i, (gv, wv)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(gv, wv, "node {i}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let g = CsrGraph::power_law(80, 5, 21);
+        let a = run_on(Strategy::MultiDim, &g).unwrap();
+        let b = run_on(Strategy::OneD, &g).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

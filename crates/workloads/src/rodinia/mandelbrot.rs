@@ -1,0 +1,99 @@
+//! Mandelbrot: a two-level map with a data-dependent sequential escape
+//! iteration per pixel (Figures 12, 13, and the Figure 17 score sweep).
+
+use crate::rodinia::Traversal;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{SymId, VarId};
+use std::collections::HashMap;
+
+/// Maximum escape iterations.
+pub const MAX_ITER: i64 = 64;
+
+/// The Mandelbrot program over an `H × W` pixel grid. `traversal` selects
+/// which axis the outer map walks.
+pub fn program(traversal: Traversal) -> (Program, SymId, SymId) {
+    let mut b = ProgramBuilder::new(match traversal {
+        Traversal::RowMajor => "mandelbrot",
+        Traversal::ColMajor => "mandelbrot_c",
+    });
+    let h = b.sym("H");
+    let w = b.sym("W");
+
+    let body = |b: &mut ProgramBuilder, y: VarId, x: VarId| {
+        // c = (x/W * 3.5 - 2.5, y/H * 2 - 1)
+        let cr = Expr::var(x) / Expr::size(Size::sym(w)) * Expr::lit(3.5) - Expr::lit(2.5);
+        let ci = Expr::var(y) / Expr::size(Size::sym(h)) * Expr::lit(2.0) - Expr::lit(1.0);
+        b.iterate(
+            Expr::int(MAX_ITER),
+            vec![Expr::lit(0.0), Expr::lit(0.0), Expr::lit(0.0)],
+            |_, vars| {
+                let (zr, zi, k) = (Expr::var(vars[0]), Expr::var(vars[1]), Expr::var(vars[2]));
+                let cond = (zr.clone() * zr.clone() + zi.clone() * zi.clone()).lt(Expr::lit(4.0));
+                let nzr = zr.clone() * zr.clone() - zi.clone() * zi.clone() + cr.clone();
+                let nzi = Expr::lit(2.0) * zr * zi + ci.clone();
+                (cond, vec![nzr, nzi, k.clone() + Expr::lit(1.0)], k)
+            },
+        )
+    };
+
+    let root = match traversal {
+        Traversal::RowMajor => b.map(Size::sym(h), |b, y| {
+            b.map(Size::sym(w), |b, x| body(b, y, x))
+        }),
+        Traversal::ColMajor => b.map(Size::sym(w), |b, x| {
+            b.map(Size::sym(h), |b, y| body(b, y, x))
+        }),
+    };
+    let p = b.finish_map(root, "iters", ScalarKind::I32).expect("valid mandelbrot program");
+    (p, h, w)
+}
+
+/// Run Mandelbrot on an `h × w` grid under `strategy`.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(traversal: Traversal, strategy: Strategy, h: usize, w: usize) -> Result<Outcome, WorkloadError> {
+    let (p, hs, ws) = program(traversal);
+    let mut bind = Bindings::new();
+    bind.bind(hs, h as i64);
+    bind.bind(ws, w as i64);
+    let mut run = HostRun::with_strategy(strategy);
+    let out = run.launch(&p, &bind, &HashMap::new())?;
+    Ok(run.finish(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_against_reference() {
+        for t in [Traversal::RowMajor, Traversal::ColMajor] {
+            let (p, hs, ws) = program(t);
+            let mut bind = Bindings::new();
+            bind.bind(hs, 16);
+            bind.bind(ws, 24);
+            let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
+            run.launch(&p, &bind, &HashMap::new()).unwrap();
+        }
+    }
+
+    #[test]
+    fn interior_points_cap_out() {
+        // Pixel at c ≈ (-0.5, 0): inside the set, must reach MAX_ITER.
+        let o = run(Traversal::RowMajor, Strategy::MultiDim, 8, 8).unwrap();
+        let (p, ..) = program(Traversal::RowMajor);
+        let out = &o.outputs[&p.output.unwrap()];
+        assert!(out.iter().any(|&v| v == MAX_ITER as f64), "{out:?}");
+        assert!(out.iter().any(|&v| v < MAX_ITER as f64));
+    }
+
+    #[test]
+    fn traversals_compute_transposes() {
+        let r = run(Traversal::RowMajor, Strategy::MultiDim, 12, 20).unwrap();
+        let c = run(Traversal::ColMajor, Strategy::MultiDim, 12, 20).unwrap();
+        assert!((r.checksum - c.checksum).abs() < 1e-9);
+    }
+}

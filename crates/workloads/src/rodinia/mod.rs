@@ -1,0 +1,36 @@
+//! The Rodinia benchmark subset of Figures 12 and 13.
+//!
+//! Each application is written in the pattern DSL; where the paper
+//! evaluates both a row-major (R) and column-major (C) traversal
+//! (Figure 13), the modules take a [`Traversal`] parameter.
+
+pub mod bfs;
+pub mod gaussian;
+pub mod hotspot;
+pub mod lud;
+pub mod mandelbrot;
+pub mod nn;
+pub mod pathfinder;
+pub mod srad;
+
+/// The order an application's nest walks a 2-D domain (Figure 13's R/C
+/// variants): the data layout stays row-major; what changes is which index
+/// the *outer* pattern iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traversal {
+    /// Outer pattern over rows (accesses sequential in the inner index).
+    RowMajor,
+    /// Outer pattern over columns (accesses sequential in the *outer*
+    /// index — the case fixed strategies cannot coalesce).
+    ColMajor,
+}
+
+impl Traversal {
+    /// Suffix used in figure labels: `(R)` / `(C)`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Traversal::RowMajor => "(R)",
+            Traversal::ColMajor => "(C)",
+        }
+    }
+}

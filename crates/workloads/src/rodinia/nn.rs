@@ -1,0 +1,68 @@
+//! Nearest Neighbor: the one-dimensional baseline of Figure 12.
+//!
+//! Computes the Euclidean distance from every record (latitude, longitude)
+//! to a query point. Only one level of parallelism exists, so every
+//! strategy degenerates to the same 1-D mapping; the paper uses it to
+//! gauge raw generated-code quality against hand-written CUDA.
+
+use crate::data;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, SymId};
+use std::collections::HashMap;
+
+/// The NN distance program over `N` (lat, lng) records.
+pub fn program() -> (Program, SymId, ArrayId) {
+    let mut b = ProgramBuilder::new("nn");
+    let n = b.sym("N");
+    let records = b.input("records", ScalarKind::F32, &[Size::sym(n), Size::from(2)]);
+    let target_lat = 30.0;
+    let target_lng = -90.0;
+    let root = b.map(Size::sym(n), |b, i| {
+        let dlat = b.read(records, &[i.into(), Expr::int(0)]) - Expr::lit(target_lat);
+        let dlng = b.read(records, &[i.into(), Expr::int(1)]) - Expr::lit(target_lng);
+        (dlat.clone() * dlat + dlng.clone() * dlng).sqrt()
+    });
+    let p = b.finish_map(root, "distances", ScalarKind::F32).expect("valid nn program");
+    (p, n, records)
+}
+
+/// Run NN over `n` records under `strategy`.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(strategy: Strategy, n: usize) -> Result<Outcome, WorkloadError> {
+    let (p, ns, records) = program();
+    let mut bind = Bindings::new();
+    bind.bind(ns, n as i64);
+    let recs: Vec<f64> = data::matrix(n, 2, 11).iter().map(|v| v * 180.0 - 90.0).collect();
+    let inputs: HashMap<_, _> = [(records, recs)].into_iter().collect();
+    let mut run = HostRun::with_strategy(strategy);
+    let out = run.launch(&p, &bind, &inputs)?;
+    Ok(run.finish(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_against_reference() {
+        let (p, ns, records) = program();
+        let mut bind = Bindings::new();
+        bind.bind(ns, 100);
+        let recs: Vec<f64> = data::matrix(100, 2, 11).iter().map(|v| v * 180.0 - 90.0).collect();
+        let inputs: HashMap<_, _> = [(records, recs)].into_iter().collect();
+        let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
+        run.launch(&p, &bind, &inputs).unwrap();
+    }
+
+    #[test]
+    fn one_level_strategies_tie() {
+        let a = run(Strategy::MultiDim, 4096).unwrap();
+        let b = run(Strategy::OneD, 4096).unwrap();
+        let ratio = a.gpu_seconds / b.gpu_seconds;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Pathfinder: dynamic-programming grid walk (Figure 12).
+//!
+//! Each DP row computes `dst[c] = wall[r][c] + min(src[c-1], src[c],
+//! src[c+1])`; rows depend on each other, so the generated code launches
+//! one kernel per row. The hand-optimized Rodinia version fuses `P` rows
+//! per kernel through shared memory, trading duplicated halo work for
+//! far fewer kernel launches and main-memory passes — the transformation
+//! the paper explicitly leaves to the expert (Section VI-C). The fused
+//! baseline lives in [`crate::manual::pathfinder_fused`].
+
+use crate::data;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, SymId};
+use std::collections::HashMap;
+
+/// One DP row step over `C` columns: reads the previous row's costs and
+/// this row's wall values.
+pub fn step_program() -> (Program, SymId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new("pathfinder_step");
+    let c = b.sym("C");
+    let src = b.input("src", ScalarKind::F32, &[Size::sym(c)]);
+    let wall_row = b.input("wall_row", ScalarKind::F32, &[Size::sym(c)]);
+    let root = b.map(Size::sym(c), |b, x| {
+        let left = Expr::var(x).max(Expr::lit(1.0)) - Expr::lit(1.0);
+        let right = (Expr::var(x) + Expr::lit(1.0)).min(Expr::size(Size::sym(c)) - Expr::lit(1.0));
+        let best = b
+            .read(src, &[left])
+            .min(b.read(src, &[x.into()]))
+            .min(b.read(src, &[right]));
+        b.read(wall_row, &[x.into()]) + best
+    });
+    let p = b.finish_map(root, "dst", ScalarKind::F32).expect("valid pathfinder program");
+    (p, c, src, wall_row)
+}
+
+/// Run the DP over a `rows × cols` wall.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(strategy: Strategy, rows: usize, cols: usize) -> Result<Outcome, WorkloadError> {
+    let (p, cs, src, wall_row) = step_program();
+    let mut bind = Bindings::new();
+    bind.bind(cs, cols as i64);
+    let wall = data::matrix(rows, cols, 6);
+    let mut costs: Vec<f64> = wall[..cols].to_vec();
+
+    let mut run = HostRun::with_strategy(strategy);
+    let mut outputs = HashMap::new();
+    for r in 1..rows {
+        let inputs: HashMap<_, _> = [
+            (src, costs.clone()),
+            (wall_row, wall[r * cols..(r + 1) * cols].to_vec()),
+        ]
+        .into_iter()
+        .collect();
+        outputs = run.launch(&p, &bind, &inputs)?;
+        costs = outputs[&p.output.unwrap()].clone();
+    }
+    Ok(run.finish(outputs))
+}
+
+/// Host-side reference DP (for tests and the manual-baseline check).
+pub fn reference(rows: usize, cols: usize) -> Vec<f64> {
+    let wall = data::matrix(rows, cols, 6);
+    let mut costs: Vec<f64> = wall[..cols].to_vec();
+    for r in 1..rows {
+        let prev = costs.clone();
+        for x in 0..cols {
+            let l = prev[x.saturating_sub(1)];
+            let m = prev[x];
+            let rr = prev[(x + 1).min(cols - 1)];
+            costs[x] = wall[r * cols + x] + l.min(m).min(rr);
+        }
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_dp() {
+        let o = run(Strategy::MultiDim, 10, 64).unwrap();
+        let (p, ..) = step_program();
+        let got = &o.outputs[&p.output.unwrap()];
+        let want = reference(10, 64);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn launches_one_kernel_per_row() {
+        let o = run(Strategy::MultiDim, 16, 32).unwrap();
+        assert_eq!(o.launches, 15);
+    }
+}

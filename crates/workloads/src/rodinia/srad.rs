@@ -1,0 +1,178 @@
+//! SRAD: speckle-reducing anisotropic diffusion (Figures 12 and 13).
+//!
+//! Each iteration has two data-parallel phases over the image: (1) compute
+//! the diffusion coefficient from local derivatives, (2) apply the
+//! divergence update. Both are two-level nests over the image grid.
+
+use crate::data;
+use crate::rodinia::Traversal;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, SymId, VarId};
+use std::collections::HashMap;
+
+/// Phase 1: diffusion coefficient `c[r][cx]` from the image gradients.
+pub fn coeff_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId) {
+    let mut b = ProgramBuilder::new(match traversal {
+        Traversal::RowMajor => "srad_coeff",
+        Traversal::ColMajor => "srad_coeff_c",
+    });
+    let r = b.sym("R");
+    let c = b.sym("C");
+    let img = b.input("img", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+
+    let body = |b: &mut ProgramBuilder, y: VarId, x: VarId| {
+        let up = Expr::var(y).max(Expr::lit(1.0)) - Expr::lit(1.0);
+        let down = (Expr::var(y) + Expr::lit(1.0)).min(Expr::size(Size::sym(r)) - Expr::lit(1.0));
+        let left = Expr::var(x).max(Expr::lit(1.0)) - Expr::lit(1.0);
+        let right = (Expr::var(x) + Expr::lit(1.0)).min(Expr::size(Size::sym(c)) - Expr::lit(1.0));
+        let jc = b.read(img, &[y.into(), x.into()]);
+        let dn = b.read(img, &[up, Expr::var(x)]) - jc.clone();
+        let ds = b.read(img, &[down, Expr::var(x)]) - jc.clone();
+        let dw = b.read(img, &[Expr::var(y), left]) - jc.clone();
+        let de = b.read(img, &[Expr::var(y), right]) - jc.clone();
+        let g2 = (dn.clone() * dn + ds.clone() * ds + dw.clone() * dw + de.clone() * de)
+            / (jc.clone() * jc + Expr::lit(1e-6));
+        // c = 1 / (1 + g2)
+        Expr::lit(1.0) / (Expr::lit(1.0) + g2)
+    };
+
+    let root = match traversal {
+        Traversal::RowMajor => {
+            b.map(Size::sym(r), |b, y| b.map(Size::sym(c), |b, x| body(b, y, x)))
+        }
+        Traversal::ColMajor => {
+            b.map(Size::sym(c), |b, x| b.map(Size::sym(r), |b, y| body(b, y, x)))
+        }
+    };
+    let p = b.finish_map(root, "coeff", ScalarKind::F32).expect("valid srad coeff program");
+    (p, r, c, img)
+}
+
+/// Phase 2: divergence update `img'[r][c] = img + λ·div`.
+pub fn update_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new(match traversal {
+        Traversal::RowMajor => "srad_update",
+        Traversal::ColMajor => "srad_update_c",
+    });
+    let r = b.sym("R");
+    let c = b.sym("C");
+    let img = b.input("img", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+    // Phase 1's coefficient grid; logically [R, C] regardless of traversal
+    // (the host transposes when needed).
+    let coeff = b.input("coeff", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+
+    let body = |b: &mut ProgramBuilder, y: VarId, x: VarId| {
+        let down = (Expr::var(y) + Expr::lit(1.0)).min(Expr::size(Size::sym(r)) - Expr::lit(1.0));
+        let right = (Expr::var(x) + Expr::lit(1.0)).min(Expr::size(Size::sym(c)) - Expr::lit(1.0));
+        let jc = b.read(img, &[y.into(), x.into()]);
+        let cc = b.read(coeff, &[y.into(), x.into()]);
+        let cs = b.read(coeff, &[down.clone(), Expr::var(x)]);
+        let ce = b.read(coeff, &[Expr::var(y), right.clone()]);
+        let js = b.read(img, &[down, Expr::var(x)]);
+        let je = b.read(img, &[Expr::var(y), right]);
+        let div = (cs + cc.clone()) * Expr::lit(0.5) * (js - jc.clone())
+            + (ce + cc) * Expr::lit(0.5) * (je - jc.clone());
+        jc + Expr::lit(0.125) * div
+    };
+
+    let root = match traversal {
+        Traversal::RowMajor => {
+            b.map(Size::sym(r), |b, y| b.map(Size::sym(c), |b, x| body(b, y, x)))
+        }
+        Traversal::ColMajor => {
+            b.map(Size::sym(c), |b, x| b.map(Size::sym(r), |b, y| body(b, y, x)))
+        }
+    };
+    let p = b.finish_map(root, "img_out", ScalarKind::F32).expect("valid srad update program");
+    (p, r, c, img, coeff)
+}
+
+/// Run `iters` SRAD iterations on an `rows × cols` image.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(
+    traversal: Traversal,
+    strategy: Strategy,
+    rows: usize,
+    cols: usize,
+    iters: usize,
+) -> Result<Outcome, WorkloadError> {
+    let (cp, crs, ccs, cimg) = coeff_program(traversal);
+    let (up, urs, ucs, uimg, ucoeff) = update_program(traversal);
+    let mut cbind = Bindings::new();
+    cbind.bind(crs, rows as i64);
+    cbind.bind(ccs, cols as i64);
+    let mut ubind = Bindings::new();
+    ubind.bind(urs, rows as i64);
+    ubind.bind(ucs, cols as i64);
+
+    let mut img: Vec<f64> = data::matrix(rows, cols, 9).iter().map(|v| v + 0.5).collect();
+    let mut run = HostRun::with_strategy(strategy);
+    let mut outputs = HashMap::new();
+    for _ in 0..iters {
+        let ci: HashMap<_, _> = [(cimg, img.clone())].into_iter().collect();
+        let co = run.launch(&cp, &cbind, &ci)?;
+        let coeff_grid = match traversal {
+            Traversal::RowMajor => co[&cp.output.unwrap()].clone(),
+            Traversal::ColMajor => transpose(&co[&cp.output.unwrap()], cols, rows),
+        };
+        let ui: HashMap<_, _> =
+            [(uimg, img.clone()), (ucoeff, coeff_grid)].into_iter().collect();
+        outputs = run.launch(&up, &ubind, &ui)?;
+        img = match traversal {
+            Traversal::RowMajor => outputs[&up.output.unwrap()].clone(),
+            Traversal::ColMajor => transpose(&outputs[&up.output.unwrap()], cols, rows),
+        };
+    }
+    Ok(run.finish(outputs))
+}
+
+fn transpose(m: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m.len()];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = m[i * cols + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_verify() {
+        for t in [Traversal::RowMajor, Traversal::ColMajor] {
+            let (cp, rs, cs, img) = coeff_program(t);
+            let mut bind = Bindings::new();
+            bind.bind(rs, 10);
+            bind.bind(cs, 14);
+            let inputs: HashMap<_, _> = [(img, data::matrix(10, 14, 9))].into_iter().collect();
+            let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
+            run.launch(&cp, &bind, &inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn traversals_agree() {
+        let a = run(Traversal::RowMajor, Strategy::MultiDim, 12, 12, 2).unwrap();
+        let b = run(Traversal::ColMajor, Strategy::MultiDim, 12, 12, 2).unwrap();
+        assert!((a.checksum - b.checksum).abs() < 1e-6 * a.checksum.abs().max(1.0));
+    }
+
+    #[test]
+    fn coefficients_bounded() {
+        let (cp, rs, cs, img) = coeff_program(Traversal::RowMajor);
+        let mut bind = Bindings::new();
+        bind.bind(rs, 8);
+        bind.bind(cs, 8);
+        let inputs: HashMap<_, _> = [(img, data::matrix(8, 8, 1))].into_iter().collect();
+        let mut run = HostRun::with_strategy(Strategy::MultiDim);
+        let o = run.launch(&cp, &bind, &inputs).unwrap();
+        assert!(o[&cp.output.unwrap()].iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+}

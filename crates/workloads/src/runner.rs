@@ -1,0 +1,207 @@
+//! Shared execution helpers for the benchmark applications.
+//!
+//! Every workload in this crate reduces to a *host program*: a sequence of
+//! pattern-program launches with data flowing between them. [`HostRun`]
+//! drives the `multidim` pipeline for each launch (compiling once per
+//! distinct program), accumulates simulated GPU time, and can verify every
+//! intermediate against the reference interpreter.
+
+use multidim::prelude::*;
+use multidim::{CompileError, RunError};
+use multidim_ir::{ArrayId, InterpError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A workload execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError(pub String);
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<CompileError> for WorkloadError {
+    fn from(e: CompileError) -> Self {
+        WorkloadError(e.to_string())
+    }
+}
+
+impl From<RunError> for WorkloadError {
+    fn from(e: RunError) -> Self {
+        WorkloadError(e.to_string())
+    }
+}
+
+impl From<InterpError> for WorkloadError {
+    fn from(e: InterpError) -> Self {
+        WorkloadError(e.to_string())
+    }
+}
+
+/// Outcome of a workload run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Total simulated GPU seconds across every launch.
+    pub gpu_seconds: f64,
+    /// Number of kernel launches performed.
+    pub launches: usize,
+    /// A checksum over the final outputs (for regression tests).
+    pub checksum: f64,
+    /// Final outputs of the last step.
+    pub outputs: HashMap<ArrayId, Vec<f64>>,
+}
+
+/// Drives a sequence of launches under one compiler configuration.
+pub struct HostRun {
+    compiler: Compiler,
+    /// When set, every launch's outputs are compared against the reference
+    /// interpreter (used by tests; expensive).
+    pub verify: bool,
+    gpu_seconds: f64,
+    launches: usize,
+}
+
+impl HostRun {
+    /// Start a host run under `compiler`'s configuration.
+    pub fn new(compiler: Compiler) -> Self {
+        HostRun { compiler, verify: false, gpu_seconds: 0.0, launches: 0 }
+    }
+
+    /// A host run for `strategy` with default settings.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        HostRun::new(Compiler::new().strategy(strategy))
+    }
+
+    /// Enable per-launch verification against the interpreter.
+    pub fn verifying(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+
+    /// Compile and run one program; returns its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/run failures and verification mismatches.
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        bindings: &Bindings,
+        inputs: &HashMap<ArrayId, Vec<f64>>,
+    ) -> Result<HashMap<ArrayId, Vec<f64>>, WorkloadError> {
+        let exe = self.compiler.compile(program, bindings)?;
+        let report = exe.run(inputs)?;
+        self.gpu_seconds += report.gpu_seconds;
+        self.launches += exe.kernels.kernels.len();
+        if self.verify {
+            verify_outputs(program, bindings, inputs, &report.outputs)?;
+        }
+        Ok(report.outputs)
+    }
+
+    /// Accumulated simulated GPU time.
+    pub fn gpu_seconds(&self) -> f64 {
+        self.gpu_seconds
+    }
+
+    /// Kernel launches so far.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// Charge additional simulated time (e.g. a hand-written kernel or a
+    /// PCIe transfer).
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.gpu_seconds += seconds;
+    }
+
+    /// Wrap up with a checksum of `outputs`.
+    pub fn finish(self, outputs: HashMap<ArrayId, Vec<f64>>) -> Outcome {
+        let checksum = outputs.values().flat_map(|v| v.iter()).sum();
+        Outcome {
+            gpu_seconds: self.gpu_seconds,
+            launches: self.launches,
+            checksum,
+            outputs,
+        }
+    }
+}
+
+/// Compare simulated outputs with the reference interpreter, element-wise
+/// within a tolerance (reductions reassociate).
+pub fn verify_outputs(
+    program: &Program,
+    bindings: &Bindings,
+    inputs: &HashMap<ArrayId, Vec<f64>>,
+    got: &HashMap<ArrayId, Vec<f64>>,
+) -> Result<(), WorkloadError> {
+    let expect = multidim_ir::interpret(program, bindings, inputs)?;
+    let unordered = matches!(program.root.kind, multidim_ir::PatternKind::Filter { .. });
+    for (id, data) in got {
+        let want = &expect.array(*id).data;
+        if unordered && Some(*id) == program.output {
+            // Atomic compaction permutes filter output; compare the kept
+            // prefix as multisets.
+            let n = expect.filter_count.unwrap_or(0);
+            let mut a: Vec<f64> = data[..n].to_vec();
+            let mut b: Vec<f64> = want[..n].to_vec();
+            a.sort_by(f64::total_cmp);
+            b.sort_by(f64::total_cmp);
+            if a != b {
+                return Err(WorkloadError(format!(
+                    "`{}`: filter outputs differ as multisets",
+                    program.name
+                )));
+            }
+            continue;
+        }
+        if data.len() != want.len() {
+            return Err(WorkloadError(format!(
+                "`{}` array {id:?}: length {} vs reference {}",
+                program.name,
+                data.len(),
+                want.len()
+            )));
+        }
+        for (i, (g, w)) in data.iter().zip(want).enumerate() {
+            let tol = 1e-6 * w.abs().max(1.0);
+            if (g - w).abs() > tol {
+                return Err(WorkloadError(format!(
+                    "`{}` array {id:?} [{i}]: {g} vs reference {w}",
+                    program.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind};
+
+    #[test]
+    fn host_run_accumulates() {
+        let mut b = ProgramBuilder::new("sum");
+        let n = b.sym("N");
+        let a = b.input("a", ScalarKind::F32, &[Size::sym(n)]);
+        let root = b.reduce(Size::sym(n), ReduceOp::Add, |b, i| b.read(a, &[i.into()]));
+        let p = b.finish_reduce(root, "total", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(n, 256);
+        let inputs: HashMap<_, _> = [(a, vec![1.0; 256])].into_iter().collect();
+
+        let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
+        let out1 = run.launch(&p, &bind, &inputs).unwrap();
+        let _ = run.launch(&p, &bind, &inputs).unwrap();
+        assert!(run.gpu_seconds() > 0.0);
+        assert!(run.launches() >= 2);
+        let outcome = run.finish(out1);
+        assert_eq!(outcome.outputs[&p.output.unwrap()][0], 256.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The paper's running example (Figures 1, 3, 15, 16): `sumRows`,
+//! `sumCols`, and their weighted variants.
+
+use crate::data;
+use crate::runner::{HostRun, Outcome, WorkloadError};
+use multidim::prelude::*;
+use multidim_ir::{ArrayId, ReduceOp, SymId};
+use std::collections::HashMap;
+
+/// Which of the Figure 1 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumKind {
+    /// Sum each row (`m mapRows { r => r reduce + }`).
+    Rows,
+    /// Sum each column.
+    Cols,
+}
+
+/// `sumRows`/`sumCols` as a pattern program. Returns the program plus the
+/// ids needed to bind sizes and provide the matrix.
+pub fn sum_program(kind: SumKind) -> (Program, SymId, SymId, ArrayId) {
+    let name = match kind {
+        SumKind::Rows => "sumRows",
+        SumKind::Cols => "sumCols",
+    };
+    let mut b = ProgramBuilder::new(name);
+    let r = b.sym("R");
+    let c = b.sym("C");
+    let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+    let root = match kind {
+        SumKind::Rows => b.map(Size::sym(r), |b, row| {
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        }),
+        SumKind::Cols => b.map(Size::sym(c), |b, col| {
+            b.reduce(Size::sym(r), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+        }),
+    };
+    let p = b.finish_map(root, "sums", ScalarKind::F32).expect("valid sums program");
+    (p, r, c, m)
+}
+
+/// Run `sumRows`/`sumCols` on an `rows × cols` matrix under `strategy`.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_sum(
+    kind: SumKind,
+    strategy: Strategy,
+    rows: usize,
+    cols: usize,
+) -> Result<Outcome, WorkloadError> {
+    let (p, rs, cs, m) = sum_program(kind);
+    let mut bind = Bindings::new();
+    bind.bind(rs, rows as i64);
+    bind.bind(cs, cols as i64);
+    let inputs: HashMap<_, _> = [(m, data::matrix(rows, cols, 42))].into_iter().collect();
+    let mut run = HostRun::with_strategy(strategy);
+    let out = run.launch(&p, &bind, &inputs)?;
+    Ok(run.finish(out))
+}
+
+/// The Figure 15 variant: multiply a weight vector before reducing. The
+/// `zipWith` creates a per-iteration temporary, exercising the Section V-A
+/// preallocation machinery when fusion is disabled.
+pub fn sum_weighted_program(kind: SumKind) -> (Program, SymId, SymId, ArrayId, ArrayId) {
+    let name = match kind {
+        SumKind::Rows => "sumWeightedRows",
+        SumKind::Cols => "sumWeightedCols",
+    };
+    let mut b = ProgramBuilder::new(name);
+    let r = b.sym("R");
+    let c = b.sym("C");
+    let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
+    // Weight vector spans the reduced dimension.
+    let (outer, inner) = match kind {
+        SumKind::Rows => (Size::sym(r), Size::sym(c)),
+        SumKind::Cols => (Size::sym(c), Size::sym(r)),
+    };
+    let v = b.input("v", ScalarKind::F32, &[inner.clone()]);
+    let root = b.map(outer, |b, o| {
+        // temp = slice zipWith v { (a, b) => a * b }
+        let inner2 = inner.clone();
+        let temp = b.map(inner.clone(), |b, i| {
+            let elem = match kind {
+                SumKind::Rows => b.read(m, &[o.into(), i.into()]),
+                SumKind::Cols => b.read(m, &[i.into(), o.into()]),
+            };
+            elem * b.read(v, &[i.into()])
+        });
+        b.let_(temp, |b, t| {
+            b.reduce(inner2, ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+        })
+    });
+    let p = b.finish_map(root, "sums", ScalarKind::F32).expect("valid weighted sums program");
+    (p, r, c, m, v)
+}
+
+/// Which Figure 16 configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// Preallocated temporary with the mapping-chosen layout (Section V-A).
+    PreallocOptimizedLayout,
+    /// Preallocated with a fixed row-major layout ("w/o layout opt").
+    PreallocRowMajor,
+    /// Per-thread device malloc (the unoptimized baseline).
+    Malloc,
+}
+
+/// Run the Figure 16 microbenchmark (fusion disabled so the temporary is
+/// really materialized).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_sum_weighted(
+    kind: SumKind,
+    mode: AllocMode,
+    rows: usize,
+    cols: usize,
+) -> Result<Outcome, WorkloadError> {
+    let (p, rs, cs, m, v) = sum_weighted_program(kind);
+    let mut bind = Bindings::new();
+    bind.bind(rs, rows as i64);
+    bind.bind(cs, cols as i64);
+    let weights_len = match kind {
+        SumKind::Rows => cols,
+        SumKind::Cols => rows,
+    };
+    let inputs: HashMap<_, _> = [
+        (m, data::matrix(rows, cols, 42)),
+        (v, data::vector(weights_len, 7)),
+    ]
+    .into_iter()
+    .collect();
+
+    let options = match mode {
+        AllocMode::PreallocOptimizedLayout => CodegenOptions::default(),
+        AllocMode::PreallocRowMajor => CodegenOptions {
+            layout: LayoutPolicy::ForceRowMajor,
+            ..CodegenOptions::default()
+        },
+        AllocMode::Malloc => CodegenOptions {
+            layout: LayoutPolicy::ForceRowMajor,
+            device_malloc: true,
+            ..CodegenOptions::default()
+        },
+    };
+    let compiler = Compiler::new().fusion(false).options(options);
+    let mut run = HostRun::new(compiler);
+    let out = run.launch(&p, &bind, &inputs)?;
+    Ok(run.finish(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_all_strategies_agree() {
+        let mut checks = Vec::new();
+        for kind in [SumKind::Rows, SumKind::Cols] {
+            for s in [
+                Strategy::MultiDim,
+                Strategy::OneD,
+                Strategy::ThreadBlockThread,
+                Strategy::WarpBased,
+            ] {
+                let o = run_sum(kind, s, 33, 65).unwrap();
+                checks.push(o.checksum);
+            }
+        }
+        // Same data: all rows-strategies agree, all cols-strategies agree,
+        // and the two kinds agree with each other (total sum identical).
+        for w in checks.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6, "checksums diverge: {checks:?}");
+        }
+    }
+
+    #[test]
+    fn multidim_beats_bad_fixed_mapping_on_skew() {
+        // sumRows with long rows: 1D must be much slower (few threads,
+        // strided access).
+        let best = run_sum(SumKind::Rows, Strategy::MultiDim, 64, 16384).unwrap();
+        let one_d = run_sum(SumKind::Rows, Strategy::OneD, 64, 16384).unwrap();
+        assert!(
+            one_d.gpu_seconds > 3.0 * best.gpu_seconds,
+            "1D {} vs MultiDim {}",
+            one_d.gpu_seconds,
+            best.gpu_seconds
+        );
+    }
+
+    #[test]
+    fn weighted_sums_verify() {
+        for kind in [SumKind::Rows, SumKind::Cols] {
+            for mode in [
+                AllocMode::PreallocOptimizedLayout,
+                AllocMode::PreallocRowMajor,
+                AllocMode::Malloc,
+            ] {
+                let (p, rs, cs, m, v) = sum_weighted_program(kind);
+                let mut bind = Bindings::new();
+                bind.bind(rs, 17);
+                bind.bind(cs, 33);
+                let wl = match kind {
+                    SumKind::Rows => 33,
+                    SumKind::Cols => 17,
+                };
+                let inputs: HashMap<_, _> =
+                    [(m, data::matrix(17, 33, 1)), (v, data::vector(wl, 2))].into_iter().collect();
+                let options = match mode {
+                    AllocMode::PreallocOptimizedLayout => CodegenOptions::default(),
+                    AllocMode::PreallocRowMajor => CodegenOptions {
+                        layout: LayoutPolicy::ForceRowMajor,
+                        ..CodegenOptions::default()
+                    },
+                    AllocMode::Malloc => CodegenOptions {
+                        layout: LayoutPolicy::ForceRowMajor,
+                        device_malloc: true,
+                        ..CodegenOptions::default()
+                    },
+                };
+                let mut run =
+                    HostRun::new(Compiler::new().fusion(false).options(options)).verifying();
+                run.launch(&p, &bind, &inputs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn malloc_is_slowest_layout_matters() {
+        let n = (256, 256);
+        let opt = run_sum_weighted(SumKind::Cols, AllocMode::PreallocOptimizedLayout, n.0, n.1)
+            .unwrap();
+        let row = run_sum_weighted(SumKind::Cols, AllocMode::PreallocRowMajor, n.0, n.1).unwrap();
+        let mal = run_sum_weighted(SumKind::Cols, AllocMode::Malloc, n.0, n.1).unwrap();
+        assert!(row.gpu_seconds > opt.gpu_seconds, "row {} opt {}", row.gpu_seconds, opt.gpu_seconds);
+        assert!(mal.gpu_seconds > row.gpu_seconds, "mal {} row {}", mal.gpu_seconds, row.gpu_seconds);
+    }
+}

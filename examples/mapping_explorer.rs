@@ -1,0 +1,61 @@
+//! Explore the mapping space of a program: enumerate every hard-valid
+//! candidate, score it, simulate it, and compare the analysis's pick
+//! against the empirically best mapping (a miniature Figure 17).
+//!
+//! ```text
+//! cargo run --release --example mapping_explorer [HEIGHT] [WIDTH]
+//! ```
+
+use multidim::prelude::*;
+use multidim_mapping::{enumerate_scored, Weights};
+use multidim_workloads::rodinia::{mandelbrot, Traversal};
+use std::collections::HashMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let w: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+
+    let (p, hs, ws) = mandelbrot::program(Traversal::RowMajor);
+    let mut bind = Bindings::new();
+    bind.bind(hs, h as i64);
+    bind.bind(ws, w as i64);
+    let gpu = GpuSpec::tesla_k20c();
+
+    let candidates = enumerate_scored(&p, &bind, &gpu, &Weights::default());
+    println!("exploring {} candidates on a {h}x{w} Mandelbrot…", candidates.len());
+
+    let compiler = Compiler::new();
+    let inputs: HashMap<_, _> = HashMap::new();
+    let mut results = Vec::new();
+    for cand in candidates {
+        if let Ok(exe) = compiler.compile_with_mapping(&p, &bind, cand.mapping.clone()) {
+            if let Ok(report) = exe.run(&inputs) {
+                results.push((cand.normalized_score, report.gpu_seconds, cand.mapping));
+            }
+        }
+    }
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let best = results[0].1;
+
+    println!("\nfastest five:");
+    for (score, t, m) in results.iter().take(5) {
+        println!("  {:6.2} µs  score {score:5.2}  {m}", t * 1e6);
+    }
+    println!("slowest three:");
+    for (score, t, m) in results.iter().rev().take(3) {
+        println!("  {:6.2} µs  score {score:5.2}  {m}", t * 1e6);
+    }
+
+    let analysis = multidim_mapping::analyze(&p, &bind, &gpu);
+    let exe = compiler.compile(&p, &bind)?;
+    let t = exe.run(&inputs)?.gpu_seconds;
+    println!(
+        "\nanalysis picked {} -> {:.2} µs, {:.2}x of empirical best",
+        analysis.decision,
+        t * 1e6,
+        t / best
+    );
+    Ok(())
+}

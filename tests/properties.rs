@@ -1,0 +1,179 @@
+//! Property-based tests on the framework's core invariants.
+
+use multidim::prelude::*;
+use multidim::prelude::Strategy as MapStrategy;
+use multidim_ir::{interpret, ReduceOp};
+use multidim_sim::{bank_conflicts, coalesce};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulated execution of a randomly shaped map/reduce nest matches
+    /// the reference interpreter under a random strategy.
+    #[test]
+    fn sim_matches_interpreter(
+        r in 1usize..96,
+        c in 1usize..96,
+        strategy_idx in 0usize..4,
+        seed in 0u64..1000,
+        transpose in proptest::bool::ANY,
+    ) {
+        let strategy = [
+            MapStrategy::MultiDim,
+            MapStrategy::OneD,
+            MapStrategy::ThreadBlockThread,
+            MapStrategy::WarpBased,
+        ][strategy_idx];
+
+        let mut b = ProgramBuilder::new("prop");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = if transpose {
+            b.map(Size::sym(cs), |b, col| {
+                b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| {
+                    b.read(m, &[row.into(), col.into()])
+                })
+            })
+        } else {
+            b.map(Size::sym(rs), |b, row| {
+                b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                    b.read(m, &[row.into(), col.into()])
+                })
+            })
+        };
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r as i64);
+        bind.bind(cs, c as i64);
+        let data: Vec<f64> = (0..r * c).map(|x| ((x as u64 ^ seed) % 31) as f64).collect();
+        let inputs: HashMap<_, _> = [(m, data)].into_iter().collect();
+
+        let exe = Compiler::new().strategy(strategy).compile(&p, &bind).unwrap();
+        let got = exe.run(&inputs).unwrap();
+        let want = interpret(&p, &bind, &inputs).unwrap();
+        let out = p.output.unwrap();
+        for (g, w) in got.output(out).iter().zip(&want.array(out).data) {
+            prop_assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    /// Coalescing invariants: between 1 and `lanes` transactions; exact
+    /// bounds for unit-stride and huge-stride patterns; and a subset of a
+    /// warp's accesses never needs more transactions.
+    #[test]
+    fn coalescing_bounds(
+        stride in 1u64..2048,
+        base in 0u64..10_000,
+        lanes in 1usize..33,
+    ) {
+        let gpu = GpuSpec::tesla_k20c();
+        let addrs: Vec<u64> = (0..lanes as u64).map(|l| base + l * stride * 4).collect();
+        let (tx, bytes) = coalesce(&gpu, &addrs);
+        prop_assert!(tx >= 1 && tx <= lanes as u64);
+        prop_assert_eq!(bytes, tx * 128);
+        // Subset property.
+        let half = &addrs[..lanes.div_ceil(2)];
+        let (tx_half, _) = coalesce(&gpu, half);
+        prop_assert!(tx_half <= tx);
+        // Unit stride (4B elements): at most ceil(lanes*4 / 128) + 1 segs.
+        if stride == 1 {
+            prop_assert!(tx <= (lanes as u64 * 4).div_ceil(128) + 1);
+        }
+        // Strides >= 32 elements: every lane its own segment.
+        if stride * 4 >= 128 {
+            prop_assert_eq!(tx, lanes as u64);
+        }
+    }
+
+    /// Bank conflicts: zero for unit stride, lanes-1 for stride = banks,
+    /// never exceeding lanes - 1.
+    #[test]
+    fn bank_conflict_bounds(stride in 1u64..128, lanes in 1usize..33) {
+        let words: Vec<u64> = (0..lanes as u64).map(|l| l * stride).collect();
+        let extra = bank_conflicts(32, &words);
+        prop_assert!(extra <= lanes as u64 - 1);
+        if stride % 32 == 0 && stride > 0 {
+            prop_assert_eq!(extra, lanes as u64 - 1);
+        }
+        if stride == 1 {
+            prop_assert_eq!(extra, 0);
+        }
+    }
+
+    /// DOP algebra: grid coverage — blocks × block × span covers the
+    /// extent for Span(n); Split multiplies DOP by k.
+    #[test]
+    fn mapping_algebra(
+        extent in 1i64..1_000_000,
+        block_pow in 0u32..11,
+        n in 1i64..64,
+        k in 1i64..64,
+    ) {
+        use multidim_mapping::{Dim, LevelMapping, MappingDecision, Span};
+        let block = 1u32 << block_pow;
+        let m = MappingDecision::new(vec![LevelMapping {
+            dim: Dim::X,
+            block_size: block,
+            span: Span::Span(n),
+        }]);
+        let blocks = m.grid_blocks(&[extent])[0];
+        prop_assert!(blocks as i64 * block as i64 * n >= extent);
+        // Tight: one fewer block would not cover.
+        prop_assert!((blocks as i64 - 1) * block as i64 * n < extent);
+
+        let all = MappingDecision::new(vec![LevelMapping {
+            dim: Dim::X,
+            block_size: block,
+            span: Span::All,
+        }]);
+        let split = MappingDecision::new(vec![LevelMapping {
+            dim: Dim::X,
+            block_size: block,
+            span: Span::Split(k),
+        }]);
+        prop_assert_eq!(all.dop(&[extent]) * k as u64, split.dop(&[extent]));
+    }
+
+    /// Size expression evaluation agrees with i64 arithmetic.
+    #[test]
+    fn size_arithmetic(a in 0i64..1_000_000, b in 1i64..1000) {
+        use multidim_ir::Bindings;
+        let e = (Size::from(a) + Size::from(b)) * Size::from(2);
+        prop_assert_eq!(e.eval(&Bindings::new()), (a + b) * 2);
+        let d = Size::from(a) / Size::from(b);
+        prop_assert_eq!(d.eval(&Bindings::new()), (a + b - 1) / b);
+        let s = Size::from(a) - Size::from(b);
+        prop_assert_eq!(s.eval(&Bindings::new()), (a - b).max(0));
+    }
+
+    /// The analysis is total and hard-valid for arbitrary (bounded) sizes.
+    #[test]
+    fn analysis_always_yields_valid_mapping(r in 1i64..100_000, c in 1i64..100_000) {
+        let mut b = ProgramBuilder::new("any");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(rs), |b, row| {
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        let gpu = GpuSpec::tesla_k20c();
+        let a = multidim_mapping::analyze(&p, &bind, &gpu);
+        // Hard constraints hold.
+        prop_assert!(a.constraints.hard_ok(&a.decision), "{}", a.decision);
+        // The reduce level is never Span(1).
+        prop_assert!(!matches!(
+            a.decision.level(1).span,
+            multidim_mapping::Span::Span(_)
+        ));
+        prop_assert!(a.decision.block_threads() <= 1024);
+    }
+}

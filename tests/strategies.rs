@@ -1,0 +1,158 @@
+//! Performance-shape assertions: the qualitative claims of the paper's
+//! evaluation, checked on the simulator.
+
+use multidim::prelude::*;
+use multidim_workloads::apps::{msm, naive_bayes, qpscd};
+use multidim_workloads::rodinia::{hotspot, mandelbrot, srad, Traversal};
+use multidim_workloads::sums::{run_sum, SumKind};
+
+/// Section I / Figure 3: no fixed strategy wins everywhere, MultiDim is
+/// never (much) worse than any of them.
+#[test]
+fn multidim_is_never_much_worse_than_fixed() {
+    for kind in [SumKind::Rows, SumKind::Cols] {
+        // Shapes chosen outside the launch-overhead gray zone (tiny kernels
+        // where a Split's combiner launch costs more than it recovers).
+        for (r, c) in [(2048, 256), (512, 512), (64, 16384)] {
+            let best = run_sum(kind, Strategy::MultiDim, r, c).unwrap().gpu_seconds;
+            for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+                let t = run_sum(kind, s, r, c).unwrap().gpu_seconds;
+                // Tolerance 1.5: the paper itself shows fixed strategies
+                // occasionally a few percent ahead (Figure 13's 0.98 warp
+                // rows); "never much worse" is the claim.
+                assert!(
+                    best <= t * 1.5,
+                    "{kind:?} [{r},{c}]: MultiDim {best} vs {s} {t}"
+                );
+            }
+        }
+    }
+}
+
+/// Figure 3's headline: a fixed mapping can be an order of magnitude off.
+#[test]
+fn fixed_strategies_collapse_somewhere() {
+    let best = run_sum(SumKind::Rows, Strategy::MultiDim, 256, 4096).unwrap().gpu_seconds;
+    let one_d = run_sum(SumKind::Rows, Strategy::OneD, 256, 4096).unwrap().gpu_seconds;
+    assert!(one_d > 10.0 * best, "1D {one_d} vs MultiDim {best}");
+
+    let best_c = run_sum(SumKind::Cols, Strategy::MultiDim, 512, 1024).unwrap().gpu_seconds;
+    let warp = run_sum(SumKind::Cols, Strategy::WarpBased, 512, 1024).unwrap().gpu_seconds;
+    assert!(warp > 4.0 * best_c, "warp {warp} vs MultiDim {best_c}");
+}
+
+/// Figure 13: column-major traversals hurt fixed strategies much more
+/// than MultiDim.
+#[test]
+fn column_traversal_punishes_fixed_strategies() {
+    let md = srad::run(Traversal::ColMajor, Strategy::MultiDim, 96, 96, 1).unwrap().gpu_seconds;
+    let tb = srad::run(Traversal::ColMajor, Strategy::ThreadBlockThread, 96, 96, 1)
+        .unwrap()
+        .gpu_seconds;
+    assert!(tb > 2.0 * md, "TB/T {tb} vs MultiDim {md}");
+
+    let md_h =
+        hotspot::run(Traversal::ColMajor, Strategy::MultiDim, 128, 128, 1).unwrap().gpu_seconds;
+    let wb = hotspot::run(Traversal::ColMajor, Strategy::WarpBased, 128, 128, 1)
+        .unwrap()
+        .gpu_seconds;
+    assert!(wb > 2.0 * md_h, "warp {wb} vs MultiDim {md_h}");
+}
+
+/// Figure 13: row-major traversals roughly tie.
+#[test]
+fn row_traversal_is_forgiving() {
+    let md = mandelbrot::run(Traversal::RowMajor, Strategy::MultiDim, 128, 256)
+        .unwrap()
+        .gpu_seconds;
+    for s in [Strategy::ThreadBlockThread, Strategy::WarpBased] {
+        let t = mandelbrot::run(Traversal::RowMajor, s, 128, 256).unwrap().gpu_seconds;
+        let ratio = t / md;
+        assert!((0.5..2.5).contains(&ratio), "{s}: ratio {ratio}");
+    }
+}
+
+/// Figure 14 QPSCD: 1D cannot beat the CPU (random outer accesses);
+/// MultiDim can.
+#[test]
+fn qpscd_shape() {
+    let cpu = qpscd::cpu_seconds(384, 1);
+    let od = qpscd::run(Strategy::OneD, 384, 1).unwrap().gpu_seconds;
+    let md = qpscd::run(Strategy::MultiDim, 384, 1).unwrap().gpu_seconds;
+    assert!(od > 0.6 * cpu, "1D {od} should be near/above CPU {cpu}");
+    assert!(md < 0.6 * cpu, "MultiDim {md} should beat CPU {cpu}");
+    assert!(md < od / 3.0, "MultiDim {md} should be well under 1D {od}");
+}
+
+/// Figure 14 MSM: small domains starve 1D; MultiDim exploits the product.
+#[test]
+fn msm_shape() {
+    let od = msm::run(Strategy::OneD, 96, 48, 48).unwrap().gpu_seconds;
+    let md = msm::run(Strategy::MultiDim, 96, 48, 48).unwrap().gpu_seconds;
+    assert!(md < od / 3.0, "MultiDim {md} vs 1D {od}");
+}
+
+/// Figure 14 NB: the transfer eats most of the non-iterative win.
+#[test]
+fn naive_bayes_transfer_dominates() {
+    let nb = naive_bayes::run(Strategy::MultiDim, 512, 2048).unwrap();
+    assert!(nb.gpu_seconds_with_transfer > 3.0 * nb.gpu_seconds);
+}
+
+/// Section IV-D: the search completes quickly (paper: "less than a few
+/// seconds"; ours is far faster, but assert the generous bound).
+#[test]
+fn search_is_fast_for_three_levels() {
+    let mut b = ProgramBuilder::new("deep");
+    let n = b.sym("N");
+    let a = b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n), Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| {
+        b.map(Size::sym(n), |b, j| {
+            b.reduce(Size::sym(n), ReduceOp::Add, |b, k| {
+                b.read(a, &[i.into(), j.into(), k.into()])
+            })
+        })
+    });
+    let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 256);
+    let start = std::time::Instant::now();
+    let analysis = multidim_mapping::analyze(&p, &bind, &GpuSpec::tesla_k20c());
+    let elapsed = start.elapsed();
+    assert!(elapsed.as_secs_f64() < 5.0, "search took {elapsed:?}");
+    assert!(analysis.candidates > 100, "search space looked too small");
+}
+
+/// ControlDOP: selected mappings respect the device's DOP window when the
+/// workload allows it.
+#[test]
+fn control_dop_window() {
+    use multidim_ir::ReduceOp;
+    let gpu = GpuSpec::tesla_k20c();
+    for (r, c) in [(64, 100_000), (100_000, 64), (4096, 4096)] {
+        let mut b = ProgramBuilder::new("s");
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(rs), |b, row| {
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        let a = multidim_mapping::analyze(&p, &bind, &gpu);
+        // Split only fires for deficits >= 2x, so the lower edge is
+        // min_dop / 2.
+        assert!(
+            a.dop >= gpu.min_dop() / 2 && a.dop <= gpu.max_dop(),
+            "[{r},{c}]: dop {} outside [{}, {}] for {}",
+            a.dop,
+            gpu.min_dop() / 2,
+            gpu.max_dop(),
+            a.decision
+        );
+    }
+}
