@@ -10,9 +10,9 @@
 
 use multidim::prelude::*;
 use multidim_bench::{fmt_secs, print_table};
+use multidim_ir::ReduceOp;
 use multidim_mapping::Weights;
 use multidim_workloads::data;
-use multidim_ir::ReduceOp;
 use std::collections::HashMap;
 
 fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
@@ -21,7 +21,9 @@ fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
     let cs = b.sym("C");
     let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
     let root = b.map(Size::sym(rs), |b, row| {
-        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+            b.read(m, &[row.into(), col.into()])
+        })
     });
     let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
     let mut bind = Bindings::new();
@@ -30,8 +32,18 @@ fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
     (p, bind, m)
 }
 
-fn time(compiler: &Compiler, p: &Program, bind: &Bindings, inputs: &HashMap<multidim_ir::ArrayId, Vec<f64>>) -> f64 {
-    compiler.compile(p, bind).unwrap().run(inputs).unwrap().gpu_seconds
+fn time(
+    compiler: &Compiler,
+    p: &Program,
+    bind: &Bindings,
+    inputs: &HashMap<multidim_ir::ArrayId, Vec<f64>>,
+) -> f64 {
+    compiler
+        .compile(p, bind)
+        .unwrap()
+        .run(inputs)
+        .unwrap()
+        .gpu_seconds
 }
 
 fn main() {
@@ -43,13 +55,24 @@ fn main() {
         let inputs: HashMap<_, _> = [(m, data::matrix(2048, 2048, 1))].into_iter().collect();
         let with = time(&Compiler::new(), &p, &bind, &inputs);
         let without = time(
-            &Compiler::new().weights(Weights { coalesce: 0.0, warp_multiple: 0.0, ..Weights::default() }),
+            &Compiler::new().weights(Weights {
+                coalesce: 0.0,
+                warp_multiple: 0.0,
+                ..Weights::default()
+            }),
             &p,
             &bind,
             &inputs,
         );
-        rows.push(("no coalescing constraint".to_string(), vec![1.0, without / with]));
-        println!("coalescing constraint: {} -> {}", fmt_secs(with), fmt_secs(without));
+        rows.push((
+            "no coalescing constraint".to_string(),
+            vec![1.0, without / with],
+        ));
+        println!(
+            "coalescing constraint: {} -> {}",
+            fmt_secs(with),
+            fmt_secs(without)
+        );
     }
 
     // 2. ControlDOP: starved outer loop without Split.
@@ -68,10 +91,16 @@ fn main() {
                 no_split.level_mut(l).span = Span::All;
             }
         }
-        let exe = Compiler::new().compile_with_mapping(&p, &bind, no_split).unwrap();
+        let exe = Compiler::new()
+            .compile_with_mapping(&p, &bind, no_split)
+            .unwrap();
         let without = exe.run(&inputs).unwrap().gpu_seconds;
         rows.push(("no ControlDOP split".to_string(), vec![1.0, without / with]));
-        println!("ControlDOP split:      {} -> {}", fmt_secs(with), fmt_secs(without));
+        println!(
+            "ControlDOP split:      {} -> {}",
+            fmt_secs(with),
+            fmt_secs(without)
+        );
     }
 
     // 3. Fusion: the Figure 15 weighted sum with/without map->reduce fusion.
@@ -81,12 +110,20 @@ fn main() {
         let mut bind = Bindings::new();
         bind.bind(rs, 1024);
         bind.bind(cs, 1024);
-        let inputs: HashMap<_, _> =
-            [(m, data::matrix(1024, 1024, 3)), (v, data::vector(1024, 4))].into_iter().collect();
+        let inputs: HashMap<_, _> = [(m, data::matrix(1024, 1024, 3)), (v, data::vector(1024, 4))]
+            .into_iter()
+            .collect();
         let fused = time(&Compiler::new().fusion(true), &p, &bind, &inputs);
         let unfused = time(&Compiler::new().fusion(false), &p, &bind, &inputs);
-        rows.push(("no fusion (materialize temp)".to_string(), vec![1.0, unfused / fused]));
-        println!("fusion:                {} -> {}", fmt_secs(fused), fmt_secs(unfused));
+        rows.push((
+            "no fusion (materialize temp)".to_string(),
+            vec![1.0, unfused / fused],
+        ));
+        println!(
+            "fusion:                {} -> {}",
+            fmt_secs(fused),
+            fmt_secs(unfused)
+        );
     }
 
     // 4. Shared-memory prefetch on an imperfect nest (outer-level read).
@@ -108,18 +145,33 @@ fn main() {
         let mut bind = Bindings::new();
         bind.bind(n, 8192);
         bind.bind(mm, 128);
-        let inputs: HashMap<_, _> =
-            [(x, data::vector(8192, 5)), (y, data::vector(128, 6))].into_iter().collect();
+        let inputs: HashMap<_, _> = [(x, data::vector(8192, 5)), (y, data::vector(128, 6))]
+            .into_iter()
+            .collect();
         let on = time(
-            &Compiler::new().options(CodegenOptions { smem_prefetch: true, ..Default::default() }),
-            &p, &bind, &inputs,
+            &Compiler::new().options(CodegenOptions {
+                smem_prefetch: true,
+                ..Default::default()
+            }),
+            &p,
+            &bind,
+            &inputs,
         );
         let off = time(
-            &Compiler::new().options(CodegenOptions { smem_prefetch: false, ..Default::default() }),
-            &p, &bind, &inputs,
+            &Compiler::new().options(CodegenOptions {
+                smem_prefetch: false,
+                ..Default::default()
+            }),
+            &p,
+            &bind,
+            &inputs,
         );
         rows.push(("no smem prefetch".to_string(), vec![1.0, off / on]));
-        println!("smem prefetch:         {} -> {}", fmt_secs(on), fmt_secs(off));
+        println!(
+            "smem prefetch:         {} -> {}",
+            fmt_secs(on),
+            fmt_secs(off)
+        );
     }
 
     print_table(

@@ -19,7 +19,9 @@ fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
     let cs = b.sym("C");
     let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
     let root = b.map(Size::sym(rs), |b, row| {
-        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+            b.read(m, &[row.into(), col.into()])
+        })
     });
     let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
     let mut bind = Bindings::new();
@@ -29,13 +31,17 @@ fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
 }
 
 fn main() {
-    for (label, gpu) in [("Tesla K20c", GpuSpec::tesla_k20c()), ("Tesla C2050", GpuSpec::tesla_c2050())] {
+    for (label, gpu) in [
+        ("Tesla K20c", GpuSpec::tesla_k20c()),
+        ("Tesla C2050", GpuSpec::tesla_c2050()),
+    ] {
         println!("\n--- {label} (MIN_DOP = {}) ---", gpu.min_dop());
         for (r, c) in [(4096i64, 1024i64), (8, 262_144)] {
             let (p, bind, m) = sum_rows(r, c);
             let exe = Compiler::new().gpu(gpu.clone()).compile(&p, &bind).unwrap();
-            let inputs: HashMap<_, _> =
-                [(m, data::matrix(r as usize, c as usize, 9))].into_iter().collect();
+            let inputs: HashMap<_, _> = [(m, data::matrix(r as usize, c as usize, 9))]
+                .into_iter()
+                .collect();
             let t = exe.run(&inputs).unwrap().gpu_seconds;
             println!("  sumRows [{r},{c}]: {} -> {}", exe.mapping, fmt_secs(t));
         }

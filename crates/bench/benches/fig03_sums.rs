@@ -9,7 +9,7 @@
 //! on sumCols; thread-block/thread suffers on the 64K-outer shapes.
 
 use multidim::prelude::Strategy;
-use multidim_bench::{fmt_secs, normalized, print_table};
+use multidim_bench::{dump_metrics, fmt_secs, normalized, print_table};
 use multidim_workloads::sums::{run_sum, SumKind};
 
 fn main() {
@@ -25,14 +25,23 @@ fn main() {
     let mut multidim_times = Vec::new();
     for kind in [SumKind::Cols, SumKind::Rows] {
         for (r, c) in shapes {
-            let times: Vec<f64> = strategies
+            let outcomes: Vec<_> = strategies
                 .iter()
-                .map(|&s| run_sum(kind, s, r, c).expect("sum run").gpu_seconds)
+                .map(|&s| run_sum(kind, s, r, c).expect("sum run"))
                 .collect();
+            let times: Vec<f64> = outcomes.iter().map(|o| o.gpu_seconds).collect();
             multidim_times.push(times[0]);
+            let name = if kind == SumKind::Cols {
+                "sumCols"
+            } else {
+                "sumRows"
+            };
+            // With --report (or MULTIDIM_REPORT), dump the winning
+            // (MultiDim) configuration's per-launch metrics.
+            dump_metrics(&format!("fig03_{name}_{r}x{c}"), &outcomes[0].metrics);
             let label = format!(
                 "{} [{}K,{}K]",
-                if kind == SumKind::Cols { "sumCols" } else { "sumRows" },
+                name,
                 (r as f64 / 1024.0),
                 (c as f64 / 1024.0)
             );
@@ -47,7 +56,11 @@ fn main() {
     );
     println!(
         "MultiDim absolute times (should be nearly equal): {}",
-        multidim_times.iter().map(|&t| fmt_secs(t)).collect::<Vec<_>>().join(", ")
+        multidim_times
+            .iter()
+            .map(|&t| fmt_secs(t))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let worst = rows
         .iter()

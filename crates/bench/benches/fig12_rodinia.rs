@@ -10,8 +10,8 @@
 
 use multidim::prelude::Strategy;
 use multidim_bench::print_table;
-use multidim_workloads::rodinia::{bfs, gaussian, hotspot, lud, mandelbrot, nn, pathfinder, srad};
 use multidim_workloads::rodinia::Traversal;
+use multidim_workloads::rodinia::{bfs, gaussian, hotspot, lud, mandelbrot, nn, pathfinder, srad};
 use multidim_workloads::{data::CsrGraph, manual};
 
 fn main() {
@@ -22,19 +22,37 @@ fn main() {
         let man = manual::nn_manual(16384).expect("nn manual");
         let md = nn::run(Strategy::MultiDim, 16384).expect("nn multidim");
         let od = nn::run(Strategy::OneD, 16384).expect("nn 1d");
-        rows.push(row("NearestNeighbor", man.gpu_seconds, md.gpu_seconds, od.gpu_seconds));
+        rows.push(row(
+            "NearestNeighbor",
+            man.gpu_seconds,
+            md.gpu_seconds,
+            od.gpu_seconds,
+        ));
     }
 
     // Gaussian Elimination: 96x96 system; manual = Rodinia's flipped Fan2.
     {
         use gaussian::GaussianMode;
-        let man = gaussian::run(Traversal::RowMajor, GaussianMode::ManualRodinia, 96)
-            .expect("gaussian");
-        let md = gaussian::run(Traversal::RowMajor, GaussianMode::Strategy(Strategy::MultiDim), 96)
-            .expect("gaussian");
-        let od = gaussian::run(Traversal::RowMajor, GaussianMode::Strategy(Strategy::OneD), 96)
-            .expect("gaussian");
-        rows.push(row("GaussianElim", man.gpu_seconds, md.gpu_seconds, od.gpu_seconds));
+        let man =
+            gaussian::run(Traversal::RowMajor, GaussianMode::ManualRodinia, 96).expect("gaussian");
+        let md = gaussian::run(
+            Traversal::RowMajor,
+            GaussianMode::Strategy(Strategy::MultiDim),
+            96,
+        )
+        .expect("gaussian");
+        let od = gaussian::run(
+            Traversal::RowMajor,
+            GaussianMode::Strategy(Strategy::OneD),
+            96,
+        )
+        .expect("gaussian");
+        rows.push(row(
+            "GaussianElim",
+            man.gpu_seconds,
+            md.gpu_seconds,
+            od.gpu_seconds,
+        ));
     }
 
     // Hotspot: 256x256, 4 steps. The paper's manual CUDA performs
@@ -44,16 +62,26 @@ fn main() {
         let md =
             hotspot::run(Traversal::RowMajor, Strategy::MultiDim, 256, 256, 4).expect("hotspot");
         let od = hotspot::run(Traversal::RowMajor, Strategy::OneD, 256, 256, 4).expect("hotspot");
-        rows.push(row("Hotspot", md.gpu_seconds, md.gpu_seconds, od.gpu_seconds));
+        rows.push(row(
+            "Hotspot",
+            md.gpu_seconds,
+            md.gpu_seconds,
+            od.gpu_seconds,
+        ));
     }
 
     // Mandelbrot: 256x512.
     {
-        let md = mandelbrot::run(Traversal::RowMajor, Strategy::MultiDim, 256, 512)
-            .expect("mandelbrot");
+        let md =
+            mandelbrot::run(Traversal::RowMajor, Strategy::MultiDim, 256, 512).expect("mandelbrot");
         let od =
             mandelbrot::run(Traversal::RowMajor, Strategy::OneD, 256, 512).expect("mandelbrot");
-        rows.push(row("Mandelbrot", md.gpu_seconds, md.gpu_seconds, od.gpu_seconds));
+        rows.push(row(
+            "Mandelbrot",
+            md.gpu_seconds,
+            md.gpu_seconds,
+            od.gpu_seconds,
+        ));
     }
 
     // SRAD: 192x192, 2 iterations.
@@ -68,7 +96,12 @@ fn main() {
         let man = manual::pathfinder_fused(64, 4096, 4).expect("pathfinder manual");
         let md = pathfinder::run(Strategy::MultiDim, 64, 4096).expect("pathfinder");
         let od = pathfinder::run(Strategy::OneD, 64, 4096).expect("pathfinder");
-        rows.push(row("Pathfinder", man.gpu_seconds, md.gpu_seconds, od.gpu_seconds));
+        rows.push(row(
+            "Pathfinder",
+            man.gpu_seconds,
+            md.gpu_seconds,
+            od.gpu_seconds,
+        ));
     }
 
     // LUD: 320x320; manual = blocked panels + tiled GEMM.
@@ -99,5 +132,8 @@ fn main() {
 }
 
 fn row(name: &str, manual: f64, multidim: f64, one_d: f64) -> (String, Vec<f64>) {
-    (name.to_string(), vec![1.0, multidim / manual, one_d / manual])
+    (
+        name.to_string(),
+        vec![1.0, multidim / manual, one_d / manual],
+    )
 }

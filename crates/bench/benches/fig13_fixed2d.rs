@@ -12,7 +12,11 @@ use multidim_bench::{normalized, print_table};
 use multidim_workloads::rodinia::{gaussian, hotspot, mandelbrot, srad, Traversal};
 
 fn main() {
-    let strategies = [Strategy::MultiDim, Strategy::ThreadBlockThread, Strategy::WarpBased];
+    let strategies = [
+        Strategy::MultiDim,
+        Strategy::ThreadBlockThread,
+        Strategy::WarpBased,
+    ];
     let mut rows = Vec::new();
 
     for t in [Traversal::RowMajor, Traversal::ColMajor] {
@@ -29,14 +33,22 @@ fn main() {
     for t in [Traversal::RowMajor, Traversal::ColMajor] {
         let times: Vec<f64> = strategies
             .iter()
-            .map(|&s| hotspot::run(t, s, 256, 256, 2).expect("hotspot").gpu_seconds)
+            .map(|&s| {
+                hotspot::run(t, s, 256, 256, 2)
+                    .expect("hotspot")
+                    .gpu_seconds
+            })
             .collect();
         rows.push((format!("Hotspot {}", t.label()), normalized(&times, 0)));
     }
     for t in [Traversal::RowMajor, Traversal::ColMajor] {
         let times: Vec<f64> = strategies
             .iter()
-            .map(|&s| mandelbrot::run(t, s, 256, 512).expect("mandelbrot").gpu_seconds)
+            .map(|&s| {
+                mandelbrot::run(t, s, 256, 512)
+                    .expect("mandelbrot")
+                    .gpu_seconds
+            })
             .collect();
         rows.push((format!("Mandelbrot {}", t.label()), normalized(&times, 0)));
     }

@@ -8,7 +8,7 @@
 //! over 1D), dropping to ~1.15× once the input transfer is charged.
 
 use multidim::prelude::Strategy;
-use multidim_bench::{fmt_secs, print_table};
+use multidim_bench::{dump_metrics, fmt_secs, print_table};
 use multidim_workloads::apps::{msm, naive_bayes, qpscd};
 
 fn main() {
@@ -18,8 +18,12 @@ fn main() {
     {
         let (n, epochs) = (768, 2);
         let cpu = qpscd::cpu_seconds(n, epochs);
-        let od = qpscd::run(Strategy::OneD, n, epochs).expect("qpscd").gpu_seconds;
-        let md = qpscd::run(Strategy::MultiDim, n, epochs).expect("qpscd").gpu_seconds;
+        let od = qpscd::run(Strategy::OneD, n, epochs)
+            .expect("qpscd")
+            .gpu_seconds;
+        let md_run = qpscd::run(Strategy::MultiDim, n, epochs).expect("qpscd");
+        dump_metrics("fig14_qpscd", &md_run.metrics);
+        let md = md_run.gpu_seconds;
         rows.push(("QPSCD HogWild".to_string(), vec![1.0, od / cpu, md / cpu]));
         println!(
             "QPSCD: cpu {}  1D {}  MultiDim {}  (MultiDim {:.2}x over CPU, {:.2}x over 1D)",
@@ -36,7 +40,9 @@ fn main() {
         let (f, k, d) = (256, 96, 96);
         let cpu = msm::cpu_seconds(f, k, d);
         let od = msm::run(Strategy::OneD, f, k, d).expect("msm").gpu_seconds;
-        let md = msm::run(Strategy::MultiDim, f, k, d).expect("msm").gpu_seconds;
+        let md_run = msm::run(Strategy::MultiDim, f, k, d).expect("msm");
+        dump_metrics("fig14_msm", &md_run.metrics);
+        let md = md_run.gpu_seconds;
         rows.push(("MSMBuilder".to_string(), vec![1.0, od / cpu, md / cpu]));
         println!(
             "MSM: cpu {}  1D {}  MultiDim {}  (MultiDim {:.2}x over CPU, {:.2}x over 1D)",

@@ -27,7 +27,11 @@ fn main() {
     for kind in [SumKind::Cols, SumKind::Rows] {
         let times: Vec<f64> = modes
             .iter()
-            .map(|&m| run_sum_weighted(kind, m, rows_n, cols_n).expect("weighted").gpu_seconds)
+            .map(|&m| {
+                run_sum_weighted(kind, m, rows_n, cols_n)
+                    .expect("weighted")
+                    .gpu_seconds
+            })
             .collect();
         opt_times.push(times[0]);
         let label = match kind {

@@ -10,9 +10,9 @@
 
 use multidim::prelude::*;
 use multidim_bench::fmt_secs;
+use multidim_ir::NestInfo;
 use multidim_mapping::{enumerate_scored, fixed_mapping, Weights};
 use multidim_workloads::rodinia::{mandelbrot, Traversal};
-use multidim_ir::NestInfo;
 use std::collections::HashMap;
 
 fn main() {
@@ -34,9 +34,15 @@ fn main() {
     for cand in &candidates {
         match compiler
             .compile_with_mapping(&p, &bind, cand.mapping.clone())
-            .and_then(|exe| exe.run(&inputs).map_err(|e| multidim::CompileError(e.to_string())))
-        {
-            Ok(report) => points.push((cand.normalized_score, report.gpu_seconds, cand.mapping.clone())),
+            .and_then(|exe| {
+                exe.run(&inputs)
+                    .map_err(|e| multidim::CompileError(e.to_string()))
+            }) {
+            Ok(report) => points.push((
+                cand.normalized_score,
+                report.gpu_seconds,
+                cand.mapping.clone(),
+            )),
             Err(_) => skipped += 1,
         }
     }
@@ -44,7 +50,10 @@ fn main() {
         println!("skipped {skipped} candidates the code generator rejects");
     }
 
-    let best = points.iter().map(|(_, t, _)| *t).fold(f64::INFINITY, f64::min);
+    let best = points
+        .iter()
+        .map(|(_, t, _)| *t)
+        .fold(f64::INFINITY, f64::min);
     println!("\nscore, normalized_time, mapping   (normalized to best = 1.0)");
     let mut sorted: Vec<_> = points.iter().collect();
     sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
@@ -63,14 +72,22 @@ fn main() {
         fmt_secs(chosen),
         chosen / best
     );
-    let warp = fixed_mapping(Strategy::WarpBased, &NestInfo::of(&p), &analysis.constraints);
+    let warp = fixed_mapping(
+        Strategy::WarpBased,
+        &NestInfo::of(&p),
+        &analysis.constraints,
+    );
     let wt = compiler
         .compile_with_mapping(&p, &bind, warp.clone())
         .expect("warp compile")
         .run(&inputs)
         .expect("warp run")
         .gpu_seconds;
-    println!("warp-based (region B): {warp} time {} ({:.2}x of best)", fmt_secs(wt), wt / best);
+    println!(
+        "warp-based (region B): {warp} time {} ({:.2}x of best)",
+        fmt_secs(wt),
+        wt / best
+    );
 
     // False negatives: low score but within 1.5x of best (region C).
     let c: usize = sorted

@@ -2,14 +2,15 @@
 //! than a few seconds for brute-force search to find an efficient
 //! mapping."
 //!
-//! Criterion micro-benchmark of the full analysis (constraint collection +
-//! candidate enumeration + scoring + ControlDOP) on 1-, 2- and 3-level
-//! nests.
+//! Micro-benchmark of the full analysis (constraint collection + candidate
+//! enumeration + scoring + ControlDOP) on 1-, 2- and 3-level nests, using a
+//! small self-contained timing loop (median of repeated batches) so the
+//! harness needs no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use multidim_device::GpuSpec;
 use multidim_ir::{Bindings, Program, ProgramBuilder, ReduceOp, ScalarKind, Size};
 use multidim_mapping::analyze;
+use std::time::Instant;
 
 fn nest(levels: usize) -> (Program, Bindings) {
     let mut b = ProgramBuilder::new(format!("nest{levels}"));
@@ -17,12 +18,18 @@ fn nest(levels: usize) -> (Program, Bindings) {
     let a = match levels {
         1 => b.input("a", ScalarKind::F32, &[Size::sym(n)]),
         2 => b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n)]),
-        _ => b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n), Size::sym(n)]),
+        _ => b.input(
+            "a",
+            ScalarKind::F32,
+            &[Size::sym(n), Size::sym(n), Size::sym(n)],
+        ),
     };
     let root = match levels {
         1 => b.map(Size::sym(n), |b, i| b.read(a, &[i.into()])),
         2 => b.map(Size::sym(n), |b, i| {
-            b.reduce(Size::sym(n), ReduceOp::Add, |b, j| b.read(a, &[i.into(), j.into()]))
+            b.reduce(Size::sym(n), ReduceOp::Add, |b, j| {
+                b.read(a, &[i.into(), j.into()])
+            })
         }),
         _ => b.map(Size::sym(n), |b, i| {
             b.map(Size::sym(n), |b, j| {
@@ -38,15 +45,40 @@ fn nest(levels: usize) -> (Program, Bindings) {
     (p, bind)
 }
 
-fn bench_search(c: &mut Criterion) {
-    let gpu = GpuSpec::tesla_k20c();
-    for levels in [1usize, 2, 3] {
-        let (p, bind) = nest(levels);
-        c.bench_function(&format!("mapping_search_{levels}_levels"), |bench| {
-            bench.iter(|| std::hint::black_box(analyze(&p, &bind, &gpu)))
-        });
-    }
+/// Median per-iteration time over `batches` batches of `iters` runs.
+fn measure(mut f: impl FnMut(), iters: usize, batches: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-criterion_group!(benches, bench_search);
-criterion_main!(benches);
+fn main() {
+    let gpu = GpuSpec::tesla_k20c();
+    println!("mapping search speed (median per analysis):");
+    for levels in [1usize, 2, 3] {
+        let (p, bind) = nest(levels);
+        // Warm up once, then time.
+        let a = analyze(&p, &bind, &gpu);
+        let t = measure(
+            || {
+                std::hint::black_box(analyze(&p, &bind, &gpu));
+            },
+            if levels < 3 { 50 } else { 5 },
+            5,
+        );
+        println!(
+            "  {levels}-level nest: {:10.3} ms  ({} hard-valid candidates)",
+            t * 1e3,
+            a.candidates
+        );
+        assert!(t < 5.0, "search must stay under a few seconds (paper IV-D)");
+    }
+}

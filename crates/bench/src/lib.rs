@@ -31,6 +31,34 @@ pub fn normalized(times: &[f64], base: usize) -> Vec<f64> {
     times.iter().map(|t| t / b).collect()
 }
 
+/// True when the invocation asked for machine-readable metrics dumps:
+/// `--report` anywhere on the command line (cargo bench forwards arguments
+/// after `--`), or the `MULTIDIM_REPORT` environment variable.
+pub fn report_requested() -> bool {
+    std::env::args().any(|a| a == "--report") || std::env::var_os("MULTIDIM_REPORT").is_some()
+}
+
+/// When [`report_requested`], write the per-launch [`RunMetrics`] records
+/// as a JSON array to `<label>.metrics.json` in the working directory.
+///
+/// No-op (and no file) when reporting was not requested or `metrics` is
+/// empty, so benches can call it unconditionally on their winning
+/// configuration.
+pub fn dump_metrics(label: &str, metrics: &[multidim_sim::RunMetrics]) {
+    if !report_requested() || metrics.is_empty() {
+        return;
+    }
+    let body: Vec<String> = metrics
+        .iter()
+        .map(multidim_sim::RunMetrics::render)
+        .collect();
+    let path = format!("{label}.metrics.json");
+    match std::fs::write(&path, format!("[{}]", body.join(","))) {
+        Ok(()) => eprintln!("wrote {path} ({} launch records)", metrics.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 /// Format seconds for auxiliary prints.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {

@@ -25,7 +25,11 @@ pub fn emit_cuda(kp: &KernelProgram) -> String {
             BufferInit::FromArrayOrZero(a) => format!("host array {} or zero", a.0),
             BufferInit::Fill(v) => format!("fill {v}"),
         };
-        let _ = writeln!(s, "//   b{i}: {} [{} elems x {}B] init={init}", b.name, b.len, b.elem_bytes);
+        let _ = writeln!(
+            s,
+            "//   b{i}: {} [{} elems x {}B] init={init}",
+            b.name, b.len, b.elem_bytes
+        );
     }
     let _ = writeln!(s);
     for k in &kp.kernels {
@@ -97,7 +101,13 @@ fn emit_stmt(s: &mut String, kp: &KernelProgram, st: &Stmt, depth: usize) {
                 expr(kp, value)
             );
         }
-        Stmt::AtomicRmw { buf, idx, op, value, capture } => {
+        Stmt::AtomicRmw {
+            buf,
+            idx,
+            op,
+            value,
+            capture,
+        } => {
             let b = kp.buffer(*buf);
             let f = match op {
                 multidim_ir::ReduceOp::Add => "atomicAdd",
@@ -122,9 +132,20 @@ fn emit_stmt(s: &mut String, kp: &KernelProgram, st: &Stmt, depth: usize) {
             }
         }
         Stmt::SmemStore { arr, idx, value } => {
-            let _ = writeln!(s, "smem{arr}[(int)({})] = {};", expr(kp, idx), expr(kp, value));
+            let _ = writeln!(
+                s,
+                "smem{arr}[(int)({})] = {};",
+                expr(kp, idx),
+                expr(kp, value)
+            );
         }
-        Stmt::For { var, start, end, step, body } => {
+        Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
             let _ = writeln!(
                 s,
                 "for (int r{var} = {}; r{var} < {}; r{var} += {}) {{",
@@ -154,7 +175,11 @@ fn emit_stmt(s: &mut String, kp: &KernelProgram, st: &Stmt, depth: usize) {
             let _ = writeln!(s, "__syncthreads();");
         }
         Stmt::DeviceMalloc { bytes } => {
-            let _ = writeln!(s, "malloc((size_t)({})); // per-thread temporary", expr(kp, bytes));
+            let _ = writeln!(
+                s,
+                "malloc((size_t)({})); // per-thread temporary",
+                expr(kp, bytes)
+            );
         }
     }
 }
@@ -226,7 +251,12 @@ fn size_expr(s: &Size) -> String {
         Size::Sub(a, b) => format!("max(0, {} - {})", size_expr(a), size_expr(b)),
         Size::Mul(a, b) => format!("({} * {})", size_expr(a), size_expr(b)),
         Size::CeilDiv(a, b) => {
-            format!("(({} + {} - 1) / {})", size_expr(a), size_expr(b), size_expr(b))
+            format!(
+                "(({} + {} - 1) / {})",
+                size_expr(a),
+                size_expr(b),
+                size_expr(b)
+            )
         }
     }
 }
@@ -260,10 +290,16 @@ mod tests {
                 name: "k".into(),
                 grid: [Size::from(4), Size::from(1), Size::from(1)],
                 block: [64, 1, 1],
-                smem: vec![SmemDecl { name: "tile".into(), len: 64 }],
+                smem: vec![SmemDecl {
+                    name: "tile".into(),
+                    len: 64,
+                }],
                 locals: 2,
                 body: vec![
-                    Stmt::Assign { dst: 0, value: KExpr::global_tid(Axis::X) },
+                    Stmt::Assign {
+                        dst: 0,
+                        value: KExpr::global_tid(Axis::X),
+                    },
                     Stmt::For {
                         var: 1,
                         start: KExpr::imm(0),
@@ -290,7 +326,9 @@ mod tests {
                         value: KExpr::Imm(1.0),
                         capture: Some(1),
                     },
-                    Stmt::DeviceMalloc { bytes: KExpr::imm(256) },
+                    Stmt::DeviceMalloc {
+                        bytes: KExpr::imm(256),
+                    },
                 ],
             }],
             notes: vec!["demo note".into()],
@@ -300,7 +338,10 @@ mod tests {
     #[test]
     fn emits_signature_and_types() {
         let text = emit_cuda(&sample_program());
-        assert!(text.contains("__global__ void k(float* b0_in, double* b1_out)"), "{text}");
+        assert!(
+            text.contains("__global__ void k(float* b0_in, double* b1_out)"),
+            "{text}"
+        );
         assert!(text.contains("__shared__ double tile[64];"));
         assert!(text.contains("double r0, r1;"));
     }
@@ -308,7 +349,10 @@ mod tests {
     #[test]
     fn emits_control_flow() {
         let text = emit_cuda(&sample_program());
-        assert!(text.contains("for (int r1 = 0; r1 < s0; r1 += 1) {"), "{text}");
+        assert!(
+            text.contains("for (int r1 = 0; r1 < s0; r1 += 1) {"),
+            "{text}"
+        );
         assert!(text.contains("break;"));
         assert!(text.contains("} else {"));
         assert!(text.contains("__syncthreads();"));
@@ -317,7 +361,10 @@ mod tests {
     #[test]
     fn emits_atomics_and_malloc() {
         let text = emit_cuda(&sample_program());
-        assert!(text.contains("r1 = atomicAdd(&b1_out[(int)(0)], 1);"), "{text}");
+        assert!(
+            text.contains("r1 = atomicAdd(&b1_out[(int)(0)], 1);"),
+            "{text}"
+        );
         assert!(text.contains("malloc((size_t)(256));"));
     }
 
@@ -332,7 +379,10 @@ mod tests {
 
     #[test]
     fn size_expressions_render() {
-        assert_eq!(size_expr(&(Size::sym(SymId(1)) / Size::from(4))), "((s1 + 4 - 1) / 4)");
+        assert_eq!(
+            size_expr(&(Size::sym(SymId(1)) / Size::from(4))),
+            "((s1 + 4 - 1) / 4)"
+        );
         assert_eq!(size_expr(&(Size::from(8) - Size::from(3))), "max(0, 8 - 3)");
         assert_eq!(size_expr(&Size::Dynamic(100)), "/*dyn*/100");
     }

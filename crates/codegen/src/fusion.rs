@@ -11,6 +11,7 @@
 //! ids).
 
 use multidim_ir::{Body, Expr, Pattern, PatternKind, Program, ReadSrc, VarId};
+use multidim_trace as trace;
 
 /// Fuse `let t = map …; reduce over t` chains throughout `program`.
 ///
@@ -19,6 +20,13 @@ pub fn fuse_map_reduce(program: &Program) -> (Program, usize) {
     let mut count = 0usize;
     let mut out = program.clone();
     out.root = fuse_pattern(&program.root, &mut count);
+    if trace::enabled() {
+        trace::emit(
+            trace::Event::instant("codegen", "fusion")
+                .arg("program", program.name.as_str())
+                .arg("fused", count),
+        );
+    }
     (out, count)
 }
 
@@ -73,9 +81,18 @@ fn fuse_expr(e: &Expr, count: &mut usize) -> Expr {
             Box::new(fuse_expr(val, count)),
             Box::new(fuse_expr(body, count)),
         ),
-        Expr::Iterate { max, inits, cond, updates, result } => Expr::Iterate {
+        Expr::Iterate {
+            max,
+            inits,
+            cond,
+            updates,
+            result,
+        } => Expr::Iterate {
             max: Box::new(fuse_expr(max, count)),
-            inits: inits.iter().map(|(v, i)| (*v, fuse_expr(i, count))).collect(),
+            inits: inits
+                .iter()
+                .map(|(v, i)| (*v, fuse_expr(i, count)))
+                .collect(),
             cond: Box::new(fuse_expr(cond, count)),
             updates: updates.iter().map(|u| fuse_expr(u, count)).collect(),
             result: Box::new(fuse_expr(result, count)),
@@ -136,11 +153,23 @@ fn inline_read(e: &Expr, v: VarId, map_var: VarId, map_body: &Expr) -> Expr {
             Box::new(inline_read(val, v, map_var, map_body)),
             Box::new(inline_read(body, v, map_var, map_body)),
         ),
-        Expr::Iterate { max, inits, cond, updates, result } => Expr::Iterate {
+        Expr::Iterate {
+            max,
+            inits,
+            cond,
+            updates,
+            result,
+        } => Expr::Iterate {
             max: Box::new(inline_read(max, v, map_var, map_body)),
-            inits: inits.iter().map(|(w, i)| (*w, inline_read(i, v, map_var, map_body))).collect(),
+            inits: inits
+                .iter()
+                .map(|(w, i)| (*w, inline_read(i, v, map_var, map_body)))
+                .collect(),
             cond: Box::new(inline_read(cond, v, map_var, map_body)),
-            updates: updates.iter().map(|u| inline_read(u, v, map_var, map_body)).collect(),
+            updates: updates
+                .iter()
+                .map(|u| inline_read(u, v, map_var, map_body))
+                .collect(),
             result: Box::new(inline_read(result, v, map_var, map_body)),
         },
         Expr::Pat(p) => {
@@ -150,7 +179,9 @@ fn inline_read(e: &Expr, v: VarId, map_var: VarId, map_body: &Expr) -> Expr {
             }
             match &q.kind {
                 PatternKind::Filter { pred } => {
-                    q.kind = PatternKind::Filter { pred: inline_read(pred, v, map_var, map_body) };
+                    q.kind = PatternKind::Filter {
+                        pred: inline_read(pred, v, map_var, map_body),
+                    };
                 }
                 PatternKind::GroupBy { key, num_keys, op } => {
                     q.kind = PatternKind::GroupBy {
@@ -176,7 +207,9 @@ pub fn substitute_var(e: &Expr, var: VarId, replacement: &Expr) -> Expr {
         Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) | Expr::LengthOf(..) => e.clone(),
         Expr::Read(src, idxs) => Expr::Read(
             *src,
-            idxs.iter().map(|i| substitute_var(i, var, replacement)).collect(),
+            idxs.iter()
+                .map(|i| substitute_var(i, var, replacement))
+                .collect(),
         ),
         Expr::Bin(op, a, b) => Expr::Bin(
             *op,
@@ -194,14 +227,23 @@ pub fn substitute_var(e: &Expr, var: VarId, replacement: &Expr) -> Expr {
             Box::new(substitute_var(val, var, replacement)),
             Box::new(substitute_var(body, var, replacement)),
         ),
-        Expr::Iterate { max, inits, cond, updates, result } => Expr::Iterate {
+        Expr::Iterate {
+            max,
+            inits,
+            cond,
+            updates,
+            result,
+        } => Expr::Iterate {
             max: Box::new(substitute_var(max, var, replacement)),
             inits: inits
                 .iter()
                 .map(|(v, i)| (*v, substitute_var(i, var, replacement)))
                 .collect(),
             cond: Box::new(substitute_var(cond, var, replacement)),
-            updates: updates.iter().map(|u| substitute_var(u, var, replacement)).collect(),
+            updates: updates
+                .iter()
+                .map(|u| substitute_var(u, var, replacement))
+                .collect(),
             result: Box::new(substitute_var(result, var, replacement)),
         },
         Expr::Pat(p) => {
@@ -211,8 +253,9 @@ pub fn substitute_var(e: &Expr, var: VarId, replacement: &Expr) -> Expr {
             }
             match &q.kind {
                 PatternKind::Filter { pred } => {
-                    q.kind =
-                        PatternKind::Filter { pred: substitute_var(pred, var, replacement) };
+                    q.kind = PatternKind::Filter {
+                        pred: substitute_var(pred, var, replacement),
+                    };
                 }
                 PatternKind::GroupBy { key, num_keys, op } => {
                     q.kind = PatternKind::GroupBy {
@@ -249,7 +292,9 @@ mod tests {
                 b.read(m, &[row.into(), col.into()]) * b.read(w, &[row.into()])
             });
             b.let_(inner, |b, t| {
-                b.reduce(Size::sym(r), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+                b.reduce(Size::sym(r), ReduceOp::Add, |b, j| {
+                    b.read_var(t, &[j.into()])
+                })
             })
         });
         b.finish_map(root, "out", ScalarKind::F32).unwrap()
@@ -262,7 +307,9 @@ mod tests {
         assert_eq!(n, 1);
         // After fusion the nest has exactly two patterns: map + reduce.
         let mut kinds = Vec::new();
-        fused.root.visit_patterns(&mut |p, lvl| kinds.push((p.kind.name(), lvl)));
+        fused
+            .root
+            .visit_patterns(&mut |p, lvl| kinds.push((p.kind.name(), lvl)));
         assert_eq!(kinds, vec![("map", 0), ("reduce", 1)]);
         fused.validate().unwrap();
     }
@@ -277,12 +324,9 @@ mod tests {
         bind.bind(multidim_ir::SymId(1), 3);
         let m: Vec<f64> = (0..12).map(|x| x as f64).collect();
         let w = vec![1.0, 2.0, 0.5, 3.0];
-        let inputs: HashMap<_, _> = [
-            (multidim_ir::ArrayId(0), m),
-            (multidim_ir::ArrayId(1), w),
-        ]
-        .into_iter()
-        .collect();
+        let inputs: HashMap<_, _> = [(multidim_ir::ArrayId(0), m), (multidim_ir::ArrayId(1), w)]
+            .into_iter()
+            .collect();
         let a = multidim_ir::interpret(&p, &bind, &inputs).unwrap();
         let b = multidim_ir::interpret(&fused, &bind, &inputs).unwrap();
         assert_eq!(
@@ -337,7 +381,9 @@ mod chain_tests {
                     b.read_var(t1, &[j.into()]) + Expr::lit(1.0)
                 });
                 b.let_(stage2, |b, t2| {
-                    b.reduce(Size::sym(n), ReduceOp::Add, |b, j| b.read_var(t2, &[j.into()]))
+                    b.reduce(Size::sym(n), ReduceOp::Add, |b, j| {
+                        b.read_var(t2, &[j.into()])
+                    })
                 })
             })
         });
@@ -365,7 +411,9 @@ mod chain_tests {
             let t = b.map(Size::sym(n), |b, j| b.read(x, &[j.into()]));
             b.let_(t, |b, tv| {
                 // Reduce over a *prefix* of the temporary.
-                b.reduce(Size::sym(m), ReduceOp::Add, |b, j| b.read_var(tv, &[j.into()]))
+                b.reduce(Size::sym(m), ReduceOp::Add, |b, j| {
+                    b.read_var(tv, &[j.into()])
+                })
             })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
@@ -374,11 +422,15 @@ mod chain_tests {
         let mut bind = multidim_ir::Bindings::new();
         bind.bind(n, 8);
         bind.bind(m, 5);
-        let inputs: HashMap<_, _> =
-            [(x, (0..8).map(|v| v as f64).collect::<Vec<_>>())].into_iter().collect();
+        let inputs: HashMap<_, _> = [(x, (0..8).map(|v| v as f64).collect::<Vec<_>>())]
+            .into_iter()
+            .collect();
         let a = multidim_ir::interpret(&p, &bind, &inputs).unwrap();
         let c = multidim_ir::interpret(&fused, &bind, &inputs).unwrap();
-        assert_eq!(a.array(p.output.unwrap()).data, c.array(fused.output.unwrap()).data);
+        assert_eq!(
+            a.array(p.output.unwrap()).data,
+            c.array(fused.output.unwrap()).data
+        );
         assert_eq!(a.array(p.output.unwrap()).data, vec![10.0, 10.0]);
     }
 }

@@ -139,6 +139,9 @@ pub enum KExpr {
     Select(Box<KExpr>, Box<KExpr>, Box<KExpr>),
 }
 
+// `add`/`mul`/`sub`/`div` are two-argument AST constructors, not in-place
+// arithmetic; implementing the `std::ops` traits would change their shape.
+#[allow(clippy::should_implement_trait)]
 impl KExpr {
     /// `a + b`
     pub fn add(a: KExpr, b: KExpr) -> KExpr {
@@ -174,7 +177,10 @@ impl KExpr {
     }
     /// Global thread index along `axis`: `blockIdx*blockDim + threadIdx`.
     pub fn global_tid(axis: Axis) -> KExpr {
-        KExpr::add(KExpr::mul(KExpr::Bid(axis), KExpr::Bdim(axis)), KExpr::Tid(axis))
+        KExpr::add(
+            KExpr::mul(KExpr::Bid(axis), KExpr::Bdim(axis)),
+            KExpr::Tid(axis),
+        )
     }
     /// Integer immediate helper.
     pub fn imm(v: i64) -> KExpr {
@@ -366,7 +372,10 @@ mod tests {
             name: "t".into(),
             grid: [Size::from(4), Size::from(1), Size::from(1)],
             block: [32, 4, 1],
-            smem: vec![SmemDecl { name: "s".into(), len: 128 }],
+            smem: vec![SmemDecl {
+                name: "s".into(),
+                len: 128,
+            }],
             locals: 2,
             body: vec![Stmt::Sync],
         };
@@ -388,7 +397,11 @@ mod tests {
                 start: KExpr::imm(0),
                 end: KExpr::imm(4),
                 step: KExpr::imm(1),
-                body: vec![Stmt::If { cond: KExpr::imm(1), then: vec![Stmt::Sync], els: vec![] }],
+                body: vec![Stmt::If {
+                    cond: KExpr::imm(1),
+                    then: vec![Stmt::Sync],
+                    els: vec![],
+                }],
             }],
         };
         assert!(k.has_sync());

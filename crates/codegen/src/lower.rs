@@ -28,6 +28,7 @@ use multidim_ir::{
     ReduceOp, Size, UnOp, VarId,
 };
 use multidim_mapping::{MappingDecision, Span};
+use multidim_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -71,7 +72,11 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> Self {
-        CodegenOptions { layout: LayoutPolicy::Auto, device_malloc: false, smem_prefetch: true }
+        CodegenOptions {
+            layout: LayoutPolicy::Auto,
+            device_malloc: false,
+            smem_prefetch: true,
+        }
     }
 }
 
@@ -100,6 +105,11 @@ pub fn lower(
     mapping: &MappingDecision,
     opts: &CodegenOptions,
 ) -> Result<KernelProgram, LowerError> {
+    let mut sp = trace::span("codegen", "lower");
+    if let Some(s) = sp.as_mut() {
+        s.arg("program", program.name.as_str());
+        s.arg("mapping", mapping.to_string());
+    }
     if mapping.depth() > 3 {
         return Err(LowerError(format!(
             "nest depth {} exceeds the 3 hardware dimensions",
@@ -111,6 +121,13 @@ pub fn lower(
     // are consumed by further in-kernel computation are demoted to
     // `Span(all)`.
     let (mapping, demotion_notes) = demote_consumed_splits(program, mapping);
+    if trace::enabled() {
+        for note in &demotion_notes {
+            trace::emit(
+                trace::Event::instant("codegen", "split_demoted").arg("note", note.as_str()),
+            );
+        }
+    }
     let mapping = &mapping;
     let mut lo = Lowerer {
         program,
@@ -190,6 +207,12 @@ pub fn lower(
     let mut kernels = vec![main];
     kernels.append(&mut lo.combiners);
 
+    if let Some(s) = sp.as_mut() {
+        s.arg("kernels", kernels.len());
+        s.arg("buffers", lo.buffers.len());
+        s.arg("combiner", kernels.len() > 1);
+    }
+
     Ok(KernelProgram {
         name: program.name.clone(),
         buffers: lo.buffers,
@@ -266,8 +289,7 @@ fn needs_clamp(program: &Program, mapping: &MappingDecision) -> bool {
     if !sync_construct {
         // Materialized temporaries insert a sync when their level is
         // block-parallel; detect let-bound maps conservatively.
-        let any_block_parallel =
-            (0..mapping.depth()).any(|l| mapping.level(l).block_size > 1);
+        let any_block_parallel = (0..mapping.depth()).any(|l| mapping.level(l).block_size > 1);
         if any_block_parallel {
             program.root.visit_exprs(&mut |e| {
                 if let Expr::Let(_, val, _) = e {
@@ -367,13 +389,22 @@ impl<'p> Lowerer<'p> {
 
     fn fresh_smem(&mut self, name: impl Into<String>, len: u32) -> u32 {
         let id = self.smem.len() as u32;
-        self.smem.push(SmemDecl { name: name.into(), len });
+        self.smem.push(SmemDecl {
+            name: name.into(),
+            len,
+        });
         id
     }
 
     fn add_buffer(&mut self, name: String, len: Size, init: BufferInit) -> BufId {
         let id = BufId(self.buffers.len() as u32);
-        self.buffers.push(BufferDecl { name, elem_bytes: 8, len, init, array: None });
+        self.buffers.push(BufferDecl {
+            name,
+            elem_bytes: 8,
+            len,
+            init,
+            array: None,
+        });
         id
     }
 
@@ -421,12 +452,18 @@ impl<'p> Lowerer<'p> {
         let lm = self.mapping.level(level);
         let raw = if self.clamp_mode && matches!(lm.span, Span::Span(_)) {
             let r = self.fresh_local();
-            self.valid_conds.push(KExpr::lt(KExpr::Local(r), extent.clone()));
+            self.valid_conds
+                .push(KExpr::lt(KExpr::Local(r), extent.clone()));
             Some(r)
         } else {
             None
         };
-        LevelFrame { level, idx, raw, extent: extent.clone() }
+        LevelFrame {
+            level,
+            idx,
+            raw,
+            extent: extent.clone(),
+        }
     }
 
     /// Close a level opened with [`Self::begin_level`], wrapping `body` in
@@ -466,14 +503,23 @@ impl<'p> Lowerer<'p> {
             Span::Span(1) => match frame.raw {
                 Some(raw) => {
                     let mut out = vec![
-                        Stmt::Assign { dst: raw, value: KExpr::global_tid(axis) },
-                        Stmt::Assign { dst: idx, value: clamp(raw) },
+                        Stmt::Assign {
+                            dst: raw,
+                            value: KExpr::global_tid(axis),
+                        },
+                        Stmt::Assign {
+                            dst: idx,
+                            value: clamp(raw),
+                        },
                     ];
                     out.extend(body);
                     out
                 }
                 None => vec![
-                    Stmt::Assign { dst: idx, value: KExpr::global_tid(axis) },
+                    Stmt::Assign {
+                        dst: idx,
+                        value: KExpr::global_tid(axis),
+                    },
                     Stmt::If {
                         cond: KExpr::lt(KExpr::Local(idx), extent),
                         then: body,
@@ -496,14 +542,23 @@ impl<'p> Lowerer<'p> {
                 let inner = match frame.raw {
                     Some(raw) => {
                         let mut v = vec![
-                            Stmt::Assign { dst: raw, value: pos },
-                            Stmt::Assign { dst: idx, value: clamp(raw) },
+                            Stmt::Assign {
+                                dst: raw,
+                                value: pos,
+                            },
+                            Stmt::Assign {
+                                dst: idx,
+                                value: clamp(raw),
+                            },
                         ];
                         v.extend(body);
                         v
                     }
                     None => vec![
-                        Stmt::Assign { dst: idx, value: pos },
+                        Stmt::Assign {
+                            dst: idx,
+                            value: pos,
+                        },
                         Stmt::If {
                             cond: KExpr::lt(KExpr::Local(idx), extent),
                             then: body,
@@ -528,35 +583,37 @@ impl<'p> Lowerer<'p> {
                 } else {
                     (KExpr::Tid(axis), KExpr::Bdim(axis))
                 };
-                vec![Stmt::For { var: idx, start, end: extent, step, body }]
+                vec![Stmt::For {
+                    var: idx,
+                    start,
+                    end: extent,
+                    step,
+                    body,
+                }]
             }
             Span::Split(k) => {
                 // Section s covers [s*S, min((s+1)*S, extent)) where
                 // S = ceil(extent / k); k is the grid size on this axis.
                 let section = match extent {
-                    KExpr::SizeVal(ref s) => {
-                        KExpr::SizeVal(s.clone() / Size::from(k.max(1)))
-                    }
+                    KExpr::SizeVal(ref s) => KExpr::SizeVal(s.clone() / Size::from(k.max(1))),
                     ref other => {
                         // ceil(e / k) for a runtime extent.
                         let kk = KExpr::imm(k.max(1));
                         KExpr::Un(
                             UnOp::Floor,
                             Box::new(KExpr::div(
-                                KExpr::add(
-                                    other.clone(),
-                                    KExpr::sub(kk.clone(), KExpr::imm(1)),
-                                ),
+                                KExpr::add(other.clone(), KExpr::sub(kk.clone(), KExpr::imm(1))),
                                 kk,
                             )),
                         )
                     }
                 };
-                let lane = if lm.block_size <= 1 { KExpr::imm(0) } else { KExpr::Tid(axis) };
-                let start = KExpr::add(
-                    KExpr::mul(KExpr::Bid(axis), section.clone()),
-                    lane,
-                );
+                let lane = if lm.block_size <= 1 {
+                    KExpr::imm(0)
+                } else {
+                    KExpr::Tid(axis)
+                };
+                let start = KExpr::add(KExpr::mul(KExpr::Bid(axis), section.clone()), lane);
                 let end = KExpr::Bin(
                     BinOp::Min,
                     Box::new(KExpr::mul(
@@ -565,7 +622,13 @@ impl<'p> Lowerer<'p> {
                     )),
                     Box::new(extent),
                 );
-                vec![Stmt::For { var: idx, start, end, step: KExpr::Bdim(axis), body }]
+                vec![Stmt::For {
+                    var: idx,
+                    start,
+                    end,
+                    step: KExpr::Bdim(axis),
+                    body,
+                }]
             }
         })
     }
@@ -600,7 +663,11 @@ impl<'p> Lowerer<'p> {
             });
         }
         match cond {
-            Some(cond) => vec![Stmt::If { cond, then: stmts, els: vec![] }],
+            Some(cond) => vec![Stmt::If {
+                cond,
+                then: stmts,
+                els: vec![],
+            }],
             None => stmts,
         }
     }
@@ -619,7 +686,11 @@ impl<'p> Lowerer<'p> {
         let frame = self.begin_level(level, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
         self.out_chain.push((KExpr::Local(idx), p.size.clone()));
 
         let mut body = Vec::new();
@@ -668,7 +739,11 @@ impl<'p> Lowerer<'p> {
     ) -> Result<(), LowerError> {
         let out = self.out_buf()?;
         let idx = linearize_chain(&self.out_chain);
-        let st = vec![Stmt::Store { buf: out, idx, value }];
+        let st = vec![Stmt::Store {
+            buf: out,
+            idx,
+            value,
+        }];
         let guarded = self.guarded(level, st);
         sink.extend(guarded);
         Ok(())
@@ -734,7 +809,11 @@ impl<'p> Lowerer<'p> {
                 );
                 let uid = linearize_chain(&self.out_chain);
                 let pidx = KExpr::add(KExpr::mul(uid, KExpr::imm(k)), KExpr::Bid(axis));
-                let store = vec![Stmt::Store { buf: partial, idx: pidx, value: KExpr::Local(reduced) }];
+                let store = vec![Stmt::Store {
+                    buf: partial,
+                    idx: pidx,
+                    value: KExpr::Local(reduced),
+                }];
                 // One lane of the reduce dimension stores; deeper parallel
                 // dims and enclosing validity handled by guarded().
                 let stmts = if lm.block_size > 1 {
@@ -752,7 +831,11 @@ impl<'p> Lowerer<'p> {
             }
             _ => {
                 let uid = linearize_chain(&self.out_chain);
-                let store = vec![Stmt::Store { buf: out, idx: uid, value: KExpr::Local(reduced) }];
+                let store = vec![Stmt::Store {
+                    buf: out,
+                    idx: uid,
+                    value: KExpr::Local(reduced),
+                }];
                 let stmts = if lm.block_size > 1 {
                     vec![Stmt::If {
                         cond: KExpr::eq(KExpr::Tid(axis), KExpr::imm(0)),
@@ -779,12 +862,19 @@ impl<'p> Lowerer<'p> {
     ) -> Result<LocalId, LowerError> {
         let extent = self.extent_expr(p, sink)?;
         let acc = self.fresh_local();
-        sink.push(Stmt::Assign { dst: acc, value: KExpr::Imm(op.identity()) });
+        sink.push(Stmt::Assign {
+            dst: acc,
+            value: KExpr::Imm(op.identity()),
+        });
 
         let frame = self.begin_level(level, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
 
         let mut body = Vec::new();
         let value = match &p.body {
@@ -792,7 +882,10 @@ impl<'p> Lowerer<'p> {
             Body::Effects(_) => return Err(LowerError("reduce with effect body".into())),
         };
         let v = self.lower_expr(value, &mut body)?;
-        body.push(Stmt::Assign { dst: acc, value: combine(op, KExpr::Local(acc), v) });
+        body.push(Stmt::Assign {
+            dst: acc,
+            value: combine(op, KExpr::Local(acc), v),
+        });
 
         let wrapped = self.end_level(frame, body)?;
         sink.extend(wrapped);
@@ -832,7 +925,11 @@ impl<'p> Lowerer<'p> {
         // Flat slot = tid.x + tid.y*Bx + tid.z*Bx*By over the *mapped* axes.
         let (slot, stride_d) = self.flat_slot_and_stride(axis);
 
-        sink.push(Stmt::SmemStore { arr: smem, idx: slot.clone(), value: KExpr::Local(acc) });
+        sink.push(Stmt::SmemStore {
+            arr: smem,
+            idx: slot.clone(),
+            value: KExpr::Local(acc),
+        });
         sync(sink);
 
         let mut s = lm.block_size / 2;
@@ -845,8 +942,14 @@ impl<'p> Lowerer<'p> {
                     idx: slot.clone(),
                     value: combine(
                         op,
-                        KExpr::SmemLoad { arr: smem, idx: Box::new(slot.clone()) },
-                        KExpr::SmemLoad { arr: smem, idx: Box::new(partner) },
+                        KExpr::SmemLoad {
+                            arr: smem,
+                            idx: Box::new(slot.clone()),
+                        },
+                        KExpr::SmemLoad {
+                            arr: smem,
+                            idx: Box::new(partner),
+                        },
                     ),
                 }],
                 els: vec![],
@@ -856,11 +959,17 @@ impl<'p> Lowerer<'p> {
         }
 
         // Broadcast: every thread reads the slot with tid_d = 0.
-        let base = KExpr::sub(slot, KExpr::mul(KExpr::Tid(axis), KExpr::imm(stride_d as i64)));
+        let base = KExpr::sub(
+            slot,
+            KExpr::mul(KExpr::Tid(axis), KExpr::imm(stride_d as i64)),
+        );
         let res = self.fresh_local();
         sink.push(Stmt::Assign {
             dst: res,
-            value: KExpr::SmemLoad { arr: smem, idx: Box::new(base) },
+            value: KExpr::SmemLoad {
+                arr: smem,
+                idx: Box::new(base),
+            },
         });
         res
     }
@@ -895,11 +1004,17 @@ impl<'p> Lowerer<'p> {
         let j = 1;
         let acc = 2;
         let body = vec![
-            Stmt::Assign { dst: u, value: KExpr::global_tid(Axis::X) },
+            Stmt::Assign {
+                dst: u,
+                value: KExpr::global_tid(Axis::X),
+            },
             Stmt::If {
                 cond: KExpr::lt(KExpr::Local(u), KExpr::SizeVal(uid_count.clone())),
                 then: vec![
-                    Stmt::Assign { dst: acc, value: KExpr::Imm(op.identity()) },
+                    Stmt::Assign {
+                        dst: acc,
+                        value: KExpr::Imm(op.identity()),
+                    },
                     Stmt::For {
                         var: j,
                         start: KExpr::imm(0),
@@ -920,7 +1035,11 @@ impl<'p> Lowerer<'p> {
                             ),
                         }],
                     },
-                    Stmt::Store { buf: out, idx: KExpr::Local(u), value: KExpr::Local(acc) },
+                    Stmt::Store {
+                        buf: out,
+                        idx: KExpr::Local(u),
+                        value: KExpr::Local(acc),
+                    },
                 ],
                 els: vec![],
             },
@@ -949,7 +1068,11 @@ impl<'p> Lowerer<'p> {
         let frame = self.begin_level(level, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
 
         let mut body = Vec::new();
         let effs = match &p.body {
@@ -959,20 +1082,39 @@ impl<'p> Lowerer<'p> {
         let mut bound = Vec::new();
         for eff in effs {
             match eff {
-                Effect::Write { cond, array, idx: ai, value } => {
+                Effect::Write {
+                    cond,
+                    array,
+                    idx: ai,
+                    value,
+                } => {
                     let v = self.lower_expr(value, &mut body)?;
                     let addr = self.array_address(*array, ai, &mut body)?;
-                    let store = vec![Stmt::Store { buf: BufId(array.0), idx: addr, value: v }];
+                    let store = vec![Stmt::Store {
+                        buf: BufId(array.0),
+                        idx: addr,
+                        value: v,
+                    }];
                     let store = self.guarded(level, store);
                     match cond {
                         Some(c) => {
                             let cv = self.lower_expr(c, &mut body)?;
-                            body.push(Stmt::If { cond: cv, then: store, els: vec![] });
+                            body.push(Stmt::If {
+                                cond: cv,
+                                then: store,
+                                els: vec![],
+                            });
                         }
                         None => body.extend(store),
                     }
                 }
-                Effect::AtomicRmw { cond, array, idx: ai, op, value } => {
+                Effect::AtomicRmw {
+                    cond,
+                    array,
+                    idx: ai,
+                    op,
+                    value,
+                } => {
                     let v = self.lower_expr(value, &mut body)?;
                     let addr = self.array_address(*array, ai, &mut body)?;
                     let st = vec![Stmt::AtomicRmw {
@@ -986,7 +1128,11 @@ impl<'p> Lowerer<'p> {
                     match cond {
                         Some(c) => {
                             let cv = self.lower_expr(c, &mut body)?;
-                            body.push(Stmt::If { cond: cv, then: st, els: vec![] });
+                            body.push(Stmt::If {
+                                cond: cv,
+                                then: st,
+                                els: vec![],
+                            });
                         }
                         None => body.extend(st),
                     }
@@ -1025,7 +1171,9 @@ impl<'p> Lowerer<'p> {
         p: &'p Pattern,
         sink: &mut Vec<Stmt>,
     ) -> Result<(), LowerError> {
-        let PatternKind::Filter { pred } = &p.kind else { unreachable!() };
+        let PatternKind::Filter { pred } = &p.kind else {
+            unreachable!()
+        };
         let out = self.out_buf()?;
         let counter = self
             .program
@@ -1037,7 +1185,11 @@ impl<'p> Lowerer<'p> {
         let frame = self.begin_level(0, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
 
         let mut body = Vec::new();
         let pv = self.lower_expr(pred, &mut body)?;
@@ -1055,15 +1207,24 @@ impl<'p> Lowerer<'p> {
             value: KExpr::Imm(1.0),
             capture: Some(pos),
         });
-        then.push(Stmt::Store { buf: out, idx: KExpr::Local(pos), value: v });
+        then.push(Stmt::Store {
+            buf: out,
+            idx: KExpr::Local(pos),
+            value: v,
+        });
         let then = self.guarded(0, then);
-        body.push(Stmt::If { cond: pv, then, els: vec![] });
+        body.push(Stmt::If {
+            cond: pv,
+            then,
+            els: vec![],
+        });
 
         let wrapped = self.end_level(frame, body)?;
         sink.extend(wrapped);
         self.chain.pop();
         self.vars.remove(&p.var);
-        self.notes.push("filter output order is nondeterministic (atomic compaction)".into());
+        self.notes
+            .push("filter output order is nondeterministic (atomic compaction)".into());
         Ok(())
     }
 
@@ -1072,7 +1233,9 @@ impl<'p> Lowerer<'p> {
         p: &'p Pattern,
         sink: &mut Vec<Stmt>,
     ) -> Result<(), LowerError> {
-        let PatternKind::GroupBy { key, op, .. } = &p.kind else { unreachable!() };
+        let PatternKind::GroupBy { key, op, .. } = &p.kind else {
+            unreachable!()
+        };
         let op = *op;
         let out = self.out_buf()?;
 
@@ -1080,7 +1243,11 @@ impl<'p> Lowerer<'p> {
         let frame = self.begin_level(0, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
 
         let mut body = Vec::new();
         let kv = self.lower_expr(key, &mut body)?;
@@ -1089,8 +1256,16 @@ impl<'p> Lowerer<'p> {
             Body::Effects(_) => return Err(LowerError("groupBy requires a value body".into())),
         };
         let v = self.lower_expr(value, &mut body)?;
-        let atomic =
-            self.guarded(0, vec![Stmt::AtomicRmw { buf: out, idx: kv, op, value: v, capture: None }]);
+        let atomic = self.guarded(
+            0,
+            vec![Stmt::AtomicRmw {
+                buf: out,
+                idx: kv,
+                op,
+                value: v,
+                capture: None,
+            }],
+        );
         body.extend(atomic);
 
         let wrapped = self.end_level(frame, body)?;
@@ -1159,7 +1334,10 @@ impl<'p> Lowerer<'p> {
                     return Ok(sm);
                 }
                 let addr = self.array_address(*a, idxs, sink)?;
-                Ok(KExpr::Load { buf: BufId(a.0), idx: Box::new(addr) })
+                Ok(KExpr::Load {
+                    buf: BufId(a.0),
+                    idx: Box::new(addr),
+                })
             }
             Expr::Read(ReadSrc::Var(v), idxs) => {
                 let t = self
@@ -1171,7 +1349,10 @@ impl<'p> Lowerer<'p> {
                     return Err(LowerError("temporaries are rank-1".into()));
                 }
                 let j = self.lower_expr(&idxs[0], sink)?;
-                Ok(KExpr::Load { buf: t.buf, idx: Box::new(temp_addr(&t, j)) })
+                Ok(KExpr::Load {
+                    buf: t.buf,
+                    idx: Box::new(temp_addr(&t, j)),
+                })
             }
             Expr::Bin(op, a, b) => {
                 let x = self.lower_expr(a, sink)?;
@@ -1188,42 +1369,46 @@ impl<'p> Lowerer<'p> {
                 let fv = self.lower_expr(f, sink)?;
                 Ok(KExpr::Select(Box::new(cv), Box::new(tv), Box::new(fv)))
             }
-            Expr::Let(v, val, bodye) => {
-                match &**val {
-                    Expr::Pat(p) => match &p.kind {
-                        PatternKind::Map => {
-                            self.materialize_temp(*v, p, sink)?;
-                            let r = self.lower_expr(bodye, sink);
-                            self.temps.remove(v);
-                            r
-                        }
-                        PatternKind::Reduce { op } => {
-                            let level = self.chain.len();
-                            let rv = self.lower_reduce_value(p, level, *op, sink)?;
-                            let l = self.fresh_local();
-                            sink.push(Stmt::Assign { dst: l, value: rv });
-                            self.vars.insert(*v, KExpr::Local(l));
-                            let r = self.lower_expr(bodye, sink);
-                            self.vars.remove(v);
-                            r
-                        }
-                        other => Err(LowerError(format!(
-                            "let-bound {} not supported below the root",
-                            other.name()
-                        ))),
-                    },
-                    scalar => {
-                        let sv = self.lower_expr(scalar, sink)?;
+            Expr::Let(v, val, bodye) => match &**val {
+                Expr::Pat(p) => match &p.kind {
+                    PatternKind::Map => {
+                        self.materialize_temp(*v, p, sink)?;
+                        let r = self.lower_expr(bodye, sink);
+                        self.temps.remove(v);
+                        r
+                    }
+                    PatternKind::Reduce { op } => {
+                        let level = self.chain.len();
+                        let rv = self.lower_reduce_value(p, level, *op, sink)?;
                         let l = self.fresh_local();
-                        sink.push(Stmt::Assign { dst: l, value: sv });
+                        sink.push(Stmt::Assign { dst: l, value: rv });
                         self.vars.insert(*v, KExpr::Local(l));
                         let r = self.lower_expr(bodye, sink);
                         self.vars.remove(v);
                         r
                     }
+                    other => Err(LowerError(format!(
+                        "let-bound {} not supported below the root",
+                        other.name()
+                    ))),
+                },
+                scalar => {
+                    let sv = self.lower_expr(scalar, sink)?;
+                    let l = self.fresh_local();
+                    sink.push(Stmt::Assign { dst: l, value: sv });
+                    self.vars.insert(*v, KExpr::Local(l));
+                    let r = self.lower_expr(bodye, sink);
+                    self.vars.remove(v);
+                    r
                 }
-            }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            },
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 let maxv = self.lower_expr(max, sink)?;
                 let mut state = Vec::with_capacity(inits.len());
                 for (v, init) in inits {
@@ -1246,9 +1431,16 @@ impl<'p> Lowerer<'p> {
                     fresh.push(l);
                 }
                 for (s, f) in state.iter().zip(&fresh) {
-                    cont.push(Stmt::Assign { dst: *s, value: KExpr::Local(*f) });
+                    cont.push(Stmt::Assign {
+                        dst: *s,
+                        value: KExpr::Local(*f),
+                    });
                 }
-                body.push(Stmt::If { cond: cv, then: cont, els: vec![Stmt::Break] });
+                body.push(Stmt::If {
+                    cond: cv,
+                    then: cont,
+                    els: vec![Stmt::Break],
+                });
                 sink.push(Stmt::For {
                     var: counter,
                     start: KExpr::imm(0),
@@ -1286,11 +1478,15 @@ impl<'p> Lowerer<'p> {
         sink: &mut Vec<Stmt>,
     ) -> Result<(), LowerError> {
         if p.size.is_dynamic() {
-            return Err(LowerError("temporaries with dynamic extents unsupported".into()));
+            return Err(LowerError(
+                "temporaries with dynamic extents unsupported".into(),
+            ));
         }
         for link in &self.chain {
             if link.extent.is_dynamic() {
-                return Err(LowerError("temporaries under dynamic levels unsupported".into()));
+                return Err(LowerError(
+                    "temporaries under dynamic levels unsupported".into(),
+                ));
             }
         }
         let level = self.chain.len();
@@ -1313,23 +1509,42 @@ impl<'p> Lowerer<'p> {
                 }
             }
         };
-        self.notes.push(format!("temp v{} layout: {:?}", v.0, layout));
+        self.notes
+            .push(format!("temp v{} layout: {:?}", v.0, layout));
+        if trace::enabled() {
+            trace::emit(
+                trace::Event::instant("codegen", "temp_prealloc")
+                    .arg("var", v.0 as u64)
+                    .arg("layout", format!("{layout:?}"))
+                    .arg("policy", format!("{:?}", self.opts.layout))
+                    .arg("device_malloc", self.opts.device_malloc),
+            );
+        }
 
         let buf = self.add_buffer(
             format!("{}_temp_v{}", self.program.name, v.0),
             uid_count.clone() * inner.clone(),
             BufferInit::Zero,
         );
-        let info = TempInfo { buf, inner: inner.clone(), uid, uid_count, layout };
+        let info = TempInfo {
+            buf,
+            inner: inner.clone(),
+            uid,
+            uid_count,
+            layout,
+        };
 
         if self.opts.device_malloc {
             // Figure 16's baseline: every outer-pattern thread pays a
             // device malloc for its temporary (one call per outer
             // iteration — the inner pattern's lanes share it).
             // Guard so only one lane of the inner dimensions calls it.
-            let m = self.guarded(level.saturating_sub(1), vec![Stmt::DeviceMalloc {
-                bytes: KExpr::mul(KExpr::SizeVal(inner.clone()), KExpr::imm(8)),
-            }]);
+            let m = self.guarded(
+                level.saturating_sub(1),
+                vec![Stmt::DeviceMalloc {
+                    bytes: KExpr::mul(KExpr::SizeVal(inner.clone()), KExpr::imm(8)),
+                }],
+            );
             sink.extend(m);
         }
 
@@ -1338,18 +1553,25 @@ impl<'p> Lowerer<'p> {
         let frame = self.begin_level(level, &extent);
         let idx = frame.idx;
         self.vars.insert(p.var, KExpr::Local(idx));
-        self.chain.push(ChainLink { var: p.var, idx, extent: p.size.clone() });
+        self.chain.push(ChainLink {
+            var: p.var,
+            idx,
+            extent: p.size.clone(),
+        });
         let mut body = Vec::new();
         let value = match &p.body {
             Body::Value(e) => e,
             Body::Effects(_) => return Err(LowerError("temp map with effects".into())),
         };
         let val = self.lower_expr(value, &mut body)?;
-        let store = self.guarded(level, vec![Stmt::Store {
-            buf: info.buf,
-            idx: temp_addr(&info, KExpr::Local(idx)),
-            value: val,
-        }]);
+        let store = self.guarded(
+            level,
+            vec![Stmt::Store {
+                buf: info.buf,
+                idx: temp_addr(&info, KExpr::Local(idx)),
+                value: val,
+            }],
+        );
         body.extend(store);
         let wrapped = self.end_level(frame, body)?;
         sink.extend(wrapped);
@@ -1374,22 +1596,40 @@ impl<'p> Lowerer<'p> {
     /// deeper nest whose outer dimension is not x, stage the block's chunk
     /// through shared memory and read from there.
     fn try_prefetch(&mut self, array: ArrayId, idxs: &'p [Expr]) -> Option<KExpr> {
-        if !self.opts.smem_prefetch || self.mapping.depth() < 2 {
-            return None;
+        // Names the reason a candidate read was not staged, so traces
+        // explain "why did the Section V-B optimization not fire here".
+        let skip = |this: &Self, reason: &'static str| {
+            if trace::enabled() {
+                trace::emit(
+                    trace::Event::instant("codegen", "prefetch_skipped")
+                        .arg("array", this.program.array(array).name.as_str())
+                        .arg("reason", reason),
+                );
+            }
+            None
+        };
+        if !self.opts.smem_prefetch {
+            return None; // disabled by options: not a per-read decision
+        }
+        if self.mapping.depth() < 2 {
+            return skip(self, "nest has a single level");
         }
         // At outer level only (chain = [outer]).
         if self.chain.len() != 1 {
-            return None;
+            return skip(self, "read is not at the outer nest level");
         }
         let outer_var = self.chain[0].var;
         let outer_extent = self.chain[0].extent.clone();
         let lm = self.mapping.level(0);
-        if lm.dim.is_x() || !matches!(lm.span, Span::Span(1)) || lm.block_size < 2 {
-            return None;
+        if lm.dim.is_x() {
+            return skip(self, "outer level already on dimension x (coalesced)");
+        }
+        if !matches!(lm.span, Span::Span(1)) || lm.block_size < 2 {
+            return skip(self, "outer level not block-parallel with span(1)");
         }
         // Exactly `a[outer_var]`.
         if idxs.len() != 1 || idxs[0] != Expr::Var(outer_var) {
-            return None;
+            return skip(self, "access is not stride-1 in the outer index");
         }
         let axis = Axis::from_index(lm.dim.0);
         let b_outer = lm.block_size;
@@ -1405,7 +1645,10 @@ impl<'p> Lowerer<'p> {
                 let lt = self.fresh_local();
                 let base = KExpr::mul(KExpr::Bid(axis), KExpr::imm(b_outer as i64));
                 let addr = KExpr::add(base, KExpr::Local(lt));
-                self.preamble.push(Stmt::Assign { dst: lt, value: flat });
+                self.preamble.push(Stmt::Assign {
+                    dst: lt,
+                    value: flat,
+                });
                 self.preamble.push(Stmt::If {
                     cond: KExpr::and(
                         KExpr::lt(KExpr::Local(lt), KExpr::imm(b_outer as i64)),
@@ -1414,18 +1657,33 @@ impl<'p> Lowerer<'p> {
                     then: vec![Stmt::SmemStore {
                         arr: sm,
                         idx: KExpr::Local(lt),
-                        value: KExpr::Load { buf: BufId(array.0), idx: Box::new(addr) },
+                        value: KExpr::Load {
+                            buf: BufId(array.0),
+                            idx: Box::new(addr),
+                        },
                     }],
                     els: vec![],
                 });
                 self.preamble.push(Stmt::Sync);
-                self.notes
-                    .push(format!("prefetching `{}` through shared memory", self.program.array(array).name));
+                self.notes.push(format!(
+                    "prefetching `{}` through shared memory",
+                    self.program.array(array).name
+                ));
+                if trace::enabled() {
+                    trace::emit(
+                        trace::Event::instant("codegen", "prefetch_applied")
+                            .arg("array", self.program.array(array).name.as_str())
+                            .arg("smem_words", b_outer),
+                    );
+                }
                 self.prefetched.insert(array, sm);
                 sm
             }
         };
-        Some(KExpr::SmemLoad { arr: sm, idx: Box::new(KExpr::Tid(axis)) })
+        Some(KExpr::SmemLoad {
+            arr: sm,
+            idx: Box::new(KExpr::Tid(axis)),
+        })
     }
 }
 
@@ -1443,12 +1701,14 @@ fn combine(op: ReduceOp, a: KExpr, b: KExpr) -> KExpr {
 /// Address inside a temporary under its layout.
 fn temp_addr(t: &TempInfo, j: KExpr) -> KExpr {
     match t.layout {
-        TempLayout::RowMajor => {
-            KExpr::add(KExpr::mul(t.uid.clone(), KExpr::SizeVal(t.inner.clone())), j)
-        }
-        TempLayout::ColMajor => {
-            KExpr::add(KExpr::mul(j, KExpr::SizeVal(t.uid_count.clone())), t.uid.clone())
-        }
+        TempLayout::RowMajor => KExpr::add(
+            KExpr::mul(t.uid.clone(), KExpr::SizeVal(t.inner.clone())),
+            j,
+        ),
+        TempLayout::ColMajor => KExpr::add(
+            KExpr::mul(j, KExpr::SizeVal(t.uid_count.clone())),
+            t.uid.clone(),
+        ),
     }
 }
 
@@ -1466,11 +1726,15 @@ fn linearize_chain(chain: &[(KExpr, Size)]) -> KExpr {
 
 /// Product of chain extents.
 fn chain_count(chain: &[(KExpr, Size)]) -> Size {
-    chain.iter().fold(Size::from(1), |acc, (_, e)| acc * e.clone())
+    chain
+        .iter()
+        .fold(Size::from(1), |acc, (_, e)| acc * e.clone())
 }
 
 fn chain_count_links(chain: &[ChainLink]) -> Size {
-    chain.iter().fold(Size::from(1), |acc, l| acc * l.extent.clone())
+    chain
+        .iter()
+        .fold(Size::from(1), |acc, l| acc * l.extent.clone())
 }
 
 fn linearize_links(chain: &[ChainLink]) -> KExpr {
@@ -1486,4 +1750,3 @@ fn linearize_links(chain: &[ChainLink]) -> KExpr {
     }
     acc
 }
-

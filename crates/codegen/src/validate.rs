@@ -46,7 +46,10 @@ pub fn validate_kernel(kp: &KernelProgram, k: &Kernel, smem_limit: u32) -> Resul
         return Err(KernelError("empty thread block".into()));
     }
     if k.block_threads() > 1024 {
-        return Err(KernelError(format!("{} threads per block exceeds 1024", k.block_threads())));
+        return Err(KernelError(format!(
+            "{} threads per block exceeds 1024",
+            k.block_threads()
+        )));
     }
     if k.smem_bytes() > smem_limit {
         return Err(KernelError(format!(
@@ -86,7 +89,13 @@ impl<'a> Ctx<'a> {
                 self.expr(idx)?;
                 self.expr(value)
             }
-            Stmt::AtomicRmw { buf, idx, value, capture, .. } => {
+            Stmt::AtomicRmw {
+                buf,
+                idx,
+                value,
+                capture,
+                ..
+            } => {
                 self.buffer(buf.0)?;
                 self.expr(idx)?;
                 self.expr(value)?;
@@ -100,7 +109,13 @@ impl<'a> Ctx<'a> {
                 self.expr(idx)?;
                 self.expr(value)
             }
-            Stmt::For { var, start, end, step, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 self.local(*var)?;
                 self.expr(start)?;
                 self.expr(end)?;
@@ -176,7 +191,10 @@ impl<'a> Ctx<'a> {
 
     fn local(&self, l: u32) -> Result<(), KernelError> {
         if l >= self.k.locals {
-            return Err(KernelError(format!("local r{l} out of range (locals = {})", self.k.locals)));
+            return Err(KernelError(format!(
+                "local r{l} out of range (locals = {})",
+                self.k.locals
+            )));
         }
         Ok(())
     }
@@ -261,15 +279,25 @@ mod tests {
     #[test]
     fn accepts_well_formed() {
         let k = base_kernel(vec![
-            Stmt::Assign { dst: 0, value: KExpr::Tid(Axis::X) },
-            Stmt::Store { buf: BufId(0), idx: KExpr::Local(0), value: KExpr::Imm(1.0) },
+            Stmt::Assign {
+                dst: 0,
+                value: KExpr::Tid(Axis::X),
+            },
+            Stmt::Store {
+                buf: BufId(0),
+                idx: KExpr::Local(0),
+                value: KExpr::Imm(1.0),
+            },
         ]);
         validate_kernels(&program_with(k), 48 * 1024).unwrap();
     }
 
     #[test]
     fn rejects_out_of_range_local() {
-        let k = base_kernel(vec![Stmt::Assign { dst: 7, value: KExpr::Imm(0.0) }]);
+        let k = base_kernel(vec![Stmt::Assign {
+            dst: 7,
+            value: KExpr::Imm(0.0),
+        }]);
         let err = validate_kernels(&program_with(k), 48 * 1024).unwrap_err();
         assert!(err.0.contains("r7"));
     }
@@ -336,7 +364,10 @@ mod tests {
         k.block = [1024, 2, 1];
         assert!(validate_kernels(&program_with(k), 48 * 1024).is_err());
         let mut k2 = base_kernel(vec![]);
-        k2.smem = vec![crate::kernel::SmemDecl { name: "s".into(), len: 10_000 }];
+        k2.smem = vec![crate::kernel::SmemDecl {
+            name: "s".into(),
+            len: 10_000,
+        }];
         assert!(validate_kernels(&program_with(k2), 48 * 1024).is_err());
     }
 }

@@ -53,7 +53,8 @@ use multidim_ir::{ArrayId, Bindings, NestInfo, Program};
 use multidim_mapping::{
     analyze_with, collect_constraints, fixed_mapping, Analysis, MappingDecision, Strategy, Weights,
 };
-use multidim_sim::{run_program, KernelCost, KernelTime};
+use multidim_sim::{run_program, KernelCost, KernelTime, LaunchShape, RunMetrics};
+use multidim_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -83,6 +84,24 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+impl From<multidim_ir::ValidateError> for CompileError {
+    fn from(e: multidim_ir::ValidateError) -> CompileError {
+        CompileError(e.to_string())
+    }
+}
+
+impl From<multidim_codegen::LowerError> for CompileError {
+    fn from(e: multidim_codegen::LowerError) -> CompileError {
+        CompileError(e.to_string())
+    }
+}
+
+impl From<multidim_codegen::KernelError> for CompileError {
+    fn from(e: multidim_codegen::KernelError) -> CompileError {
+        CompileError(e.to_string())
+    }
+}
+
 /// An execution failure on the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunError(pub String);
@@ -94,6 +113,12 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+impl From<multidim_sim::SimError> for RunError {
+    fn from(e: multidim_sim::SimError) -> RunError {
+        RunError(e.to_string())
+    }
+}
 
 /// The pipeline driver: configure once, compile many programs.
 ///
@@ -163,13 +188,21 @@ impl Compiler {
     /// # Errors
     ///
     /// Returns [`CompileError`] if validation or lowering fails.
-    pub fn compile(&self, program: &Program, bindings: &Bindings) -> Result<Executable, CompileError> {
+    pub fn compile(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+    ) -> Result<Executable, CompileError> {
+        let mut sp = trace::span("core", "compile");
+        if let Some(sp) = sp.as_mut() {
+            sp.arg("program", program.name.as_str());
+        }
         let (program, fused) = if self.fusion {
             fuse_map_reduce(program)
         } else {
             (program.clone(), 0)
         };
-        program.validate().map_err(|e| CompileError(e.to_string()))?;
+        program.validate()?;
 
         let (mapping, analysis) = match self.strategy {
             Strategy::MultiDim => {
@@ -207,7 +240,7 @@ impl Compiler {
         } else {
             (program.clone(), 0)
         };
-        program.validate().map_err(|e| CompileError(e.to_string()))?;
+        program.validate()?;
         let result = multidim_mapping::tune(
             &program,
             bindings,
@@ -243,7 +276,7 @@ impl Compiler {
         } else {
             (program.clone(), 0)
         };
-        program.validate().map_err(|e| CompileError(e.to_string()))?;
+        program.validate()?;
         self.compile_mapped(program, bindings, mapping, None, fused)
     }
 
@@ -255,10 +288,8 @@ impl Compiler {
         analysis: Option<Analysis>,
         fused_patterns: usize,
     ) -> Result<Executable, CompileError> {
-        let kernels =
-            lower(&program, &mapping, &self.options).map_err(|e| CompileError(e.to_string()))?;
-        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)
-            .map_err(|e| CompileError(e.to_string()))?;
+        let kernels = lower(&program, &mapping, &self.options)?;
+        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)?;
         Ok(Executable {
             program,
             mapping,
@@ -295,14 +326,33 @@ impl Executable {
     ///
     /// Returns [`RunError`] for missing inputs or kernel faults.
     pub fn run(&self, inputs: &HashMap<ArrayId, Vec<f64>>) -> Result<RunReport, RunError> {
-        let sim = run_program(&self.kernels, &self.gpu, &self.bindings, inputs)
-            .map_err(|e| RunError(e.to_string()))?;
+        let mut sp = trace::span("core", "run");
+        if let Some(sp) = sp.as_mut() {
+            sp.arg("program", self.kernels.name.as_str());
+        }
+        let sim = run_program(&self.kernels, &self.gpu, &self.bindings, inputs)?;
         Ok(RunReport {
             outputs: sim.arrays,
             gpu_seconds: sim.total_seconds,
+            kernel_names: sim.names,
+            kernel_shapes: sim.shapes,
             kernel_times: sim.times,
             kernel_costs: sim.costs,
         })
+    }
+
+    /// Machine-readable metrics for a finished run — the export format
+    /// behind `metrics.json` and the benches' `--report` flag.
+    pub fn metrics(&self, run: &RunReport) -> RunMetrics {
+        RunMetrics::from_parts(
+            &self.kernels.name,
+            &self.gpu,
+            &run.kernel_names,
+            &run.kernel_shapes,
+            &run.kernel_costs,
+            &run.kernel_times,
+            run.gpu_seconds,
+        )
     }
 
     /// The generated CUDA C source (Figure 9's shape), for inspection.
@@ -316,25 +366,15 @@ impl Executable {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "program `{}` under {}", self.kernels.name, self.mapping);
-        for ((kernel, cost), time) in
-            self.kernels.kernels.iter().zip(&run.kernel_costs).zip(&run.kernel_times)
+        for (((name, shape), cost), time) in run
+            .kernel_names
+            .iter()
+            .zip(&run.kernel_shapes)
+            .zip(&run.kernel_costs)
+            .zip(&run.kernel_times)
         {
-            let blocks: u64 = kernel
-                .grid
-                .iter()
-                .map(|g| g.eval(&self.bindings).max(1) as u64)
-                .product();
-            let shape = multidim_sim::LaunchShape {
-                blocks,
-                block_threads: kernel.block_threads(),
-                smem_bytes: kernel.smem_bytes(),
-            };
             s.push_str(&multidim_sim::kernel_report(
-                &self.gpu,
-                &kernel.name,
-                &shape,
-                cost,
-                time,
+                &self.gpu, name, shape, cost, time,
             ));
         }
         let _ = writeln!(s, "total: {:.3} ms", run.gpu_seconds * 1e3);
@@ -359,6 +399,10 @@ pub struct RunReport {
     pub outputs: HashMap<ArrayId, Vec<f64>>,
     /// Total simulated GPU time (sum over kernels), seconds.
     pub gpu_seconds: f64,
+    /// Kernel names in launch order.
+    pub kernel_names: Vec<String>,
+    /// Per-kernel launch shapes.
+    pub kernel_shapes: Vec<LaunchShape>,
     /// Per-kernel timing breakdowns.
     pub kernel_times: Vec<KernelTime>,
     /// Per-kernel cost records.
@@ -387,7 +431,9 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(cs), |b, col| {
-            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -405,14 +451,21 @@ mod tests {
         let report = exe.run(&inputs).unwrap();
 
         let r = multidim_ir::interpret(&p, &bind, &inputs).unwrap();
-        assert_eq!(report.output(p.output.unwrap()), &r.array(p.output.unwrap()).data[..]);
+        assert_eq!(
+            report.output(p.output.unwrap()),
+            &r.array(p.output.unwrap()).data[..]
+        );
         assert!(report.gpu_seconds > 0.0);
     }
 
     #[test]
     fn fixed_strategy_pipeline() {
         let (p, bind, m) = sum_cols(16, 16);
-        for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+        for s in [
+            Strategy::OneD,
+            Strategy::ThreadBlockThread,
+            Strategy::WarpBased,
+        ] {
             let exe = Compiler::new().strategy(s).compile(&p, &bind).unwrap();
             let inputs: HashMap<_, _> = [(m, vec![1.0f64; 16 * 16])].into_iter().collect();
             let report = exe.run(&inputs).unwrap();
@@ -437,10 +490,20 @@ mod tests {
         use multidim_mapping::LevelMapping;
         let (p, bind, m) = sum_cols(16, 64);
         let mapping = MappingDecision::new(vec![
-            LevelMapping { dim: Dim::Y, block_size: 8, span: Span::ONE },
-            LevelMapping { dim: Dim::X, block_size: 32, span: Span::All },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 8,
+                span: Span::ONE,
+            },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 32,
+                span: Span::All,
+            },
         ]);
-        let exe = Compiler::new().compile_with_mapping(&p, &bind, mapping.clone()).unwrap();
+        let exe = Compiler::new()
+            .compile_with_mapping(&p, &bind, mapping.clone())
+            .unwrap();
         assert_eq!(exe.mapping, mapping);
         let inputs: HashMap<_, _> = [(m, vec![2.0f64; 16 * 64])].into_iter().collect();
         let report = exe.run(&inputs).unwrap();
@@ -460,7 +523,9 @@ mod report_tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();

@@ -23,7 +23,10 @@ pub struct PcieSpec {
 impl PcieSpec {
     /// PCIe 2.0 x16 as on the K20c host: ~6 GB/s effective.
     pub fn gen2_x16() -> Self {
-        PcieSpec { bandwidth: 6e9, latency_s: 10e-6 }
+        PcieSpec {
+            bandwidth: 6e9,
+            latency_s: 10e-6,
+        }
     }
 
     /// Seconds to move `bytes` across the link, including setup latency.

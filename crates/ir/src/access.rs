@@ -47,7 +47,10 @@ impl LevelInfo {
     pub fn representative_size(&self) -> Size {
         // Symbolic max is not supported; the first pattern's size is the
         // representative and codegen guards each pattern by its own extent.
-        self.patterns.first().map(|p| p.size.clone()).unwrap_or(Size::Const(1))
+        self.patterns
+            .first()
+            .map(|p| p.size.clone())
+            .unwrap_or(Size::Const(1))
     }
 
     /// Whether any pattern at this level needs global synchronization.
@@ -92,7 +95,9 @@ impl NestInfo {
         // Only shallow *reads* make a nest imperfect for our purposes:
         // they are what the Section V-B prefetch can stage through shared
         // memory (a map's own output store is not re-read in-kernel).
-        let imperfect = accesses.iter().any(|a| !a.is_write && a.chain.len() < depth);
+        let imperfect = accesses
+            .iter()
+            .any(|a| !a.is_write && a.chain.len() < depth);
         NestInfo { levels, imperfect }
     }
 
@@ -181,7 +186,12 @@ impl<'p> Collector<'p> {
         if let Some(e) = &p.dyn_extent {
             self.expr(e);
         }
-        self.chain.push(ChainLink { pattern: p.id, level, var: p.var, size: p.size.clone() });
+        self.chain.push(ChainLink {
+            pattern: p.id,
+            level,
+            var: p.var,
+            size: p.size.clone(),
+        });
 
         match &p.kind {
             PatternKind::Filter { pred } => self.expr(pred),
@@ -197,10 +207,8 @@ impl<'p> Collector<'p> {
                 // accumulate in registers; filter/groupBy land at
                 // data-dependent positions.
                 match &p.kind {
-                    PatternKind::Map => {
-                        if !produces_collection(e) {
-                            self.implicit_map_store(level);
-                        }
+                    PatternKind::Map if !produces_collection(e) => {
+                        self.implicit_map_store(level);
                     }
                     PatternKind::Filter { .. } | PatternKind::GroupBy { .. } => {
                         self.push_access(None, 8, true, AffineForm::NonAffine, false);
@@ -216,7 +224,12 @@ impl<'p> Collector<'p> {
     fn effects(&mut self, effs: &'p [Effect], level: usize) {
         for eff in effs {
             match eff {
-                Effect::Write { cond, array, idx, value } => {
+                Effect::Write {
+                    cond,
+                    array,
+                    idx,
+                    value,
+                } => {
                     if let Some(c) = cond {
                         self.expr(c);
                         self.branch_depth += 1;
@@ -232,7 +245,13 @@ impl<'p> Collector<'p> {
                         self.branch_depth -= 1;
                     }
                 }
-                Effect::AtomicRmw { cond, array, idx, value, .. } => {
+                Effect::AtomicRmw {
+                    cond,
+                    array,
+                    idx,
+                    value,
+                    ..
+                } => {
                     if let Some(c) = cond {
                         self.expr(c);
                         self.branch_depth += 1;
@@ -259,9 +278,16 @@ impl<'p> Collector<'p> {
     /// The store of a scalar-bodied `Map` chain: out[i0][i1]... over the
     /// enclosing *map* links (levels that produce the output collection).
     fn implicit_map_store(&mut self, _level: usize) {
-        let idxs: Vec<Expr> =
-            self.map_output_chain().iter().map(|l| Expr::Var(l.var)).collect();
-        let shape: Vec<Size> = self.map_output_chain().iter().map(|l| l.size.clone()).collect();
+        let idxs: Vec<Expr> = self
+            .map_output_chain()
+            .iter()
+            .map(|l| Expr::Var(l.var))
+            .collect();
+        let shape: Vec<Size> = self
+            .map_output_chain()
+            .iter()
+            .map(|l| l.size.clone())
+            .collect();
         let addr = linearize(&idxs, &shape);
         self.push_access(self.program.output, 8, true, addr, false);
     }
@@ -344,7 +370,13 @@ impl<'p> Collector<'p> {
                 }
                 self.expr(body);
             }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 self.expr(max);
                 for (_, i) in inits {
                     self.expr(i);
@@ -373,7 +405,12 @@ impl<'p> Collector<'p> {
         if let Some(e) = &p.dyn_extent {
             self.expr(e);
         }
-        self.chain.push(ChainLink { pattern: p.id, level, var: p.var, size: p.size.clone() });
+        self.chain.push(ChainLink {
+            pattern: p.id,
+            level,
+            var: p.var,
+            size: p.size.clone(),
+        });
         match &p.kind {
             PatternKind::Filter { pred } => self.expr(pred),
             PatternKind::GroupBy { key, .. } => self.expr(key),
@@ -425,7 +462,9 @@ mod tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         b.finish_map(root, "out", ScalarKind::F32).unwrap()
     }
@@ -550,7 +589,9 @@ mod tests {
                 b.read(x, &[i.into(), j.into()]) * Expr::lit(2.0)
             });
             b.let_(inner, |b, t| {
-                b.reduce(Size::sym(n_sz), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+                b.reduce(Size::sym(n_sz), ReduceOp::Add, |b, j| {
+                    b.read_var(t, &[j.into()])
+                })
             })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();

@@ -35,19 +35,28 @@ pub enum AffineForm {
 impl AffineForm {
     /// The zero form.
     pub fn zero() -> Self {
-        AffineForm::Affine { terms: BTreeMap::new(), constant: Size::from(0) }
+        AffineForm::Affine {
+            terms: BTreeMap::new(),
+            constant: Size::from(0),
+        }
     }
 
     /// A constant form.
     pub fn konst(s: Size) -> Self {
-        AffineForm::Affine { terms: BTreeMap::new(), constant: s }
+        AffineForm::Affine {
+            terms: BTreeMap::new(),
+            constant: s,
+        }
     }
 
     /// The form `1 · v`.
     pub fn var(v: VarId) -> Self {
         let mut terms = BTreeMap::new();
         terms.insert(v, Size::from(1));
-        AffineForm::Affine { terms, constant: Size::from(0) }
+        AffineForm::Affine {
+            terms,
+            constant: Size::from(0),
+        }
     }
 
     /// The coefficient of `v` evaluated with `bindings` (defaulting unknown
@@ -73,8 +82,14 @@ impl AffineForm {
     fn add(self, other: AffineForm) -> AffineForm {
         match (self, other) {
             (
-                AffineForm::Affine { mut terms, constant },
-                AffineForm::Affine { terms: t2, constant: c2 },
+                AffineForm::Affine {
+                    mut terms,
+                    constant,
+                },
+                AffineForm::Affine {
+                    terms: t2,
+                    constant: c2,
+                },
             ) => {
                 for (v, c) in t2 {
                     match terms.remove(&v) {
@@ -86,7 +101,10 @@ impl AffineForm {
                         }
                     }
                 }
-                AffineForm::Affine { terms, constant: constant + c2 }
+                AffineForm::Affine {
+                    terms,
+                    constant: constant + c2,
+                }
             }
             _ => AffineForm::NonAffine,
         }
@@ -108,9 +126,10 @@ impl AffineForm {
     /// `Size::Sub`.
     fn sub_const(self, k: Size) -> AffineForm {
         match self {
-            AffineForm::Affine { terms, constant } => {
-                AffineForm::Affine { terms, constant: constant - k }
-            }
+            AffineForm::Affine { terms, constant } => AffineForm::Affine {
+                terms,
+                constant: constant - k,
+            },
             AffineForm::NonAffine => AffineForm::NonAffine,
         }
     }
@@ -250,7 +269,11 @@ mod tests {
         // t[i, j, k] shape [A, B, C]: i*B*C + j*C + k
         let (b_sym, c_sym) = (SymId(1), SymId(2));
         let f = linearize(
-            &[Expr::var(VarId(0)), Expr::var(VarId(1)), Expr::var(VarId(2))],
+            &[
+                Expr::var(VarId(0)),
+                Expr::var(VarId(1)),
+                Expr::var(VarId(2)),
+            ],
             &[Size::sym(SymId(0)), Size::sym(b_sym), Size::sym(c_sym)],
         );
         let mut b = Bindings::new();

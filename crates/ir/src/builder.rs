@@ -50,13 +50,19 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start building a program called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), ..Default::default() }
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declare a size symbol.
     pub fn sym(&mut self, name: impl Into<String>) -> SymId {
         let id = SymId(self.symbols.len() as u32);
-        self.symbols.push(SymDecl { id, name: name.into() });
+        self.symbols.push(SymDecl {
+            id,
+            name: name.into(),
+        });
         id
     }
 
@@ -84,7 +90,13 @@ impl ProgramBuilder {
         role: ArrayRole,
     ) -> ArrayId {
         let id = ArrayId(self.arrays.len() as u32);
-        self.arrays.push(ArrayDecl { id, name: name.into(), elem, shape: shape.to_vec(), role });
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.into(),
+            elem,
+            shape: shape.to_vec(),
+            role,
+        });
         id
     }
 
@@ -124,7 +136,14 @@ impl ProgramBuilder {
         let var = self.fresh_var();
         let id = self.fresh_pattern();
         let body = body(self, var);
-        Expr::Pat(Box::new(Pattern { id, kind: PatternKind::Map, size, dyn_extent: None, var, body: Body::Value(body) }))
+        Expr::Pat(Box::new(Pattern {
+            id,
+            kind: PatternKind::Map,
+            size,
+            dyn_extent: None,
+            var,
+            body: Body::Value(body),
+        }))
     }
 
     /// `zipWith` over two rank-1 sources (Table I): sugar for a `Map` whose
@@ -336,7 +355,10 @@ impl ProgramBuilder {
     ) -> Result<Program, ValidateError> {
         let root = Self::unwrap_root(root)?;
         if !matches!(root.kind, PatternKind::Map) {
-            return Err(ValidateError(format!("finish_map requires a map root, got {}", root.kind.name())));
+            return Err(ValidateError(format!(
+                "finish_map requires a map root, got {}",
+                root.kind.name()
+            )));
         }
         let shape = produced_shape(&root);
         self.finish_with_output(root, out_name, out_elem, shape, None)
@@ -384,7 +406,12 @@ impl ProgramBuilder {
             )));
         }
         let out_name = out_name.into();
-        let count = self.declare(format!("{out_name}_count"), ScalarKind::I32, &[Size::from(1)], ArrayRole::Output);
+        let count = self.declare(
+            format!("{out_name}_count"),
+            ScalarKind::I32,
+            &[Size::from(1)],
+            ArrayRole::Output,
+        );
         let shape = vec![root.size.clone()];
         self.finish_with_output(root, out_name, out_elem, shape, Some(count))
     }
@@ -443,7 +470,9 @@ impl ProgramBuilder {
     fn unwrap_root(root: Expr) -> Result<Pattern, ValidateError> {
         match root {
             Expr::Pat(p) => Ok(*p),
-            other => Err(ValidateError(format!("root must be a pattern expression, got {other:?}"))),
+            other => Err(ValidateError(format!(
+                "root must be a pattern expression, got {other:?}"
+            ))),
         }
     }
 
@@ -586,7 +615,12 @@ mod tests {
         let n = b.sym("N");
         let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
         let y = b.input("y", ScalarKind::F32, &[Size::sym(n)]);
-        let root = b.zip_with(Size::sym(n), ReadSrc::Array(x), ReadSrc::Array(y), |_, a, c| a + c);
+        let root = b.zip_with(
+            Size::sym(n),
+            ReadSrc::Array(x),
+            ReadSrc::Array(y),
+            |_, a, c| a + c,
+        );
         let p = b.finish_map(root, "sum", ScalarKind::F32).unwrap();
         assert!(matches!(p.root.kind, PatternKind::Map));
     }
@@ -596,7 +630,11 @@ mod tests {
         let mut b = ProgramBuilder::new("it");
         let e = b.iterate(Expr::int(10), vec![Expr::lit(0.0)], |_, vars| {
             let v = Expr::var(vars[0]);
-            (v.clone().lt(Expr::lit(5.0)), vec![v.clone() + Expr::lit(1.0)], v)
+            (
+                v.clone().lt(Expr::lit(5.0)),
+                vec![v.clone() + Expr::lit(1.0)],
+                v,
+            )
         });
         assert!(matches!(e, Expr::Iterate { .. }));
     }

@@ -58,7 +58,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -240,6 +247,9 @@ impl Expr {
         Expr::Un(UnOp::Floor, Box::new(self))
     }
     /// `self % rhs`
+    // An AST constructor named for the operator it builds; `%` via
+    // `std::ops::Rem` would hide that a node is being allocated.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Rem, Box::new(self), Box::new(rhs))
     }
@@ -274,7 +284,13 @@ impl Expr {
                 v.visit(f);
                 b.visit(f);
             }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 max.visit(f);
                 for (_, e) in inits {
                     e.visit(f);
@@ -325,7 +341,13 @@ impl Expr {
                 v.visit_shallow(f);
                 b.visit_shallow(f);
             }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 max.visit_shallow(f);
                 for (_, e) in inits {
                     e.visit_shallow(f);

@@ -26,7 +26,10 @@ impl ArrVal {
     /// A zero-filled array of the given shape.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        ArrVal { shape, data: vec![0.0; len] }
+        ArrVal {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Wrap existing row-major data.
@@ -35,7 +38,11 @@ impl ArrVal {
     ///
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Self {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
         ArrVal { shape, data }
     }
 
@@ -155,7 +162,11 @@ pub fn interpret(
 ) -> Result<InterpResult, InterpError> {
     let mut arrays = Vec::with_capacity(program.arrays.len());
     for decl in &program.arrays {
-        let shape: Vec<usize> = decl.shape.iter().map(|s| s.eval(bindings) as usize).collect();
+        let shape: Vec<usize> = decl
+            .shape
+            .iter()
+            .map(|s| s.eval(bindings) as usize)
+            .collect();
         let expected: usize = shape.iter().product();
         match inputs.get(&decl.id) {
             Some(data) => {
@@ -219,7 +230,11 @@ pub fn interpret(
         interp.counters.bytes_written += decl.bytes(bindings);
     }
 
-    Ok(InterpResult { arrays: interp.arrays, counters: interp.counters, filter_count })
+    Ok(InterpResult {
+        arrays: interp.arrays,
+        counters: interp.counters,
+        filter_count,
+    })
 }
 
 struct Interp<'p> {
@@ -232,7 +247,7 @@ struct Interp<'p> {
 
 impl<'p> Interp<'p> {
     fn bind(&mut self, v: VarId, val: Val) -> Option<Val> {
-        std::mem::replace(&mut self.env[v.0 as usize], Some(val))
+        self.env[v.0 as usize].replace(val)
     }
 
     fn unbind(&mut self, v: VarId, prev: Option<Val>) {
@@ -372,7 +387,12 @@ impl<'p> Interp<'p> {
         let r = (|this: &mut Self| {
             for eff in effs {
                 match eff {
-                    Effect::Write { cond, array, idx, value } => {
+                    Effect::Write {
+                        cond,
+                        array,
+                        idx,
+                        value,
+                    } => {
                         if let Some(c) = cond {
                             this.counters.flops += 1;
                             if this.eval(c)?.scalar()? == 0.0 {
@@ -388,7 +408,13 @@ impl<'p> Interp<'p> {
                         this.counters.writes += 1;
                         this.counters.bytes_written += bytes;
                     }
-                    Effect::AtomicRmw { cond, array, idx, op, value } => {
+                    Effect::AtomicRmw {
+                        cond,
+                        array,
+                        idx,
+                        op,
+                        value,
+                    } => {
                         if let Some(c) = cond {
                             this.counters.flops += 1;
                             if this.eval(c)?.scalar()? == 0.0 {
@@ -425,7 +451,9 @@ impl<'p> Interp<'p> {
     }
 
     fn eval_indices(&mut self, idx: &'p [Expr]) -> Result<Vec<i64>, InterpError> {
-        idx.iter().map(|e| to_index(self.eval(e)?.scalar()?)).collect()
+        idx.iter()
+            .map(|e| to_index(self.eval(e)?.scalar()?))
+            .collect()
     }
 
     fn eval(&mut self, e: &'p Expr) -> Result<Val, InterpError> {
@@ -438,9 +466,7 @@ impl<'p> Interp<'p> {
                     ReadSrc::Array(a) => &self.arrays[a.0 as usize].shape,
                     ReadSrc::Var(v) => match self.lookup(*v)? {
                         Val::Arr(a) => &a.shape,
-                        Val::Scalar(_) => {
-                            return Err(InterpError("lengthOf a scalar".into()))
-                        }
+                        Val::Scalar(_) => return Err(InterpError("lengthOf a scalar".into())),
                     },
                 };
                 let d = *shape.get(*dim).ok_or_else(|| {
@@ -501,7 +527,13 @@ impl<'p> Interp<'p> {
                 self.unbind(*v, prev);
                 r
             }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 let trips = to_index(self.eval(max)?.scalar()?)?;
                 let mut prevs = Vec::with_capacity(inits.len());
                 for (v, init) in inits {
@@ -530,9 +562,9 @@ impl<'p> Interp<'p> {
                 }
                 r
             }
-            Expr::Pat(p) => {
-                self.pattern(p)?.ok_or_else(|| InterpError("foreach in value position".into()))
-            }
+            Expr::Pat(p) => self
+                .pattern(p)?
+                .ok_or_else(|| InterpError("foreach in value position".into())),
         }
     }
 }
@@ -602,11 +634,7 @@ mod tests {
     use crate::size::Size;
     use crate::types::ScalarKind;
 
-    fn run(
-        program: &Program,
-        bindings: &Bindings,
-        inputs: &[(ArrayId, Vec<f64>)],
-    ) -> InterpResult {
+    fn run(program: &Program, bindings: &Bindings, inputs: &[(ArrayId, Vec<f64>)]) -> InterpResult {
         let map: HashMap<ArrayId, Vec<f64>> = inputs.iter().cloned().collect();
         interpret(program, bindings, &map).unwrap()
     }
@@ -618,7 +646,9 @@ mod tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -783,7 +813,9 @@ mod tests {
         let mut b = ProgramBuilder::new("oob");
         let n = b.sym("N");
         let a = b.input("a", ScalarKind::F64, &[Size::sym(n)]);
-        let root = b.map(Size::sym(n), |b, i| b.read(a, &[Expr::var(i) + Expr::int(1)]));
+        let root = b.map(Size::sym(n), |b, i| {
+            b.read(a, &[Expr::var(i) + Expr::int(1)])
+        });
         let p = b.finish_map(root, "out", ScalarKind::F64).unwrap();
         let mut bind = Bindings::new();
         bind.bind(n, 4);
@@ -801,11 +833,7 @@ mod more_tests {
     use crate::size::Size;
     use crate::types::ScalarKind;
 
-    fn run(
-        program: &Program,
-        bindings: &Bindings,
-        inputs: &[(ArrayId, Vec<f64>)],
-    ) -> InterpResult {
+    fn run(program: &Program, bindings: &Bindings, inputs: &[(ArrayId, Vec<f64>)]) -> InterpResult {
         let map: HashMap<ArrayId, Vec<f64>> = inputs.iter().cloned().collect();
         interpret(program, bindings, &map).unwrap()
     }
@@ -837,7 +865,9 @@ mod more_tests {
                 let e = b.read(a, &[i.into()]);
                 (e.clone().gt(Expr::lit(0.0)), e)
             });
-            b.let_(f, |_, kept| Expr::LengthOf(crate::expr::ReadSrc::Var(kept), 0))
+            b.let_(f, |_, kept| {
+                Expr::LengthOf(crate::expr::ReadSrc::Var(kept), 0)
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -858,7 +888,12 @@ mod more_tests {
             let read = b.read(src, &[i.into()]);
             vec![
                 Effect::LetScalar(v, read * Expr::lit(2.0)),
-                Effect::Write { cond: None, array: d1, idx: vec![i.into()], value: Expr::var(v) },
+                Effect::Write {
+                    cond: None,
+                    array: d1,
+                    idx: vec![i.into()],
+                    value: Expr::var(v),
+                },
                 Effect::Write {
                     cond: None,
                     array: d2,

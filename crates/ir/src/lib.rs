@@ -57,7 +57,9 @@ pub use access::{collect_accesses, Access, ChainLink, LevelInfo, LevelPattern, N
 pub use affine::{affine_of, linearize, AffineForm};
 pub use builder::{produced_shape, ProgramBuilder};
 pub use expr::{BinOp, Expr, ReadSrc, UnOp, VarId};
-pub use interp::{apply_bin, apply_un, interpret, ArrVal, CostCounters, InterpError, InterpResult, Val};
+pub use interp::{
+    apply_bin, apply_un, interpret, ArrVal, CostCounters, InterpError, InterpResult, Val,
+};
 pub use pattern::{
     collect_immediate_patterns, Body, Effect, Pattern, PatternId, PatternKind, ReduceOp,
 };

@@ -194,8 +194,12 @@ impl Pattern {
             Body::Effects(effs) => {
                 for eff in effs {
                     match eff {
-                        Effect::Write { cond, idx, value, .. }
-                        | Effect::AtomicRmw { cond, idx, value, .. } => {
+                        Effect::Write {
+                            cond, idx, value, ..
+                        }
+                        | Effect::AtomicRmw {
+                            cond, idx, value, ..
+                        } => {
                             if let Some(c) = cond {
                                 c.visit(f);
                             }
@@ -228,8 +232,12 @@ impl Pattern {
             Body::Effects(effs) => {
                 for eff in effs {
                     match eff {
-                        Effect::Write { cond, idx, value, .. }
-                        | Effect::AtomicRmw { cond, idx, value, .. } => {
+                        Effect::Write {
+                            cond, idx, value, ..
+                        }
+                        | Effect::AtomicRmw {
+                            cond, idx, value, ..
+                        } => {
                             if let Some(c) = cond {
                                 walk_expr(c, f);
                             }
@@ -272,7 +280,13 @@ pub fn collect_immediate_patterns<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Patter
             collect_immediate_patterns(v, f);
             collect_immediate_patterns(b, f);
         }
-        Expr::Iterate { max, inits, cond, updates, result } => {
+        Expr::Iterate {
+            max,
+            inits,
+            cond,
+            updates,
+            result,
+        } => {
             collect_immediate_patterns(max, f);
             for (_, e) in inits {
                 collect_immediate_patterns(e, f);
@@ -324,7 +338,10 @@ mod tests {
         assert!(!PatternKind::Map.needs_global_sync());
         assert!(!PatternKind::Foreach.needs_global_sync());
         // Filter/GroupBy lower with atomics: no span requirement.
-        assert!(!PatternKind::Filter { pred: Expr::lit(1.0) }.needs_global_sync());
+        assert!(!PatternKind::Filter {
+            pred: Expr::lit(1.0)
+        }
+        .needs_global_sync());
     }
 
     #[test]

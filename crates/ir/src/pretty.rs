@@ -25,7 +25,14 @@ pub fn pretty(program: &Program) -> String {
     let _ = writeln!(s, "program {} {{", program.name);
     for a in &program.arrays {
         let dims: Vec<String> = a.shape.iter().map(|d| d.to_string()).collect();
-        let _ = writeln!(s, "  {:?} {}: {}[{}]", a.role, a.name, a.elem, dims.join(", "));
+        let _ = writeln!(
+            s,
+            "  {:?} {}: {}[{}]",
+            a.role,
+            a.name,
+            a.elem,
+            dims.join(", ")
+        );
     }
     pattern(&mut s, &program.root, 1);
     s.push_str("}\n");
@@ -38,7 +45,13 @@ fn pattern(s: &mut String, p: &Pattern, indent: usize) {
         Some(e) => format!("dyn[{}]", expr(e)),
         None => p.size.to_string(),
     };
-    let _ = writeln!(s, "{pad}{}#{} v{} in 0..{ext} {{", p.kind.name(), p.id.0, p.var.0);
+    let _ = writeln!(
+        s,
+        "{pad}{}#{} v{} in 0..{ext} {{",
+        p.kind.name(),
+        p.id.0,
+        p.var.0
+    );
     match &p.kind {
         PatternKind::Filter { pred } => {
             let _ = writeln!(s, "{pad}  where {}", expr(pred));
@@ -81,14 +94,37 @@ fn body_expr(s: &mut String, e: &Expr, indent: usize) {
 fn effect(s: &mut String, eff: &Effect, indent: usize) {
     let pad = "  ".repeat(indent);
     match eff {
-        Effect::Write { cond, array, idx, value } => {
+        Effect::Write {
+            cond,
+            array,
+            idx,
+            value,
+        } => {
             let idxs: Vec<String> = idx.iter().map(expr).collect();
-            let guard = cond.as_ref().map(|c| format!("if {} ", expr(c))).unwrap_or_default();
-            let _ = writeln!(s, "{pad}{guard}a{}[{}] = {}", array.0, idxs.join(", "), expr(value));
+            let guard = cond
+                .as_ref()
+                .map(|c| format!("if {} ", expr(c)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "{pad}{guard}a{}[{}] = {}",
+                array.0,
+                idxs.join(", "),
+                expr(value)
+            );
         }
-        Effect::AtomicRmw { cond, array, idx, op, value } => {
+        Effect::AtomicRmw {
+            cond,
+            array,
+            idx,
+            op,
+            value,
+        } => {
             let idxs: Vec<String> = idx.iter().map(expr).collect();
-            let guard = cond.as_ref().map(|c| format!("if {} ", expr(c))).unwrap_or_default();
+            let guard = cond
+                .as_ref()
+                .map(|c| format!("if {} ", expr(c)))
+                .unwrap_or_default();
             let _ = writeln!(
                 s,
                 "{pad}{guard}atomic a{}[{}] {op:?}= {}",
@@ -184,7 +220,9 @@ mod tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let text = pretty(&p);

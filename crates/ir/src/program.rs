@@ -43,7 +43,10 @@ pub struct ArrayDecl {
 impl ArrayDecl {
     /// Total element count under `bindings`.
     pub fn len(&self, bindings: &Bindings) -> usize {
-        self.shape.iter().map(|s| s.eval(bindings) as usize).product()
+        self.shape
+            .iter()
+            .map(|s| s.eval(bindings) as usize)
+            .product()
     }
 
     /// `true` when any dimension evaluates to zero.
@@ -133,7 +136,8 @@ impl Program {
     /// Maximum nesting depth (a single un-nested pattern has depth 1).
     pub fn nest_depth(&self) -> usize {
         let mut depth = 0;
-        self.root.visit_patterns(&mut |_, lvl| depth = depth.max(lvl + 1));
+        self.root
+            .visit_patterns(&mut |_, lvl| depth = depth.max(lvl + 1));
         depth
     }
 
@@ -160,7 +164,9 @@ impl Program {
         // Output consistency.
         match (&self.root.kind, self.output) {
             (PatternKind::Foreach, Some(_)) => {
-                return Err(ValidateError("foreach root cannot have an output array".into()))
+                return Err(ValidateError(
+                    "foreach root cannot have an output array".into(),
+                ))
             }
             (PatternKind::Foreach, None) => {}
             (_, None) => {
@@ -180,7 +186,9 @@ impl Program {
                 return Err(ValidateError(format!("undeclared count array {c:?}")));
             }
             if !matches!(self.root.kind, PatternKind::Filter { .. }) {
-                return Err(ValidateError("output_count only valid for filter roots".into()));
+                return Err(ValidateError(
+                    "output_count only valid for filter roots".into(),
+                ));
             }
         }
 
@@ -214,8 +222,19 @@ impl Program {
                     let mut extra = 0usize;
                     for eff in effs {
                         match eff {
-                            Effect::Write { cond, array, idx, value }
-                            | Effect::AtomicRmw { cond, array, idx, value, .. } => {
+                            Effect::Write {
+                                cond,
+                                array,
+                                idx,
+                                value,
+                            }
+                            | Effect::AtomicRmw {
+                                cond,
+                                array,
+                                idx,
+                                value,
+                                ..
+                            } => {
                                 if array.0 as usize >= self.arrays.len() {
                                     return Err(ValidateError(format!(
                                         "write to undeclared array {array:?}"
@@ -269,7 +288,9 @@ impl Program {
             }
             Expr::LengthOf(src, _) => match src {
                 ReadSrc::Array(a) if (a.0 as usize) < self.arrays.len() => Ok(()),
-                ReadSrc::Array(a) => Err(ValidateError(format!("length of undeclared array {a:?}"))),
+                ReadSrc::Array(a) => {
+                    Err(ValidateError(format!("length of undeclared array {a:?}")))
+                }
                 ReadSrc::Var(v) if scope.contains(v) => Ok(()),
                 ReadSrc::Var(v) => Err(ValidateError(format!("length of out-of-scope var {v:?}"))),
             },
@@ -319,7 +340,13 @@ impl Program {
                 scope.pop();
                 r
             }
-            Expr::Iterate { max, inits, cond, updates, result } => {
+            Expr::Iterate {
+                max,
+                inits,
+                cond,
+                updates,
+                result,
+            } => {
                 self.check_expr(max, scope)?;
                 for (_, init) in inits {
                     self.check_expr(init, scope)?;
@@ -364,7 +391,9 @@ mod tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, i| {
-            b.reduce(Size::sym(c), crate::ReduceOp::Add, |b, j| b.read(m, &[i.into(), j.into()]))
+            b.reduce(Size::sym(c), crate::ReduceOp::Add, |b, j| {
+                b.read(m, &[i.into(), j.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         assert_eq!(p.nest_depth(), 2);

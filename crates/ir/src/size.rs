@@ -97,7 +97,8 @@ impl Size {
     /// Evaluate, substituting `DEFAULT_UNKNOWN_SIZE` for unbound symbols —
     /// the analysis-time behaviour from Section IV-C.
     pub fn eval_or_default(&self, b: &Bindings) -> i64 {
-        self.eval_inner(b, Some(DEFAULT_UNKNOWN_SIZE)).expect("default provided")
+        self.eval_inner(b, Some(DEFAULT_UNKNOWN_SIZE))
+            .expect("default provided")
     }
 
     fn eval_inner(&self, b: &Bindings, default: Option<i64>) -> Option<i64> {

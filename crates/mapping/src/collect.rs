@@ -37,7 +37,8 @@ pub fn collect_constraints(
     let mut cs = ConstraintSet::default();
 
     // --- Hard: device limits -------------------------------------------
-    cs.hard.push(HardConstraint::MaxBlockThreads(gpu.max_threads_per_block));
+    cs.hard
+        .push(HardConstraint::MaxBlockThreads(gpu.max_threads_per_block));
     cs.hard.push(HardConstraint::SmemCapacity {
         bytes: gpu.smem_per_sm,
         // One f64 accumulator slot per thread for block-level reductions.
@@ -47,11 +48,16 @@ pub fn collect_constraints(
     // --- Hard: span requirements per level ------------------------------
     for (lvl, info) in nest.levels.iter().enumerate() {
         if info.has_dynamic() {
-            cs.hard.push(HardConstraint::SpanAll { level: lvl, reason: SpanAllReason::DynamicSize });
+            cs.hard.push(HardConstraint::SpanAll {
+                level: lvl,
+                reason: SpanAllReason::DynamicSize,
+            });
         }
         if info.needs_sync() {
-            cs.hard
-                .push(HardConstraint::SpanAll { level: lvl, reason: SpanAllReason::Synchronization });
+            cs.hard.push(HardConstraint::SpanAll {
+                level: lvl,
+                reason: SpanAllReason::Synchronization,
+            });
         }
     }
     // Nested span-all levels cannot both be block-parallel (the inner
@@ -77,22 +83,25 @@ pub fn collect_constraints(
         }
         let exec = exec_count(&access, bindings);
         for link in &access.chain {
-            match access.stride_for(link.var, bindings) {
-                Some(1) => {
-                    *dim_x.entry(link.level).or_insert(0.0) += weights.coalesce * exec;
-                    *warp_mult.entry(link.level).or_insert(0.0) += weights.warp_multiple * exec;
-                }
-                // Strided or invariant: no coalescing preference for this
-                // level from this access. Random (None): likewise.
-                _ => {}
+            // Strided, invariant, or random (`None`) accesses add no
+            // coalescing preference for this level; only unit stride does.
+            if let Some(1) = access.stride_for(link.var, bindings) {
+                *dim_x.entry(link.level).or_insert(0.0) += weights.coalesce * exec;
+                *warp_mult.entry(link.level).or_insert(0.0) += weights.warp_multiple * exec;
             }
         }
     }
     for (level, weight) in dim_x {
-        cs.soft.push(SoftConstraint { kind: SoftKind::DimX { level }, weight });
+        cs.soft.push(SoftConstraint {
+            kind: SoftKind::DimX { level },
+            weight,
+        });
     }
     for (level, weight) in warp_mult {
-        cs.soft.push(SoftConstraint { kind: SoftKind::WarpMultiple { level }, weight });
+        cs.soft.push(SoftConstraint {
+            kind: SoftKind::WarpMultiple { level },
+            weight,
+        });
     }
 
     // --- Soft: utilization -----------------------------------------------
@@ -122,7 +131,9 @@ pub fn collect_constraints(
 
     // Deterministic order for reproducible scoring/pretty-printing.
     cs.soft.sort_by(|a, b| {
-        b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal)
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     cs
 }
@@ -158,7 +169,9 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(rs), |b, row| {
-            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -173,7 +186,9 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(cs), |b, col| {
-            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -306,9 +321,13 @@ mod tests {
         let n_s = b.sym("N");
         let x = b.input("x", ScalarKind::F32, &[Size::sym(n_s)]);
         let root = b.map(Size::sym(m_s), |b, _i| {
-            let inner = b.map(Size::sym(n_s), |b, j| b.read(x, &[j.into()]) * Expr::lit(2.0));
+            let inner = b.map(Size::sym(n_s), |b, j| {
+                b.read(x, &[j.into()]) * Expr::lit(2.0)
+            });
             b.let_(inner, |b, t| {
-                b.reduce(Size::sym(n_s), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+                b.reduce(Size::sym(n_s), ReduceOp::Add, |b, j| {
+                    b.read_var(t, &[j.into()])
+                })
             })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();

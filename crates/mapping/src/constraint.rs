@@ -25,6 +25,15 @@ pub enum SpanAllReason {
     DynamicSize,
 }
 
+impl fmt::Display for SpanAllReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanAllReason::Synchronization => write!(f, "synchronization"),
+            SpanAllReason::DynamicSize => write!(f, "dynamic size"),
+        }
+    }
+}
+
 /// A hard constraint: must be satisfied by every candidate mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HardConstraint {
@@ -59,6 +68,26 @@ pub enum HardConstraint {
         /// The enclosed span-all level.
         inner: usize,
     },
+}
+
+impl fmt::Display for HardConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardConstraint::SpanAll { level, reason } => {
+                write!(f, "L{level} must span all ({reason})")
+            }
+            HardConstraint::MaxBlockThreads(max) => write!(f, "block ≤ {max} threads"),
+            HardConstraint::SmemCapacity {
+                bytes,
+                bytes_per_thread,
+            } => {
+                write!(f, "smem ≤ {bytes}B at {bytes_per_thread}B/thread")
+            }
+            HardConstraint::NestedSyncExclusive { outer, inner } => {
+                write!(f, "nested sync L{outer}/L{inner} not both block-parallel")
+            }
+        }
+    }
 }
 
 /// The performance hint a soft constraint encodes.
@@ -115,7 +144,7 @@ impl SoftConstraint {
                 let lm = mapping.level(*level);
                 lm.dim.is_x()
                     && lm.block_size >= multidim_device::WARP_SIZE
-                    && lm.block_size % multidim_device::WARP_SIZE == 0
+                    && lm.block_size.is_multiple_of(multidim_device::WARP_SIZE)
             }
             SoftKind::MinBlockThreads { min } => mapping.block_threads() >= *min as u64,
             SoftKind::NoIdleThreads { level, extent } => {
@@ -208,28 +237,46 @@ impl ConstraintSet {
 
     /// Check every hard constraint against `mapping`.
     pub fn hard_ok(&self, mapping: &MappingDecision) -> bool {
-        self.hard.iter().all(|h| match h {
+        self.first_violation(mapping).is_none()
+    }
+
+    /// The first hard constraint `mapping` violates, if any — the prune
+    /// reason attached to rejected candidates in the trace.
+    pub fn first_violation(&self, mapping: &MappingDecision) -> Option<&HardConstraint> {
+        self.hard.iter().find(|h| !self.holds(h, mapping))
+    }
+
+    fn holds(&self, h: &HardConstraint, mapping: &MappingDecision) -> bool {
+        match h {
             HardConstraint::SpanAll { level, .. } => {
                 matches!(mapping.level(*level).span, Span::All | Span::Split(_))
             }
             HardConstraint::MaxBlockThreads(max) => mapping.block_threads() <= *max as u64,
-            HardConstraint::SmemCapacity { bytes, bytes_per_thread } => {
+            HardConstraint::SmemCapacity {
+                bytes,
+                bytes_per_thread,
+            } => {
                 // Only binds when some sync level is parallelized in-block.
-                let any_parallel_sync = self.span_all_levels().iter().any(|(l, _)| {
-                    mapping.level(*l).block_size > 1
-                });
+                let any_parallel_sync = self
+                    .span_all_levels()
+                    .iter()
+                    .any(|(l, _)| mapping.level(*l).block_size > 1);
                 !any_parallel_sync
                     || mapping.block_threads() * *bytes_per_thread as u64 <= *bytes as u64
             }
             HardConstraint::NestedSyncExclusive { outer, inner } => {
                 mapping.level(*outer).block_size == 1 || mapping.level(*inner).block_size == 1
             }
-        })
+        }
     }
 
     /// Sum of satisfied soft weights (the mapping's raw score).
     pub fn score(&self, mapping: &MappingDecision) -> f64 {
-        self.soft.iter().filter(|s| s.satisfied(mapping)).map(|s| s.weight).sum()
+        self.soft
+            .iter()
+            .filter(|s| s.satisfied(mapping))
+            .map(|s| s.weight)
+            .sum()
     }
 
     /// The largest single soft weight (used to normalize scores into the
@@ -258,7 +305,11 @@ mod tests {
         MappingDecision::new(
             levels
                 .into_iter()
-                .map(|(dim, block_size, span)| LevelMapping { dim, block_size, span })
+                .map(|(dim, block_size, span)| LevelMapping {
+                    dim,
+                    block_size,
+                    span,
+                })
                 .collect(),
         )
     }
@@ -282,17 +333,29 @@ mod tests {
 
     #[test]
     fn max_block_threads() {
-        let cs = ConstraintSet { hard: vec![HardConstraint::MaxBlockThreads(1024)], soft: vec![] };
+        let cs = ConstraintSet {
+            hard: vec![HardConstraint::MaxBlockThreads(1024)],
+            soft: vec![],
+        };
         assert!(cs.hard_ok(&mapping(vec![(Dim::X, 1024, Span::ONE)])));
-        assert!(!cs.hard_ok(&mapping(vec![(Dim::X, 1024, Span::ONE), (Dim::Y, 2, Span::ONE)])));
+        assert!(!cs.hard_ok(&mapping(vec![
+            (Dim::X, 1024, Span::ONE),
+            (Dim::Y, 2, Span::ONE)
+        ])));
     }
 
     #[test]
     fn smem_capacity_binds_only_with_parallel_sync() {
         let cs = ConstraintSet {
             hard: vec![
-                HardConstraint::SpanAll { level: 0, reason: SpanAllReason::Synchronization },
-                HardConstraint::SmemCapacity { bytes: 48 * 1024, bytes_per_thread: 64 },
+                HardConstraint::SpanAll {
+                    level: 0,
+                    reason: SpanAllReason::Synchronization,
+                },
+                HardConstraint::SmemCapacity {
+                    bytes: 48 * 1024,
+                    bytes_per_thread: 64,
+                },
             ],
             soft: vec![],
         };
@@ -309,9 +372,18 @@ mod tests {
         let cs = ConstraintSet {
             hard: vec![],
             soft: vec![
-                SoftConstraint { kind: SoftKind::DimX { level: 1 }, weight: 10.0 },
-                SoftConstraint { kind: SoftKind::WarpMultiple { level: 1 }, weight: 2.0 },
-                SoftConstraint { kind: SoftKind::MinBlockThreads { min: 64 }, weight: 3.0 },
+                SoftConstraint {
+                    kind: SoftKind::DimX { level: 1 },
+                    weight: 10.0,
+                },
+                SoftConstraint {
+                    kind: SoftKind::WarpMultiple { level: 1 },
+                    weight: 2.0,
+                },
+                SoftConstraint {
+                    kind: SoftKind::MinBlockThreads { min: 64 },
+                    weight: 3.0,
+                },
             ],
         };
         let good = mapping(vec![(Dim::Y, 4, Span::ONE), (Dim::X, 32, Span::All)]);
@@ -324,7 +396,13 @@ mod tests {
 
     #[test]
     fn no_idle_threads() {
-        let c = SoftConstraint { kind: SoftKind::NoIdleThreads { level: 0, extent: 50 }, weight: 1.0 };
+        let c = SoftConstraint {
+            kind: SoftKind::NoIdleThreads {
+                level: 0,
+                extent: 50,
+            },
+            weight: 1.0,
+        };
         assert!(c.satisfied(&mapping(vec![(Dim::Y, 32, Span::ONE)])));
         assert!(!c.satisfied(&mapping(vec![(Dim::Y, 64, Span::ONE)])));
     }
@@ -334,8 +412,14 @@ mod tests {
         let cs = ConstraintSet {
             hard: vec![],
             soft: vec![
-                SoftConstraint { kind: SoftKind::DimX { level: 0 }, weight: 100.0 },
-                SoftConstraint { kind: SoftKind::MinBlockThreads { min: 64 }, weight: 10.0 },
+                SoftConstraint {
+                    kind: SoftKind::DimX { level: 0 },
+                    weight: 100.0,
+                },
+                SoftConstraint {
+                    kind: SoftKind::MinBlockThreads { min: 64 },
+                    weight: 10.0,
+                },
             ],
         };
         let m = mapping(vec![(Dim::X, 64, Span::ONE)]);
@@ -346,8 +430,14 @@ mod tests {
     fn span_all_levels_prefers_dynamic() {
         let cs = ConstraintSet {
             hard: vec![
-                HardConstraint::SpanAll { level: 1, reason: SpanAllReason::Synchronization },
-                HardConstraint::SpanAll { level: 1, reason: SpanAllReason::DynamicSize },
+                HardConstraint::SpanAll {
+                    level: 1,
+                    reason: SpanAllReason::Synchronization,
+                },
+                HardConstraint::SpanAll {
+                    level: 1,
+                    reason: SpanAllReason::DynamicSize,
+                },
             ],
             soft: vec![],
         };

@@ -85,7 +85,13 @@ pub struct LevelMapping {
 impl fmt::Display for LevelMapping {
     /// Paper notation: `[DimY, 64, span(1)]`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[Dim{}, {}, {}]", self.dim.to_string().to_uppercase(), self.block_size, self.span)
+        write!(
+            f,
+            "[Dim{}, {}, {}]",
+            self.dim.to_string().to_uppercase(),
+            self.block_size,
+            self.span
+        )
     }
 }
 
@@ -207,8 +213,16 @@ mod tests {
 
     fn fig9() -> MappingDecision {
         MappingDecision::new(vec![
-            LevelMapping { dim: Dim::Y, block_size: 64, span: Span::ONE },
-            LevelMapping { dim: Dim::X, block_size: 32, span: Span::All },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 64,
+                span: Span::ONE,
+            },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 32,
+                span: Span::All,
+            },
         ])
     }
 
@@ -249,24 +263,48 @@ mod tests {
         // Figure 6(a): block 64x16 over MxN domain with span(1) both ->
         // M/64 x N/16 blocks.
         let m = MappingDecision::new(vec![
-            LevelMapping { dim: Dim::X, block_size: 64, span: Span::ONE },
-            LevelMapping { dim: Dim::Y, block_size: 16, span: Span::ONE },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 64,
+                span: Span::ONE,
+            },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 16,
+                span: Span::ONE,
+            },
         ]);
         assert_eq!(m.grid_blocks(&[640, 160]), vec![10, 10]);
         // Figure 6(c): split(3) on x, span(2) on y with block 32 wide ->
         // 3 x N/(16*2)... (shapes differ; just check split count).
         let m2 = MappingDecision::new(vec![
-            LevelMapping { dim: Dim::X, block_size: 32, span: Span::Split(3) },
-            LevelMapping { dim: Dim::Y, block_size: 16, span: Span::Span(2) },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 32,
+                span: Span::Split(3),
+            },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 16,
+                span: Span::Span(2),
+            },
         ]);
         assert_eq!(m2.grid_blocks(&[1024, 320]), vec![3, 10]);
     }
 
     #[test]
     fn display_matches_paper_notation() {
-        let l = LevelMapping { dim: Dim::Y, block_size: 64, span: Span::ONE };
+        let l = LevelMapping {
+            dim: Dim::Y,
+            block_size: 64,
+            span: Span::ONE,
+        };
         assert_eq!(l.to_string(), "[DimY, 64, span(1)]");
-        let s = LevelMapping { dim: Dim::X, block_size: 32, span: Span::Split(3) };
+        let s = LevelMapping {
+            dim: Dim::X,
+            block_size: 32,
+            span: Span::Split(3),
+        };
         assert_eq!(s.to_string(), "[DimX, 32, split(3)]");
     }
 
@@ -296,8 +334,16 @@ mod extent_tests {
     #[test]
     fn grid_blocks_for_all_and_split() {
         let m = MappingDecision::new(vec![
-            LevelMapping { dim: Dim::Y, block_size: 8, span: Span::ONE },
-            LevelMapping { dim: Dim::X, block_size: 32, span: Span::All },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 8,
+                span: Span::ONE,
+            },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 32,
+                span: Span::All,
+            },
         ]);
         assert_eq!(m.grid_blocks(&[100, 9999]), vec![13, 1]);
         let s = MappingDecision::new(vec![LevelMapping {
@@ -311,9 +357,21 @@ mod extent_tests {
     #[test]
     fn display_roundtrip_multi_level() {
         let m = MappingDecision::new(vec![
-            LevelMapping { dim: Dim::Z, block_size: 2, span: Span::Span(4) },
-            LevelMapping { dim: Dim::Y, block_size: 4, span: Span::ONE },
-            LevelMapping { dim: Dim::X, block_size: 32, span: Span::All },
+            LevelMapping {
+                dim: Dim::Z,
+                block_size: 2,
+                span: Span::Span(4),
+            },
+            LevelMapping {
+                dim: Dim::Y,
+                block_size: 4,
+                span: Span::ONE,
+            },
+            LevelMapping {
+                dim: Dim::X,
+                block_size: 32,
+                span: Span::All,
+            },
         ]);
         assert_eq!(
             m.to_string(),

@@ -14,6 +14,7 @@ use crate::constraint::{ConstraintSet, SpanAllReason, Weights};
 use crate::params::{Dim, LevelMapping, MappingDecision, Span};
 use multidim_device::GpuSpec;
 use multidim_ir::{Bindings, NestInfo, Program};
+use multidim_trace as trace;
 
 /// A candidate mapping with its score (for Figure 17's scatter and for
 /// auto-tuner integration).
@@ -91,6 +92,10 @@ pub fn analyze_with(
     gpu: &GpuSpec,
     weights: &Weights,
 ) -> Analysis {
+    let mut sp = trace::span("search", "analyze");
+    if let Some(s) = sp.as_mut() {
+        s.arg("program", program.name.as_str());
+    }
     let nest = NestInfo::of(program);
     let constraints = collect_constraints(program, &nest, bindings, gpu, weights);
     let extents = analysis_extents(&nest, bindings);
@@ -114,7 +119,7 @@ pub fn analyze_with(
         // spot) — expressed as 64 - |log2(threads) - 8|.
         let bt = mapping.block_threads().max(1);
         let log2 = 63 - bt.leading_zeros() as i64;
-        let near_256 = 64 - (log2 - 8).abs() as u64;
+        let near_256 = 64 - (log2 - 8).unsigned_abs();
         (sat_dop, u64::MAX - sync_threads, near_256)
     };
 
@@ -134,6 +139,16 @@ pub fn analyze_with(
                 score > bs + eps || ((score - bs).abs() <= eps && k > *bk)
             }
         };
+        if trace::enabled() {
+            trace::emit(
+                trace::Event::instant("search", "candidate")
+                    .arg("mapping", mapping.to_string())
+                    .arg("score", score)
+                    .arg("normalized_score", constraints.normalized_score(&mapping))
+                    .arg("dop", mapping.dop(&extents))
+                    .arg("leads", better),
+            );
+        }
         if better {
             best = Some((mapping, score, k));
         }
@@ -145,7 +160,30 @@ pub fn analyze_with(
     let dop = decision.dop(&extents);
     let normalized_score = constraints.normalized_score(&decision);
 
-    Analysis { nest, constraints, decision, score, normalized_score, dop, candidates }
+    if trace::enabled() {
+        trace::emit(
+            trace::Event::instant("search", "selected")
+                .arg("program", program.name.as_str())
+                .arg("mapping", decision.to_string())
+                .arg("score", score)
+                .arg("normalized_score", normalized_score)
+                .arg("dop", dop)
+                .arg("candidates", candidates),
+        );
+    }
+    if let Some(s) = sp.as_mut() {
+        s.arg("candidates", candidates);
+    }
+
+    Analysis {
+        nest,
+        constraints,
+        decision,
+        score,
+        normalized_score,
+        dop,
+        candidates,
+    }
 }
 
 /// Enumerate *all* hard-valid candidates with scores (Figure 17's scatter;
@@ -164,14 +202,22 @@ pub fn enumerate_scored(
         let score = constraints.score(&mapping);
         let normalized_score = constraints.normalized_score(&mapping);
         let dop = mapping.dop(&extents);
-        out.push(ScoredMapping { mapping, score, normalized_score, dop });
+        out.push(ScoredMapping {
+            mapping,
+            score,
+            normalized_score,
+            dop,
+        });
     });
     out
 }
 
 /// Representative per-level extents under the analysis bindings.
 pub fn analysis_extents(nest: &NestInfo, bindings: &Bindings) -> Vec<i64> {
-    nest.levels.iter().map(|l| l.representative_size().eval_or_default(bindings)).collect()
+    nest.levels
+        .iter()
+        .map(|l| l.representative_size().eval_or_default(bindings))
+        .collect()
 }
 
 /// The block-size set of Algorithm 1: `{1, 2, 4, …, 1024}`.
@@ -207,22 +253,39 @@ fn for_each_candidate(
     permutations(&mut dims, 0, &mut |perm| {
         // perm[level] = dimension index for that level.
         let mut level_sizes = vec![1u32; depth];
-        size_combos(&sizes, gpu.max_threads_per_block, &mut level_sizes, 0, &mut |bs| {
-            let mut spans = vec![Span::ONE; depth];
-            span_combos(&forced, &mut spans, 0, &mut |sp| {
-                let levels: Vec<LevelMapping> = (0..depth)
-                    .map(|l| LevelMapping {
-                        dim: Dim(perm[l]),
-                        block_size: bs[l],
-                        span: sp[l],
-                    })
-                    .collect();
-                let mapping = MappingDecision::new(levels);
-                if constraints.hard_ok(&mapping) {
-                    f(mapping);
-                }
-            });
-        });
+        size_combos(
+            &sizes,
+            gpu.max_threads_per_block,
+            &mut level_sizes,
+            0,
+            &mut |bs| {
+                let mut spans = vec![Span::ONE; depth];
+                span_combos(&forced, &mut spans, 0, &mut |sp| {
+                    let levels: Vec<LevelMapping> = (0..depth)
+                        .map(|l| LevelMapping {
+                            dim: Dim(perm[l]),
+                            block_size: bs[l],
+                            span: sp[l],
+                        })
+                        .collect();
+                    let mapping = MappingDecision::new(levels);
+                    if trace::enabled() {
+                        // Traced path: name the violated constraint so the
+                        // "why was this candidate pruned" table can be built.
+                        match constraints.first_violation(&mapping) {
+                            None => f(mapping),
+                            Some(v) => trace::emit(
+                                trace::Event::instant("search", "pruned")
+                                    .arg("mapping", mapping.to_string())
+                                    .arg("violates", v.to_string()),
+                            ),
+                        }
+                    } else if constraints.hard_ok(&mapping) {
+                        f(mapping);
+                    }
+                });
+            },
+        );
     });
 }
 
@@ -274,7 +337,11 @@ fn span_combos(
     // on a free level never beats Span(1) under the scoring model, and it
     // would nest block synchronization inside non-uniform loops, which the
     // code generator rejects.)
-    out[level] = if forced[level].is_some() { Span::All } else { Span::ONE };
+    out[level] = if forced[level].is_some() {
+        Span::All
+    } else {
+        Span::ONE
+    };
     span_combos(forced, out, level + 1, f);
 }
 
@@ -342,7 +409,9 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(rs), |b, row| {
-            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -357,7 +426,9 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(cs), |b, col| {
-            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(rs), ReduceOp::Add, |b, row| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -372,7 +443,7 @@ mod tests {
         let a = analyze(&p, &bind, &k20c());
         assert!(a.decision.level(1).dim.is_x(), "decision: {}", a.decision);
         assert!(!a.decision.level(0).dim.is_x());
-        assert!(a.decision.level(1).block_size % 32 == 0);
+        assert!(a.decision.level(1).block_size.is_multiple_of(32));
     }
 
     #[test]
@@ -380,9 +451,12 @@ mod tests {
         let (p, bind) = sum_cols(8192, 8192);
         let a = analyze(&p, &bind, &k20c());
         assert!(a.decision.level(0).dim.is_x(), "decision: {}", a.decision);
-        assert!(a.decision.level(0).block_size % 32 == 0);
+        assert!(a.decision.level(0).block_size.is_multiple_of(32));
         // Inner reduce still needs span(all)/split.
-        assert!(matches!(a.decision.level(1).span, Span::All | Span::Split(_)));
+        assert!(matches!(
+            a.decision.level(1).span,
+            Span::All | Span::Split(_)
+        ));
     }
 
     #[test]
@@ -487,5 +561,63 @@ mod tests {
     fn size_set_is_powers_of_two() {
         let s = size_set(&k20c());
         assert_eq!(s, vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn traced_search_names_prune_reasons() {
+        use std::rc::Rc;
+        // Starve shared memory so large reduce blocks violate SmemCapacity
+        // and get pruned (with a reason) instead of scored.
+        let (p, bind) = sum_rows(1024, 1024);
+        let gpu = GpuSpec {
+            smem_per_sm: 512,
+            ..k20c()
+        };
+        let sink = Rc::new(trace::MemorySink::new());
+        let guard = trace::set_sink(sink.clone());
+        let a = analyze(&p, &bind, &gpu);
+        drop(guard);
+        let events = sink.drain();
+
+        let pruned: Vec<_> = events
+            .iter()
+            .filter(|e| e.cat == "search" && e.name == "pruned")
+            .collect();
+        assert!(
+            !pruned.is_empty(),
+            "tiny smem should prune large reduce blocks"
+        );
+        for e in &pruned {
+            let why = e
+                .get_str("violates")
+                .expect("pruned event names its constraint");
+            assert!(why.contains("smem"), "unexpected reason: {why}");
+        }
+        // Every surviving candidate was emitted, and the count matches the
+        // analysis' own bookkeeping.
+        let scored = events
+            .iter()
+            .filter(|e| e.cat == "search" && e.name == "candidate")
+            .count();
+        assert_eq!(scored, a.candidates);
+        let selected = events
+            .iter()
+            .find(|e| e.cat == "search" && e.name == "selected")
+            .expect("selected event");
+        assert_eq!(selected.get_str("mapping").unwrap(), a.decision.to_string());
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_decision() {
+        use std::rc::Rc;
+        let (p, bind) = sum_rows(4096, 512);
+        let untraced = analyze(&p, &bind, &k20c());
+        let sink = Rc::new(trace::MemorySink::new());
+        let guard = trace::set_sink(sink.clone());
+        let traced = analyze(&p, &bind, &k20c());
+        drop(guard);
+        assert_eq!(untraced.decision, traced.decision);
+        assert_eq!(untraced.candidates, traced.candidates);
+        assert_eq!(untraced.score, traced.score);
     }
 }

@@ -53,10 +53,19 @@ impl fmt::Display for Strategy {
 ///
 /// Panics when called with [`Strategy::MultiDim`]; run the search
 /// ([`crate::analyze`]) for that.
-pub fn fixed_mapping(strategy: Strategy, nest: &NestInfo, constraints: &ConstraintSet) -> MappingDecision {
+pub fn fixed_mapping(
+    strategy: Strategy,
+    nest: &NestInfo,
+    constraints: &ConstraintSet,
+) -> MappingDecision {
     let depth = nest.depth().max(1);
     let forced: Vec<bool> = (0..depth)
-        .map(|l| constraints.span_all_levels().iter().any(|(lvl, _)| *lvl == l))
+        .map(|l| {
+            constraints
+                .span_all_levels()
+                .iter()
+                .any(|(lvl, _)| *lvl == l)
+        })
         .collect();
 
     let levels: Vec<LevelMapping> = match strategy {
@@ -71,7 +80,11 @@ pub fn fixed_mapping(strategy: Strategy, nest: &NestInfo, constraints: &Constrai
                     }
                 } else {
                     // Inner levels sequential within the thread.
-                    LevelMapping { dim: Dim(l as u8), block_size: 1, span: Span::All }
+                    LevelMapping {
+                        dim: Dim(l as u8),
+                        block_size: 1,
+                        span: Span::All,
+                    }
                 }
             })
             .collect(),
@@ -84,7 +97,12 @@ pub fn fixed_mapping(strategy: Strategy, nest: &NestInfo, constraints: &Constrai
 /// Shared shape of the two fixed 2D strategies: outer on y with
 /// `outer_block` threads, inner on x with `inner_block` threads and
 /// `Span(all)`, deeper levels sequential.
-fn fixed_two_level(depth: usize, forced: &[bool], outer_block: u32, inner_block: u32) -> Vec<LevelMapping> {
+fn fixed_two_level(
+    depth: usize,
+    forced: &[bool],
+    outer_block: u32,
+    inner_block: u32,
+) -> Vec<LevelMapping> {
     (0..depth)
         .map(|l| {
             if l == 0 {
@@ -103,9 +121,17 @@ fn fixed_two_level(depth: usize, forced: &[bool], outer_block: u32, inner_block:
                     }
                 }
             } else if l == 1 {
-                LevelMapping { dim: Dim::X, block_size: inner_block, span: Span::All }
+                LevelMapping {
+                    dim: Dim::X,
+                    block_size: inner_block,
+                    span: Span::All,
+                }
             } else {
-                LevelMapping { dim: Dim(l as u8), block_size: 1, span: Span::All }
+                LevelMapping {
+                    dim: Dim(l as u8),
+                    block_size: 1,
+                    span: Span::All,
+                }
             }
         })
         .collect()
@@ -115,8 +141,8 @@ fn fixed_two_level(depth: usize, forced: &[bool], outer_block: u32, inner_block:
 /// assert the Figure 7 equivalence of DOP formulas.
 pub fn figure7_dop(strategy: Strategy, outer: i64, inner: i64) -> u64 {
     match strategy {
-        Strategy::ThreadBlockThread => outer as u64 * inner.min(1024).max(1) as u64,
-        Strategy::WarpBased => outer as u64 * inner.min(WARP_SIZE as i64).max(1) as u64,
+        Strategy::ThreadBlockThread => outer as u64 * inner.clamp(1, 1024) as u64,
+        Strategy::WarpBased => outer as u64 * inner.clamp(1, WARP_SIZE as i64) as u64,
         Strategy::OneD => outer as u64,
         Strategy::MultiDim => panic!("no fixed DOP formula for MultiDim"),
     }
@@ -136,14 +162,22 @@ mod tests {
         let cs = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
         let root = b.map(Size::sym(rs), |b, row| {
-            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
         bind.bind(rs, r);
         bind.bind(cs, c);
         let nest = NestInfo::of(&p);
-        let cs2 = collect_constraints(&p, &nest, &bind, &GpuSpec::tesla_k20c(), &Weights::default());
+        let cs2 = collect_constraints(
+            &p,
+            &nest,
+            &bind,
+            &GpuSpec::tesla_k20c(),
+            &Weights::default(),
+        );
         (p, bind, nest, cs2)
     }
 
@@ -165,7 +199,10 @@ mod tests {
         assert_eq!(m.level(1).dim, Dim::X);
         assert_eq!(m.level(1).block_size, 1024);
         // DOP = I * min(J, MAX_BLOCK_SIZE).
-        assert_eq!(m.dop(&[1000, 8000]), figure7_dop(Strategy::ThreadBlockThread, 1000, 8000));
+        assert_eq!(
+            m.dop(&[1000, 8000]),
+            figure7_dop(Strategy::ThreadBlockThread, 1000, 8000)
+        );
     }
 
     #[test]
@@ -174,13 +211,20 @@ mod tests {
         let m = fixed_mapping(Strategy::WarpBased, &nest, &cs);
         assert_eq!(m.level(0).block_size, 16);
         assert_eq!(m.level(1).block_size, 32);
-        assert_eq!(m.dop(&[1000, 8000]), figure7_dop(Strategy::WarpBased, 1000, 8000));
+        assert_eq!(
+            m.dop(&[1000, 8000]),
+            figure7_dop(Strategy::WarpBased, 1000, 8000)
+        );
     }
 
     #[test]
     fn fixed_strategies_respect_hard_constraints() {
         let (_, _, nest, cs) = nested(512, 512);
-        for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+        for s in [
+            Strategy::OneD,
+            Strategy::ThreadBlockThread,
+            Strategy::WarpBased,
+        ] {
             let m = fixed_mapping(s, &nest, &cs);
             assert!(cs.hard_ok(&m), "{s} produced a hard-invalid mapping {m}");
         }
@@ -196,7 +240,13 @@ mod tests {
         let mut bind = Bindings::new();
         bind.bind(n, 4096);
         let nest = NestInfo::of(&p);
-        let cs = collect_constraints(&p, &nest, &bind, &GpuSpec::tesla_k20c(), &Weights::default());
+        let cs = collect_constraints(
+            &p,
+            &nest,
+            &bind,
+            &GpuSpec::tesla_k20c(),
+            &Weights::default(),
+        );
         let a = fixed_mapping(Strategy::OneD, &nest, &cs);
         let b2 = fixed_mapping(Strategy::ThreadBlockThread, &nest, &cs);
         let c = fixed_mapping(Strategy::WarpBased, &nest, &cs);

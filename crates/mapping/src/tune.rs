@@ -28,7 +28,10 @@ pub struct TuneOptions {
 
 impl Default for TuneOptions {
     fn default() -> Self {
-        TuneOptions { score_floor: 0.0, max_measurements: usize::MAX }
+        TuneOptions {
+            score_floor: 0.0,
+            max_measurements: usize::MAX,
+        }
     }
 }
 
@@ -68,8 +71,15 @@ pub fn tune(
     mut measure: impl FnMut(&MappingDecision) -> Option<f64>,
 ) -> Option<TuneResult> {
     let mut candidates = enumerate_scored(program, bindings, gpu, weights);
-    candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-    let best_score = candidates.first().map(|c| c.normalized_score).unwrap_or(0.0);
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let best_score = candidates
+        .first()
+        .map(|c| c.normalized_score)
+        .unwrap_or(0.0);
 
     let mut measured = Vec::new();
     let mut skipped = 0usize;
@@ -81,11 +91,18 @@ pub fn tune(
             continue;
         }
         match measure(&cand.mapping) {
-            Some(cost) => measured.push(Measured { candidate: cand, cost }),
+            Some(cost) => measured.push(Measured {
+                candidate: cand,
+                cost,
+            }),
             None => skipped += 1,
         }
     }
-    measured.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+    measured.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let best = measured.first()?;
     Some(TuneResult {
         best: best.candidate.mapping.clone(),
@@ -107,7 +124,9 @@ mod tests {
         let c = b.sym("C");
         let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
         let root = b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         });
         let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
         let mut bind = Bindings::new();
@@ -122,9 +141,14 @@ mod tests {
         // find a 128-thread candidate.
         let (p, bind) = program();
         let gpu = GpuSpec::tesla_k20c();
-        let r = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |m| {
-            Some((m.block_threads() as f64 - 128.0).abs())
-        })
+        let r = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+            |m| Some((m.block_threads() as f64 - 128.0).abs()),
+        )
         .unwrap();
         assert_eq!(r.best.block_threads(), 128);
         assert_eq!(r.best_cost, 0.0);
@@ -135,16 +159,24 @@ mod tests {
     fn score_floor_prunes() {
         let (p, bind) = program();
         let gpu = GpuSpec::tesla_k20c();
-        let full = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |_| {
-            Some(1.0)
-        })
+        let full = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+            |_| Some(1.0),
+        )
         .unwrap();
         let pruned = tune(
             &p,
             &bind,
             &gpu,
             &Weights::default(),
-            &TuneOptions { score_floor: 0.9, ..Default::default() },
+            &TuneOptions {
+                score_floor: 0.9,
+                ..Default::default()
+            },
             |_| Some(1.0),
         )
         .unwrap();
@@ -160,7 +192,10 @@ mod tests {
             &bind,
             &gpu,
             &Weights::default(),
-            &TuneOptions { max_measurements: 5, ..Default::default() },
+            &TuneOptions {
+                max_measurements: 5,
+                ..Default::default()
+            },
             |_| Some(1.0),
         )
         .unwrap();
@@ -171,14 +206,21 @@ mod tests {
     fn unmeasurable_candidates_are_skipped() {
         let (p, bind) = program();
         let gpu = GpuSpec::tesla_k20c();
-        let r = tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |m| {
-            // Pretend splits are not executable.
-            if m.levels().iter().any(|l| matches!(l.span, Span::Split(_))) {
-                None
-            } else {
-                Some(m.block_threads() as f64)
-            }
-        })
+        let r = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+            |m| {
+                // Pretend splits are not executable.
+                if m.levels().iter().any(|l| matches!(l.span, Span::Split(_))) {
+                    None
+                } else {
+                    Some(m.block_threads() as f64)
+                }
+            },
+        )
         .unwrap();
         assert!(!r.measured.is_empty());
     }
@@ -187,7 +229,14 @@ mod tests {
     fn none_when_nothing_measurable() {
         let (p, bind) = program();
         let gpu = GpuSpec::tesla_k20c();
-        assert!(tune(&p, &bind, &gpu, &Weights::default(), &TuneOptions::default(), |_| None)
-            .is_none());
+        assert!(tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+            |_| None
+        )
+        .is_none());
     }
 }

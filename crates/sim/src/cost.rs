@@ -78,11 +78,10 @@ pub struct LaunchShape {
 pub fn occupancy(gpu: &GpuSpec, shape: &LaunchShape) -> (u32, u32) {
     let by_threads = (gpu.max_threads_per_sm / shape.block_threads.max(1)).max(1);
     let by_blocks = gpu.max_blocks_per_sm;
-    let by_smem = if shape.smem_bytes > 0 {
-        (gpu.smem_per_sm / shape.smem_bytes).max(1)
-    } else {
-        u32::MAX
-    };
+    let by_smem = gpu
+        .smem_per_sm
+        .checked_div(shape.smem_bytes)
+        .map_or(u32::MAX, |v| v.max(1));
     let arch = by_threads.min(by_blocks).min(by_smem).max(1);
     let blocks = shape.blocks.max(1);
     let active_sms = (gpu.sm_count as u64).min(blocks) as u32;
@@ -114,14 +113,18 @@ pub struct KernelTime {
 pub fn kernel_time(gpu: &GpuSpec, shape: &LaunchShape, cost: &KernelCost) -> KernelTime {
     let (resident_blocks, resident_warps) = occupancy(gpu, shape);
     let _ = resident_blocks;
-    let active_sms = gpu.sm_count.min(shape.blocks.max(1).min(u32::MAX as u64) as u32).max(1);
+    let active_sms = gpu
+        .sm_count
+        .min(shape.blocks.max(1).min(u32::MAX as u64) as u32)
+        .max(1);
 
     // --- issue pipe -----------------------------------------------------
     // A warp sustains roughly one instruction per 4 cycles (dependency
     // latency); with enough warps the scheduler's issue width caps it.
     let per_warp_ipc = 0.25f64;
-    let throughput_per_sm =
-        (resident_warps as f64 * per_warp_ipc).min(gpu.issue_width as f64).max(per_warp_ipc);
+    let throughput_per_sm = (resident_warps as f64 * per_warp_ipc)
+        .min(gpu.issue_width as f64)
+        .max(per_warp_ipc);
     let issue_work = cost.warp_instr as f64
         + (cost.smem_accesses + cost.smem_conflicts) as f64 * gpu.smem_cycles
         + cost.syncs as f64 * gpu.sync_cycles
@@ -142,16 +145,24 @@ pub fn kernel_time(gpu: &GpuSpec, shape: &LaunchShape, cost: &KernelCost) -> Ker
 
     // --- serial extras ----------------------------------------------------
     let malloc_cycles = cost.mallocs as f64 * gpu.device_malloc_cycles
-        / (active_sms as f64 * resident_warps as f64).max(1.0).min(32.0);
+        / (active_sms as f64 * resident_warps as f64).clamp(1.0, 32.0);
     let overhead_s = gpu.kernel_launch_overhead_s
-        + gpu.cycles_to_seconds(shape.blocks as f64 * gpu.block_dispatch_cycles / active_sms as f64);
+        + gpu
+            .cycles_to_seconds(shape.blocks as f64 * gpu.block_dispatch_cycles / active_sms as f64);
 
     let issue = gpu.cycles_to_seconds(issue_cycles);
     let bandwidth = gpu.cycles_to_seconds(bw_cycles);
     let latency = gpu.cycles_to_seconds(lat_cycles);
     let malloc = gpu.cycles_to_seconds(malloc_cycles);
     let total = issue.max(bandwidth).max(latency) + malloc + overhead_s;
-    KernelTime { issue, bandwidth, latency, malloc, overhead: overhead_s, total }
+    KernelTime {
+        issue,
+        bandwidth,
+        latency,
+        malloc,
+        overhead: overhead_s,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +175,11 @@ mod tests {
 
     #[test]
     fn occupancy_full_blocks() {
-        let shape = LaunchShape { blocks: 1000, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 1000,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let (blocks, warps) = occupancy(&gpu(), &shape);
         assert_eq!(blocks, 8); // 2048/256
         assert_eq!(warps, 64);
@@ -172,7 +187,11 @@ mod tests {
 
     #[test]
     fn occupancy_limited_by_smem() {
-        let shape = LaunchShape { blocks: 1000, block_threads: 64, smem_bytes: 24 * 1024 };
+        let shape = LaunchShape {
+            blocks: 1000,
+            block_threads: 64,
+            smem_bytes: 24 * 1024,
+        };
         let (blocks, _) = occupancy(&gpu(), &shape);
         assert_eq!(blocks, 2); // 48K/24K
     }
@@ -180,19 +199,31 @@ mod tests {
     #[test]
     fn occupancy_limited_by_launch() {
         // 3 blocks spread over 3 active SMs: 1 resident block each.
-        let shape = LaunchShape { blocks: 3, block_threads: 64, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 3,
+            block_threads: 64,
+            smem_bytes: 0,
+        };
         let (blocks, warps) = occupancy(&gpu(), &shape);
         assert_eq!(blocks, 1);
         assert_eq!(warps, 2);
         // 26 blocks over 13 SMs: 2 resident blocks each.
-        let shape = LaunchShape { blocks: 26, block_threads: 64, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 26,
+            block_threads: 64,
+            smem_bytes: 0,
+        };
         assert_eq!(occupancy(&gpu(), &shape).0, 2);
     }
 
     #[test]
     fn bandwidth_bound_kernel() {
         // 256 MB moved on a well-occupied kernel: ~1.2 ms on 208 GB/s.
-        let shape = LaunchShape { blocks: 4096, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 4096,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let cost = KernelCost {
             warp_instr: 1_000_000,
             mem_requests: 2_000_000,
@@ -207,7 +238,11 @@ mod tests {
 
     #[test]
     fn uncoalesced_pays_more() {
-        let shape = LaunchShape { blocks: 4096, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 4096,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let coalesced = KernelCost {
             mem_requests: 1_000_000,
             transactions: 1_000_000,
@@ -235,8 +270,16 @@ mod tests {
             dram_bytes: 128_000_000,
             ..Default::default()
         };
-        let busy = LaunchShape { blocks: 4096, block_threads: 256, smem_bytes: 0 };
-        let starved = LaunchShape { blocks: 4, block_threads: 256, smem_bytes: 0 };
+        let busy = LaunchShape {
+            blocks: 4096,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
+        let starved = LaunchShape {
+            blocks: 4,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let tb = kernel_time(&gpu(), &busy, &cost);
         let ts = kernel_time(&gpu(), &starved, &cost);
         assert!(ts.total / tb.total > 3.0, "ratio {}", ts.total / tb.total);
@@ -244,15 +287,26 @@ mod tests {
 
     #[test]
     fn launch_overhead_floor() {
-        let shape = LaunchShape { blocks: 1, block_threads: 32, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 1,
+            block_threads: 32,
+            smem_bytes: 0,
+        };
         let t = kernel_time(&gpu(), &shape, &KernelCost::default());
         assert!(t.total >= gpu().kernel_launch_overhead_s);
     }
 
     #[test]
     fn cost_merge() {
-        let mut a = KernelCost { warp_instr: 1, ..Default::default() };
-        let b = KernelCost { warp_instr: 2, dram_bytes: 128, ..Default::default() };
+        let mut a = KernelCost {
+            warp_instr: 1,
+            ..Default::default()
+        };
+        let b = KernelCost {
+            warp_instr: 2,
+            dram_bytes: 128,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.warp_instr, 3);
         assert_eq!(a.dram_bytes, 128);

@@ -64,7 +64,12 @@ pub fn estimate_cpu(
         bytes as f64 * (1.0 - random_fraction) + bytes as f64 * random_fraction * line_factor;
     let t_mem = effective_bytes / cpu.dram_bandwidth;
 
-    CpuEstimate { seconds: t_compute.max(t_mem), flops, bytes, random_fraction }
+    CpuEstimate {
+        seconds: t_compute.max(t_mem),
+        flops,
+        bytes,
+        random_fraction,
+    }
 }
 
 /// Share of access executions whose innermost-varying index is data
@@ -114,7 +119,11 @@ mod tests {
         assert_eq!(res.array(p.output.unwrap()).data[0], (1 << 20) as f64);
         assert_eq!(est.random_fraction, 0.0);
         // 4 MiB at 25 GB/s ≈ 0.17 ms; compute is far below it.
-        assert!(est.seconds > 1e-4 && est.seconds < 1e-3, "t = {}", est.seconds);
+        assert!(
+            est.seconds > 1e-4 && est.seconds < 1e-3,
+            "t = {}",
+            est.seconds
+        );
     }
 
     #[test]
@@ -140,7 +149,9 @@ mod tests {
         let mut b1 = ProgramBuilder::new("seq");
         let n1 = b1.sym("N");
         let a1 = b1.input("a", ScalarKind::F32, &[Size::sym(n1)]);
-        let root1 = b1.map(Size::sym(n1), |b, i| b.read(a1, &[i.into()]) * Expr::lit(2.0));
+        let root1 = b1.map(Size::sym(n1), |b, i| {
+            b.read(a1, &[i.into()]) * Expr::lit(2.0)
+        });
         let p1 = b1.finish_map(root1, "o", ScalarKind::F32).unwrap();
 
         let mut b2 = ProgramBuilder::new("rand");
@@ -162,9 +173,15 @@ mod tests {
         let mut bind2 = Bindings::new();
         bind2.bind(n2, n);
         let ids: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64).collect();
-        let inputs2: HashMap<_, _> =
-            [(ix, ids), (a2, vec![1.0; n as usize])].into_iter().collect();
+        let inputs2: HashMap<_, _> = [(ix, ids), (a2, vec![1.0; n as usize])]
+            .into_iter()
+            .collect();
         let (_, e2) = run_cpu(&p2, &cpu(), &bind2, &inputs2).unwrap();
-        assert!(e2.seconds > 2.0 * e1.seconds, "{} vs {}", e2.seconds, e1.seconds);
+        assert!(
+            e2.seconds > 2.0 * e1.seconds,
+            "{} vs {}",
+            e2.seconds,
+            e1.seconds
+        );
     }
 }

@@ -14,9 +14,11 @@
 
 use crate::cost::{kernel_time, KernelCost, KernelTime, LaunchShape};
 use crate::memory::{bank_conflicts, coalesce};
+use crate::report::{BoundBy, Efficiency};
 use multidim_codegen::{BufId, BufferInit, KExpr, Kernel, KernelProgram, Stmt};
 use multidim_device::{GpuSpec, WARP_SIZE};
 use multidim_ir::{apply_bin, apply_un, ArrayId, Bindings, ReduceOp, Size};
+use multidim_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -48,6 +50,10 @@ pub struct DeviceBuffer {
 pub struct SimResult {
     /// Final contents of buffers that materialize program arrays.
     pub arrays: HashMap<ArrayId, Vec<f64>>,
+    /// Kernel names (same order as `kp.kernels`).
+    pub names: Vec<String>,
+    /// Per-kernel launch shapes.
+    pub shapes: Vec<LaunchShape>,
     /// Per-kernel cost records (same order as `kp.kernels`).
     pub costs: Vec<KernelCost>,
     /// Per-kernel timing breakdowns.
@@ -64,6 +70,15 @@ impl SimResult {
     /// Panics if the array was not materialized by the program.
     pub fn array(&self, array: ArrayId) -> &[f64] {
         &self.arrays[&array]
+    }
+
+    /// Sum of the per-kernel cost counters across the whole run.
+    pub fn total_cost(&self) -> KernelCost {
+        let mut sum = KernelCost::default();
+        for c in &self.costs {
+            sum.add(c);
+        }
+        sum
     }
 }
 
@@ -113,18 +128,29 @@ pub fn run_program(
                 host.clone()
             }
         };
-        buffers.push(DeviceBuffer { elem_bytes: decl.elem_bytes, data, base });
+        buffers.push(DeviceBuffer {
+            elem_bytes: decl.elem_bytes,
+            data,
+            base,
+        });
         // Segment-align the next buffer.
         base += (len as u64 * decl.elem_bytes).next_multiple_of(gpu.transaction_bytes.max(1));
         base += gpu.transaction_bytes;
     }
 
+    let mut names = Vec::new();
+    let mut shapes = Vec::new();
     let mut costs = Vec::new();
     let mut times = Vec::new();
     let mut total = 0.0f64;
     for kernel in &kp.kernels {
         let k = specialize(kernel, bindings);
-        let mut ex = Exec { gpu, buffers: &mut buffers, cost: KernelCost::default(), kernel: &k };
+        let mut ex = Exec {
+            gpu,
+            buffers: &mut buffers,
+            cost: KernelCost::default(),
+            kernel: &k,
+        };
         let blocks = ex.run()?;
         let shape = LaunchShape {
             blocks,
@@ -132,7 +158,12 @@ pub fn run_program(
             smem_bytes: k.smem_bytes(),
         };
         let t = kernel_time(gpu, &shape, &ex.cost);
+        if trace::enabled() {
+            emit_kernel_timeline(gpu, &kernel.name, total, &shape, &ex.cost, &t);
+        }
         total += t.total;
+        names.push(kernel.name.clone());
+        shapes.push(shape);
         costs.push(ex.cost);
         times.push(t);
     }
@@ -143,7 +174,70 @@ pub fn run_program(
             arrays.insert(a, buffers[i].data.clone());
         }
     }
-    Ok(SimResult { arrays, costs, times, total_seconds: total })
+    Ok(SimResult {
+        arrays,
+        names,
+        shapes,
+        costs,
+        times,
+        total_seconds: total,
+    })
+}
+
+/// Emit the per-kernel slice, per-pipe breakdown, and counter samples on the
+/// simulated-GPU trace lane ([`trace::PID_SIM`], microsecond timestamps).
+fn emit_kernel_timeline(
+    gpu: &GpuSpec,
+    name: &str,
+    start_s: f64,
+    shape: &LaunchShape,
+    cost: &KernelCost,
+    t: &KernelTime,
+) {
+    let ts = start_s * 1e6;
+    let eff = Efficiency::of(gpu, shape, cost);
+    trace::emit(
+        trace::Event::instant("sim", "launch")
+            .at(ts)
+            .on_pid(trace::PID_SIM)
+            .arg("kernel", name.to_string())
+            .arg("blocks", shape.blocks)
+            .arg("block_threads", u64::from(shape.block_threads))
+            .arg("smem_bytes", u64::from(shape.smem_bytes)),
+    );
+    trace::emit(
+        trace::Event::complete("sim", name.to_string(), ts, t.total * 1e6)
+            .arg("bound_by", BoundBy::classify(t).label())
+            .arg("blocks", shape.blocks)
+            .arg("block_threads", u64::from(shape.block_threads))
+            .arg("smem_bytes", u64::from(shape.smem_bytes))
+            .arg("tx_per_request", eff.transactions_per_request)
+            .arg("conflicts_per_access", eff.conflicts_per_access)
+            .arg("resident_warps", u64::from(eff.resident_warps))
+            .arg("warp_instr", cost.warp_instr)
+            .arg("mem_requests", cost.mem_requests)
+            .arg("transactions", cost.transactions)
+            .arg("dram_bytes", cost.dram_bytes)
+            .arg("smem_accesses", cost.smem_accesses)
+            .arg("smem_conflicts", cost.smem_conflicts)
+            .arg("syncs", cost.syncs)
+            .arg("mallocs", cost.mallocs)
+            .arg("atomic_serial", cost.atomic_serial),
+    );
+    // Per-pipe roofline terms as parallel sub-tracks: the tallest slice is
+    // the one the kernel is bound by.
+    let pipes: [(&'static str, u32, f64); 4] = [
+        ("issue", 1, t.issue),
+        ("bandwidth", 2, t.bandwidth),
+        ("latency", 3, t.latency),
+        ("overhead+malloc", 4, t.overhead + t.malloc),
+    ];
+    for (pipe, tid, dur) in pipes {
+        if dur > 0.0 {
+            trace::emit(trace::Event::complete("sim.pipe", pipe, ts, dur * 1e6).on_tid(tid));
+        }
+    }
+    trace::emit(trace::Event::counter("sim", "dram_bytes", ts).arg("bytes", cost.dram_bytes));
 }
 
 /// Resolve every symbolic size in the kernel to a constant.
@@ -160,21 +254,40 @@ fn specialize(k: &Kernel, bindings: &Bindings) -> Kernel {
 
 fn spec_stmt(s: &Stmt, b: &Bindings) -> Stmt {
     match s {
-        Stmt::Assign { dst, value } => Stmt::Assign { dst: *dst, value: spec_expr(value, b) },
-        Stmt::Store { buf, idx, value } => {
-            Stmt::Store { buf: *buf, idx: spec_expr(idx, b), value: spec_expr(value, b) }
-        }
-        Stmt::AtomicRmw { buf, idx, op, value, capture } => Stmt::AtomicRmw {
+        Stmt::Assign { dst, value } => Stmt::Assign {
+            dst: *dst,
+            value: spec_expr(value, b),
+        },
+        Stmt::Store { buf, idx, value } => Stmt::Store {
+            buf: *buf,
+            idx: spec_expr(idx, b),
+            value: spec_expr(value, b),
+        },
+        Stmt::AtomicRmw {
+            buf,
+            idx,
+            op,
+            value,
+            capture,
+        } => Stmt::AtomicRmw {
             buf: *buf,
             idx: spec_expr(idx, b),
             op: *op,
             value: spec_expr(value, b),
             capture: *capture,
         },
-        Stmt::SmemStore { arr, idx, value } => {
-            Stmt::SmemStore { arr: *arr, idx: spec_expr(idx, b), value: spec_expr(value, b) }
-        }
-        Stmt::For { var, start, end, step, body } => Stmt::For {
+        Stmt::SmemStore { arr, idx, value } => Stmt::SmemStore {
+            arr: *arr,
+            idx: spec_expr(idx, b),
+            value: spec_expr(value, b),
+        },
+        Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => Stmt::For {
             var: *var,
             start: spec_expr(start, b),
             end: spec_expr(end, b),
@@ -188,17 +301,23 @@ fn spec_stmt(s: &Stmt, b: &Bindings) -> Stmt {
             els: els.iter().map(|s| spec_stmt(s, b)).collect(),
         },
         Stmt::Sync => Stmt::Sync,
-        Stmt::DeviceMalloc { bytes } => Stmt::DeviceMalloc { bytes: spec_expr(bytes, b) },
+        Stmt::DeviceMalloc { bytes } => Stmt::DeviceMalloc {
+            bytes: spec_expr(bytes, b),
+        },
     }
 }
 
 fn spec_expr(e: &KExpr, b: &Bindings) -> KExpr {
     match e {
         KExpr::SizeVal(s) => KExpr::Imm(s.eval(b) as f64),
-        KExpr::Load { buf, idx } => KExpr::Load { buf: *buf, idx: Box::new(spec_expr(idx, b)) },
-        KExpr::SmemLoad { arr, idx } => {
-            KExpr::SmemLoad { arr: *arr, idx: Box::new(spec_expr(idx, b)) }
-        }
+        KExpr::Load { buf, idx } => KExpr::Load {
+            buf: *buf,
+            idx: Box::new(spec_expr(idx, b)),
+        },
+        KExpr::SmemLoad { arr, idx } => KExpr::SmemLoad {
+            arr: *arr,
+            idx: Box::new(spec_expr(idx, b)),
+        },
         KExpr::Bin(op, x, y) => {
             KExpr::Bin(*op, Box::new(spec_expr(x, b)), Box::new(spec_expr(y, b)))
         }
@@ -243,8 +362,12 @@ impl<'a> Exec<'a> {
         let dims = self.kernel.block;
         let threads = self.kernel.block_threads().max(1);
         let lockstep = self.kernel.has_sync();
-        let smem: Vec<Vec<f64>> =
-            self.kernel.smem.iter().map(|d| vec![0.0; d.len as usize]).collect();
+        let smem: Vec<Vec<f64>> = self
+            .kernel
+            .smem
+            .iter()
+            .map(|d| vec![0.0; d.len as usize])
+            .collect();
 
         for bz in 0..g[2] {
             for by in 0..g[1] {
@@ -285,7 +408,13 @@ impl<'a> Exec<'a> {
             }
             match s {
                 Stmt::Sync => self.cost.syncs += warps as u64,
-                Stmt::For { var, start, end, step, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
                     // Bounds must be block-uniform: evaluate on warp 0 lane 0.
                     let s0 = self.eval_scalar(start, blk, 0, 0)?;
                     let step0 = self.eval_scalar(step, blk, 0, 0)?;
@@ -353,15 +482,20 @@ impl<'a> Exec<'a> {
                     self.eval(idx, blk, warp, mask, &mut ix)?;
                     self.global_access(*buf, &ix, mask, Some(&v), None)?;
                 }
-                Stmt::AtomicRmw { buf, idx, op, value, capture } => {
+                Stmt::AtomicRmw {
+                    buf,
+                    idx,
+                    op,
+                    value,
+                    capture,
+                } => {
                     let mut v = [0.0; W];
                     self.eval(value, blk, warp, mask, &mut v)?;
                     let mut ix = [0.0; W];
                     self.eval(idx, blk, warp, mask, &mut ix)?;
                     let old = self.atomic(*buf, &ix, mask, &v, *op)?;
                     if let Some(c) = capture {
-                        let base =
-                            *c as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
+                        let base = *c as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
                         for l in lanes(mask) {
                             blk.locals[base + l] = old[l];
                         }
@@ -379,7 +513,13 @@ impl<'a> Exec<'a> {
                         blk.smem[a][i] = v[l];
                     }
                 }
-                Stmt::For { var, start, end, step, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
                     let mut sv = [0.0; W];
                     self.eval(start, blk, warp, mask, &mut sv)?;
                     let base = *var as usize * blk.threads as usize + (warp * WARP_SIZE) as usize;
@@ -527,8 +667,7 @@ impl<'a> Exec<'a> {
             KExpr::Load { buf, idx } => {
                 let mut ix = [0.0; W];
                 self.eval(idx, blk, warp, mask, &mut ix)?;
-                let vals = self.global_access(*buf, &ix, mask, None, Some(out))?;
-                let _ = vals;
+                self.global_access(*buf, &ix, mask, None, Some(out))?;
             }
             KExpr::SmemLoad { arr, idx } => {
                 let mut ix = [0.0; W];
@@ -702,7 +841,9 @@ fn to_index(v: f64, len: usize, what: &str) -> Result<usize, SimError> {
     }
     let i = v as i64;
     if i < 0 || i as usize >= len {
-        return Err(SimError(format!("{what}: index {i} out of bounds (len {len})")));
+        return Err(SimError(format!(
+            "{what}: index {i} out of bounds (len {len})"
+        )));
     }
     Ok(i as usize)
 }
@@ -711,7 +852,9 @@ fn stmt_has_sync(s: &Stmt) -> bool {
     match s {
         Stmt::Sync => true,
         Stmt::For { body, .. } => body.iter().any(stmt_has_sync),
-        Stmt::If { then, els, .. } => then.iter().any(stmt_has_sync) || els.iter().any(stmt_has_sync),
+        Stmt::If { then, els, .. } => {
+            then.iter().any(stmt_has_sync) || els.iter().any(stmt_has_sync)
+        }
         _ => false,
     }
 }
@@ -766,7 +909,10 @@ mod tests {
                         buf: BufId(1),
                         idx: KExpr::Local(0),
                         value: KExpr::mul(
-                            KExpr::Load { buf: BufId(0), idx: Box::new(KExpr::Local(0)) },
+                            KExpr::Load {
+                                buf: BufId(0),
+                                idx: Box::new(KExpr::Local(0)),
+                            },
                             KExpr::Imm(2.0),
                         ),
                     }],
@@ -779,8 +925,9 @@ mod tests {
     #[test]
     fn elementwise_double() {
         let kp = one_buffer_prog(100, double_kernel(100));
-        let inputs: HashMap<_, _> =
-            [(ArrayId(0), (0..100).map(|x| x as f64).collect::<Vec<_>>())].into_iter().collect();
+        let inputs: HashMap<_, _> = [(ArrayId(0), (0..100).map(|x| x as f64).collect::<Vec<_>>())]
+            .into_iter()
+            .collect();
         let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
         let out = r.array(ArrayId(1));
         assert_eq!(out[7], 14.0);
@@ -791,8 +938,7 @@ mod tests {
     #[test]
     fn coalesced_traffic_counted() {
         let kp = one_buffer_prog(1024, double_kernel(1024));
-        let inputs: HashMap<_, _> =
-            [(ArrayId(0), vec![1.0; 1024])].into_iter().collect();
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![1.0; 1024])].into_iter().collect();
         let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
         let c = &r.costs[0];
         // 32 warps, each 1 load + 1 store request, each 1 transaction
@@ -820,7 +966,10 @@ mod tests {
             Stmt::SmemStore {
                 arr: 0,
                 idx: KExpr::Tid(Axis::X),
-                value: KExpr::Load { buf: BufId(0), idx: Box::new(KExpr::Local(0)) },
+                value: KExpr::Load {
+                    buf: BufId(0),
+                    idx: Box::new(KExpr::Local(0)),
+                },
             },
             Stmt::Sync,
         ];
@@ -832,7 +981,10 @@ mod tests {
                     arr: 0,
                     idx: KExpr::Tid(Axis::X),
                     value: KExpr::add(
-                        KExpr::SmemLoad { arr: 0, idx: Box::new(KExpr::Tid(Axis::X)) },
+                        KExpr::SmemLoad {
+                            arr: 0,
+                            idx: Box::new(KExpr::Tid(Axis::X)),
+                        },
                         KExpr::SmemLoad {
                             arr: 0,
                             idx: Box::new(KExpr::add(KExpr::Tid(Axis::X), KExpr::imm(s))),
@@ -849,7 +1001,10 @@ mod tests {
             then: vec![Stmt::Store {
                 buf: BufId(1),
                 idx: KExpr::imm(0),
-                value: KExpr::SmemLoad { arr: 0, idx: Box::new(KExpr::imm(0)) },
+                value: KExpr::SmemLoad {
+                    arr: 0,
+                    idx: Box::new(KExpr::imm(0)),
+                },
             }],
             els: vec![],
         });
@@ -857,13 +1012,17 @@ mod tests {
             name: "reduce".into(),
             grid: [Size::from(1), Size::from(1), Size::from(1)],
             block: [64, 1, 1],
-            smem: vec![SmemDecl { name: "s".into(), len: 64 }],
+            smem: vec![SmemDecl {
+                name: "s".into(),
+                len: 64,
+            }],
             locals: 1,
             body,
         };
         let kp = one_buffer_prog(n, k);
-        let inputs: HashMap<_, _> =
-            [(ArrayId(0), (0..n).map(|x| x as f64).collect::<Vec<_>>())].into_iter().collect();
+        let inputs: HashMap<_, _> = [(ArrayId(0), (0..n).map(|x| x as f64).collect::<Vec<_>>())]
+            .into_iter()
+            .collect();
         let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
         assert_eq!(r.array(ArrayId(1))[0], (0..64).sum::<i64>() as f64);
         assert!(r.costs[0].syncs > 0);
@@ -895,16 +1054,32 @@ mod tests {
                 locals: 1,
                 body: vec![Stmt::If {
                     cond,
-                    then: vec![Stmt::Assign { dst: 0, value: KExpr::add(KExpr::Imm(1.0), KExpr::Imm(2.0)) }],
-                    els: vec![Stmt::Assign { dst: 0, value: KExpr::mul(KExpr::Imm(2.0), KExpr::Imm(3.0)) }],
+                    then: vec![Stmt::Assign {
+                        dst: 0,
+                        value: KExpr::add(KExpr::Imm(1.0), KExpr::Imm(2.0)),
+                    }],
+                    els: vec![Stmt::Assign {
+                        dst: 0,
+                        value: KExpr::mul(KExpr::Imm(2.0), KExpr::Imm(3.0)),
+                    }],
                 }],
             }
         };
         let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0; 4])].into_iter().collect();
-        let r_uniform =
-            run_program(&one_buffer_prog(4, mk(false)), &gpu(), &Bindings::new(), &inputs).unwrap();
-        let r_div =
-            run_program(&one_buffer_prog(4, mk(true)), &gpu(), &Bindings::new(), &inputs).unwrap();
+        let r_uniform = run_program(
+            &one_buffer_prog(4, mk(false)),
+            &gpu(),
+            &Bindings::new(),
+            &inputs,
+        )
+        .unwrap();
+        let r_div = run_program(
+            &one_buffer_prog(4, mk(true)),
+            &gpu(),
+            &Bindings::new(),
+            &inputs,
+        )
+        .unwrap();
         assert!(r_div.costs[0].warp_instr > r_uniform.costs[0].warp_instr);
     }
 
@@ -918,7 +1093,10 @@ mod tests {
             smem: vec![],
             locals: 2,
             body: vec![
-                Stmt::Assign { dst: 1, value: KExpr::Tid(Axis::X) },
+                Stmt::Assign {
+                    dst: 1,
+                    value: KExpr::Tid(Axis::X),
+                },
                 Stmt::For {
                     var: 0,
                     start: KExpr::imm(0),
@@ -933,7 +1111,11 @@ mod tests {
                         }],
                     }],
                 },
-                Stmt::Store { buf: BufId(1), idx: KExpr::Tid(Axis::X), value: KExpr::Local(1) },
+                Stmt::Store {
+                    buf: BufId(1),
+                    idx: KExpr::Tid(Axis::X),
+                    value: KExpr::Local(1),
+                },
             ],
         };
         let kp = one_buffer_prog(4, k);
@@ -970,8 +1152,9 @@ mod tests {
     #[test]
     fn partial_warp_masks() {
         let kp = one_buffer_prog(5, double_kernel(5));
-        let inputs: HashMap<_, _> =
-            [(ArrayId(0), vec![1.0, 2.0, 3.0, 4.0, 5.0])].into_iter().collect();
+        let inputs: HashMap<_, _> = [(ArrayId(0), vec![1.0, 2.0, 3.0, 4.0, 5.0])]
+            .into_iter()
+            .collect();
         let r = run_program(&kp, &gpu(), &Bindings::new(), &inputs).unwrap();
         assert_eq!(r.array(ArrayId(1)), &[2.0, 4.0, 6.0, 8.0, 10.0]);
     }
@@ -993,7 +1176,11 @@ mod more_tests {
                 name: format!("b{i}"),
                 elem_bytes: bytes,
                 len: Size::from(len),
-                init: if i == 0 { BufferInit::FromArray(ArrayId(0)) } else { BufferInit::Zero },
+                init: if i == 0 {
+                    BufferInit::FromArray(ArrayId(0))
+                } else {
+                    BufferInit::Zero
+                },
                 array: Some(ArrayId(i as u32)),
             })
             .collect()
@@ -1008,8 +1195,14 @@ mod more_tests {
         let x = 0u32;
         let y = 1u32;
         let body = vec![
-            Stmt::Assign { dst: x, value: KExpr::global_tid(Axis::X) },
-            Stmt::Assign { dst: y, value: KExpr::global_tid(Axis::Y) },
+            Stmt::Assign {
+                dst: x,
+                value: KExpr::global_tid(Axis::X),
+            },
+            Stmt::Assign {
+                dst: y,
+                value: KExpr::global_tid(Axis::Y),
+            },
             Stmt::If {
                 cond: KExpr::and(
                     KExpr::lt(KExpr::Local(x), KExpr::imm(w)),
@@ -1017,10 +1210,7 @@ mod more_tests {
                 ),
                 then: vec![Stmt::Store {
                     buf: BufId(1),
-                    idx: KExpr::add(
-                        KExpr::mul(KExpr::Local(y), KExpr::imm(w)),
-                        KExpr::Local(x),
-                    ),
+                    idx: KExpr::add(KExpr::mul(KExpr::Local(y), KExpr::imm(w)), KExpr::Local(x)),
                     value: KExpr::add(
                         KExpr::mul(KExpr::Local(y), KExpr::Imm(100.0)),
                         KExpr::Local(x),
@@ -1056,13 +1246,11 @@ mod more_tests {
     /// shared memory by the bank count.
     #[test]
     fn smem_conflicts_counted() {
-        let body = vec![
-            Stmt::SmemStore {
-                arr: 0,
-                idx: KExpr::mul(KExpr::Tid(Axis::X), KExpr::imm(32)),
-                value: KExpr::Imm(1.0),
-            },
-        ];
+        let body = vec![Stmt::SmemStore {
+            arr: 0,
+            idx: KExpr::mul(KExpr::Tid(Axis::X), KExpr::imm(32)),
+            value: KExpr::Imm(1.0),
+        }];
         let kp = KernelProgram {
             name: "conflict".into(),
             buffers: buffers(&[(4, 1)]),
@@ -1070,7 +1258,10 @@ mod more_tests {
                 name: "conflict".into(),
                 grid: [Size::from(1), Size::from(1), Size::from(1)],
                 block: [32, 1, 1],
-                smem: vec![SmemDecl { name: "s".into(), len: 32 * 32 }],
+                smem: vec![SmemDecl {
+                    name: "s".into(),
+                    len: 32 * 32,
+                }],
                 locals: 0,
                 body,
             }],
@@ -1093,7 +1284,11 @@ mod more_tests {
                 value: KExpr::Imm(1.0),
                 capture: Some(0),
             },
-            Stmt::Store { buf: BufId(1), idx: KExpr::Local(0), value: KExpr::Imm(7.0) },
+            Stmt::Store {
+                buf: BufId(1),
+                idx: KExpr::Local(0),
+                value: KExpr::Imm(7.0),
+            },
         ];
         let kp = KernelProgram {
             name: "cap".into(),
@@ -1120,7 +1315,10 @@ mod more_tests {
     fn symbolic_grid_sizes_resolve() {
         let n = multidim_ir::SymId(0);
         let body = vec![
-            Stmt::Assign { dst: 0, value: KExpr::global_tid(Axis::X) },
+            Stmt::Assign {
+                dst: 0,
+                value: KExpr::global_tid(Axis::X),
+            },
             Stmt::If {
                 cond: KExpr::lt(KExpr::Local(0), KExpr::SizeVal(Size::sym(n))),
                 then: vec![Stmt::Store {

@@ -46,12 +46,14 @@ mod cost;
 mod cpu;
 mod exec;
 mod memory;
+pub mod metrics;
 mod report;
 
 pub use cost::{kernel_time, occupancy, KernelCost, KernelTime, LaunchShape};
 pub use cpu::{estimate_cpu, random_access_fraction, run_cpu, CpuEstimate};
 pub use exec::{run_program, DeviceBuffer, SimError, SimResult};
 pub use memory::{bank_conflicts, coalesce};
+pub use metrics::{KernelMetrics, RunMetrics};
 pub use report::{kernel_report, BoundBy, Efficiency};
 
 /// Host→device transfer time for `bytes` over the default PCIe link.

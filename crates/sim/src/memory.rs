@@ -76,7 +76,12 @@ pub fn bank_conflicts(banks: u32, word_addrs: &[u64]) -> u64 {
             per_bank[b as usize] += 1;
         }
     }
-    per_bank.iter().copied().max().unwrap_or(1).saturating_sub(1)
+    per_bank
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .saturating_sub(1)
 }
 
 #[cfg(test)]

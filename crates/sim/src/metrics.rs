@@ -1,0 +1,353 @@
+//! Machine-readable run summary: per-kernel counters, timing breakdown, and
+//! efficiency metrics, serializable to/from JSON via [`multidim_trace::json`].
+//!
+//! [`RunMetrics`] is the export format behind `metrics.json` in the profiling
+//! example and the `--report` flag of the figure benches. It is derived from a
+//! live [`SimResult`] so the numbers always match what the simulator charged.
+
+use crate::cost::{KernelCost, KernelTime, LaunchShape};
+use crate::exec::SimResult;
+use crate::report::{BoundBy, Efficiency};
+use multidim_device::GpuSpec;
+use multidim_trace::json::Json;
+
+/// Everything the simulator knows about one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMetrics {
+    /// Kernel name from the lowered [`multidim_codegen::KernelProgram`].
+    pub name: String,
+    /// Simulated start time (seconds since the first launch).
+    pub start_seconds: f64,
+    /// Launch configuration.
+    pub shape: LaunchShape,
+    /// Accumulated cost counters.
+    pub cost: KernelCost,
+    /// Roofline timing breakdown.
+    pub time: KernelTime,
+    /// Derived efficiency metrics.
+    pub efficiency: Efficiency,
+    /// [`BoundBy`] classification label (e.g. `"bandwidth-bound"`).
+    pub bound_by: String,
+}
+
+/// Full-run summary: one [`KernelMetrics`] per launched kernel plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Program name the metrics describe.
+    pub program: String,
+    /// Simulated end-to-end time in seconds.
+    pub total_seconds: f64,
+    /// Per-kernel records in launch order.
+    pub kernels: Vec<KernelMetrics>,
+}
+
+impl RunMetrics {
+    /// Derive metrics from a finished simulation.
+    pub fn of(program: &str, gpu: &GpuSpec, result: &SimResult) -> RunMetrics {
+        RunMetrics::from_parts(
+            program,
+            gpu,
+            &result.names,
+            &result.shapes,
+            &result.costs,
+            &result.times,
+            result.total_seconds,
+        )
+    }
+
+    /// Derive metrics from the per-kernel pieces a [`SimResult`] carries
+    /// (all slices in launch order, equal length).
+    pub fn from_parts(
+        program: &str,
+        gpu: &GpuSpec,
+        names: &[String],
+        shapes: &[LaunchShape],
+        costs: &[KernelCost],
+        times: &[KernelTime],
+        total_seconds: f64,
+    ) -> RunMetrics {
+        let mut kernels = Vec::with_capacity(costs.len());
+        let mut start = 0.0f64;
+        for i in 0..costs.len() {
+            let (shape, cost, time) = (shapes[i], costs[i], times[i]);
+            kernels.push(KernelMetrics {
+                name: names[i].clone(),
+                start_seconds: start,
+                shape,
+                cost,
+                time,
+                efficiency: Efficiency::of(gpu, &shape, &cost),
+                bound_by: BoundBy::classify(&time).label().to_string(),
+            });
+            start += time.total;
+        }
+        RunMetrics {
+            program: program.to_string(),
+            total_seconds,
+            kernels,
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("program".to_string(), Json::Str(self.program.clone())),
+            ("total_seconds".to_string(), Json::Num(self.total_seconds)),
+            (
+                "kernels".to_string(),
+                Json::Arr(self.kernels.iter().map(kernel_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Deserialize from a JSON value produced by [`RunMetrics::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<RunMetrics, String> {
+        let kernels = j
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("metrics: missing `kernels` array")?
+            .iter()
+            .map(kernel_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunMetrics {
+            program: req_str(j, "program")?,
+            total_seconds: req_f64(j, "total_seconds")?,
+            kernels,
+        })
+    }
+
+    /// Parse from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a schema mismatch.
+    pub fn parse(text: &str) -> Result<RunMetrics, String> {
+        RunMetrics::from_json(&Json::parse(text)?)
+    }
+}
+
+fn kernel_json(k: &KernelMetrics) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(k.name.clone())),
+        ("start_seconds".to_string(), Json::Num(k.start_seconds)),
+        ("bound_by".to_string(), Json::Str(k.bound_by.clone())),
+        (
+            "shape".to_string(),
+            Json::Obj(vec![
+                ("blocks".to_string(), Json::Num(k.shape.blocks as f64)),
+                (
+                    "block_threads".to_string(),
+                    Json::Num(f64::from(k.shape.block_threads)),
+                ),
+                (
+                    "smem_bytes".to_string(),
+                    Json::Num(f64::from(k.shape.smem_bytes)),
+                ),
+            ]),
+        ),
+        (
+            "cost".to_string(),
+            Json::Obj(
+                cost_fields(&k.cost)
+                    .into_iter()
+                    .map(|(name, v)| (name.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "time".to_string(),
+            Json::Obj(vec![
+                ("issue".to_string(), Json::Num(k.time.issue)),
+                ("bandwidth".to_string(), Json::Num(k.time.bandwidth)),
+                ("latency".to_string(), Json::Num(k.time.latency)),
+                ("malloc".to_string(), Json::Num(k.time.malloc)),
+                ("overhead".to_string(), Json::Num(k.time.overhead)),
+                ("total".to_string(), Json::Num(k.time.total)),
+            ]),
+        ),
+        (
+            "efficiency".to_string(),
+            Json::Obj(vec![
+                (
+                    "transactions_per_request".to_string(),
+                    Json::Num(k.efficiency.transactions_per_request),
+                ),
+                (
+                    "conflicts_per_access".to_string(),
+                    Json::Num(k.efficiency.conflicts_per_access),
+                ),
+                (
+                    "resident_warps".to_string(),
+                    Json::Num(f64::from(k.efficiency.resident_warps)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn kernel_from_json(j: &Json) -> Result<KernelMetrics, String> {
+    let shape = j.get("shape").ok_or("metrics: missing `shape`")?;
+    let cost = j.get("cost").ok_or("metrics: missing `cost`")?;
+    let time = j.get("time").ok_or("metrics: missing `time`")?;
+    let eff = j.get("efficiency").ok_or("metrics: missing `efficiency`")?;
+    Ok(KernelMetrics {
+        name: req_str(j, "name")?,
+        start_seconds: req_f64(j, "start_seconds")?,
+        bound_by: req_str(j, "bound_by")?,
+        shape: LaunchShape {
+            blocks: req_u64(shape, "blocks")?,
+            block_threads: req_u64(shape, "block_threads")? as u32,
+            smem_bytes: req_u64(shape, "smem_bytes")? as u32,
+        },
+        cost: KernelCost {
+            warp_instr: req_u64(cost, "warp_instr")?,
+            mem_requests: req_u64(cost, "mem_requests")?,
+            transactions: req_u64(cost, "transactions")?,
+            dram_bytes: req_u64(cost, "dram_bytes")?,
+            smem_accesses: req_u64(cost, "smem_accesses")?,
+            smem_conflicts: req_u64(cost, "smem_conflicts")?,
+            syncs: req_u64(cost, "syncs")?,
+            mallocs: req_u64(cost, "mallocs")?,
+            atomic_serial: req_u64(cost, "atomic_serial")?,
+        },
+        time: KernelTime {
+            issue: req_f64(time, "issue")?,
+            bandwidth: req_f64(time, "bandwidth")?,
+            latency: req_f64(time, "latency")?,
+            malloc: req_f64(time, "malloc")?,
+            overhead: req_f64(time, "overhead")?,
+            total: req_f64(time, "total")?,
+        },
+        efficiency: Efficiency {
+            transactions_per_request: req_f64(eff, "transactions_per_request")?,
+            conflicts_per_access: req_f64(eff, "conflicts_per_access")?,
+            resident_warps: req_u64(eff, "resident_warps")? as u32,
+        },
+    })
+}
+
+/// The nine [`KernelCost`] counters as (name, value) pairs — the single
+/// source of truth shared by serialization and reporting.
+pub fn cost_fields(c: &KernelCost) -> [(&'static str, u64); 9] {
+    [
+        ("warp_instr", c.warp_instr),
+        ("mem_requests", c.mem_requests),
+        ("transactions", c.transactions),
+        ("dram_bytes", c.dram_bytes),
+        ("smem_accesses", c.smem_accesses),
+        ("smem_conflicts", c.smem_conflicts),
+        ("syncs", c.syncs),
+        ("mallocs", c.mallocs),
+        ("atomic_serial", c.atomic_serial),
+    ]
+}
+
+fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("metrics: missing number `{key}`"))
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("metrics: missing integer `{key}`"))
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("metrics: missing string `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            program: "dot".to_string(),
+            total_seconds: 3.5e-6,
+            kernels: vec![KernelMetrics {
+                name: "dot_k0".to_string(),
+                start_seconds: 0.0,
+                shape: LaunchShape {
+                    blocks: 40,
+                    block_threads: 256,
+                    smem_bytes: 1024,
+                },
+                cost: KernelCost {
+                    warp_instr: 1000,
+                    mem_requests: 320,
+                    transactions: 640,
+                    dram_bytes: 81920,
+                    smem_accesses: 64,
+                    smem_conflicts: 0,
+                    syncs: 8,
+                    mallocs: 0,
+                    atomic_serial: 0,
+                },
+                time: KernelTime {
+                    issue: 1e-6,
+                    bandwidth: 3e-6,
+                    latency: 2e-6,
+                    malloc: 0.0,
+                    overhead: 5e-7,
+                    total: 3.5e-6,
+                },
+                efficiency: Efficiency {
+                    transactions_per_request: 2.0,
+                    conflicts_per_access: 0.0,
+                    resident_warps: 32,
+                },
+                bound_by: "bandwidth-bound".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = sample();
+        let back = RunMetrics::parse(&m.render()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_field_is_named_in_error() {
+        let mut j = sample().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "total_seconds");
+        }
+        let err = RunMetrics::from_json(&j).unwrap_err();
+        assert!(err.contains("total_seconds"), "error was: {err}");
+    }
+
+    #[test]
+    fn cost_fields_cover_every_counter() {
+        // Sum of the listed fields must equal the sum of a fully-populated
+        // struct — a new counter that is not listed here breaks this.
+        let c = KernelCost {
+            warp_instr: 1,
+            mem_requests: 2,
+            transactions: 4,
+            dram_bytes: 8,
+            smem_accesses: 16,
+            smem_conflicts: 32,
+            syncs: 64,
+            mallocs: 128,
+            atomic_serial: 256,
+        };
+        let sum: u64 = cost_fields(&c).iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 511);
+    }
+}

@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn classifies_bandwidth() {
-        let shape = LaunchShape { blocks: 4096, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 4096,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let cost = KernelCost {
             mem_requests: 1_000_000,
             transactions: 1_000_000,
@@ -173,7 +177,11 @@ mod tests {
 
     #[test]
     fn classifies_latency_when_starved() {
-        let shape = LaunchShape { blocks: 2, block_threads: 64, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 2,
+            block_threads: 64,
+            smem_bytes: 0,
+        };
         let cost = KernelCost {
             mem_requests: 500_000,
             transactions: 500_000,
@@ -186,15 +194,26 @@ mod tests {
 
     #[test]
     fn classifies_overhead_for_tiny_kernels() {
-        let shape = LaunchShape { blocks: 1, block_threads: 32, smem_bytes: 0 };
-        let cost = KernelCost { warp_instr: 10, ..Default::default() };
+        let shape = LaunchShape {
+            blocks: 1,
+            block_threads: 32,
+            smem_bytes: 0,
+        };
+        let cost = KernelCost {
+            warp_instr: 10,
+            ..Default::default()
+        };
         let t = kernel_time(&gpu(), &shape, &cost);
         assert_eq!(BoundBy::classify(&t), BoundBy::Overhead);
     }
 
     #[test]
     fn classifies_issue_for_compute_heavy() {
-        let shape = LaunchShape { blocks: 4096, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 4096,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let cost = KernelCost {
             warp_instr: 500_000_000,
             mem_requests: 1000,
@@ -207,8 +226,71 @@ mod tests {
     }
 
     #[test]
+    fn overhead_tie_goes_to_the_work_pipes() {
+        // overhead + malloc exactly EQUAL to the dominant pipe is not
+        // "overhead-bound" — classification requires strict dominance.
+        let t = KernelTime {
+            issue: 1e-6,
+            bandwidth: 4e-6,
+            latency: 2e-6,
+            malloc: 1e-6,
+            overhead: 3e-6,
+            total: 5e-6,
+        };
+        assert_eq!(BoundBy::classify(&t), BoundBy::Bandwidth);
+        // One epsilon more and the fixed costs dominate.
+        let t = KernelTime {
+            overhead: 3.0000001e-6,
+            ..t
+        };
+        assert_eq!(BoundBy::classify(&t), BoundBy::Overhead);
+    }
+
+    #[test]
+    fn pipe_ties_prefer_bandwidth_then_latency() {
+        // Equal pipes resolve Bandwidth >= Latency >= Issue.
+        let t = KernelTime {
+            issue: 2e-6,
+            bandwidth: 2e-6,
+            latency: 2e-6,
+            malloc: 0.0,
+            overhead: 0.0,
+            total: 2e-6,
+        };
+        assert_eq!(BoundBy::classify(&t), BoundBy::Bandwidth);
+        let t = KernelTime {
+            bandwidth: 1e-6,
+            ..t
+        };
+        assert_eq!(BoundBy::classify(&t), BoundBy::Latency);
+    }
+
+    #[test]
+    fn efficiency_zero_requests_and_accesses() {
+        // A kernel that never touches DRAM or shared memory must not
+        // divide by zero.
+        let shape = LaunchShape {
+            blocks: 4,
+            block_threads: 64,
+            smem_bytes: 0,
+        };
+        let cost = KernelCost {
+            warp_instr: 100,
+            ..Default::default()
+        };
+        let e = Efficiency::of(&gpu(), &shape, &cost);
+        assert_eq!(e.transactions_per_request, 0.0);
+        assert_eq!(e.conflicts_per_access, 0.0);
+        assert!(e.resident_warps > 0);
+    }
+
+    #[test]
     fn efficiency_ratios() {
-        let shape = LaunchShape { blocks: 64, block_threads: 256, smem_bytes: 0 };
+        let shape = LaunchShape {
+            blocks: 64,
+            block_threads: 256,
+            smem_bytes: 0,
+        };
         let cost = KernelCost {
             mem_requests: 100,
             transactions: 3200,
@@ -223,7 +305,11 @@ mod tests {
 
     #[test]
     fn report_mentions_everything() {
-        let shape = LaunchShape { blocks: 8, block_threads: 128, smem_bytes: 1024 };
+        let shape = LaunchShape {
+            blocks: 8,
+            block_threads: 128,
+            smem_bytes: 1024,
+        };
         let cost = KernelCost {
             mem_requests: 10,
             transactions: 20,

@@ -22,26 +22,33 @@ pub fn assign_program() -> (Program, SymId, SymId, SymId, ArrayId, ArrayId) {
     let k_ = b.sym("K");
     let d_ = b.sym("D");
     let x = b.input("points", ScalarKind::F32, &[Size::sym(p_), Size::sym(d_)]);
-    let c = b.input("centroids", ScalarKind::F32, &[Size::sym(k_), Size::sym(d_)]);
+    let c = b.input(
+        "centroids",
+        ScalarKind::F32,
+        &[Size::sym(k_), Size::sym(d_)],
+    );
     let root = b.map(Size::sym(p_), |b, p| {
         // Encode (distance, cluster) as floor(dist·1e4)·1e3 + k: an exact
         // integer, so min carries the argmin and k decodes exactly.
         let enc = b.map(Size::sym(k_), |b, k| {
             let dist = b.reduce(Size::sym(d_), ReduceOp::Add, |b, d| {
-                let diff =
-                    b.read(x, &[p.into(), d.into()]) - b.read(c, &[k.into(), d.into()]);
+                let diff = b.read(x, &[p.into(), d.into()]) - b.read(c, &[k.into(), d.into()]);
                 diff.clone() * diff
             });
             (dist * Expr::lit(1e4)).floor() * Expr::lit(1e3) + Expr::var(k)
         });
         let min_enc = b.let_(enc, |b, t| {
-            b.reduce(Size::sym(k_), ReduceOp::Min, |b, k| b.read_var(t, &[k.into()]))
+            b.reduce(Size::sym(k_), ReduceOp::Min, |b, k| {
+                b.read_var(t, &[k.into()])
+            })
         });
         // Decode: k = enc mod 1000. Bind the reduce result once —
         // duplicating the expression would duplicate the nested patterns.
         b.let_(min_enc, |_, best| Expr::var(best).rem(Expr::lit(1e3)))
     });
-    let p = b.finish_map(root, "assignment", ScalarKind::I32).expect("valid kmeans assign");
+    let p = b
+        .finish_map(root, "assignment", ScalarKind::I32)
+        .expect("valid kmeans assign");
     (p, p_, k_, d_, x, c)
 }
 
@@ -61,7 +68,9 @@ pub fn accumulate_program() -> (Program, SymId, SymId, SymId, ArrayId, ArrayId) 
             b.read(x, &[p.into(), Expr::size(Size::sym(dsel))]),
         )
     });
-    let p = b.finish_group_by(root, "sums", ScalarKind::F32).expect("valid kmeans accumulate");
+    let p = b
+        .finish_group_by(root, "sums", ScalarKind::F32)
+        .expect("valid kmeans accumulate");
     (p, p_, k_, dsel, x, assign)
 }
 
@@ -74,7 +83,9 @@ pub fn count_program() -> (Program, SymId, SymId, ArrayId) {
     let root = b.group_by(Size::sym(p_), Size::sym(k_), ReduceOp::Add, |b, p| {
         (b.read(assign, &[p.into()]), Expr::lit(1.0))
     });
-    let p = b.finish_group_by(root, "counts", ScalarKind::F32).expect("valid kmeans count");
+    let p = b
+        .finish_group_by(root, "counts", ScalarKind::F32)
+        .expect("valid kmeans count");
     (p, p_, k_, assign)
 }
 
@@ -105,8 +116,9 @@ pub fn run(
         b1.bind(ap_p, points as i64);
         b1.bind(ap_k, clusters as i64);
         b1.bind(ap_d, dims as i64);
-        let i1: HashMap<_, _> =
-            [(ax, xs.clone()), (ac, centroids.clone())].into_iter().collect();
+        let i1: HashMap<_, _> = [(ax, xs.clone()), (ac, centroids.clone())]
+            .into_iter()
+            .collect();
         let o1 = run.launch(&ap, &b1, &i1)?;
         last_assign = o1[&ap.output.unwrap()].clone();
 
@@ -125,8 +137,9 @@ pub fn run(
             b2.bind(sp_k, clusters as i64);
             b2.bind(sp_dsel, d as i64);
             b2.bind(sx_dim_sym(&sp), dims as i64);
-            let i2: HashMap<_, _> =
-                [(sx, xs.clone()), (sassign, last_assign.clone())].into_iter().collect();
+            let i2: HashMap<_, _> = [(sx, xs.clone()), (sassign, last_assign.clone())]
+                .into_iter()
+                .collect();
             let o2 = run.launch(&sp, &b2, &i2)?;
             let sums = &o2[&sp.output.unwrap()];
             for k in 0..clusters {
@@ -153,7 +166,11 @@ mod tests {
         let (o, _) = run(Strategy::MultiDim, 200, 5, 4, 2).unwrap();
         let (ap, ..) = assign_program();
         let a = &o.outputs[&ap.output.unwrap()];
-        assert!(a.iter().all(|&k| k >= 0.0 && k < 5.0 && k.fract() == 0.0), "{a:?}");
+        assert!(
+            a.iter()
+                .all(|&k| (0.0..5.0).contains(&k) && k.fract() == 0.0),
+            "{a:?}"
+        );
     }
 
     #[test]

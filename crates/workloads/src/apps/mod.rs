@@ -2,6 +2,6 @@
 
 pub mod kmeans;
 pub mod msm;
-pub mod spmv;
 pub mod naive_bayes;
 pub mod qpscd;
+pub mod spmv;

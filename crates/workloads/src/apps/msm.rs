@@ -29,7 +29,9 @@ pub fn distance_program() -> (Program, SymId, SymId, SymId, ArrayId, ArrayId) {
             })
         })
     });
-    let prog = b.finish_map(root, "dist", ScalarKind::F32).expect("valid msm program");
+    let prog = b
+        .finish_map(root, "dist", ScalarKind::F32)
+        .expect("valid msm program");
     (prog, p_, k_, d_, x, c)
 }
 
@@ -40,9 +42,13 @@ pub fn assign_program() -> (Program, SymId, SymId, ArrayId) {
     let k_ = b.sym("K");
     let dist = b.input("dist", ScalarKind::F32, &[Size::sym(p_), Size::sym(k_)]);
     let root = b.map(Size::sym(p_), |b, p| {
-        b.reduce(Size::sym(k_), ReduceOp::Min, |b, k| b.read(dist, &[p.into(), k.into()]))
+        b.reduce(Size::sym(k_), ReduceOp::Min, |b, k| {
+            b.read(dist, &[p.into(), k.into()])
+        })
     });
-    let prog = b.finish_map(root, "best", ScalarKind::F32).expect("valid assign program");
+    let prog = b
+        .finish_map(root, "best", ScalarKind::F32)
+        .expect("valid assign program");
     (prog, p_, k_, dist)
 }
 

@@ -21,9 +21,13 @@ pub fn words_per_doc_program() -> (Program, SymId, SymId, ArrayId) {
     let w = b.sym("W");
     let m = b.input("m", ScalarKind::F32, &[Size::sym(d), Size::sym(w)]);
     let root = b.map(Size::sym(d), |b, doc| {
-        b.reduce(Size::sym(w), ReduceOp::Add, |b, word| b.read(m, &[doc.into(), word.into()]))
+        b.reduce(Size::sym(w), ReduceOp::Add, |b, word| {
+            b.read(m, &[doc.into(), word.into()])
+        })
     });
-    let p = b.finish_map(root, "words_per_doc", ScalarKind::F32).expect("valid nb program");
+    let p = b
+        .finish_map(root, "words_per_doc", ScalarKind::F32)
+        .expect("valid nb program");
     (p, d, w, m)
 }
 
@@ -40,7 +44,9 @@ pub fn docs_per_word_program() -> (Program, SymId, SymId, ArrayId, ArrayId) {
             b.read(m, &[doc.into(), word.into()]) * b.read(labels, &[doc.into()])
         })
     });
-    let p = b.finish_map(root, "spam_counts", ScalarKind::F32).expect("valid nb program");
+    let p = b
+        .finish_map(root, "spam_counts", ScalarKind::F32)
+        .expect("valid nb program");
     (p, d, w, m, labels)
 }
 
@@ -81,9 +87,13 @@ pub fn run(strategy: Strategy, docs: usize, words: usize) -> Result<NbOutcome, W
 
     let gpu_seconds = run.gpu_seconds();
     let transfer = multidim_sim::transfer_seconds((docs * words) as u64 * 4);
-    let checksum: f64 = o1[&p1.output.unwrap()].iter().sum::<f64>()
-        + o2[&p2.output.unwrap()].iter().sum::<f64>();
-    Ok(NbOutcome { gpu_seconds, gpu_seconds_with_transfer: gpu_seconds + transfer, checksum })
+    let checksum: f64 =
+        o1[&p1.output.unwrap()].iter().sum::<f64>() + o2[&p2.output.unwrap()].iter().sum::<f64>();
+    Ok(NbOutcome {
+        gpu_seconds,
+        gpu_seconds_with_transfer: gpu_seconds + transfer,
+        checksum,
+    })
 }
 
 /// CPU-baseline estimate for both kernels.
@@ -112,13 +122,18 @@ pub fn cpu_seconds(docs: usize, words: usize) -> f64 {
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn run_outcome(strategy: Strategy, docs: usize, words: usize) -> Result<Outcome, WorkloadError> {
+pub fn run_outcome(
+    strategy: Strategy,
+    docs: usize,
+    words: usize,
+) -> Result<Outcome, WorkloadError> {
     let nb = run(strategy, docs, words)?;
     Ok(Outcome {
         gpu_seconds: nb.gpu_seconds,
         launches: 2,
         checksum: nb.checksum,
         outputs: HashMap::new(),
+        metrics: Vec::new(),
     })
 }
 

@@ -30,10 +30,15 @@ pub fn epoch_program() -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, Arr
         let grad_row = b.reduce(Size::sym(n), ReduceOp::Add, |b, j| {
             b.read(q, &[i.clone(), j.into()]) * b.read(x, &[j.into()])
         });
-        let grad = grad_row + b.read(bvec, &[i.clone()]);
+        let grad = grad_row + b.read(bvec, std::slice::from_ref(&i));
         let step = grad / b.read(q, &[i.clone(), i.clone()]);
-        let newx = b.read(x, &[i.clone()]) - step;
-        vec![Effect::Write { cond: None, array: x, idx: vec![i], value: newx }]
+        let newx = b.read(x, std::slice::from_ref(&i)) - step;
+        vec![Effect::Write {
+            cond: None,
+            array: x,
+            idx: vec![i],
+            value: newx,
+        }]
     });
     let p = b.finish_foreach(root).expect("valid qpscd program");
     (p, n, s, q, bvec, perm, x)
@@ -140,7 +145,10 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let initial: f64 = bv.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(residual < 0.5 * initial, "residual {residual} vs initial {initial}");
+        assert!(
+            residual < 0.5 * initial,
+            "residual {residual} vs initial {initial}"
+        );
     }
 
     #[test]

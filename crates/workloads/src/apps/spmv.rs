@@ -29,10 +29,12 @@ pub fn program(mean_nnz_hint: i64) -> (Program, SymId, SymId, ArrayId, ArrayId, 
         let end = b.read(row_ptr, &[Expr::var(row) + Expr::lit(1.0)]);
         b.reduce_dyn(end - start.clone(), mean_nnz_hint, ReduceOp::Add, |b, j| {
             let nz = start.clone() + Expr::var(j);
-            b.read(vals, &[nz.clone()]) * b.read(x, &[b.read(col_idx, &[nz])])
+            b.read(vals, std::slice::from_ref(&nz)) * b.read(x, &[b.read(col_idx, &[nz])])
         })
     });
-    let p = b.finish_map(root, "y", ScalarKind::F32).expect("valid spmv");
+    let p = b
+        .finish_map(root, "y", ScalarKind::F32)
+        .expect("valid spmv");
     (p, n, e, row_ptr, col_idx, vals, x)
 }
 

@@ -6,18 +6,64 @@
 //! statistics (matrix dimensions, power-law graph degrees, sparse word
 //! counts), which is all the mapping analysis and the timing model observe.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A small deterministic generator (SplitMix64) so the workload inputs are
+/// reproducible without any external dependency — the statistics the mapping
+/// analysis and timing model observe (shapes, degree skew, density) do not
+/// need a cryptographic source.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Rng {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw draw.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, max)`; returns 0 for `max == 0`.
+    pub fn below(&mut self, max: usize) -> usize {
+        if max == 0 {
+            0
+        } else {
+            (self.next_u64() % max as u64) as usize
+        }
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform i64 in `[lo, hi)` (for randomized tests).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo).max(1) as u64) as i64
+    }
+}
 
 /// Deterministic RNG for reproducible experiments.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 /// A row-major matrix of uniform values in `[0, 1)`.
 pub fn matrix(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..rows * cols).map(|_| r.gen::<f64>()).collect()
+    (0..rows * cols).map(|_| r.f64()).collect()
 }
 
 /// A vector of uniform values in `[0, 1)`.
@@ -28,7 +74,7 @@ pub fn vector(n: usize, seed: u64) -> Vec<f64> {
 /// A vector of uniform integers in `[0, max)` stored as `f64`.
 pub fn indices(n: usize, max: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..max) as f64).collect()
+    (0..n).map(|_| r.below(max) as f64).collect()
 }
 
 /// A CSR graph with a skewed (approximate power-law) degree distribution —
@@ -55,16 +101,21 @@ impl CsrGraph {
         row_ptr.push(0.0);
         for _ in 0..nodes {
             // Pareto(alpha≈1.8) truncated; scaled to the requested mean.
-            let u: f64 = r.gen_range(0.02..1.0f64);
+            let u: f64 = r.range_f64(0.02, 1.0);
             let deg = ((mean_degree as f64 * 0.45) / u.powf(0.55)).round() as usize;
             let deg = deg.min(nodes.saturating_sub(1)).max(1);
             for _ in 0..deg {
-                col_idx.push(r.gen_range(0..nodes) as f64);
+                col_idx.push(r.below(nodes) as f64);
             }
             row_ptr.push(col_idx.len() as f64);
         }
         let edges = col_idx.len();
-        CsrGraph { row_ptr, col_idx, nodes, edges }
+        CsrGraph {
+            row_ptr,
+            col_idx,
+            nodes,
+            edges,
+        }
     }
 
     /// The degree of node `n`.
@@ -78,9 +129,11 @@ impl CsrGraph {
 pub fn document_matrix(docs: usize, words: usize, density: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut r = rng(seed);
     let m: Vec<f64> = (0..docs * words)
-        .map(|_| if r.gen::<f64>() < density { 1.0 } else { 0.0 })
+        .map(|_| if r.f64() < density { 1.0 } else { 0.0 })
         .collect();
-    let labels: Vec<f64> = (0..docs).map(|_| if r.gen::<f64>() < 0.4 { 1.0 } else { 0.0 }).collect();
+    let labels: Vec<f64> = (0..docs)
+        .map(|_| if r.f64() < 0.4 { 1.0 } else { 0.0 })
+        .collect();
     (m, labels)
 }
 
@@ -101,8 +154,16 @@ pub fn spd_matrix(n: usize, seed: u64) -> Vec<f64> {
 
 /// Trajectory data for the MSMBuilder clustering kernel: `points` frames of
 /// `dims` coordinates, and `clusters` centers of the same dimensionality.
-pub fn trajectories(points: usize, clusters: usize, dims: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
-    (matrix(points, dims, seed), matrix(clusters, dims, seed ^ 0x9e37_79b9))
+pub fn trajectories(
+    points: usize,
+    clusters: usize,
+    dims: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    (
+        matrix(points, dims, seed),
+        matrix(clusters, dims, seed ^ 0x9e37_79b9),
+    )
 }
 
 #[cfg(test)]
@@ -152,6 +213,8 @@ mod tests {
     #[test]
     fn indices_in_range() {
         let ix = indices(1000, 37, 5);
-        assert!(ix.iter().all(|&i| i >= 0.0 && i < 37.0 && i.fract() == 0.0));
+        assert!(ix
+            .iter()
+            .all(|&i| (0.0..37.0).contains(&i) && i.fract() == 0.0));
     }
 }

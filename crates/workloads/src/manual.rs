@@ -17,7 +17,9 @@ use crate::data;
 
 use crate::runner::{Outcome, WorkloadError};
 use multidim::prelude::*;
-use multidim_codegen::{Axis, BufId, BufferDecl, BufferInit, KExpr, Kernel, KernelProgram, SmemDecl, Stmt};
+use multidim_codegen::{
+    Axis, BufId, BufferDecl, BufferInit, KExpr, Kernel, KernelProgram, SmemDecl, Stmt,
+};
 use multidim_ir::{ArrayId, Bindings as IrBindings, Size as IrSize};
 use std::collections::HashMap;
 
@@ -44,7 +46,11 @@ fn clamp0(e: KExpr, hi: KExpr) -> KExpr {
 fn min3(a: KExpr, b: KExpr, c: KExpr) -> KExpr {
     KExpr::Bin(
         multidim_ir::BinOp::Min,
-        Box::new(KExpr::Bin(multidim_ir::BinOp::Min, Box::new(a), Box::new(b))),
+        Box::new(KExpr::Bin(
+            multidim_ir::BinOp::Min,
+            Box::new(a),
+            Box::new(b),
+        )),
         Box::new(c),
     )
 }
@@ -70,7 +76,10 @@ pub fn nn_manual(n: usize) -> Result<Outcome, WorkloadError> {
     let out = ArrayId(1);
     let i = 0u32;
     let body = vec![
-        Stmt::Assign { dst: i, value: KExpr::global_tid(Axis::X) },
+        Stmt::Assign {
+            dst: i,
+            value: KExpr::global_tid(Axis::X),
+        },
         Stmt::If {
             cond: KExpr::lt(local(i), imm(n as i64)),
             then: vec![
@@ -129,7 +138,11 @@ pub fn nn_manual(n: usize) -> Result<Outcome, WorkloadError> {
         ],
         kernels: vec![Kernel {
             name: "nn_manual".into(),
-            grid: [IrSize::from((n as i64 + 255) / 256), IrSize::from(1), IrSize::from(1)],
+            grid: [
+                IrSize::from((n as i64 + 255) / 256),
+                IrSize::from(1),
+                IrSize::from(1),
+            ],
             block: [256, 1, 1],
             smem: vec![],
             locals: 3,
@@ -137,11 +150,20 @@ pub fn nn_manual(n: usize) -> Result<Outcome, WorkloadError> {
         }],
         notes: vec![],
     };
-    let recs: Vec<f64> = data::matrix(n, 2, 11).iter().map(|v| v * 180.0 - 90.0).collect();
+    let recs: Vec<f64> = data::matrix(n, 2, 11)
+        .iter()
+        .map(|v| v * 180.0 - 90.0)
+        .collect();
     let inputs: HashMap<_, _> = [(records, recs)].into_iter().collect();
     let (outputs, seconds) = simulate(&kp, &inputs)?;
     let checksum = outputs.values().flat_map(|v| v.iter()).sum();
-    Ok(Outcome { gpu_seconds: seconds, launches: 1, checksum, outputs })
+    Ok(Outcome {
+        gpu_seconds: seconds,
+        launches: 1,
+        checksum,
+        outputs,
+        metrics: Vec::new(),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -166,8 +188,9 @@ pub fn pathfinder_fused(rows: usize, cols: usize, p: usize) -> Result<Outcome, W
     while r < rows {
         let steps = p.min(rows - r);
         let kp = fused_kernel(rows, cols, r, steps, TILE, wall_id, src_id, dst_id);
-        let inputs: HashMap<_, _> =
-            [(wall_id, wall.clone()), (src_id, costs.clone())].into_iter().collect();
+        let inputs: HashMap<_, _> = [(wall_id, wall.clone()), (src_id, costs.clone())]
+            .into_iter()
+            .collect();
         let (outputs, secs) = simulate(&kp, &inputs)?;
         total += secs;
         launches += 1;
@@ -176,7 +199,13 @@ pub fn pathfinder_fused(rows: usize, cols: usize, p: usize) -> Result<Outcome, W
     }
     let checksum = costs.iter().sum();
     let outputs: HashMap<_, _> = [(dst_id, costs)].into_iter().collect();
-    Ok(Outcome { gpu_seconds: total, launches, checksum, outputs })
+    Ok(Outcome {
+        gpu_seconds: total,
+        launches,
+        checksum,
+        outputs,
+        metrics: Vec::new(),
+    })
 }
 
 /// Build the fused kernel for `steps` rows starting at row `r0`.
@@ -198,7 +227,10 @@ fn fused_kernel(
     let pos_of = |load_i: i64| KExpr::add(KExpr::Tid(Axis::X), imm(load_i * tile));
     let gcol_of = |pos: KExpr| {
         clamp0(
-            KExpr::add(KExpr::sub(KExpr::mul(KExpr::Bid(Axis::X), imm(tile)), imm(halo)), pos),
+            KExpr::add(
+                KExpr::sub(KExpr::mul(KExpr::Bid(Axis::X), imm(tile)), imm(halo)),
+                pos,
+            ),
             imm(coln - 1),
         )
     };
@@ -212,7 +244,10 @@ fn fused_kernel(
             then: vec![Stmt::SmemStore {
                 arr: 0,
                 idx: pos.clone(),
-                value: KExpr::Load { buf: BufId(1), idx: Box::new(gcol_of(pos)) },
+                value: KExpr::Load {
+                    buf: BufId(1),
+                    idx: Box::new(gcol_of(pos)),
+                },
             }],
             els: vec![],
         });
@@ -231,9 +266,18 @@ fn fused_kernel(
                 KExpr::lt(pos.clone(), imm(len - 1)),
             );
             let best = min3(
-                KExpr::SmemLoad { arr: cur, idx: Box::new(KExpr::sub(pos.clone(), imm(1))) },
-                KExpr::SmemLoad { arr: cur, idx: Box::new(pos.clone()) },
-                KExpr::SmemLoad { arr: cur, idx: Box::new(KExpr::add(pos.clone(), imm(1))) },
+                KExpr::SmemLoad {
+                    arr: cur,
+                    idx: Box::new(KExpr::sub(pos.clone(), imm(1))),
+                },
+                KExpr::SmemLoad {
+                    arr: cur,
+                    idx: Box::new(pos.clone()),
+                },
+                KExpr::SmemLoad {
+                    arr: cur,
+                    idx: Box::new(KExpr::add(pos.clone(), imm(1))),
+                },
             );
             let wall_v = KExpr::Load {
                 buf: BufId(0),
@@ -251,7 +295,10 @@ fn fused_kernel(
                     then: vec![Stmt::SmemStore {
                         arr: next,
                         idx: pos.clone(),
-                        value: KExpr::SmemLoad { arr: cur, idx: Box::new(pos.clone()) },
+                        value: KExpr::SmemLoad {
+                            arr: cur,
+                            idx: Box::new(pos.clone()),
+                        },
                     }],
                     els: vec![],
                 }],
@@ -263,7 +310,10 @@ fn fused_kernel(
 
     // Write the block's tile of final costs.
     let final_arr = (steps % 2) as u32;
-    let out_col = KExpr::add(KExpr::mul(KExpr::Bid(Axis::X), imm(tile)), KExpr::Tid(Axis::X));
+    let out_col = KExpr::add(
+        KExpr::mul(KExpr::Bid(Axis::X), imm(tile)),
+        KExpr::Tid(Axis::X),
+    );
     body.push(Stmt::If {
         cond: KExpr::lt(out_col.clone(), imm(coln)),
         then: vec![Stmt::Store {
@@ -304,11 +354,21 @@ fn fused_kernel(
         ],
         kernels: vec![Kernel {
             name: format!("dynproc_{steps}rows"),
-            grid: [IrSize::from((coln + tile - 1) / tile), IrSize::from(1), IrSize::from(1)],
+            grid: [
+                IrSize::from((coln + tile - 1) / tile),
+                IrSize::from(1),
+                IrSize::from(1),
+            ],
             block: [tile as u32, 1, 1],
             smem: vec![
-                SmemDecl { name: "prev".into(), len: len as u32 },
-                SmemDecl { name: "next".into(), len: len as u32 },
+                SmemDecl {
+                    name: "prev".into(),
+                    len: len as u32,
+                },
+                SmemDecl {
+                    name: "next".into(),
+                    len: len as u32,
+                },
             ],
             locals: 1,
             body,
@@ -352,7 +412,13 @@ pub fn lud_blocked(n: usize) -> Result<Outcome, WorkloadError> {
     }
     let checksum = m.iter().sum();
     let outputs: HashMap<_, _> = [(ArrayId(0), m)].into_iter().collect();
-    Ok(Outcome { gpu_seconds: total, launches, checksum, outputs })
+    Ok(Outcome {
+        gpu_seconds: total,
+        launches,
+        checksum,
+        outputs,
+        metrics: Vec::new(),
+    })
 }
 
 fn matrix_buffer(n: usize) -> Vec<BufferDecl> {
@@ -477,7 +543,10 @@ fn u12_solve_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
     // Locals: 0 = j (column), 1 = k, 2 = r.
     let j = KExpr::add(imm(pend as i64), KExpr::global_tid(Axis::X));
     let body = vec![
-        Stmt::Assign { dst: 0, value: j.clone() },
+        Stmt::Assign {
+            dst: 0,
+            value: j.clone(),
+        },
         Stmt::If {
             cond: KExpr::lt(local(0), imm(nn)),
             then: vec![Stmt::For {
@@ -496,10 +565,7 @@ fn u12_solve_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
                         value: KExpr::sub(
                             KExpr::Load {
                                 buf: BufId(0),
-                                idx: Box::new(KExpr::add(
-                                    KExpr::mul(local(2), imm(nn)),
-                                    local(0),
-                                )),
+                                idx: Box::new(KExpr::add(KExpr::mul(local(2), imm(nn)), local(0))),
                             },
                             KExpr::mul(
                                 KExpr::Load {
@@ -529,7 +595,11 @@ fn u12_solve_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
         buffers: matrix_buffer(n),
         kernels: vec![Kernel {
             name: "u12_solve".into(),
-            grid: [IrSize::from((rem + BT - 1) / BT), IrSize::from(1), IrSize::from(1)],
+            grid: [
+                IrSize::from((rem + BT - 1) / BT),
+                IrSize::from(1),
+                IrSize::from(1),
+            ],
             block: [BT as u32, 1, 1],
             smem: vec![],
             locals: 3,
@@ -562,8 +632,14 @@ fn gemm_update_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
 
     let slot = KExpr::add(KExpr::mul(KExpr::Tid(Axis::Y), imm(T)), KExpr::Tid(Axis::X));
     let body = vec![
-        Stmt::Assign { dst: 0, value: clamp_n(i_e.clone()) },
-        Stmt::Assign { dst: 1, value: clamp_n(j_e.clone()) },
+        Stmt::Assign {
+            dst: 0,
+            value: clamp_n(i_e.clone()),
+        },
+        Stmt::Assign {
+            dst: 1,
+            value: clamp_n(j_e.clone()),
+        },
         // sA[ty][tx] = m[i][kb+tx] (clamped k-column), sB[ty][tx] = m[kb+ty][j].
         Stmt::SmemStore {
             arr: 0,
@@ -591,7 +667,10 @@ fn gemm_update_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
             },
         },
         Stmt::Sync,
-        Stmt::Assign { dst: 2, value: KExpr::Imm(0.0) },
+        Stmt::Assign {
+            dst: 2,
+            value: KExpr::Imm(0.0),
+        },
         Stmt::For {
             var: 3,
             start: imm(0),
@@ -646,8 +725,14 @@ fn gemm_update_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
             grid: [IrSize::from(blocks), IrSize::from(blocks), IrSize::from(1)],
             block: [T as u32, T as u32, 1],
             smem: vec![
-                SmemDecl { name: "sA".into(), len: (T * T) as u32 },
-                SmemDecl { name: "sB".into(), len: (T * T) as u32 },
+                SmemDecl {
+                    name: "sA".into(),
+                    len: (T * T) as u32,
+                },
+                SmemDecl {
+                    name: "sB".into(),
+                    len: (T * T) as u32,
+                },
             ],
             locals: 4,
             body,
@@ -699,10 +784,7 @@ mod tests {
         let want = lud::reference(n);
         let got = &o.outputs[&ArrayId(0)];
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() < 1e-6 * w.abs().max(1.0),
-                "[{i}] {g} vs {w}"
-            );
+            assert!((g - w).abs() < 1e-6 * w.abs().max(1.0), "[{i}] {g} vs {w}");
         }
     }
 }

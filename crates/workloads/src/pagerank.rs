@@ -43,11 +43,13 @@ pub fn step_program(
         // Figure 5; the compiler's fusion pass eliminates the temporary.
         let sum = b.reduce_dyn(extent, mean_degree_hint, ReduceOp::Add, |b, j| {
             let w = b.read(col_idx, &[start.clone() + Expr::var(j)]);
-            b.read(prev, &[w.clone()]) / b.read(degree, &[w])
+            b.read(prev, std::slice::from_ref(&w)) / b.read(degree, &[w])
         });
         Expr::lit(1.0 - DAMP) / Expr::size(Size::sym(n)) + Expr::lit(DAMP) * sum
     });
-    let p = b.finish_map(root, "rank", ScalarKind::F32).expect("valid pagerank program");
+    let p = b
+        .finish_map(root, "rank", ScalarKind::F32)
+        .expect("valid pagerank program");
     (p, n, e, row_ptr, col_idx, prev, degree)
 }
 

@@ -18,7 +18,17 @@ use std::collections::HashMap;
 #[allow(clippy::type_complexity)]
 pub fn step_program(
     mean_degree_hint: i64,
-) -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, ArrayId, ArrayId, ArrayId) {
+) -> (
+    Program,
+    SymId,
+    SymId,
+    ArrayId,
+    ArrayId,
+    ArrayId,
+    ArrayId,
+    ArrayId,
+    ArrayId,
+) {
     let mut b = ProgramBuilder::new("bfs_step");
     let n = b.sym("N");
     let e = b.sym("E");
@@ -39,7 +49,7 @@ pub fn step_program(
         let extent = in_frontier.clone() * degree;
         let inner = b.foreach_dyn(extent, mean_degree_hint, |b, j| {
             let nbr = b.read(col_idx, &[start.clone() + Expr::var(j)]);
-            let unseen = Expr::lit(1.0) - b.read(visited, &[nbr.clone()]);
+            let unseen = Expr::lit(1.0) - b.read(visited, std::slice::from_ref(&nbr));
             vec![
                 Effect::Write {
                     cond: Some(unseen.clone()),

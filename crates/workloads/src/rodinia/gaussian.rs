@@ -27,7 +27,9 @@ pub fn fan1_program() -> (Program, SymId, SymId, ArrayId) {
         let pivot = b.read(m, &[Expr::size(Size::sym(k)), Expr::size(Size::sym(k))]);
         b.read(m, &[row, Expr::size(Size::sym(k))]) / pivot
     });
-    let p = b.finish_map(root, "mult", ScalarKind::F32).expect("valid fan1 program");
+    let p = b
+        .finish_map(root, "mult", ScalarKind::F32)
+        .expect("valid fan1 program");
     (p, n, k, m)
 }
 
@@ -52,7 +54,12 @@ pub fn fan2_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId, Ar
         let col = Expr::var(j) + Expr::size(Size::sym(k));
         let update = b.read(m, &[row.clone(), col.clone()])
             - b.read(mult, &[i.into()]) * b.read(m, &[Expr::size(Size::sym(k)), col.clone()]);
-        vec![Effect::Write { cond: None, array: m, idx: vec![row, col], value: update }]
+        vec![Effect::Write {
+            cond: None,
+            array: m,
+            idx: vec![row, col],
+            value: update,
+        }]
     };
 
     let root = match traversal {
@@ -86,11 +93,7 @@ pub enum GaussianMode {
 /// # Errors
 ///
 /// Propagates pipeline failures.
-pub fn run(
-    traversal: Traversal,
-    mode: GaussianMode,
-    n: usize,
-) -> Result<Outcome, WorkloadError> {
+pub fn run(traversal: Traversal, mode: GaussianMode, n: usize) -> Result<Outcome, WorkloadError> {
     let (p1, n1, k1, m1) = fan1_program();
     let (p2, n2, k2, m2, mult2) = fan2_program(traversal);
 
@@ -127,7 +130,9 @@ pub fn run(
                 levels[1].dim = d0;
                 let flipped = MappingDecision::new(levels);
                 let exe = Compiler::new().compile_with_mapping(&p2, &b2, flipped)?;
-                let rep = exe.run(&i2).map_err(|e| crate::runner::WorkloadError(e.to_string()))?;
+                let rep = exe
+                    .run(&i2)
+                    .map_err(|e| crate::runner::WorkloadError(e.to_string()))?;
                 run.charge_seconds(rep.gpu_seconds);
                 rep.outputs
             }
@@ -145,7 +150,12 @@ mod tests {
     #[test]
     fn eliminates_below_diagonal() {
         let n = 12;
-        let o = run(Traversal::RowMajor, GaussianMode::Strategy(Strategy::MultiDim), n).unwrap();
+        let o = run(
+            Traversal::RowMajor,
+            GaussianMode::Strategy(Strategy::MultiDim),
+            n,
+        )
+        .unwrap();
         let (_, _, _, m2, _) = fan2_program(Traversal::RowMajor);
         let m = &o.outputs[&m2];
         for i in 1..n {
@@ -178,8 +188,18 @@ mod tests {
     #[test]
     fn all_modes_agree_numerically() {
         let n = 10;
-        let a = run(Traversal::RowMajor, GaussianMode::Strategy(Strategy::MultiDim), n).unwrap();
-        let b = run(Traversal::RowMajor, GaussianMode::Strategy(Strategy::OneD), n).unwrap();
+        let a = run(
+            Traversal::RowMajor,
+            GaussianMode::Strategy(Strategy::MultiDim),
+            n,
+        )
+        .unwrap();
+        let b = run(
+            Traversal::RowMajor,
+            GaussianMode::Strategy(Strategy::OneD),
+            n,
+        )
+        .unwrap();
         let c = run(Traversal::RowMajor, GaussianMode::ManualRodinia, n).unwrap();
         assert!((a.checksum - b.checksum).abs() < 1e-6);
         assert!((a.checksum - c.checksum).abs() < 1e-6);

@@ -37,20 +37,20 @@ pub fn step_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId, Ar
         let w2 = b.read(temp, &[Expr::var(y), left]);
         let e = b.read(temp, &[Expr::var(y), right]);
         let p = b.read(power, &[y.into(), x.into()]);
-        center.clone()
-            + Expr::lit(0.1)
-                * (n + s + w2 + e - Expr::lit(4.0) * center + p)
+        center.clone() + Expr::lit(0.1) * (n + s + w2 + e - Expr::lit(4.0) * center + p)
     };
 
     let root = match traversal {
-        Traversal::RowMajor => {
-            b.map(Size::sym(r), |b, y| b.map(Size::sym(c), |b, x| body(b, y, x)))
-        }
-        Traversal::ColMajor => {
-            b.map(Size::sym(c), |b, x| b.map(Size::sym(r), |b, y| body(b, y, x)))
-        }
+        Traversal::RowMajor => b.map(Size::sym(r), |b, y| {
+            b.map(Size::sym(c), |b, x| body(b, y, x))
+        }),
+        Traversal::ColMajor => b.map(Size::sym(c), |b, x| {
+            b.map(Size::sym(r), |b, y| body(b, y, x))
+        }),
     };
-    let p = b.finish_map(root, "temp_out", ScalarKind::F32).expect("valid hotspot program");
+    let p = b
+        .finish_map(root, "temp_out", ScalarKind::F32)
+        .expect("valid hotspot program");
     (p, r, c, temp, power)
 }
 
@@ -77,7 +77,9 @@ pub fn run(
     let mut run = HostRun::with_strategy(strategy);
     let mut outputs = HashMap::new();
     for _ in 0..steps {
-        let inputs: HashMap<_, _> = [(temp, t.clone()), (power, pw.clone())].into_iter().collect();
+        let inputs: HashMap<_, _> = [(temp, t.clone()), (power, pw.clone())]
+            .into_iter()
+            .collect();
         outputs = run.launch(&p, &bind, &inputs)?;
         let next = match traversal {
             Traversal::RowMajor => outputs[&out_id].clone(),
@@ -111,10 +113,12 @@ mod tests {
             let mut bind = Bindings::new();
             bind.bind(rs, 12);
             bind.bind(cs, 20);
-            let inputs: HashMap<_, _> =
-                [(temp, data::matrix(12, 20, 3)), (power, data::matrix(12, 20, 4))]
-                    .into_iter()
-                    .collect();
+            let inputs: HashMap<_, _> = [
+                (temp, data::matrix(12, 20, 3)),
+                (power, data::matrix(12, 20, 4)),
+            ]
+            .into_iter()
+            .collect();
             let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
             run.launch(&p, &bind, &inputs).unwrap();
         }

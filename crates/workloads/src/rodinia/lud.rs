@@ -23,7 +23,12 @@ pub fn scale_program() -> (Program, SymId, SymId, ArrayId) {
         let row = Expr::var(i) + Expr::size(Size::sym(k)) + Expr::lit(1.0);
         let kk = Expr::size(Size::sym(k));
         let v = b.read(m, &[row.clone(), kk.clone()]) / b.read(m, &[kk.clone(), kk.clone()]);
-        vec![Effect::Write { cond: None, array: m, idx: vec![row, kk], value: v }]
+        vec![Effect::Write {
+            cond: None,
+            array: m,
+            idx: vec![row, kk],
+            value: v,
+        }]
     });
     let p = b.finish_foreach(root).expect("valid lud scale program");
     (p, n, k, m)
@@ -44,7 +49,12 @@ pub fn update_program() -> (Program, SymId, SymId, ArrayId) {
             let kk = Expr::size(Size::sym(k));
             let v = b.read(m, &[row.clone(), col.clone()])
                 - b.read(m, &[row.clone(), kk.clone()]) * b.read(m, &[kk, col.clone()]);
-            vec![Effect::Write { cond: None, array: m, idx: vec![row, col], value: v }]
+            vec![Effect::Write {
+                cond: None,
+                array: m,
+                idx: vec![row, col],
+                value: v,
+            }]
         });
         vec![b.nested_effect(inner)]
     });
@@ -71,7 +81,12 @@ pub fn panel_update_program() -> (Program, SymId, SymId, SymId, ArrayId) {
             let kk = Expr::size(Size::sym(k));
             let v = b.read(m, &[row.clone(), col.clone()])
                 - b.read(m, &[row.clone(), kk.clone()]) * b.read(m, &[kk, col.clone()]);
-            vec![Effect::Write { cond: None, array: m, idx: vec![row, col], value: v }]
+            vec![Effect::Write {
+                cond: None,
+                array: m,
+                idx: vec![row, col],
+                value: v,
+            }]
         });
         vec![b.nested_effect(inner)]
     });
@@ -97,7 +112,12 @@ pub fn u_update_program() -> (Program, SymId, SymId, SymId, ArrayId) {
             let kk = Expr::size(Size::sym(k));
             let v = b.read(m, &[row.clone(), col.clone()])
                 - b.read(m, &[row.clone(), kk.clone()]) * b.read(m, &[kk, col.clone()]);
-            vec![Effect::Write { cond: None, array: m, idx: vec![row, col], value: v }]
+            vec![Effect::Write {
+                cond: None,
+                array: m,
+                idx: vec![row, col],
+                value: v,
+            }]
         });
         vec![b.nested_effect(inner)]
     });
@@ -173,7 +193,11 @@ mod tests {
         bind.bind(un, 9);
         bind.bind(uk, 2);
         let inputs: HashMap<_, _> = [(um, data::spd_matrix(9, 8))].into_iter().collect();
-        for s in [Strategy::MultiDim, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+        for s in [
+            Strategy::MultiDim,
+            Strategy::ThreadBlockThread,
+            Strategy::WarpBased,
+        ] {
             let mut run = HostRun::with_strategy(s).verifying();
             run.launch(&up, &bind, &inputs).unwrap();
         }

@@ -23,7 +23,9 @@ pub fn program() -> (Program, SymId, ArrayId) {
         let dlng = b.read(records, &[i.into(), Expr::int(1)]) - Expr::lit(target_lng);
         (dlat.clone() * dlat + dlng.clone() * dlng).sqrt()
     });
-    let p = b.finish_map(root, "distances", ScalarKind::F32).expect("valid nn program");
+    let p = b
+        .finish_map(root, "distances", ScalarKind::F32)
+        .expect("valid nn program");
     (p, n, records)
 }
 
@@ -36,7 +38,10 @@ pub fn run(strategy: Strategy, n: usize) -> Result<Outcome, WorkloadError> {
     let (p, ns, records) = program();
     let mut bind = Bindings::new();
     bind.bind(ns, n as i64);
-    let recs: Vec<f64> = data::matrix(n, 2, 11).iter().map(|v| v * 180.0 - 90.0).collect();
+    let recs: Vec<f64> = data::matrix(n, 2, 11)
+        .iter()
+        .map(|v| v * 180.0 - 90.0)
+        .collect();
     let inputs: HashMap<_, _> = [(records, recs)].into_iter().collect();
     let mut run = HostRun::with_strategy(strategy);
     let out = run.launch(&p, &bind, &inputs)?;
@@ -52,7 +57,10 @@ mod tests {
         let (p, ns, records) = program();
         let mut bind = Bindings::new();
         bind.bind(ns, 100);
-        let recs: Vec<f64> = data::matrix(100, 2, 11).iter().map(|v| v * 180.0 - 90.0).collect();
+        let recs: Vec<f64> = data::matrix(100, 2, 11)
+            .iter()
+            .map(|v| v * 180.0 - 90.0)
+            .collect();
         let inputs: HashMap<_, _> = [(records, recs)].into_iter().collect();
         let mut run = HostRun::with_strategy(Strategy::MultiDim).verifying();
         run.launch(&p, &bind, &inputs).unwrap();

@@ -30,7 +30,9 @@ pub fn step_program() -> (Program, SymId, ArrayId, ArrayId) {
             .min(b.read(src, &[right]));
         b.read(wall_row, &[x.into()]) + best
     });
-    let p = b.finish_map(root, "dst", ScalarKind::F32).expect("valid pathfinder program");
+    let p = b
+        .finish_map(root, "dst", ScalarKind::F32)
+        .expect("valid pathfinder program");
     (p, c, src, wall_row)
 }
 

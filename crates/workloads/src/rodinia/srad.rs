@@ -38,14 +38,16 @@ pub fn coeff_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId) {
     };
 
     let root = match traversal {
-        Traversal::RowMajor => {
-            b.map(Size::sym(r), |b, y| b.map(Size::sym(c), |b, x| body(b, y, x)))
-        }
-        Traversal::ColMajor => {
-            b.map(Size::sym(c), |b, x| b.map(Size::sym(r), |b, y| body(b, y, x)))
-        }
+        Traversal::RowMajor => b.map(Size::sym(r), |b, y| {
+            b.map(Size::sym(c), |b, x| body(b, y, x))
+        }),
+        Traversal::ColMajor => b.map(Size::sym(c), |b, x| {
+            b.map(Size::sym(r), |b, y| body(b, y, x))
+        }),
     };
-    let p = b.finish_map(root, "coeff", ScalarKind::F32).expect("valid srad coeff program");
+    let p = b
+        .finish_map(root, "coeff", ScalarKind::F32)
+        .expect("valid srad coeff program");
     (p, r, c, img)
 }
 
@@ -77,14 +79,16 @@ pub fn update_program(traversal: Traversal) -> (Program, SymId, SymId, ArrayId, 
     };
 
     let root = match traversal {
-        Traversal::RowMajor => {
-            b.map(Size::sym(r), |b, y| b.map(Size::sym(c), |b, x| body(b, y, x)))
-        }
-        Traversal::ColMajor => {
-            b.map(Size::sym(c), |b, x| b.map(Size::sym(r), |b, y| body(b, y, x)))
-        }
+        Traversal::RowMajor => b.map(Size::sym(r), |b, y| {
+            b.map(Size::sym(c), |b, x| body(b, y, x))
+        }),
+        Traversal::ColMajor => b.map(Size::sym(c), |b, x| {
+            b.map(Size::sym(r), |b, y| body(b, y, x))
+        }),
     };
-    let p = b.finish_map(root, "img_out", ScalarKind::F32).expect("valid srad update program");
+    let p = b
+        .finish_map(root, "img_out", ScalarKind::F32)
+        .expect("valid srad update program");
     (p, r, c, img, coeff)
 }
 
@@ -109,7 +113,10 @@ pub fn run(
     ubind.bind(urs, rows as i64);
     ubind.bind(ucs, cols as i64);
 
-    let mut img: Vec<f64> = data::matrix(rows, cols, 9).iter().map(|v| v + 0.5).collect();
+    let mut img: Vec<f64> = data::matrix(rows, cols, 9)
+        .iter()
+        .map(|v| v + 0.5)
+        .collect();
     let mut run = HostRun::with_strategy(strategy);
     let mut outputs = HashMap::new();
     for _ in 0..iters {
@@ -119,8 +126,9 @@ pub fn run(
             Traversal::RowMajor => co[&cp.output.unwrap()].clone(),
             Traversal::ColMajor => transpose(&co[&cp.output.unwrap()], cols, rows),
         };
-        let ui: HashMap<_, _> =
-            [(uimg, img.clone()), (ucoeff, coeff_grid)].into_iter().collect();
+        let ui: HashMap<_, _> = [(uimg, img.clone()), (ucoeff, coeff_grid)]
+            .into_iter()
+            .collect();
         outputs = run.launch(&up, &ubind, &ui)?;
         img = match traversal {
             Traversal::RowMajor => outputs[&up.output.unwrap()].clone(),
@@ -173,6 +181,8 @@ mod tests {
         let inputs: HashMap<_, _> = [(img, data::matrix(8, 8, 1))].into_iter().collect();
         let mut run = HostRun::with_strategy(Strategy::MultiDim);
         let o = run.launch(&cp, &bind, &inputs).unwrap();
-        assert!(o[&cp.output.unwrap()].iter().all(|&c| (0.0..=1.0).contains(&c)));
+        assert!(o[&cp.output.unwrap()]
+            .iter()
+            .all(|&c| (0.0..=1.0).contains(&c)));
     }
 }

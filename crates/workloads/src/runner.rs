@@ -9,6 +9,7 @@
 use multidim::prelude::*;
 use multidim::{CompileError, RunError};
 use multidim_ir::{ArrayId, InterpError};
+use multidim_sim::RunMetrics;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -53,6 +54,9 @@ pub struct Outcome {
     pub checksum: f64,
     /// Final outputs of the last step.
     pub outputs: HashMap<ArrayId, Vec<f64>>,
+    /// Machine-readable per-launch metrics (one [`RunMetrics`] per
+    /// [`HostRun::launch`]; empty for hand-written kernel baselines).
+    pub metrics: Vec<RunMetrics>,
 }
 
 /// Drives a sequence of launches under one compiler configuration.
@@ -63,12 +67,19 @@ pub struct HostRun {
     pub verify: bool,
     gpu_seconds: f64,
     launches: usize,
+    metrics: Vec<RunMetrics>,
 }
 
 impl HostRun {
     /// Start a host run under `compiler`'s configuration.
     pub fn new(compiler: Compiler) -> Self {
-        HostRun { compiler, verify: false, gpu_seconds: 0.0, launches: 0 }
+        HostRun {
+            compiler,
+            verify: false,
+            gpu_seconds: 0.0,
+            launches: 0,
+            metrics: Vec::new(),
+        }
     }
 
     /// A host run for `strategy` with default settings.
@@ -97,6 +108,7 @@ impl HostRun {
         let report = exe.run(inputs)?;
         self.gpu_seconds += report.gpu_seconds;
         self.launches += exe.kernels.kernels.len();
+        self.metrics.push(exe.metrics(&report));
         if self.verify {
             verify_outputs(program, bindings, inputs, &report.outputs)?;
         }
@@ -127,6 +139,7 @@ impl HostRun {
             launches: self.launches,
             checksum,
             outputs,
+            metrics: self.metrics,
         }
     }
 }

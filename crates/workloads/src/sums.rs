@@ -29,13 +29,19 @@ pub fn sum_program(kind: SumKind) -> (Program, SymId, SymId, ArrayId) {
     let m = b.input("m", ScalarKind::F32, &[Size::sym(r), Size::sym(c)]);
     let root = match kind {
         SumKind::Rows => b.map(Size::sym(r), |b, row| {
-            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(c), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
         }),
         SumKind::Cols => b.map(Size::sym(c), |b, col| {
-            b.reduce(Size::sym(r), ReduceOp::Add, |b, row| b.read(m, &[row.into(), col.into()]))
+            b.reduce(Size::sym(r), ReduceOp::Add, |b, row| {
+                b.read(m, &[row.into(), col.into()])
+            })
         }),
     };
-    let p = b.finish_map(root, "sums", ScalarKind::F32).expect("valid sums program");
+    let p = b
+        .finish_map(root, "sums", ScalarKind::F32)
+        .expect("valid sums program");
     (p, r, c, m)
 }
 
@@ -77,7 +83,7 @@ pub fn sum_weighted_program(kind: SumKind) -> (Program, SymId, SymId, ArrayId, A
         SumKind::Rows => (Size::sym(r), Size::sym(c)),
         SumKind::Cols => (Size::sym(c), Size::sym(r)),
     };
-    let v = b.input("v", ScalarKind::F32, &[inner.clone()]);
+    let v = b.input("v", ScalarKind::F32, std::slice::from_ref(&inner));
     let root = b.map(outer, |b, o| {
         // temp = slice zipWith v { (a, b) => a * b }
         let inner2 = inner.clone();
@@ -92,7 +98,9 @@ pub fn sum_weighted_program(kind: SumKind) -> (Program, SymId, SymId, ArrayId, A
             b.reduce(inner2, ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
         })
     });
-    let p = b.finish_map(root, "sums", ScalarKind::F32).expect("valid weighted sums program");
+    let p = b
+        .finish_map(root, "sums", ScalarKind::F32)
+        .expect("valid weighted sums program");
     (p, r, c, m, v)
 }
 
@@ -208,7 +216,9 @@ mod tests {
                     SumKind::Cols => 17,
                 };
                 let inputs: HashMap<_, _> =
-                    [(m, data::matrix(17, 33, 1)), (v, data::vector(wl, 2))].into_iter().collect();
+                    [(m, data::matrix(17, 33, 1)), (v, data::vector(wl, 2))]
+                        .into_iter()
+                        .collect();
                 let options = match mode {
                     AllocMode::PreallocOptimizedLayout => CodegenOptions::default(),
                     AllocMode::PreallocRowMajor => CodegenOptions {
@@ -231,11 +241,21 @@ mod tests {
     #[test]
     fn malloc_is_slowest_layout_matters() {
         let n = (256, 256);
-        let opt = run_sum_weighted(SumKind::Cols, AllocMode::PreallocOptimizedLayout, n.0, n.1)
-            .unwrap();
+        let opt =
+            run_sum_weighted(SumKind::Cols, AllocMode::PreallocOptimizedLayout, n.0, n.1).unwrap();
         let row = run_sum_weighted(SumKind::Cols, AllocMode::PreallocRowMajor, n.0, n.1).unwrap();
         let mal = run_sum_weighted(SumKind::Cols, AllocMode::Malloc, n.0, n.1).unwrap();
-        assert!(row.gpu_seconds > opt.gpu_seconds, "row {} opt {}", row.gpu_seconds, opt.gpu_seconds);
-        assert!(mal.gpu_seconds > row.gpu_seconds, "mal {} row {}", mal.gpu_seconds, row.gpu_seconds);
+        assert!(
+            row.gpu_seconds > opt.gpu_seconds,
+            "row {} opt {}",
+            row.gpu_seconds,
+            opt.gpu_seconds
+        );
+        assert!(
+            mal.gpu_seconds > row.gpu_seconds,
+            "mal {} row {}",
+            mal.gpu_seconds,
+            row.gpu_seconds
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let gpu = GpuSpec::tesla_k20c();
 
     let candidates = enumerate_scored(&p, &bind, &gpu, &Weights::default());
-    println!("exploring {} candidates on a {h}x{w} Mandelbrot…", candidates.len());
+    println!(
+        "exploring {} candidates on a {h}x{w} Mandelbrot…",
+        candidates.len()
+    );
 
     let compiler = Compiler::new();
     let inputs: HashMap<_, _> = HashMap::new();

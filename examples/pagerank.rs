@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop 5 nodes by rank:");
     for (node, score) in ranked.iter().take(5) {
-        println!("  node {node:<6} rank {score:.6} (degree {})", graph.degree(*node));
+        println!(
+            "  node {node:<6} rank {score:.6} (degree {})",
+            graph.degree(*node)
+        );
     }
     Ok(())
 }

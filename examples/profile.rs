@@ -1,0 +1,178 @@
+//! Profile a built-in workload end to end: trace the mapping search, the
+//! lowering decisions, and the simulated kernel timeline, then export
+//! everything.
+//!
+//! ```text
+//! cargo run --release --example profile [sumrows|sumcols|pagerank] [OUT_DIR]
+//! ```
+//!
+//! Prints the candidate-scoring table (why the winning mapping won, why the
+//! rest were pruned or outscored) and the per-kernel profiler report, and
+//! writes:
+//!
+//! * `trace.json` — Chrome trace-event JSON; load in Perfetto or
+//!   `chrome://tracing` to see the compile-pipeline lane (wall clock) and
+//!   the simulated-GPU lane (kernel slices + roofline sub-tracks);
+//! * `metrics.json` — machine-readable [`multidim_sim::RunMetrics`].
+
+use multidim::prelude::*;
+use multidim_trace as trace;
+use multidim_trace::chrome;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+use std::rc::Rc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "sumrows".to_string());
+    let out_dir = args.next().unwrap_or_else(|| ".".to_string());
+
+    let (program, bindings, inputs) = build_workload(&workload)?;
+
+    // Collect every event the pipeline emits while tracing is on.
+    let sink = Rc::new(trace::MemorySink::new());
+    let guard = trace::set_sink(sink.clone());
+    let exe = Compiler::new().compile(&program, &bindings)?;
+    let run = exe.run(&inputs)?;
+    drop(guard);
+    let events = sink.drain();
+
+    print_candidate_table(&events);
+    println!("{}", exe.report(&run));
+
+    let trace_path = Path::new(&out_dir).join("trace.json");
+    let trace_file = File::create(&trace_path)
+        .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+    chrome::write_trace(&events, &mut BufWriter::new(trace_file))?;
+
+    let metrics_path = Path::new(&out_dir).join("metrics.json");
+    std::fs::write(&metrics_path, exe.metrics(&run).render())
+        .map_err(|e| format!("cannot write {}: {e}", metrics_path.display()))?;
+
+    println!("wrote {} ({} events)", trace_path.display(), events.len());
+    println!("wrote {}", metrics_path.display());
+    Ok(())
+}
+
+/// A named workload as (program, size bindings, host inputs).
+type Workload = (Program, Bindings, HashMap<multidim_ir::ArrayId, Vec<f64>>);
+
+fn build_workload(name: &str) -> Result<Workload, String> {
+    use multidim_workloads::{data, pagerank, sums};
+    match name {
+        "sumrows" | "sumcols" => {
+            let kind = if name == "sumrows" {
+                sums::SumKind::Rows
+            } else {
+                sums::SumKind::Cols
+            };
+            let (rows, cols) = (512, 1024);
+            let (p, rs, cs, m) = sums::sum_program(kind);
+            let mut bind = Bindings::new();
+            bind.bind(rs, rows as i64);
+            bind.bind(cs, cols as i64);
+            let inputs = [(m, data::matrix(rows, cols, 42))].into_iter().collect();
+            Ok((p, bind, inputs))
+        }
+        "pagerank" => {
+            let g = data::CsrGraph::power_law(2000, 8, 7);
+            let mean = (g.edges / g.nodes.max(1)).max(1) as i64;
+            let (p, ns, es, row_ptr, col_idx, prev, degree) = pagerank::step_program(mean);
+            let mut bind = Bindings::new();
+            bind.bind(ns, g.nodes as i64);
+            bind.bind(es, g.edges as i64);
+            let degrees: Vec<f64> = (0..g.nodes).map(|i| g.degree(i).max(1) as f64).collect();
+            let rank = vec![1.0 / g.nodes as f64; g.nodes];
+            let inputs = [
+                (row_ptr, g.row_ptr.clone()),
+                (col_idx, g.col_idx.clone()),
+                (prev, rank),
+                (degree, degrees),
+            ]
+            .into_iter()
+            .collect();
+            Ok((p, bind, inputs))
+        }
+        other => Err(format!(
+            "unknown workload `{other}` (expected sumrows, sumcols, or pagerank)"
+        )),
+    }
+}
+
+/// Reconstruct the "why this mapping won" table from the search events.
+fn print_candidate_table(events: &[trace::Event]) {
+    let winner = events
+        .iter()
+        .find(|e| e.cat == "search" && e.name == "selected");
+    let best_score = winner
+        .and_then(|e| e.get_f64("score"))
+        .unwrap_or(f64::NEG_INFINITY);
+    let selected = winner.and_then(|e| e.get_str("mapping")).unwrap_or("?");
+
+    println!("candidate mappings (winner first, then by score):");
+    println!(
+        "  {:<34} {:>8} {:>8} {:>12}  note",
+        "mapping", "score", "Δscore", "dop"
+    );
+
+    // Scored candidates, winner first then descending score.
+    let mut scored: Vec<&trace::Event> = events
+        .iter()
+        .filter(|e| e.cat == "search" && e.name == "candidate")
+        .collect();
+    scored.sort_by(|a, b| {
+        let (sa, sb) = (
+            a.get_f64("score").unwrap_or(0.0),
+            b.get_f64("score").unwrap_or(0.0),
+        );
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for e in &scored {
+        let mapping = e.get_str("mapping").unwrap_or("?");
+        let score = e.get_f64("score").unwrap_or(0.0);
+        let dop = e.get_u64("dop").unwrap_or(0);
+        let is_winner = mapping == selected;
+        println!(
+            "  {:<34} {:>8.1} {:>8.1} {:>12}  {}",
+            mapping,
+            score,
+            score - best_score,
+            dop,
+            if is_winner { "selected" } else { "outscored" }
+        );
+    }
+
+    // Hard-pruned candidates with the constraint they violate.
+    for e in events
+        .iter()
+        .filter(|e| e.cat == "search" && e.name == "pruned")
+    {
+        println!(
+            "  {:<34} {:>8} {:>8} {:>12}  pruned: {}",
+            e.get_str("mapping").unwrap_or("?"),
+            "-",
+            "-",
+            "-",
+            e.get_str("violates").unwrap_or("?")
+        );
+    }
+
+    // Lowering decisions that shaped the kernels.
+    let notes: Vec<String> = events
+        .iter()
+        .filter(|e| e.cat == "codegen" && e.name != "lower")
+        .map(|e| {
+            let detail: Vec<String> = e.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}: {}", e.name, detail.join(" "))
+        })
+        .collect();
+    if !notes.is_empty() {
+        println!("\nlowering decisions:");
+        for n in &notes {
+            println!("  {n}");
+        }
+    }
+    println!();
+}

@@ -45,11 +45,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let inputs: HashMap<_, _> = [(m, data)].into_iter().collect();
     let report = exe.run(&inputs)?;
     let sums = report.output(program.output.expect("map output"));
-    println!("row 0 sum = {}, row {} sum = {}", sums[0], rows - 1, sums[rows - 1]);
+    println!(
+        "row 0 sum = {}, row {} sum = {}",
+        sums[0],
+        rows - 1,
+        sums[rows - 1]
+    );
     println!("simulated GPU time: {:.3} ms", report.gpu_seconds * 1e3);
 
     // Compare against the fixed 1D strategy the paper uses as a baseline.
-    let exe_1d = Compiler::new().strategy(Strategy::OneD).compile(&program, &bind)?;
+    let exe_1d = Compiler::new()
+        .strategy(Strategy::OneD)
+        .compile(&program, &bind)?;
     let report_1d = exe_1d.run(&inputs)?;
     println!(
         "1D mapping time: {:.3} ms ({:.1}x slower)",

@@ -32,13 +32,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     b2.bind(d2, docs as i64);
     b2.bind(w2, words as i64);
     let a2 = multidim_mapping::analyze(&p2, &b2, &gpu);
-    println!("docs-per-word mapping : {}  (note the flipped x!)", a2.decision);
+    println!(
+        "docs-per-word mapping : {}  (note the flipped x!)",
+        a2.decision
+    );
 
     // Train: per-word spam and ham counts.
     let (m, labels) = data::document_matrix(docs, words, 0.08, 31);
     let spam_docs: f64 = labels.iter().sum();
     let exe = Compiler::new().compile(&p2, &b2)?;
-    let i2: HashMap<_, _> = [(m2, m.clone()), (lab2, labels.clone())].into_iter().collect();
+    let i2: HashMap<_, _> = [(m2, m.clone()), (lab2, labels.clone())]
+        .into_iter()
+        .collect();
     let spam_counts = exe.run(&i2)?.output(p2.output.unwrap()).to_vec();
     let ham_labels: Vec<f64> = labels.iter().map(|l| 1.0 - l).collect();
     let i3: HashMap<_, _> = [(m2, m.clone()), (lab2, ham_labels)].into_iter().collect();
@@ -63,6 +68,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             correct += 1;
         }
     }
-    println!("held-out agreement: {correct}/64 (random features ≈ chance; the point is the pipeline)");
+    println!(
+        "held-out agreement: {correct}/64 (random features ≈ chance; the point is the pipeline)"
+    );
     Ok(())
 }

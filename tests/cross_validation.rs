@@ -17,7 +17,9 @@ fn weighted(fusion: bool) -> (Program, Bindings, HashMap<ArrayId, Vec<f64>>) {
             b.read(m, &[row.into(), col.into()]) * b.read(v, &[row.into()])
         });
         b.let_(temp, |b, t| {
-            b.reduce(Size::sym(r), ReduceOp::Add, |b, j| b.read_var(t, &[j.into()]))
+            b.reduce(Size::sym(r), ReduceOp::Add, |b, j| {
+                b.read_var(t, &[j.into()])
+            })
         })
     });
     let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
@@ -25,7 +27,12 @@ fn weighted(fusion: bool) -> (Program, Bindings, HashMap<ArrayId, Vec<f64>>) {
     bind.bind(r, 53);
     bind.bind(c, 41);
     let inputs: HashMap<_, _> = [
-        (m, (0..53 * 41).map(|x| ((x * 7) % 11) as f64).collect::<Vec<_>>()),
+        (
+            m,
+            (0..53 * 41)
+                .map(|x| ((x * 7) % 11) as f64)
+                .collect::<Vec<_>>(),
+        ),
         (v, (0..53).map(|x| 1.0 + (x % 3) as f64).collect::<Vec<_>>()),
     ]
     .into_iter()
@@ -44,10 +51,17 @@ fn run_with(compiler: Compiler) -> Vec<f64> {
 #[test]
 fn all_strategies_agree() {
     let base = run_with(Compiler::new());
-    for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+    for s in [
+        Strategy::OneD,
+        Strategy::ThreadBlockThread,
+        Strategy::WarpBased,
+    ] {
         let got = run_with(Compiler::new().strategy(s));
         for (i, (g, w)) in got.iter().zip(&base).enumerate() {
-            assert!((g - w).abs() < 1e-9 * w.abs().max(1.0), "{s}[{i}]: {g} vs {w}");
+            assert!(
+                (g - w).abs() < 1e-9 * w.abs().max(1.0),
+                "{s}[{i}]: {g} vs {w}"
+            );
         }
     }
 }
@@ -65,8 +79,15 @@ fn fusion_on_off_agree() {
 #[test]
 fn all_layout_policies_agree() {
     let base = run_with(Compiler::new().fusion(false));
-    for layout in [LayoutPolicy::Auto, LayoutPolicy::ForceRowMajor, LayoutPolicy::ForceColMajor] {
-        let opts = CodegenOptions { layout, ..CodegenOptions::default() };
+    for layout in [
+        LayoutPolicy::Auto,
+        LayoutPolicy::ForceRowMajor,
+        LayoutPolicy::ForceColMajor,
+    ] {
+        let opts = CodegenOptions {
+            layout,
+            ..CodegenOptions::default()
+        };
         let got = run_with(Compiler::new().fusion(false).options(opts));
         for (g, w) in got.iter().zip(&base) {
             assert!((g - w).abs() < 1e-9 * w.abs().max(1.0), "{layout:?}");
@@ -77,7 +98,10 @@ fn all_layout_policies_agree() {
 #[test]
 fn malloc_modeling_does_not_change_results() {
     let base = run_with(Compiler::new().fusion(false));
-    let opts = CodegenOptions { device_malloc: true, ..CodegenOptions::default() };
+    let opts = CodegenOptions {
+        device_malloc: true,
+        ..CodegenOptions::default()
+    };
     let got = run_with(Compiler::new().fusion(false).options(opts));
     assert_eq!(base, got);
 }
@@ -114,7 +138,10 @@ fn smem_prefetch_on_off_agree() {
     let mut results = Vec::new();
     for prefetch in [true, false] {
         let (p, bind, inputs) = build();
-        let opts = CodegenOptions { smem_prefetch: prefetch, ..CodegenOptions::default() };
+        let opts = CodegenOptions {
+            smem_prefetch: prefetch,
+            ..CodegenOptions::default()
+        };
         let exe = Compiler::new().options(opts).compile(&p, &bind).unwrap();
         let report = exe.run(&inputs).unwrap();
         results.push(report.output(p.output.unwrap()).to_vec());

@@ -84,7 +84,11 @@ fn root_reduce_with_split_combiner() {
     assert!(
         exe.kernels.kernels.len() >= 2,
         "expected a combiner kernel, got {:?}",
-        exe.kernels.kernels.iter().map(|k| &k.name).collect::<Vec<_>>()
+        exe.kernels
+            .kernels
+            .iter()
+            .map(|k| &k.name)
+            .collect::<Vec<_>>()
     );
     check(&p, &bind, &inputs);
 }
@@ -143,15 +147,21 @@ fn foreach_scatter_with_nested_level() {
     let root = b.foreach(Size::sym(n), |b, i| {
         let inner = b.foreach(Size::sym(n), |b, j| {
             let v = b.read(x, &[i.into()]) * b.read(x, &[j.into()]);
-            vec![Effect::Write { cond: None, array: out, idx: vec![i.into(), j.into()], value: v }]
+            vec![Effect::Write {
+                cond: None,
+                array: out,
+                idx: vec![i.into(), j.into()],
+                value: v,
+            }]
         });
         vec![b.nested_effect(inner)]
     });
     let p = b.finish_foreach(root).unwrap();
     let mut bind = Bindings::new();
     bind.bind(n, 47);
-    let inputs: HashMap<_, _> =
-        [(x, (0..47).map(|v| v as f64 / 7.0).collect())].into_iter().collect();
+    let inputs: HashMap<_, _> = [(x, (0..47).map(|v| v as f64 / 7.0).collect())]
+        .into_iter()
+        .collect();
     check(&p, &bind, &inputs);
 }
 
@@ -165,7 +175,9 @@ fn cuda_emission_matches_figure9_structure() {
     let cs = b.sym("C");
     let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
     let root = b.map(Size::sym(rs), |b, row| {
-        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| b.read(m, &[row.into(), col.into()]))
+        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+            b.read(m, &[row.into(), col.into()])
+        })
     });
     let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
     let mut bind = Bindings::new();
@@ -190,7 +202,10 @@ fn c2050_device_also_works() {
     let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
     let mut bind = Bindings::new();
     bind.bind(n, 10_000);
-    let exe = Compiler::new().gpu(GpuSpec::tesla_c2050()).compile(&p, &bind).unwrap();
+    let exe = Compiler::new()
+        .gpu(GpuSpec::tesla_c2050())
+        .compile(&p, &bind)
+        .unwrap();
     let inputs: HashMap<_, _> = [(x, vec![3.0; 10_000])].into_iter().collect();
     let report = exe.run(&inputs).unwrap();
     assert!(report.output(p.output.unwrap()).iter().all(|&v| v == 6.0));
@@ -219,9 +234,14 @@ fn autotuner_finds_a_mapping_at_least_as_fast() {
     let static_exe = compiler.compile(&p, &bind).unwrap();
     let static_time = static_exe.run(&inputs).unwrap().gpu_seconds;
 
-    let (tuned_exe, result) =
-        compiler.autotune(&p, &bind, &inputs, &TuneOptions::default()).unwrap();
-    assert!(result.best_cost <= static_time * 1.0001, "tuned {} vs static {static_time}", result.best_cost);
+    let (tuned_exe, result) = compiler
+        .autotune(&p, &bind, &inputs, &TuneOptions::default())
+        .unwrap();
+    assert!(
+        result.best_cost <= static_time * 1.0001,
+        "tuned {} vs static {static_time}",
+        result.best_cost
+    );
     assert!(result.measured.len() > 50);
     // The tuned executable really uses the winning mapping.
     assert_eq!(tuned_exe.mapping, result.best);
@@ -244,9 +264,19 @@ fn score_pruned_autotune_is_cheaper_and_close() {
     bind.bind(w, 256);
     let inputs = HashMap::new();
     let compiler = Compiler::new();
-    let (_, full) = compiler.autotune(&p, &bind, &inputs, &TuneOptions::default()).unwrap();
+    let (_, full) = compiler
+        .autotune(&p, &bind, &inputs, &TuneOptions::default())
+        .unwrap();
     let (_, pruned) = compiler
-        .autotune(&p, &bind, &inputs, &TuneOptions { score_floor: 0.8, ..Default::default() })
+        .autotune(
+            &p,
+            &bind,
+            &inputs,
+            &TuneOptions {
+                score_floor: 0.8,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert!(pruned.measured.len() < full.measured.len());
     assert!(pruned.best_cost <= full.best_cost * 1.5);

@@ -1,31 +1,35 @@
 //! Property-based tests on the framework's core invariants.
+//!
+//! These are randomized (but fully deterministic) tests driven by the
+//! internal [`multidim_workloads::data::Rng`]: each property runs a fixed
+//! number of seeded cases and asserts the invariant on every one, printing
+//! the failing case's parameters on violation.
 
-use multidim::prelude::*;
 use multidim::prelude::Strategy as MapStrategy;
+use multidim::prelude::*;
 use multidim_ir::{interpret, ReduceOp};
 use multidim_sim::{bank_conflicts, coalesce};
-use proptest::prelude::*;
+use multidim_workloads::data::Rng;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Simulated execution of a randomly shaped map/reduce nest matches
-    /// the reference interpreter under a random strategy.
-    #[test]
-    fn sim_matches_interpreter(
-        r in 1usize..96,
-        c in 1usize..96,
-        strategy_idx in 0usize..4,
-        seed in 0u64..1000,
-        transpose in proptest::bool::ANY,
-    ) {
+/// Simulated execution of a randomly shaped map/reduce nest matches
+/// the reference interpreter under a random strategy.
+#[test]
+fn sim_matches_interpreter() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x51AB + case);
+        let r = rng.range_i64(1, 96) as usize;
+        let c = rng.range_i64(1, 96) as usize;
         let strategy = [
             MapStrategy::MultiDim,
             MapStrategy::OneD,
             MapStrategy::ThreadBlockThread,
             MapStrategy::WarpBased,
-        ][strategy_idx];
+        ][rng.below(4)];
+        let seed = rng.next_u64() % 1000;
+        let transpose = rng.below(2) == 1;
 
         let mut b = ProgramBuilder::new("prop");
         let rs = b.sym("R");
@@ -48,81 +52,112 @@ proptest! {
         let mut bind = Bindings::new();
         bind.bind(rs, r as i64);
         bind.bind(cs, c as i64);
-        let data: Vec<f64> = (0..r * c).map(|x| ((x as u64 ^ seed) % 31) as f64).collect();
+        let data: Vec<f64> = (0..r * c)
+            .map(|x| ((x as u64 ^ seed) % 31) as f64)
+            .collect();
         let inputs: HashMap<_, _> = [(m, data)].into_iter().collect();
 
-        let exe = Compiler::new().strategy(strategy).compile(&p, &bind).unwrap();
+        let exe = Compiler::new()
+            .strategy(strategy)
+            .compile(&p, &bind)
+            .unwrap();
         let got = exe.run(&inputs).unwrap();
         let want = interpret(&p, &bind, &inputs).unwrap();
         let out = p.output.unwrap();
         for (g, w) in got.output(out).iter().zip(&want.array(out).data) {
-            prop_assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{g} vs {w}");
+            assert!(
+                (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                "case {case} (r={r} c={c} {strategy} transpose={transpose}): {g} vs {w}"
+            );
         }
     }
+}
 
-    /// Coalescing invariants: between 1 and `lanes` transactions; exact
-    /// bounds for unit-stride and huge-stride patterns; and a subset of a
-    /// warp's accesses never needs more transactions.
-    #[test]
-    fn coalescing_bounds(
-        stride in 1u64..2048,
-        base in 0u64..10_000,
-        lanes in 1usize..33,
-    ) {
-        let gpu = GpuSpec::tesla_k20c();
+/// Coalescing invariants: between 1 and `lanes` transactions; exact
+/// bounds for unit-stride and huge-stride patterns; and a subset of a
+/// warp's accesses never needs more transactions.
+#[test]
+fn coalescing_bounds() {
+    let gpu = GpuSpec::tesla_k20c();
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(0xC0A1 + case);
+        let stride = rng.range_i64(1, 2048) as u64;
+        let base = rng.range_i64(0, 10_000) as u64;
+        let lanes = rng.range_i64(1, 33) as usize;
+
         let addrs: Vec<u64> = (0..lanes as u64).map(|l| base + l * stride * 4).collect();
         let (tx, bytes) = coalesce(&gpu, &addrs);
-        prop_assert!(tx >= 1 && tx <= lanes as u64);
-        prop_assert_eq!(bytes, tx * 128);
+        assert!(
+            tx >= 1 && tx <= lanes as u64,
+            "case {case}: tx {tx} lanes {lanes}"
+        );
+        assert_eq!(bytes, tx * 128, "case {case}");
         // Subset property.
         let half = &addrs[..lanes.div_ceil(2)];
         let (tx_half, _) = coalesce(&gpu, half);
-        prop_assert!(tx_half <= tx);
+        assert!(tx_half <= tx, "case {case}: subset needs more transactions");
         // Unit stride (4B elements): at most ceil(lanes*4 / 128) + 1 segs.
         if stride == 1 {
-            prop_assert!(tx <= (lanes as u64 * 4).div_ceil(128) + 1);
+            assert!(tx <= (lanes as u64 * 4).div_ceil(128) + 1, "case {case}");
         }
         // Strides >= 32 elements: every lane its own segment.
         if stride * 4 >= 128 {
-            prop_assert_eq!(tx, lanes as u64);
+            assert_eq!(tx, lanes as u64, "case {case}");
         }
     }
+}
 
-    /// Bank conflicts: zero for unit stride, lanes-1 for stride = banks,
-    /// never exceeding lanes - 1.
-    #[test]
-    fn bank_conflict_bounds(stride in 1u64..128, lanes in 1usize..33) {
+/// Bank conflicts: zero for unit stride, lanes-1 for stride = banks,
+/// never exceeding lanes - 1.
+#[test]
+fn bank_conflict_bounds() {
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(0xBA2C + case);
+        let stride = rng.range_i64(1, 128) as u64;
+        let lanes = rng.range_i64(1, 33) as usize;
+
         let words: Vec<u64> = (0..lanes as u64).map(|l| l * stride).collect();
         let extra = bank_conflicts(32, &words);
-        prop_assert!(extra <= lanes as u64 - 1);
-        if stride % 32 == 0 && stride > 0 {
-            prop_assert_eq!(extra, lanes as u64 - 1);
+        assert!(
+            extra < lanes as u64,
+            "case {case}: stride {stride} lanes {lanes}"
+        );
+        if stride.is_multiple_of(32) && stride > 0 {
+            assert_eq!(extra, lanes as u64 - 1, "case {case}");
         }
         if stride == 1 {
-            prop_assert_eq!(extra, 0);
+            assert_eq!(extra, 0, "case {case}");
         }
     }
+}
 
-    /// DOP algebra: grid coverage — blocks × block × span covers the
-    /// extent for Span(n); Split multiplies DOP by k.
-    #[test]
-    fn mapping_algebra(
-        extent in 1i64..1_000_000,
-        block_pow in 0u32..11,
-        n in 1i64..64,
-        k in 1i64..64,
-    ) {
-        use multidim_mapping::{Dim, LevelMapping, MappingDecision, Span};
-        let block = 1u32 << block_pow;
+/// DOP algebra: grid coverage — blocks × block × span covers the
+/// extent for Span(n); Split multiplies DOP by k.
+#[test]
+fn mapping_algebra() {
+    use multidim_mapping::{Dim, LevelMapping, MappingDecision, Span};
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(0xA16E + case);
+        let extent = rng.range_i64(1, 1_000_000);
+        let block = 1u32 << rng.range_i64(0, 11) as u32;
+        let n = rng.range_i64(1, 64);
+        let k = rng.range_i64(1, 64);
+
         let m = MappingDecision::new(vec![LevelMapping {
             dim: Dim::X,
             block_size: block,
             span: Span::Span(n),
         }]);
         let blocks = m.grid_blocks(&[extent])[0];
-        prop_assert!(blocks as i64 * block as i64 * n >= extent);
+        assert!(
+            blocks as i64 * block as i64 * n >= extent,
+            "case {case}: grid does not cover extent"
+        );
         // Tight: one fewer block would not cover.
-        prop_assert!((blocks as i64 - 1) * block as i64 * n < extent);
+        assert!(
+            (blocks as i64 - 1) * block as i64 * n < extent,
+            "case {case}: grid oversized"
+        );
 
         let all = MappingDecision::new(vec![LevelMapping {
             dim: Dim::X,
@@ -134,24 +169,40 @@ proptest! {
             block_size: block,
             span: Span::Split(k),
         }]);
-        prop_assert_eq!(all.dop(&[extent]) * k as u64, split.dop(&[extent]));
+        assert_eq!(
+            all.dop(&[extent]) * k as u64,
+            split.dop(&[extent]),
+            "case {case}"
+        );
     }
+}
 
-    /// Size expression evaluation agrees with i64 arithmetic.
-    #[test]
-    fn size_arithmetic(a in 0i64..1_000_000, b in 1i64..1000) {
-        use multidim_ir::Bindings;
+/// Size expression evaluation agrees with i64 arithmetic.
+#[test]
+fn size_arithmetic() {
+    use multidim_ir::Bindings;
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(0x512E + case);
+        let a = rng.range_i64(0, 1_000_000);
+        let b = rng.range_i64(1, 1000);
+
         let e = (Size::from(a) + Size::from(b)) * Size::from(2);
-        prop_assert_eq!(e.eval(&Bindings::new()), (a + b) * 2);
+        assert_eq!(e.eval(&Bindings::new()), (a + b) * 2, "case {case}");
         let d = Size::from(a) / Size::from(b);
-        prop_assert_eq!(d.eval(&Bindings::new()), (a + b - 1) / b);
+        assert_eq!(d.eval(&Bindings::new()), (a + b - 1) / b, "case {case}");
         let s = Size::from(a) - Size::from(b);
-        prop_assert_eq!(s.eval(&Bindings::new()), (a - b).max(0));
+        assert_eq!(s.eval(&Bindings::new()), (a - b).max(0), "case {case}");
     }
+}
 
-    /// The analysis is total and hard-valid for arbitrary (bounded) sizes.
-    #[test]
-    fn analysis_always_yields_valid_mapping(r in 1i64..100_000, c in 1i64..100_000) {
+/// The analysis is total and hard-valid for arbitrary (bounded) sizes.
+#[test]
+fn analysis_always_yields_valid_mapping() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xA7A1 + case);
+        let r = rng.range_i64(1, 100_000);
+        let c = rng.range_i64(1, 100_000);
+
         let mut b = ProgramBuilder::new("any");
         let rs = b.sym("R");
         let cs = b.sym("C");
@@ -168,12 +219,17 @@ proptest! {
         let gpu = GpuSpec::tesla_k20c();
         let a = multidim_mapping::analyze(&p, &bind, &gpu);
         // Hard constraints hold.
-        prop_assert!(a.constraints.hard_ok(&a.decision), "{}", a.decision);
+        assert!(
+            a.constraints.hard_ok(&a.decision),
+            "case {case} (r={r} c={c}): {}",
+            a.decision
+        );
         // The reduce level is never Span(1).
-        prop_assert!(!matches!(
-            a.decision.level(1).span,
-            multidim_mapping::Span::Span(_)
-        ));
-        prop_assert!(a.decision.block_threads() <= 1024);
+        assert!(
+            !matches!(a.decision.level(1).span, multidim_mapping::Span::Span(_)),
+            "case {case} (r={r} c={c}): {}",
+            a.decision
+        );
+        assert!(a.decision.block_threads() <= 1024, "case {case}");
     }
 }

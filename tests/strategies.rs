@@ -15,7 +15,11 @@ fn multidim_is_never_much_worse_than_fixed() {
         // where a Split's combiner launch costs more than it recovers).
         for (r, c) in [(2048, 256), (512, 512), (64, 16384)] {
             let best = run_sum(kind, Strategy::MultiDim, r, c).unwrap().gpu_seconds;
-            for s in [Strategy::OneD, Strategy::ThreadBlockThread, Strategy::WarpBased] {
+            for s in [
+                Strategy::OneD,
+                Strategy::ThreadBlockThread,
+                Strategy::WarpBased,
+            ] {
                 let t = run_sum(kind, s, r, c).unwrap().gpu_seconds;
                 // Tolerance 1.5: the paper itself shows fixed strategies
                 // occasionally a few percent ahead (Figure 13's 0.98 warp
@@ -32,12 +36,20 @@ fn multidim_is_never_much_worse_than_fixed() {
 /// Figure 3's headline: a fixed mapping can be an order of magnitude off.
 #[test]
 fn fixed_strategies_collapse_somewhere() {
-    let best = run_sum(SumKind::Rows, Strategy::MultiDim, 256, 4096).unwrap().gpu_seconds;
-    let one_d = run_sum(SumKind::Rows, Strategy::OneD, 256, 4096).unwrap().gpu_seconds;
+    let best = run_sum(SumKind::Rows, Strategy::MultiDim, 256, 4096)
+        .unwrap()
+        .gpu_seconds;
+    let one_d = run_sum(SumKind::Rows, Strategy::OneD, 256, 4096)
+        .unwrap()
+        .gpu_seconds;
     assert!(one_d > 10.0 * best, "1D {one_d} vs MultiDim {best}");
 
-    let best_c = run_sum(SumKind::Cols, Strategy::MultiDim, 512, 1024).unwrap().gpu_seconds;
-    let warp = run_sum(SumKind::Cols, Strategy::WarpBased, 512, 1024).unwrap().gpu_seconds;
+    let best_c = run_sum(SumKind::Cols, Strategy::MultiDim, 512, 1024)
+        .unwrap()
+        .gpu_seconds;
+    let warp = run_sum(SumKind::Cols, Strategy::WarpBased, 512, 1024)
+        .unwrap()
+        .gpu_seconds;
     assert!(warp > 4.0 * best_c, "warp {warp} vs MultiDim {best_c}");
 }
 
@@ -45,14 +57,17 @@ fn fixed_strategies_collapse_somewhere() {
 /// than MultiDim.
 #[test]
 fn column_traversal_punishes_fixed_strategies() {
-    let md = srad::run(Traversal::ColMajor, Strategy::MultiDim, 96, 96, 1).unwrap().gpu_seconds;
+    let md = srad::run(Traversal::ColMajor, Strategy::MultiDim, 96, 96, 1)
+        .unwrap()
+        .gpu_seconds;
     let tb = srad::run(Traversal::ColMajor, Strategy::ThreadBlockThread, 96, 96, 1)
         .unwrap()
         .gpu_seconds;
     assert!(tb > 2.0 * md, "TB/T {tb} vs MultiDim {md}");
 
-    let md_h =
-        hotspot::run(Traversal::ColMajor, Strategy::MultiDim, 128, 128, 1).unwrap().gpu_seconds;
+    let md_h = hotspot::run(Traversal::ColMajor, Strategy::MultiDim, 128, 128, 1)
+        .unwrap()
+        .gpu_seconds;
     let wb = hotspot::run(Traversal::ColMajor, Strategy::WarpBased, 128, 128, 1)
         .unwrap()
         .gpu_seconds;
@@ -66,7 +81,9 @@ fn row_traversal_is_forgiving() {
         .unwrap()
         .gpu_seconds;
     for s in [Strategy::ThreadBlockThread, Strategy::WarpBased] {
-        let t = mandelbrot::run(Traversal::RowMajor, s, 128, 256).unwrap().gpu_seconds;
+        let t = mandelbrot::run(Traversal::RowMajor, s, 128, 256)
+            .unwrap()
+            .gpu_seconds;
         let ratio = t / md;
         assert!((0.5..2.5).contains(&ratio), "{s}: ratio {ratio}");
     }
@@ -88,7 +105,9 @@ fn qpscd_shape() {
 #[test]
 fn msm_shape() {
     let od = msm::run(Strategy::OneD, 96, 48, 48).unwrap().gpu_seconds;
-    let md = msm::run(Strategy::MultiDim, 96, 48, 48).unwrap().gpu_seconds;
+    let md = msm::run(Strategy::MultiDim, 96, 48, 48)
+        .unwrap()
+        .gpu_seconds;
     assert!(md < od / 3.0, "MultiDim {md} vs 1D {od}");
 }
 
@@ -105,7 +124,11 @@ fn naive_bayes_transfer_dominates() {
 fn search_is_fast_for_three_levels() {
     let mut b = ProgramBuilder::new("deep");
     let n = b.sym("N");
-    let a = b.input("a", ScalarKind::F32, &[Size::sym(n), Size::sym(n), Size::sym(n)]);
+    let a = b.input(
+        "a",
+        ScalarKind::F32,
+        &[Size::sym(n), Size::sym(n), Size::sym(n)],
+    );
     let root = b.map(Size::sym(n), |b, i| {
         b.map(Size::sym(n), |b, j| {
             b.reduce(Size::sym(n), ReduceOp::Add, |b, k| {

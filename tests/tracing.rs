@@ -1,0 +1,174 @@
+//! End-to-end checks for the tracing/metrics layer: traced counters must
+//! agree with the simulator's own result, the metrics JSON must round-trip
+//! losslessly, and the exported trace must be valid Chrome trace-event JSON.
+
+use multidim::prelude::*;
+use multidim_trace as trace;
+use multidim_trace::json::Json;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+fn sum_rows(r: i64, c: i64) -> (Program, Bindings, multidim_ir::ArrayId) {
+    let mut b = ProgramBuilder::new("sumRows");
+    let rs = b.sym("R");
+    let cs = b.sym("C");
+    let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+    let root = b.map(Size::sym(rs), |b, row| {
+        b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+            b.read(m, &[row.into(), col.into()])
+        })
+    });
+    let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(rs, r);
+    bind.bind(cs, c);
+    (p, bind, m)
+}
+
+fn traced_run(r: i64, c: i64) -> (multidim::Executable, multidim::RunReport, Vec<trace::Event>) {
+    let (p, bind, m) = sum_rows(r, c);
+    let inputs: HashMap<_, _> = [(m, (0..r * c).map(|x| (x % 5) as f64).collect::<Vec<_>>())]
+        .into_iter()
+        .collect();
+    let sink = Rc::new(trace::MemorySink::new());
+    let guard = trace::set_sink(sink.clone());
+    let exe = Compiler::new().compile(&p, &bind).unwrap();
+    let run = exe.run(&inputs).unwrap();
+    drop(guard);
+    (exe, run, sink.drain())
+}
+
+/// Per-kernel counters in the trace must sum to the simulator's totals —
+/// checked across several shapes (single- and multi-kernel splits).
+#[test]
+fn traced_counters_sum_to_sim_totals() {
+    for (r, c) in [(64, 128), (512, 256), (16, 4096), (1024, 32)] {
+        let (_exe, run, events) = traced_run(r, c);
+        let slices: Vec<&trace::Event> = events
+            .iter()
+            .filter(|e| e.cat == "sim" && e.phase == trace::Phase::Complete)
+            .collect();
+        assert_eq!(
+            slices.len(),
+            run.kernel_costs.len(),
+            "[{r},{c}] one slice per kernel"
+        );
+
+        for key in [
+            "warp_instr",
+            "mem_requests",
+            "transactions",
+            "dram_bytes",
+            "smem_accesses",
+            "smem_conflicts",
+            "syncs",
+            "mallocs",
+            "atomic_serial",
+        ] {
+            let traced: u64 = slices.iter().map(|e| e.get_u64(key).unwrap()).sum();
+            let live: u64 = match key {
+                "warp_instr" => run.kernel_costs.iter().map(|k| k.warp_instr).sum(),
+                "mem_requests" => run.kernel_costs.iter().map(|k| k.mem_requests).sum(),
+                "transactions" => run.kernel_costs.iter().map(|k| k.transactions).sum(),
+                "dram_bytes" => run.kernel_costs.iter().map(|k| k.dram_bytes).sum(),
+                "smem_accesses" => run.kernel_costs.iter().map(|k| k.smem_accesses).sum(),
+                "smem_conflicts" => run.kernel_costs.iter().map(|k| k.smem_conflicts).sum(),
+                "syncs" => run.kernel_costs.iter().map(|k| k.syncs).sum(),
+                "mallocs" => run.kernel_costs.iter().map(|k| k.mallocs).sum(),
+                "atomic_serial" => run.kernel_costs.iter().map(|k| k.atomic_serial).sum(),
+                _ => unreachable!(),
+            };
+            assert_eq!(traced, live, "[{r},{c}] counter {key}");
+        }
+
+        // Slice durations cover the whole simulated run.
+        let dur_total: f64 = slices.iter().map(|e| e.dur_us).sum();
+        assert!(
+            (dur_total - run.gpu_seconds * 1e6).abs() <= 1e-9 * run.gpu_seconds.max(1.0) * 1e6,
+            "[{r},{c}] slice durations {dur_total} vs total {}",
+            run.gpu_seconds * 1e6
+        );
+    }
+}
+
+/// The metrics JSON must round-trip losslessly and match the live run.
+#[test]
+fn metrics_round_trip_matches_live_run() {
+    let (exe, run, _events) = traced_run(256, 512);
+    let metrics = exe.metrics(&run);
+
+    // Values mirror the live RunReport exactly.
+    assert_eq!(metrics.total_seconds, run.gpu_seconds);
+    assert_eq!(metrics.kernels.len(), run.kernel_costs.len());
+    for (i, k) in metrics.kernels.iter().enumerate() {
+        assert_eq!(k.name, run.kernel_names[i]);
+        assert_eq!(k.shape, run.kernel_shapes[i]);
+        assert_eq!(k.cost, run.kernel_costs[i]);
+        assert_eq!(k.time, run.kernel_times[i]);
+    }
+
+    // JSON round-trip is lossless, including every f64.
+    let back = multidim_sim::RunMetrics::parse(&metrics.render()).unwrap();
+    assert_eq!(back, metrics);
+}
+
+/// The exported trace must be valid Chrome trace-event JSON: an object with
+/// a `traceEvents` array whose entries carry name/ph/ts/pid/tid, with `dur`
+/// on complete events.
+#[test]
+fn exported_trace_is_valid_chrome_json() {
+    let (_exe, _run, events) = traced_run(128, 256);
+    assert!(!events.is_empty());
+
+    let mut out = Vec::new();
+    trace::chrome::write_trace(&events, &mut out).unwrap();
+    let doc = Json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+
+    let list = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    // Both clock lanes are labeled, and every event is well-formed.
+    let mut phases = Vec::new();
+    for e in list {
+        assert!(
+            e.get("name").and_then(Json::as_str).is_some(),
+            "{}",
+            e.render()
+        );
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph").to_string();
+        assert!(e.get("ts").and_then(Json::as_f64).is_some() || ph == "M");
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Json::as_f64).is_some(), "X needs dur");
+        }
+        phases.push(ph);
+    }
+    for needed in ["M", "X", "i"] {
+        assert!(phases.iter().any(|p| p == needed), "missing phase {needed}");
+    }
+    // The pipeline lane and the simulated lane are both populated.
+    let pids: Vec<u64> = list
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+        .collect();
+    assert!(pids.contains(&u64::from(trace::PID_PIPELINE)));
+    assert!(pids.contains(&u64::from(trace::PID_SIM)));
+}
+
+/// Without a sink the pipeline emits nothing and produces identical results.
+#[test]
+fn untraced_run_matches_traced_run() {
+    let (p, bind, m) = sum_rows(128, 64);
+    let inputs: HashMap<_, _> = [(m, vec![1.0; 128 * 64])].into_iter().collect();
+
+    assert!(!trace::enabled());
+    let exe = Compiler::new().compile(&p, &bind).unwrap();
+    let quiet = exe.run(&inputs).unwrap();
+
+    let (_exe, traced, events) = traced_run(128, 64);
+    assert!(!events.is_empty());
+    assert_eq!(quiet.gpu_seconds, traced.gpu_seconds);
+    assert_eq!(quiet.kernel_costs, traced.kernel_costs);
+}
