@@ -1,0 +1,168 @@
+//! In-bounds proving against declared array extents.
+//!
+//! For an affine access `k + Σ c_j · x_j` over pattern variables
+//! `x_j ∈ [0, n_j)`, the reachable address interval is
+//! `[k + Σ min(0, c_j)(n_j−1), k + Σ max(0, c_j)(n_j−1)]`, and every point
+//! of it is achieved (each variable independently hits its extreme). So
+//! with exact sizes the interval test is complete: inside the array
+//! extent ⇒ *proven* in bounds, outside ⇒ some executed instance really
+//! faults ⇒ *refuted* (unless a guard may keep that instance from
+//! running). Data-dependent indices and inexact sizes stay *unknown*.
+
+use crate::diag::{Code, Diagnostic, Severity, Verdict};
+use crate::eval::eval_signed;
+use multidim_ir::{collect_accesses, Access, AffineForm, ArrayId, Bindings, Program, VarId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Analyze every array access and fold results into `diags` and the
+/// per-array bounds verdicts.
+pub(crate) fn check(
+    program: &Program,
+    bindings: &Bindings,
+    diags: &mut Vec<Diagnostic>,
+    verdicts: &mut BTreeMap<ArrayId, Verdict>,
+) {
+    let accesses = collect_accesses(program);
+    let mut dynamic_noted: HashSet<ArrayId> = HashSet::new();
+
+    for a in &accesses {
+        let Some(array) = a.array else { continue };
+        let decl = program.array(array);
+        let slot = verdicts.entry(array).or_insert(Verdict::Proven);
+
+        let len = decl.shape.iter().fold((1i64, true), |(v, e), s| {
+            let s = eval_signed(s, bindings);
+            (v * s.value.max(0), e && s.exact)
+        });
+
+        match classify(a, bindings, len) {
+            AccessVerdict::Proven => {}
+            AccessVerdict::Dynamic => {
+                *slot = slot.meet(Verdict::Unknown);
+                if dynamic_noted.insert(array) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::DYNAMIC_INDEX,
+                            Severity::Info,
+                            "data-dependent index; bounds not statically provable",
+                        )
+                        .with_pattern(innermost(a))
+                        .with_array(&decl.name),
+                    );
+                }
+            }
+            AccessVerdict::Unknown(why) => {
+                *slot = slot.meet(Verdict::Unknown);
+                diags.push(
+                    Diagnostic::new(Code::MAYBE_OOB, Severity::Warn, why)
+                        .with_pattern(innermost(a))
+                        .with_array(&decl.name),
+                );
+            }
+            AccessVerdict::Refuted(why) => {
+                if a.branch_depth == 0 {
+                    *slot = Verdict::Refuted;
+                    diags.push(
+                        Diagnostic::new(Code::OOB, Severity::Error, why)
+                            .with_pattern(innermost(a))
+                            .with_array(&decl.name),
+                    );
+                } else {
+                    // The guard may keep the faulting instance from running.
+                    *slot = slot.meet(Verdict::Unknown);
+                    diags.push(
+                        Diagnostic::new(
+                            Code::MAYBE_OOB,
+                            Severity::Warn,
+                            format!("{why} (guarded; the condition may prevent it)"),
+                        )
+                        .with_pattern(innermost(a))
+                        .with_array(&decl.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+enum AccessVerdict {
+    Proven,
+    Refuted(String),
+    Unknown(String),
+    /// Unknown specifically because the index is data-dependent.
+    Dynamic,
+}
+
+fn classify(a: &Access, bindings: &Bindings, (len, len_exact): (i64, bool)) -> AccessVerdict {
+    let AffineForm::Affine { terms, constant } = &a.addr else {
+        return AccessVerdict::Dynamic;
+    };
+    let chain_vars: HashSet<VarId> = a.chain.iter().map(|l| l.var).collect();
+    if !terms.keys().all(|v| chain_vars.contains(v)) {
+        return AccessVerdict::Dynamic; // loop/let variables we cannot bound
+    }
+
+    let k = eval_signed(constant, bindings);
+    let mut lo = k.value;
+    let mut hi = k.value;
+    let mut exact = k.exact;
+    for link in &a.chain {
+        let Some(c) = terms.get(&link.var) else {
+            continue;
+        };
+        let c = eval_signed(c, bindings);
+        let extent = link.size.eval_or_default(bindings).max(0);
+        if extent == 0 {
+            return AccessVerdict::Proven; // no instance executes
+        }
+        exact = exact && c.exact && !link.size.is_dynamic();
+        let reach = c.value * (extent - 1);
+        if reach < 0 {
+            lo += reach;
+        } else {
+            hi += reach;
+        }
+    }
+
+    if exact && len_exact {
+        if lo >= 0 && hi < len {
+            AccessVerdict::Proven
+        } else if hi >= len {
+            AccessVerdict::Refuted(format!(
+                "out-of-bounds {}: element {hi} of a {len}-element array",
+                dir(a)
+            ))
+        } else {
+            AccessVerdict::Refuted(format!(
+                "out-of-bounds {}: element {lo} of a {len}-element array",
+                dir(a)
+            ))
+        }
+    } else if lo >= 0 && hi < len {
+        // The interval fits under the *estimated* sizes only.
+        AccessVerdict::Unknown(format!(
+            "cannot prove {} in bounds: sizes are dynamic or unbound",
+            dir(a)
+        ))
+    } else {
+        AccessVerdict::Unknown(format!(
+            "possible out-of-bounds {} under estimated sizes",
+            dir(a)
+        ))
+    }
+}
+
+fn dir(a: &Access) -> &'static str {
+    if a.is_write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+fn innermost(a: &Access) -> multidim_ir::PatternId {
+    a.chain
+        .last()
+        .map(|l| l.pattern)
+        .unwrap_or(multidim_ir::PatternId(0))
+}

@@ -1,0 +1,59 @@
+//! Signed, non-clamping evaluation of [`Size`] expressions.
+//!
+//! `Size::eval` clamps subtraction at zero because extents cannot be
+//! negative, but the *same* `Size` values appear as affine constants and
+//! coefficients where they stand for real expression arithmetic (`k - 1`
+//! evaluates to `-1` in a kernel). Proofs therefore evaluate sizes without
+//! the clamp and track whether every leaf was exactly known — an estimate
+//! (unbound symbol, dynamic extent) is good enough for heuristics but never
+//! for a `Proven`/`Refuted` verdict.
+
+use multidim_ir::{Bindings, Size, DEFAULT_UNKNOWN_SIZE};
+
+/// A signed value plus whether it is exact (no defaults were substituted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Signed {
+    pub value: i64,
+    pub exact: bool,
+}
+
+impl Signed {
+    fn new(value: i64, exact: bool) -> Signed {
+        Signed { value, exact }
+    }
+}
+
+/// Evaluate `s` without clamping subtraction, tracking exactness.
+pub(crate) fn eval_signed(s: &Size, b: &Bindings) -> Signed {
+    match s {
+        Size::Const(n) => Signed::new(*n, true),
+        Size::Sym(id) => match b.get(*id) {
+            Some(v) => Signed::new(v, true),
+            None => Signed::new(DEFAULT_UNKNOWN_SIZE, false),
+        },
+        Size::Dynamic(est) => Signed::new((*est).max(1), false),
+        Size::Add(a, c) => {
+            let (x, y) = (eval_signed(a, b), eval_signed(c, b));
+            Signed::new(x.value + y.value, x.exact && y.exact)
+        }
+        Size::Sub(a, c) => {
+            let (x, y) = (eval_signed(a, b), eval_signed(c, b));
+            Signed::new(x.value - y.value, x.exact && y.exact)
+        }
+        Size::Mul(a, c) => {
+            let (x, y) = (eval_signed(a, b), eval_signed(c, b));
+            Signed::new(x.value * y.value, x.exact && y.exact)
+        }
+        Size::CeilDiv(a, c) => {
+            let (x, y) = (eval_signed(a, b), eval_signed(c, b));
+            if y.value == 0 {
+                Signed::new(0, false)
+            } else {
+                Signed::new(
+                    (x.value + y.value - 1).div_euclid(y.value),
+                    x.exact && y.exact,
+                )
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Determinism and nest-shape lints.
+//!
+//! These never prove anything wrong — they flag constructs whose *result*
+//! can vary run to run (floating-point combine order) or whose analysis
+//! rests on a shaky representative (disagreeing sibling extents).
+
+use crate::diag::{Code, Diagnostic, Severity};
+use multidim_ir::{NestInfo, Pattern, PatternKind, Program, ReduceOp};
+use multidim_mapping::{MappingDecision, Span};
+
+/// Is `op` sensitive to combine order under floating point?
+fn order_sensitive(op: ReduceOp) -> bool {
+    matches!(op, ReduceOp::Add | ReduceOp::Mul)
+}
+
+/// Mapping-independent nest lints: extent disagreements (`MD006`) and
+/// atomic combine-order notes (`MD007`).
+pub(crate) fn nest_lints(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let nest = NestInfo::of(program);
+    for (lvl, info) in nest.levels.iter().enumerate() {
+        if let Some((a, b)) = info.extent_disagreement() {
+            diags.push(Diagnostic::new(
+                Code::EXTENT_MISMATCH,
+                Severity::Warn,
+                format!(
+                    "nest level {lvl} has sibling patterns with incomparable extents \
+                     ({a} vs {b}); occupancy estimates use {} as the representative",
+                    info.representative_size()
+                ),
+            ));
+        }
+    }
+
+    program
+        .root
+        .visit_patterns(&mut |p: &Pattern, _lvl| match &p.kind {
+            PatternKind::GroupBy { op, .. } if order_sensitive(*op) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ATOMIC_ORDER,
+                        Severity::Info,
+                        format!(
+                            "groupBy buckets combine through float atomics; {op:?} order \
+                         varies run to run"
+                        ),
+                    )
+                    .with_pattern(p.id),
+                );
+            }
+            PatternKind::Filter { .. } => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ATOMIC_ORDER,
+                        Severity::Info,
+                        "filter compacts through an atomic cursor; output order is \
+                     non-deterministic",
+                    )
+                    .with_pattern(p.id),
+                );
+            }
+            _ => {}
+        });
+}
+
+/// Mapping-dependent lints: a float `Reduce` whose level is cut into
+/// `Split(k)` partials combines in a schedule-dependent order (`MD005`).
+pub fn lint_mapping(program: &Program, mapping: &MappingDecision) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    program.root.visit_patterns(&mut |p: &Pattern, lvl| {
+        let PatternKind::Reduce { op } = &p.kind else {
+            return;
+        };
+        if !order_sensitive(*op) || lvl >= mapping.depth() {
+            return;
+        }
+        if let Span::Split(k) = mapping.level(lvl).span {
+            if k > 1 {
+                diags.push(
+                    Diagnostic::new(
+                        Code::SPLIT_NONDET,
+                        Severity::Warn,
+                        format!(
+                            "float reduce ({op:?}) at level {lvl} is cut into Split({k}) \
+                             partials; combine order differs from the sequential semantics"
+                        ),
+                    )
+                    .with_pattern(p.id),
+                );
+            }
+        }
+    });
+    diags
+}

@@ -1,0 +1,380 @@
+//! Write-write race detection for parallel pattern nests.
+//!
+//! Every non-atomic store collected by `ir::collect_accesses` carries a
+//! linearized [`AffineForm`] address over the enclosing pattern variables.
+//! Two *distinct* pattern instances racing means two distinct assignments
+//! of those variables produce the same address — so race freedom of a
+//! single store site is exactly injectivity of its affine map over the
+//! iteration box, and a cross-site race is a non-empty intersection of two
+//! such maps' images (excluding the same-instance case, which executes
+//! sequentially on one thread).
+//!
+//! The prover is deliberately three-valued:
+//!
+//! * **Proven race** (`MD001`, error) only for unguarded stores where a
+//!   colliding instance pair is exhibited — a guard subsets the iteration
+//!   domain, which can remove a collision but never create one, so guarded
+//!   collisions degrade to *maybe*.
+//! * **Proven race-free** survives guards for the same reason, and requires
+//!   every coefficient and extent to be exactly known.
+//! * Everything else is **maybe-race** (`MD002`, warning): non-affine
+//!   (data-dependent) scatter indices, dynamic extents, unbound symbols, or
+//!   boxes too large to enumerate.
+
+use crate::diag::{Code, Diagnostic, Severity, Verdict};
+use crate::eval::eval_signed;
+use multidim_ir::{collect_accesses, Access, AffineForm, ArrayId, Bindings, Program, VarId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Above this many instances, stop enumerating and report `Unknown`.
+const ENUM_LIMIT: i64 = 1 << 16;
+
+/// One parallel dimension of a store site: the pattern variable, its
+/// extent, its (signed) address coefficient, and exactness flags.
+struct Dim {
+    var: VarId,
+    extent: i64,
+    exact_extent: bool,
+    coeff: i64,
+    exact_coeff: bool,
+}
+
+/// A store site prepared for the solver.
+struct Site<'a> {
+    access: &'a Access,
+    /// Parallel dimensions with extent > 1 (unit extents cannot collide).
+    dims: Vec<Dim>,
+    /// `Some` when the address is affine purely over pattern variables.
+    affine: Option<(Vec<Dim>, i64, bool)>,
+}
+
+/// Outcome of one disjointness query.
+enum Outcome {
+    Disjoint,
+    Race(String),
+    Unknown(String),
+}
+
+/// Analyze all non-atomic writes and fold the results into `diags` and the
+/// per-array race verdicts.
+pub(crate) fn check(
+    program: &Program,
+    bindings: &Bindings,
+    diags: &mut Vec<Diagnostic>,
+    verdicts: &mut BTreeMap<ArrayId, Verdict>,
+) {
+    let accesses = collect_accesses(program);
+    let mut by_array: BTreeMap<ArrayId, Vec<&Access>> = BTreeMap::new();
+    for a in &accesses {
+        if let Some(id) = a.array {
+            if a.is_write && !a.atomic {
+                by_array.entry(id).or_default().push(a);
+            }
+        }
+    }
+
+    for (array, writes) in by_array {
+        let name = program.array(array).name.clone();
+        let sites: Vec<Site<'_>> = writes.iter().map(|w| prepare(w, bindings)).collect();
+        let mut verdict = Verdict::Proven;
+        let mut unknown_reason: Option<(String, &Access)> = None;
+
+        for site in &sites {
+            match self_check(site) {
+                Outcome::Disjoint => {}
+                Outcome::Race(why) => {
+                    verdict = Verdict::Refuted;
+                    diags.push(
+                        Diagnostic::new(Code::RACE, Severity::Error, format!("data race: {why}"))
+                            .with_pattern(innermost(site.access))
+                            .with_array(&name),
+                    );
+                }
+                Outcome::Unknown(why) => {
+                    if unknown_reason.is_none() {
+                        unknown_reason = Some((why, site.access));
+                    }
+                }
+            }
+        }
+        for (i, a) in sites.iter().enumerate() {
+            for b in &sites[i + 1..] {
+                match pair_check(a, b) {
+                    Outcome::Disjoint => {}
+                    // Pairwise collisions are never promoted to proven
+                    // races: whether the colliding instances really run on
+                    // different threads depends on how codegen schedules
+                    // sibling effects.
+                    Outcome::Race(why) | Outcome::Unknown(why) => {
+                        if unknown_reason.is_none() {
+                            unknown_reason = Some((why, a.access));
+                        }
+                    }
+                }
+            }
+        }
+
+        if verdict != Verdict::Refuted {
+            if let Some((why, access)) = unknown_reason {
+                verdict = Verdict::Unknown;
+                diags.push(
+                    Diagnostic::new(
+                        Code::MAYBE_RACE,
+                        Severity::Warn,
+                        format!("possible data race: {why}"),
+                    )
+                    .with_pattern(innermost(access))
+                    .with_array(&name),
+                );
+            }
+        }
+        let slot = verdicts.entry(array).or_insert(Verdict::Proven);
+        *slot = slot.meet(verdict);
+    }
+}
+
+fn innermost(a: &Access) -> multidim_ir::PatternId {
+    a.chain
+        .last()
+        .map(|l| l.pattern)
+        .unwrap_or(multidim_ir::PatternId(0))
+}
+
+/// Resolve a store's chain and address against `bindings`.
+fn prepare<'a>(access: &'a Access, bindings: &Bindings) -> Site<'a> {
+    let mut dims = Vec::new();
+    for link in &access.chain {
+        let extent = link.size.eval_or_default(bindings).max(0);
+        if extent <= 1 && !link.size.is_dynamic() {
+            continue; // a single instance cannot self-collide
+        }
+        let (coeff, exact_coeff) = match &access.addr {
+            AffineForm::Affine { terms, .. } => match terms.get(&link.var) {
+                Some(c) => {
+                    let s = eval_signed(c, bindings);
+                    (s.value, s.exact)
+                }
+                None => (0, true),
+            },
+            AffineForm::NonAffine => (0, false),
+        };
+        dims.push(Dim {
+            var: link.var,
+            extent,
+            exact_extent: !link.size.is_dynamic(),
+            coeff,
+            exact_coeff,
+        });
+    }
+
+    let affine = match &access.addr {
+        AffineForm::Affine { terms, constant } => {
+            let chain_vars: HashSet<VarId> = access.chain.iter().map(|l| l.var).collect();
+            if terms.keys().all(|v| chain_vars.contains(v)) {
+                let k = eval_signed(constant, bindings);
+                let ds: Vec<Dim> = dims
+                    .iter()
+                    .map(|d| Dim {
+                        var: d.var,
+                        extent: d.extent,
+                        exact_extent: d.exact_extent,
+                        coeff: d.coeff,
+                        exact_coeff: d.exact_coeff,
+                    })
+                    .collect();
+                Some((ds, k.value, k.exact))
+            } else {
+                None // address depends on a loop/let variable we can't bound
+            }
+        }
+        AffineForm::NonAffine => None,
+    };
+    Site {
+        access,
+        dims,
+        affine,
+    }
+}
+
+/// Is one store site injective over its own instances?
+fn self_check(site: &Site<'_>) -> Outcome {
+    if site.dims.is_empty() {
+        return Outcome::Disjoint; // a single instance
+    }
+    let Some((dims, _k, _)) = &site.affine else {
+        return match &site.access.addr {
+            AffineForm::NonAffine => Outcome::Unknown("store index is data-dependent".to_string()),
+            _ => Outcome::Unknown(
+                "store index depends on a sequential-loop or let variable".to_string(),
+            ),
+        };
+    };
+
+    // A parallel variable the address ignores: every setting of it writes
+    // the same location.
+    for d in dims {
+        if d.coeff == 0 && d.exact_coeff {
+            if !d.exact_extent {
+                return Outcome::Unknown(format!(
+                    "extent of the parallel dimension over v{} is only known at runtime",
+                    d.var.0
+                ));
+            }
+            if site.access.branch_depth == 0 {
+                return Outcome::Race(format!(
+                    "all {} instances of the parallel dimension over v{} write the same element",
+                    d.extent, d.var.0
+                ));
+            }
+            return Outcome::Unknown(format!(
+                "guarded instances of the parallel dimension over v{} may write the same element",
+                d.var.0
+            ));
+        }
+    }
+    if dims.iter().any(|d| !d.exact_coeff || !d.exact_extent) {
+        return Outcome::Unknown("store address involves unbound or dynamic sizes".to_string());
+    }
+
+    // Sufficient mixed-radix condition: sorted by |coeff|, each coefficient
+    // dominates the maximal reach of all smaller ones.
+    let mut sorted: Vec<(i64, i64)> = dims.iter().map(|d| (d.coeff.abs(), d.extent)).collect();
+    sorted.sort_unstable();
+    let mut reach: i64 = 0;
+    let mut dominated = true;
+    for (c, n) in &sorted {
+        if *c <= reach {
+            dominated = false;
+            break;
+        }
+        reach = reach.saturating_add(c.saturating_mul(n - 1));
+    }
+    if dominated {
+        return Outcome::Disjoint;
+    }
+
+    // Exact fallback: enumerate the box.
+    let volume: i64 = dims.iter().map(|d| d.extent).product();
+    if volume <= ENUM_LIMIT {
+        let mut seen = HashSet::with_capacity(volume as usize);
+        let mut found = None;
+        for_each_addr(dims, 0, |addr| {
+            if !seen.insert(addr) && found.is_none() {
+                found = Some(addr);
+            }
+        });
+        return match found {
+            Some(addr) if site.access.branch_depth == 0 => {
+                Outcome::Race(format!("two instances write linearized element {addr}"))
+            }
+            Some(addr) => Outcome::Unknown(format!(
+                "guarded instances may both write linearized element {addr}"
+            )),
+            None => Outcome::Disjoint,
+        };
+    }
+    Outcome::Unknown("cannot prove the store map injective".to_string())
+}
+
+/// Can two different store sites hit the same element from different
+/// instances?
+fn pair_check(a: &Site<'_>, b: &Site<'_>) -> Outcome {
+    let (Some((da, ka, ea)), Some((db, kb, eb))) = (&a.affine, &b.affine) else {
+        return Outcome::Unknown(
+            "multiple stores to the array cannot be proven disjoint".to_string(),
+        );
+    };
+    if !ea
+        || !eb
+        || da
+            .iter()
+            .chain(db.iter())
+            .any(|d| !d.exact_coeff || !d.exact_extent)
+    {
+        return Outcome::Unknown("multiple stores involve unbound or dynamic sizes".to_string());
+    }
+    // Disjoint address ranges can never collide.
+    let ra = range(da, *ka);
+    let rb = range(db, *kb);
+    if ra.1 < rb.0 || rb.1 < ra.0 {
+        return Outcome::Disjoint;
+    }
+    // Identical form over an identical chain: collisions coincide with the
+    // self-injectivity question already answered per site.
+    let same_chain = a.access.chain.iter().map(|l| l.pattern).collect::<Vec<_>>()
+        == b.access.chain.iter().map(|l| l.pattern).collect::<Vec<_>>();
+    let same_form = *ka == *kb
+        && da.len() == db.len()
+        && da
+            .iter()
+            .zip(db.iter())
+            .all(|(x, y)| x.var == y.var && x.coeff == y.coeff && x.extent == y.extent);
+    if same_chain && same_form {
+        return Outcome::Disjoint;
+    }
+
+    let (va, vb): (i64, i64) = (
+        da.iter().map(|d| d.extent).product(),
+        db.iter().map(|d| d.extent).product(),
+    );
+    if va <= ENUM_LIMIT && vb <= ENUM_LIMIT {
+        let mut img = HashSet::with_capacity(va as usize);
+        for_each_addr(da, *ka, |addr| {
+            img.insert(addr);
+        });
+        let mut hit = None;
+        for_each_addr(db, *kb, |addr| {
+            if hit.is_none() && img.contains(&addr) {
+                hit = Some(addr);
+            }
+        });
+        return match hit {
+            Some(addr) => Outcome::Unknown(format!(
+                "two store sites can both write linearized element {addr}"
+            )),
+            None => Outcome::Disjoint,
+        };
+    }
+    Outcome::Unknown("multiple stores to the array cannot be proven disjoint".to_string())
+}
+
+/// `[min, max]` of the affine image over the box.
+fn range(dims: &[Dim], k: i64) -> (i64, i64) {
+    let mut lo = k;
+    let mut hi = k;
+    for d in dims {
+        let reach = d.coeff * (d.extent - 1);
+        if reach < 0 {
+            lo += reach;
+        } else {
+            hi += reach;
+        }
+    }
+    (lo, hi)
+}
+
+/// Call `f` with every address in the image (box enumeration).
+fn for_each_addr(dims: &[Dim], k: i64, mut f: impl FnMut(i64)) {
+    let mut idx = vec![0i64; dims.len()];
+    loop {
+        let addr = k + dims
+            .iter()
+            .zip(idx.iter())
+            .map(|(d, i)| d.coeff * i)
+            .sum::<i64>();
+        f(addr);
+        let mut carry = dims.len();
+        while carry > 0 {
+            let j = carry - 1;
+            idx[j] += 1;
+            if idx[j] < dims[j].extent {
+                break;
+            }
+            idx[j] = 0;
+            carry -= 1;
+        }
+        if carry == 0 {
+            return;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Cross-validation of static verdicts against the simulator's sanitizer.
+//!
+//! The simulator's sanitizer mode records, per kernel launch, every
+//! non-atomic global store with the global thread id that issued it and
+//! reports *conflicts*: one element stored by two different threads within
+//! one launch. Static verdicts and dynamic observations then have a simple
+//! contract:
+//!
+//! * `race_free = Proven` ⇒ the sanitizer must observe **zero** conflicts
+//!   on buffers materializing that array. A conflict is a soundness bug in
+//!   the prover and a test failure.
+//! * `in_bounds = Proven` ⇒ the run must complete without a simulator
+//!   memory fault (the simulator faults on any out-of-range address, so
+//!   successful completion *is* the dynamic confirmation).
+//! * `Unknown` and `Refuted` verdicts impose no dynamic constraint — a
+//!   HogWild-style workload may race benignly on purpose.
+
+use crate::diag::{Report, Verdict};
+use multidim_sim::SanitizerReport;
+
+/// Compare a static [`Report`] with a dynamic [`SanitizerReport`];
+/// returns one message per disagreement (empty = verdicts confirmed).
+pub fn cross_check(report: &Report, san: &SanitizerReport) -> Vec<String> {
+    let mut disagreements = Vec::new();
+    for v in &report.arrays {
+        if v.race_free != Verdict::Proven {
+            continue;
+        }
+        for c in &san.conflicts {
+            if c.array == Some(v.array) {
+                disagreements.push(format!(
+                    "static analysis proved `{}` race-free, but the sanitizer saw \
+                     threads {} and {} both store element {} of buffer `{}` in kernel `{}`",
+                    v.name, c.first_tid, c.second_tid, c.index, c.buffer, c.kernel
+                ));
+            }
+        }
+    }
+    disagreements
+}

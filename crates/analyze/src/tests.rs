@@ -1,0 +1,455 @@
+//! Unit tests: one positive and one negative case per diagnostic code,
+//! plus the verdict lattice and the JSON rendering round-trip.
+
+use crate::diag::{Code, Severity, Verdict};
+use crate::{analyze_program, kernel_defect, lint_mapping};
+use multidim_codegen::KernelError;
+use multidim_ir::{Bindings, Effect, Expr, ProgramBuilder, ReduceOp, ScalarKind, Size};
+use multidim_mapping::{Dim, LevelMapping, MappingDecision, Span};
+use multidim_trace::json::Json;
+
+fn codes(report: &crate::Report) -> Vec<Code> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+// ---------------------------------------------------------------- MD001
+
+#[test]
+fn md001_constant_store_is_a_proven_race() {
+    let mut b = ProgramBuilder::new("clash");
+    let x = b.input("x", ScalarKind::F32, &[Size::from(4)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::from(4)]);
+    let root = b.foreach(Size::from(4), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::int(0)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let report = analyze_program(&p, &Bindings::new());
+    assert!(report.has_errors());
+    assert!(codes(&report).contains(&Code::RACE));
+    assert_eq!(report.race_free(y), Verdict::Refuted);
+}
+
+#[test]
+fn md001_negative_identity_store_is_race_free() {
+    let mut b = ProgramBuilder::new("ident");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::var(i)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 1024);
+    let report = analyze_program(&p, &bind);
+    assert!(!report.has_errors());
+    assert!(!codes(&report).contains(&Code::RACE));
+    assert_eq!(report.race_free(y), Verdict::Proven);
+    assert_eq!(report.in_bounds(y), Verdict::Proven);
+}
+
+// ---------------------------------------------------------------- MD002
+
+#[test]
+fn md002_scatter_through_an_index_array_is_a_maybe_race() {
+    let mut b = ProgramBuilder::new("scatter");
+    let n = b.sym("N");
+    let perm = b.input("perm", ScalarKind::I32, &[Size::sym(n)]);
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let tgt = b.read(perm, &[i.into()]);
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![tgt],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    assert!(!report.has_errors(), "maybe-race must stay a warning");
+    let maybe: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::MAYBE_RACE)
+        .collect();
+    assert_eq!(maybe.len(), 1, "one MD002 per array, not per access");
+    assert_eq!(maybe[0].severity, Severity::Warn);
+    assert_eq!(report.race_free(y), Verdict::Unknown);
+}
+
+#[test]
+fn md002_negative_affine_disjoint_store() {
+    let mut b = ProgramBuilder::new("stride");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n) * Size::from(2)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::var(i) * Expr::int(2)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 100);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::MAYBE_RACE));
+    assert_eq!(report.race_free(y), Verdict::Proven);
+}
+
+// ---------------------------------------------------------------- MD003
+
+#[test]
+fn md003_read_past_the_end_is_refuted() {
+    let mut b = ProgramBuilder::new("oob");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| {
+        b.read(x, &[Expr::var(i) + Expr::size(Size::sym(n))])
+    });
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    assert!(report.has_errors());
+    let oob: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::OOB)
+        .collect();
+    assert_eq!(oob.len(), 1);
+    assert_eq!(oob[0].severity, Severity::Error);
+    assert_eq!(report.in_bounds(x), Verdict::Refuted);
+}
+
+#[test]
+fn md003_negative_in_bounds_read_is_proven() {
+    let mut b = ProgramBuilder::new("inb");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]));
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::OOB));
+    assert_eq!(report.in_bounds(x), Verdict::Proven);
+}
+
+// ---------------------------------------------------------------- MD004
+
+#[test]
+fn md004_guarded_overflow_is_a_warning_not_an_error() {
+    let mut b = ProgramBuilder::new("guarded");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        let guard = b.read(x, &[i.into()]).gt(Expr::lit(0.0));
+        vec![Effect::Write {
+            cond: Some(guard),
+            array: y,
+            // Out of bounds when taken — but the guard may prevent it.
+            idx: vec![Expr::var(i) + Expr::size(Size::sym(n))],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 32);
+    let report = analyze_program(&p, &bind);
+    assert!(!report.has_errors(), "guarded OOB must not abort");
+    assert!(codes(&report).contains(&Code::MAYBE_OOB));
+    assert_eq!(report.in_bounds(y), Verdict::Unknown);
+}
+
+#[test]
+fn md004_unbound_sizes_leave_bounds_unknown() {
+    let mut b = ProgramBuilder::new("unbound");
+    let n = b.sym("N");
+    let m = b.sym("M");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(m)]);
+    // Reads x[i] over i < N with N, M unbound: nothing provable.
+    let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]));
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let report = analyze_program(&p, &Bindings::new());
+    assert!(!report.has_errors());
+    assert!(codes(&report).contains(&Code::MAYBE_OOB));
+    assert_eq!(report.in_bounds(x), Verdict::Unknown);
+}
+
+#[test]
+fn md004_negative_proven_program_has_no_bounds_warning() {
+    let mut b = ProgramBuilder::new("clean");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]) * Expr::lit(2.0));
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 256);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::MAYBE_OOB));
+}
+
+// ---------------------------------------------------------------- MD005
+
+fn float_sum_program() -> multidim_ir::Program {
+    let mut b = ProgramBuilder::new("sum");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.reduce(Size::sym(n), ReduceOp::Add, |b, i| b.read(x, &[i.into()]));
+    b.finish_reduce(root, "s", ScalarKind::F32).unwrap()
+}
+
+#[test]
+fn md005_split_float_reduce_is_flagged() {
+    let p = float_sum_program();
+    let m = MappingDecision::new(vec![LevelMapping {
+        dim: Dim::X,
+        block_size: 256,
+        span: Span::Split(4),
+    }]);
+    let diags = lint_mapping(&p, &m);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::SPLIT_NONDET);
+    assert_eq!(diags[0].severity, Severity::Warn);
+}
+
+#[test]
+fn md005_negative_span_all_reduce_is_clean() {
+    let p = float_sum_program();
+    let m = MappingDecision::new(vec![LevelMapping {
+        dim: Dim::X,
+        block_size: 256,
+        span: Span::All,
+    }]);
+    assert!(lint_mapping(&p, &m).is_empty());
+}
+
+#[test]
+fn md005_negative_max_reduce_is_order_insensitive() {
+    let mut b = ProgramBuilder::new("max");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.reduce(Size::sym(n), ReduceOp::Max, |b, i| b.read(x, &[i.into()]));
+    let p = b.finish_reduce(root, "m", ScalarKind::F32).unwrap();
+    let m = MappingDecision::new(vec![LevelMapping {
+        dim: Dim::X,
+        block_size: 256,
+        span: Span::Split(8),
+    }]);
+    assert!(lint_mapping(&p, &m).is_empty());
+}
+
+// ---------------------------------------------------------------- MD006
+
+#[test]
+fn md006_incomparable_sibling_extents_warn() {
+    let mut b = ProgramBuilder::new("ragged");
+    let n = b.sym("N");
+    let m = b.sym("M");
+    let k = b.sym("K");
+    let a = b.input("a", ScalarKind::F32, &[Size::sym(m)]);
+    let c = b.input("c", ScalarKind::F32, &[Size::sym(k)]);
+    let root = b.map(Size::sym(n), |b, _i| {
+        let left = b.reduce(Size::sym(m), ReduceOp::Add, |b, j| b.read(a, &[j.into()]));
+        let right = b.reduce(Size::sym(k), ReduceOp::Add, |b, j| b.read(c, &[j.into()]));
+        left + right
+    });
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 8);
+    bind.bind(m, 16);
+    bind.bind(k, 32);
+    let report = analyze_program(&p, &bind);
+    assert!(codes(&report).contains(&Code::EXTENT_MISMATCH));
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn md006_negative_constant_extents_are_comparable() {
+    let mut b = ProgramBuilder::new("even");
+    let n = b.sym("N");
+    let a = b.input("a", ScalarKind::F32, &[Size::from(16)]);
+    let root = b.map(Size::sym(n), |b, _i| {
+        let left = b.reduce(Size::from(8), ReduceOp::Add, |b, j| b.read(a, &[j.into()]));
+        let right = b.reduce(Size::from(16), ReduceOp::Add, |b, j| b.read(a, &[j.into()]));
+        left + right
+    });
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 8);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::EXTENT_MISMATCH));
+}
+
+// ---------------------------------------------------------------- MD007
+
+#[test]
+fn md007_float_group_by_notes_atomic_order() {
+    let mut b = ProgramBuilder::new("hist");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.group_by(Size::sym(n), Size::from(4), ReduceOp::Add, |b, i| {
+        let key = Expr::var(i).rem(Expr::int(4));
+        let val = b.read(x, &[i.into()]);
+        (key, val)
+    });
+    let p = b.finish_group_by(root, "h", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    let notes: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::ATOMIC_ORDER)
+        .collect();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].severity, Severity::Info);
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn md007_negative_max_group_by_is_deterministic() {
+    let mut b = ProgramBuilder::new("argmax");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.group_by(Size::sym(n), Size::from(4), ReduceOp::Max, |b, i| {
+        let key = Expr::var(i).rem(Expr::int(4));
+        let val = b.read(x, &[i.into()]);
+        (key, val)
+    });
+    let p = b.finish_group_by(root, "h", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::ATOMIC_ORDER));
+}
+
+// ---------------------------------------------------------------- MD008
+
+#[test]
+fn md008_wraps_kernel_errors() {
+    let d = kernel_defect(&KernelError("sync under divergent control".to_string()));
+    assert_eq!(d.code, Code::KERNEL_DEFECT);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("divergent"));
+    assert!(d.render_line().starts_with("MD008 error"));
+}
+
+// ---------------------------------------------------------------- MD009
+
+#[test]
+fn md009_gather_reads_are_data_dependent() {
+    let mut b = ProgramBuilder::new("gather");
+    let n = b.sym("N");
+    let perm = b.input("perm", ScalarKind::I32, &[Size::sym(n)]);
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| {
+        let j = b.read(perm, &[i.into()]);
+        b.read(x, &[j])
+    });
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    let dynamic: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == Code::DYNAMIC_INDEX)
+        .collect();
+    assert_eq!(dynamic.len(), 1, "one MD009 per array");
+    assert_eq!(dynamic[0].severity, Severity::Info);
+    assert_eq!(report.in_bounds(x), Verdict::Unknown);
+    // The index array itself is read affinely and stays proven.
+    assert_eq!(report.in_bounds(perm), Verdict::Proven);
+}
+
+#[test]
+fn md009_negative_affine_reads_produce_no_note() {
+    let mut b = ProgramBuilder::new("affine");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]));
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+    let report = analyze_program(&p, &bind);
+    assert!(!codes(&report).contains(&Code::DYNAMIC_INDEX));
+}
+
+// ------------------------------------------------------- lattice + JSON
+
+#[test]
+fn verdict_meet_is_the_expected_lattice() {
+    use Verdict::*;
+    assert_eq!(Proven.meet(Proven), Proven);
+    assert_eq!(Proven.meet(Unknown), Unknown);
+    assert_eq!(Unknown.meet(Proven), Unknown);
+    assert_eq!(Unknown.meet(Unknown), Unknown);
+    assert_eq!(Refuted.meet(Proven), Refuted);
+    assert_eq!(Proven.meet(Refuted), Refuted);
+    assert_eq!(Refuted.meet(Unknown), Refuted);
+    assert_eq!(Refuted.meet(Refuted), Refuted);
+}
+
+#[test]
+fn report_json_round_trips_through_the_trace_parser() {
+    let mut b = ProgramBuilder::new("clash");
+    let x = b.input("x", ScalarKind::F32, &[Size::from(4)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::from(4)]);
+    let root = b.foreach(Size::from(4), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::int(0)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let report = analyze_program(&p, &Bindings::new());
+
+    let text = report.to_json().render();
+    let parsed = Json::parse(&text).expect("rendered report must re-parse");
+    assert_eq!(parsed.get("program").and_then(Json::as_str), Some("clash"));
+    let diags = parsed
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("diagnostics array");
+    assert!(!diags.is_empty());
+    assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("MD001"));
+    let arrays = parsed.get("arrays").and_then(Json::as_arr).unwrap();
+    assert_eq!(arrays.len(), 2);
+    let yv = arrays
+        .iter()
+        .find(|a| a.get("name").and_then(Json::as_str) == Some("y"))
+        .unwrap();
+    assert_eq!(yv.get("race_free").and_then(Json::as_str), Some("refuted"));
+
+    // Terminal rendering carries the same facts.
+    let rendered = report.render();
+    assert!(rendered.contains("MD001"));
+    assert!(rendered.contains("race-free"));
+}

@@ -345,6 +345,30 @@ mod tests {
     }
 
     #[test]
+    fn rejects_sync_in_data_dependent_loop() {
+        // CSR-style shape: the trip count is loaded per lane
+        // (`end = row_ptr[tid+1]`), so lanes exit the loop at different
+        // iterations — a barrier anywhere inside, even nested under a
+        // uniform branch, would deadlock.
+        let k = base_kernel(vec![Stmt::For {
+            var: 0,
+            start: KExpr::imm(0),
+            end: KExpr::Load {
+                buf: BufId(0),
+                idx: Box::new(KExpr::add(KExpr::Tid(Axis::X), KExpr::imm(1))),
+            },
+            step: KExpr::imm(1),
+            body: vec![Stmt::If {
+                cond: KExpr::lt(KExpr::Bid(Axis::X), KExpr::imm(2)),
+                then: vec![Stmt::Sync],
+                els: vec![],
+            }],
+        }]);
+        let err = validate_kernels(&program_with(k), 48 * 1024).unwrap_err();
+        assert!(err.0.contains("lane-dependent"), "{err}");
+    }
+
+    #[test]
     fn accepts_uniform_loop_with_sync() {
         let k = base_kernel(vec![Stmt::For {
             var: 0,

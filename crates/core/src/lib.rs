@@ -58,8 +58,13 @@ use multidim_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 
+pub use multidim_analyze::{
+    analyze_program, cross_check, kernel_defect, lint_mapping, Code, Diagnostic,
+    Report as AnalysisReport, Severity, Verdict,
+};
 pub use multidim_codegen::LayoutPolicy;
 pub use multidim_mapping::{Dim, Span};
+pub use multidim_sim::SanitizerReport;
 
 /// Commonly used items, re-exported for applications.
 pub mod prelude {
@@ -131,6 +136,7 @@ pub struct Compiler {
     options: CodegenOptions,
     weights: Weights,
     fusion: bool,
+    checks: bool,
 }
 
 impl Default for Compiler {
@@ -148,6 +154,7 @@ impl Compiler {
             options: CodegenOptions::default(),
             weights: Weights::default(),
             fusion: true,
+            checks: true,
         }
     }
 
@@ -180,6 +187,16 @@ impl Compiler {
     /// preallocation study runs with it off).
     pub fn fusion(mut self, on: bool) -> Self {
         self.fusion = on;
+        self
+    }
+
+    /// Enable/disable the static-analysis stage (on by default).
+    /// Error-severity diagnostics — proven races, proven out-of-bounds
+    /// accesses — abort compilation; turn the stage off to compile a
+    /// deliberately racy program (e.g. to watch the simulator's sanitizer
+    /// catch it).
+    pub fn checks(mut self, on: bool) -> Self {
+        self.checks = on;
         self
     }
 
@@ -288,17 +305,55 @@ impl Compiler {
         analysis: Option<Analysis>,
         fused_patterns: usize,
     ) -> Result<Executable, CompileError> {
+        let diagnostics = if self.checks {
+            self.check_program(&program, bindings, &mapping)?
+        } else {
+            multidim_analyze::Report::default()
+        };
         let kernels = lower(&program, &mapping, &self.options)?;
-        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)?;
+        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)
+            .map_err(|e| CompileError(multidim_analyze::kernel_defect(&e).render_line()))?;
         Ok(Executable {
             program,
             mapping,
             analysis,
+            diagnostics,
             kernels,
             fused_patterns,
             gpu: self.gpu.clone(),
             bindings: bindings.clone(),
         })
+    }
+
+    /// The static-analysis stage: race/bounds proofs, nest lints, and
+    /// mapping-dependent determinism lints. Errors abort compilation with
+    /// their `MD` codes; warnings and infos ride along as trace events and
+    /// in [`Executable::diagnostics`].
+    fn check_program(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        mapping: &MappingDecision,
+    ) -> Result<multidim_analyze::Report, CompileError> {
+        let mut sp = trace::span("analyze", "static_analysis");
+        let mut report = multidim_analyze::analyze_program(program, bindings);
+        report
+            .diagnostics
+            .extend(multidim_analyze::lint_mapping(program, mapping));
+        if let Some(sp) = sp.as_mut() {
+            sp.arg("diagnostics", report.diagnostics.len() as u64);
+            sp.arg("errors", report.errors().count() as u64);
+        }
+        report.emit_trace();
+        if report.has_errors() {
+            let lines: Vec<String> = report.errors().map(|d| d.render_line()).collect();
+            return Err(CompileError(format!(
+                "static analysis rejected `{}`:\n  {}",
+                report.program,
+                lines.join("\n  ")
+            )));
+        }
+        Ok(report)
     }
 }
 
@@ -311,6 +366,9 @@ pub struct Executable {
     pub mapping: MappingDecision,
     /// The full analysis result when the *MultiDim* strategy ran.
     pub analysis: Option<Analysis>,
+    /// Static-analysis diagnostics (empty when checks were disabled);
+    /// error-severity findings never reach here — they abort compilation.
+    pub diagnostics: multidim_analyze::Report,
     /// The generated kernels and buffer plan.
     pub kernels: KernelProgram,
     /// Number of map→reduce fusions applied before analysis.
@@ -339,6 +397,38 @@ impl Executable {
             kernel_times: sim.times,
             kernel_costs: sim.costs,
         })
+    }
+
+    /// Execute with the simulator's sanitizer on: every non-atomic global
+    /// store is recorded per kernel, and elements written by two different
+    /// threads in one launch come back as conflicts. Use
+    /// [`cross_check`](multidim_analyze::cross_check) to compare the
+    /// observations against [`Executable::diagnostics`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] for missing inputs or kernel faults.
+    pub fn run_sanitized(
+        &self,
+        inputs: &HashMap<ArrayId, Vec<f64>>,
+    ) -> Result<(RunReport, SanitizerReport), RunError> {
+        let mut sp = trace::span("core", "run_sanitized");
+        if let Some(sp) = sp.as_mut() {
+            sp.arg("program", self.kernels.name.as_str());
+        }
+        let (sim, san) =
+            multidim_sim::run_program_sanitized(&self.kernels, &self.gpu, &self.bindings, inputs)?;
+        Ok((
+            RunReport {
+                outputs: sim.arrays,
+                gpu_seconds: sim.total_seconds,
+                kernel_names: sim.names,
+                kernel_shapes: sim.shapes,
+                kernel_times: sim.times,
+                kernel_costs: sim.costs,
+            },
+            san,
+        ))
     }
 
     /// Machine-readable metrics for a finished run — the export format

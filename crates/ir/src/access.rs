@@ -44,13 +44,42 @@ impl LevelInfo {
     /// The level's representative extent: the maximum of its patterns'
     /// (they usually agree; e.g. PageRank's inner map and reduce both range
     /// over a node's neighbors).
+    ///
+    /// Constant extents are compared numerically and the maximum wins.
+    /// Symbolic max is not supported, so for incomparable symbolic pairs the
+    /// first pattern's size remains the representative (codegen guards each
+    /// pattern by its own extent); [`LevelInfo::extent_disagreement`] lets
+    /// callers surface that case instead of silently accepting it.
     pub fn representative_size(&self) -> Size {
-        // Symbolic max is not supported; the first pattern's size is the
-        // representative and codegen guards each pattern by its own extent.
-        self.patterns
-            .first()
-            .map(|p| p.size.clone())
-            .unwrap_or(Size::Const(1))
+        let mut rep = match self.patterns.first() {
+            Some(p) => p.size.clone(),
+            None => return Size::Const(1),
+        };
+        for p in self.patterns.iter().skip(1) {
+            if let (Size::Const(a), Size::Const(b)) = (&rep, &p.size) {
+                if b > a {
+                    rep = p.size.clone();
+                }
+            }
+        }
+        rep
+    }
+
+    /// A witness pair of disagreeing sibling extents that cannot be compared
+    /// symbolically (the `representative_size` caveat). The analysis picks
+    /// one representative and codegen guards each pattern by its own extent,
+    /// but occupancy estimates for the level may be off — the analyzer
+    /// reports this as a diagnostic rather than letting it pass silently.
+    pub fn extent_disagreement(&self) -> Option<(Size, Size)> {
+        let first = &self.patterns.first()?.size;
+        for p in self.patterns.iter().skip(1) {
+            let comparable =
+                *first == p.size || matches!((first, &p.size), (Size::Const(_), Size::Const(_)));
+            if !comparable {
+                return Some((first.clone(), p.size.clone()));
+            }
+        }
+        None
     }
 
     /// Whether any pattern at this level needs global synchronization.
@@ -131,6 +160,11 @@ pub struct Access {
     pub elem_bytes: u64,
     /// `true` for stores.
     pub is_write: bool,
+    /// `true` when the access happens through an atomic read-modify-write
+    /// (or a pattern that lowers to one, e.g. `Filter`/`GroupBy` output
+    /// placement) — such writes cannot lose updates, so the race analysis
+    /// exempts them and only determinism lints apply.
+    pub atomic: bool,
     /// Linearized address form over all in-scope variables.
     pub addr: AffineForm,
     /// Enclosing patterns, outermost first.
@@ -211,7 +245,7 @@ impl<'p> Collector<'p> {
                         self.implicit_map_store(level);
                     }
                     PatternKind::Filter { .. } | PatternKind::GroupBy { .. } => {
-                        self.push_access(None, 8, true, AffineForm::NonAffine, false);
+                        self.push_atomic(None, 8, true, AffineForm::NonAffine, false);
                     }
                     _ => {}
                 }
@@ -263,8 +297,8 @@ impl<'p> Collector<'p> {
                     let decl = self.program.array(*array);
                     let addr = linearize(idx, &decl.shape);
                     // Atomics read and write the location.
-                    self.push_access(Some(*array), decl.elem.bytes(), true, addr.clone(), false);
-                    self.push_access(Some(*array), decl.elem.bytes(), false, addr, false);
+                    self.push_atomic(Some(*array), decl.elem.bytes(), true, addr.clone(), false);
+                    self.push_atomic(Some(*array), decl.elem.bytes(), false, addr, false);
                     if cond.is_some() {
                         self.branch_depth -= 1;
                     }
@@ -307,10 +341,35 @@ impl<'p> Collector<'p> {
         addr: AffineForm,
         flexible: bool,
     ) {
+        self.push(array, elem_bytes, is_write, false, addr, flexible);
+    }
+
+    fn push_atomic(
+        &mut self,
+        array: Option<ArrayId>,
+        elem_bytes: u64,
+        is_write: bool,
+        addr: AffineForm,
+        flexible: bool,
+    ) {
+        self.push(array, elem_bytes, is_write, true, addr, flexible);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        array: Option<ArrayId>,
+        elem_bytes: u64,
+        is_write: bool,
+        atomic: bool,
+        addr: AffineForm,
+        flexible: bool,
+    ) {
         self.out.push(Access {
             array,
             elem_bytes,
             is_write,
+            atomic,
             addr,
             chain: self.chain.clone(),
             branch_depth: self.branch_depth,
@@ -467,6 +526,62 @@ mod tests {
             })
         });
         b.finish_map(root, "out", ScalarKind::F32).unwrap()
+    }
+
+    #[test]
+    fn representative_size_takes_constant_max() {
+        let level = LevelInfo {
+            patterns: vec![
+                LevelPattern {
+                    size: Size::Const(8),
+                    ..probe_pattern()
+                },
+                LevelPattern {
+                    size: Size::Const(32),
+                    ..probe_pattern()
+                },
+                LevelPattern {
+                    size: Size::Const(16),
+                    ..probe_pattern()
+                },
+            ],
+        };
+        assert_eq!(level.representative_size(), Size::Const(32));
+        assert_eq!(level.extent_disagreement(), None);
+    }
+
+    #[test]
+    fn incomparable_sibling_extents_are_surfaced() {
+        use crate::size::SymId;
+        let level = LevelInfo {
+            patterns: vec![
+                LevelPattern {
+                    size: Size::sym(SymId(0)),
+                    ..probe_pattern()
+                },
+                LevelPattern {
+                    size: Size::sym(SymId(1)),
+                    ..probe_pattern()
+                },
+            ],
+        };
+        // The first extent stays the representative...
+        assert_eq!(level.representative_size(), Size::sym(SymId(0)));
+        // ...but the disagreement is reported, not swallowed.
+        assert_eq!(
+            level.extent_disagreement(),
+            Some((Size::sym(SymId(0)), Size::sym(SymId(1))))
+        );
+    }
+
+    fn probe_pattern() -> LevelPattern {
+        LevelPattern {
+            id: crate::pattern::PatternId(0),
+            size: Size::Const(1),
+            needs_sync: false,
+            dynamic: false,
+            kind_name: "map",
+        }
     }
 
     #[test]

@@ -82,6 +82,75 @@ impl SimResult {
     }
 }
 
+/// One element stored by two different threads within one kernel launch,
+/// observed by the sanitizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteConflict {
+    /// The launching kernel's name.
+    pub kernel: String,
+    /// The conflicting buffer's name.
+    pub buffer: String,
+    /// The program array the buffer materializes, if any.
+    pub array: Option<ArrayId>,
+    /// The element both threads stored.
+    pub index: u64,
+    /// Global thread id of the first observed writer.
+    pub first_tid: u64,
+    /// Global thread id of the second (conflicting) writer.
+    pub second_tid: u64,
+}
+
+/// What the sanitizer observed across a whole program run.
+///
+/// Only plain (non-atomic) global stores are tracked: an atomic
+/// read-modify-write cannot lose an update, so concurrent atomics to one
+/// element are not write-write races. Each kernel launch is a fresh
+/// epoch — kernel boundaries order all memory operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SanitizerReport {
+    /// Number of store operations recorded.
+    pub tracked_stores: u64,
+    /// Observed write-write conflicts (one entry per conflicting element
+    /// per kernel, reporting the first colliding pair).
+    pub conflicts: Vec<WriteConflict>,
+}
+
+impl SanitizerReport {
+    /// Did any kernel exhibit a write-write conflict?
+    pub fn has_conflicts(&self) -> bool {
+        !self.conflicts.is_empty()
+    }
+}
+
+/// Per-kernel first-writer map backing the sanitizer.
+#[derive(Default)]
+struct WriteTracker {
+    /// (buffer, element) → global tid of the first store this launch.
+    writers: HashMap<(BufId, u64), u64>,
+    /// Elements already reported this launch (report each once).
+    flagged: std::collections::HashSet<(BufId, u64)>,
+    tracked: u64,
+    /// (buffer, element, first tid, second tid).
+    conflicts: Vec<(BufId, u64, u64, u64)>,
+}
+
+impl WriteTracker {
+    fn record(&mut self, buf: BufId, index: u64, tid: u64) {
+        self.tracked += 1;
+        match self.writers.entry((buf, index)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(tid);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let first = *e.get();
+                if first != tid && self.flagged.insert((buf, index)) {
+                    self.conflicts.push((buf, index, first, tid));
+                }
+            }
+        }
+    }
+}
+
 /// Simulate `kp` on `gpu` with launch-time `bindings` and host `inputs`.
 ///
 /// # Errors
@@ -93,6 +162,32 @@ pub fn run_program(
     bindings: &Bindings,
     inputs: &HashMap<ArrayId, Vec<f64>>,
 ) -> Result<SimResult, SimError> {
+    run_program_inner(kp, gpu, bindings, inputs, false).map(|(r, _)| r)
+}
+
+/// Like [`run_program`], but with the sanitizer on: every non-atomic
+/// global store is recorded with the issuing thread, and elements stored
+/// by two different threads within one launch are reported as conflicts.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for missing inputs or faulting kernels.
+pub fn run_program_sanitized(
+    kp: &KernelProgram,
+    gpu: &GpuSpec,
+    bindings: &Bindings,
+    inputs: &HashMap<ArrayId, Vec<f64>>,
+) -> Result<(SimResult, SanitizerReport), SimError> {
+    run_program_inner(kp, gpu, bindings, inputs, true).map(|(r, san)| (r, san.unwrap_or_default()))
+}
+
+fn run_program_inner(
+    kp: &KernelProgram,
+    gpu: &GpuSpec,
+    bindings: &Bindings,
+    inputs: &HashMap<ArrayId, Vec<f64>>,
+    sanitize: bool,
+) -> Result<(SimResult, Option<SanitizerReport>), SimError> {
     // Allocate and initialize buffers.
     let mut buffers = Vec::with_capacity(kp.buffers.len());
     let mut base = 0u64;
@@ -143,13 +238,17 @@ pub fn run_program(
     let mut costs = Vec::new();
     let mut times = Vec::new();
     let mut total = 0.0f64;
+    let mut san_report = sanitize.then(SanitizerReport::default);
     for kernel in &kp.kernels {
         let k = specialize(kernel, bindings);
+        // Fresh first-writer map per launch: kernel boundaries synchronize.
+        let mut tracker = sanitize.then(WriteTracker::default);
         let mut ex = Exec {
             gpu,
             buffers: &mut buffers,
             cost: KernelCost::default(),
             kernel: &k,
+            san: tracker.as_mut(),
         };
         let blocks = ex.run()?;
         let shape = LaunchShape {
@@ -166,6 +265,20 @@ pub fn run_program(
         shapes.push(shape);
         costs.push(ex.cost);
         times.push(t);
+        if let (Some(report), Some(tr)) = (san_report.as_mut(), tracker) {
+            report.tracked_stores += tr.tracked;
+            for (buf, index, first, second) in tr.conflicts {
+                let decl = &kp.buffers[buf.0 as usize];
+                report.conflicts.push(WriteConflict {
+                    kernel: kernel.name.clone(),
+                    buffer: decl.name.clone(),
+                    array: decl.array,
+                    index,
+                    first_tid: first,
+                    second_tid: second,
+                });
+            }
+        }
     }
 
     let mut arrays = HashMap::new();
@@ -174,14 +287,17 @@ pub fn run_program(
             arrays.insert(a, buffers[i].data.clone());
         }
     }
-    Ok(SimResult {
-        arrays,
-        names,
-        shapes,
-        costs,
-        times,
-        total_seconds: total,
-    })
+    Ok((
+        SimResult {
+            arrays,
+            names,
+            shapes,
+            costs,
+            times,
+            total_seconds: total,
+        },
+        san_report,
+    ))
 }
 
 /// Emit the per-kernel slice, per-pipe breakdown, and counter samples on the
@@ -349,6 +465,8 @@ struct Exec<'a> {
     buffers: &'a mut Vec<DeviceBuffer>,
     cost: KernelCost,
     kernel: &'a Kernel,
+    /// Sanitizer hook: records every non-atomic global store when set.
+    san: Option<&'a mut WriteTracker>,
 }
 
 impl<'a> Exec<'a> {
@@ -481,6 +599,21 @@ impl<'a> Exec<'a> {
                     let mut ix = [0.0; W];
                     self.eval(idx, blk, warp, mask, &mut ix)?;
                     self.global_access(*buf, &ix, mask, Some(&v), None)?;
+                    if let Some(tracker) = self.san.as_mut() {
+                        // `global_access` validated every index, so the
+                        // casts below are exact.
+                        let g = [
+                            size_const(&self.kernel.grid[0]),
+                            size_const(&self.kernel.grid[1]),
+                        ];
+                        let blk_lin = (u64::from(blk.bid[2]) * g[1] + u64::from(blk.bid[1])) * g[0]
+                            + u64::from(blk.bid[0]);
+                        let base_tid =
+                            blk_lin * u64::from(blk.threads) + u64::from(warp * WARP_SIZE);
+                        for l in lanes(mask) {
+                            tracker.record(*buf, ix[l] as u64, base_tid + l as u64);
+                        }
+                    }
                 }
                 Stmt::AtomicRmw {
                     buf,

@@ -51,7 +51,10 @@ mod report;
 
 pub use cost::{kernel_time, occupancy, KernelCost, KernelTime, LaunchShape};
 pub use cpu::{estimate_cpu, random_access_fraction, run_cpu, CpuEstimate};
-pub use exec::{run_program, DeviceBuffer, SimError, SimResult};
+pub use exec::{
+    run_program, run_program_sanitized, DeviceBuffer, SanitizerReport, SimError, SimResult,
+    WriteConflict,
+};
 pub use memory::{bank_conflicts, coalesce};
 pub use metrics::{KernelMetrics, RunMetrics};
 pub use report::{kernel_report, BoundBy, Efficiency};

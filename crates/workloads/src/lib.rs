@@ -15,11 +15,14 @@
 //! * [`manual`] — hand-written kernel-IR baselines standing in for the
 //!   hand-optimized CUDA the paper compares against;
 //! * [`data`] — synthetic input generators;
+//! * [`catalog`] — every program above at a representative size, ready for
+//!   the static analyzer and the sanitizer sweep;
 //! * [`runner`] — shared host-program execution helpers.
 
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod catalog;
 pub mod data;
 pub mod manual;
 pub mod pagerank;

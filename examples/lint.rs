@@ -1,0 +1,77 @@
+//! Run the static analyzer over every built-in workload and print the
+//! diagnostics table.
+//!
+//! ```text
+//! cargo run --release --example lint [--json]
+//! ```
+//!
+//! For each workload: the `MD0xx` findings (severity, pattern, array,
+//! message) followed by the per-array race-free / in-bounds verdict table.
+//! Exits non-zero if any workload produces an `Error`-severity diagnostic —
+//! shipped workloads must all come back clean, which is what the CI step
+//! asserts.
+
+use multidim::prelude::*;
+use multidim::{AnalysisReport, Severity};
+use multidim_trace::json::Json;
+use multidim_workloads::catalog::catalog;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut reports: Vec<AnalysisReport> = Vec::new();
+    let mut failures = 0usize;
+
+    for e in catalog() {
+        // Compile with checks off so an Error-severity finding is reported
+        // here as a row instead of aborting the sweep; the exit code at the
+        // bottom enforces the "no errors" contract.
+        match Compiler::new()
+            .checks(false)
+            .compile(&e.program, &e.bindings)
+        {
+            Ok(exe) => {
+                let mut report = multidim::analyze_program(&e.program, &e.bindings);
+                report
+                    .diagnostics
+                    .extend(multidim::lint_mapping(&e.program, &exe.mapping));
+                if report.has_errors() {
+                    failures += 1;
+                }
+                reports.push(report);
+            }
+            Err(err) => {
+                eprintln!("{}: failed to compile: {err}", e.name());
+                failures += 1;
+            }
+        }
+    }
+
+    if json {
+        let arr = Json::Arr(reports.iter().map(AnalysisReport::to_json).collect());
+        println!("{}", arr.render());
+    } else {
+        for r in &reports {
+            print!("{}", r.render());
+            println!();
+        }
+        let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+        let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+        let warns: usize = reports
+            .iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.severity == Severity::Warn)
+            .count();
+        println!(
+            "{} workload(s): {} error(s), {} warning(s), {} info",
+            reports.len(),
+            errors,
+            warns,
+            total - errors - warns
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} workload(s) with error-severity diagnostics");
+        std::process::exit(1);
+    }
+}

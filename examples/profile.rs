@@ -40,6 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let events = sink.drain();
 
     print_candidate_table(&events);
+    if !exe.diagnostics.diagnostics.is_empty() {
+        println!("static analysis:");
+        for d in &exe.diagnostics.diagnostics {
+            println!("  {}", d.render_line());
+        }
+        println!();
+    }
     println!("{}", exe.report(&run));
 
     let trace_path = Path::new(&out_dir).join("trace.json");

@@ -1,0 +1,134 @@
+//! Sanitizer cross-check: the simulator records the actual per-kernel
+//! write sets, and every verdict the static analyzer *proved* must agree
+//! with what the hardware (simulator) actually did. A disagreement in
+//! either direction is a test failure.
+
+use multidim::prelude::*;
+use multidim::{cross_check, SanitizerReport, Verdict};
+use multidim_workloads::catalog::catalog;
+use std::collections::HashMap;
+
+/// Every shipped workload: run under the sanitizer and dynamically confirm
+/// each `Proven` race-free verdict (zero recorded conflicts on that array)
+/// and each `Proven` in-bounds verdict (the run completes — the simulator
+/// faults on any out-of-bounds access).
+#[test]
+fn every_static_verdict_survives_the_sanitizer() {
+    let mut tracked = 0;
+    for e in catalog() {
+        let exe = Compiler::new()
+            .compile(&e.program, &e.bindings)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+        let (_, san) = exe
+            .run_sanitized(&e.inputs)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+        let disagreements = cross_check(&exe.diagnostics, &san);
+        assert!(
+            disagreements.is_empty(),
+            "{}: {}",
+            e.name(),
+            disagreements.join("; ")
+        );
+        tracked += san.tracked_stores;
+    }
+    // Programs whose only global writes are atomics (e.g. groupBy kernels)
+    // legitimately track nothing, but the sweep as a whole must have
+    // exercised the tracker.
+    assert!(tracked > 0, "sanitizer saw no stores across the catalog");
+}
+
+/// The sanitizer catches the seeded race that the static analyzer proves:
+/// compile with checks off (the analyzer would abort otherwise), run, and
+/// the write tracker must observe the collision.
+#[test]
+fn sanitizer_catches_the_seeded_race() {
+    let mut b = ProgramBuilder::new("racy");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::int(0)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 256);
+
+    // Static: proven race (checks on would abort with MD001).
+    let report = multidim::analyze_program(&p, &bind);
+    assert_eq!(report.race_free(y), Verdict::Refuted);
+
+    // Dynamic: the sanitizer sees two threads store the same element.
+    let exe = Compiler::new().checks(false).compile(&p, &bind).unwrap();
+    let inputs: HashMap<_, _> = [(x, vec![1.0; 256])].into_iter().collect();
+    let (_, san) = exe.run_sanitized(&inputs).unwrap();
+    assert!(san.has_conflicts(), "sanitizer missed the race");
+    let c = &san.conflicts[0];
+    assert_ne!(c.first_tid, c.second_tid);
+    assert_eq!(c.index, 0);
+
+    // Refuted verdicts impose no cross-check constraint: static and
+    // dynamic agree the program races, so no disagreement is reported.
+    assert!(cross_check(&report, &san).is_empty());
+}
+
+/// The cross-check itself: a (fabricated) report claiming race-freedom for
+/// an array the sanitizer saw conflict on must come back as a disagreement.
+#[test]
+fn cross_check_flags_a_wrong_proof() {
+    let mut b = ProgramBuilder::new("racy");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let y = b.output("y", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.foreach(Size::sym(n), |b, i| {
+        let v = b.read(x, &[i.into()]);
+        vec![Effect::Write {
+            cond: None,
+            array: y,
+            idx: vec![Expr::int(0)],
+            value: v,
+        }]
+    });
+    let p = b.finish_foreach(root).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 64);
+
+    let exe = Compiler::new().checks(false).compile(&p, &bind).unwrap();
+    let inputs: HashMap<_, _> = [(x, vec![1.0; 64])].into_iter().collect();
+    let (_, san) = exe.run_sanitized(&inputs).unwrap();
+    assert!(san.has_conflicts());
+
+    // Forge a "proven race-free" verdict for y.
+    let mut report = multidim::analyze_program(&p, &bind);
+    for v in &mut report.arrays {
+        v.race_free = Verdict::Proven;
+    }
+    let disagreements = cross_check(&report, &san);
+    assert_eq!(disagreements.len(), 1, "{disagreements:?}");
+    assert!(disagreements[0].contains("y"), "{}", disagreements[0]);
+}
+
+/// Sanitizer reports are inert for a conflict-free program.
+#[test]
+fn clean_program_has_clean_sanitizer_report() {
+    let mut b = ProgramBuilder::new("scale");
+    let n = b.sym("N");
+    let x = b.input("x", ScalarKind::F32, &[Size::sym(n)]);
+    let root = b.map(Size::sym(n), |b, i| b.read(x, &[i.into()]) * Expr::lit(3.0));
+    let p = b.finish_map(root, "y", ScalarKind::F32).unwrap();
+    let mut bind = Bindings::new();
+    bind.bind(n, 1000);
+
+    let exe = Compiler::new().compile(&p, &bind).unwrap();
+    let inputs: HashMap<_, _> = [(x, vec![2.0; 1000])].into_iter().collect();
+    let (run, san) = exe.run_sanitized(&inputs).unwrap();
+    assert!(!san.has_conflicts());
+    assert!(san.tracked_stores >= 1000);
+    assert_eq!(run.outputs[&p.output.unwrap()][0], 6.0);
+    assert_eq!(SanitizerReport::default().conflicts.len(), 0);
+}
