@@ -1,0 +1,131 @@
+//! Service-layer throughput: cold (every request compiles) versus warm
+//! (every request hits the content-addressed compilation cache).
+//!
+//! The workloads are scatter kernels with many distinct write sites: the
+//! static-analysis stage of compilation proves the writes race-free with
+//! a pairwise (quadratic) affine check, while executing them is linear —
+//! so these requests are compile-dominated, exactly the regime the
+//! compilation cache exists for. Warm throughput is asserted to be at
+//! least 5x cold.
+//!
+//! With `--report` (or `MULTIDIM_REPORT`), writes the summary to
+//! `throughput.engine.json`.
+
+use multidim::Compiler;
+use multidim_bench::{fmt_secs, print_table, report_requested};
+use multidim_engine::{Engine, EngineConfig, Request};
+use multidim_ir::{Bindings, Effect, Expr, ProgramBuilder, ScalarKind, Size};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const WARM_ROUNDS: usize = 20;
+
+/// A foreach writing `k` provably-disjoint constant slots, named so each
+/// `k` gets a distinct fingerprint.
+fn scatter(k: usize) -> Request {
+    let mut b = ProgramBuilder::new(format!("scatter{k}"));
+    let out = b.output("out", ScalarKind::F32, &[Size::from(k as i64)]);
+    let root = b.foreach(Size::from(1), |_, _| {
+        (0..k)
+            .map(|j| Effect::Write {
+                cond: None,
+                array: out,
+                idx: vec![Expr::int(j as i64)],
+                value: Expr::lit(j as f64),
+            })
+            .collect()
+    });
+    let program = b.finish_foreach(root).expect("scatter validates");
+    Request::new(program, Bindings::new(), HashMap::new())
+}
+
+fn requests() -> Vec<Request> {
+    (0..8).map(|i| scatter(400 + 40 * i)).collect()
+}
+
+fn engine() -> Engine {
+    Engine::new(
+        Compiler::new(),
+        EngineConfig {
+            queue_capacity: 64,
+            cache_capacity: 64,
+            store_path: None,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let reqs = requests();
+    let k = reqs.len();
+
+    // Cold: a fresh engine per pass, so every request compiles. Median of
+    // five passes.
+    let mut cold_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let e = engine();
+            let start = Instant::now();
+            let results = e.run_batch(reqs.clone());
+            let dt = start.elapsed().as_secs_f64();
+            assert!(results.iter().all(Result::is_ok), "cold pass must succeed");
+            assert_eq!(e.cache_stats().misses as usize, k);
+            dt
+        })
+        .collect();
+    cold_samples.sort_by(f64::total_cmp);
+    let cold_secs = cold_samples[cold_samples.len() / 2];
+    let cold_rps = k as f64 / cold_secs;
+
+    // Warm: one engine, primed once, then timed rounds that only hit the
+    // cache.
+    let e = engine();
+    let prime = e.run_batch(reqs.clone());
+    assert!(prime.iter().all(Result::is_ok), "priming must succeed");
+    let start = Instant::now();
+    for _ in 0..WARM_ROUNDS {
+        let results = e.run_batch(reqs.clone());
+        assert!(results.iter().all(Result::is_ok), "warm pass must succeed");
+    }
+    let warm_secs = start.elapsed().as_secs_f64();
+    let warm_rps = (WARM_ROUNDS * k) as f64 / warm_secs;
+    let stats = e.cache_stats();
+    assert_eq!(
+        stats.misses as usize, k,
+        "warm rounds must never compile: one miss per distinct program"
+    );
+    assert_eq!(stats.hits as usize, WARM_ROUNDS * k);
+
+    let speedup = warm_rps / cold_rps;
+    print_table(
+        "engine throughput (requests/sec)",
+        &["cold", "warm", "speedup"],
+        &[(
+            format!("{k} scatters x {WARM_ROUNDS} rounds"),
+            vec![cold_rps, warm_rps, speedup],
+        )],
+    );
+    println!(
+        "  cold pass {}  |  warm round {}",
+        fmt_secs(cold_secs),
+        fmt_secs(warm_secs / WARM_ROUNDS as f64)
+    );
+
+    if report_requested() {
+        let body = format!(
+            "{{\"cold_rps\":{cold_rps:.3},\"warm_rps\":{warm_rps:.3},\"speedup\":{speedup:.3},\
+             \"requests\":{k},\"warm_rounds\":{WARM_ROUNDS},\
+             \"cache_hits\":{},\"cache_misses\":{}}}",
+            stats.hits, stats.misses
+        );
+        let path = "throughput.engine.json";
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(err) => eprintln!("failed to write {path}: {err}"),
+        }
+    }
+
+    assert!(
+        speedup >= 5.0,
+        "warm-cache throughput must be at least 5x cold (got {speedup:.2}x)"
+    );
+}

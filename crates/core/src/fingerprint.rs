@@ -1,0 +1,211 @@
+//! Stable content fingerprints for compilation requests.
+//!
+//! The service layer (`multidim-engine`) keys its compilation cache and
+//! its persistent tuning store on a *content address*: a hash of
+//! everything that determines the compiled artifact — the program
+//! structure, the size bindings it is specialized for, the target
+//! [`GpuSpec`](multidim_device::GpuSpec), and the compiler configuration
+//! (strategy, codegen options, soft-constraint weights, fusion and checks
+//! switches). Two requests with equal fingerprints compile to
+//! interchangeable executables; the fingerprint survives process restarts,
+//! so on-disk tuning entries written yesterday still match today.
+//!
+//! The hash is a hand-rolled 128-bit FNV-1a variant (two independent
+//! 64-bit lanes over the same byte stream) — the container ships no hash
+//! crates, and cache keying needs speed and stability, not adversarial
+//! collision resistance.
+
+use multidim_ir::{pretty, Bindings, Program};
+use std::fmt;
+
+/// A 128-bit content address, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl Fingerprint {
+    /// Parse the 32-hex-digit rendering back into a fingerprint.
+    pub fn parse(text: &str) -> Option<Fingerprint> {
+        if text.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&text[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&text[16..], 16).ok()?;
+        Some(Fingerprint([hi, lo]))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+// Decorrelates the second lane: same stream, different starting state.
+const LANE2_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Incremental FNV-1a over two 64-bit lanes.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    lanes: [u64; 2],
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher.
+    pub fn new() -> Hasher {
+        Hasher {
+            lanes: [FNV_OFFSET, FNV_OFFSET ^ LANE2_TWEAK],
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            for lane in &mut self.lanes {
+                *lane ^= b as u64;
+                *lane = lane.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+
+    /// Feed a length-delimited field (prevents `"ab"+"c"` colliding with
+    /// `"a"+"bc"` across field boundaries).
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// Feed an integer.
+    pub fn int(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The final fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.lanes)
+    }
+}
+
+/// Fingerprint one compilation request.
+///
+/// `config` is an opaque, stable rendering of the compiler configuration
+/// (the [`Compiler`](crate::Compiler) produces it from its strategy,
+/// options, weights and switches). The program is hashed through its
+/// [`pretty`] rendering — a complete structural serialization (arrays,
+/// symbols, pattern nest, expressions, effects, ids) that is deterministic
+/// for a given builder sequence — plus the output wiring and allocation
+/// counters. Bindings are hashed only for symbols the program declares, in
+/// id order, so an unrelated stray binding does not split the cache.
+pub fn fingerprint(
+    program: &Program,
+    bindings: &Bindings,
+    gpu: &multidim_device::GpuSpec,
+    config: &str,
+) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.field(b"multidim-fingerprint-v1");
+    h.field(pretty(program).as_bytes());
+    h.int(program.var_count as i64);
+    h.int(program.pattern_count as i64);
+    h.int(program.output.map(|a| a.0 as i64).unwrap_or(-1));
+    h.int(program.output_count.map(|a| a.0 as i64).unwrap_or(-1));
+    for sym in &program.symbols {
+        h.int(sym.id.0 as i64);
+        h.int(bindings.get(sym.id).unwrap_or(i64::MIN));
+    }
+    h.field(format!("{gpu:?}").as_bytes());
+    h.field(config.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidim_device::GpuSpec;
+    use multidim_ir::{ProgramBuilder, ReduceOp, ScalarKind, Size};
+
+    fn sum(name: &str, r: i64, c: i64) -> (Program, Bindings) {
+        let mut b = ProgramBuilder::new(name);
+        let rs = b.sym("R");
+        let cs = b.sym("C");
+        let m = b.input("m", ScalarKind::F32, &[Size::sym(rs), Size::sym(cs)]);
+        let root = b.map(Size::sym(rs), |b, row| {
+            b.reduce(Size::sym(cs), ReduceOp::Add, |b, col| {
+                b.read(m, &[row.into(), col.into()])
+            })
+        });
+        let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+        let mut bind = Bindings::new();
+        bind.bind(rs, r);
+        bind.bind(cs, c);
+        (p, bind)
+    }
+
+    #[test]
+    fn identical_requests_collide_on_purpose() {
+        let (p1, b1) = sum("s", 64, 128);
+        let (p2, b2) = sum("s", 64, 128);
+        let gpu = GpuSpec::tesla_k20c();
+        assert_eq!(
+            fingerprint(&p1, &b1, &gpu, "cfg"),
+            fingerprint(&p2, &b2, &gpu, "cfg")
+        );
+    }
+
+    #[test]
+    fn every_input_perturbs_the_hash() {
+        let (p, b) = sum("s", 64, 128);
+        let gpu = GpuSpec::tesla_k20c();
+        let base = fingerprint(&p, &b, &gpu, "cfg");
+
+        let (p2, _) = sum("other", 64, 128);
+        assert_ne!(base, fingerprint(&p2, &b, &gpu, "cfg"));
+
+        let (_, b2) = sum("s", 64, 256);
+        assert_ne!(base, fingerprint(&p, &b2, &gpu, "cfg"));
+
+        assert_ne!(base, fingerprint(&p, &b, &GpuSpec::tesla_c2050(), "cfg"));
+        assert_ne!(base, fingerprint(&p, &b, &gpu, "cfg2"));
+    }
+
+    #[test]
+    fn stray_bindings_do_not_split_the_cache() {
+        let (p, b) = sum("s", 64, 128);
+        let mut b2 = b.clone();
+        b2.bind(multidim_ir::SymId(99), 7);
+        let gpu = GpuSpec::tesla_k20c();
+        assert_eq!(
+            fingerprint(&p, &b, &gpu, "cfg"),
+            fingerprint(&p, &b2, &gpu, "cfg")
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let (p, b) = sum("s", 64, 128);
+        let fp = fingerprint(&p, &b, &GpuSpec::tesla_k20c(), "cfg");
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(Fingerprint::parse(&text), Some(fp));
+        assert_eq!(Fingerprint::parse("zz"), None);
+        assert_eq!(Fingerprint::parse(&"0".repeat(31)), None);
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        let mut a = Hasher::new();
+        a.field(b"ab");
+        a.field(b"c");
+        let mut b = Hasher::new();
+        b.field(b"a");
+        b.field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -47,6 +47,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fingerprint;
+
 use multidim_codegen::{emit_cuda, fuse_map_reduce, lower, CodegenOptions, KernelProgram};
 use multidim_device::GpuSpec;
 use multidim_ir::{ArrayId, Bindings, NestInfo, Program};
@@ -58,6 +60,7 @@ use multidim_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 
+pub use fingerprint::Fingerprint;
 pub use multidim_analyze::{
     analyze_program, cross_check, kernel_defect, lint_mapping, Code, Diagnostic,
     Report as AnalysisReport, Severity, Verdict,
@@ -190,6 +193,34 @@ impl Compiler {
         self
     }
 
+    /// Wrap this compiler in an [`Arc`](std::sync::Arc) for cheap sharing
+    /// across service threads. Compilation takes `&self`, and every field
+    /// is immutable configuration, so one shared compiler serves any
+    /// number of concurrent requests without redoing per-request setup
+    /// (device spec, weights, codegen options are constructed exactly
+    /// once).
+    pub fn shared(self) -> std::sync::Arc<Compiler> {
+        std::sync::Arc::new(self)
+    }
+
+    /// A stable rendering of this compiler's configuration, folded into
+    /// [`Compiler::fingerprint`] so that e.g. a fusion-off compiler never
+    /// shares cache entries with a fusion-on one.
+    pub fn config_digest(&self) -> String {
+        format!(
+            "strategy={:?};options={:?};weights={:?};fusion={};checks={}",
+            self.strategy, self.options, self.weights, self.fusion, self.checks
+        )
+    }
+
+    /// The content address of compiling `program` under `bindings` with
+    /// this compiler: equal fingerprints ⇒ interchangeable executables.
+    /// This is the key of `multidim-engine`'s compilation cache and
+    /// persistent tuning store; see [`fingerprint`] for what is hashed.
+    pub fn fingerprint(&self, program: &Program, bindings: &Bindings) -> Fingerprint {
+        fingerprint::fingerprint(program, bindings, &self.gpu, &self.config_digest())
+    }
+
     /// Enable/disable the static-analysis stage (on by default).
     /// Error-severity diagnostics — proven races, proven out-of-bounds
     /// accesses — abort compilation; turn the stage off to compile a
@@ -252,28 +283,84 @@ impl Compiler {
         inputs: &HashMap<ArrayId, Vec<f64>>,
         options: &multidim_mapping::TuneOptions,
     ) -> Result<(Executable, multidim_mapping::TuneResult), CompileError> {
+        let prepared = self.prepare_tune(program, bindings, options)?;
+        let mut costs = Vec::new();
+        let mut successes = 0usize;
+        for cand in &prepared.plan.candidates {
+            if successes >= options.max_measurements {
+                break;
+            }
+            let cost = self.measure_candidate(&prepared, bindings, inputs, &cand.mapping);
+            if cost.is_some() {
+                successes += 1;
+            }
+            costs.push(cost);
+        }
+        let result = multidim_mapping::select(&prepared.plan, &costs)
+            .ok_or_else(|| CompileError("no mapping candidate was executable".into()))?;
+        let exe = self.compile_tuned(&prepared, bindings, result.best.clone())?;
+        Ok((exe, result))
+    }
+
+    /// The serial front half of [`Compiler::autotune`]: fuse + validate the
+    /// program once and enumerate the score-ordered candidate plan. The
+    /// measurements over the plan are independent of each other, so a
+    /// service layer can fan them out across worker threads and fold them
+    /// back with [`multidim_mapping::select`] — selection tie-breaks on
+    /// candidate index, so the parallel outcome is identical to the serial
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the (fused) program fails validation.
+    pub fn prepare_tune(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        options: &multidim_mapping::TuneOptions,
+    ) -> Result<TunePrepared, CompileError> {
         let (program, _) = if self.fusion {
             fuse_map_reduce(program)
         } else {
             (program.clone(), 0)
         };
         program.validate()?;
-        let result = multidim_mapping::tune(
-            &program,
-            bindings,
-            &self.gpu,
-            &self.weights,
-            options,
-            |mapping| {
-                let kernels = lower(&program, mapping, &self.options).ok()?;
-                multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
-                let sim = run_program(&kernels, &self.gpu, bindings, inputs).ok()?;
-                Some(sim.total_seconds)
-            },
-        )
-        .ok_or_else(|| CompileError("no mapping candidate was executable".into()))?;
-        let exe = self.compile_mapped(program, bindings, result.best.clone(), None, 0)?;
-        Ok((exe, result))
+        let plan = multidim_mapping::plan(&program, bindings, &self.gpu, &self.weights, options);
+        Ok(TunePrepared { program, plan })
+    }
+
+    /// Measure one candidate of a prepared tuning plan: lower, validate
+    /// against device limits, and simulate with `inputs`. Returns the
+    /// simulated seconds, or `None` when the candidate is not executable.
+    /// Thread-safe: takes `&self` and touches no shared mutable state, so
+    /// any number of candidates can be measured concurrently.
+    pub fn measure_candidate(
+        &self,
+        prepared: &TunePrepared,
+        bindings: &Bindings,
+        inputs: &HashMap<ArrayId, Vec<f64>>,
+        mapping: &MappingDecision,
+    ) -> Option<f64> {
+        let kernels = lower(&prepared.program, mapping, &self.options).ok()?;
+        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
+        let sim = run_program(&kernels, &self.gpu, bindings, inputs).ok()?;
+        Some(sim.total_seconds)
+    }
+
+    /// Compile the winning mapping of a prepared tuning run. The program
+    /// inside `prepared` is already fused and validated, so this skips
+    /// both (re-fusing an already-fused program would be wasted work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if lowering fails.
+    pub fn compile_tuned(
+        &self,
+        prepared: &TunePrepared,
+        bindings: &Bindings,
+        mapping: MappingDecision,
+    ) -> Result<Executable, CompileError> {
+        self.compile_mapped(prepared.program.clone(), bindings, mapping, None, 0)
     }
 
     /// Compile with an explicit mapping decision (used by the Figure 17
@@ -355,6 +442,19 @@ impl Compiler {
         }
         Ok(report)
     }
+}
+
+/// The reusable front half of a tuning run: the fused, validated program
+/// and its score-ordered candidate plan. Produced by
+/// [`Compiler::prepare_tune`]; constraint collection and candidate
+/// enumeration happen exactly once here no matter how many threads then
+/// measure candidates.
+#[derive(Debug, Clone)]
+pub struct TunePrepared {
+    /// The program after fusion and validation.
+    pub program: Program,
+    /// Candidates to measure, best static score first.
+    pub plan: multidim_mapping::TunePlan,
 }
 
 /// A compiled program, ready to run on the simulator.

@@ -1,0 +1,575 @@
+//! The engine: a concurrent compile/run service over the multidim
+//! pipeline.
+
+use crate::cache::{CacheStats, CompileCache};
+use crate::error::EngineError;
+use crate::pool::WorkerPool;
+use crate::store::{LoadOutcome, TuneRecord, TuningStore};
+use multidim::{Compiler, Executable, Fingerprint, RunReport};
+use multidim_ir::{ArrayId, Bindings, Program};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. Default: available parallelism, capped at 8.
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue rejects
+    /// ([`EngineError::Rejected`]) instead of blocking. Default 64.
+    pub queue_capacity: usize,
+    /// Compilation-cache capacity (ready executables). Default 128.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own; `None`
+    /// means no deadline. Checked when a worker dequeues the request and
+    /// again between its compile and run phases (the phases themselves
+    /// are not preempted).
+    pub default_deadline: Option<Duration>,
+    /// Where to persist tuned mappings; `None` keeps them in memory only.
+    pub store_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline: None,
+            store_path: None,
+        }
+    }
+}
+
+/// One compile+run request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The program to compile (or fetch from cache) and execute.
+    pub program: Program,
+    /// Launch-size bindings.
+    pub bindings: Bindings,
+    /// Input arrays.
+    pub inputs: HashMap<ArrayId, Vec<f64>>,
+    /// Per-request deadline override (else [`EngineConfig::default_deadline`]).
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no private deadline.
+    pub fn new(
+        program: Program,
+        bindings: Bindings,
+        inputs: HashMap<ArrayId, Vec<f64>>,
+    ) -> Request {
+        Request {
+            program,
+            bindings,
+            inputs,
+            deadline: None,
+        }
+    }
+}
+
+/// A served request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Content address of the compiled artifact.
+    pub fingerprint: Fingerprint,
+    /// The shared executable — pointer-equal across cache hits.
+    pub executable: Arc<Executable>,
+    /// Simulation outcome (outputs, simulated seconds, per-kernel data).
+    pub run: RunReport,
+    /// `false` when this request compiled the executable; `true` when it
+    /// reused a cached one.
+    pub cache_hit: bool,
+    /// `true` when the mapping came from the persistent tuning store
+    /// rather than the analytic search.
+    pub tuned: bool,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Worker time (fingerprint + compile-or-hit + run).
+    pub service_time: Duration,
+}
+
+/// Handle to an in-flight request.
+pub struct Ticket {
+    rx: Receiver<Result<Response, EngineError>>,
+}
+
+impl Ticket {
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<Response, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Canceled))
+    }
+
+    /// Block up to `timeout`. On timeout the request keeps running but
+    /// its result is discarded.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response, EngineError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(EngineError::WaitTimeout { waited: timeout }),
+            Err(RecvTimeoutError::Disconnected) => Err(EngineError::Canceled),
+        }
+    }
+}
+
+/// Aggregate request counters (monotonic since engine construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Requests that failed (compile, run, deadline, panic).
+    pub failed: u64,
+    /// Requests whose deadline expired.
+    pub expired: u64,
+    /// Requests that panicked in a worker (isolated, worker survived).
+    pub panicked: u64,
+    /// Requests served with a mapping from the tuning store.
+    pub tuned_served: u64,
+}
+
+#[derive(Default)]
+struct AtomicEngineStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    panicked: AtomicU64,
+    tuned_served: AtomicU64,
+}
+
+struct Shared {
+    compiler: Arc<Compiler>,
+    cache: CompileCache,
+    store: TuningStore,
+    stats: AtomicEngineStats,
+}
+
+/// The concurrent compile/run engine. See the crate docs for the full
+/// tour; in short:
+///
+/// * [`Engine::submit`] enqueues one request (backpressure on a full
+///   queue) and returns a [`Ticket`];
+/// * [`Engine::run_batch`] drives a whole batch through the queue with
+///   flow control and collects every result;
+/// * [`Engine::autotune`] measures mapping candidates across the worker
+///   pool and persists the winner in the tuning store, after which
+///   matching requests transparently use the tuned mapping.
+pub struct Engine {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    store_load: LoadOutcome,
+    default_deadline: Option<Duration>,
+}
+
+impl Engine {
+    /// Build an engine around `compiler` (the compiler is shared,
+    /// immutable, by every worker).
+    pub fn new(compiler: Compiler, config: EngineConfig) -> Engine {
+        let (store, store_load) = match &config.store_path {
+            Some(path) => TuningStore::open(path),
+            None => (TuningStore::in_memory(), LoadOutcome::default()),
+        };
+        Engine {
+            shared: Arc::new(Shared {
+                compiler: compiler.shared(),
+                cache: CompileCache::new(config.cache_capacity),
+                store,
+                stats: AtomicEngineStats::default(),
+            }),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            store_load,
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// An engine with the paper's default compiler and default sizing.
+    pub fn with_defaults() -> Engine {
+        Engine::new(Compiler::new(), EngineConfig::default())
+    }
+
+    /// What the tuning store found on disk at startup.
+    pub fn store_load(&self) -> &LoadOutcome {
+        &self.store_load
+    }
+
+    /// Enqueue one request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Rejected`] when the bounded queue is full (typed
+    /// backpressure — the call never blocks), [`EngineError::ShuttingDown`]
+    /// when the pool is draining.
+    pub fn submit(&self, request: Request) -> Result<Ticket, EngineError> {
+        let (tx, rx) = channel();
+        let shared = self.shared.clone();
+        let deadline = request.deadline.or(self.default_deadline);
+        let enqueued = Instant::now();
+        let job = Box::new(move || {
+            process_request(&shared, request, deadline, enqueued, &tx);
+        });
+        match self.pool.try_submit(job) {
+            Ok(()) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err(Some(_full)) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(EngineError::Rejected {
+                    queue_depth: self.pool.queue_depth(),
+                })
+            }
+            Err(None) => Err(EngineError::ShuttingDown),
+        }
+    }
+
+    /// Drive a whole batch through the bounded queue: submit with flow
+    /// control (when the queue is full, wait for the oldest in-flight
+    /// request instead of spinning), and return one result per request,
+    /// in request order.
+    pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Result<Response, EngineError>> {
+        let n = requests.len();
+        let mut results: Vec<Option<Result<Response, EngineError>>> =
+            (0..n).map(|_| None).collect();
+        let mut inflight: Vec<(usize, Ticket)> = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            loop {
+                match self.submit(req.clone()) {
+                    Ok(ticket) => {
+                        inflight.push((i, ticket));
+                        break;
+                    }
+                    Err(EngineError::Rejected { .. }) if !inflight.is_empty() => {
+                        // Flow control: retire the oldest in-flight
+                        // request, freeing a queue slot, then retry.
+                        let (j, ticket) = inflight.remove(0);
+                        results[j] = Some(ticket.wait());
+                    }
+                    Err(EngineError::Rejected { .. }) => {
+                        // Queue full with nothing of ours in flight (other
+                        // submitters): back off briefly and retry.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+        for (i, ticket) in inflight {
+            results[i] = Some(ticket.wait());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    /// Tune `program`'s mapping by measuring candidates **in parallel
+    /// across the worker pool**, then persist the winner so subsequent
+    /// [`Engine::submit`]s of the same request transparently use it.
+    ///
+    /// Selection tie-breaks on candidate index (see
+    /// [`multidim_mapping::select`]), so the result is identical to the
+    /// serial [`Compiler::autotune`]. Candidates that cannot be enqueued
+    /// (full queue) are measured inline on the calling thread — tuning
+    /// degrades to partial parallelism under load rather than failing or
+    /// deadlocking.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Compile`] when validation fails or no candidate is
+    /// executable.
+    pub fn autotune(
+        &self,
+        program: &Program,
+        bindings: &Bindings,
+        inputs: &HashMap<ArrayId, Vec<f64>>,
+        options: &multidim_mapping::TuneOptions,
+    ) -> Result<(Arc<Executable>, TuneRecord), EngineError> {
+        let compiler = &self.shared.compiler;
+        let prepared = Arc::new(compiler.prepare_tune(program, bindings, options)?);
+        let n = prepared.plan.candidates.len();
+        let bindings_shared = Arc::new(bindings.clone());
+        let inputs_shared = Arc::new(inputs.clone());
+
+        let (tx, rx) = channel::<(usize, Option<f64>)>();
+        let mut pending = 0usize;
+        for index in 0..n {
+            let job_ctx = (
+                self.shared.clone(),
+                prepared.clone(),
+                bindings_shared.clone(),
+                inputs_shared.clone(),
+                tx.clone(),
+            );
+            let job = Box::new(move || {
+                let (shared, prepared, bindings, inputs, tx) = job_ctx;
+                let mapping = &prepared.plan.candidates[index].mapping;
+                let cost = catch_unwind(AssertUnwindSafe(|| {
+                    shared
+                        .compiler
+                        .measure_candidate(&prepared, &bindings, &inputs, mapping)
+                }))
+                .unwrap_or(None);
+                let _ = tx.send((index, cost));
+            });
+            match self.pool.try_submit(job) {
+                Ok(()) => pending += 1,
+                Err(rejected) => {
+                    // Queue full or shutting down: measure inline.
+                    if let Some(crate::pool::QueueFull(job)) = rejected {
+                        job();
+                        pending += 1;
+                    } else {
+                        let mapping = &prepared.plan.candidates[index].mapping;
+                        let cost = compiler.measure_candidate(&prepared, bindings, inputs, mapping);
+                        let _ = tx.send((index, cost));
+                        pending += 1;
+                    }
+                }
+            }
+        }
+        drop(tx);
+
+        let mut costs: Vec<Option<f64>> = vec![None; n];
+        for _ in 0..pending {
+            match rx.recv() {
+                Ok((index, cost)) => costs[index] = cost,
+                Err(_) => break,
+            }
+        }
+
+        // Honor `max_measurements` with serial semantics: the serial tuner
+        // attempts candidates in score order and stops once that many have
+        // measured successfully, so discard exactly the costs it would
+        // never have observed.
+        let mut successes = 0usize;
+        for cost in costs.iter_mut() {
+            if successes >= options.max_measurements {
+                *cost = None;
+            } else if cost.is_some() {
+                successes += 1;
+            }
+        }
+
+        let result = multidim_mapping::select(&prepared.plan, &costs).ok_or_else(|| {
+            EngineError::Compile(multidim::CompileError(
+                "no mapping candidate was executable".into(),
+            ))
+        })?;
+
+        // The analytic winner is the plan's highest-scored candidate
+        // (index 0): record its measured cost for the analytic-vs-tuned
+        // delta.
+        let analytic_cost = costs.first().copied().flatten();
+        let record = TuneRecord {
+            fingerprint: compiler.fingerprint(program, bindings),
+            program: program.name.clone(),
+            mapping: result.best.clone(),
+            tuned_cost: result.best_cost,
+            analytic_cost,
+            measured: result.measured.len() as u64,
+        };
+        self.shared.store.insert(record.clone());
+        let _ = self.shared.store.save();
+        if multidim_trace::enabled() {
+            let mut ev = multidim_trace::Event::gauge("engine", "autotune")
+                .arg("program", record.program.as_str())
+                .arg("tuned_cost", record.tuned_cost)
+                .arg("measured", record.measured);
+            if let Some(delta) = record.analytic_delta() {
+                ev = ev.arg("analytic_delta", delta);
+            }
+            multidim_trace::emit(ev);
+        }
+
+        let exe = Arc::new(compiler.compile_tuned(&prepared, bindings, result.best.clone())?);
+        // Replace any analytically-mapped cache entry so subsequent
+        // requests are served the tuned executable immediately.
+        self.shared.cache.insert(record.fingerprint, exe.clone());
+        Ok((exe, record))
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.shared.stats;
+        EngineStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            tuned_served: s.tuned_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current queue depth (requests waiting for a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Number of tuning-store records.
+    pub fn store_len(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Emit engine + cache counters as `multidim-trace` gauge events on
+    /// the calling thread's sink.
+    pub fn emit_stats(&self) {
+        if multidim_trace::enabled() {
+            let s = self.stats();
+            multidim_trace::emit(
+                multidim_trace::Event::gauge("engine", "requests")
+                    .arg("submitted", s.submitted)
+                    .arg("completed", s.completed)
+                    .arg("rejected", s.rejected)
+                    .arg("failed", s.failed)
+                    .arg("expired", s.expired)
+                    .arg("panicked", s.panicked)
+                    .arg("tuned_served", s.tuned_served)
+                    .arg("queue_depth", self.queue_depth()),
+            );
+        }
+        self.shared.cache.emit_trace();
+    }
+
+    /// Persist the tuning store now (also happens on shutdown/drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IO failure.
+    pub fn flush(&self) -> Result<(), std::io::Error> {
+        self.shared.store.save()
+    }
+
+    /// Drain the queue, join the workers, and persist the tuning store.
+    /// Also performed on drop.
+    pub fn shutdown(mut self) {
+        self.pool.shutdown();
+        let _ = self.shared.store.save();
+    }
+}
+
+fn process_request(
+    shared: &Shared,
+    request: Request,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    tx: &Sender<Result<Response, EngineError>>,
+) {
+    let queue_wait = enqueued.elapsed();
+    // Deadline check #1: the request may have expired while queued.
+    if let Some(d) = deadline {
+        if queue_wait > d {
+            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(EngineError::DeadlineExceeded { waited: queue_wait }));
+            return;
+        }
+    }
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serve(shared, &request, deadline, enqueued)
+    }));
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            Err(EngineError::WorkerPanic(panic_message(payload.as_ref())))
+        }
+    };
+    let result = result.map(|(fingerprint, executable, run, cache_hit, tuned)| {
+        if tuned {
+            shared.stats.tuned_served.fetch_add(1, Ordering::Relaxed);
+        }
+        Response {
+            fingerprint,
+            executable,
+            run,
+            cache_hit,
+            tuned,
+            queue_wait,
+            service_time: started.elapsed(),
+        }
+    });
+    match &result {
+        Ok(_) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(EngineError::DeadlineExceeded { .. }) => {
+            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _ = tx.send(result);
+}
+
+type Served = (Fingerprint, Arc<Executable>, RunReport, bool, bool);
+
+fn serve(
+    shared: &Shared,
+    request: &Request,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+) -> Result<Served, EngineError> {
+    let fp = shared
+        .compiler
+        .fingerprint(&request.program, &request.bindings);
+    let tuned_record = shared.store.get(fp);
+    let tuned = tuned_record.is_some();
+    let mut cache_hit = true;
+    let exe = shared.cache.get_or_compile(fp, || {
+        cache_hit = false;
+        match &tuned_record {
+            // Prefer the empirically best mapping from the store; fall
+            // back to the analytic pipeline if it no longer lowers.
+            Some(rec) => shared
+                .compiler
+                .compile_with_mapping(&request.program, &request.bindings, rec.mapping.clone())
+                .or_else(|_| shared.compiler.compile(&request.program, &request.bindings)),
+            None => shared.compiler.compile(&request.program, &request.bindings),
+        }
+    })?;
+    // Deadline check #2: compiling may have eaten the budget.
+    if let Some(d) = deadline {
+        let waited = enqueued.elapsed();
+        if waited > d {
+            return Err(EngineError::DeadlineExceeded { waited });
+        }
+    }
+    let run = exe.run(&request.inputs)?;
+    Ok((fp, exe, run, cache_hit, tuned))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

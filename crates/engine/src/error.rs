@@ -1,0 +1,128 @@
+//! Typed failures of the service layer.
+
+use multidim::{CompileError, RunError};
+use std::fmt;
+use std::time::Duration;
+
+/// Why the engine could not serve a request.
+///
+/// Every variant implements [`std::error::Error`]; pipeline failures keep
+/// their typed cause ([`CompileError`] / [`RunError`]) reachable through
+/// `source()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The bounded request queue was full — backpressure, not blocking.
+    /// Retry later or shed load; `queue_depth` is the depth observed at
+    /// rejection time.
+    Rejected {
+        /// Queue depth when the request was rejected.
+        queue_depth: usize,
+    },
+    /// The engine is draining and no longer accepts work.
+    ShuttingDown,
+    /// The request's deadline elapsed before a worker could finish it
+    /// (checked when the request is dequeued and between the compile and
+    /// run phases).
+    DeadlineExceeded {
+        /// How long the request had been waiting when the deadline check
+        /// fired.
+        waited: Duration,
+    },
+    /// The caller-side wait timed out; the request may still complete in
+    /// the background but its result is discarded.
+    WaitTimeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Execution failed.
+    Run(RunError),
+    /// The request panicked inside a worker. The worker survives and the
+    /// panic is isolated to this response.
+    WorkerPanic(String),
+    /// The worker processing this request disappeared before responding
+    /// (pool shut down mid-request).
+    Canceled,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rejected { queue_depth } => {
+                write!(f, "request rejected: queue full (depth {queue_depth})")
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::DeadlineExceeded { waited } => {
+                write!(
+                    f,
+                    "deadline exceeded after {:.1} ms",
+                    waited.as_secs_f64() * 1e3
+                )
+            }
+            EngineError::WaitTimeout { waited } => {
+                write!(
+                    f,
+                    "wait timed out after {:.1} ms",
+                    waited.as_secs_f64() * 1e3
+                )
+            }
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Run(e) => write!(f, "{e}"),
+            EngineError::WorkerPanic(msg) => write!(f, "request panicked in worker: {msg}"),
+            EngineError::Canceled => write!(f, "request canceled: worker disappeared"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Compile(e) => Some(e),
+            EngineError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<RunError> for EngineError {
+    fn from(e: RunError) -> EngineError {
+        EngineError::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn sources_are_reachable() {
+        let e = EngineError::from(CompileError("bad".into()));
+        assert!(e.source().unwrap().to_string().contains("bad"));
+        let e = EngineError::from(RunError("boom".into()));
+        assert!(e.source().unwrap().to_string().contains("boom"));
+        assert!(EngineError::Canceled.source().is_none());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(EngineError::Rejected { queue_depth: 9 }
+            .to_string()
+            .contains("depth 9"));
+        assert!(EngineError::DeadlineExceeded {
+            waited: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("deadline"));
+        assert!(EngineError::WorkerPanic("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

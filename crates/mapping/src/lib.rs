@@ -65,4 +65,4 @@ pub use search::{
     ScoredMapping,
 };
 pub use strategy::{figure7_dop, fixed_mapping, Strategy};
-pub use tune::{tune, Measured, TuneOptions, TuneResult};
+pub use tune::{plan, select, tune, Measured, TuneOptions, TunePlan, TuneResult};

@@ -42,6 +42,10 @@ pub struct Measured {
     pub candidate: ScoredMapping,
     /// Measured cost (seconds, or any monotone figure of merit).
     pub cost: f64,
+    /// Position of the candidate in the [`TunePlan`] (score order). Cost
+    /// ties are broken on this index, so selection is deterministic no
+    /// matter in which order (or on which threads) measurements finished.
+    pub index: usize,
 }
 
 /// The tuning outcome.
@@ -57,6 +61,79 @@ pub struct TuneResult {
     pub skipped: usize,
 }
 
+/// The prepared measurement list for one tuning run: hard-valid candidates
+/// that survived the score floor, sorted by static score descending.
+///
+/// Constraint collection and candidate enumeration happen once, in
+/// [`plan`]; the measurements themselves are embarrassingly parallel and
+/// may run on any thread in any order — [`select`] is order-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunePlan {
+    /// Candidates to measure, best static score first.
+    pub candidates: Vec<ScoredMapping>,
+}
+
+/// Enumerate and pre-filter the candidates to measure (the serial phase of
+/// tuning). Applies `options.score_floor`; `options.max_measurements`
+/// caps *successful* measurements and is enforced by [`tune`]'s serial
+/// loop (a parallel driver caps attempted candidates instead — see
+/// `TunePlan::candidates`).
+pub fn plan(
+    program: &Program,
+    bindings: &Bindings,
+    gpu: &GpuSpec,
+    weights: &Weights,
+    options: &TuneOptions,
+) -> TunePlan {
+    let mut candidates = enumerate_scored(program, bindings, gpu, weights);
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let best_score = candidates
+        .first()
+        .map(|c| c.normalized_score)
+        .unwrap_or(0.0);
+    candidates.retain(|c| c.normalized_score >= options.score_floor * best_score);
+    TunePlan { candidates }
+}
+
+/// Fold measurements back into a [`TuneResult`]. `costs[i]` is the
+/// measured cost of `plan.candidates[i]` (`None` = not executable, or not
+/// attempted). Ties on cost are broken by candidate index, so the outcome
+/// does not depend on measurement order: serial and parallel drivers pick
+/// the identical mapping.
+///
+/// Returns `None` when no candidate was measured.
+pub fn select(plan: &TunePlan, costs: &[Option<f64>]) -> Option<TuneResult> {
+    let mut measured = Vec::new();
+    let mut skipped = 0usize;
+    for (index, (cand, cost)) in plan.candidates.iter().zip(costs).enumerate() {
+        match cost {
+            Some(cost) => measured.push(Measured {
+                candidate: cand.clone(),
+                cost: *cost,
+                index,
+            }),
+            None => skipped += 1,
+        }
+    }
+    measured.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    let best = measured.first()?;
+    Some(TuneResult {
+        best: best.candidate.mapping.clone(),
+        best_cost: best.cost,
+        measured,
+        skipped,
+    })
+}
+
 /// Exhaustively (or score-guided) tune `program`'s mapping with the given
 /// measurement function. `measure` returns the cost of one candidate, or
 /// `None` when the candidate cannot be compiled/executed.
@@ -70,46 +147,23 @@ pub fn tune(
     options: &TuneOptions,
     mut measure: impl FnMut(&MappingDecision) -> Option<f64>,
 ) -> Option<TuneResult> {
-    let mut candidates = enumerate_scored(program, bindings, gpu, weights);
-    candidates.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let best_score = candidates
-        .first()
-        .map(|c| c.normalized_score)
-        .unwrap_or(0.0);
-
-    let mut measured = Vec::new();
-    let mut skipped = 0usize;
-    for cand in candidates {
-        if measured.len() >= options.max_measurements {
+    let plan = plan(program, bindings, gpu, weights, options);
+    // `costs` only covers attempted candidates: `select` zips, so
+    // candidates past the measurement cap count as neither measured nor
+    // skipped (matching the serial semantics engine drivers rely on).
+    let mut costs = Vec::new();
+    let mut successes = 0usize;
+    for cand in &plan.candidates {
+        if successes >= options.max_measurements {
             break;
         }
-        if cand.normalized_score < options.score_floor * best_score {
-            continue;
+        let cost = measure(&cand.mapping);
+        if cost.is_some() {
+            successes += 1;
         }
-        match measure(&cand.mapping) {
-            Some(cost) => measured.push(Measured {
-                candidate: cand,
-                cost,
-            }),
-            None => skipped += 1,
-        }
+        costs.push(cost);
     }
-    measured.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let best = measured.first()?;
-    Some(TuneResult {
-        best: best.candidate.mapping.clone(),
-        best_cost: best.cost,
-        measured,
-        skipped,
-    })
+    select(&plan, &costs)
 }
 
 #[cfg(test)]
@@ -223,6 +277,41 @@ mod tests {
         )
         .unwrap();
         assert!(!r.measured.is_empty());
+    }
+
+    #[test]
+    fn selection_is_order_independent() {
+        // Measure the same candidates through `select` with costs that tie
+        // everywhere: the winner must be the lowest-index candidate, the
+        // same one the serial `tune` loop picks — no matter which thread
+        // or order produced the measurements.
+        let (p, bind) = program();
+        let gpu = GpuSpec::tesla_k20c();
+        let serial = tune(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+            |m| Some((m.block_threads() % 7) as f64),
+        )
+        .unwrap();
+        let plan = plan(
+            &p,
+            &bind,
+            &gpu,
+            &Weights::default(),
+            &TuneOptions::default(),
+        );
+        // "Parallel" measurement: compute all costs, in reverse order.
+        let mut costs = vec![None; plan.candidates.len()];
+        for i in (0..plan.candidates.len()).rev() {
+            costs[i] = Some((plan.candidates[i].mapping.block_threads() % 7) as f64);
+        }
+        let parallel = select(&plan, &costs).unwrap();
+        assert_eq!(parallel.best, serial.best);
+        assert_eq!(parallel.best_cost, serial.best_cost);
+        assert_eq!(parallel.measured.len(), serial.measured.len());
     }
 
     #[test]

@@ -208,6 +208,23 @@ impl Event {
         }
     }
 
+    /// A counter/gauge sample on the *pipeline* lane, stamped with the
+    /// current wall clock — for host-side state that evolves over a
+    /// session (cache hit/miss totals, queue depth, worker occupancy)
+    /// rather than over simulated GPU time.
+    pub fn gauge(cat: &'static str, name: impl Into<String>) -> Event {
+        Event {
+            phase: Phase::Counter,
+            cat,
+            name: name.into(),
+            ts_us: now_us(),
+            dur_us: 0.0,
+            pid: PID_PIPELINE,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
     /// Attach an argument (builder style).
     pub fn arg(mut self, key: &'static str, value: impl Into<Value>) -> Event {
         self.args.push((key, value.into()));
@@ -533,6 +550,15 @@ mod tests {
         assert_eq!(ev.name, "work");
         assert!(ev.dur_us >= 0.0);
         assert_eq!(ev.get_u64("items"), Some(3));
+    }
+
+    #[test]
+    fn gauge_samples_pipeline_lane() {
+        let e = Event::gauge("engine", "cache").arg("hits", 3u64);
+        assert_eq!(e.phase, Phase::Counter);
+        assert_eq!(e.pid, PID_PIPELINE);
+        assert!(e.ts_us >= 0.0);
+        assert_eq!(e.get_u64("hits"), Some(3));
     }
 
     #[test]
