@@ -8,13 +8,19 @@
 //! compilation cache exists for. Warm throughput is asserted to be at
 //! least 5x cold.
 //!
+//! Warm-round latencies are recorded into a `multidim-obs` histogram, so
+//! the summary carries p50/p99/max tail latency alongside throughput.
+//!
 //! With `--report` (or `MULTIDIM_REPORT`), writes the summary to
-//! `throughput.engine.json`.
+//! `throughput.engine.json` — the schema the `check_regression` gate
+//! compares against `BENCH_baseline.json`.
 
 use multidim::Compiler;
 use multidim_bench::{fmt_secs, print_table, report_requested};
 use multidim_engine::{Engine, EngineConfig, Request};
 use multidim_ir::{Bindings, Effect, Expr, ProgramBuilder, ScalarKind, Size};
+use multidim_obs::Histogram;
+use multidim_trace::json::Json;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -77,14 +83,19 @@ fn main() {
     let cold_rps = k as f64 / cold_secs;
 
     // Warm: one engine, primed once, then timed rounds that only hit the
-    // cache.
+    // cache. Per-request latency (queue wait + service) goes into a
+    // log-bucketed histogram for the tail-latency gate.
     let e = engine();
     let prime = e.run_batch(reqs.clone());
     assert!(prime.iter().all(Result::is_ok), "priming must succeed");
+    let latency = Histogram::new();
     let start = Instant::now();
     for _ in 0..WARM_ROUNDS {
         let results = e.run_batch(reqs.clone());
-        assert!(results.iter().all(Result::is_ok), "warm pass must succeed");
+        for r in &results {
+            let resp = r.as_ref().expect("warm pass must succeed");
+            latency.record((resp.queue_wait + resp.service_time).as_secs_f64());
+        }
     }
     let warm_secs = start.elapsed().as_secs_f64();
     let warm_rps = (WARM_ROUNDS * k) as f64 / warm_secs;
@@ -96,6 +107,9 @@ fn main() {
     assert_eq!(stats.hits as usize, WARM_ROUNDS * k);
 
     let speedup = warm_rps / cold_rps;
+    let snap = latency.snapshot();
+    let us = |q: f64| snap.quantile(q).unwrap_or(f64::NAN) * 1e6;
+    let (p50_us, p99_us, max_us) = (us(0.5), us(0.99), us(1.0));
     print_table(
         "engine throughput (requests/sec)",
         &["cold", "warm", "speedup"],
@@ -105,18 +119,29 @@ fn main() {
         )],
     );
     println!(
-        "  cold pass {}  |  warm round {}",
+        "  cold pass {}  |  warm round {}  |  warm latency p50 {:.1} µs  p99 {:.1} µs  max {:.1} µs",
         fmt_secs(cold_secs),
-        fmt_secs(warm_secs / WARM_ROUNDS as f64)
+        fmt_secs(warm_secs / WARM_ROUNDS as f64),
+        p50_us,
+        p99_us,
+        max_us,
     );
 
     if report_requested() {
-        let body = format!(
-            "{{\"cold_rps\":{cold_rps:.3},\"warm_rps\":{warm_rps:.3},\"speedup\":{speedup:.3},\
-             \"requests\":{k},\"warm_rounds\":{WARM_ROUNDS},\
-             \"cache_hits\":{},\"cache_misses\":{}}}",
-            stats.hits, stats.misses
-        );
+        let num = |v: f64| Json::Num((v * 1000.0).round() / 1000.0);
+        let body = Json::Obj(vec![
+            ("cold_rps".to_string(), num(cold_rps)),
+            ("warm_rps".to_string(), num(warm_rps)),
+            ("speedup".to_string(), num(speedup)),
+            ("p50_us".to_string(), num(p50_us)),
+            ("p99_us".to_string(), num(p99_us)),
+            ("max_us".to_string(), num(max_us)),
+            ("requests".to_string(), Json::Num(k as f64)),
+            ("warm_rounds".to_string(), Json::Num(WARM_ROUNDS as f64)),
+            ("cache_hits".to_string(), Json::Num(stats.hits as f64)),
+            ("cache_misses".to_string(), Json::Num(stats.misses as f64)),
+        ])
+        .render();
         let path = "throughput.engine.json";
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("wrote {path}"),

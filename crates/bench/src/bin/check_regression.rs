@@ -1,0 +1,80 @@
+//! CI perf-regression gate.
+//!
+//! ```text
+//! check_regression <baseline.json> <current.json> [--tolerance <ratio>]
+//! ```
+//!
+//! Both files are the throughput bench's `--report` JSON. Exit code 0 when
+//! warm throughput and p99 latency are within tolerance of the baseline,
+//! 1 on a regression, 2 on unreadable input. The tolerance can also be
+//! set with `MULTIDIM_REGRESSION_TOLERANCE`; the flag wins.
+
+use multidim_bench::regression::{check, DEFAULT_TOLERANCE};
+use multidim_trace::json::Json;
+use std::process::ExitCode;
+
+fn load(path: &str, which: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {which} report `{path}`: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{which} report `{path}` is not valid JSON: {e}"))
+}
+
+fn parse_args() -> Result<(String, String, f64), String> {
+    let mut tolerance = match std::env::var("MULTIDIM_REGRESSION_TOLERANCE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("MULTIDIM_REGRESSION_TOLERANCE is not a number: `{v}`"))?,
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let v = args
+                .next()
+                .ok_or_else(|| "--tolerance needs a value".to_string())?;
+            tolerance = v
+                .parse::<f64>()
+                .map_err(|_| format!("--tolerance is not a number: `{v}`"))?;
+        } else {
+            positional.push(arg);
+        }
+    }
+    match <[String; 2]>::try_from(positional) {
+        Ok([baseline, current]) => Ok((baseline, current, tolerance)),
+        Err(_) => Err(
+            "usage: check_regression <baseline.json> <current.json> [--tolerance <ratio>]"
+                .to_string(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let (baseline_path, current_path, tolerance) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gate = load(&baseline_path, "baseline").and_then(|baseline| {
+        let current = load(&current_path, "current")?;
+        check(&baseline, &current, tolerance)
+    });
+    match gate {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                println!("perf gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!("perf gate: FAIL (regression beyond {tolerance:.2}x tolerance)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -4,6 +4,13 @@
 //! of the paper: it runs the relevant workloads on the simulator and
 //! prints the same rows/series the paper plots, normalized the same way.
 //! Absolute times are simulator estimates; the *ratios* are the result.
+//!
+//! The [`regression`] module is the perf gate over the engine throughput
+//! bench: it compares a fresh `--report` JSON against the committed
+//! `BENCH_baseline.json` and fails CI when warm throughput or p99 latency
+//! regresses beyond tolerance (see the `check_regression` binary).
+
+pub mod regression;
 
 /// Print a titled table: a label column plus one column per series.
 pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
@@ -38,7 +45,8 @@ pub fn report_requested() -> bool {
     std::env::args().any(|a| a == "--report") || std::env::var_os("MULTIDIM_REPORT").is_some()
 }
 
-/// When [`report_requested`], write the per-launch [`RunMetrics`] records
+/// When [`report_requested`], write the per-launch
+/// [`RunMetrics`](multidim_sim::RunMetrics) records
 /// as a JSON array to `<label>.metrics.json` in the working directory.
 ///
 /// No-op (and no file) when reporting was not requested or `metrics` is

@@ -502,7 +502,7 @@ impl Executable {
     /// Execute with the simulator's sanitizer on: every non-atomic global
     /// store is recorded per kernel, and elements written by two different
     /// threads in one launch come back as conflicts. Use
-    /// [`cross_check`](multidim_analyze::cross_check) to compare the
+    /// [`cross_check`] to compare the
     /// observations against [`Executable::diagnostics`].
     ///
     /// # Errors

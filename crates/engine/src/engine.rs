@@ -7,13 +7,21 @@ use crate::pool::WorkerPool;
 use crate::store::{LoadOutcome, TuneRecord, TuningStore};
 use multidim::{Compiler, Executable, Fingerprint, RunReport};
 use multidim_ir::{ArrayId, Bindings, Program};
-use std::collections::HashMap;
+use multidim_obs::{
+    Counter, FlightRecorder, Histogram, PhaseBreakdown, PostMortem, Registry, RequestProfile,
+    SearchBreakdown,
+};
+use multidim_trace::Sink;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Post-mortem bundles retained by the engine (oldest dropped first).
+const POST_MORTEM_CAP: usize = 32;
 
 /// Engine sizing and policy.
 #[derive(Debug, Clone)]
@@ -32,6 +40,11 @@ pub struct EngineConfig {
     pub default_deadline: Option<Duration>,
     /// Where to persist tuned mappings; `None` keeps them in memory only.
     pub store_path: Option<PathBuf>,
+    /// Trace events each worker retains for post-mortem bundles (the
+    /// flight recorder's per-thread ring size). `0` disables the recorder
+    /// — workers then trace only to an explicitly installed shared sink.
+    /// Default 128.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +57,7 @@ impl Default for EngineConfig {
             cache_capacity: 128,
             default_deadline: None,
             store_path: None,
+            flight_recorder_capacity: 128,
         }
     }
 }
@@ -96,6 +110,11 @@ pub struct Response {
     pub queue_wait: Duration,
     /// Worker time (fingerprint + compile-or-hit + run).
     pub service_time: Duration,
+    /// Time resolving the executable: a cache lookup on a hit, the full
+    /// pipeline on a miss.
+    pub compile_time: Duration,
+    /// Time executing on the simulator (wall clock).
+    pub run_time: Duration,
 }
 
 /// Handle to an in-flight request.
@@ -150,11 +169,70 @@ struct AtomicEngineStats {
     tuned_served: AtomicU64,
 }
 
+/// Pre-resolved registry handles for the engine's hot-path metrics, so
+/// serving a request never takes the registry's name-lookup lock.
+struct EngineMetrics {
+    requests_total: Arc<Counter>,
+    completed_total: Arc<Counter>,
+    failed_total: Arc<Counter>,
+    rejected_total: Arc<Counter>,
+    expired_total: Arc<Counter>,
+    panicked_total: Arc<Counter>,
+    tuned_served_total: Arc<Counter>,
+    autotune_total: Arc<Counter>,
+    request_seconds: Arc<Histogram>,
+    queue_seconds: Arc<Histogram>,
+    compile_seconds: Arc<Histogram>,
+    run_seconds: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            requests_total: registry
+                .counter("engine_requests_total", "requests accepted into the queue"),
+            completed_total: registry
+                .counter("engine_completed_total", "requests served successfully"),
+            failed_total: registry.counter(
+                "engine_failed_total",
+                "requests that failed (compile, run, deadline, panic)",
+            ),
+            rejected_total: registry
+                .counter("engine_rejected_total", "requests rejected by backpressure"),
+            expired_total: registry
+                .counter("engine_expired_total", "requests whose deadline expired"),
+            panicked_total: registry.counter(
+                "engine_panicked_total",
+                "requests that panicked in a worker (isolated)",
+            ),
+            tuned_served_total: registry.counter(
+                "engine_tuned_served_total",
+                "requests served with a mapping from the tuning store",
+            ),
+            autotune_total: registry.counter("engine_autotune_total", "autotune runs completed"),
+            request_seconds: registry.histogram(
+                "engine_request_seconds",
+                "end-to-end request latency (queue wait + service)",
+            ),
+            queue_seconds: registry.histogram("engine_queue_seconds", "time requests spend queued"),
+            compile_seconds: registry.histogram(
+                "engine_compile_seconds",
+                "compile time of cache-miss requests",
+            ),
+            run_seconds: registry.histogram("engine_run_seconds", "simulator wall-clock run time"),
+        }
+    }
+}
+
 struct Shared {
     compiler: Arc<Compiler>,
     cache: CompileCache,
     store: TuningStore,
     stats: AtomicEngineStats,
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
+    recorder: Option<Arc<FlightRecorder>>,
+    post_mortems: Mutex<VecDeque<PostMortem>>,
 }
 
 /// The concurrent compile/run engine. See the crate docs for the full
@@ -182,14 +260,26 @@ impl Engine {
             Some(path) => TuningStore::open(path),
             None => (TuningStore::in_memory(), LoadOutcome::default()),
         };
+        let registry = Arc::new(Registry::new());
+        let metrics = EngineMetrics::new(&registry);
+        let recorder = (config.flight_recorder_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(config.flight_recorder_capacity)));
+        // Install the recorder as each worker's thread-local sink: the
+        // events a request emits (search spans, cache gauges, run spans)
+        // land in that worker's ring, ready for a post-mortem bundle.
+        let worker_sink = recorder.clone().map(|r| r as Arc<dyn Sink + Send + Sync>);
         Engine {
             shared: Arc::new(Shared {
                 compiler: compiler.shared(),
                 cache: CompileCache::new(config.cache_capacity),
                 store,
                 stats: AtomicEngineStats::default(),
+                registry,
+                metrics,
+                recorder,
+                post_mortems: Mutex::new(VecDeque::new()),
             }),
-            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            pool: WorkerPool::with_sink(config.workers, config.queue_capacity, worker_sink),
             store_load,
             default_deadline: config.default_deadline,
         }
@@ -223,10 +313,12 @@ impl Engine {
         match self.pool.try_submit(job) {
             Ok(()) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.requests_total.inc();
                 Ok(Ticket { rx })
             }
             Err(Some(_full)) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected_total.inc();
                 Err(EngineError::Rejected {
                     queue_depth: self.pool.queue_depth(),
                 })
@@ -386,6 +478,18 @@ impl Engine {
         };
         self.shared.store.insert(record.clone());
         let _ = self.shared.store.save();
+        self.shared.metrics.autotune_total.inc();
+        if let Some(delta) = record.analytic_delta() {
+            // Positive = the measured mapping beat the analytic winner by
+            // this fraction of the analytic cost.
+            self.shared
+                .registry
+                .gauge(
+                    "engine_tuned_delta",
+                    "analytic-vs-tuned cost delta of the most recent autotune",
+                )
+                .set(delta);
+        }
         if multidim_trace::enabled() {
             let mut ev = multidim_trace::Event::gauge("engine", "autotune")
                 .arg("program", record.program.as_str())
@@ -433,6 +537,85 @@ impl Engine {
         self.shared.store.len()
     }
 
+    /// The engine's metrics registry. Counters and histograms update as
+    /// requests are served; share the arc with exporters freely.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.shared.registry.clone()
+    }
+
+    /// Post-mortem bundles of recently failed requests, oldest first.
+    /// Bounded: only the most recent 32 failures are retained. A bundle
+    /// exists for every request that panicked, missed its deadline, or
+    /// failed to compile or run.
+    pub fn post_mortems(&self) -> Vec<PostMortem> {
+        let q = self
+            .shared
+            .post_mortems
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        q.iter().cloned().collect()
+    }
+
+    /// Render the Prometheus-style text exposition of every engine metric,
+    /// after syncing point-in-time gauges (queue depth, cache counters,
+    /// store size) into the registry.
+    pub fn render_metrics(&self) -> String {
+        self.sync_gauges();
+        self.shared.registry.render_text()
+    }
+
+    /// Snapshot point-in-time state into registry gauges.
+    fn sync_gauges(&self) {
+        let r = &self.shared.registry;
+        r.gauge("engine_queue_depth", "requests waiting for a worker")
+            .set(self.queue_depth() as f64);
+        let cs = self.cache_stats();
+        r.gauge("engine_cache_hits", "compile-cache hits")
+            .set(cs.hits as f64);
+        r.gauge("engine_cache_misses", "compile-cache misses")
+            .set(cs.misses as f64);
+        r.gauge(
+            "engine_cache_coalesced",
+            "compile-cache lookups coalesced onto an in-flight compile",
+        )
+        .set(cs.coalesced as f64);
+        r.gauge("engine_cache_evictions", "compile-cache LRU evictions")
+            .set(cs.evictions as f64);
+        r.gauge("engine_cache_entries", "ready compile-cache entries")
+            .set(self.shared.cache.len() as f64);
+        r.gauge("engine_store_records", "tuning-store records")
+            .set(self.store_len() as f64);
+    }
+
+    /// Stitch one served request into a [`RequestProfile`]: latency phases
+    /// (queue → compile → run), the mapping search's score breakdown (when
+    /// the *MultiDim* analysis ran), and the simulator's roofline counters.
+    pub fn profile(&self, response: &Response) -> RequestProfile {
+        let exe = &response.executable;
+        let search = exe.analysis.as_ref().map(|a| SearchBreakdown {
+            mapping: a.decision.to_string(),
+            score: a.score,
+            normalized_score: a.normalized_score,
+            dop: a.dop,
+            candidates: a.candidates as u64,
+            pruned: a.pruned as u64,
+        });
+        RequestProfile {
+            program: exe.program.name.clone(),
+            fingerprint: response.fingerprint.to_string(),
+            cache_hit: response.cache_hit,
+            tuned: response.tuned,
+            phases: PhaseBreakdown {
+                queue_seconds: response.queue_wait.as_secs_f64(),
+                compile_seconds: response.compile_time.as_secs_f64(),
+                run_seconds: response.run_time.as_secs_f64(),
+                total_seconds: (response.queue_wait + response.service_time).as_secs_f64(),
+            },
+            search,
+            metrics: exe.metrics(&response.run).to_json(),
+        }
+    }
+
     /// Emit engine + cache counters as `multidim-trace` gauge events on
     /// the calling thread's sink.
     pub fn emit_stats(&self) {
@@ -470,6 +653,82 @@ impl Engine {
     }
 }
 
+/// How far `serve` got before returning or unwinding: filled in as the
+/// phases progress so a failure can report partial timings and the request
+/// fingerprint even when it never produced a [`Response`].
+#[derive(Default)]
+struct ServePhases {
+    fingerprint: Option<Fingerprint>,
+    cache_hit: Option<bool>,
+    compile_started: Option<Instant>,
+    compile: Option<Duration>,
+    run_started: Option<Instant>,
+    run: Option<Duration>,
+}
+
+impl ServePhases {
+    /// Completed-phase duration, or time spent in the phase so far when
+    /// the failure interrupted it mid-flight.
+    fn phase_seconds(done: Option<Duration>, started: Option<Instant>) -> Option<f64> {
+        done.map(|d| d.as_secs_f64())
+            .or_else(|| started.map(|t| t.elapsed().as_secs_f64()))
+    }
+
+    fn compile_seconds(&self) -> Option<f64> {
+        Self::phase_seconds(self.compile, self.compile_started)
+    }
+
+    fn run_seconds(&self) -> Option<f64> {
+        Self::phase_seconds(self.run, self.run_started)
+    }
+}
+
+/// Build a post-mortem bundle on the failing worker thread (so the flight
+/// recorder's `recent()` reads this worker's ring) and retain it in the
+/// engine's bounded queue.
+fn record_failure(
+    shared: &Shared,
+    request: &Request,
+    reason: String,
+    queue_wait: Duration,
+    phases: &ServePhases,
+) {
+    let diagnostics = phases
+        .fingerprint
+        .and_then(|fp| shared.cache.peek(fp))
+        .map(|exe| {
+            exe.diagnostics
+                .diagnostics
+                .iter()
+                .map(|d| d.render_line())
+                .collect()
+        })
+        .unwrap_or_default();
+    let events = shared
+        .recorder
+        .as_ref()
+        .map(|r| r.recent())
+        .unwrap_or_default();
+    let pm = PostMortem {
+        program: request.program.name.clone(),
+        fingerprint: phases.fingerprint.map(|fp| fp.to_string()),
+        reason,
+        queue_seconds: queue_wait.as_secs_f64(),
+        compile_seconds: phases.compile_seconds(),
+        run_seconds: phases.run_seconds(),
+        diagnostics,
+        events,
+    };
+    let mut q = shared
+        .post_mortems
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if q.len() == POST_MORTEM_CAP {
+        q.pop_front();
+    }
+    q.push_back(pm);
+}
+
 fn process_request(
     shared: &Shared,
     request: Request,
@@ -478,29 +737,52 @@ fn process_request(
     tx: &Sender<Result<Response, EngineError>>,
 ) {
     let queue_wait = enqueued.elapsed();
+    shared
+        .metrics
+        .queue_seconds
+        .record(queue_wait.as_secs_f64());
     // Deadline check #1: the request may have expired while queued.
     if let Some(d) = deadline {
         if queue_wait > d {
             shared.stats.expired.fetch_add(1, Ordering::Relaxed);
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Err(EngineError::DeadlineExceeded { waited: queue_wait }));
+            shared.metrics.expired_total.inc();
+            shared.metrics.failed_total.inc();
+            let err = EngineError::DeadlineExceeded { waited: queue_wait };
+            // The request never reached `serve`, so compute the
+            // fingerprint here purely for the bundle (guarded: a hostile
+            // binding can make fingerprinting itself panic).
+            let phases = ServePhases {
+                fingerprint: catch_unwind(AssertUnwindSafe(|| {
+                    shared
+                        .compiler
+                        .fingerprint(&request.program, &request.bindings)
+                }))
+                .ok(),
+                ..ServePhases::default()
+            };
+            record_failure(shared, &request, err.to_string(), queue_wait, &phases);
+            let _ = tx.send(Err(err));
             return;
         }
     }
     let started = Instant::now();
+    let mut phases = ServePhases::default();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        serve(shared, &request, deadline, enqueued)
+        serve(shared, &request, deadline, enqueued, &mut phases)
     }));
     let result = match outcome {
         Ok(r) => r,
         Err(payload) => {
             shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.panicked_total.inc();
             Err(EngineError::WorkerPanic(panic_message(payload.as_ref())))
         }
     };
     let result = result.map(|(fingerprint, executable, run, cache_hit, tuned)| {
         if tuned {
             shared.stats.tuned_served.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.tuned_served_total.inc();
         }
         Response {
             fingerprint,
@@ -510,18 +792,39 @@ fn process_request(
             tuned,
             queue_wait,
             service_time: started.elapsed(),
+            compile_time: phases.compile.unwrap_or_default(),
+            run_time: phases.run.unwrap_or_default(),
         }
     });
     match &result {
-        Ok(_) => {
+        Ok(resp) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.completed_total.inc();
+            shared
+                .metrics
+                .request_seconds
+                .record((resp.queue_wait + resp.service_time).as_secs_f64());
+            shared
+                .metrics
+                .run_seconds
+                .record(resp.run_time.as_secs_f64());
+            if !resp.cache_hit {
+                shared
+                    .metrics
+                    .compile_seconds
+                    .record(resp.compile_time.as_secs_f64());
+            }
+            // Fold the simulator's roofline counters into the registry.
+            resp.executable.metrics(&resp.run).record(&shared.registry);
         }
-        Err(EngineError::DeadlineExceeded { .. }) => {
-            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+        Err(err) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(_) => {
-            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed_total.inc();
+            if matches!(err, EngineError::DeadlineExceeded { .. }) {
+                shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.expired_total.inc();
+            }
+            record_failure(shared, &request, err.to_string(), queue_wait, &phases);
         }
     }
     let _ = tx.send(result);
@@ -534,13 +837,16 @@ fn serve(
     request: &Request,
     deadline: Option<Duration>,
     enqueued: Instant,
+    phases: &mut ServePhases,
 ) -> Result<Served, EngineError> {
     let fp = shared
         .compiler
         .fingerprint(&request.program, &request.bindings);
+    phases.fingerprint = Some(fp);
     let tuned_record = shared.store.get(fp);
     let tuned = tuned_record.is_some();
     let mut cache_hit = true;
+    phases.compile_started = Some(Instant::now());
     let exe = shared.cache.get_or_compile(fp, || {
         cache_hit = false;
         match &tuned_record {
@@ -553,6 +859,13 @@ fn serve(
             None => shared.compiler.compile(&request.program, &request.bindings),
         }
     })?;
+    phases.compile = phases.compile_started.map(|t| t.elapsed());
+    phases.cache_hit = Some(cache_hit);
+    if !cache_hit {
+        if let Some(analysis) = &exe.analysis {
+            multidim_mapping::observe_analysis(&shared.registry, analysis);
+        }
+    }
     // Deadline check #2: compiling may have eaten the budget.
     if let Some(d) = deadline {
         let waited = enqueued.elapsed();
@@ -560,7 +873,9 @@ fn serve(
             return Err(EngineError::DeadlineExceeded { waited });
         }
     }
+    phases.run_started = Some(Instant::now());
     let run = exe.run(&request.inputs)?;
+    phases.run = phases.run_started.map(|t| t.elapsed());
     Ok((fp, exe, run, cache_hit, tuned))
 }
 

@@ -61,8 +61,8 @@ pub use constraint::{
 };
 pub use params::{Dim, LevelMapping, MappingDecision, Span};
 pub use search::{
-    analysis_extents, analyze, analyze_with, control_dop, enumerate_scored, size_set, Analysis,
-    ScoredMapping,
+    analysis_extents, analyze, analyze_with, control_dop, enumerate_scored, observe_analysis,
+    size_set, Analysis, ScoredMapping,
 };
 pub use strategy::{figure7_dop, fixed_mapping, Strategy};
 pub use tune::{plan, select, tune, Measured, TuneOptions, TunePlan, TuneResult};

@@ -49,6 +49,41 @@ pub struct Analysis {
     pub dop: u64,
     /// Number of candidates that passed the hard filter.
     pub candidates: usize,
+    /// Number of candidates rejected by a hard constraint.
+    pub pruned: usize,
+}
+
+/// Record one finished analysis into an observability registry: total
+/// candidates scored, total pruned by hard constraints, and a histogram
+/// of the search's prune rate (pruned / enumerated).
+pub fn observe_analysis(registry: &multidim_obs::Registry, analysis: &Analysis) {
+    registry
+        .counter(
+            "mapping_candidates_total",
+            "mapping candidates that passed the hard constraints, summed over searches",
+        )
+        .add(analysis.candidates as u64);
+    registry
+        .counter(
+            "mapping_pruned_total",
+            "mapping candidates rejected by a hard constraint, summed over searches",
+        )
+        .add(analysis.pruned as u64);
+    let enumerated = analysis.candidates + analysis.pruned;
+    if enumerated > 0 {
+        registry
+            .histogram(
+                "mapping_prune_rate",
+                "fraction of enumerated candidates pruned per search",
+            )
+            .record(analysis.pruned as f64 / enumerated as f64);
+    }
+    registry
+        .histogram(
+            "mapping_normalized_score",
+            "normalized score of the selected mapping per search",
+        )
+        .record(analysis.normalized_score);
 }
 
 /// Run the full mapping analysis (the paper's *MultiDim*) on `program`.
@@ -125,7 +160,7 @@ pub fn analyze_with(
 
     let mut best: Option<(MappingDecision, f64, (u64, u64, u64))> = None;
     let mut candidates = 0usize;
-    for_each_candidate(&nest, &constraints, gpu, &mut |mapping| {
+    let pruned = for_each_candidate(&nest, &constraints, gpu, &mut |mapping| {
         candidates += 1;
         let score = constraints.score(&mapping);
         let k = key(&mapping);
@@ -168,11 +203,13 @@ pub fn analyze_with(
                 .arg("score", score)
                 .arg("normalized_score", normalized_score)
                 .arg("dop", dop)
-                .arg("candidates", candidates),
+                .arg("candidates", candidates)
+                .arg("pruned", pruned),
         );
     }
     if let Some(s) = sp.as_mut() {
         s.arg("candidates", candidates);
+        s.arg("pruned", pruned);
     }
 
     Analysis {
@@ -183,6 +220,7 @@ pub fn analyze_with(
         normalized_score,
         dop,
         candidates,
+        pruned,
     }
 }
 
@@ -236,7 +274,8 @@ fn for_each_candidate(
     constraints: &ConstraintSet,
     gpu: &GpuSpec,
     f: &mut dyn FnMut(MappingDecision),
-) {
+) -> usize {
+    let mut pruned = 0usize;
     let depth = nest.depth().max(1);
     let sizes = size_set(gpu);
     let forced: Vec<Option<SpanAllReason>> = (0..depth)
@@ -274,19 +313,25 @@ fn for_each_candidate(
                         // "why was this candidate pruned" table can be built.
                         match constraints.first_violation(&mapping) {
                             None => f(mapping),
-                            Some(v) => trace::emit(
-                                trace::Event::instant("search", "pruned")
-                                    .arg("mapping", mapping.to_string())
-                                    .arg("violates", v.to_string()),
-                            ),
+                            Some(v) => {
+                                pruned += 1;
+                                trace::emit(
+                                    trace::Event::instant("search", "pruned")
+                                        .arg("mapping", mapping.to_string())
+                                        .arg("violates", v.to_string()),
+                                );
+                            }
                         }
                     } else if constraints.hard_ok(&mapping) {
                         f(mapping);
+                    } else {
+                        pruned += 1;
                     }
                 });
             },
         );
     });
+    pruned
 }
 
 fn permutations(items: &mut [u8], k: usize, f: &mut dyn FnMut(&[u8])) {
@@ -587,6 +632,7 @@ mod tests {
             !pruned.is_empty(),
             "tiny smem should prune large reduce blocks"
         );
+        assert_eq!(pruned.len(), a.pruned, "analysis counts its own prunes");
         for e in &pruned {
             let why = e
                 .get_str("violates")
@@ -618,6 +664,7 @@ mod tests {
         drop(guard);
         assert_eq!(untraced.decision, traced.decision);
         assert_eq!(untraced.candidates, traced.candidates);
+        assert_eq!(untraced.pruned, traced.pruned, "both paths count prunes");
         assert_eq!(untraced.score, traced.score);
     }
 }

@@ -1,0 +1,178 @@
+//! Flight recorder: a bounded per-thread ring of recent trace events,
+//! plus the post-mortem bundle built from it when a request fails.
+//!
+//! The recorder is a [`Sink`] that is `Send + Sync`, so one instance can
+//! be installed on every engine worker (thread-locally, through the pool)
+//! while a user's own shared sink keeps receiving the same events. Each
+//! thread gets its own ring of the most recent `capacity` events —
+//! recording is a mutex push, reading happens only when something goes
+//! wrong, so the rings cost nothing until a failure needs explaining.
+
+use multidim_trace::json::Json;
+use multidim_trace::{chrome, Event, Sink};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+/// A bounded ring of recent trace events per thread.
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: Mutex<HashMap<ThreadId, VecDeque<Event>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events per thread (at
+    /// least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            rings: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Events per thread this recorder retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The calling thread's recent events, oldest first. This is the
+    /// post-mortem view: a failing worker calls it from its own thread to
+    /// capture what it was doing just before the failure.
+    pub fn recent(&self) -> Vec<Event> {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        rings
+            .get(&std::thread::current().id())
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total events currently buffered across all threads.
+    pub fn buffered(&self) -> usize {
+        let rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        rings.values().map(VecDeque::len).sum()
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn event(&self, event: &Event) {
+        let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = rings.entry(std::thread::current().id()).or_default();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+    }
+}
+
+/// Everything the engine knows about one failed request: what it was,
+/// why it failed, how far it got, and what the worker traced on the way.
+/// Built on the failing worker thread, stored in a bounded queue on the
+/// engine, serialized with [`PostMortem::to_json`].
+#[derive(Debug, Clone)]
+pub struct PostMortem {
+    /// Program name from the request.
+    pub program: String,
+    /// Content address of the request, when it was computed before the
+    /// failure (a panic inside fingerprinting itself leaves `None`).
+    pub fingerprint: Option<String>,
+    /// Human-readable failure reason (the error's display form).
+    pub reason: String,
+    /// Time the request spent queued.
+    pub queue_seconds: f64,
+    /// Time in the compile/cache-resolution phase, when it started
+    /// (partial on a mid-compile panic).
+    pub compile_seconds: Option<f64>,
+    /// Time in the run phase, when it started.
+    pub run_seconds: Option<f64>,
+    /// Static-analysis diagnostics attached to the executable, when one
+    /// exists (one rendered line each).
+    pub diagnostics: Vec<String>,
+    /// The worker's most recent trace events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl PostMortem {
+    /// Serialize the bundle (events in Chrome trace-event form).
+    pub fn to_json(&self) -> Json {
+        let opt_num = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        Json::Obj(vec![
+            ("program".to_string(), Json::Str(self.program.clone())),
+            (
+                "fingerprint".to_string(),
+                self.fingerprint
+                    .clone()
+                    .map(Json::Str)
+                    .unwrap_or(Json::Null),
+            ),
+            ("reason".to_string(), Json::Str(self.reason.clone())),
+            ("queue_seconds".to_string(), Json::Num(self.queue_seconds)),
+            ("compile_seconds".to_string(), opt_num(self.compile_seconds)),
+            ("run_seconds".to_string(), opt_num(self.run_seconds)),
+            (
+                "diagnostics".to_string(),
+                Json::Arr(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| Json::Str(d.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(chrome::event_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_per_thread() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.event(&Event::instant("t", format!("e{i}")));
+        }
+        let recent = rec.recent();
+        let names: Vec<&str> = recent.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e7", "e8", "e9"], "only the newest 3 survive");
+
+        // Another thread's events do not leak into this thread's view.
+        let rec = std::sync::Arc::new(FlightRecorder::new(8));
+        let rec2 = rec.clone();
+        std::thread::spawn(move || rec2.event(&Event::instant("t", "other")))
+            .join()
+            .unwrap();
+        assert!(rec.recent().is_empty());
+        assert_eq!(rec.buffered(), 1);
+    }
+
+    #[test]
+    fn post_mortem_serializes() {
+        let pm = PostMortem {
+            program: "p".to_string(),
+            fingerprint: Some("ab".repeat(16)),
+            reason: "worker panicked: boom".to_string(),
+            queue_seconds: 0.001,
+            compile_seconds: Some(0.2),
+            run_seconds: None,
+            diagnostics: vec!["MD001 error: race".to_string()],
+            events: vec![Event::instant("search", "candidate").arg("score", 1.5)],
+        };
+        let j = pm.to_json();
+        assert_eq!(j.get("program").and_then(Json::as_str), Some("p"));
+        assert_eq!(j.get("run_seconds"), Some(&Json::Null));
+        assert_eq!(
+            j.get("events").and_then(Json::as_arr).map(|a| a.len()),
+            Some(1)
+        );
+        Json::parse(&pm.render()).expect("valid JSON");
+    }
+}

@@ -1,0 +1,67 @@
+//! # multidim-obs — fleet observability for the multidim service layer
+//!
+//! The paper's argument is quantitative — coalescing ratios, occupancy,
+//! launch overhead — and the service layer (`multidim-engine`) serves
+//! those measurements at volume. This crate is the layer that makes the
+//! numbers first-class:
+//!
+//! * a thread-safe **metrics [`Registry`]** of named [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed mergeable [`Histogram`]s (p50/p90/p99/
+//!   p999 estimation, [`SlidingWindow`] aggregation), with Prometheus-style
+//!   text exposition ([`Registry::render_text`]) and JSON export
+//!   ([`Registry::to_json`]);
+//! * a **[`FlightRecorder`]** — a bounded ring of recent trace events per
+//!   engine worker, dumped as a [`PostMortem`] bundle (events + request
+//!   fingerprint + diagnostics + phase timings) when a request panics,
+//!   misses its deadline, or fails to compile;
+//! * a **[`RequestProfile`]** report stitching one request's latency
+//!   phases (queue → compile → run), mapping-search score breakdown, and
+//!   simulator roofline counters into a single JSON document.
+//!
+//! Like the rest of the workspace, the crate has no external
+//! dependencies; JSON goes through [`multidim_trace::json`] and trace
+//! events through [`multidim_trace::Event`].
+//!
+//! # Example
+//!
+//! ```
+//! use multidim_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let latency = registry.histogram("request_seconds", "request latency");
+//! let served = registry.counter("requests_total", "requests served");
+//! for i in 1..=100 {
+//!     latency.record(i as f64 * 1e-4);
+//!     served.inc();
+//! }
+//! assert_eq!(served.get(), 100);
+//! let p99 = latency.quantile(0.99).unwrap();
+//! assert!(p99 > 90e-4 && p99 < 110e-4);
+//! let text = registry.render_text();
+//! assert!(text.contains("# TYPE request_seconds summary"));
+//! assert!(text.contains("requests_total 100"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hist;
+pub mod profile;
+pub mod registry;
+
+pub use flight::{FlightRecorder, PostMortem};
+pub use hist::{Histogram, HistogramSnapshot, SlidingWindow, BUCKETS, SUB_BUCKETS};
+pub use profile::{PhaseBreakdown, RequestProfile, SearchBreakdown};
+pub use registry::{Counter, Gauge, Registry, QUANTILES};
+
+// The registry and recorder are shared across engine workers; fail
+// compilation loudly if they ever stop being Send + Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Registry>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<SlidingWindow>();
+    assert_send_sync::<FlightRecorder>();
+};

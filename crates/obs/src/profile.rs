@@ -1,0 +1,158 @@
+//! Per-request profile report: one JSON document stitching together the
+//! engine's latency phases, the mapping search's score breakdown, and the
+//! simulator's roofline counters for a single served request.
+//!
+//! The engine builds these from a `Response` (see `Engine::profile` in
+//! `multidim-engine`); this crate only defines the shape, so it stays
+//! dependency-free — the simulator metrics arrive as an already
+//! serialized [`Json`] value rather than as a `RunMetrics` type.
+
+use multidim_trace::json::Json;
+
+/// Latency phases of one request, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Queued, waiting for a worker.
+    pub queue_seconds: f64,
+    /// Resolving the executable: a cache lookup on a hit, the full
+    /// pipeline (fuse → search → lower → check) on a miss.
+    pub compile_seconds: f64,
+    /// Executing on the simulator (wall clock, not simulated time).
+    pub run_seconds: f64,
+    /// End-to-end: queue wait plus worker service time.
+    pub total_seconds: f64,
+}
+
+/// What the mapping search did for this request's program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchBreakdown {
+    /// The selected mapping, rendered.
+    pub mapping: String,
+    /// Raw score of the selected mapping.
+    pub score: f64,
+    /// Score normalized to the paper's plotting range.
+    pub normalized_score: f64,
+    /// Degree of parallelism after `ControlDOP`.
+    pub dop: u64,
+    /// Candidates that passed the hard constraints.
+    pub candidates: u64,
+    /// Candidates rejected by a hard constraint.
+    pub pruned: u64,
+}
+
+/// The complete per-request profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestProfile {
+    /// Program name.
+    pub program: String,
+    /// Content address of the compiled artifact.
+    pub fingerprint: String,
+    /// Served from the compilation cache?
+    pub cache_hit: bool,
+    /// Served with a mapping from the tuning store?
+    pub tuned: bool,
+    /// Latency phases.
+    pub phases: PhaseBreakdown,
+    /// Mapping-search breakdown; `None` when the executable carries no
+    /// analysis (fixed-mapping strategies, tuned mappings).
+    pub search: Option<SearchBreakdown>,
+    /// Simulator roofline counters: the `RunMetrics` JSON document
+    /// (per-kernel cost counters, time breakdown, efficiency).
+    pub metrics: Json,
+}
+
+impl RequestProfile {
+    /// Serialize the profile.
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Obj(vec![
+            (
+                "queue_seconds".to_string(),
+                Json::Num(self.phases.queue_seconds),
+            ),
+            (
+                "compile_seconds".to_string(),
+                Json::Num(self.phases.compile_seconds),
+            ),
+            (
+                "run_seconds".to_string(),
+                Json::Num(self.phases.run_seconds),
+            ),
+            (
+                "total_seconds".to_string(),
+                Json::Num(self.phases.total_seconds),
+            ),
+        ]);
+        let search = match &self.search {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("mapping".to_string(), Json::Str(s.mapping.clone())),
+                ("score".to_string(), Json::Num(s.score)),
+                (
+                    "normalized_score".to_string(),
+                    Json::Num(s.normalized_score),
+                ),
+                ("dop".to_string(), Json::Num(s.dop as f64)),
+                ("candidates".to_string(), Json::Num(s.candidates as f64)),
+                ("pruned".to_string(), Json::Num(s.pruned as f64)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("program".to_string(), Json::Str(self.program.clone())),
+            (
+                "fingerprint".to_string(),
+                Json::Str(self.fingerprint.clone()),
+            ),
+            ("cache_hit".to_string(), Json::Bool(self.cache_hit)),
+            ("tuned".to_string(), Json::Bool(self.tuned)),
+            ("phases".to_string(), phases),
+            ("search".to_string(), search),
+            ("metrics".to_string(), self.metrics.clone()),
+        ])
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_serializes_all_sections() {
+        let p = RequestProfile {
+            program: "saxpy".to_string(),
+            fingerprint: "0".repeat(32),
+            cache_hit: true,
+            tuned: false,
+            phases: PhaseBreakdown {
+                queue_seconds: 1e-4,
+                compile_seconds: 2e-5,
+                run_seconds: 3e-4,
+                total_seconds: 4.2e-4,
+            },
+            search: Some(SearchBreakdown {
+                mapping: "x(256)".to_string(),
+                score: 12.0,
+                normalized_score: 1.2,
+                dop: 4096,
+                candidates: 22,
+                pruned: 44,
+            }),
+            metrics: Json::Obj(vec![("total_seconds".to_string(), Json::Num(3.5e-6))]),
+        };
+        let j = p.to_json();
+        assert_eq!(j.get("cache_hit"), Some(&Json::Bool(true)));
+        let phases = j.get("phases").expect("phases object");
+        assert_eq!(
+            phases.get("total_seconds").and_then(Json::as_f64),
+            Some(4.2e-4)
+        );
+        let search = j.get("search").expect("search object");
+        assert_eq!(search.get("pruned").and_then(Json::as_u64), Some(44));
+        assert!(j.get("metrics").is_some());
+        Json::parse(&p.render()).expect("valid JSON");
+    }
+}

@@ -1,0 +1,297 @@
+//! A process-local metrics registry: named counters, gauges, and
+//! histograms, with Prometheus-style text exposition and JSON export.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s returned by
+//! the registration methods; record through the handle on hot paths (no
+//! registry lock), read everything at once through
+//! [`Registry::render_text`] / [`Registry::to_json`]. Registration is
+//! get-or-create: registering the same name twice returns the same
+//! handle, so independent subsystems can share a metric by name.
+//! Metrics render in lexicographic name order, making the exposition
+//! deterministic (and golden-testable).
+
+use crate::hist::Histogram;
+use multidim_trace::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// The quantiles a histogram exposes, matching the summary lines in
+/// [`Registry::render_text`].
+pub const QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// JSON field names for [`QUANTILES`], in the same order.
+const QUANTILE_LABELS: [&str; 4] = ["p50", "p90", "p99", "p999"];
+
+/// A named collection of metrics. Cheap to clone handles out of; share
+/// the registry itself behind an [`Arc`].
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already
+    /// registered as a different metric kind (a programming error: two
+    /// subsystems disagree about what the name means).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::default())),
+        });
+        match &e.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is registered as a non-counter"),
+        }
+    }
+
+    /// Get or create the gauge `name` (same conflict rule as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+        });
+        match &e.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is registered as a non-gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name` (same conflict rule as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &e.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is registered as a non-histogram"),
+        }
+    }
+
+    /// Prometheus-style text exposition. Counters and gauges render one
+    /// sample line; histograms render as summaries — one
+    /// `name{quantile="…"}` line per entry of [`QUANTILES`] plus
+    /// `name_sum` and `name_count`. Metrics appear in name order.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.lock();
+        let mut out = String::new();
+        for (name, e) in entries.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", e.help);
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let snap = h.snapshot();
+                    for q in QUANTILES {
+                        let v = snap.quantile(q).unwrap_or(f64::NAN);
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum());
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON export: one object keyed by metric name. Counters and gauges
+    /// export their value; histograms export count/sum/min/max/mean and
+    /// the [`QUANTILES`] (as `"p50"`, `"p90"`, `"p99"`, `"p999"`).
+    pub fn to_json(&self) -> Json {
+        let entries = self.lock();
+        let mut fields = Vec::new();
+        for (name, e) in entries.iter() {
+            let value = match &e.metric {
+                Metric::Counter(c) => Json::Num(c.get() as f64),
+                Metric::Gauge(g) => Json::Num(g.get()),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut obj = vec![
+                        ("count".to_string(), Json::Num(snap.count() as f64)),
+                        ("sum".to_string(), Json::Num(snap.sum())),
+                    ];
+                    if let (Some(min), Some(max), Some(mean)) =
+                        (snap.min(), snap.max(), snap.mean())
+                    {
+                        obj.push(("min".to_string(), Json::Num(min)));
+                        obj.push(("max".to_string(), Json::Num(max)));
+                        obj.push(("mean".to_string(), Json::Num(mean)));
+                    }
+                    for (q, label) in QUANTILES.iter().zip(QUANTILE_LABELS) {
+                        if let Some(v) = snap.quantile(*q) {
+                            obj.push((label.to_string(), Json::Num(v)));
+                        }
+                    }
+                    Json::Obj(obj)
+                }
+            };
+            fields.push((name.clone(), value));
+        }
+        Json::Obj(fields)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "ignored duplicate help");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.gauge("x", "a gauge");
+        r.counter("x", "not a counter");
+    }
+
+    #[test]
+    fn golden_text_exposition() {
+        // The exact exposition format is a contract (scrapers parse it):
+        // pin it with a golden string. The histogram holds one distinct
+        // value so every quantile is exact and the output is stable.
+        let r = Registry::new();
+        r.counter("engine_requests_total", "requests accepted")
+            .add(7);
+        r.gauge("engine_queue_depth", "requests waiting").set(2.5);
+        let h = r.histogram("engine_request_seconds", "request latency");
+        h.record(2.0);
+        h.record(2.0);
+        let expected = "\
+# HELP engine_queue_depth requests waiting
+# TYPE engine_queue_depth gauge
+engine_queue_depth 2.5
+# HELP engine_request_seconds request latency
+# TYPE engine_request_seconds summary
+engine_request_seconds{quantile=\"0.5\"} 2
+engine_request_seconds{quantile=\"0.9\"} 2
+engine_request_seconds{quantile=\"0.99\"} 2
+engine_request_seconds{quantile=\"0.999\"} 2
+engine_request_seconds_sum 4
+engine_request_seconds_count 2
+# HELP engine_requests_total requests accepted
+# TYPE engine_requests_total counter
+engine_requests_total 7
+";
+        assert_eq!(r.render_text(), expected);
+    }
+
+    #[test]
+    fn empty_histogram_renders_nan_quantiles() {
+        let r = Registry::new();
+        r.histogram("h", "empty");
+        let text = r.render_text();
+        assert!(text.contains("h{quantile=\"0.5\"} NaN"), "{text}");
+        assert!(text.contains("h_count 0"), "{text}");
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let r = Registry::new();
+        r.counter("c", "counter").add(3);
+        r.gauge("g", "gauge").set(1.5);
+        let h = r.histogram("h", "hist");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let j = r.to_json();
+        assert_eq!(j.get("c").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("g").and_then(Json::as_f64), Some(1.5));
+        let hj = j.get("h").expect("histogram object");
+        assert_eq!(hj.get("count").and_then(Json::as_u64), Some(100));
+        assert!(hj.get("p99").and_then(Json::as_f64).is_some());
+        // The export is valid JSON end to end.
+        Json::parse(&j.render()).expect("round-trips");
+    }
+}

@@ -133,6 +133,38 @@ impl RunMetrics {
     pub fn parse(text: &str) -> Result<RunMetrics, String> {
         RunMetrics::from_json(&Json::parse(text)?)
     }
+
+    /// Accumulate this run into an observability registry: one counter per
+    /// [`KernelCost`] field (`sim_<field>_total`), a kernel-launch counter,
+    /// and a histogram of simulated run times. The cost counters reuse
+    /// [`cost_fields`], so a new counter added there is exported
+    /// automatically.
+    pub fn record(&self, registry: &multidim_obs::Registry) {
+        registry
+            .counter("sim_kernels_total", "kernel launches simulated")
+            .add(self.kernels.len() as u64);
+        registry
+            .histogram(
+                "sim_run_seconds",
+                "simulated end-to-end run time per request",
+            )
+            .record(self.total_seconds);
+        let mut totals = [0u64; 9];
+        for k in &self.kernels {
+            for (slot, (_, v)) in totals.iter_mut().zip(cost_fields(&k.cost)) {
+                *slot += v;
+            }
+        }
+        let zero = KernelCost::default();
+        for ((name, _), total) in cost_fields(&zero).iter().zip(totals) {
+            registry
+                .counter(
+                    &format!("sim_{name}_total"),
+                    "simulator cost counter, summed over runs",
+                )
+                .add(total);
+        }
+    }
 }
 
 fn kernel_json(k: &KernelMetrics) -> Json {
@@ -330,6 +362,18 @@ mod tests {
         }
         let err = RunMetrics::from_json(&j).unwrap_err();
         assert!(err.contains("total_seconds"), "error was: {err}");
+    }
+
+    #[test]
+    fn record_accumulates_into_registry() {
+        let registry = multidim_obs::Registry::new();
+        let m = sample();
+        m.record(&registry);
+        m.record(&registry);
+        let text = registry.render_text();
+        assert!(text.contains("sim_kernels_total 2"), "{text}");
+        assert!(text.contains("sim_transactions_total 1280"), "{text}");
+        assert!(text.contains("sim_run_seconds_count 2"), "{text}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A minimal JSON value model: render and parse, no dependencies.
 //!
 //! This exists because the container ships no serde; the metrics layer
-//! ([`multidim-sim`]'s `RunMetrics`) and the Chrome trace exporter both
+//! (`multidim-sim`'s `RunMetrics`) and the Chrome trace exporter both
 //! round-trip through [`Json`]. Numbers are `f64` (Rust's `Display` for
 //! `f64` prints the shortest representation that parses back exactly, so
 //! `render → parse` is lossless for every finite value); non-finite

@@ -43,8 +43,23 @@
 //! assert!(sink.events().is_empty());
 //! ```
 //!
-//! The tracer is thread-local: parallel tests or parallel pipeline runs
-//! never observe each other's events, and no locking sits on the hot path.
+//! The default tracer is thread-local: parallel tests or parallel
+//! pipeline runs never observe each other's events, and no locking sits
+//! on the hot path. Multi-threaded collectors (the engine's worker pool,
+//! a process-wide profiler) additionally have two `Send + Sync` paths:
+//!
+//! * [`install_shared`] installs one `Arc<dyn Sink + Send + Sync>`
+//!   process-wide; every thread's [`emit`] delivers to it *in addition
+//!   to* that thread's local sink, so events from engine workers are no
+//!   longer lost to whoever is collecting on the main thread
+//!   ([`SharedMemorySink`] is the ready-made collector);
+//! * any `Arc<impl Sink + Send + Sync>` is itself a [`Sink`] (blanket
+//!   impl), so one shared sink instance can also be installed
+//!   *thread-locally* on each worker via [`set_sink`] — the engine's
+//!   flight recorder works this way.
+//!
+//! All pipeline timestamps share one process-wide epoch, so events from
+//! different threads land on one coherent timeline.
 
 #![warn(missing_docs)]
 
@@ -55,6 +70,8 @@ use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Process lane for wall-clock pipeline events (analysis, lowering, host).
@@ -366,25 +383,84 @@ impl<W: Write> Sink for JsonlSink<W> {
     }
 }
 
+/// A shared `Sink` handle is itself a `Sink`: lets one `Send + Sync`
+/// collector be installed thread-locally on many threads (wrap the `Arc`
+/// in an `Rc` for [`set_sink`]).
+impl<S: Sink + ?Sized> Sink for Arc<S> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn event(&self, event: &Event) {
+        (**self).event(event);
+    }
+}
+
+/// Collects events in memory behind a mutex — the `Send + Sync`
+/// counterpart of [`MemorySink`], for [`install_shared`] and other
+/// cross-thread collection.
+#[derive(Debug, Default)]
+pub struct SharedMemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl SharedMemorySink {
+    /// An empty collector.
+    pub fn new() -> SharedMemorySink {
+        SharedMemorySink::default()
+    }
+
+    /// A copy of everything collected so far (any thread).
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Take the collected events, leaving the sink empty.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Sink for SharedMemorySink {
+    fn event(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
 thread_local! {
     static SINK: RefCell<Option<Rc<dyn Sink>>> = const { RefCell::new(None) };
     static ENABLED: Cell<bool> = const { Cell::new(false) };
-    // Wall-clock epoch for this thread's pipeline timestamps.
-    static EPOCH: Instant = Instant::now();
 }
 
-/// Microseconds since this thread's tracing epoch (wall clock).
+// Process-wide wall-clock epoch: every thread's pipeline timestamps share
+// it, so multi-threaded traces (engine workers + main thread) land on one
+// coherent timeline.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+// The process-wide shared sink and its fast-path enabled flag (mirrors
+// the sink's `enabled()` so the hot-path check stays a single load).
+static SHARED_SINK: RwLock<Option<Arc<dyn Sink + Send + Sync>>> = RwLock::new(None);
+static SHARED_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Microseconds since the process tracing epoch (wall clock). The epoch
+/// is set by whichever thread traces first.
 pub fn now_us() -> f64 {
-    EPOCH.with(|e| e.elapsed().as_secs_f64() * 1e6)
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
 }
 
-/// Is a sink installed on this thread that wants events? Emission sites
-/// must check this before constructing an [`Event`]; when it returns
-/// `false` (the default — no sink, or a [`NoopSink`]) the hot path does no
-/// allocation.
+/// Does any installed sink — this thread's local one, or the process-wide
+/// shared one — want events? Emission sites must check this before
+/// constructing an [`Event`]; when it returns `false` (the default — no
+/// sink, or a [`NoopSink`]) the hot path does no allocation.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
+    ENABLED.with(|e| e.get()) || SHARED_ENABLED.load(Ordering::Relaxed)
 }
 
 /// Restores the previously installed sink when dropped.
@@ -408,9 +484,42 @@ pub fn set_sink(sink: Rc<dyn Sink>) -> SinkGuard {
     SinkGuard { prev }
 }
 
-/// Deliver one event to the current sink (drops it when none is
-/// installed). Callers should guard with [`enabled`] so the event is not
-/// even constructed when tracing is off.
+/// Restores the previously installed *shared* sink when dropped.
+pub struct SharedSinkGuard {
+    prev: Option<Arc<dyn Sink + Send + Sync>>,
+}
+
+impl Drop for SharedSinkGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        let mut slot = SHARED_SINK.write().unwrap_or_else(|e| e.into_inner());
+        SHARED_ENABLED.store(
+            prev.as_ref().is_some_and(|s| s.enabled()),
+            Ordering::Relaxed,
+        );
+        *slot = prev;
+    }
+}
+
+/// Install `sink` as the process-wide shared tracer until the returned
+/// guard drops. Every thread's [`emit`] delivers to the shared sink *in
+/// addition to* that thread's local sink — this is how events from engine
+/// worker threads reach a collector installed on the main thread.
+///
+/// The sink must serialize internally (it is called concurrently from
+/// every tracing thread); [`SharedMemorySink`] is the ready-made
+/// in-memory collector.
+pub fn install_shared(sink: Arc<dyn Sink + Send + Sync>) -> SharedSinkGuard {
+    let mut slot = SHARED_SINK.write().unwrap_or_else(|e| e.into_inner());
+    SHARED_ENABLED.store(sink.enabled(), Ordering::Relaxed);
+    let prev = slot.replace(sink);
+    SharedSinkGuard { prev }
+}
+
+/// Deliver one event to the current thread's sink and to the process-wide
+/// shared sink, when installed (drops it when neither is). Callers should
+/// guard with [`enabled`] so the event is not even constructed when
+/// tracing is off.
 pub fn emit(event: Event) {
     SINK.with(|s| {
         if let Some(sink) = s.borrow().as_ref() {
@@ -419,6 +528,15 @@ pub fn emit(event: Event) {
             }
         }
     });
+    if SHARED_ENABLED.load(Ordering::Relaxed) {
+        if let Ok(slot) = SHARED_SINK.read() {
+            if let Some(sink) = slot.as_ref() {
+                if sink.enabled() {
+                    sink.event(&event);
+                }
+            }
+        }
+    }
 }
 
 /// A wall-clock span: emits a [`Phase::Complete`] event on the pipeline
@@ -473,6 +591,15 @@ pub fn span(cat: &'static str, name: &str) -> Option<Span> {
 mod tests {
     use super::*;
 
+    /// Tests touching the process-global shared sink (or asserting the
+    /// *absence* of any sink) serialize on this lock so they cannot see
+    /// each other's installations across the test harness's threads.
+    static GLOBAL_SINK_LOCK: Mutex<()> = Mutex::new(());
+
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A sink that reports disabled but counts any event() calls it gets:
     /// proves guarded emission sites never construct or deliver events.
     struct CountingDisabledSink {
@@ -490,11 +617,13 @@ mod tests {
 
     #[test]
     fn disabled_by_default() {
+        let _lock = global_lock();
         assert!(!enabled());
     }
 
     #[test]
     fn noop_sink_disables_hot_path() {
+        let _lock = global_lock();
         let _g = set_sink(Rc::new(NoopSink));
         assert!(!enabled());
         // A (wrongly) unguarded emit is still dropped before the sink.
@@ -503,6 +632,7 @@ mod tests {
 
     #[test]
     fn disabled_sink_never_receives_events() {
+        let _lock = global_lock();
         let sink = Rc::new(CountingDisabledSink {
             calls: Cell::new(0),
         });
@@ -518,6 +648,72 @@ mod tests {
             assert!(span("t", "s").is_none());
         }
         assert_eq!(sink.calls.get(), 0);
+    }
+
+    #[test]
+    fn shared_sink_receives_cross_thread_events() {
+        let _lock = global_lock();
+        let shared = Arc::new(SharedMemorySink::new());
+        {
+            let _g = install_shared(shared.clone());
+            assert!(enabled(), "shared sink enables tracing on every thread");
+            emit(Event::instant("t", "main-thread"));
+            std::thread::spawn(|| {
+                // A worker thread with no local sink still reaches the
+                // shared one.
+                assert!(enabled());
+                emit(Event::instant("t", "worker-thread"));
+            })
+            .join()
+            .unwrap();
+        }
+        let names: Vec<String> = shared.drain().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["main-thread", "worker-thread"]);
+        assert!(!enabled(), "guard drop uninstalls the shared sink");
+        emit(Event::instant("t", "after-drop"));
+        assert!(shared.events().is_empty());
+    }
+
+    #[test]
+    fn shared_guard_restores_previous_shared_sink() {
+        let _lock = global_lock();
+        let outer = Arc::new(SharedMemorySink::new());
+        let inner = Arc::new(SharedMemorySink::new());
+        let _g1 = install_shared(outer.clone());
+        emit(Event::instant("t", "outer-1"));
+        {
+            let _g2 = install_shared(inner.clone());
+            emit(Event::instant("t", "inner"));
+        }
+        emit(Event::instant("t", "outer-2"));
+        let names: Vec<String> = outer.drain().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["outer-1", "outer-2"]);
+        assert_eq!(inner.events().len(), 1);
+    }
+
+    #[test]
+    fn local_and_shared_sinks_both_receive() {
+        let _lock = global_lock();
+        let local = Rc::new(MemorySink::new());
+        let shared = Arc::new(SharedMemorySink::new());
+        let _gl = set_sink(local.clone());
+        let _gs = install_shared(shared.clone());
+        emit(Event::instant("t", "both"));
+        assert_eq!(local.events().len(), 1);
+        assert_eq!(shared.events().len(), 1);
+    }
+
+    #[test]
+    fn arc_wrapped_sink_is_a_sink() {
+        let _lock = global_lock();
+        // The blanket impl lets one Send+Sync sink serve as both the
+        // shared sink and a thread-local sink (the pool does this for the
+        // flight recorder).
+        let shared: Arc<SharedMemorySink> = Arc::new(SharedMemorySink::new());
+        let _g = set_sink(Rc::new(shared.clone()) as Rc<dyn Sink>);
+        assert!(enabled());
+        emit(Event::instant("t", "via-arc"));
+        assert_eq!(shared.events().len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Capstone demo of the service layer: replay the whole workload catalog
 //! through the concurrent engine and report throughput, cache hit rate,
-//! queue depth, and latency percentiles.
+//! queue depth, and latency quantiles from the engine's own metrics
+//! registry.
 //!
 //! ```text
 //! cargo run --release --example serve
@@ -10,25 +11,20 @@
 //! hit the content-addressed cache and share the compiled executables.
 //! One workload is auto-tuned in between, so the final rounds also show
 //! the persistent tuning store being preferred over the analytic mapping.
+//! The run ends with one request's stitched profile and the registry's
+//! Prometheus-style text exposition.
 
 use multidim::Compiler;
 use multidim_engine::{Engine, EngineConfig, Request};
+use multidim_obs::Histogram;
 use multidim_workloads::catalog::catalog;
 use std::error::Error;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 const ROUNDS: usize = 4;
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn fmt_ms(d: Duration) -> String {
-    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.2} ms", seconds * 1e3)
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -50,7 +46,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         entries.len()
     );
 
-    let mut latencies: Vec<Duration> = Vec::new();
+    // Client-side latency view: the same log-bucketed histogram the engine
+    // uses internally, so the quantiles here and in the exposition agree
+    // on bucketing error.
+    let latency = Histogram::new();
+    let mut last_response = None;
     let mut round_times: Vec<(f64, u64)> = Vec::new();
     let mut max_depth = 0usize;
     let started = Instant::now();
@@ -68,16 +68,21 @@ fn main() -> Result<(), Box<dyn Error>> {
         max_depth = max_depth.max(engine.queue_depth());
         for (entry, result) in entries.iter().zip(&results) {
             match result {
-                Ok(resp) => latencies.push(resp.queue_wait + resp.service_time),
+                Ok(resp) => {
+                    latency.record((resp.queue_wait + resp.service_time).as_secs_f64());
+                }
                 Err(e) => println!("  {}: FAILED: {e}", entry.name()),
             }
+        }
+        if round == ROUNDS - 1 {
+            last_response = results.into_iter().next().and_then(Result::ok);
         }
         let elapsed = round_start.elapsed().as_secs_f64();
         let hits = engine.cache_stats().hits - hits_before;
         round_times.push((elapsed, hits));
         println!(
             "round {round}: {:>8.1} req/s  ({hits} cache hits)",
-            results.len() as f64 / elapsed
+            entries.len() as f64 / elapsed
         );
 
         if round == 0 {
@@ -106,7 +111,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let stats = engine.stats();
     let cache = engine.cache_stats();
-    latencies.sort();
+    let snap = latency.snapshot();
+    let q = |p: f64| snap.quantile(p).unwrap_or(f64::NAN);
     let total = (ROUNDS * entries.len()) as f64;
     println!();
     println!("=== engine summary ===");
@@ -131,9 +137,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  max queue depth observed: {max_depth}");
     println!(
         "  latency        p50 {}  p99 {}  max {}",
-        fmt_ms(percentile(&latencies, 0.50)),
-        fmt_ms(percentile(&latencies, 0.99)),
-        fmt_ms(percentile(&latencies, 1.0))
+        fmt_ms(q(0.50)),
+        fmt_ms(q(0.99)),
+        fmt_ms(q(1.0))
     );
     println!(
         "  tuning store   {} records at {}",
@@ -141,8 +147,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         store_path.display()
     );
 
+    // One stitched per-request profile: latency phases, search breakdown,
+    // simulator counters — the JSON a fleet dashboard would ingest.
+    if let Some(resp) = &last_response {
+        println!();
+        println!("=== request profile ({}) ===", entries[0].name());
+        println!("{}", engine.profile(resp).render());
+    }
+
+    // The registry's Prometheus-style exposition (gauges synced first).
+    println!();
+    println!("=== metrics exposition ===");
+    print!("{}", engine.render_metrics());
+
     // Smoke-test guarantees for CI: every request succeeded, the cache
-    // deduplicated all repeat rounds, and tuned serving kicked in.
+    // deduplicated all repeat rounds, tuned serving kicked in, and the
+    // engine's own histogram saw every request.
     assert_eq!(stats.failed, 0, "no request may fail");
     assert_eq!(
         cache.misses as usize,
@@ -153,6 +173,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         stats.tuned_served > 0,
         "tuned mapping must serve later rounds"
     );
+    assert_eq!(snap.count(), (ROUNDS * entries.len()) as u64);
+    let exposition = engine.render_metrics();
+    assert!(exposition.contains("# TYPE engine_request_seconds summary"));
+    assert!(exposition.contains("engine_completed_total"));
+    assert!(engine.post_mortems().is_empty(), "no failures, no bundles");
     engine.shutdown();
     println!("ok");
     Ok(())

@@ -19,8 +19,7 @@ fn small_config() -> EngineConfig {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 64,
-        default_deadline: None,
-        store_path: None,
+        ..EngineConfig::default()
     }
 }
 

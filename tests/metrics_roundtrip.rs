@@ -1,0 +1,60 @@
+//! Round-trip the simulator metrics export through its own JSON codec for
+//! every catalog workload: `RunMetrics::parse(m.render())` must reproduce
+//! `m` exactly. `Json::Num` renders with shortest-round-trip formatting,
+//! so every `f64` — simulated times, efficiencies, normalized scores —
+//! survives the text round trip bit-for-bit and full `PartialEq` holds.
+
+use multidim::Compiler;
+use multidim_sim::RunMetrics;
+use multidim_workloads::catalog::catalog;
+
+#[test]
+fn run_metrics_round_trip_over_the_whole_catalog() {
+    let entries = catalog();
+    assert!(
+        entries.len() >= 20,
+        "catalog shrank to {} entries",
+        entries.len()
+    );
+    let compiler = Compiler::new();
+    for e in &entries {
+        let exe = compiler
+            .compile(&e.program, &e.bindings)
+            .unwrap_or_else(|err| panic!("{} must compile: {err}", e.name()));
+        let run = exe
+            .run(&e.inputs)
+            .unwrap_or_else(|err| panic!("{} must run: {err}", e.name()));
+        let m = exe.metrics(&run);
+        assert!(!m.kernels.is_empty(), "{} launched no kernels", e.name());
+
+        // Text round trip: render → parse.
+        let parsed = RunMetrics::parse(&m.render())
+            .unwrap_or_else(|err| panic!("{} metrics must parse back: {err}", e.name()));
+        assert_eq!(
+            parsed,
+            m,
+            "{} metrics changed across render/parse",
+            e.name()
+        );
+
+        // Value round trip: to_json → from_json (no text in between).
+        let from_value = RunMetrics::from_json(&m.to_json())
+            .unwrap_or_else(|err| panic!("{} metrics must decode: {err}", e.name()));
+        assert_eq!(
+            from_value,
+            m,
+            "{} metrics changed across to/from_json",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn parse_rejects_garbage_and_wrong_shapes() {
+    assert!(RunMetrics::parse("not json").is_err());
+    assert!(RunMetrics::parse("[]").is_err(), "arrays are not metrics");
+    assert!(
+        RunMetrics::parse("{\"program\":\"x\"}").is_err(),
+        "missing fields must not default silently"
+    );
+}
