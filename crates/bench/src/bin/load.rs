@@ -1,0 +1,153 @@
+//! `load` — zipf load generator over the 25-workload catalog.
+//!
+//! Drives `Engine::submit` from N concurrent clients with a seeded,
+//! zipf-distributed request schedule, and prints the load dashboard
+//! (availability, shed rate, deadline-miss rate, SLO burn rates,
+//! overload sparklines, per-workload tail latency). With `--report PATH`
+//! it also writes the JSON report the `check_regression` gate compares
+//! against `BENCH_load_baseline.json`.
+//!
+//! ```text
+//! cargo run --release -p multidim-bench --bin load -- \
+//!     --clients 8 --skew 1.0 --seed 42 --duration 5s --report load.report.json
+//! ```
+//!
+//! Modes (`--mode`):
+//! * `overdrive` (default) — calibrate closed-loop capacity with a short
+//!   burst, then run open-loop at `--overdrive-factor` times it. The
+//!   machine-independent overload mode: shed rate is set by the factor,
+//!   not by host speed.
+//! * `closed` — each client waits for its response; `--requests N` bounds
+//!   per-client count, else `--duration` bounds wall clock.
+//! * `open` — fixed aggregate `--target-rps`, nobody waits.
+
+use multidim::Compiler;
+use multidim_bench::loadgen::{run_load, LoadConfig, LoadMode};
+use multidim_engine::{Engine, EngineConfig};
+use multidim_obs::Slo;
+use multidim_workloads::catalog::catalog;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: load [--clients N] [--skew S] [--seed N] [--mode closed|open|overdrive]
+            [--duration 5s] [--requests N] [--target-rps R] [--overdrive-factor F]
+            [--workers N] [--queue N] [--deadline-ms N] [--window-ms N]
+            [--availability-slo F] [--p99-slo-ms F] [--report PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let s = s.trim();
+    if let Some(ms) = s.strip_suffix("ms") {
+        return Some(Duration::from_secs_f64(
+            ms.trim().parse::<f64>().ok()? / 1e3,
+        ));
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        return Some(Duration::from_secs_f64(secs.trim().parse().ok()?));
+    }
+    Some(Duration::from_secs_f64(s.parse().ok()?))
+}
+
+fn main() {
+    let mut clients = 8usize;
+    let mut skew = 1.0f64;
+    let mut seed = 42u64;
+    let mut mode = "overdrive".to_string();
+    let mut duration = Duration::from_secs(5);
+    let mut requests: Option<usize> = None;
+    let mut target_rps: Option<f64> = None;
+    let mut factor = 3.0f64;
+    let mut workers: Option<usize> = None;
+    let mut queue = 16usize;
+    let mut deadline_ms = 250u64;
+    let mut window_ms = 250u64;
+    let mut availability_slo = 0.99f64;
+    let mut p99_slo_ms = 50.0f64;
+    let mut report: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--clients" => clients = value().parse().unwrap_or_else(|_| usage()),
+            "--skew" => skew = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--mode" => mode = value(),
+            "--duration" => duration = parse_duration(&value()).unwrap_or_else(|| usage()),
+            "--requests" => requests = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--target-rps" => target_rps = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--overdrive-factor" => factor = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--window-ms" => window_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--availability-slo" => availability_slo = value().parse().unwrap_or_else(|_| usage()),
+            "--p99-slo-ms" => p99_slo_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--report" => report = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mode = match mode.as_str() {
+        "closed" => match requests {
+            Some(requests_per_client) => LoadMode::ClosedCount {
+                requests_per_client,
+            },
+            None => LoadMode::ClosedDuration { duration },
+        },
+        "open" => LoadMode::Open {
+            target_rps: target_rps.unwrap_or_else(|| {
+                eprintln!("--mode open requires --target-rps");
+                std::process::exit(2);
+            }),
+            duration,
+        },
+        "overdrive" => LoadMode::Overdrive { factor, duration },
+        _ => usage(),
+    };
+
+    let mut config = EngineConfig {
+        queue_capacity: queue,
+        cache_capacity: 64,
+        store_path: None,
+        default_deadline: Some(Duration::from_millis(deadline_ms)),
+        ..EngineConfig::default()
+    };
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    let engine = Engine::new(Compiler::new(), config);
+    let entries = catalog();
+
+    let cfg = LoadConfig {
+        clients,
+        skew,
+        seed,
+        mode,
+        slo: Slo::new("load", availability_slo, p99_slo_ms / 1e3),
+        window: Duration::from_millis(window_ms),
+        windows: 64,
+    };
+    let rep = run_load(&engine, &entries, &cfg);
+    println!("{}", rep.render_text());
+
+    if let Some(path) = report {
+        match std::fs::write(&path, rep.to_json().render()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(err) => {
+                eprintln!("failed to write {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

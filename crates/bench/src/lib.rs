@@ -8,8 +8,12 @@
 //! The [`regression`] module is the perf gate over the engine throughput
 //! bench: it compares a fresh `--report` JSON against the committed
 //! `BENCH_baseline.json` and fails CI when warm throughput or p99 latency
-//! regresses beyond tolerance (see the `check_regression` binary).
+//! regresses beyond tolerance (see the `check_regression` binary). The
+//! [`loadgen`] module is the zipf load generator behind the `load`
+//! binary, whose `--report` output the same gate checks against
+//! `BENCH_load_baseline.json` (p99-under-load, shed rate, availability).
 
+pub mod loadgen;
 pub mod regression;
 
 /// Print a titled table: a label column plus one column per series.

@@ -8,8 +8,8 @@ use crate::store::{LoadOutcome, TuneRecord, TuningStore};
 use multidim::{Compiler, Executable, Fingerprint, RunReport};
 use multidim_ir::{ArrayId, Bindings, Program};
 use multidim_obs::{
-    Counter, FlightRecorder, Histogram, PhaseBreakdown, PostMortem, Registry, RequestProfile,
-    SearchBreakdown,
+    Counter, CounterFamily, FlightRecorder, Histogram, HistogramFamily, PhaseBreakdown, PostMortem,
+    Registry, RequestProfile, SearchBreakdown,
 };
 use multidim_trace::Sink;
 use std::collections::{HashMap, VecDeque};
@@ -137,6 +137,17 @@ impl Ticket {
             Err(RecvTimeoutError::Disconnected) => Err(EngineError::Canceled),
         }
     }
+
+    /// Non-blocking poll: `Some` once the request resolved (an open-loop
+    /// load client sweeps its in-flight tickets between sends), `None`
+    /// while it is still queued or running.
+    pub fn poll(&self) -> Option<Result<Response, EngineError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::Canceled)),
+        }
+    }
 }
 
 /// Aggregate request counters (monotonic since engine construction).
@@ -184,6 +195,18 @@ struct EngineMetrics {
     queue_seconds: Arc<Histogram>,
     compile_seconds: Arc<Histogram>,
     run_seconds: Arc<Histogram>,
+    post_mortems_dropped_total: Arc<Counter>,
+    // Labelled (per-workload) families: the under-load view. The label is
+    // the request's program name, so a skewed load generator can read shed
+    // rate, deadline-miss rate, tail latency, and cache behaviour per
+    // workload straight out of the exposition.
+    requests_by_workload: Arc<CounterFamily>,
+    shed_by_workload: Arc<CounterFamily>,
+    expired_by_workload: Arc<CounterFamily>,
+    failed_by_workload: Arc<CounterFamily>,
+    request_seconds_by_workload: Arc<HistogramFamily>,
+    cache_hits_by_workload: Arc<CounterFamily>,
+    cache_misses_by_workload: Arc<CounterFamily>,
 }
 
 impl EngineMetrics {
@@ -220,6 +243,45 @@ impl EngineMetrics {
                 "compile time of cache-miss requests",
             ),
             run_seconds: registry.histogram("engine_run_seconds", "simulator wall-clock run time"),
+            post_mortems_dropped_total: registry.counter(
+                "engine_post_mortems_dropped_total",
+                "post-mortem bundles evicted unread from the bounded ring",
+            ),
+            requests_by_workload: registry.counter_family(
+                "engine_requests_by_workload",
+                "requests accepted, by program",
+                "workload",
+            ),
+            shed_by_workload: registry.counter_family(
+                "engine_shed_by_workload",
+                "requests shed by backpressure, by program",
+                "workload",
+            ),
+            expired_by_workload: registry.counter_family(
+                "engine_expired_by_workload",
+                "requests whose deadline expired, by program",
+                "workload",
+            ),
+            failed_by_workload: registry.counter_family(
+                "engine_failed_by_workload",
+                "requests that failed for any reason, by program",
+                "workload",
+            ),
+            request_seconds_by_workload: registry.histogram_family(
+                "engine_request_seconds_by_workload",
+                "end-to-end request latency, by program",
+                "workload",
+            ),
+            cache_hits_by_workload: registry.counter_family(
+                "engine_cache_hits_by_workload",
+                "compile-cache hits, by program",
+                "workload",
+            ),
+            cache_misses_by_workload: registry.counter_family(
+                "engine_cache_misses_by_workload",
+                "compile-cache misses (cold compiles), by program",
+                "workload",
+            ),
         }
     }
 }
@@ -233,6 +295,9 @@ struct Shared {
     metrics: EngineMetrics,
     recorder: Option<Arc<FlightRecorder>>,
     post_mortems: Mutex<VecDeque<PostMortem>>,
+    /// Requests currently being served by a worker (dequeued, not yet
+    /// resolved) — the overload sampler's companion to queue depth.
+    in_flight: AtomicU64,
 }
 
 /// The concurrent compile/run engine. See the crate docs for the full
@@ -278,6 +343,7 @@ impl Engine {
                 metrics,
                 recorder,
                 post_mortems: Mutex::new(VecDeque::new()),
+                in_flight: AtomicU64::new(0),
             }),
             pool: WorkerPool::with_sink(config.workers, config.queue_capacity, worker_sink),
             store_load,
@@ -307,6 +373,7 @@ impl Engine {
         let shared = self.shared.clone();
         let deadline = request.deadline.or(self.default_deadline);
         let enqueued = Instant::now();
+        let workload = request.program.name.clone();
         let job = Box::new(move || {
             process_request(&shared, request, deadline, enqueued, &tx);
         });
@@ -314,11 +381,17 @@ impl Engine {
             Ok(()) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.requests_total.inc();
+                self.shared
+                    .metrics
+                    .requests_by_workload
+                    .with(&workload)
+                    .inc();
                 Ok(Ticket { rx })
             }
             Err(Some(_full)) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.rejected_total.inc();
+                self.shared.metrics.shed_by_workload.with(&workload).inc();
                 Err(EngineError::Rejected {
                     queue_depth: self.pool.queue_depth(),
                 })
@@ -532,6 +605,19 @@ impl Engine {
         self.pool.queue_depth()
     }
 
+    /// Requests currently being served by a worker (dequeued but not yet
+    /// resolved). Together with [`Engine::queue_depth`] this is the
+    /// overload sampler's live view of the engine.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed) as usize
+    }
+
+    /// Post-mortem bundles evicted unread because the bounded ring (cap
+    /// 32) was full — nonzero means crash evidence has been lost.
+    pub fn post_mortems_dropped(&self) -> u64 {
+        self.shared.metrics.post_mortems_dropped_total.get()
+    }
+
     /// Number of tuning-store records.
     pub fn store_len(&self) -> usize {
         self.shared.store.len()
@@ -569,6 +655,8 @@ impl Engine {
         let r = &self.shared.registry;
         r.gauge("engine_queue_depth", "requests waiting for a worker")
             .set(self.queue_depth() as f64);
+        r.gauge("engine_in_flight", "requests currently being served")
+            .set(self.in_flight() as f64);
         let cs = self.cache_stats();
         r.gauge("engine_cache_hits", "compile-cache hits")
             .set(cs.hits as f64);
@@ -724,9 +812,22 @@ fn record_failure(
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     if q.len() == POST_MORTEM_CAP {
+        // Evicting an unread bundle silently loses crash evidence; count
+        // it so the exposition shows the loss.
         q.pop_front();
+        shared.metrics.post_mortems_dropped_total.inc();
     }
     q.push_back(pm);
+}
+
+/// Decrements the in-flight gauge on every exit path (including the
+/// early deadline return and a propagating panic).
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 fn process_request(
@@ -736,6 +837,9 @@ fn process_request(
     enqueued: Instant,
     tx: &Sender<Result<Response, EngineError>>,
 ) {
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    let _in_flight = InFlightGuard(&shared.in_flight);
+    let workload = request.program.name.clone();
     let queue_wait = enqueued.elapsed();
     shared
         .metrics
@@ -748,6 +852,8 @@ fn process_request(
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.expired_total.inc();
             shared.metrics.failed_total.inc();
+            shared.metrics.expired_by_workload.with(&workload).inc();
+            shared.metrics.failed_by_workload.with(&workload).inc();
             let err = EngineError::DeadlineExceeded { waited: queue_wait };
             // The request never reached `serve`, so compute the
             // fingerprint here purely for the bundle (guarded: a hostile
@@ -800,15 +906,25 @@ fn process_request(
         Ok(resp) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.completed_total.inc();
+            let latency = (resp.queue_wait + resp.service_time).as_secs_f64();
+            shared.metrics.request_seconds.record(latency);
             shared
                 .metrics
-                .request_seconds
-                .record((resp.queue_wait + resp.service_time).as_secs_f64());
+                .request_seconds_by_workload
+                .with(&workload)
+                .record(latency);
             shared
                 .metrics
                 .run_seconds
                 .record(resp.run_time.as_secs_f64());
-            if !resp.cache_hit {
+            if resp.cache_hit {
+                shared.metrics.cache_hits_by_workload.with(&workload).inc();
+            } else {
+                shared
+                    .metrics
+                    .cache_misses_by_workload
+                    .with(&workload)
+                    .inc();
                 shared
                     .metrics
                     .compile_seconds
@@ -820,9 +936,11 @@ fn process_request(
         Err(err) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.failed_total.inc();
+            shared.metrics.failed_by_workload.with(&workload).inc();
             if matches!(err, EngineError::DeadlineExceeded { .. }) {
                 shared.stats.expired.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.expired_total.inc();
+                shared.metrics.expired_by_workload.with(&workload).inc();
             }
             record_failure(shared, &request, err.to_string(), queue_wait, &phases);
         }

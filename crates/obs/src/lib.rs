@@ -16,7 +16,15 @@
 //!   misses its deadline, or fails to compile;
 //! * a **[`RequestProfile`]** report stitching one request's latency
 //!   phases (queue → compile → run), mapping-search score breakdown, and
-//!   simulator roofline counters into a single JSON document.
+//!   simulator roofline counters into a single JSON document;
+//! * **labelled metric families** ([`CounterFamily`], [`HistogramFamily`])
+//!   — one metric name fanned out per label value (per-workload outcome
+//!   counters and latency histograms under load);
+//! * an **[`slo`] module** — SLO definitions, error-budget accounting,
+//!   and multi-window burn rates ([`SloTracker`]) over the same explicit
+//!   rotation model as [`SlidingWindow`];
+//! * **[`TimeSeries`]** — bounded overload telemetry rings (queue depth,
+//!   in-flight, shed rate) with sparkline and JSON rendering.
 //!
 //! Like the rest of the workspace, the crate has no external
 //! dependencies; JSON goes through [`multidim_trace::json`] and trace
@@ -48,11 +56,15 @@ pub mod flight;
 pub mod hist;
 pub mod profile;
 pub mod registry;
+pub mod slo;
+pub mod timeseries;
 
 pub use flight::{FlightRecorder, PostMortem};
 pub use hist::{Histogram, HistogramSnapshot, SlidingWindow, BUCKETS, SUB_BUCKETS};
 pub use profile::{PhaseBreakdown, RequestProfile, SearchBreakdown};
-pub use registry::{Counter, Gauge, Registry, QUANTILES};
+pub use registry::{Counter, CounterFamily, Gauge, HistogramFamily, Registry, QUANTILES};
+pub use slo::{BurnRate, LatencyObjective, Slo, SloStatus, SloTracker};
+pub use timeseries::{SeriesStats, TimeSeries};
 
 // The registry and recorder are shared across engine workers; fail
 // compilation loudly if they ever stop being Send + Sync.
@@ -64,4 +76,8 @@ const _: () = {
     assert_send_sync::<Gauge>();
     assert_send_sync::<SlidingWindow>();
     assert_send_sync::<FlightRecorder>();
+    assert_send_sync::<CounterFamily>();
+    assert_send_sync::<HistogramFamily>();
+    assert_send_sync::<SloTracker>();
+    assert_send_sync::<TimeSeries>();
 };

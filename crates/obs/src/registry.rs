@@ -65,10 +65,107 @@ impl Gauge {
     }
 }
 
+/// A labelled family of counters: one metric name, one label key, one
+/// child [`Counter`] per label value (e.g. `engine_shed_total{workload="bfs"}`).
+///
+/// Children are get-or-create through [`CounterFamily::with`]; handles are
+/// `Arc`s, so hot paths resolve the child once and record lock-free.
+pub struct CounterFamily {
+    label: String,
+    children: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterFamily {
+    fn new(label: &str) -> CounterFamily {
+        CounterFamily {
+            label: label.to_string(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The family's label key (e.g. `"workload"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Get or create the child counter for `value`.
+    pub fn with(&self, value: &str) -> Arc<Counter> {
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children.entry(value.to_string()).or_default().clone()
+    }
+
+    /// Every child's `(label value, count)`, in label order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+
+    /// Sum over all children.
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// A labelled family of histograms: one child [`Histogram`] per label
+/// value, sharing the log-bucketed layout (so per-label and merged views
+/// agree on bucketing error).
+pub struct HistogramFamily {
+    label: String,
+    children: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl HistogramFamily {
+    fn new(label: &str) -> HistogramFamily {
+        HistogramFamily {
+            label: label.to_string(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The family's label key (e.g. `"workload"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Get or create the child histogram for `value`.
+    pub fn with(&self, value: &str) -> Arc<Histogram> {
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children
+            .entry(value.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Every child's `(label value, snapshot)`, in label order.
+    pub fn snapshot(&self) -> Vec<(String, crate::hist::HistogramSnapshot)> {
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// All children merged into one snapshot (exact: identical layouts).
+    pub fn merged(&self) -> crate::hist::HistogramSnapshot {
+        let mut out = crate::hist::HistogramSnapshot::new();
+        for (_, snap) in self.snapshot() {
+            out.merge(&snap);
+        }
+        out
+    }
+}
+
+/// Escape a label value for the text exposition (`\` and `"`).
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    CounterFamily(Arc<CounterFamily>),
+    HistogramFamily(Arc<HistogramFamily>),
 }
 
 struct Entry {
@@ -139,10 +236,41 @@ impl Registry {
         }
     }
 
+    /// Get or create the counter family `name` labelled by `label` (same
+    /// conflict rule as [`Registry::counter`]; the label key of an existing
+    /// family wins).
+    pub fn counter_family(&self, name: &str, help: &str, label: &str) -> Arc<CounterFamily> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::CounterFamily(Arc::new(CounterFamily::new(label))),
+        });
+        match &e.metric {
+            Metric::CounterFamily(f) => f.clone(),
+            _ => panic!("metric `{name}` is registered as a non-counter-family"),
+        }
+    }
+
+    /// Get or create the histogram family `name` labelled by `label`
+    /// (same conflict rule as [`Registry::counter_family`]).
+    pub fn histogram_family(&self, name: &str, help: &str, label: &str) -> Arc<HistogramFamily> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::HistogramFamily(Arc::new(HistogramFamily::new(label))),
+        });
+        match &e.metric {
+            Metric::HistogramFamily(f) => f.clone(),
+            _ => panic!("metric `{name}` is registered as a non-histogram-family"),
+        }
+    }
+
     /// Prometheus-style text exposition. Counters and gauges render one
     /// sample line; histograms render as summaries — one
     /// `name{quantile="…"}` line per entry of [`QUANTILES`] plus
-    /// `name_sum` and `name_count`. Metrics appear in name order.
+    /// `name_sum` and `name_count`. Families render one such block per
+    /// child with the family label prepended. Metrics appear in name
+    /// order; family children in label order.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let entries = self.lock();
@@ -168,6 +296,28 @@ impl Registry {
                     let _ = writeln!(out, "{name}_sum {}", snap.sum());
                     let _ = writeln!(out, "{name}_count {}", snap.count());
                 }
+                Metric::CounterFamily(f) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let key = f.label();
+                    for (value, count) in f.snapshot() {
+                        let _ =
+                            writeln!(out, "{name}{{{key}=\"{}\"}} {count}", escape_label(&value));
+                    }
+                }
+                Metric::HistogramFamily(f) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let key = f.label();
+                    for (value, snap) in f.snapshot() {
+                        let value = escape_label(&value);
+                        for q in QUANTILES {
+                            let v = snap.quantile(q).unwrap_or(f64::NAN);
+                            let _ =
+                                writeln!(out, "{name}{{{key}=\"{value}\",quantile=\"{q}\"}} {v}");
+                        }
+                        let _ = writeln!(out, "{name}_sum{{{key}=\"{value}\"}} {}", snap.sum());
+                        let _ = writeln!(out, "{name}_count{{{key}=\"{value}\"}} {}", snap.count());
+                    }
+                }
             }
         }
         out
@@ -175,7 +325,8 @@ impl Registry {
 
     /// JSON export: one object keyed by metric name. Counters and gauges
     /// export their value; histograms export count/sum/min/max/mean and
-    /// the [`QUANTILES`] (as `"p50"`, `"p90"`, `"p99"`, `"p999"`).
+    /// the [`QUANTILES`] (as `"p50"`, `"p90"`, `"p99"`, `"p999"`);
+    /// families export one object keyed by label value.
     pub fn to_json(&self) -> Json {
         let entries = self.lock();
         let mut fields = Vec::new();
@@ -183,26 +334,19 @@ impl Registry {
             let value = match &e.metric {
                 Metric::Counter(c) => Json::Num(c.get() as f64),
                 Metric::Gauge(g) => Json::Num(g.get()),
-                Metric::Histogram(h) => {
-                    let snap = h.snapshot();
-                    let mut obj = vec![
-                        ("count".to_string(), Json::Num(snap.count() as f64)),
-                        ("sum".to_string(), Json::Num(snap.sum())),
-                    ];
-                    if let (Some(min), Some(max), Some(mean)) =
-                        (snap.min(), snap.max(), snap.mean())
-                    {
-                        obj.push(("min".to_string(), Json::Num(min)));
-                        obj.push(("max".to_string(), Json::Num(max)));
-                        obj.push(("mean".to_string(), Json::Num(mean)));
-                    }
-                    for (q, label) in QUANTILES.iter().zip(QUANTILE_LABELS) {
-                        if let Some(v) = snap.quantile(*q) {
-                            obj.push((label.to_string(), Json::Num(v)));
-                        }
-                    }
-                    Json::Obj(obj)
-                }
+                Metric::Histogram(h) => snapshot_json(&h.snapshot()),
+                Metric::CounterFamily(f) => Json::Obj(
+                    f.snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Num(v as f64)))
+                        .collect(),
+                ),
+                Metric::HistogramFamily(f) => Json::Obj(
+                    f.snapshot()
+                        .into_iter()
+                        .map(|(k, snap)| (k, snapshot_json(&snap)))
+                        .collect(),
+                ),
             };
             fields.push((name.clone(), value));
         }
@@ -212,6 +356,26 @@ impl Registry {
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// The JSON shape shared by plain histograms and family children:
+/// count/sum/min/max/mean plus the [`QUANTILES`].
+fn snapshot_json(snap: &crate::hist::HistogramSnapshot) -> Json {
+    let mut obj = vec![
+        ("count".to_string(), Json::Num(snap.count() as f64)),
+        ("sum".to_string(), Json::Num(snap.sum())),
+    ];
+    if let (Some(min), Some(max), Some(mean)) = (snap.min(), snap.max(), snap.mean()) {
+        obj.push(("min".to_string(), Json::Num(min)));
+        obj.push(("max".to_string(), Json::Num(max)));
+        obj.push(("mean".to_string(), Json::Num(mean)));
+    }
+    for (q, label) in QUANTILES.iter().zip(QUANTILE_LABELS) {
+        if let Some(v) = snap.quantile(*q) {
+            obj.push((label.to_string(), Json::Num(v)));
+        }
+    }
+    Json::Obj(obj)
 }
 
 #[cfg(test)]
@@ -274,6 +438,67 @@ engine_requests_total 7
         let text = r.render_text();
         assert!(text.contains("h{quantile=\"0.5\"} NaN"), "{text}");
         assert!(text.contains("h_count 0"), "{text}");
+    }
+
+    #[test]
+    fn counter_family_renders_one_line_per_child() {
+        let r = Registry::new();
+        let shed = r.counter_family("engine_shed_total", "sheds by workload", "workload");
+        shed.with("bfs").add(3);
+        shed.with("spmv").inc();
+        shed.with("bfs").inc(); // same child again
+        assert_eq!(shed.total(), 5);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE engine_shed_total counter"), "{text}");
+        assert!(
+            text.contains("engine_shed_total{workload=\"bfs\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("engine_shed_total{workload=\"spmv\"} 1"),
+            "{text}"
+        );
+        let j = r.to_json();
+        let fam = j.get("engine_shed_total").expect("family object");
+        assert_eq!(fam.get("bfs").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn histogram_family_merged_equals_children() {
+        let r = Registry::new();
+        let lat = r.histogram_family("lat", "latency by workload", "workload");
+        for i in 1..=50 {
+            lat.with("a").record(i as f64);
+        }
+        for i in 51..=100 {
+            lat.with("b").record(i as f64);
+        }
+        let merged = lat.merged();
+        assert_eq!(merged.count(), 100);
+        assert_eq!(merged.min(), Some(1.0));
+        assert_eq!(merged.max(), Some(100.0));
+        let text = r.render_text();
+        assert!(
+            text.contains("lat{workload=\"a\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("lat_count{workload=\"b\"} 50"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_text() {
+        let r = Registry::new();
+        r.counter_family("c", "family", "k").with("a\"b\\c").inc();
+        let text = r.render_text();
+        assert!(text.contains("c{k=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter-family")]
+    fn family_kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x", "a counter");
+        r.counter_family("x", "not a family", "k");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Bounded time series for overload telemetry.
+//!
+//! A [`TimeSeries`] is a named, capacity-bounded ring of `(t, value)`
+//! samples — queue depth, in-flight count, shed rate, deadline-miss rate
+//! — pushed by whoever drives the sampling cadence (the load generator's
+//! sampler thread, a test's loop). Reading renders either JSON
+//! ([`TimeSeries::to_json`]) or a one-line unicode sparkline
+//! ([`TimeSeries::sparkline`]) for text dashboards.
+//!
+//! Like the histograms, the type is deliberately passive: no internal
+//! clock, no background thread — a caller-driven `push` keeps tests
+//! deterministic and the cost model obvious.
+
+use multidim_trace::json::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Summary statistics of a series' retained samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStats {
+    /// Smallest retained value.
+    pub min: f64,
+    /// Largest retained value.
+    pub max: f64,
+    /// Mean of retained values.
+    pub mean: f64,
+    /// Most recent value.
+    pub last: f64,
+    /// Retained sample count.
+    pub len: usize,
+}
+
+/// A named bounded ring of timestamped samples.
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    inner: Mutex<VecDeque<(f64, f64)>>,
+}
+
+impl TimeSeries {
+    /// A series named `name` retaining the last `capacity` samples (at
+    /// least 1).
+    pub fn new(name: &str, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            name: name.to_string(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a sample at time `t` (seconds, caller's epoch), dropping
+    /// the oldest beyond capacity. NaN values are ignored.
+    pub fn push(&self, t: f64, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let mut s = self.lock();
+        if s.len() == self.capacity {
+            s.pop_front();
+        }
+        s.push_back((t, value));
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<(f64, f64)> {
+        self.lock().iter().copied().collect()
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Min/max/mean/last over the retained samples; `None` when empty.
+    pub fn stats(&self) -> Option<SeriesStats> {
+        let s = self.lock();
+        let (&(_, first), &(_, last)) = (s.front()?, s.back()?);
+        let mut min = first;
+        let mut max = first;
+        let mut sum = 0.0;
+        for &(_, v) in s.iter() {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(SeriesStats {
+            min,
+            max,
+            mean: sum / s.len() as f64,
+            last,
+            len: s.len(),
+        })
+    }
+
+    /// A `width`-character sparkline of the retained samples (chunked by
+    /// max when more samples than columns), scaled min..max. Empty series
+    /// render as an empty string.
+    pub fn sparkline(&self, width: usize) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let samples = self.samples();
+        if samples.is_empty() || width == 0 {
+            return String::new();
+        }
+        let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+        // Chunk to at most `width` columns, keeping each chunk's max (the
+        // overload view: spikes must survive downsampling).
+        let cols: Vec<f64> = if values.len() <= width {
+            values
+        } else {
+            (0..width)
+                .map(|c| {
+                    let lo = c * values.len() / width;
+                    let hi = ((c + 1) * values.len() / width).max(lo + 1);
+                    values[lo..hi].iter().copied().fold(f64::MIN, f64::max)
+                })
+                .collect()
+        };
+        let (min, max) = cols
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        cols.iter()
+            .map(|&v| {
+                let idx = (((v - min) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// Serialize as `{name, t: [...], v: [...]}`.
+    pub fn to_json(&self) -> Json {
+        let samples = self.samples();
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "t".to_string(),
+                Json::Arr(samples.iter().map(|&(t, _)| Json::Num(t)).collect()),
+            ),
+            (
+                "v".to_string(),
+                Json::Arr(samples.iter().map(|&(_, v)| Json::Num(v)).collect()),
+            ),
+        ])
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(f64, f64)>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let s = TimeSeries::new("queue_depth", 3);
+        for i in 0..5 {
+            s.push(i as f64, (i * 10) as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.samples(), vec![(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]);
+        let st = s.stats().unwrap();
+        assert_eq!(st.min, 20.0);
+        assert_eq!(st.max, 40.0);
+        assert_eq!(st.mean, 30.0);
+        assert_eq!(st.last, 40.0);
+    }
+
+    #[test]
+    fn empty_series_is_quiet() {
+        let s = TimeSeries::new("x", 8);
+        assert!(s.is_empty());
+        assert_eq!(s.stats(), None);
+        assert_eq!(s.sparkline(10), "");
+        Json::parse(&s.to_json().render()).expect("valid JSON");
+    }
+
+    #[test]
+    fn sparkline_preserves_spikes_when_downsampling() {
+        let s = TimeSeries::new("shed", 100);
+        for i in 0..100 {
+            // Flat at 1 with a single spike at i == 50.
+            s.push(i as f64, if i == 50 { 100.0 } else { 1.0 });
+        }
+        let line = s.sparkline(10);
+        assert_eq!(line.chars().count(), 10);
+        assert!(line.contains('█'), "spike survives chunk-max: {line}");
+        assert!(line.contains('▁'), "baseline renders low: {line}");
+    }
+
+    #[test]
+    fn constant_series_renders_without_nan() {
+        let s = TimeSeries::new("flat", 8);
+        for i in 0..8 {
+            s.push(i as f64, 5.0);
+        }
+        let line = s.sparkline(8);
+        assert_eq!(line.chars().count(), 8);
+        s.push(8.0, f64::NAN); // ignored
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = TimeSeries::new("in_flight", 4);
+        s.push(0.5, 2.0);
+        s.push(1.0, 3.0);
+        let j = s.to_json();
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("in_flight"));
+        assert_eq!(
+            j.get("t").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        Json::parse(&j.render()).expect("valid JSON");
+    }
+}

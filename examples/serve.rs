@@ -135,6 +135,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         stats.completed, stats.failed, stats.rejected, stats.tuned_served
     );
     println!("  max queue depth observed: {max_depth}");
+    // Overload view: run_batch flow-controls instead of dropping, so both
+    // rates are 0 here — the prints exist so the capstone shows the same
+    // dashboard an overloaded fleet would (see the `load` bench).
+    println!(
+        "  shed rate      {:>9.2}%  deadline-miss rate {:>6.2}%",
+        100.0 * stats.rejected as f64 / stats.submitted.max(1) as f64,
+        100.0 * stats.expired as f64 / stats.submitted.max(1) as f64,
+    );
     println!(
         "  latency        p50 {}  p99 {}  max {}",
         fmt_ms(q(0.50)),
@@ -145,6 +153,32 @@ fn main() -> Result<(), Box<dyn Error>> {
         "  tuning store   {} records at {}",
         engine.store_len(),
         store_path.display()
+    );
+
+    // Per-workload tail latency from the engine's own labelled histogram
+    // family — the slowest programs under load, by the engine's account.
+    let by_workload = engine
+        .registry()
+        .histogram_family(
+            "engine_request_seconds_by_workload",
+            "end-to-end request latency per workload",
+            "workload",
+        )
+        .snapshot();
+    let mut rows: Vec<(String, f64, u64)> = by_workload
+        .into_iter()
+        .filter_map(|(name, snap)| snap.quantile(0.99).map(|p99| (name, p99, snap.count())))
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!();
+    println!("=== per-workload p99 (engine view, slowest first) ===");
+    for (name, p99, count) in rows.iter().take(8) {
+        println!("  {name:<22} p99 {:>10}  ({count} requests)", fmt_ms(*p99));
+    }
+    assert_eq!(
+        rows.len(),
+        entries.len(),
+        "every workload has a labelled latency histogram"
     );
 
     // One stitched per-request profile: latency phases, search breakdown,

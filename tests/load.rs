@@ -1,0 +1,280 @@
+//! Load-generator integration: the zipf schedule is deterministic under a
+//! fixed seed, closed-loop runs account for every request, the dashboard
+//! figures match independently computed values, and the regression gate
+//! accepts the committed load baseline while rejecting doctored ones.
+
+use multidim::Compiler;
+use multidim_bench::loadgen::{
+    client_schedule, run_load, schedule_digest, LoadConfig, LoadMode, ZipfSampler,
+};
+use multidim_bench::regression::{check_load, sample_count, Schema, DEFAULT_TOLERANCE};
+use multidim_engine::{Engine, EngineConfig};
+use multidim_obs::Slo;
+use multidim_trace::json::Json;
+use multidim_workloads::catalog::{catalog, CatalogEntry};
+use multidim_workloads::data::Rng;
+use std::time::Duration;
+
+fn test_engine(queue: usize) -> Engine {
+    Engine::new(
+        Compiler::new(),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: queue,
+            cache_capacity: 64,
+            store_path: None,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn small_catalog() -> Vec<CatalogEntry> {
+    catalog().into_iter().take(5).collect()
+}
+
+fn closed_cfg(requests_per_client: usize) -> LoadConfig {
+    LoadConfig {
+        clients: 2,
+        skew: 1.0,
+        seed: 42,
+        mode: LoadMode::ClosedCount {
+            requests_per_client,
+        },
+        slo: Slo::new("test", 0.99, 0.050),
+        window: Duration::from_millis(50),
+        windows: 16,
+    }
+}
+
+#[test]
+fn zipf_mass_is_monotone_and_skew_sharpens_it() {
+    let z = ZipfSampler::new(10, 1.0);
+    let masses: Vec<f64> = (0..10).map(|r| z.mass(r)).collect();
+    for pair in masses.windows(2) {
+        assert!(
+            pair[0] > pair[1],
+            "mass must decrease with rank: {masses:?}"
+        );
+    }
+    let total: f64 = masses.iter().sum();
+    assert!((total - 1.0).abs() < 1e-12, "masses sum to 1, got {total}");
+
+    let flat = ZipfSampler::new(10, 0.5);
+    let sharp = ZipfSampler::new(10, 2.0);
+    assert!(sharp.mass(0) > z.mass(0) && z.mass(0) > flat.mass(0));
+
+    // Empirical frequencies track the analytic mass.
+    let mut rng = Rng::new(7);
+    let mut counts = [0usize; 10];
+    let draws = 20_000;
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    for (r, &c) in counts.iter().enumerate() {
+        let freq = c as f64 / draws as f64;
+        assert!(
+            (freq - z.mass(r)).abs() < 0.02,
+            "rank {r}: empirical {freq:.4} vs analytic {:.4}",
+            z.mass(r)
+        );
+    }
+}
+
+#[test]
+fn schedules_are_deterministic_per_seed_and_distinct_per_client() {
+    let a = client_schedule(25, 1.0, 42, 0, 500);
+    let b = client_schedule(25, 1.0, 42, 0, 500);
+    assert_eq!(a, b, "same seed + client must replay the same schedule");
+
+    let other_client = client_schedule(25, 1.0, 42, 1, 500);
+    assert_ne!(a, other_client, "clients draw from independent streams");
+    let other_seed = client_schedule(25, 1.0, 7, 0, 500);
+    assert_ne!(a, other_seed, "the seed changes every stream");
+
+    assert_eq!(
+        schedule_digest(25, 1.0, 42, 8),
+        schedule_digest(25, 1.0, 42, 8)
+    );
+    assert_ne!(
+        schedule_digest(25, 1.0, 42, 8),
+        schedule_digest(25, 1.0, 43, 8)
+    );
+    assert_ne!(
+        schedule_digest(25, 1.0, 42, 8),
+        schedule_digest(25, 1.2, 42, 8)
+    );
+}
+
+#[test]
+fn closed_loop_accounts_for_every_request_and_is_reproducible() {
+    let entries = small_catalog();
+    let cfg = closed_cfg(10);
+
+    let engine = test_engine(16);
+    let report = run_load(&engine, &entries, &cfg);
+    engine.shutdown();
+
+    // Every request the schedule issued is in exactly one outcome bucket.
+    assert_eq!(report.attempted, 20, "2 clients x 10 requests");
+    assert_eq!(
+        report.completed + report.shed + report.expired + report.failed,
+        report.attempted
+    );
+    let rows_attempted: u64 = report.per_workload.iter().map(|w| w.attempted).sum();
+    let rows_completed: u64 = report.per_workload.iter().map(|w| w.completed).sum();
+    assert_eq!(rows_attempted, report.attempted);
+    assert_eq!(rows_completed, report.completed);
+    // Closed loop with an ample queue: nothing sheds, nothing expires.
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.expired, 0);
+    assert_eq!(report.failed, 0);
+
+    // Dashboard figures match independent arithmetic.
+    assert!((report.availability() - 1.0).abs() < 1e-12);
+    assert!((report.shed_rate() - 0.0).abs() < 1e-12);
+    let text = report.render_text();
+    assert!(text.contains("availability 100.000%"), "{text}");
+
+    // A second run with the same seed replays the same schedule: the
+    // per-workload attempted distribution is identical.
+    let engine2 = test_engine(16);
+    let report2 = run_load(&engine2, &entries, &cfg);
+    engine2.shutdown();
+    assert_eq!(report.schedule_digest, report2.schedule_digest);
+    let dist = |r: &multidim_bench::loadgen::LoadReport| {
+        r.per_workload
+            .iter()
+            .map(|w| (w.name.clone(), w.attempted))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(dist(&report), dist(&report2));
+}
+
+#[test]
+fn report_json_carries_the_gate_schema_and_self_gates() {
+    let entries = small_catalog();
+    let engine = test_engine(16);
+    let report = run_load(&engine, &entries, &closed_cfg(8));
+    engine.shutdown();
+
+    let j = report.to_json();
+    let parsed = Json::parse(&j.render()).expect("report renders valid JSON");
+    for key in [
+        "p99_under_load_us",
+        "shed_rate",
+        "availability",
+        "samples",
+        "requests",
+        "schedule_digest",
+        "per_workload",
+        "slo",
+        "series",
+    ] {
+        assert!(parsed.get(key).is_some(), "report JSON must carry `{key}`");
+    }
+    assert_eq!(Schema::detect(&parsed), Some(Schema::Load));
+    assert_eq!(sample_count(&parsed), Some(report.completed));
+
+    // Consistency between the struct and its JSON.
+    let f = |k: &str| parsed.get(k).and_then(Json::as_f64).unwrap();
+    assert!((f("shed_rate") - report.shed_rate()).abs() < 1e-6);
+    assert!((f("availability") - report.availability()).abs() < 1e-6);
+
+    // A report gates cleanly against itself...
+    let gate = check_load(&parsed, &parsed, DEFAULT_TOLERANCE).unwrap();
+    assert!(gate.passed(), "{}", gate.render());
+    // ...and fails against a 2x-doctored copy of its tail latency.
+    let doctored = doctor(&parsed, "p99_under_load_us", 2.0);
+    let gate = check_load(&parsed, &doctored, DEFAULT_TOLERANCE).unwrap();
+    assert!(!gate.passed(), "{}", gate.render());
+}
+
+#[test]
+fn shed_rate_and_slo_figures_match_hand_computation_under_overload() {
+    // Queue of 1 with open-loop fire rate far above a 2-worker debug
+    // engine's capacity: most requests must shed, and the dashboard's
+    // shed-rate and SLO availability must equal the hand-computed ratios.
+    let entries = small_catalog();
+    let engine = test_engine(1);
+    let cfg = LoadConfig {
+        clients: 4,
+        skew: 1.0,
+        seed: 42,
+        mode: LoadMode::Open {
+            target_rps: 2000.0,
+            duration: Duration::from_millis(600),
+        },
+        slo: Slo::new("test", 0.99, 0.050),
+        window: Duration::from_millis(50),
+        windows: 32,
+    };
+    let report = run_load(&engine, &entries, &cfg);
+    engine.shutdown();
+
+    assert!(
+        report.shed > 0,
+        "open loop at 2000 rps must overflow queue 1"
+    );
+    let expected_shed = report.shed as f64 / report.attempted as f64;
+    assert!((report.shed_rate() - expected_shed).abs() < 1e-12);
+    let expected_avail = report.completed as f64 / report.attempted as f64;
+    assert!((report.availability() - expected_avail).abs() < 1e-12);
+
+    // The SLO tracker saw every outcome: its totals are the client-side
+    // totals, and its availability SLI is the same ratio.
+    assert_eq!(report.slo.samples, report.attempted);
+    assert_eq!(
+        report.slo.errors,
+        report.shed + report.expired + report.failed
+    );
+    let slo_avail = report.slo.availability.expect("non-empty run");
+    assert!(
+        (slo_avail - expected_avail).abs() < 1e-12,
+        "SLO availability {slo_avail} vs hand-computed {expected_avail}"
+    );
+
+    // Overload telemetry was sampled.
+    assert!(report.series.iter().any(|s| !s.series.is_empty()));
+}
+
+#[test]
+fn committed_load_baseline_passes_its_own_gate_and_rejects_doctored_runs() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_load_baseline.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed BENCH_load_baseline.json");
+    let baseline = Json::parse(&text).expect("baseline is valid JSON");
+    assert_eq!(Schema::detect(&baseline), Some(Schema::Load));
+
+    let gate = check_load(&baseline, &baseline, DEFAULT_TOLERANCE).unwrap();
+    assert!(gate.passed(), "{}", gate.render());
+
+    let slow = doctor(&baseline, "p99_under_load_us", 2.0);
+    let gate = check_load(&baseline, &slow, DEFAULT_TOLERANCE).unwrap();
+    assert!(!gate.passed(), "2x p99 must fail: {}", gate.render());
+
+    let shedding = doctor(&baseline, "shed_rate", 2.0);
+    let gate = check_load(&baseline, &shedding, DEFAULT_TOLERANCE).unwrap();
+    assert!(!gate.passed(), "2x shed rate must fail: {}", gate.render());
+}
+
+/// A copy of `report` with `key` multiplied by `factor`.
+fn doctor(report: &Json, key: &str, factor: f64) -> Json {
+    match report {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    if k == key {
+                        let scaled = v.as_f64().expect("doctored key is numeric") * factor;
+                        (k.clone(), Json::Num(scaled))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect(),
+        ),
+        _ => panic!("report must be an object"),
+    }
+}

@@ -288,6 +288,16 @@ fn post_mortem_queue_is_bounded() {
         32,
         "bundle retention is bounded"
     );
+    // The 8 evicted bundles were never read: the loss is counted, not
+    // silent, and the counter reaches the exposition.
+    assert_eq!(
+        engine.post_mortems_dropped(),
+        8,
+        "40 failures minus 32 retained bundles"
+    );
+    assert!(engine
+        .render_metrics()
+        .contains("engine_post_mortems_dropped_total 8"));
 }
 
 #[test]
@@ -312,4 +322,110 @@ fn disabling_the_flight_recorder_leaves_bundles_without_events() {
         bundles[0].events.is_empty(),
         "no recorder, no captured events"
     );
+}
+
+#[test]
+fn sliding_window_survives_concurrent_record_and_rotate() {
+    use multidim_obs::SlidingWindow;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // 4 recorder threads hammer the window while the main thread rotates
+    // it on a tight cadence — the invariant is no sample is lost from the
+    // retained horizon while the writer threads are live and the horizon
+    // is deep enough to keep every rotation.
+    let window = SlidingWindow::new(1_000_000);
+    let stop = AtomicBool::new(false);
+    let per_thread = 20_000u64;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let window = &window;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    window.record(((t * per_thread + i) % 1000 + 1) as f64 * 1e-4);
+                }
+            });
+        }
+        let window = &window;
+        let stop = &stop;
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                window.rotate();
+                std::thread::yield_now();
+            }
+        });
+        // Let recorders finish, then stop the rotator. The scope joins
+        // the recorder threads only after this closure returns, so wait
+        // on the merged count instead.
+        while window.merged().count() < 4 * per_thread {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(
+        window.merged().count(),
+        4 * per_thread,
+        "every concurrent record lands in exactly one retained window"
+    );
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative() {
+    use multidim_obs::{Histogram, HistogramSnapshot};
+    use multidim_workloads::data::Rng;
+
+    // Property: for randomly generated sample sets A, B, C the merge
+    // (A+B)+C equals A+(B+C) equals C+(B+A), bucket for bucket — merges
+    // are exact, so window aggregation order can never change a quantile.
+    let mut rng = Rng::new(0x5eed);
+    for trial in 0..50 {
+        let sets: Vec<HistogramSnapshot> = (0..3)
+            .map(|_| {
+                let h = Histogram::new();
+                // Spread samples over ~9 orders of magnitude, including
+                // the underflow bucket (non-positive samples).
+                for _ in 0..rng.below(200) {
+                    h.record(rng.range_f64(-1e-6, 1e3));
+                }
+                h.snapshot()
+            })
+            .collect();
+        let (a, b, c) = (&sets[0], &sets[1], &sets[2]);
+
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        let mut rev = c.clone();
+        rev.merge(b);
+        rev.merge(a);
+
+        // Bucket counts, count, min, and max merge exactly; only `sum`
+        // is floating-point, so it is associative up to rounding.
+        let exact_eq = |x: &HistogramSnapshot, y: &HistogramSnapshot, law: &str| {
+            assert_eq!(x.bucket_counts(), y.bucket_counts(), "{law}, trial {trial}");
+            assert_eq!(x.count(), y.count(), "{law}, trial {trial}");
+            assert_eq!(x.min(), y.min(), "{law}, trial {trial}");
+            assert_eq!(x.max(), y.max(), "{law}, trial {trial}");
+            let scale = x.sum().abs().max(1.0);
+            assert!(
+                (x.sum() - y.sum()).abs() <= 1e-9 * scale,
+                "{law}: sums diverged beyond rounding, trial {trial}"
+            );
+        };
+        exact_eq(&left, &right, "associativity");
+        exact_eq(&left, &rev, "commutativity");
+        assert_eq!(left.count(), a.count() + b.count() + c.count());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(
+                left.quantile(q),
+                rev.quantile(q),
+                "quantiles must not depend on merge order (trial {trial})"
+            );
+        }
+    }
 }
