@@ -30,7 +30,101 @@ impl Code {
     pub const KERNEL_DEFECT: Code = Code(8);
     /// Data-dependent index defeats the static bounds proof.
     pub const DYNAMIC_INDEX: Code = Code(9);
+    /// Hot global access is provably uncoalesced (strided) under the
+    /// chosen mapping.
+    pub const UNCOALESCED: Code = Code(10);
+    /// Shared-memory access with a proven bank-conflict degree ≥ 2.
+    pub const BANK_CONFLICT: Code = Code(11);
+    /// Proven per-block shared-memory footprint exceeds device capacity.
+    pub const SMEM_OVERFLOW: Code = Code(12);
+    /// High-reuse read not staged through shared memory.
+    pub const UNEXPLOITED_REUSE: Code = Code(13);
+    /// Data-dependent (non-affine) global access: coalescing unprovable.
+    pub const SCATTERED: Code = Code(14);
+    /// Shared-memory footprint above half of capacity limits residency.
+    pub const SMEM_PRESSURE: Code = Code(15);
 }
+
+/// One row of the diagnostic-code table: code, short name, description.
+pub type CodeRow = (Code, &'static str, &'static str);
+
+/// The complete table of diagnostic codes — the single source of truth
+/// used by the `MD0xx` documentation in [`crate`]'s module docs (checked
+/// by a test) and by anything that needs to enumerate codes (the obs
+/// counter family, the lint example).
+pub const CODE_TABLE: &[CodeRow] = &[
+    (
+        Code::RACE,
+        "RACE",
+        "proven write-write race: two pattern instances store to one address",
+    ),
+    (
+        Code::MAYBE_RACE,
+        "MAYBE_RACE",
+        "possible race: a scatter store whose disjointness cannot be proven",
+    ),
+    (Code::OOB, "OOB", "proven out-of-bounds access"),
+    (
+        Code::MAYBE_OOB,
+        "MAYBE_OOB",
+        "possible out-of-bounds access (affine but unprovable, or guarded)",
+    ),
+    (
+        Code::SPLIT_NONDET,
+        "SPLIT_NONDET",
+        "float reduce combine order depends on a Split(k) mapping",
+    ),
+    (
+        Code::EXTENT_MISMATCH,
+        "EXTENT_MISMATCH",
+        "sibling patterns at one nest level disagree on their extents",
+    ),
+    (
+        Code::ATOMIC_ORDER,
+        "ATOMIC_ORDER",
+        "atomic float combine order (groupBy/filter placement) is non-deterministic",
+    ),
+    (
+        Code::KERNEL_DEFECT,
+        "KERNEL_DEFECT",
+        "structural kernel defect reported by codegen::validate",
+    ),
+    (
+        Code::DYNAMIC_INDEX,
+        "DYNAMIC_INDEX",
+        "data-dependent index defeats the static bounds proof",
+    ),
+    (
+        Code::UNCOALESCED,
+        "UNCOALESCED",
+        "hot global access is provably uncoalesced (strided) under the chosen mapping",
+    ),
+    (
+        Code::BANK_CONFLICT,
+        "BANK_CONFLICT",
+        "shared-memory access with a proven bank-conflict degree >= 2",
+    ),
+    (
+        Code::SMEM_OVERFLOW,
+        "SMEM_OVERFLOW",
+        "proven per-block shared-memory footprint exceeds device capacity",
+    ),
+    (
+        Code::UNEXPLOITED_REUSE,
+        "UNEXPLOITED_REUSE",
+        "high-reuse read not staged through shared memory",
+    ),
+    (
+        Code::SCATTERED,
+        "SCATTERED",
+        "data-dependent (non-affine) global access: coalescing unprovable",
+    ),
+    (
+        Code::SMEM_PRESSURE,
+        "SMEM_PRESSURE",
+        "shared-memory footprint above half of capacity limits residency",
+    ),
+];
 
 impl fmt::Display for Code {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

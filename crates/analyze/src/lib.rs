@@ -11,11 +11,41 @@
 //!   against the declared array extent.
 //! * **Lints**: floating-point combine order under `Split(k)` mappings,
 //!   atomic placement order, and disagreeing sibling extents.
+//! * **Locality analysis**: per-candidate-mapping classification of every
+//!   global access (coalesced / strided / broadcast / scattered), proven
+//!   shared-memory bank-conflict degrees and per-block footprints, reuse
+//!   summaries, and a sound memory-transaction lower bound that prunes the
+//!   mapping search ([`locality_of`], [`LocalitySummary`]).
 //! * **Diagnostics**: stable `MD0xx` codes, severities, a
 //!   proven/refuted/unknown verdict lattice, terminal + JSON renderings,
 //!   and trace-event emission.
 //! * **Sanitizer cross-check**: dynamic confirmation of every `Proven`
-//!   verdict against the simulator's recorded write sets.
+//!   verdict against the simulator's recorded write sets; the locality
+//!   stage has an equivalent check ([`locality_cross_check`]) against the
+//!   simulator's measured memory counters.
+//!
+//! # Diagnostic codes
+//!
+//! The table below is generated from [`CODE_TABLE`] (the single source of
+//! truth, kept in sync by a test):
+//!
+//! | Code | Name | Description |
+//! |------|------|-------------|
+//! | MD001 | RACE | proven write-write race: two pattern instances store to one address |
+//! | MD002 | MAYBE_RACE | possible race: a scatter store whose disjointness cannot be proven |
+//! | MD003 | OOB | proven out-of-bounds access |
+//! | MD004 | MAYBE_OOB | possible out-of-bounds access (affine but unprovable, or guarded) |
+//! | MD005 | SPLIT_NONDET | float reduce combine order depends on a Split(k) mapping |
+//! | MD006 | EXTENT_MISMATCH | sibling patterns at one nest level disagree on their extents |
+//! | MD007 | ATOMIC_ORDER | atomic float combine order (groupBy/filter placement) is non-deterministic |
+//! | MD008 | KERNEL_DEFECT | structural kernel defect reported by codegen::validate |
+//! | MD009 | DYNAMIC_INDEX | data-dependent index defeats the static bounds proof |
+//! | MD010 | UNCOALESCED | hot global access is provably uncoalesced (strided) under the chosen mapping |
+//! | MD011 | BANK_CONFLICT | shared-memory access with a proven bank-conflict degree >= 2 |
+//! | MD012 | SMEM_OVERFLOW | proven per-block shared-memory footprint exceeds device capacity |
+//! | MD013 | UNEXPLOITED_REUSE | high-reuse read not staged through shared memory |
+//! | MD014 | SCATTERED | data-dependent (non-affine) global access: coalescing unprovable |
+//! | MD015 | SMEM_PRESSURE | shared-memory footprint above half of capacity limits residency |
 //!
 //! ```
 //! use multidim_ir::{ProgramBuilder, ScalarKind, Size, Effect, Expr};
@@ -43,11 +73,16 @@ mod bounds;
 mod diag;
 mod eval;
 mod lint;
+mod locality;
 mod race;
 mod sanitizer;
 
-pub use diag::{ArrayVerdicts, Code, Diagnostic, Report, Severity, Verdict};
+pub use diag::{ArrayVerdicts, Code, CodeRow, Diagnostic, Report, Severity, Verdict, CODE_TABLE};
 pub use lint::lint_mapping;
+pub use locality::{
+    locality_cross_check, locality_of, AccessClass, AccessLocality, BankProof, LocalityFacts,
+    LocalitySummary, ReuseSummary, SmemProof,
+};
 pub use sanitizer::cross_check;
 
 use multidim_codegen::KernelError;

@@ -1,0 +1,1129 @@
+//! Static locality analysis (the paper's Section II premise, made a proof).
+//!
+//! The mapping analysis *scores* locality; the simulator *measures* it.
+//! This module sits between the two: from the affine access summaries in
+//! `multidim_ir` it derives, **per candidate mapping**, facts that are
+//! sound against the simulator's memory model:
+//!
+//! * a coalescing class for every global access — coalesced / strided(k) /
+//!   broadcast / scattered — with a [`Verdict`] saying whether the class
+//!   is proven (all coefficients exactly known) or heuristic;
+//! * a **transaction lower bound**: the simulated run must issue at least
+//!   this many 128-byte DRAM transactions, no matter what the lowered code
+//!   looks like (see "Soundness" below);
+//! * a **seconds lower bound** from the roofline memory floor plus the
+//!   per-kernel launch/dispatch overhead — the pruning hook used by
+//!   [`multidim_mapping::tune_pruned`];
+//! * per-kernel shared-memory **footprint proofs** (overflow = `Error`
+//!   before the simulator ever faults) and per-access **bank-conflict
+//!   degrees**, proven by enumerating the real block's warps;
+//! * per-nest-level **reuse summaries** (which reads touch each element
+//!   more than once, and whether the Section V-B prefetch stages them).
+//!
+//! # Soundness of the transaction bound
+//!
+//! Every warp-level request has at most 32 participating lanes and costs
+//! at least one transaction, so a site executed by at least `E` lanes
+//! contributes at least `⌈E / C⌉` transactions whenever at most `C` lanes
+//! of one warp can ever share one 128-byte segment. `C = 32` needs no
+//! addressing knowledge at all; when the address is affine with exactly
+//! known coefficients we refine `C` by enumerating the block's warps and
+//! sliding a 127-byte window over each warp's per-lane byte offsets.
+//! Sites whose execution count is *not* guaranteed (conditional branches,
+//! filter bodies, sequential `Iterate` trip estimates, atomics, reads the
+//! prefetch may stage through shared memory) contribute zero — dropping a
+//! site only lowers the bound, so it is always sound.
+
+use crate::diag::{Code, Diagnostic, Severity, Verdict};
+use crate::eval::eval_signed;
+use multidim_codegen::{KExpr, Kernel, KernelProgram, LocalId, SmemId, Stmt};
+use multidim_device::{GpuSpec, WARP_SIZE};
+use multidim_ir::{
+    collect_accesses, filter_patterns, AffineForm, BinOp, Bindings, PatternId, Program, UnOp, VarId,
+};
+use multidim_mapping::{MappingDecision, Span};
+use multidim_sim::SimResult;
+use std::collections::{BTreeMap, HashMap};
+
+/// Window (bytes) within which two lane addresses can share one aligned
+/// 128-byte transaction segment.
+const SEGMENT_WINDOW: i128 = 127;
+
+// ---------------------------------------------------------------------------
+// Mapping-independent facts
+// ---------------------------------------------------------------------------
+
+/// One access site's pre-evaluated facts (see [`LocalityFacts`]).
+#[derive(Debug, Clone)]
+pub(crate) struct SiteFacts {
+    array_name: String,
+    has_array: bool,
+    flexible: bool,
+    elem_bytes: u64,
+    is_write: bool,
+    /// Innermost enclosing pattern (diagnostic anchor).
+    pattern: PatternId,
+    /// `true` when every valid index tuple is guaranteed to execute the
+    /// access exactly once (no branches, no filter ancestor, no iterate
+    /// multiplier, not atomic).
+    countable: bool,
+    /// Exact product of the chain extents, when all are exactly known.
+    executions: Option<u64>,
+    nonaffine: bool,
+    /// Chain links: `(nest level, var, extent value, extent exact)`.
+    chain: Vec<(usize, VarId, i64, bool)>,
+    /// Evaluated address coefficient per chain var: `(value, exact)`.
+    coeffs: BTreeMap<VarId, (i64, bool)>,
+    /// The address mentions a variable outside the pattern chain
+    /// (an `Iterate` loop var): per-request-uniform but unmodeled.
+    foreign_terms: bool,
+    /// Shaped like a Section V-B prefetch candidate (`a[outer]`, read,
+    /// single-level chain); whether the prefetch *fires* also depends on
+    /// the mapping — see [`locality_of`].
+    prefetch_shape: bool,
+}
+
+/// Mapping-independent locality facts for one program, pre-evaluated under
+/// launch bindings. Compute once, then call [`locality_of`] per candidate
+/// mapping — the per-candidate work is a few integer enumerations, cheap
+/// enough to run inside the autotune loop.
+#[derive(Debug, Clone)]
+pub struct LocalityFacts {
+    /// Program name (diagnostics).
+    pub program: String,
+    pub(crate) sites: Vec<SiteFacts>,
+}
+
+impl LocalityFacts {
+    /// Distill `program`'s access summaries under `bindings`.
+    ///
+    /// Pass the program that will actually be lowered (i.e. *after*
+    /// map→reduce fusion) — the facts describe that program's accesses.
+    pub fn of(program: &Program, bindings: &Bindings) -> LocalityFacts {
+        let filters = filter_patterns(program);
+        let mut sites = Vec::new();
+        for a in collect_accesses(program) {
+            let under_filter = a.chain.iter().any(|l| filters.contains(&l.pattern));
+            let countable =
+                a.branch_depth == 0 && a.iterate_factor == 1 && !a.atomic && !under_filter;
+            let chain: Vec<(usize, VarId, i64, bool)> = a
+                .chain
+                .iter()
+                .map(|l| {
+                    let s = eval_signed(&l.size, bindings);
+                    (l.level, l.var, s.value, s.exact)
+                })
+                .collect();
+            let mut executions: Option<u64> = Some(1);
+            for &(_, _, v, exact) in &chain {
+                executions = match executions {
+                    Some(e) if exact && v >= 0 => e.checked_mul(v as u64),
+                    _ => None,
+                };
+            }
+            let (coeffs, foreign_terms, nonaffine, const_zero) = match &a.addr {
+                AffineForm::Affine { terms, constant } => {
+                    let chain_vars: Vec<VarId> = chain.iter().map(|c| c.1).collect();
+                    let mut coeffs = BTreeMap::new();
+                    let mut foreign = false;
+                    for (v, c) in terms {
+                        if chain_vars.contains(v) {
+                            let s = eval_signed(c, bindings);
+                            coeffs.insert(*v, (s.value, s.exact));
+                        } else {
+                            foreign = true;
+                        }
+                    }
+                    let k = eval_signed(constant, bindings);
+                    (coeffs, foreign, false, k.value == 0)
+                }
+                AffineForm::NonAffine => (BTreeMap::new(), false, true, false),
+            };
+            // Over-approximates lowering's syntactic `a[outer]` check: a
+            // site this flags *might* be staged through shared memory, so
+            // the transaction bound must not count it when the prefetch
+            // can fire.
+            let prefetch_shape = !a.is_write
+                && a.array.is_some()
+                && chain.len() == 1
+                && !nonaffine
+                && !foreign_terms
+                && const_zero
+                && coeffs.len() == 1
+                && coeffs.get(&chain[0].1).map(|c| c.0) == Some(1);
+            let array_name = match a.array {
+                Some(id) => program.array(id).name.clone(),
+                None => "<temp>".to_string(),
+            };
+            sites.push(SiteFacts {
+                array_name,
+                has_array: a.array.is_some(),
+                flexible: a.flexible_layout,
+                elem_bytes: a.elem_bytes,
+                is_write: a.is_write,
+                pattern: a.chain.last().map(|l| l.pattern).unwrap_or(program.root.id),
+                countable,
+                executions,
+                nonaffine,
+                chain,
+                coeffs,
+                foreign_terms,
+                prefetch_shape,
+            });
+        }
+        LocalityFacts {
+            program: program.name.clone(),
+            sites,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-mapping summary
+// ---------------------------------------------------------------------------
+
+/// Coalescing class of one global access under one mapping, along the
+/// hardware `x` dimension (where coalescing happens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Adjacent `x` lanes touch adjacent elements (stride ±1).
+    Coalesced,
+    /// Adjacent `x` lanes are `k` elements apart (`|k| ≥ 2`).
+    Strided(i64),
+    /// The address does not vary with `x` — one segment serves the warp.
+    Broadcast,
+    /// Data-dependent (non-affine) address: no coalescing provable.
+    Scattered,
+    /// The stride involves an unbound symbol or dynamic estimate.
+    Unknown,
+}
+
+impl std::fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessClass::Coalesced => write!(f, "coalesced"),
+            AccessClass::Strided(k) => write!(f, "strided({k})"),
+            AccessClass::Broadcast => write!(f, "broadcast"),
+            AccessClass::Scattered => write!(f, "scattered"),
+            AccessClass::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// One global access's locality verdict under a candidate mapping.
+#[derive(Debug, Clone)]
+pub struct AccessLocality {
+    /// Array name (`<temp>` for compiler-laid-out temporaries).
+    pub array: String,
+    /// Innermost enclosing pattern.
+    pub pattern: PatternId,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// Coalescing class along `x`.
+    pub class: AccessClass,
+    /// `Proven` when every coefficient behind the class is exactly known.
+    pub verdict: Verdict,
+    /// Guaranteed execution count (product of chain extents), if exact.
+    pub executions: Option<u64>,
+    /// Max lanes of one warp that can share a 128-byte segment here.
+    pub segment_capacity: u64,
+    /// This site's contribution to [`LocalitySummary::tx_lower_bound`].
+    pub transactions_lb: u64,
+    /// Why the site contributes zero to the bound, when it does.
+    pub dropped: Option<&'static str>,
+}
+
+/// Bank-conflict proof for one shared-memory access site.
+#[derive(Debug, Clone)]
+pub struct BankProof {
+    /// Shared array name.
+    pub smem: String,
+    /// Worst-case serialized passes per request (`1` = conflict-free),
+    /// when the lane-affine index could be evaluated.
+    pub degree: Option<u64>,
+    /// `Proven` = conflict-free for every request; `Refuted` = a full,
+    /// unguarded warp provably conflicts; `Unknown` otherwise.
+    pub conflict_free: Verdict,
+    /// The access sits under a lane-divergent guard or loop.
+    pub guarded: bool,
+}
+
+/// Shared-memory proof for one kernel: footprint vs. capacity plus the
+/// per-site bank-conflict verdicts.
+#[derive(Debug, Clone)]
+pub struct SmemProof {
+    /// Kernel name.
+    pub kernel: String,
+    /// Static per-block shared-memory footprint (bytes).
+    pub bytes: u64,
+    /// Device capacity per SM (bytes).
+    pub capacity: u64,
+    /// Proven overflow: the kernel cannot launch on this device.
+    pub overflow: bool,
+    /// The footprint limits residency to one block per SM.
+    pub pressure: bool,
+    /// Bank-conflict proofs, one per static shared-memory access.
+    pub banks: Vec<BankProof>,
+}
+
+/// Temporal reuse of one read across one nest level.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReuseSummary {
+    /// Array name.
+    pub array: String,
+    /// Innermost enclosing pattern of the read.
+    pub pattern: PatternId,
+    /// The nest level whose index the address ignores.
+    pub level: usize,
+    /// Each element is touched this many times across that level.
+    pub factor: u64,
+    /// The Section V-B prefetch stages this read through shared memory.
+    pub staged: bool,
+}
+
+/// Everything the locality analysis proved about one (program, mapping)
+/// pair. Produced by [`locality_of`]; consumed by MD010–MD015 diagnostics
+/// ([`LocalitySummary::diagnostics`]), the search pruning hook
+/// (`seconds_lower_bound`), and the simulator cross-check
+/// ([`locality_cross_check`]).
+#[derive(Debug, Clone)]
+pub struct LocalitySummary {
+    /// Program name.
+    pub program: String,
+    /// Per-global-access classifications, in access-collection order.
+    pub accesses: Vec<AccessLocality>,
+    /// Per-kernel shared-memory proofs, in kernel order.
+    pub smem: Vec<SmemProof>,
+    /// Reuse summaries, deduplicated by (array, pattern, level).
+    pub reuse: Vec<ReuseSummary>,
+    /// Proven lower bound on DRAM transactions for the whole program run.
+    pub tx_lower_bound: u64,
+    /// Proven lower bound on simulated seconds (memory floor + per-kernel
+    /// launch/dispatch overhead).
+    pub seconds_lower_bound: f64,
+}
+
+/// Analyze one candidate mapping.
+///
+/// * `facts` — [`LocalityFacts::of`] the (fused) program being lowered;
+/// * `kernels` — the lowered [`KernelProgram`] for this mapping (grid
+///   sizes and shared arrays come from here, so `Split` demotion and
+///   prefetch decisions are reflected faithfully);
+/// * `smem_prefetch` — the `CodegenOptions::smem_prefetch` flag used for
+///   lowering (decides whether prefetch-shaped reads may be staged).
+pub fn locality_of(
+    facts: &LocalityFacts,
+    mapping: &MappingDecision,
+    kernels: &KernelProgram,
+    bindings: &Bindings,
+    gpu: &GpuSpec,
+    smem_prefetch: bool,
+) -> LocalitySummary {
+    let prefetch_active = smem_prefetch
+        && mapping.depth() >= 2
+        && !mapping.level(0).dim.is_x()
+        && mapping.level(0).span == Span::Span(1)
+        && mapping.level(0).block_size >= 2;
+    let any_split = mapping
+        .levels()
+        .iter()
+        .any(|l| matches!(l.span, Span::Split(_)));
+
+    // Block dims exactly as lowering assigns them; refuse the refined
+    // capacity if two levels share a hardware axis or use a dim ≥ 3.
+    let mut dims = [1u64; 3];
+    let mut axes_ok = true;
+    let mut level_axis: Vec<Option<usize>> = Vec::new();
+    for lm in mapping.levels() {
+        let a = lm.dim.0 as usize;
+        if a >= 3 || dims[a] != 1 {
+            axes_ok = false;
+            level_axis.push(None);
+            continue;
+        }
+        dims[a] = u64::from(lm.block_size.max(1));
+        level_axis.push(Some(a));
+    }
+    let block_threads = dims[0] * dims[1] * dims[2];
+
+    let x_level: Option<usize> = mapping.levels().iter().position(|l| l.dim.is_x());
+
+    let mut accesses = Vec::new();
+    let mut reuse_set: BTreeMap<(String, PatternId, usize), ReuseSummary> = BTreeMap::new();
+    let mut tx_lb: u64 = 0;
+
+    for site in &facts.sites {
+        // -- classification along x ------------------------------------
+        let (class, verdict) = if site.nonaffine {
+            (AccessClass::Scattered, Verdict::Proven)
+        } else {
+            let x_link = site
+                .chain
+                .iter()
+                .find(|(lvl, ..)| x_level == Some(*lvl) && *lvl < mapping.depth());
+            match x_link {
+                None => (AccessClass::Broadcast, Verdict::Proven),
+                Some((_, var, _, _)) => {
+                    let (c, exact) = site.coeffs.get(var).copied().unwrap_or((0, true));
+                    if !exact {
+                        (AccessClass::Unknown, Verdict::Unknown)
+                    } else if c == 0 {
+                        (AccessClass::Broadcast, Verdict::Proven)
+                    } else if c.abs() == 1 {
+                        (AccessClass::Coalesced, Verdict::Proven)
+                    } else {
+                        (AccessClass::Strided(c), Verdict::Proven)
+                    }
+                }
+            }
+        };
+
+        // -- reuse (reads only; informational, no exactness needed) ----
+        if !site.is_write {
+            for &(lvl, var, extent, exact) in &site.chain {
+                let coeff_zero =
+                    !site.nonaffine && site.coeffs.get(&var).is_none_or(|&(v, e)| e && v == 0);
+                if exact && extent >= 2 && coeff_zero {
+                    reuse_set
+                        .entry((site.array_name.clone(), site.pattern, lvl))
+                        .or_insert(ReuseSummary {
+                            array: site.array_name.clone(),
+                            pattern: site.pattern,
+                            level: lvl,
+                            factor: extent as u64,
+                            staged: site.prefetch_shape && prefetch_active,
+                        });
+                }
+            }
+        }
+
+        // -- transaction lower bound -----------------------------------
+        let mut dropped: Option<&'static str> = None;
+        if !site.countable {
+            dropped = Some("conditional, filtered, iterated, or atomic execution");
+        } else if site.executions.is_none() {
+            dropped = Some("execution count not exactly known");
+        } else if site.prefetch_shape && prefetch_active {
+            dropped = Some("may be staged through shared memory");
+        }
+
+        let refined_ok = dropped.is_none()
+            && !site.nonaffine
+            && !site.foreign_terms
+            && site.coeffs.values().all(|&(_, exact)| exact)
+            && site.chain.iter().all(|&(lvl, ..)| lvl < mapping.depth())
+            && site.has_array
+            && !site.flexible
+            && !(site.is_write && any_split)
+            && axes_ok
+            && block_threads <= 1024;
+
+        let capacity = if refined_ok {
+            let mut coeff_bytes = [0i128; 3];
+            let mut ok = true;
+            for &(lvl, var, _, _) in &site.chain {
+                match level_axis.get(lvl).copied().flatten() {
+                    Some(a) => {
+                        let c = site.coeffs.get(&var).map(|c| c.0).unwrap_or(0);
+                        coeff_bytes[a] += i128::from(c) * i128::from(site.elem_bytes);
+                    }
+                    None => ok = false,
+                }
+            }
+            if ok {
+                warp_capacity(dims, coeff_bytes)
+            } else {
+                u64::from(WARP_SIZE)
+            }
+        } else {
+            u64::from(WARP_SIZE)
+        };
+
+        let site_tx = match (dropped, site.executions) {
+            (None, Some(e)) => e.div_ceil(capacity.max(1)),
+            _ => 0,
+        };
+        tx_lb += site_tx;
+
+        accesses.push(AccessLocality {
+            array: site.array_name.clone(),
+            pattern: site.pattern,
+            is_write: site.is_write,
+            class,
+            verdict,
+            executions: site.executions,
+            segment_capacity: capacity,
+            transactions_lb: site_tx,
+            dropped,
+        });
+    }
+
+    // -- per-kernel proofs + seconds floor -----------------------------
+    let mut smem = Vec::new();
+    let mut overhead_s = 0.0f64;
+    for k in &kernels.kernels {
+        let mut blocks: u64 = 1;
+        let mut blocks_exact = true;
+        for axis in &k.grid {
+            let s = eval_signed(axis, bindings);
+            if s.exact && s.value >= 0 {
+                blocks = blocks.saturating_mul(s.value as u64);
+            } else {
+                blocks_exact = false;
+            }
+        }
+        overhead_s += gpu.kernel_launch_overhead_s;
+        if blocks_exact {
+            overhead_s += gpu
+                .cycles_to_seconds(blocks as f64 * gpu.block_dispatch_cycles / gpu.sm_count as f64);
+        }
+
+        let bytes = u64::from(k.smem_bytes());
+        let capacity = u64::from(gpu.smem_per_sm);
+        smem.push(SmemProof {
+            kernel: k.name.clone(),
+            bytes,
+            capacity,
+            overflow: bytes > capacity,
+            pressure: bytes.saturating_mul(2) > capacity && bytes <= capacity,
+            banks: bank_proofs(k, bindings, gpu),
+        });
+    }
+    let seconds_lb = multidim_sim::memory_floor_seconds(gpu, tx_lb) + overhead_s;
+
+    LocalitySummary {
+        program: facts.program.clone(),
+        accesses,
+        smem,
+        reuse: reuse_set.into_values().collect(),
+        tx_lower_bound: tx_lb,
+        seconds_lower_bound: seconds_lb,
+    }
+}
+
+/// Max lanes of one warp whose byte offsets fit a 127-byte window, over
+/// every warp of a block with the given dims. Lanes are grouped into warps
+/// by flat thread id, exactly like the hardware (and the simulator).
+fn warp_capacity(dims: [u64; 3], coeff_bytes: [i128; 3]) -> u64 {
+    let total = (dims[0] * dims[1] * dims[2]).max(1);
+    let mut best: u64 = 1;
+    let mut f = 0u64;
+    while f < total {
+        let end = (f + u64::from(WARP_SIZE)).min(total);
+        let mut deltas: Vec<i128> = (f..end)
+            .map(|i| {
+                let tx = (i % dims[0]) as i128;
+                let ty = ((i / dims[0]) % dims[1]) as i128;
+                let tz = (i / (dims[0] * dims[1])) as i128;
+                coeff_bytes[0] * tx + coeff_bytes[1] * ty + coeff_bytes[2] * tz
+            })
+            .collect();
+        deltas.sort_unstable();
+        let mut lo = 0usize;
+        for hi in 0..deltas.len() {
+            while deltas[hi] - deltas[lo] > SEGMENT_WINDOW {
+                lo += 1;
+            }
+            best = best.max((hi - lo + 1) as u64);
+        }
+        f = end;
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Lane-affine evaluation of kernel IR (bank-conflict proofs)
+// ---------------------------------------------------------------------------
+
+/// A value of the form `base + cx·tid.x + cy·tid.y + cz·tid.z`, uniform
+/// across a request up to the thread-index terms. `base = None` means the
+/// base is uniform but unknown — bank-conflict structure is invariant
+/// under uniform shifts, so proofs survive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lane {
+    c: [i64; 3],
+    base: Option<i64>,
+}
+
+impl Lane {
+    fn uniform(base: Option<i64>) -> Lane {
+        Lane { c: [0; 3], base }
+    }
+    fn is_uniform(&self) -> bool {
+        self.c == [0; 3]
+    }
+}
+
+type LaneVal = Option<Lane>;
+
+fn la_eval(e: &KExpr, env: &HashMap<LocalId, LaneVal>, kernel: &Kernel, b: &Bindings) -> LaneVal {
+    match e {
+        KExpr::Imm(v) => {
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                Some(Lane::uniform(Some(*v as i64)))
+            } else {
+                Some(Lane::uniform(None))
+            }
+        }
+        KExpr::Local(id) => env.get(id).copied().flatten(),
+        KExpr::Tid(axis) => {
+            let mut c = [0i64; 3];
+            c[axis.index()] = 1;
+            Some(Lane { c, base: Some(0) })
+        }
+        KExpr::Bid(_) | KExpr::Gdim(_) => Some(Lane::uniform(None)),
+        KExpr::Bdim(axis) => Some(Lane::uniform(Some(i64::from(
+            kernel.block[axis.index()].max(1),
+        )))),
+        KExpr::SizeVal(s) => {
+            let v = eval_signed(s, b);
+            Some(Lane::uniform(if v.exact { Some(v.value) } else { None }))
+        }
+        KExpr::Load { .. } | KExpr::SmemLoad { .. } => None,
+        KExpr::Un(op, a) => {
+            let a = la_eval(a, env, kernel, b)?;
+            match op {
+                UnOp::Neg => Some(Lane {
+                    c: [
+                        a.c[0].checked_neg()?,
+                        a.c[1].checked_neg()?,
+                        a.c[2].checked_neg()?,
+                    ],
+                    base: a.base.and_then(i64::checked_neg),
+                }),
+                _ if a.is_uniform() => Some(Lane::uniform(None)),
+                _ => None,
+            }
+        }
+        KExpr::Bin(op, l, r) => {
+            let l = la_eval(l, env, kernel, b)?;
+            let r = la_eval(r, env, kernel, b)?;
+            match op {
+                BinOp::Add | BinOp::Sub => {
+                    let sign = if *op == BinOp::Add { 1 } else { -1 };
+                    let mut c = [0i64; 3];
+                    for (ci, (&li, &ri)) in c.iter_mut().zip(l.c.iter().zip(&r.c)) {
+                        *ci = li.checked_add(sign * ri)?;
+                    }
+                    let base = match (l.base, r.base) {
+                        (Some(a), Some(b)) => a.checked_add(sign * b),
+                        _ => None,
+                    };
+                    Some(Lane { c, base })
+                }
+                BinOp::Mul => {
+                    // One side must be a uniform known constant to stay
+                    // affine in the thread indices.
+                    let scaled = |v: Lane, k: i64| -> LaneVal {
+                        let mut c = [0i64; 3];
+                        for (ci, &vi) in c.iter_mut().zip(&v.c) {
+                            *ci = vi.checked_mul(k)?;
+                        }
+                        Some(Lane {
+                            c,
+                            base: v.base.and_then(|x| x.checked_mul(k)),
+                        })
+                    };
+                    match (l.is_uniform(), r.is_uniform()) {
+                        (true, true) => Some(Lane::uniform(match (l.base, r.base) {
+                            (Some(a), Some(b)) => a.checked_mul(b),
+                            _ => None,
+                        })),
+                        (true, false) => l.base.and_then(|k| scaled(r, k)),
+                        (false, true) => r.base.and_then(|k| scaled(l, k)),
+                        (false, false) => None,
+                    }
+                }
+                _ => {
+                    if l.is_uniform() && r.is_uniform() {
+                        Some(Lane::uniform(None))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        KExpr::Select(c, t, e) => {
+            let c = la_eval(c, env, kernel, b)?;
+            let t = la_eval(t, env, kernel, b)?;
+            let e = la_eval(e, env, kernel, b)?;
+            if c.is_uniform() && t.is_uniform() && e.is_uniform() {
+                Some(Lane::uniform(None))
+            } else if t == e {
+                Some(t)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// One statically found shared-memory access.
+struct SmemSite {
+    arr: SmemId,
+    idx: LaneVal,
+    guarded: bool,
+    in_loop: bool,
+}
+
+/// Locals assigned anywhere in `stmts` (recursively).
+fn assigned_locals(stmts: &[Stmt], out: &mut Vec<LocalId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, .. } => out.push(*dst),
+            Stmt::AtomicRmw {
+                capture: Some(dst), ..
+            } => out.push(*dst),
+            Stmt::For { var, body, .. } => {
+                out.push(*var);
+                assigned_locals(body, out);
+            }
+            Stmt::If { then, els, .. } => {
+                assigned_locals(then, out);
+                assigned_locals(els, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Record every `SmemLoad` inside `e` as a site.
+fn scan_expr_sites(
+    e: &KExpr,
+    env: &HashMap<LocalId, LaneVal>,
+    kernel: &Kernel,
+    b: &Bindings,
+    guard: u32,
+    loops: u32,
+    sites: &mut Vec<SmemSite>,
+) {
+    match e {
+        KExpr::SmemLoad { arr, idx } => {
+            sites.push(SmemSite {
+                arr: *arr,
+                idx: la_eval(idx, env, kernel, b),
+                guarded: guard > 0,
+                in_loop: loops > 0,
+            });
+            scan_expr_sites(idx, env, kernel, b, guard, loops, sites);
+        }
+        KExpr::Load { idx, .. } => scan_expr_sites(idx, env, kernel, b, guard, loops, sites),
+        KExpr::Un(_, a) => scan_expr_sites(a, env, kernel, b, guard, loops, sites),
+        KExpr::Bin(_, l, r) => {
+            scan_expr_sites(l, env, kernel, b, guard, loops, sites);
+            scan_expr_sites(r, env, kernel, b, guard, loops, sites);
+        }
+        KExpr::Select(c, t, el) => {
+            scan_expr_sites(c, env, kernel, b, guard, loops, sites);
+            scan_expr_sites(t, env, kernel, b, guard, loops, sites);
+            scan_expr_sites(el, env, kernel, b, guard, loops, sites);
+        }
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_stmts(
+    stmts: &[Stmt],
+    env: &mut HashMap<LocalId, LaneVal>,
+    kernel: &Kernel,
+    b: &Bindings,
+    guard: u32,
+    loops: u32,
+    sites: &mut Vec<SmemSite>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { dst, value } => {
+                scan_expr_sites(value, env, kernel, b, guard, loops, sites);
+                let v = la_eval(value, env, kernel, b);
+                env.insert(*dst, v);
+            }
+            Stmt::Store { idx, value, .. } => {
+                scan_expr_sites(idx, env, kernel, b, guard, loops, sites);
+                scan_expr_sites(value, env, kernel, b, guard, loops, sites);
+            }
+            Stmt::AtomicRmw {
+                idx,
+                value,
+                capture,
+                ..
+            } => {
+                scan_expr_sites(idx, env, kernel, b, guard, loops, sites);
+                scan_expr_sites(value, env, kernel, b, guard, loops, sites);
+                if let Some(dst) = capture {
+                    env.insert(*dst, None);
+                }
+            }
+            Stmt::SmemStore { arr, idx, value } => {
+                sites.push(SmemSite {
+                    arr: *arr,
+                    idx: la_eval(idx, env, kernel, b),
+                    guarded: guard > 0,
+                    in_loop: loops > 0,
+                });
+                scan_expr_sites(idx, env, kernel, b, guard, loops, sites);
+                scan_expr_sites(value, env, kernel, b, guard, loops, sites);
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                scan_expr_sites(start, env, kernel, b, guard, loops, sites);
+                scan_expr_sites(end, env, kernel, b, guard, loops, sites);
+                scan_expr_sites(step, env, kernel, b, guard, loops, sites);
+                // Entry state sound for *every* iteration: poison all
+                // locals the body assigns, then model the loop var as
+                // start's lane coefficients with an unknown uniform base
+                // (valid when the step is uniform).
+                let mut assigned = vec![*var];
+                assigned_locals(body, &mut assigned);
+                for id in &assigned {
+                    env.insert(*id, None);
+                }
+                let start_v = la_eval(start, env, kernel, b);
+                let step_uniform =
+                    matches!(la_eval(step, env, kernel, b), Some(s) if s.is_uniform());
+                let var_model = match (start_v, step_uniform) {
+                    (Some(l), true) => Some(Lane { c: l.c, base: None }),
+                    _ => None,
+                };
+                env.insert(*var, var_model);
+                walk_stmts(body, env, kernel, b, guard, loops + 1, sites);
+                for id in &assigned {
+                    env.insert(*id, None);
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                scan_expr_sites(cond, env, kernel, b, guard, loops, sites);
+                let divergent = !matches!(la_eval(cond, env, kernel, b), Some(c) if c.is_uniform());
+                let g = guard + u32::from(divergent);
+                let mut then_env = env.clone();
+                let mut els_env = env.clone();
+                walk_stmts(then, &mut then_env, kernel, b, g, loops, sites);
+                walk_stmts(els, &mut els_env, kernel, b, g, loops, sites);
+                let mut assigned = Vec::new();
+                assigned_locals(then, &mut assigned);
+                assigned_locals(els, &mut assigned);
+                for id in assigned {
+                    let t = then_env.get(&id).copied().flatten();
+                    let e = els_env.get(&id).copied().flatten();
+                    env.insert(id, if t == e { t } else { None });
+                }
+            }
+            Stmt::DeviceMalloc { bytes } => {
+                scan_expr_sites(bytes, env, kernel, b, guard, loops, sites);
+            }
+            Stmt::Break | Stmt::Sync => {}
+        }
+    }
+}
+
+/// Prove bank-conflict degrees for every shared-memory access of `kernel`
+/// by enumerating the block's real warps.
+fn bank_proofs(kernel: &Kernel, bindings: &Bindings, gpu: &GpuSpec) -> Vec<BankProof> {
+    let mut env = HashMap::new();
+    let mut sites = Vec::new();
+    walk_stmts(&kernel.body, &mut env, kernel, bindings, 0, 0, &mut sites);
+
+    let dims = [
+        u64::from(kernel.block[0].max(1)),
+        u64::from(kernel.block[1].max(1)),
+        u64::from(kernel.block[2].max(1)),
+    ];
+    sites
+        .into_iter()
+        .map(|site| {
+            let name = kernel
+                .smem
+                .get(site.arr as usize)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| format!("smem{}", site.arr));
+            let degree = site.idx.map(|lane| {
+                // The uniform base only shifts every lane's bank by the
+                // same amount — conflict structure is invariant — so
+                // evaluate with base 0 and offset words to non-negative.
+                let total = dims[0] * dims[1] * dims[2];
+                let mut worst: u64 = 0;
+                let mut f = 0u64;
+                while f < total {
+                    let end = (f + u64::from(WARP_SIZE)).min(total);
+                    let raw: Vec<i128> = (f..end)
+                        .map(|i| {
+                            let tx = (i % dims[0]) as i128;
+                            let ty = ((i / dims[0]) % dims[1]) as i128;
+                            let tz = (i / (dims[0] * dims[1])) as i128;
+                            i128::from(lane.c[0]) * tx
+                                + i128::from(lane.c[1]) * ty
+                                + i128::from(lane.c[2]) * tz
+                        })
+                        .collect();
+                    let min = raw.iter().copied().min().unwrap_or(0);
+                    let words: Vec<u64> = raw.iter().map(|w| (w - min) as u64).collect();
+                    worst = worst.max(multidim_sim::bank_conflicts(gpu.smem_banks, &words));
+                    f = end;
+                }
+                worst + 1
+            });
+            let conflict_free = match degree {
+                Some(1) => Verdict::Proven,
+                Some(_) if !site.guarded && !site.in_loop => Verdict::Refuted,
+                _ => Verdict::Unknown,
+            };
+            BankProof {
+                smem: name,
+                degree,
+                conflict_free,
+                guarded: site.guarded,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+impl LocalitySummary {
+    /// Render the summary as MD010–MD015 diagnostics, deterministically
+    /// ordered (access order, then kernel order, then reuse order).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for a in &self.accesses {
+            match a.class {
+                AccessClass::Strided(s) if a.verdict == Verdict::Proven && s.abs() >= 2 => {
+                    let hot = a.executions.is_some_and(|e| e >= 256);
+                    let sev = if hot { Severity::Warn } else { Severity::Info };
+                    let kind = if a.is_write { "store" } else { "load" };
+                    out.push(
+                        Diagnostic::new(
+                            Code::UNCOALESCED,
+                            sev,
+                            format!(
+                                "global {kind} of `{}` is strided({s}) along x under this \
+                                 mapping: each warp touches {s}x the minimum segments",
+                                a.array
+                            ),
+                        )
+                        .with_pattern(a.pattern)
+                        .with_array(a.array.clone()),
+                    );
+                }
+                AccessClass::Scattered => {
+                    let kind = if a.is_write { "store" } else { "load" };
+                    out.push(
+                        Diagnostic::new(
+                            Code::SCATTERED,
+                            Severity::Info,
+                            format!(
+                                "global {kind} of `{}` has a data-dependent address: \
+                                 coalescing cannot be proven for any mapping",
+                                a.array
+                            ),
+                        )
+                        .with_pattern(a.pattern)
+                        .with_array(a.array.clone()),
+                    );
+                }
+                _ => {}
+            }
+        }
+        for proof in &self.smem {
+            if proof.overflow {
+                out.push(Diagnostic::new(
+                    Code::SMEM_OVERFLOW,
+                    Severity::Error,
+                    format!(
+                        "kernel `{}` needs {} B of shared memory per block; the device \
+                         has {} B per SM — the launch is proven impossible",
+                        proof.kernel, proof.bytes, proof.capacity
+                    ),
+                ));
+            } else if proof.pressure {
+                out.push(Diagnostic::new(
+                    Code::SMEM_PRESSURE,
+                    Severity::Info,
+                    format!(
+                        "kernel `{}` uses {} B of shared memory per block (more than \
+                         half of the {} B capacity): at most one block per SM is resident",
+                        proof.kernel, proof.bytes, proof.capacity
+                    ),
+                ));
+            }
+            for bank in &proof.banks {
+                if bank.conflict_free == Verdict::Refuted {
+                    let d = bank.degree.unwrap_or(0);
+                    out.push(Diagnostic::new(
+                        Code::BANK_CONFLICT,
+                        Severity::Warn,
+                        format!(
+                            "shared array `{}` in kernel `{}` has a proven {d}-way bank \
+                             conflict: every request serializes into {d} passes",
+                            bank.smem, proof.kernel
+                        ),
+                    ));
+                }
+            }
+        }
+        for r in &self.reuse {
+            if r.factor >= 8 && !r.staged {
+                out.push(
+                    Diagnostic::new(
+                        Code::UNEXPLOITED_REUSE,
+                        Severity::Info,
+                        format!(
+                            "read of `{}` touches each element {}x across nest level {} \
+                             but is not staged through shared memory",
+                            r.array, r.factor, r.level
+                        ),
+                    )
+                    .with_pattern(r.pattern)
+                    .with_array(r.array.clone()),
+                );
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator cross-check
+// ---------------------------------------------------------------------------
+
+/// Validate a [`LocalitySummary`]'s proven claims against what the
+/// simulator actually measured, mirroring [`crate::cross_check`] for the
+/// race analysis. Returns one human-readable line per disagreement (empty
+/// = the static analysis is consistent with the measurement):
+///
+/// 1. measured DRAM transactions must be ≥ the proven lower bound;
+/// 2. measured total seconds must be ≥ the proven seconds floor;
+/// 3. a kernel whose shared-memory accesses are all proven conflict-free
+///    must have measured `smem_conflicts == 0`, and when every site has a
+///    proven degree the measured conflicts must fit
+///    `(max_degree − 1) × smem_accesses`.
+pub fn locality_cross_check(summary: &LocalitySummary, sim: &SimResult) -> Vec<String> {
+    let mut out = Vec::new();
+    let measured_tx = sim.total_cost().transactions;
+    if measured_tx < summary.tx_lower_bound {
+        out.push(format!(
+            "{}: measured {} transactions < proven lower bound {}",
+            summary.program, measured_tx, summary.tx_lower_bound
+        ));
+    }
+    if sim.total_seconds < summary.seconds_lower_bound * (1.0 - 1e-9) {
+        out.push(format!(
+            "{}: measured {:.3e} s < proven floor {:.3e} s",
+            summary.program, sim.total_seconds, summary.seconds_lower_bound
+        ));
+    }
+    for (i, proof) in summary.smem.iter().enumerate() {
+        let Some(cost) = sim.costs.get(i) else {
+            out.push(format!(
+                "{}: kernel `{}` has no measured counters",
+                summary.program, proof.kernel
+            ));
+            continue;
+        };
+        if sim.names.get(i).map(String::as_str) != Some(proof.kernel.as_str()) {
+            out.push(format!(
+                "{}: kernel order mismatch at index {i} (static `{}`, measured `{:?}`)",
+                summary.program,
+                proof.kernel,
+                sim.names.get(i)
+            ));
+            continue;
+        }
+        let all_proven = proof
+            .banks
+            .iter()
+            .all(|b| b.conflict_free == Verdict::Proven);
+        if all_proven && cost.smem_conflicts != 0 {
+            out.push(format!(
+                "{}: kernel `{}` proven conflict-free but measured {} bank conflicts",
+                summary.program, proof.kernel, cost.smem_conflicts
+            ));
+        }
+        if let Some(max_d) = proof
+            .banks
+            .iter()
+            .map(|b| b.degree)
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|ds| ds.into_iter().max())
+        {
+            let bound = (max_d - 1).saturating_mul(cost.smem_accesses);
+            if cost.smem_conflicts > bound {
+                out.push(format!(
+                    "{}: kernel `{}` measured {} bank conflicts > proven bound {} \
+                     (max degree {max_d} over {} accesses)",
+                    summary.program, proof.kernel, cost.smem_conflicts, bound, cost.smem_accesses
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use multidim_codegen::Axis;
+
+    #[test]
+    fn capacity_coalesced_f32() {
+        // 32 consecutive 4-byte elements span 128 bytes: all 32 starts fit
+        // a 127-byte window.
+        assert_eq!(warp_capacity([32, 1, 1], [4, 0, 0]), 32);
+    }
+
+    #[test]
+    fn capacity_strided() {
+        // Stride 2 × 8 bytes = 16-byte spacing: 8 lanes per window.
+        assert_eq!(warp_capacity([32, 1, 1], [16, 0, 0]), 8);
+        // Stride 32 × 4 bytes: every lane its own segment.
+        assert_eq!(warp_capacity([32, 1, 1], [128, 0, 0]), 1);
+    }
+
+    #[test]
+    fn capacity_broadcast() {
+        assert_eq!(warp_capacity([32, 1, 1], [0, 0, 0]), 32);
+    }
+
+    #[test]
+    fn capacity_y_blocks() {
+        // 8×8 block, address varies only in y by 8 bytes: a warp covers 4
+        // full y-rows of 8 lanes each, rows 8 bytes apart — all 32 lanes
+        // within 24 bytes ≤ 127.
+        assert_eq!(warp_capacity([8, 8, 1], [0, 8, 0]), 32);
+        // y-stride 512 bytes: only one row (8 lanes) per window.
+        assert_eq!(warp_capacity([8, 8, 1], [0, 512, 0]), 8);
+    }
+
+    #[test]
+    fn lane_eval_tid_arith() {
+        let kernel = Kernel {
+            name: "t".into(),
+            grid: [
+                multidim_ir::Size::from(1),
+                multidim_ir::Size::from(1),
+                multidim_ir::Size::from(1),
+            ],
+            block: [32, 2, 1],
+            smem: vec![],
+            locals: 0,
+            body: vec![],
+        };
+        let env = HashMap::new();
+        let b = Bindings::new();
+        // tid.x + tid.y * bdim.x
+        let e = KExpr::add(
+            KExpr::Tid(Axis::X),
+            KExpr::mul(KExpr::Tid(Axis::Y), KExpr::Bdim(Axis::X)),
+        );
+        let v = la_eval(&e, &env, &kernel, &b).unwrap();
+        assert_eq!(v.c, [1, 32, 0]);
+        assert_eq!(v.base, Some(0));
+    }
+}

@@ -453,3 +453,26 @@ fn report_json_round_trips_through_the_trace_parser() {
     assert!(rendered.contains("MD001"));
     assert!(rendered.contains("race-free"));
 }
+
+/// The `# Diagnostic codes` table in the crate docs is generated from
+/// [`crate::diag::CODE_TABLE`]; this pins the two together so a new code
+/// (or a reworded description) cannot land in one place without the other.
+#[test]
+fn crate_docs_code_table_matches_diag_code_table() {
+    let docs = include_str!("lib.rs");
+    for (code, name, desc) in crate::diag::CODE_TABLE {
+        let row = format!("//! | {code} | {name} | {desc} |");
+        assert!(
+            docs.contains(&row),
+            "crate docs are missing or out of date for {code}: expected line\n{row}"
+        );
+    }
+    // And nothing undocumented: every MD row in the docs is in the table.
+    let doc_rows = docs.lines().filter(|l| l.starts_with("//! | MD")).count();
+    assert_eq!(
+        doc_rows,
+        crate::diag::CODE_TABLE.len(),
+        "crate docs list {doc_rows} MD rows but CODE_TABLE has {}",
+        crate::diag::CODE_TABLE.len()
+    );
+}

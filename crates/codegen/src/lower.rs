@@ -68,6 +68,13 @@ pub struct CodegenOptions {
     /// Stage stride-1 outer-level reads through shared memory
     /// (Section V-B).
     pub smem_prefetch: bool,
+    /// Per-block shared-memory budget in bytes. A prefetch that would push
+    /// the kernel's footprint past the budget is skipped (with a traced
+    /// reason) instead of producing a kernel the device cannot launch —
+    /// the driver sets this from the target's `smem_per_sm`, turning the
+    /// analyzer's footprint proof into a lowering decision. `None` =
+    /// unlimited.
+    pub smem_budget: Option<u32>,
 }
 
 impl Default for CodegenOptions {
@@ -76,6 +83,7 @@ impl Default for CodegenOptions {
             layout: LayoutPolicy::Auto,
             device_malloc: false,
             smem_prefetch: true,
+            smem_budget: None,
         }
     }
 }
@@ -1633,6 +1641,14 @@ impl<'p> Lowerer<'p> {
         }
         let axis = Axis::from_index(lm.dim.0);
         let b_outer = lm.block_size;
+        if let Some(budget) = self.opts.smem_budget {
+            let current: u64 = self.smem.iter().map(|d| u64::from(d.len) * 8).sum();
+            if !self.prefetched.contains_key(&array)
+                && current + u64::from(b_outer) * 8 > u64::from(budget)
+            {
+                return skip(self, "shared-memory budget exhausted");
+            }
+        }
 
         let sm = match self.prefetched.get(&array) {
             Some(&sm) => sm,

@@ -62,8 +62,9 @@ use std::fmt;
 
 pub use fingerprint::Fingerprint;
 pub use multidim_analyze::{
-    analyze_program, cross_check, kernel_defect, lint_mapping, Code, Diagnostic,
-    Report as AnalysisReport, Severity, Verdict,
+    analyze_program, cross_check, kernel_defect, lint_mapping, locality_cross_check, locality_of,
+    AccessClass, AccessLocality, BankProof, Code, Diagnostic, LocalityFacts, LocalitySummary,
+    Report as AnalysisReport, ReuseSummary, Severity, SmemProof, Verdict,
 };
 pub use multidim_codegen::LayoutPolicy;
 pub use multidim_mapping::{Dim, Span};
@@ -140,6 +141,7 @@ pub struct Compiler {
     weights: Weights,
     fusion: bool,
     checks: bool,
+    prune: bool,
 }
 
 impl Default for Compiler {
@@ -158,6 +160,7 @@ impl Compiler {
             weights: Weights::default(),
             fusion: true,
             checks: true,
+            prune: true,
         }
     }
 
@@ -231,6 +234,27 @@ impl Compiler {
         self
     }
 
+    /// Enable/disable lower-bound pruning inside [`Compiler::autotune`]
+    /// (on by default). Pruning discards candidates whose proven locality
+    /// lower bound already exceeds the best measured cost; selection is
+    /// bit-identical to the unpruned loop (see
+    /// [`multidim_mapping::tune_pruned`]), so this knob exists for A/B
+    /// verification, not correctness.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
+        self
+    }
+
+    /// The codegen options actually passed to lowering: the user's
+    /// options with the shared-memory budget defaulted to the target
+    /// device's capacity, so the Section V-B prefetch skips itself instead
+    /// of emitting a kernel the footprint proof rejects.
+    fn effective_options(&self) -> CodegenOptions {
+        let mut opts = self.options.clone();
+        opts.smem_budget = opts.smem_budget.or(Some(self.gpu.smem_per_sm));
+        opts
+    }
+
     /// Compile `program` for the sizes in `bindings`.
     ///
     /// # Errors
@@ -284,22 +308,63 @@ impl Compiler {
         options: &multidim_mapping::TuneOptions,
     ) -> Result<(Executable, multidim_mapping::TuneResult), CompileError> {
         let prepared = self.prepare_tune(program, bindings, options)?;
-        let mut costs = Vec::new();
-        let mut successes = 0usize;
-        for cand in &prepared.plan.candidates {
-            if successes >= options.max_measurements {
-                break;
+        let result = if self.prune {
+            // Locality-proof pruning: a candidate whose *proven* memory
+            // transaction / launch-overhead floor already exceeds the best
+            // simulated time so far cannot win, so skip its simulation.
+            // Selection stays bit-identical to the unpruned loop because
+            // the bound is sound (`cost >= lower bound > best so far`) and
+            // pruning only triggers on a strict comparison.
+            let facts = LocalityFacts::of(&prepared.program, bindings);
+            multidim_mapping::tune_pruned(
+                &prepared.plan,
+                options.max_measurements,
+                |cand| self.candidate_bound(&prepared, bindings, &facts, &cand.mapping),
+                |cand| self.measure_candidate(&prepared, bindings, inputs, &cand.mapping),
+            )
+        } else {
+            let mut costs = Vec::new();
+            let mut successes = 0usize;
+            for cand in &prepared.plan.candidates {
+                if successes >= options.max_measurements {
+                    break;
+                }
+                let cost = self.measure_candidate(&prepared, bindings, inputs, &cand.mapping);
+                if cost.is_some() {
+                    successes += 1;
+                }
+                costs.push(cost);
             }
-            let cost = self.measure_candidate(&prepared, bindings, inputs, &cand.mapping);
-            if cost.is_some() {
-                successes += 1;
-            }
-            costs.push(cost);
+            multidim_mapping::select(&prepared.plan, &costs)
         }
-        let result = multidim_mapping::select(&prepared.plan, &costs)
-            .ok_or_else(|| CompileError("no mapping candidate was executable".into()))?;
+        .ok_or_else(|| CompileError("no mapping candidate was executable".into()))?;
         let exe = self.compile_tuned(&prepared, bindings, result.best.clone())?;
         Ok((exe, result))
+    }
+
+    /// Proven lower bound (simulated seconds) for one tuning candidate, or
+    /// `None` when the candidate does not lower/validate (it then falls
+    /// through to measurement, which fails the same way and records the
+    /// failure exactly as the unpruned loop would).
+    fn candidate_bound(
+        &self,
+        prepared: &TunePrepared,
+        bindings: &Bindings,
+        facts: &LocalityFacts,
+        mapping: &MappingDecision,
+    ) -> Option<f64> {
+        let opts = self.effective_options();
+        let kernels = lower(&prepared.program, mapping, &opts).ok()?;
+        multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
+        let summary = locality_of(
+            facts,
+            mapping,
+            &kernels,
+            bindings,
+            &self.gpu,
+            opts.smem_prefetch,
+        );
+        Some(summary.seconds_lower_bound)
     }
 
     /// The serial front half of [`Compiler::autotune`]: fuse + validate the
@@ -341,7 +406,7 @@ impl Compiler {
         inputs: &HashMap<ArrayId, Vec<f64>>,
         mapping: &MappingDecision,
     ) -> Option<f64> {
-        let kernels = lower(&prepared.program, mapping, &self.options).ok()?;
+        let kernels = lower(&prepared.program, mapping, &self.effective_options()).ok()?;
         multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
         let sim = run_program(&kernels, &self.gpu, bindings, inputs).ok()?;
         Some(sim.total_seconds)
@@ -392,19 +457,53 @@ impl Compiler {
         analysis: Option<Analysis>,
         fused_patterns: usize,
     ) -> Result<Executable, CompileError> {
-        let diagnostics = if self.checks {
+        let mut diagnostics = if self.checks {
             self.check_program(&program, bindings, &mapping)?
         } else {
             multidim_analyze::Report::default()
         };
-        let kernels = lower(&program, &mapping, &self.options)?;
+        let opts = self.effective_options();
+        let kernels = lower(&program, &mapping, &opts)?;
         multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)
             .map_err(|e| CompileError(multidim_analyze::kernel_defect(&e).render_line()))?;
+        let locality = if self.checks {
+            let facts = LocalityFacts::of(&program, bindings);
+            let summary = locality_of(
+                &facts,
+                &mapping,
+                &kernels,
+                bindings,
+                &self.gpu,
+                opts.smem_prefetch,
+            );
+            // Render MD010–MD015 through the same report machinery as the
+            // pre-lowering stage: trace events, then abort on errors
+            // (proven smem overflow), then ride along as diagnostics.
+            let report = multidim_analyze::Report {
+                program: program.name.clone(),
+                diagnostics: summary.diagnostics(),
+                arrays: Vec::new(),
+            };
+            report.emit_trace();
+            if report.has_errors() {
+                let lines: Vec<String> = report.errors().map(|d| d.render_line()).collect();
+                return Err(CompileError(format!(
+                    "locality analysis rejected `{}`:\n  {}",
+                    report.program,
+                    lines.join("\n  ")
+                )));
+            }
+            diagnostics.diagnostics.extend(report.diagnostics);
+            Some(summary)
+        } else {
+            None
+        };
         Ok(Executable {
             program,
             mapping,
             analysis,
             diagnostics,
+            locality,
             kernels,
             fused_patterns,
             gpu: self.gpu.clone(),
@@ -469,6 +568,10 @@ pub struct Executable {
     /// Static-analysis diagnostics (empty when checks were disabled);
     /// error-severity findings never reach here — they abort compilation.
     pub diagnostics: multidim_analyze::Report,
+    /// Locality proofs for the selected mapping (coalescing classes,
+    /// bank-conflict degrees, shared-memory footprint, reuse, and the
+    /// transaction/seconds lower bounds). `None` when checks were disabled.
+    pub locality: Option<LocalitySummary>,
     /// The generated kernels and buffer plan.
     pub kernels: KernelProgram,
     /// Number of map→reduce fusions applied before analysis.

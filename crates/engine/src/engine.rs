@@ -983,6 +983,17 @@ fn serve(
         if let Some(analysis) = &exe.analysis {
             multidim_mapping::observe_analysis(&shared.registry, analysis);
         }
+        // Expose lint pressure: one labelled counter per diagnostic code
+        // (MD001..MD015) emitted for freshly compiled programs, so load
+        // runs surface how many served programs carry static findings.
+        let family = shared.registry.counter_family(
+            "analyze_diagnostics_total",
+            "static-analysis diagnostics emitted at compile time, by MD code",
+            "code",
+        );
+        for d in &exe.diagnostics.diagnostics {
+            family.with(&d.code.to_string()).inc();
+        }
     }
     // Deadline check #2: compiling may have eaten the budget.
     if let Some(d) = deadline {

@@ -199,6 +199,25 @@ struct Collector<'p> {
     out: Vec<Access>,
 }
 
+/// The [`PatternKind::Filter`] instances in `program`'s nest.
+///
+/// A filter's value body (and everything nested under it) only executes
+/// for predicate-passing indices, but [`collect_accesses`] does not raise
+/// `branch_depth` for it — the predicate itself is what's conditional, not
+/// an `if` in the body. Analyses that need a *guaranteed* execution count
+/// (e.g. the locality transaction lower bound) must therefore treat every
+/// access whose [`Access::chain`] contains one of these patterns as
+/// conditionally executed.
+pub fn filter_patterns(program: &Program) -> std::collections::BTreeSet<PatternId> {
+    let mut out = std::collections::BTreeSet::new();
+    program.root.visit_patterns(&mut |p, _| {
+        if matches!(p.kind, PatternKind::Filter { .. }) {
+            out.insert(p.id);
+        }
+    });
+    out
+}
+
 /// Collect every memory access in the program's root nest, including the
 /// implicit output stores of collection-producing patterns.
 pub fn collect_accesses(program: &Program) -> Vec<Access> {
@@ -323,7 +342,12 @@ impl<'p> Collector<'p> {
             .map(|l| l.size.clone())
             .collect();
         let addr = linearize(&idxs, &shape);
-        self.push_access(self.program.output, 8, true, addr, false);
+        let bytes = self
+            .program
+            .output
+            .map(|id| self.program.array(id).elem.bytes())
+            .unwrap_or(8);
+        self.push_access(self.program.output, bytes, true, addr, false);
     }
 
     /// The suffix-maximal chain of map links ending at the current pattern

@@ -53,7 +53,9 @@ mod program;
 mod size;
 mod types;
 
-pub use access::{collect_accesses, Access, ChainLink, LevelInfo, LevelPattern, NestInfo};
+pub use access::{
+    collect_accesses, filter_patterns, Access, ChainLink, LevelInfo, LevelPattern, NestInfo,
+};
 pub use affine::{affine_of, linearize, AffineForm};
 pub use builder::{produced_shape, ProgramBuilder};
 pub use expr::{BinOp, Expr, ReadSrc, UnOp, VarId};

@@ -59,6 +59,10 @@ pub struct TuneResult {
     pub measured: Vec<Measured>,
     /// Candidates skipped by the cost function (not executable).
     pub skipped: usize,
+    /// Candidates discarded *without measurement* because a sound static
+    /// lower bound already exceeded the best measured cost (only
+    /// [`tune_pruned`] sets this; plain [`tune`]/[`select`] report 0).
+    pub pruned: usize,
 }
 
 /// The prepared measurement list for one tuning run: hard-valid candidates
@@ -131,6 +135,7 @@ pub fn select(plan: &TunePlan, costs: &[Option<f64>]) -> Option<TuneResult> {
         best_cost: best.cost,
         measured,
         skipped,
+        pruned: 0,
     })
 }
 
@@ -164,6 +169,63 @@ pub fn tune(
         costs.push(cost);
     }
     select(&plan, &costs)
+}
+
+/// Like the serial measurement loop inside [`tune`], but with a **sound
+/// lower-bound pruning hook**: before measuring a candidate, `bound` may
+/// return a proven lower bound on its cost (e.g. the locality analysis's
+/// roofline memory floor). A candidate whose bound *strictly exceeds* the
+/// best measured cost so far is discarded without measurement.
+///
+/// # Selection is bit-identical to the unpruned loop
+///
+/// The best cost only decreases over the run, so a pruned candidate's true
+/// cost satisfies `cost ≥ bound > best_so_far ≥ best_final` — it can never
+/// win or even tie the final selection ([`select`] breaks cost ties on
+/// candidate index, and the inequality is strict). Pruned candidates *do*
+/// count against `max_measurements`, mirroring the successful measurement
+/// the unpruned loop would have made; the two loops can only diverge under
+/// a finite cap when a pruned candidate would in fact have *failed* to
+/// measure (the default cap is unbounded).
+///
+/// Returns `None` when no candidate was measured.
+pub fn tune_pruned(
+    plan: &TunePlan,
+    max_measurements: usize,
+    mut bound: impl FnMut(&ScoredMapping) -> Option<f64>,
+    mut measure: impl FnMut(&ScoredMapping) -> Option<f64>,
+) -> Option<TuneResult> {
+    let mut costs: Vec<Option<f64>> = Vec::new();
+    let mut successes = 0usize;
+    let mut pruned = 0usize;
+    let mut best_so_far = f64::INFINITY;
+    for cand in &plan.candidates {
+        if successes >= max_measurements {
+            break;
+        }
+        if let Some(lb) = bound(cand) {
+            if lb > best_so_far {
+                pruned += 1;
+                successes += 1;
+                costs.push(None);
+                continue;
+            }
+        }
+        let cost = measure(cand);
+        if let Some(c) = cost {
+            successes += 1;
+            if c < best_so_far {
+                best_so_far = c;
+            }
+        }
+        costs.push(cost);
+    }
+    let mut result = select(plan, &costs)?;
+    // `select` counted pruned candidates as skipped (they have no cost);
+    // reclassify them.
+    result.skipped -= pruned;
+    result.pruned = pruned;
+    Some(result)
 }
 
 #[cfg(test)]

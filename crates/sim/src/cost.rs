@@ -165,6 +165,30 @@ pub fn kernel_time(gpu: &GpuSpec, shape: &LaunchShape, cost: &KernelCost) -> Ker
     }
 }
 
+/// A sound lower bound (seconds) on the time any kernel set moving
+/// `transactions` DRAM transactions can take on `gpu`, derived from the
+/// same roofline terms as [`kernel_time`]:
+///
+/// * the bandwidth pipe is linear in bytes, so summing over kernels can
+///   only grow it: `Σ_k bw_k ≥ bw(Σ_k tx_k)`;
+/// * the latency pipe's concurrency denominator is capped by
+///   `sm_count × mshr_per_sm` (`per_sm ≤ mshr_per_sm`, `active_sms ≤
+///   sm_count`), so each kernel's latency term is at least
+///   `tx_k × mem_latency / (sm_count × mshr)`;
+/// * `total = max(issue, bw, lat) + … ≥ max(bw, lat)` per kernel, and
+///   `Σ max(a_k, b_k) ≥ max(Σ a_k, Σ b_k)`.
+///
+/// The static locality analysis uses this to prune mapping candidates:
+/// keeping the formula next to [`kernel_time`] means a timing-model change
+/// cannot silently invalidate the bound.
+pub fn memory_floor_seconds(gpu: &GpuSpec, transactions: u64) -> f64 {
+    let bytes = (transactions as f64) * (gpu.transaction_bytes as f64);
+    let bw = bytes / gpu.dram_bandwidth;
+    let concurrency = (gpu.sm_count as f64 * gpu.mshr_per_sm).max(1.0);
+    let lat = gpu.cycles_to_seconds(transactions as f64 * gpu.mem_latency_cycles / concurrency);
+    bw.max(lat)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,7 +49,7 @@ mod memory;
 pub mod metrics;
 mod report;
 
-pub use cost::{kernel_time, occupancy, KernelCost, KernelTime, LaunchShape};
+pub use cost::{kernel_time, memory_floor_seconds, occupancy, KernelCost, KernelTime, LaunchShape};
 pub use cpu::{estimate_cpu, random_access_fraction, run_cpu, CpuEstimate};
 pub use exec::{
     run_program, run_program_sanitized, DeviceBuffer, SanitizerReport, SimError, SimResult,

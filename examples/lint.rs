@@ -2,24 +2,35 @@
 //! diagnostics table.
 //!
 //! ```text
-//! cargo run --release --example lint [--json]
+//! cargo run --release --example lint [--format json]
 //! ```
 //!
 //! For each workload: the `MD0xx` findings (severity, pattern, array,
-//! message) followed by the per-array race-free / in-bounds verdict table.
-//! Exits non-zero if any workload produces an `Error`-severity diagnostic —
-//! shipped workloads must all come back clean, which is what the CI step
-//! asserts.
+//! message) from all three analysis stages — program analysis, mapping
+//! lint, and locality analysis — followed by the per-array race-free /
+//! in-bounds verdict table. Diagnostics are deduplicated by (code,
+//! pattern, array) and sorted, so output is byte-stable across runs.
+//!
+//! Exit codes: `0` all workloads clean, `1` at least one warning (but no
+//! errors), `2` at least one error-severity diagnostic or compile
+//! failure. CI runs `--format json` over the catalog and fails on `2`.
 
 use multidim::prelude::*;
-use multidim::{AnalysisReport, Severity};
+use multidim::{locality_of, AnalysisReport, LocalityFacts, Severity};
+use multidim_codegen::CodegenOptions;
 use multidim_trace::json::Json;
 use multidim_workloads::catalog::catalog;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json")
+        || args
+            .windows(2)
+            .any(|w| w[0] == "--format" && w[1] == "json");
+
     let mut reports: Vec<AnalysisReport> = Vec::new();
-    let mut failures = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
 
     for e in catalog() {
         // Compile with checks off so an Error-severity finding is reported
@@ -34,14 +45,39 @@ fn main() {
                 report
                     .diagnostics
                     .extend(multidim::lint_mapping(&e.program, &exe.mapping));
-                if report.has_errors() {
-                    failures += 1;
-                }
+                // The locality stage is skipped when checks are off, so run
+                // it here against the compiled mapping and kernels.
+                let facts = LocalityFacts::of(&e.program, &e.bindings);
+                let summary = locality_of(
+                    &facts,
+                    &exe.mapping,
+                    &exe.kernels,
+                    &e.bindings,
+                    exe.device(),
+                    CodegenOptions::default().smem_prefetch,
+                );
+                report.diagnostics.extend(summary.diagnostics());
+                // Deterministic output: sort by (code, pattern, array,
+                // message), then drop repeats of the same finding at the
+                // same location.
+                report.diagnostics.sort_by(|a, b| {
+                    (a.code.0, a.pattern, &a.array, &a.message)
+                        .cmp(&(b.code.0, b.pattern, &b.array, &b.message))
+                });
+                report.diagnostics.dedup_by(|a, b| {
+                    a.code == b.code && a.pattern == b.pattern && a.array == b.array
+                });
+                errors += report.errors().count();
+                warnings += report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warn)
+                    .count();
                 reports.push(report);
             }
             Err(err) => {
                 eprintln!("{}: failed to compile: {err}", e.name());
-                failures += 1;
+                errors += 1;
             }
         }
     }
@@ -55,23 +91,20 @@ fn main() {
             println!();
         }
         let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
-        let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
-        let warns: usize = reports
-            .iter()
-            .flat_map(|r| &r.diagnostics)
-            .filter(|d| d.severity == Severity::Warn)
-            .count();
         println!(
             "{} workload(s): {} error(s), {} warning(s), {} info",
             reports.len(),
             errors,
-            warns,
-            total - errors - warns
+            warnings,
+            total - errors - warnings
         );
     }
 
-    if failures > 0 {
-        eprintln!("{failures} workload(s) with error-severity diagnostics");
+    if errors > 0 {
+        eprintln!("{errors} error-severity diagnostic(s)");
+        std::process::exit(2);
+    }
+    if warnings > 0 {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,63 @@
+//! Autotune every built-in workload with locality-proof pruning and print
+//! how many candidates were discarded without simulation.
+//!
+//! ```text
+//! cargo run --release --example prune
+//! ```
+//!
+//! For each workload: the candidate count, how many were measured, how
+//! many were pruned by the proven transaction / launch-overhead lower
+//! bound, and the winning cost. The final line totals the sweep; CI runs
+//! this as a smoke check that the pruning hook stays live (a change that
+//! silently stops pruning would show up as `pruned 0`).
+
+use multidim::prelude::*;
+use multidim_mapping::TuneOptions;
+use multidim_workloads::catalog::catalog;
+use std::collections::HashMap;
+
+fn main() {
+    let compiler = Compiler::new().checks(false);
+    let mut total_candidates = 0usize;
+    let mut total_measured = 0usize;
+    let mut total_pruned = 0usize;
+    let mut workloads_with_pruning = 0usize;
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>12}",
+        "workload", "candidates", "measured", "pruned", "best (s)"
+    );
+    for e in catalog() {
+        let inputs: HashMap<_, _> = e.inputs.clone();
+        match compiler.autotune(&e.program, &e.bindings, &inputs, &TuneOptions::default()) {
+            Ok((_, result)) => {
+                let candidates = result.measured.len() + result.skipped + result.pruned;
+                println!(
+                    "{:<24} {:>10} {:>10} {:>8} {:>12.3e}",
+                    e.name(),
+                    candidates,
+                    result.measured.len(),
+                    result.pruned,
+                    result.best_cost
+                );
+                total_candidates += candidates;
+                total_measured += result.measured.len();
+                total_pruned += result.pruned;
+                if result.pruned > 0 {
+                    workloads_with_pruning += 1;
+                }
+            }
+            Err(err) => {
+                println!("{:<24} autotune failed: {err}", e.name());
+            }
+        }
+    }
+    println!(
+        "total: {total_candidates} candidates, {total_measured} measured, \
+         {total_pruned} pruned ({workloads_with_pruning} workload(s) with pruning)"
+    );
+    if total_pruned == 0 {
+        eprintln!("pruning hook appears dead: no candidate was ever pruned");
+        std::process::exit(1);
+    }
+}

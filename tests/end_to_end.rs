@@ -242,7 +242,9 @@ fn autotuner_finds_a_mapping_at_least_as_fast() {
         "tuned {} vs static {static_time}",
         result.best_cost
     );
-    assert!(result.measured.len() > 50);
+    // Locality pruning may skip candidates without simulating them, but
+    // every candidate is still *evaluated* (measured or proven worse).
+    assert!(result.measured.len() + result.pruned > 50);
     // The tuned executable really uses the winning mapping.
     assert_eq!(tuned_exe.mapping, result.best);
     let rerun = tuned_exe.run(&inputs).unwrap().gpu_seconds;
@@ -263,7 +265,8 @@ fn score_pruned_autotune_is_cheaper_and_close() {
     bind.bind(h, 32);
     bind.bind(w, 256);
     let inputs = HashMap::new();
-    let compiler = Compiler::new();
+    // Disable locality pruning so the comparison isolates the score floor.
+    let compiler = Compiler::new().prune(false);
     let (_, full) = compiler
         .autotune(&p, &bind, &inputs, &TuneOptions::default())
         .unwrap();
