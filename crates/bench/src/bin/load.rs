@@ -1,15 +1,18 @@
 //! `load` — zipf load generator over the 25-workload catalog.
 //!
-//! Drives `Engine::submit` from N concurrent clients with a seeded,
+//! Drives `Engine::submit` (or, with `--shards N`, the sharded
+//! `FrontDoor`) from N concurrent clients with a seeded,
 //! zipf-distributed request schedule, and prints the load dashboard
 //! (availability, shed rate, deadline-miss rate, SLO burn rates,
-//! overload sparklines, per-workload tail latency). With `--report PATH`
-//! it also writes the JSON report the `check_regression` gate compares
-//! against `BENCH_load_baseline.json`.
+//! overload sparklines, per-workload and per-tenant tail latency). With
+//! `--report PATH` it also writes the JSON report the `check_regression`
+//! gate compares against `BENCH_load_baseline.json`.
 //!
 //! ```text
 //! cargo run --release -p multidim-bench --bin load -- \
 //!     --clients 8 --skew 1.0 --seed 42 --duration 5s --report load.report.json
+//! cargo run --release -p multidim-bench --bin load -- \
+//!     --shards 4 --tenants 8 --duration 5s --report fleet.report.json
 //! ```
 //!
 //! Modes (`--mode`):
@@ -20,17 +23,26 @@
 //! * `closed` — each client waits for its response; `--requests N` bounds
 //!   per-client count, else `--duration` bounds wall clock.
 //! * `open` — fixed aggregate `--target-rps`, nobody waits.
+//!
+//! Sharding (`--shards N`, N > 1): requests route through the front
+//! door's rendezvous router onto N engine shards (each with
+//! `workers / N` workers, so total parallelism matches the single-engine
+//! run). `--tenants M` spreads the clients over M tenants
+//! deterministically from the seed; quotas default to unlimited so the
+//! gate metrics stay comparable.
 
 use multidim::Compiler;
-use multidim_bench::loadgen::{run_load, LoadConfig, LoadMode};
+use multidim_bench::loadgen::{run_load, run_load_fleet, LoadConfig, LoadMode};
 use multidim_engine::{Engine, EngineConfig};
 use multidim_obs::Slo;
+use multidim_serve::{FrontDoor, FrontDoorConfig, QuotaPolicy};
 use multidim_workloads::catalog::catalog;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: load [--clients N] [--skew S] [--seed N] [--mode closed|open|overdrive]
+        "usage: load [--clients N] [--shards N] [--tenants M] [--skew S] [--seed N]
+            [--mode closed|open|overdrive]
             [--duration 5s] [--requests N] [--target-rps R] [--overdrive-factor F]
             [--workers N] [--queue N] [--deadline-ms N] [--window-ms N]
             [--availability-slo F] [--p99-slo-ms F] [--report PATH]"
@@ -53,6 +65,8 @@ fn parse_duration(s: &str) -> Option<Duration> {
 
 fn main() {
     let mut clients = 8usize;
+    let mut shards = 1usize;
+    let mut tenants = 1usize;
     let mut skew = 1.0f64;
     let mut seed = 42u64;
     let mut mode = "overdrive".to_string();
@@ -78,6 +92,8 @@ fn main() {
         };
         match flag {
             "--clients" => clients = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = value().parse().unwrap_or_else(|_| usage()),
+            "--tenants" => tenants = value().parse().unwrap_or_else(|_| usage()),
             "--skew" => skew = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--mode" => mode = value(),
@@ -126,11 +142,11 @@ fn main() {
     if let Some(w) = workers {
         config.workers = w;
     }
-    let engine = Engine::new(Compiler::new(), config);
     let entries = catalog();
 
     let cfg = LoadConfig {
         clients,
+        tenants,
         skew,
         seed,
         mode,
@@ -138,7 +154,34 @@ fn main() {
         window: Duration::from_millis(window_ms),
         windows: 64,
     };
-    let rep = run_load(&engine, &entries, &cfg);
+    let rep = if shards > 1 {
+        // Split the worker budget across shards so total parallelism
+        // matches the single-engine run the baseline was recorded on.
+        // Per-shard queues get *half* an even split: unlike the single
+        // engine's shared queue, a backlog parked behind one busy shard
+        // cannot be drained by another shard's idle workers, so the
+        // fleet needs shallower buffers to hold the same tail-latency
+        // profile under overdrive (spill re-routes the overflow).
+        config.workers = (config.workers / shards).max(1);
+        config.queue_capacity = (config.queue_capacity / (2 * shards)).max(1);
+        let door = FrontDoor::new(
+            Compiler::new(),
+            FrontDoorConfig {
+                shards,
+                shard: config,
+                quota: QuotaPolicy::default(),
+                ..FrontDoorConfig::default()
+            },
+        );
+        let rep = run_load_fleet(&door, &entries, &cfg);
+        door.shutdown();
+        rep
+    } else {
+        let engine = Engine::new(Compiler::new(), config);
+        let rep = run_load(&engine, &entries, &cfg);
+        engine.shutdown();
+        rep
+    };
     println!("{}", rep.render_text());
 
     if let Some(path) = report {

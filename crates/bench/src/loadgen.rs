@@ -18,12 +18,17 @@
 //!   drivers, plus an **overdrive** mode that calibrates closed-loop
 //!   capacity first and then targets a multiple of it — machine-
 //!   independent overload;
+//! * a [`LoadTarget`] abstraction so the same clients drive either a
+//!   single [`Engine`] ([`run_load`]) or the sharded multi-tenant
+//!   [`FrontDoor`] ([`run_load_fleet`]), with clients assigned to
+//!   tenants deterministically from the seed;
 //! * a [`LoadReport`] carrying the gate metrics (`p99_under_load_us`,
-//!   `shed_rate`, `availability`), per-workload rows with hot/cold cache
-//!   split, the [`SloStatus`] dashboard, and overload time series.
+//!   `shed_rate`, `availability`), per-workload and per-tenant rows,
+//!   the [`SloStatus`] dashboard, and overload time series.
 
-use multidim_engine::{Engine, EngineError, Request, Ticket};
+use multidim_engine::{Engine, EngineError, Request, Response, Ticket};
 use multidim_obs::{HistogramSnapshot, Slo, SloStatus, SloTracker, TimeSeries};
+use multidim_serve::{FrontDoor, ServeError};
 use multidim_trace::json::Json;
 use multidim_workloads::catalog::CatalogEntry;
 use multidim_workloads::data::Rng;
@@ -118,6 +123,172 @@ pub fn schedule_digest(n: usize, skew: f64, seed: u64, clients: usize) -> u64 {
     h
 }
 
+/// Deterministic client → tenant assignment: a pure function of the
+/// master seed, so the tenant mix is reproducible across runs and
+/// machines (and reshuffles when the seed changes, unlike a plain
+/// `client % tenants`).
+pub fn tenant_of(seed: u64, client: usize, tenants: usize) -> usize {
+    if tenants <= 1 {
+        return 0;
+    }
+    (Rng::new(seed ^ 0x7e4a_4a7e ^ (client as u64).wrapping_mul(0xd134_2543_de82_ef95)).next_u64()
+        % tenants as u64) as usize
+}
+
+/// The tenant label used for index `i` in reports and submissions.
+pub fn tenant_name(i: usize) -> String {
+    format!("tenant-{i}")
+}
+
+/// What the load generator drives: a single engine or the sharded
+/// front door. The clients, pacing, and report are identical either
+/// way — only submission and telemetry sampling dispatch.
+#[derive(Clone, Copy)]
+pub enum LoadTarget<'a> {
+    /// One in-process engine; tenant labels are ignored.
+    Engine(&'a Engine),
+    /// The sharded serving tier; submissions carry tenant labels and
+    /// pass through admission control.
+    Fleet(&'a FrontDoor),
+}
+
+impl<'a> LoadTarget<'a> {
+    fn submit(&self, tenant: &str, request: Request) -> Result<AnyTicket, Outcome> {
+        match self {
+            LoadTarget::Engine(engine) => match engine.submit(request) {
+                Ok(t) => Ok(AnyTicket::Engine(t)),
+                Err(e) => Err(Outcome::from_engine_error(&e)),
+            },
+            LoadTarget::Fleet(door) => match door.submit(tenant, request) {
+                Ok(t) => Ok(AnyTicket::Fleet(t)),
+                Err(e) => Err(Outcome::from_serve_error(&e)),
+            },
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        match self {
+            LoadTarget::Engine(engine) => engine.queue_depth(),
+            LoadTarget::Fleet(door) => door.queue_depth(),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            LoadTarget::Engine(engine) => engine.in_flight(),
+            LoadTarget::Fleet(door) => door.in_flight(),
+        }
+    }
+
+    fn rotate_target_slo(&self) {
+        if let LoadTarget::Fleet(door) = self {
+            door.rotate_slo();
+        }
+    }
+}
+
+/// A completion handle from either target.
+enum AnyTicket {
+    Engine(Ticket),
+    Fleet(multidim_serve::Ticket),
+}
+
+impl AnyTicket {
+    /// Condvar-backed park: block up to `timeout` for the result to be
+    /// ready without consuming it (the open-loop sweep primitive — no
+    /// busy-polling).
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        match self {
+            AnyTicket::Engine(t) => t.wait_ready(timeout),
+            AnyTicket::Fleet(t) => t.wait_ready(timeout),
+        }
+    }
+
+    /// Non-blocking check; yields the outcome exactly once.
+    fn poll(&self) -> Option<Outcome> {
+        match self {
+            AnyTicket::Engine(t) => t.poll().map(|o| Outcome::from_engine(&o)),
+            AnyTicket::Fleet(t) => t.poll().map(|o| Outcome::from_serve(&o)),
+        }
+    }
+
+    /// Block until the outcome arrives.
+    fn wait(self) -> Outcome {
+        match self {
+            AnyTicket::Engine(t) => Outcome::from_engine(&t.wait()),
+            AnyTicket::Fleet(t) => Outcome::from_serve(&t.wait()),
+        }
+    }
+}
+
+/// Unified classification of one request's fate, target-independent.
+enum Outcome {
+    /// Served; carries end-to-end latency (seconds) and the cache view.
+    Completed { latency: f64, cache_hit: bool },
+    /// Rejected by backpressure or shed at admission (deadline
+    /// unmeetable, every shard overloaded).
+    Shed,
+    /// Deadline expired inside a shard.
+    Expired,
+    /// Rejected by tenant quota — only the fleet target produces this.
+    QuotaRejected,
+    /// Compile/run/panic/timeout failure. `shutting_down` marks the
+    /// engine refusing new work: the client should stop, not retry.
+    Failed { shutting_down: bool },
+}
+
+impl Outcome {
+    fn from_engine(outcome: &Result<Response, EngineError>) -> Outcome {
+        match outcome {
+            Ok(resp) => Outcome::Completed {
+                latency: (resp.queue_wait + resp.service_time).as_secs_f64(),
+                cache_hit: resp.cache_hit,
+            },
+            Err(e) => Outcome::from_engine_error(e),
+        }
+    }
+
+    fn from_engine_error(e: &EngineError) -> Outcome {
+        match e {
+            EngineError::Rejected { .. } => Outcome::Shed,
+            EngineError::DeadlineExceeded { .. } => Outcome::Expired,
+            EngineError::ShuttingDown => Outcome::Failed {
+                shutting_down: true,
+            },
+            _ => Outcome::Failed {
+                shutting_down: false,
+            },
+        }
+    }
+
+    fn from_serve(outcome: &Result<multidim_serve::ServeResponse, ServeError>) -> Outcome {
+        match outcome {
+            Ok(served) => Outcome::Completed {
+                latency: (served.response.queue_wait + served.response.service_time).as_secs_f64(),
+                cache_hit: served.response.cache_hit,
+            },
+            Err(e) => Outcome::from_serve_error(e),
+        }
+    }
+
+    fn from_serve_error(e: &ServeError) -> Outcome {
+        match e {
+            ServeError::QuotaExceeded { .. } => Outcome::QuotaRejected,
+            ServeError::Overloaded { .. } | ServeError::DeadlineUnmeetable { .. } => Outcome::Shed,
+            ServeError::Engine(e) => Outcome::from_engine_error(e),
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Failed {
+                shutting_down: true
+            }
+        )
+    }
+}
+
 /// How the clients pace themselves.
 #[derive(Debug, Clone)]
 pub enum LoadMode {
@@ -159,6 +330,9 @@ pub enum LoadMode {
 pub struct LoadConfig {
     /// Concurrent clients.
     pub clients: usize,
+    /// Tenants the clients are spread over (deterministically from the
+    /// seed; see [`tenant_of`]). `1` means everything is one tenant.
+    pub tenants: usize,
     /// Zipf skew over the workload catalog.
     pub skew: f64,
     /// Master seed; every client derives its own stream from it.
@@ -177,6 +351,7 @@ impl Default for LoadConfig {
     fn default() -> LoadConfig {
         LoadConfig {
             clients: 8,
+            tenants: 1,
             skew: 1.0,
             seed: 42,
             mode: LoadMode::Overdrive {
@@ -217,6 +392,27 @@ pub struct WorkloadRow {
     pub p99_us: f64,
 }
 
+/// One tenant's outcome counters (client-side view).
+#[derive(Debug, Clone, Default)]
+pub struct TenantRow {
+    /// Tenant label ([`tenant_name`]).
+    pub name: String,
+    /// Requests this tenant's clients attempted.
+    pub requests: u64,
+    /// Served successfully.
+    pub completed: u64,
+    /// Rejected by backpressure or shed at admission.
+    pub shed: u64,
+    /// Rejected by quota.
+    pub quota_rejected: u64,
+    /// Deadline expiries.
+    pub expired: u64,
+    /// Other failures.
+    pub failed: u64,
+    /// p99 latency of completions, in microseconds (NaN when none).
+    pub p99_us: f64,
+}
+
 /// One overload telemetry series, exported with summary stats.
 pub struct SeriesReport {
     /// Series name (`queue_depth`, `in_flight`, `shed_per_sec`, …).
@@ -231,6 +427,10 @@ pub struct SeriesReport {
 pub struct LoadReport {
     /// Clients that ran.
     pub clients: usize,
+    /// Tenants the clients were spread over.
+    pub tenants: usize,
+    /// Shards behind the target (`None` for a single engine).
+    pub shards: Option<usize>,
     /// Zipf skew used.
     pub skew: f64,
     /// Master seed used.
@@ -249,8 +449,10 @@ pub struct LoadReport {
     pub attempted: u64,
     /// Requests served successfully.
     pub completed: u64,
-    /// Requests rejected by backpressure.
+    /// Requests rejected by backpressure or shed at admission.
     pub shed: u64,
+    /// Requests rejected by tenant quota.
+    pub quota_rejected: u64,
     /// Requests whose deadline expired.
     pub expired: u64,
     /// Requests that failed otherwise.
@@ -259,6 +461,8 @@ pub struct LoadReport {
     pub latency: HistogramSnapshot,
     /// Per-workload rows, catalog order.
     pub per_workload: Vec<WorkloadRow>,
+    /// Per-tenant rows, tenant order.
+    pub per_tenant: Vec<TenantRow>,
     /// Workload names classified hot (smallest set covering ≥ half the
     /// attempted requests) — the cache's resident set under skew.
     pub hot_workloads: Vec<String>,
@@ -288,6 +492,15 @@ impl LoadReport {
             0.0
         } else {
             self.shed as f64 / self.attempted as f64
+        }
+    }
+
+    /// Quota-rejected fraction of attempted requests.
+    pub fn quota_rejected_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.quota_rejected as f64 / self.attempted as f64
         }
     }
 
@@ -344,8 +557,41 @@ impl LoadReport {
                 ])
             })
             .collect();
+        let tenant_rows = self
+            .per_tenant
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("tenant".to_string(), Json::Str(t.name.clone())),
+                    ("requests".to_string(), Json::Num(t.requests as f64)),
+                    ("completed".to_string(), Json::Num(t.completed as f64)),
+                    ("shed".to_string(), Json::Num(t.shed as f64)),
+                    (
+                        "quota_rejected".to_string(),
+                        Json::Num(t.quota_rejected as f64),
+                    ),
+                    ("expired".to_string(), Json::Num(t.expired as f64)),
+                    ("failed".to_string(), Json::Num(t.failed as f64)),
+                    (
+                        "p99_us".to_string(),
+                        if t.p99_us.is_finite() {
+                            num(t.p99_us)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("clients".to_string(), Json::Num(self.clients as f64)),
+            ("tenants".to_string(), Json::Num(self.tenants as f64)),
+            (
+                "shards".to_string(),
+                self.shards
+                    .map(|s| Json::Num(s as f64))
+                    .unwrap_or(Json::Null),
+            ),
             ("skew".to_string(), num(self.skew)),
             ("seed".to_string(), Json::Num(self.seed as f64)),
             ("mode".to_string(), Json::Str(self.mode.clone())),
@@ -360,10 +606,18 @@ impl LoadReport {
             ("samples".to_string(), Json::Num(self.completed as f64)),
             ("completed".to_string(), Json::Num(self.completed as f64)),
             ("shed".to_string(), Json::Num(self.shed as f64)),
+            (
+                "quota_rejected".to_string(),
+                Json::Num(self.quota_rejected as f64),
+            ),
             ("expired".to_string(), Json::Num(self.expired as f64)),
             ("failed".to_string(), Json::Num(self.failed as f64)),
             ("availability".to_string(), num(self.availability())),
             ("shed_rate".to_string(), num(self.shed_rate())),
+            (
+                "quota_rejected_rate".to_string(),
+                num(self.quota_rejected_rate()),
+            ),
             (
                 "deadline_miss_rate".to_string(),
                 num(self.deadline_miss_rate()),
@@ -389,6 +643,7 @@ impl LoadReport {
                 ),
             ),
             ("per_workload".to_string(), Json::Arr(rows)),
+            ("per_tenant".to_string(), Json::Arr(tenant_rows)),
             ("slo".to_string(), self.slo.to_json()),
             (
                 "series".to_string(),
@@ -405,8 +660,14 @@ impl LoadReport {
         let _ = writeln!(out, "=== load report ===");
         let _ = writeln!(
             out,
-            "  {} clients, zipf skew {}, seed {}, mode {}{}",
+            "  {} clients over {} tenant{}{}, zipf skew {}, seed {}, mode {}{}",
             self.clients,
+            self.tenants,
+            if self.tenants == 1 { "" } else { "s" },
+            match self.shards {
+                Some(n) => format!(", {n} shards"),
+                None => ", single engine".to_string(),
+            },
             self.skew,
             self.seed,
             self.mode,
@@ -423,14 +684,21 @@ impl LoadReport {
         );
         let _ = writeln!(
             out,
-            "  attempted {}  completed {}  shed {}  expired {}  failed {}  in {:.2} s",
-            self.attempted, self.completed, self.shed, self.expired, self.failed, self.elapsed
+            "  attempted {}  completed {}  shed {}  quota-rejected {}  expired {}  failed {}  in {:.2} s",
+            self.attempted,
+            self.completed,
+            self.shed,
+            self.quota_rejected,
+            self.expired,
+            self.failed,
+            self.elapsed
         );
         let _ = writeln!(
             out,
-            "  availability {:.3}%  shed rate {:.3}%  deadline-miss rate {:.3}%  throughput {:.0} rps",
+            "  availability {:.3}%  shed rate {:.3}%  quota-rejected rate {:.3}%  deadline-miss rate {:.3}%  throughput {:.0} rps",
             self.availability() * 100.0,
             self.shed_rate() * 100.0,
+            self.quota_rejected_rate() * 100.0,
             self.deadline_miss_rate() * 100.0,
             self.throughput_rps()
         );
@@ -468,6 +736,21 @@ impl LoadReport {
                     st.min,
                     st.max,
                     st.last
+                );
+            }
+        }
+        if self.per_tenant.len() > 1 {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "  {:<14}{:>10}{:>11}{:>8}{:>15}{:>9}{:>12}",
+                "tenant", "requests", "completed", "shed", "quota-rejected", "expired", "p99 (µs)"
+            );
+            for t in &self.per_tenant {
+                let _ = writeln!(
+                    out,
+                    "  {:<14}{:>10}{:>11}{:>8}{:>15}{:>9}{:>12.1}",
+                    t.name, t.requests, t.completed, t.shed, t.quota_rejected, t.expired, t.p99_us
                 );
             }
         }
@@ -509,63 +792,103 @@ struct WorkloadCounters {
     cache_misses: AtomicU64,
 }
 
+/// Per-tenant atomics shared by the client threads.
+#[derive(Default)]
+struct TenantCounters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    quota_rejected: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+}
+
 /// Shared run state: counters, the SLO tracker, and latency histograms.
 struct RunState {
     workloads: Vec<WorkloadCounters>,
+    tenants: Vec<TenantCounters>,
     latency: multidim_obs::Histogram,
     per_workload_latency: Vec<multidim_obs::Histogram>,
+    per_tenant_latency: Vec<multidim_obs::Histogram>,
     tracker: SloTracker,
     attempted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
+    quota_rejected: AtomicU64,
     expired: AtomicU64,
     failed: AtomicU64,
 }
 
 impl RunState {
-    fn new(n: usize, slo: Slo, windows: usize) -> RunState {
+    fn new(n: usize, tenants: usize, slo: Slo, windows: usize) -> RunState {
+        let tenants = tenants.max(1);
         RunState {
             workloads: (0..n).map(|_| WorkloadCounters::default()).collect(),
+            tenants: (0..tenants).map(|_| TenantCounters::default()).collect(),
             latency: multidim_obs::Histogram::new(),
             per_workload_latency: (0..n).map(|_| multidim_obs::Histogram::new()).collect(),
+            per_tenant_latency: (0..tenants)
+                .map(|_| multidim_obs::Histogram::new())
+                .collect(),
             tracker: SloTracker::new(slo, windows),
             attempted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             failed: AtomicU64::new(0),
         }
     }
 
-    fn record(&self, workload: usize, outcome: &Result<multidim_engine::Response, EngineError>) {
+    fn attempt(&self, workload: usize, tenant: usize) {
+        self.attempted.fetch_add(1, Ordering::Relaxed);
+        self.workloads[workload]
+            .attempted
+            .fetch_add(1, Ordering::Relaxed);
+        self.tenants[tenant]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record(&self, workload: usize, tenant: usize, outcome: &Outcome) {
         let w = &self.workloads[workload];
+        let t = &self.tenants[tenant];
         match outcome {
-            Ok(resp) => {
-                let latency = (resp.queue_wait + resp.service_time).as_secs_f64();
+            Outcome::Completed { latency, cache_hit } => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 w.completed.fetch_add(1, Ordering::Relaxed);
-                if resp.cache_hit {
+                t.completed.fetch_add(1, Ordering::Relaxed);
+                if *cache_hit {
                     w.cache_hits.fetch_add(1, Ordering::Relaxed);
                 } else {
                     w.cache_misses.fetch_add(1, Ordering::Relaxed);
                 }
-                self.latency.record(latency);
-                self.per_workload_latency[workload].record(latency);
-                self.tracker.record(latency, true);
+                self.latency.record(*latency);
+                self.per_workload_latency[workload].record(*latency);
+                self.per_tenant_latency[tenant].record(*latency);
+                self.tracker.record(*latency, true);
             }
-            Err(EngineError::Rejected { .. }) => {
+            Outcome::Shed => {
                 self.shed.fetch_add(1, Ordering::Relaxed);
                 w.shed.fetch_add(1, Ordering::Relaxed);
+                t.shed.fetch_add(1, Ordering::Relaxed);
                 self.tracker.record(0.0, false);
             }
-            Err(EngineError::DeadlineExceeded { .. }) => {
+            Outcome::QuotaRejected => {
+                self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                t.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                self.tracker.record(0.0, false);
+            }
+            Outcome::Expired => {
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 w.expired.fetch_add(1, Ordering::Relaxed);
+                t.expired.fetch_add(1, Ordering::Relaxed);
                 self.tracker.record(0.0, false);
             }
-            Err(_) => {
+            Outcome::Failed { .. } => {
                 self.failed.fetch_add(1, Ordering::Relaxed);
                 w.failed.fetch_add(1, Ordering::Relaxed);
+                t.failed.fetch_add(1, Ordering::Relaxed);
                 self.tracker.record(0.0, false);
             }
         }
@@ -582,13 +905,15 @@ fn request_for(entry: &CatalogEntry) -> Request {
 
 /// Closed-loop client body: walk the schedule, wait for each response.
 fn closed_client(
-    engine: &Engine,
+    target: LoadTarget<'_>,
     entries: &[CatalogEntry],
     state: &RunState,
     zipf: &ZipfSampler,
     mut rng: Rng,
+    tenant: usize,
     budget: ClientBudget,
 ) {
+    let label = tenant_name(tenant);
     let start = Instant::now();
     let mut issued = 0usize;
     loop {
@@ -599,63 +924,67 @@ fn closed_client(
         }
         let wl = zipf.sample(&mut rng);
         issued += 1;
-        state.attempted.fetch_add(1, Ordering::Relaxed);
-        state.workloads[wl]
-            .attempted
-            .fetch_add(1, Ordering::Relaxed);
-        match engine.submit(request_for(&entries[wl])) {
-            Ok(ticket) => state.record(wl, &ticket.wait()),
-            Err(EngineError::ShuttingDown) => break,
-            Err(e) => state.record(wl, &Err(e)),
+        state.attempt(wl, tenant);
+        match target.submit(&label, request_for(&entries[wl])) {
+            Ok(ticket) => state.record(wl, tenant, &ticket.wait()),
+            Err(outcome) if outcome.is_shutdown() => break,
+            Err(outcome) => state.record(wl, tenant, &outcome),
         }
     }
 }
 
 /// Open-loop client body: fire on a fixed cadence, sweep completions
 /// between sends, drain at the end.
+#[allow(clippy::too_many_arguments)]
 fn open_client(
-    engine: &Engine,
+    target: LoadTarget<'_>,
     entries: &[CatalogEntry],
     state: &RunState,
     zipf: &ZipfSampler,
     mut rng: Rng,
+    tenant: usize,
     interval: Duration,
     duration: Duration,
 ) {
+    let label = tenant_name(tenant);
     let start = Instant::now();
-    let mut pending: Vec<(usize, Ticket)> = Vec::new();
+    let mut pending: Vec<(usize, AnyTicket)> = Vec::new();
     let mut next = Duration::ZERO;
     while start.elapsed() < duration {
         // Sweep finished tickets so outcomes land near completion time
         // (burn-rate windows see them in the right rotation).
         pending.retain(|(wl, ticket)| match ticket.poll() {
             Some(outcome) => {
-                state.record(*wl, &outcome);
+                state.record(*wl, tenant, &outcome);
                 false
             }
             None => true,
         });
         let now = start.elapsed();
         if now < next {
-            // Sleep coarsely, then let the loop re-check; sub-ms pacing
-            // tolerates the wobble (average rate is what matters).
-            std::thread::sleep((next - now).min(Duration::from_millis(1)));
+            // Park on the oldest in-flight ticket's condvar until it is
+            // ready or the cadence comes due — no busy-polling. With
+            // nothing in flight, plain-sleep out the gap.
+            let gap = next - now;
+            match pending.first() {
+                Some((_, ticket)) => {
+                    ticket.wait_ready(gap);
+                }
+                None => std::thread::sleep(gap),
+            }
             continue;
         }
         next += interval;
         let wl = zipf.sample(&mut rng);
-        state.attempted.fetch_add(1, Ordering::Relaxed);
-        state.workloads[wl]
-            .attempted
-            .fetch_add(1, Ordering::Relaxed);
-        match engine.submit(request_for(&entries[wl])) {
+        state.attempt(wl, tenant);
+        match target.submit(&label, request_for(&entries[wl])) {
             Ok(ticket) => pending.push((wl, ticket)),
-            Err(EngineError::ShuttingDown) => break,
-            Err(e) => state.record(wl, &Err(e)),
+            Err(outcome) if outcome.is_shutdown() => break,
+            Err(outcome) => state.record(wl, tenant, &outcome),
         }
     }
     for (wl, ticket) in pending {
-        state.record(wl, &ticket.wait());
+        state.record(wl, tenant, &ticket.wait());
     }
 }
 
@@ -666,8 +995,8 @@ enum ClientBudget {
 
 /// Short closed-loop burst measuring sustainable completion rate, for
 /// [`LoadMode::Overdrive`].
-fn calibrate(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> f64 {
-    let state = RunState::new(entries.len(), cfg.slo.clone(), cfg.windows);
+fn calibrate(target: LoadTarget<'_>, entries: &[CatalogEntry], cfg: &LoadConfig) -> f64 {
+    let state = RunState::new(entries.len(), cfg.tenants, cfg.slo.clone(), cfg.windows);
     let burst = Duration::from_millis(750);
     let started = Instant::now();
     std::thread::scope(|s| {
@@ -678,13 +1007,15 @@ fn calibrate(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> f64
             // exact prefix the timed run will use (cache state aside,
             // keeps the two phases' schedules independent).
             let rng = client_rng(cfg.seed ^ 0xca11_b8a7_e000_0000, client);
+            let tenant = tenant_of(cfg.seed, client, cfg.tenants);
             s.spawn(move || {
                 closed_client(
-                    engine,
+                    target,
                     entries,
                     state,
                     &zipf,
                     rng,
+                    tenant,
                     ClientBudget::Time(burst),
                 );
             });
@@ -694,14 +1025,31 @@ fn calibrate(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> f64
     (state.completed.load(Ordering::Relaxed) as f64 / elapsed).max(1.0)
 }
 
-/// Run one load experiment against `engine` over `entries`.
+/// Run one load experiment against a single `engine` over `entries`.
 ///
 /// The engine should be primed or cold as the experiment intends — this
 /// function does not compile anything up front; cold-compile cost under
 /// skew is part of what it measures.
 pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> LoadReport {
+    run_load_target(LoadTarget::Engine(engine), None, entries, cfg)
+}
+
+/// Run one load experiment against the sharded serving tier. Identical
+/// clients, pacing, schedules, and report schema as [`run_load`] — the
+/// only differences are that submissions carry tenant labels through
+/// admission control and the report records the shard count.
+pub fn run_load_fleet(door: &FrontDoor, entries: &[CatalogEntry], cfg: &LoadConfig) -> LoadReport {
+    run_load_target(LoadTarget::Fleet(door), Some(door.shards()), entries, cfg)
+}
+
+fn run_load_target(
+    target: LoadTarget<'_>,
+    shards: Option<usize>,
+    entries: &[CatalogEntry],
+    cfg: &LoadConfig,
+) -> LoadReport {
     assert!(!entries.is_empty(), "load needs at least one workload");
-    let state = RunState::new(entries.len(), cfg.slo.clone(), cfg.windows);
+    let state = RunState::new(entries.len(), cfg.tenants, cfg.slo.clone(), cfg.windows);
     let zipf = ZipfSampler::new(entries.len(), cfg.skew);
 
     let (mode_label, target_rps, calibrated_rps, duration) = match &cfg.mode {
@@ -714,7 +1062,7 @@ pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> 
             duration,
         } => ("open".to_string(), Some(*target_rps), None, Some(*duration)),
         LoadMode::Overdrive { factor, duration } => {
-            let capacity = calibrate(engine, entries, cfg);
+            let capacity = calibrate(target, entries, cfg);
             (
                 "overdrive".to_string(),
                 Some(capacity * factor),
@@ -754,8 +1102,8 @@ pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> 
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(cfg.window);
                     let t = started.elapsed().as_secs_f64();
-                    queue_depth.push(t, engine.queue_depth() as f64);
-                    in_flight.push(t, engine.in_flight() as f64);
+                    queue_depth.push(t, target.queue_depth() as f64);
+                    in_flight.push(t, target.in_flight() as f64);
                     let now = (
                         state.shed.load(Ordering::Relaxed),
                         state.expired.load(Ordering::Relaxed),
@@ -766,6 +1114,7 @@ pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> 
                     done_per_sec.push(t, (now.2 - last.2) as f64 / window_secs);
                     last = now;
                     state.tracker.rotate();
+                    target.rotate_target_slo();
                 }
             })
         };
@@ -777,36 +1126,40 @@ pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> 
                 let state = &state;
                 let zipf = zipf.clone();
                 let rng = client_rng(cfg.seed, client);
+                let tenant = tenant_of(cfg.seed, client, cfg.tenants);
                 let mode = cfg.mode.clone();
                 cs.spawn(move || match mode {
                     LoadMode::ClosedCount {
                         requests_per_client,
                     } => closed_client(
-                        engine,
+                        target,
                         entries,
                         state,
                         &zipf,
                         rng,
+                        tenant,
                         ClientBudget::Count(requests_per_client),
                     ),
                     LoadMode::ClosedDuration { duration } => closed_client(
-                        engine,
+                        target,
                         entries,
                         state,
                         &zipf,
                         rng,
+                        tenant,
                         ClientBudget::Time(duration),
                     ),
                     LoadMode::Open { .. } | LoadMode::Overdrive { .. } => {
-                        let target = target_rps.expect("open modes have a target");
-                        let per_client = (target / cfg.clients as f64).max(1.0);
+                        let rate = target_rps.expect("open modes have a target");
+                        let per_client = (rate / cfg.clients as f64).max(1.0);
                         let interval = Duration::from_secs_f64(1.0 / per_client);
                         open_client(
-                            engine,
+                            target,
                             entries,
                             state,
                             &zipf,
                             rng,
+                            tenant,
                             interval,
                             duration.expect("open modes have a duration"),
                         );
@@ -823,6 +1176,7 @@ pub fn run_load(engine: &Engine, entries: &[CatalogEntry], cfg: &LoadConfig) -> 
         cfg,
         entries,
         state,
+        shards,
         mode_label,
         target_rps,
         calibrated_rps,
@@ -857,6 +1211,7 @@ fn finish_report(
     cfg: &LoadConfig,
     entries: &[CatalogEntry],
     state: RunState,
+    shards: Option<usize>,
     mode: String,
     target_rps: Option<f64>,
     calibrated_rps: Option<f64>,
@@ -916,8 +1271,29 @@ fn finish_report(
     let hot_hit_rate = hit_rate(&|i| hot.contains(&i));
     let cold_hit_rate = hit_rate(&|i| !hot.contains(&i));
 
+    let per_tenant: Vec<TenantRow> = state
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantRow {
+            name: tenant_name(i),
+            requests: t.requests.load(Ordering::Relaxed),
+            completed: t.completed.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            quota_rejected: t.quota_rejected.load(Ordering::Relaxed),
+            expired: t.expired.load(Ordering::Relaxed),
+            failed: t.failed.load(Ordering::Relaxed),
+            p99_us: state.per_tenant_latency[i]
+                .quantile(0.99)
+                .map(|v| v * 1e6)
+                .unwrap_or(f64::NAN),
+        })
+        .collect();
+
     LoadReport {
         clients: cfg.clients,
+        tenants: state.tenants.len(),
+        shards,
         skew: cfg.skew,
         seed: cfg.seed,
         mode,
@@ -928,6 +1304,7 @@ fn finish_report(
         attempted: state.attempted.load(Ordering::Relaxed),
         completed: state.completed.load(Ordering::Relaxed),
         shed: state.shed.load(Ordering::Relaxed),
+        quota_rejected: state.quota_rejected.load(Ordering::Relaxed),
         expired: state.expired.load(Ordering::Relaxed),
         failed: state.failed.load(Ordering::Relaxed),
         latency: state.latency.snapshot(),
@@ -935,6 +1312,7 @@ fn finish_report(
         hot_hit_rate,
         cold_hit_rate,
         per_workload,
+        per_tenant,
         slo: state.tracker.status(),
         series,
     }

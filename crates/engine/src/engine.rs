@@ -16,8 +16,8 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Post-mortem bundles retained by the engine (oldest dropped first).
@@ -117,24 +117,145 @@ pub struct Response {
     pub run_time: Duration,
 }
 
-/// Handle to an in-flight request.
+/// The completion slot shared by a [`Ticket`] and its worker-side
+/// [`TicketSender`]: a mutex-guarded state cell plus a condvar, so
+/// waiters *block* on resolution instead of busy-sweeping a channel.
+struct TicketSlot {
+    state: Mutex<SlotState>,
+    resolved: Condvar,
+}
+
+enum SlotState {
+    /// The request is queued or running.
+    Pending,
+    /// The result arrived and nobody consumed it yet.
+    Ready(Box<Result<Response, EngineError>>),
+    /// The result was consumed by `wait`/`poll`.
+    Taken,
+}
+
+impl TicketSlot {
+    fn new() -> TicketSlot {
+        TicketSlot {
+            state: Mutex::new(SlotState::Pending),
+            resolved: Condvar::new(),
+        }
+    }
+
+    /// Publish the result (first write wins) and wake every waiter.
+    fn fulfill(&self, result: Result<Response, EngineError>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Ready(Box::new(result));
+        }
+        drop(state);
+        self.resolved.notify_all();
+    }
+}
+
+/// Worker-side handle: fulfills the slot with the response, or — if the
+/// job is dropped unrun (pool shutdown, rejected submission) — with
+/// [`EngineError::Canceled`], so no waiter ever hangs.
+pub(crate) struct TicketSender {
+    slot: Arc<TicketSlot>,
+}
+
+impl TicketSender {
+    /// Deliver the result to the waiting ticket.
+    pub(crate) fn send(&self, result: Result<Response, EngineError>) {
+        self.slot.fulfill(result);
+    }
+}
+
+impl Drop for TicketSender {
+    fn drop(&mut self) {
+        // No-op if `send` already ran (fulfill is first-write-wins).
+        self.slot.fulfill(Err(EngineError::Canceled));
+    }
+}
+
+/// Handle to an in-flight request, backed by a condvar: `wait` parks the
+/// caller until the worker publishes the response — no polling loop, no
+/// channel allocation per wait.
 pub struct Ticket {
-    rx: Receiver<Result<Response, EngineError>>,
+    slot: Arc<TicketSlot>,
 }
 
 impl Ticket {
+    fn new() -> (Ticket, TicketSender) {
+        let slot = Arc::new(TicketSlot::new());
+        (Ticket { slot: slot.clone() }, TicketSender { slot })
+    }
+
     /// Block until the response arrives.
     pub fn wait(self) -> Result<Response, EngineError> {
-        self.rx.recv().unwrap_or(Err(EngineError::Canceled))
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(r) => return *r,
+                SlotState::Taken => return Err(EngineError::Canceled),
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    state = self
+                        .slot
+                        .resolved
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
     }
 
     /// Block up to `timeout`. On timeout the request keeps running but
     /// its result is discarded.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Response, EngineError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => Err(EngineError::WaitTimeout { waited: timeout }),
-            Err(RecvTimeoutError::Disconnected) => Err(EngineError::Canceled),
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(r) => return *r,
+                SlotState::Taken => return Err(EngineError::Canceled),
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(EngineError::WaitTimeout { waited: timeout });
+                    }
+                    let (guard, _) = self
+                        .slot
+                        .resolved
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                }
+            }
+        }
+    }
+
+    /// Park up to `timeout` waiting for the request to resolve, *without*
+    /// consuming the result: `true` once a later [`Ticket::poll`] would
+    /// return `Some`. This is the sweep primitive for open-loop clients
+    /// and the front door — wait on the condvar for the oldest in-flight
+    /// ticket instead of sleeping-and-re-polling.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match *state {
+                SlotState::Ready(_) | SlotState::Taken => return true,
+                SlotState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    let (guard, _) = self
+                        .slot
+                        .resolved
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                }
+            }
         }
     }
 
@@ -142,10 +263,14 @@ impl Ticket {
     /// load client sweeps its in-flight tickets between sends), `None`
     /// while it is still queued or running.
     pub fn poll(&self) -> Option<Result<Response, EngineError>> {
-        match self.rx.try_recv() {
-            Ok(r) => Some(r),
-            Err(std::sync::mpsc::TryRecvError::Empty) => None,
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::Canceled)),
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Ready(r) => Some(*r),
+            SlotState::Taken => Some(Err(EngineError::Canceled)),
+            SlotState::Pending => {
+                *state = SlotState::Pending;
+                None
+            }
         }
     }
 }
@@ -298,6 +423,31 @@ struct Shared {
     /// Requests currently being served by a worker (dequeued, not yet
     /// resolved) — the overload sampler's companion to queue depth.
     in_flight: AtomicU64,
+    /// Exponential moving average of per-request service time (seconds,
+    /// stored as f64 bits; 0-bits = no completions yet). Feeds the
+    /// `retry_after` hint on [`EngineError::Rejected`].
+    ema_service_bits: AtomicU64,
+}
+
+/// EMA weight of the newest service-time sample.
+const EMA_ALPHA: f64 = 0.1;
+
+impl Shared {
+    fn observe_service_time(&self, seconds: f64) {
+        let old = f64::from_bits(self.ema_service_bits.load(Ordering::Relaxed));
+        let next = if old > 0.0 {
+            (1.0 - EMA_ALPHA) * old + EMA_ALPHA * seconds
+        } else {
+            seconds
+        };
+        self.ema_service_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    fn ema_service_seconds(&self) -> Option<f64> {
+        let v = f64::from_bits(self.ema_service_bits.load(Ordering::Relaxed));
+        (v > 0.0).then_some(v)
+    }
 }
 
 /// The concurrent compile/run engine. See the crate docs for the full
@@ -315,6 +465,7 @@ pub struct Engine {
     pool: WorkerPool,
     store_load: LoadOutcome,
     default_deadline: Option<Duration>,
+    queue_capacity: usize,
 }
 
 impl Engine {
@@ -344,10 +495,12 @@ impl Engine {
                 recorder,
                 post_mortems: Mutex::new(VecDeque::new()),
                 in_flight: AtomicU64::new(0),
+                ema_service_bits: AtomicU64::new(0),
             }),
             pool: WorkerPool::with_sink(config.workers, config.queue_capacity, worker_sink),
             store_load,
             default_deadline: config.default_deadline,
+            queue_capacity: config.queue_capacity.max(1),
         }
     }
 
@@ -369,13 +522,13 @@ impl Engine {
     /// backpressure — the call never blocks), [`EngineError::ShuttingDown`]
     /// when the pool is draining.
     pub fn submit(&self, request: Request) -> Result<Ticket, EngineError> {
-        let (tx, rx) = channel();
+        let (ticket, sender) = Ticket::new();
         let shared = self.shared.clone();
         let deadline = request.deadline.or(self.default_deadline);
         let enqueued = Instant::now();
         let workload = request.program.name.clone();
         let job = Box::new(move || {
-            process_request(&shared, request, deadline, enqueued, &tx);
+            process_request(&shared, request, deadline, enqueued, &sender);
         });
         match self.pool.try_submit(job) {
             Ok(()) => {
@@ -386,17 +539,31 @@ impl Engine {
                     .requests_by_workload
                     .with(&workload)
                     .inc();
-                Ok(Ticket { rx })
+                Ok(ticket)
             }
             Err(Some(_full)) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.rejected_total.inc();
                 self.shared.metrics.shed_by_workload.with(&workload).inc();
-                Err(EngineError::Rejected {
-                    queue_depth: self.pool.queue_depth(),
-                })
+                Err(self.rejection())
             }
             Err(None) => Err(EngineError::ShuttingDown),
+        }
+    }
+
+    /// The typed backpressure rejection for the current overload state:
+    /// observed queue depth, configured capacity, and a drain-time
+    /// `retry_after` hint (queued work x average service time / workers)
+    /// once at least one request has completed.
+    fn rejection(&self) -> EngineError {
+        let queue_depth = self.pool.queue_depth();
+        let retry_after = self.shared.ema_service_seconds().map(|ema| {
+            Duration::from_secs_f64(ema * (queue_depth.max(1) as f64) / self.pool.workers() as f64)
+        });
+        EngineError::Rejected {
+            queue_depth,
+            capacity: self.queue_capacity,
+            retry_after,
         }
     }
 
@@ -603,6 +770,40 @@ impl Engine {
     /// Current queue depth (requests waiting for a worker).
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
+    }
+
+    /// Configured request-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The content fingerprint this engine would key `(program, bindings)`
+    /// under — the address a sharded front door routes on. Identical
+    /// compiler configurations (all shards of one fleet) produce identical
+    /// fingerprints.
+    pub fn fingerprint_of(&self, program: &Program, bindings: &Bindings) -> Fingerprint {
+        self.shared.compiler.fingerprint(program, bindings)
+    }
+
+    /// `true` when a ready executable for `fp` is resident in the
+    /// compilation cache (hit counters unaffected) — lets a front door
+    /// tell a cold compile from a warm hit when deciding whether to
+    /// coalesce onto an in-flight shard.
+    pub fn cache_contains(&self, fp: Fingerprint) -> bool {
+        self.shared.cache.peek(fp).is_some()
+    }
+
+    /// Exponential moving average of per-request service time, `None`
+    /// until the first completion. The basis of the `retry_after` hint on
+    /// [`EngineError::Rejected`] and of front-door shed-by-deadline
+    /// estimates.
+    pub fn estimated_service_seconds(&self) -> Option<f64> {
+        self.shared.ema_service_seconds()
     }
 
     /// Requests currently being served by a worker (dequeued but not yet
@@ -835,7 +1036,7 @@ fn process_request(
     request: Request,
     deadline: Option<Duration>,
     enqueued: Instant,
-    tx: &Sender<Result<Response, EngineError>>,
+    sender: &TicketSender,
 ) {
     shared.in_flight.fetch_add(1, Ordering::Relaxed);
     let _in_flight = InFlightGuard(&shared.in_flight);
@@ -868,7 +1069,7 @@ fn process_request(
                 ..ServePhases::default()
             };
             record_failure(shared, &request, err.to_string(), queue_wait, &phases);
-            let _ = tx.send(Err(err));
+            sender.send(Err(err));
             return;
         }
     }
@@ -932,6 +1133,7 @@ fn process_request(
             }
             // Fold the simulator's roofline counters into the registry.
             resp.executable.metrics(&resp.run).record(&shared.registry);
+            shared.observe_service_time(resp.service_time.as_secs_f64());
         }
         Err(err) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -945,7 +1147,7 @@ fn process_request(
             record_failure(shared, &request, err.to_string(), queue_wait, &phases);
         }
     }
-    let _ = tx.send(result);
+    sender.send(result);
 }
 
 type Served = (Fingerprint, Arc<Executable>, RunReport, bool, bool);

@@ -12,11 +12,19 @@ use std::time::Duration;
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The bounded request queue was full — backpressure, not blocking.
-    /// Retry later or shed load; `queue_depth` is the depth observed at
-    /// rejection time.
+    /// Carries enough context for the caller to make a spill-or-retry
+    /// decision: the observed depth, the configured capacity, and a
+    /// drain-time estimate.
     Rejected {
         /// Queue depth when the request was rejected.
         queue_depth: usize,
+        /// Configured queue capacity (depth ≈ capacity at rejection).
+        capacity: usize,
+        /// Estimated time until the queue drains (queued work × average
+        /// service time ÷ workers); `None` before the first completion.
+        /// A caller holding a deadline shorter than this should spill to
+        /// another shard or shed instead of retrying here.
+        retry_after: Option<Duration>,
     },
     /// The engine is draining and no longer accepts work.
     ShuttingDown,
@@ -49,8 +57,19 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Rejected { queue_depth } => {
-                write!(f, "request rejected: queue full (depth {queue_depth})")
+            EngineError::Rejected {
+                queue_depth,
+                capacity,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "request rejected: queue full (depth {queue_depth}/{capacity}"
+                )?;
+                if let Some(d) = retry_after {
+                    write!(f, ", retry in ~{:.1} ms", d.as_secs_f64() * 1e3)?;
+                }
+                write!(f, ")")
             }
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
             EngineError::DeadlineExceeded { waited } => {
@@ -113,9 +132,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(EngineError::Rejected { queue_depth: 9 }
-            .to_string()
-            .contains("depth 9"));
+        let rejected = EngineError::Rejected {
+            queue_depth: 9,
+            capacity: 16,
+            retry_after: Some(Duration::from_millis(12)),
+        };
+        let text = rejected.to_string();
+        assert!(text.contains("depth 9/16"), "{text}");
+        assert!(text.contains("retry in ~12.0 ms"), "{text}");
+        let bare = EngineError::Rejected {
+            queue_depth: 9,
+            capacity: 16,
+            retry_after: None,
+        };
+        assert!(!bare.to_string().contains("retry"), "{bare}");
         assert!(EngineError::DeadlineExceeded {
             waited: Duration::from_millis(5)
         }

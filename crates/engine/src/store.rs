@@ -136,6 +136,14 @@ impl TuningStore {
     /// Atomic: renders to `<path>.tmp`, then renames over the target, so
     /// a crash mid-write can never truncate the live file.
     ///
+    /// Saving **merges per record** with whatever is on disk: several
+    /// store instances may share one file (the serving tier points every
+    /// shard's engine at the same warm-tier path), and a whole-file
+    /// overwrite would silently drop records a sibling saved since this
+    /// instance loaded. On a fingerprint collision this instance's
+    /// record wins; an unparseable on-disk file contributes nothing here
+    /// (quarantine stays [`TuningStore::open`]'s job).
+    ///
     /// # Errors
     ///
     /// Propagates the underlying IO failure; the in-memory state is
@@ -149,7 +157,14 @@ impl TuningStore {
         }
         let body = {
             let entries = self.entries.lock().unwrap();
-            render_store(&entries)
+            let mut merged = std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| parse_store(&text).ok())
+                .unwrap_or_default();
+            for (fp, record) in entries.iter() {
+                merged.insert(*fp, record.clone());
+            }
+            render_store(&merged)
         };
         let tmp = path.with_extension("tmp");
         let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
@@ -379,6 +394,34 @@ mod tests {
         assert!(out.quarantined.is_none());
         assert_eq!(store.get(record(1).fingerprint), Some(record(1)));
         assert_eq!(store.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_merges_with_sibling_instances_sharing_the_file() {
+        // Two instances on one path — the serving tier's shared warm
+        // tier. Each tunes a different program; neither save may drop
+        // the other's record.
+        let path = tmp("merge");
+        let (a, _) = TuningStore::open(&path);
+        let (b, _) = TuningStore::open(&path);
+        a.insert(record(1));
+        a.save().unwrap();
+        b.insert(record(2));
+        b.save().unwrap();
+
+        let (merged, out) = TuningStore::open(&path);
+        assert_eq!(out.loaded, 2, "a sibling's save dropped a record");
+        assert_eq!(merged.get(record(1).fingerprint), Some(record(1)));
+        assert_eq!(merged.get(record(2).fingerprint), Some(record(2)));
+
+        // On a fingerprint collision the saving instance wins.
+        let mut newer = record(1);
+        newer.tuned_cost = 9.9e-3;
+        b.insert(newer.clone());
+        b.save().unwrap();
+        let (merged, _) = TuningStore::open(&path);
+        assert_eq!(merged.get(newer.fingerprint), Some(newer));
         let _ = std::fs::remove_file(&path);
     }
 

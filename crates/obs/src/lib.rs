@@ -17,9 +17,10 @@
 //! * a **[`RequestProfile`]** report stitching one request's latency
 //!   phases (queue → compile → run), mapping-search score breakdown, and
 //!   simulator roofline counters into a single JSON document;
-//! * **labelled metric families** ([`CounterFamily`], [`HistogramFamily`])
-//!   — one metric name fanned out per label value (per-workload outcome
-//!   counters and latency histograms under load);
+//! * **labelled metric families** ([`CounterFamily`], [`GaugeFamily`],
+//!   [`HistogramFamily`]) — one metric name fanned out per label value
+//!   (per-workload outcome counters and latency histograms under load,
+//!   per-shard queue-depth gauges in the sharded serving tier);
 //! * an **[`slo`] module** — SLO definitions, error-budget accounting,
 //!   and multi-window burn rates ([`SloTracker`]) over the same explicit
 //!   rotation model as [`SlidingWindow`];
@@ -62,7 +63,9 @@ pub mod timeseries;
 pub use flight::{FlightRecorder, PostMortem};
 pub use hist::{Histogram, HistogramSnapshot, SlidingWindow, BUCKETS, SUB_BUCKETS};
 pub use profile::{PhaseBreakdown, RequestProfile, SearchBreakdown};
-pub use registry::{Counter, CounterFamily, Gauge, HistogramFamily, Registry, QUANTILES};
+pub use registry::{
+    Counter, CounterFamily, Gauge, GaugeFamily, HistogramFamily, Registry, QUANTILES,
+};
 pub use slo::{BurnRate, LatencyObjective, Slo, SloStatus, SloTracker};
 pub use timeseries::{SeriesStats, TimeSeries};
 
@@ -77,6 +80,7 @@ const _: () = {
     assert_send_sync::<SlidingWindow>();
     assert_send_sync::<FlightRecorder>();
     assert_send_sync::<CounterFamily>();
+    assert_send_sync::<GaugeFamily>();
     assert_send_sync::<HistogramFamily>();
     assert_send_sync::<SloTracker>();
     assert_send_sync::<TimeSeries>();

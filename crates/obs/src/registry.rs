@@ -106,6 +106,49 @@ impl CounterFamily {
     }
 }
 
+/// A labelled family of gauges: one metric name, one label key, one
+/// child [`Gauge`] per label value (e.g.
+/// `serve_shard_queue_depth{shard="2"}` — the per-shard overload view of
+/// a sharded front door).
+///
+/// Children are get-or-create through [`GaugeFamily::with`]; handles are
+/// `Arc`s, so samplers resolve the child once and set lock-free.
+pub struct GaugeFamily {
+    label: String,
+    children: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeFamily {
+    fn new(label: &str) -> GaugeFamily {
+        GaugeFamily {
+            label: label.to_string(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The family's label key (e.g. `"shard"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Get or create the child gauge for `value`.
+    pub fn with(&self, value: &str) -> Arc<Gauge> {
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children.entry(value.to_string()).or_default().clone()
+    }
+
+    /// Every child's `(label value, current value)`, in label order.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children.iter().map(|(k, g)| (k.clone(), g.get())).collect()
+    }
+
+    /// Sum over all children (e.g. fleet-wide queue depth).
+    pub fn total(&self) -> f64 {
+        self.snapshot().iter().map(|(_, v)| v).sum()
+    }
+}
+
 /// A labelled family of histograms: one child [`Histogram`] per label
 /// value, sharing the log-bucketed layout (so per-label and merged views
 /// agree on bucketing error).
@@ -165,6 +208,7 @@ enum Metric {
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
     CounterFamily(Arc<CounterFamily>),
+    GaugeFamily(Arc<GaugeFamily>),
     HistogramFamily(Arc<HistogramFamily>),
 }
 
@@ -251,6 +295,20 @@ impl Registry {
         }
     }
 
+    /// Get or create the gauge family `name` labelled by `label` (same
+    /// conflict rule as [`Registry::counter_family`]).
+    pub fn gauge_family(&self, name: &str, help: &str, label: &str) -> Arc<GaugeFamily> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::GaugeFamily(Arc::new(GaugeFamily::new(label))),
+        });
+        match &e.metric {
+            Metric::GaugeFamily(f) => f.clone(),
+            _ => panic!("metric `{name}` is registered as a non-gauge-family"),
+        }
+    }
+
     /// Get or create the histogram family `name` labelled by `label`
     /// (same conflict rule as [`Registry::counter_family`]).
     pub fn histogram_family(&self, name: &str, help: &str, label: &str) -> Arc<HistogramFamily> {
@@ -304,6 +362,13 @@ impl Registry {
                             writeln!(out, "{name}{{{key}=\"{}\"}} {count}", escape_label(&value));
                     }
                 }
+                Metric::GaugeFamily(f) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let key = f.label();
+                    for (value, v) in f.snapshot() {
+                        let _ = writeln!(out, "{name}{{{key}=\"{}\"}} {v}", escape_label(&value));
+                    }
+                }
                 Metric::HistogramFamily(f) => {
                     let _ = writeln!(out, "# TYPE {name} summary");
                     let key = f.label();
@@ -339,6 +404,12 @@ impl Registry {
                     f.snapshot()
                         .into_iter()
                         .map(|(k, v)| (k, Json::Num(v as f64)))
+                        .collect(),
+                ),
+                Metric::GaugeFamily(f) => Json::Obj(
+                    f.snapshot()
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Num(v)))
                         .collect(),
                 ),
                 Metric::HistogramFamily(f) => Json::Obj(
@@ -483,6 +554,41 @@ engine_requests_total 7
             "{text}"
         );
         assert!(text.contains("lat_count{workload=\"b\"} 50"), "{text}");
+    }
+
+    #[test]
+    fn gauge_family_renders_one_line_per_child() {
+        let r = Registry::new();
+        let depth = r.gauge_family("serve_shard_queue_depth", "queue depth by shard", "shard");
+        depth.with("0").set(3.0);
+        depth.with("1").set(1.5);
+        depth.with("0").set(4.0); // same child: last set wins
+        assert_eq!(depth.total(), 5.5);
+        assert_eq!(depth.label(), "shard");
+        let text = r.render_text();
+        assert!(
+            text.contains("# TYPE serve_shard_queue_depth gauge"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_shard_queue_depth{shard=\"0\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_shard_queue_depth{shard=\"1\"} 1.5"),
+            "{text}"
+        );
+        let j = r.to_json();
+        let fam = j.get("serve_shard_queue_depth").expect("family object");
+        assert_eq!(fam.get("1").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-gauge-family")]
+    fn gauge_family_kind_conflicts_panic() {
+        let r = Registry::new();
+        r.gauge("x", "a gauge");
+        r.gauge_family("x", "not a family", "k");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Typed failures of the front door.
+
+use multidim_engine::EngineError;
+use std::fmt;
+use std::time::Duration;
+
+/// Why the front door could not serve a request. Admission-time
+/// rejections ([`ServeError::QuotaExceeded`],
+/// [`ServeError::DeadlineUnmeetable`], [`ServeError::Overloaded`])
+/// carry enough context — shard id, queue depth, retry hint — for the
+/// caller to decide between retrying, backing off, and going elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant's token bucket (and the shared spare bucket) are
+    /// empty. Not an overload signal: the fleet may be idle and still
+    /// reject a tenant that exceeds its contract.
+    QuotaExceeded {
+        /// The rejected tenant.
+        tenant: String,
+        /// Time until a token exists at the sustained refill rate —
+        /// retrying sooner is guaranteed to fail again.
+        retry_after: Duration,
+    },
+    /// Admission-time shed: the target shard's estimated drain time
+    /// already exceeds the request's deadline, so queueing it would
+    /// only waste a worker on a doomed request.
+    DeadlineUnmeetable {
+        /// Shard the request would have queued on.
+        shard: usize,
+        /// Estimated wait before a worker would pick the request up.
+        estimated_wait: Duration,
+        /// The deadline that estimate defeats.
+        deadline: Duration,
+    },
+    /// Every eligible shard rejected the request by backpressure: the
+    /// home shard, and the least-loaded spill target when spilling is
+    /// enabled.
+    Overloaded {
+        /// The fingerprint's home shard (first rejection).
+        home_shard: usize,
+        /// The spill target that also rejected, when one was tried.
+        spill_shard: Option<usize>,
+        /// Queue depth observed at the last rejection.
+        queue_depth: usize,
+        /// Drain-time estimate from the last rejecting shard.
+        retry_after: Option<Duration>,
+    },
+    /// A shard-level failure surfaced through the front door (compile
+    /// or run error, deadline expiry inside the engine, worker panic,
+    /// shutdown).
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QuotaExceeded {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "quota exceeded for tenant {tenant:?}: retry in ~{:.1} ms",
+                retry_after.as_secs_f64() * 1e3
+            ),
+            ServeError::DeadlineUnmeetable {
+                shard,
+                estimated_wait,
+                deadline,
+            } => write!(
+                f,
+                "deadline unmeetable on shard {shard}: estimated wait {:.1} ms > deadline {:.1} ms",
+                estimated_wait.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+            ServeError::Overloaded {
+                home_shard,
+                spill_shard,
+                queue_depth,
+                retry_after,
+            } => {
+                write!(f, "fleet overloaded: shard {home_shard} rejected")?;
+                if let Some(alt) = spill_shard {
+                    write!(f, ", spill to shard {alt} rejected")?;
+                }
+                write!(f, " (queue depth {queue_depth}")?;
+                if let Some(d) = retry_after {
+                    write!(f, ", retry in ~{:.1} ms", d.as_secs_f64() * 1e3)?;
+                }
+                write!(f, ")")
+            }
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_carry_spill_and_retry_context() {
+        let quota = ServeError::QuotaExceeded {
+            tenant: "acme".into(),
+            retry_after: Duration::from_millis(250),
+        };
+        let text = quota.to_string();
+        assert!(text.contains("acme"), "{text}");
+        assert!(text.contains("250.0 ms"), "{text}");
+
+        let shed = ServeError::DeadlineUnmeetable {
+            shard: 3,
+            estimated_wait: Duration::from_millis(80),
+            deadline: Duration::from_millis(50),
+        };
+        let text = shed.to_string();
+        assert!(text.contains("shard 3"), "{text}");
+        assert!(text.contains("80.0 ms"), "{text}");
+        assert!(text.contains("50.0 ms"), "{text}");
+
+        let over = ServeError::Overloaded {
+            home_shard: 1,
+            spill_shard: Some(2),
+            queue_depth: 16,
+            retry_after: Some(Duration::from_millis(12)),
+        };
+        let text = over.to_string();
+        assert!(text.contains("shard 1 rejected"), "{text}");
+        assert!(text.contains("spill to shard 2"), "{text}");
+        assert!(text.contains("queue depth 16"), "{text}");
+        assert!(text.contains("12.0 ms"), "{text}");
+
+        let no_spill = ServeError::Overloaded {
+            home_shard: 0,
+            spill_shard: None,
+            queue_depth: 4,
+            retry_after: None,
+        };
+        let text = no_spill.to_string();
+        assert!(!text.contains("spill"), "{text}");
+        assert!(!text.contains("retry"), "{text}");
+    }
+
+    #[test]
+    fn engine_errors_stay_reachable_through_source() {
+        let e = ServeError::from(EngineError::Canceled);
+        assert!(e.source().unwrap().to_string().contains("canceled"));
+        assert!(ServeError::QuotaExceeded {
+            tenant: "t".into(),
+            retry_after: Duration::ZERO,
+        }
+        .source()
+        .is_none());
+    }
+}

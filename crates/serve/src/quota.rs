@@ -1,0 +1,339 @@
+//! Per-tenant admission control: token-bucket quotas with a shared
+//! spare bucket for leftover capacity.
+//!
+//! Each tenant owns a [`TokenBucket`] refilled at its guaranteed rate.
+//! A request is admitted from the tenant's own bucket first; when that
+//! is empty the request may still draw from the fleet-wide **spare**
+//! bucket, which meters out capacity beyond the guarantees. Because
+//! every tenant reaches the spare bucket only after exhausting its own
+//! guarantee, leftover capacity is shared fairly: no tenant can touch
+//! it while under-spending its guarantee would admit the request, and
+//! all over-quota tenants compete for it at equal priority.
+//!
+//! Buckets take an **explicit clock** (`now` in seconds from an
+//! arbitrary epoch) so tests can hand-compute exact token balances
+//! without sleeping.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Longest retry hint ever emitted; denials from a zero-rate bucket
+/// would otherwise produce an infinite wait.
+const MAX_RETRY_SECONDS: f64 = 3600.0;
+
+/// A tenant's rate guarantee: sustained `rate` requests per second with
+/// bursts up to `burst` requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained admission rate, requests per second.
+    pub rate: f64,
+    /// Bucket capacity — how many requests may arrive back-to-back
+    /// after an idle period.
+    pub burst: f64,
+}
+
+impl TenantQuota {
+    /// A quota of `rate` requests per second, bursting to `burst`.
+    pub fn new(rate: f64, burst: f64) -> TenantQuota {
+        TenantQuota { rate, burst }
+    }
+
+    /// No limit: every request is admitted from the tenant's own
+    /// budget.
+    pub fn unlimited() -> TenantQuota {
+        TenantQuota {
+            rate: f64::INFINITY,
+            burst: f64::INFINITY,
+        }
+    }
+
+    /// A quota that admits nothing on its own (used as the spare bucket
+    /// of a policy with no leftover capacity).
+    pub fn none() -> TenantQuota {
+        TenantQuota {
+            rate: 0.0,
+            burst: 0.0,
+        }
+    }
+
+    /// `true` when this quota never rejects.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate.is_infinite()
+    }
+}
+
+/// A token bucket over an explicit clock: `burst` capacity, refilled
+/// continuously at `rate` tokens per second, one token per admission.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    quota: TenantQuota,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket (a tenant starts with its whole burst allowance).
+    pub fn new(quota: TenantQuota) -> TokenBucket {
+        TokenBucket {
+            quota,
+            tokens: if quota.is_unlimited() {
+                0.0
+            } else {
+                quota.burst
+            },
+            last: 0.0,
+        }
+    }
+
+    /// Refill for the time elapsed since the last observation. `now` is
+    /// seconds from the same arbitrary epoch as every other call; a
+    /// clock that goes backwards refills nothing.
+    fn refill(&mut self, now: f64) {
+        let dt = (now - self.last).max(0.0);
+        self.last = now;
+        if !self.quota.is_unlimited() {
+            self.tokens = (self.tokens + dt * self.quota.rate).min(self.quota.burst);
+        }
+    }
+
+    /// Take one token at time `now`. On failure returns how long the
+    /// caller must wait (at the sustained rate) for a token to exist.
+    pub fn try_take(&mut self, now: f64) -> Result<(), Duration> {
+        if self.quota.is_unlimited() {
+            return Ok(());
+        }
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = if self.quota.rate > 0.0 {
+                ((1.0 - self.tokens) / self.quota.rate).min(MAX_RETRY_SECONDS)
+            } else {
+                MAX_RETRY_SECONDS
+            };
+            Err(Duration::from_secs_f64(wait))
+        }
+    }
+
+    /// Current balance after refilling to `now` — for tests and
+    /// dashboards.
+    pub fn tokens_at(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// The fleet's quota policy: a default per-tenant quota, named
+/// overrides, and the spare bucket shared by all tenants that have
+/// exhausted their own guarantee.
+#[derive(Debug, Clone)]
+pub struct QuotaPolicy {
+    /// Quota for tenants without an override.
+    pub default: TenantQuota,
+    /// Per-tenant overrides, checked by exact name.
+    pub overrides: Vec<(String, TenantQuota)>,
+    /// The shared leftover-capacity bucket.
+    pub spare: TenantQuota,
+}
+
+impl Default for QuotaPolicy {
+    /// Admit everything: unlimited default quota, no spare needed.
+    fn default() -> QuotaPolicy {
+        QuotaPolicy {
+            default: TenantQuota::unlimited(),
+            overrides: Vec::new(),
+            spare: TenantQuota::none(),
+        }
+    }
+}
+
+impl QuotaPolicy {
+    /// Every tenant gets `rate`/`burst`; no spare capacity.
+    pub fn per_tenant(rate: f64, burst: f64) -> QuotaPolicy {
+        QuotaPolicy {
+            default: TenantQuota::new(rate, burst),
+            overrides: Vec::new(),
+            spare: TenantQuota::none(),
+        }
+    }
+
+    /// Replace the quota of one named tenant.
+    pub fn with_override(mut self, tenant: &str, quota: TenantQuota) -> QuotaPolicy {
+        self.overrides.push((tenant.to_string(), quota));
+        self
+    }
+
+    /// Set the shared spare bucket.
+    pub fn with_spare(mut self, spare: TenantQuota) -> QuotaPolicy {
+        self.spare = spare;
+        self
+    }
+
+    /// The quota `tenant` is entitled to under this policy.
+    pub fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.overrides
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, q)| *q)
+            .unwrap_or(self.default)
+    }
+}
+
+/// Where an admitted request's token came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitSource {
+    /// The tenant's own guaranteed budget.
+    OwnBudget,
+    /// The shared leftover-capacity bucket.
+    SpareBudget,
+}
+
+/// Thread-safe admission control over a [`QuotaPolicy`]: per-tenant
+/// buckets created lazily on first sight, plus the shared spare bucket.
+#[derive(Debug)]
+pub struct Admission {
+    policy: QuotaPolicy,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    spare: Mutex<TokenBucket>,
+}
+
+impl Admission {
+    /// Admission control under `policy`.
+    pub fn new(policy: QuotaPolicy) -> Admission {
+        let spare = TokenBucket::new(policy.spare);
+        Admission {
+            policy,
+            buckets: Mutex::new(HashMap::new()),
+            spare: Mutex::new(spare),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &QuotaPolicy {
+        &self.policy
+    }
+
+    /// Admit one request from `tenant` at time `now` (seconds from the
+    /// caller's epoch). Tries the tenant's own bucket first, then the
+    /// spare; a denial reports the shorter of the two waits.
+    pub fn admit(&self, tenant: &str, now: f64) -> Result<AdmitSource, Duration> {
+        // Unlimited tenants never consume tokens; skip the bucket map
+        // (and its lock) entirely so the open-admission hot path costs
+        // nothing per request.
+        if self.policy.quota_for(tenant).is_unlimited() {
+            return Ok(AdmitSource::OwnBudget);
+        }
+        let own_wait = {
+            let mut buckets = self.buckets.lock().expect("quota lock poisoned");
+            let bucket = buckets
+                .entry(tenant.to_string())
+                .or_insert_with(|| TokenBucket::new(self.policy.quota_for(tenant)));
+            match bucket.try_take(now) {
+                Ok(()) => return Ok(AdmitSource::OwnBudget),
+                Err(wait) => wait,
+            }
+        };
+        let spare_wait = {
+            let mut spare = self.spare.lock().expect("quota lock poisoned");
+            match spare.try_take(now) {
+                Ok(()) => return Ok(AdmitSource::SpareBudget),
+                Err(wait) => wait,
+            }
+        };
+        Err(own_wait.min(spare_wait))
+    }
+
+    /// A tenant's current own-bucket balance at time `now` (creating
+    /// the bucket if the tenant is new) — test and dashboard hook.
+    pub fn tokens_at(&self, tenant: &str, now: f64) -> f64 {
+        let mut buckets = self.buckets.lock().expect("quota lock poisoned");
+        buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::new(self.policy.quota_for(tenant)))
+            .tokens_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_burst_then_starve_then_refill() {
+        // rate 2/s, burst 4: four immediate admissions, then denial with
+        // a 0.5 s hint, then one more token every half second.
+        let mut b = TokenBucket::new(TenantQuota::new(2.0, 4.0));
+        for _ in 0..4 {
+            assert!(b.try_take(0.0).is_ok());
+        }
+        let wait = b.try_take(0.0).unwrap_err();
+        assert!((wait.as_secs_f64() - 0.5).abs() < 1e-9, "{wait:?}");
+        assert!(b.try_take(0.49).is_err());
+        assert!(b.try_take(0.5).is_ok());
+        assert!(b.try_take(0.5).is_err());
+    }
+
+    #[test]
+    fn bucket_caps_at_burst_after_idle() {
+        let mut b = TokenBucket::new(TenantQuota::new(10.0, 3.0));
+        for _ in 0..3 {
+            assert!(b.try_take(0.0).is_ok());
+        }
+        // A long idle period refills to burst, not beyond.
+        assert!((b.tokens_at(100.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_never_rejects() {
+        let mut b = TokenBucket::new(TenantQuota::unlimited());
+        for i in 0..1000 {
+            assert!(b.try_take(i as f64 * 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_rate_bucket_rejects_with_bounded_hint() {
+        let mut b = TokenBucket::new(TenantQuota::none());
+        let wait = b.try_take(0.0).unwrap_err();
+        assert!(wait <= Duration::from_secs_f64(MAX_RETRY_SECONDS));
+    }
+
+    #[test]
+    fn spare_bucket_serves_exhausted_tenants() {
+        // Each tenant guaranteed 1 burst; spare holds 2 more.
+        let policy = QuotaPolicy::per_tenant(0.0, 1.0).with_spare(TenantQuota::new(0.0, 2.0));
+        let adm = Admission::new(policy);
+        assert_eq!(adm.admit("a", 0.0), Ok(AdmitSource::OwnBudget));
+        assert_eq!(adm.admit("b", 0.0), Ok(AdmitSource::OwnBudget));
+        // Guarantees spent; both tenants now compete for the spare pair.
+        assert_eq!(adm.admit("a", 0.0), Ok(AdmitSource::SpareBudget));
+        assert_eq!(adm.admit("b", 0.0), Ok(AdmitSource::SpareBudget));
+        assert!(adm.admit("a", 0.0).is_err());
+        assert!(adm.admit("b", 0.0).is_err());
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let policy =
+            QuotaPolicy::per_tenant(1.0, 1.0).with_override("vip", TenantQuota::unlimited());
+        let adm = Admission::new(policy);
+        assert!(adm.admit("vip", 0.0).is_ok());
+        assert!(adm.admit("vip", 0.0).is_ok());
+        assert!(adm.admit("plebeian", 0.0).is_ok());
+        assert!(adm.admit("plebeian", 0.0).is_err());
+    }
+
+    #[test]
+    fn denial_reports_the_shorter_wait() {
+        // Own bucket refills in 1 s; spare in 0.25 s — the hint should
+        // be the spare's.
+        let policy = QuotaPolicy::per_tenant(1.0, 1.0).with_spare(TenantQuota::new(4.0, 1.0));
+        let adm = Admission::new(policy);
+        assert_eq!(adm.admit("t", 0.0), Ok(AdmitSource::OwnBudget));
+        assert_eq!(adm.admit("t", 0.0), Ok(AdmitSource::SpareBudget));
+        let wait = adm.admit("t", 0.0).unwrap_err();
+        assert!((wait.as_secs_f64() - 0.25).abs() < 1e-9, "{wait:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Deterministic fingerprint → shard routing via rendezvous hashing.
+//!
+//! The front door must send the same program to the same shard every
+//! time — shard-local compilation caches only pay off if routing is
+//! sticky — and it must survive fleet resizes without a stored mapping
+//! table. Rendezvous (highest-random-weight) hashing gives both: every
+//! `(fingerprint, shard)` pair gets a pseudo-random score from a pure
+//! function, and the fingerprint's home is the shard with the highest
+//! score. Routing is therefore
+//!
+//! * **deterministic** — no state, so the same fingerprint lands on the
+//!   same shard across restarts and across processes;
+//! * **minimally disruptive** — growing the fleet from `n` to `n + 1`
+//!   shards moves only the keys whose new shard now scores highest
+//!   (an expected `1 / (n + 1)` of them), and every moved key moves *to*
+//!   the new shard; keys never reshuffle among surviving shards.
+
+use multidim::Fingerprint;
+
+/// Rendezvous-hash router over a fixed number of shards.
+///
+/// The router is a pure function of `(fingerprint, shard count)`; it
+/// holds no per-key state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Router {
+    shards: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Router {
+        Router {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The rendezvous score of `fp` on `shard`: a pseudo-random `u64`
+    /// from a splitmix64 finalizer over the fingerprint lanes and the
+    /// shard index. Public so tests can check the argmax law directly.
+    pub fn score(fp: Fingerprint, shard: usize) -> u64 {
+        let mut x =
+            fp.0[0] ^ fp.0[1].rotate_left(32) ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+
+    /// The home shard of `fp`: the index with the highest score.
+    pub fn route(&self, fp: Fingerprint) -> usize {
+        (0..self.shards)
+            .max_by_key(|&s| Self::score(fp, s))
+            .expect("router has at least one shard")
+    }
+
+    /// All shards ordered by descending score — the spill preference
+    /// order. `ranked(fp)[0]` is [`Router::route`]; later entries are
+    /// where a request should land when earlier ones reject.
+    pub fn ranked(&self, fp: Fingerprint) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.shards).collect();
+        order.sort_by_key(|&s| std::cmp::Reverse(Self::score(fp, s)));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint([i.wrapping_mul(0x243f_6a88_85a3_08d3), i ^ 0xdead_beef])
+    }
+
+    #[test]
+    fn route_is_argmax_of_scores() {
+        let router = Router::new(5);
+        for i in 0..64 {
+            let home = router.route(fp(i));
+            let best = (0..5).map(|s| Router::score(fp(i), s)).max().unwrap();
+            assert_eq!(Router::score(fp(i), home), best);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_instances() {
+        let a = Router::new(4);
+        let b = Router::new(4);
+        for i in 0..256 {
+            assert_eq!(a.route(fp(i)), b.route(fp(i)));
+        }
+    }
+
+    #[test]
+    fn growth_moves_keys_only_to_the_new_shard() {
+        let before = Router::new(4);
+        let after = Router::new(5);
+        let mut moved = 0usize;
+        for i in 0..512 {
+            let (old, new) = (before.route(fp(i)), after.route(fp(i)));
+            if old != new {
+                assert_eq!(new, 4, "moved keys go to the new shard only");
+                moved += 1;
+            }
+        }
+        // Expected share is 1/5 of 512 ≈ 102; accept a generous band.
+        assert!((40..=170).contains(&moved), "moved {moved} of 512");
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let router = Router::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            counts[router.route(fp(i))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((700..=1350).contains(&c), "shard {s} got {c} of 4096 keys");
+        }
+    }
+
+    #[test]
+    fn ranked_starts_at_home_and_permutes_all_shards() {
+        let router = Router::new(6);
+        for i in 0..32 {
+            let ranked = router.ranked(fp(i));
+            assert_eq!(ranked[0], router.route(fp(i)));
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        }
+    }
+}

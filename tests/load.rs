@@ -5,11 +5,13 @@
 
 use multidim::Compiler;
 use multidim_bench::loadgen::{
-    client_schedule, run_load, schedule_digest, LoadConfig, LoadMode, ZipfSampler,
+    client_schedule, run_load, run_load_fleet, schedule_digest, tenant_of, LoadConfig, LoadMode,
+    ZipfSampler,
 };
 use multidim_bench::regression::{check_load, sample_count, Schema, DEFAULT_TOLERANCE};
 use multidim_engine::{Engine, EngineConfig};
 use multidim_obs::Slo;
+use multidim_serve::{FrontDoor, FrontDoorConfig, QuotaPolicy};
 use multidim_trace::json::Json;
 use multidim_workloads::catalog::{catalog, CatalogEntry};
 use multidim_workloads::data::Rng;
@@ -35,6 +37,7 @@ fn small_catalog() -> Vec<CatalogEntry> {
 fn closed_cfg(requests_per_client: usize) -> LoadConfig {
     LoadConfig {
         clients: 2,
+        tenants: 1,
         skew: 1.0,
         seed: 42,
         mode: LoadMode::ClosedCount {
@@ -198,6 +201,7 @@ fn shed_rate_and_slo_figures_match_hand_computation_under_overload() {
     let engine = test_engine(1);
     let cfg = LoadConfig {
         clients: 4,
+        tenants: 1,
         skew: 1.0,
         seed: 42,
         mode: LoadMode::Open {
@@ -257,6 +261,123 @@ fn committed_load_baseline_passes_its_own_gate_and_rejects_doctored_runs() {
     let shedding = doctor(&baseline, "shed_rate", 2.0);
     let gate = check_load(&baseline, &shedding, DEFAULT_TOLERANCE).unwrap();
     assert!(!gate.passed(), "2x shed rate must fail: {}", gate.render());
+}
+
+fn test_fleet(shards: usize, queue: usize, quota: QuotaPolicy) -> FrontDoor {
+    FrontDoor::new(
+        Compiler::new(),
+        FrontDoorConfig {
+            shards,
+            shard: EngineConfig {
+                workers: 2,
+                queue_capacity: queue,
+                cache_capacity: 64,
+                store_path: None,
+                ..EngineConfig::default()
+            },
+            quota,
+            ..FrontDoorConfig::default()
+        },
+    )
+}
+
+#[test]
+fn fleet_closed_loop_accounts_per_tenant_and_matches_the_assignment() {
+    let entries = small_catalog();
+    let cfg = LoadConfig {
+        tenants: 3,
+        clients: 4,
+        ..closed_cfg(6)
+    };
+    let door = test_fleet(3, 32, QuotaPolicy::default());
+    let report = run_load_fleet(&door, &entries, &cfg);
+    door.shutdown();
+
+    assert_eq!(report.shards, Some(3));
+    assert_eq!(report.tenants, 3);
+    assert_eq!(report.attempted, 24, "4 clients x 6 requests");
+    assert_eq!(report.completed, 24, "ample queue: everything serves");
+    assert_eq!(report.quota_rejected, 0);
+
+    // Per-tenant rows partition the traffic, and each tenant's request
+    // count is exactly its deterministically assigned clients' share.
+    let rows_requests: u64 = report.per_tenant.iter().map(|t| t.requests).sum();
+    let rows_completed: u64 = report.per_tenant.iter().map(|t| t.completed).sum();
+    assert_eq!(rows_requests, report.attempted);
+    assert_eq!(rows_completed, report.completed);
+    for (i, row) in report.per_tenant.iter().enumerate() {
+        let clients_here = (0..cfg.clients)
+            .filter(|&c| tenant_of(cfg.seed, c, cfg.tenants) == i)
+            .count() as u64;
+        assert_eq!(
+            row.requests,
+            clients_here * 6,
+            "tenant {i} rows disagree with the seeded assignment"
+        );
+    }
+}
+
+#[test]
+fn fleet_report_json_gates_against_a_single_engine_baseline() {
+    // The sharded path emits the same gate schema as the single-engine
+    // path, so the committed baseline gates both.
+    let entries = small_catalog();
+    let engine = test_engine(32);
+    let single = run_load(&engine, &entries, &closed_cfg(8));
+    engine.shutdown();
+    let door = test_fleet(4, 32, QuotaPolicy::default());
+    let fleet = run_load_fleet(
+        &door,
+        &entries,
+        &LoadConfig {
+            tenants: 4,
+            ..closed_cfg(8)
+        },
+    );
+    door.shutdown();
+
+    let single_json = Json::parse(&single.to_json().render()).unwrap();
+    let fleet_json = Json::parse(&fleet.to_json().render()).unwrap();
+    assert_eq!(Schema::detect(&fleet_json), Some(Schema::Load));
+    for key in ["tenants", "shards", "quota_rejected", "per_tenant"] {
+        assert!(
+            fleet_json.get(key).is_some(),
+            "fleet JSON must carry `{key}`"
+        );
+    }
+    assert_eq!(fleet_json.get("shards").and_then(Json::as_f64), Some(4.0));
+    // Same schedule, same catalog: the fleet run completes everything
+    // the single engine did, and the gate accepts it.
+    let gate = check_load(&single_json, &fleet_json, DEFAULT_TOLERANCE).unwrap();
+    assert!(
+        gate.passed(),
+        "sharded run must gate against the single-engine baseline: {}",
+        gate.render()
+    );
+
+    // Per-tenant quota enforcement shows up in the report: burst 2 and
+    // zero refill caps every tenant at 2 completions.
+    let door = test_fleet(2, 32, QuotaPolicy::per_tenant(0.0, 2.0));
+    let quota_run = run_load_fleet(
+        &door,
+        &entries,
+        &LoadConfig {
+            tenants: 2,
+            clients: 2,
+            ..closed_cfg(5)
+        },
+    );
+    door.shutdown();
+    assert_eq!(quota_run.attempted, 10);
+    for row in &quota_run.per_tenant {
+        // Every client maps to some tenant; rows with traffic obey the cap.
+        assert!(row.completed <= 2, "tenant {} exceeded its burst", row.name);
+        assert_eq!(row.quota_rejected, row.requests - row.completed);
+    }
+    assert_eq!(
+        quota_run.quota_rejected,
+        quota_run.attempted - quota_run.completed
+    );
 }
 
 /// A copy of `report` with `key` multiplied by `factor`.
