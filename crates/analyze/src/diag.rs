@@ -43,6 +43,9 @@ impl Code {
     pub const SCATTERED: Code = Code(14);
     /// Shared-memory footprint above half of capacity limits residency.
     pub const SMEM_PRESSURE: Code = Code(15);
+    /// A nest level's extent is data-dependent; the mapper falls back to
+    /// the workload's estimate for its representative size.
+    pub const DYN_ESTIMATE: Code = Code(16);
 }
 
 /// One row of the diagnostic-code table: code, short name, description.
@@ -123,6 +126,11 @@ pub const CODE_TABLE: &[CodeRow] = &[
         Code::SMEM_PRESSURE,
         "SMEM_PRESSURE",
         "shared-memory footprint above half of capacity limits residency",
+    ),
+    (
+        Code::DYN_ESTIMATE,
+        "DYN_ESTIMATE",
+        "data-dependent extent: the mapper sizes this level from the workload's estimate",
     ),
 ];
 

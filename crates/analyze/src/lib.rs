@@ -46,6 +46,7 @@
 //! | MD013 | UNEXPLOITED_REUSE | high-reuse read not staged through shared memory |
 //! | MD014 | SCATTERED | data-dependent (non-affine) global access: coalescing unprovable |
 //! | MD015 | SMEM_PRESSURE | shared-memory footprint above half of capacity limits residency |
+//! | MD016 | DYN_ESTIMATE | data-dependent extent: the mapper sizes this level from the workload's estimate |
 //!
 //! ```
 //! use multidim_ir::{ProgramBuilder, ScalarKind, Size, Effect, Expr};

@@ -13,11 +13,23 @@ fn order_sensitive(op: ReduceOp) -> bool {
     matches!(op, ReduceOp::Add | ReduceOp::Mul)
 }
 
-/// Mapping-independent nest lints: extent disagreements (`MD006`) and
-/// atomic combine-order notes (`MD007`).
+/// Mapping-independent nest lints: extent disagreements (`MD006`),
+/// atomic combine-order notes (`MD007`), and dynamic-extent estimate
+/// fallbacks (`MD016`).
 pub(crate) fn nest_lints(program: &Program, diags: &mut Vec<Diagnostic>) {
     let nest = NestInfo::of(program);
     for (lvl, info) in nest.levels.iter().enumerate() {
+        if info.has_dynamic() {
+            diags.push(Diagnostic::new(
+                Code::DYN_ESTIMATE,
+                Severity::Info,
+                format!(
+                    "nest level {lvl} has a data-dependent extent; the mapper uses the \
+                     workload estimate {} as its representative size",
+                    info.representative_size()
+                ),
+            ));
+        }
         if let Some((a, b)) = info.extent_disagreement() {
             diags.push(Diagnostic::new(
                 Code::EXTENT_MISMATCH,

@@ -817,6 +817,16 @@ fn walk_stmts(
             Stmt::DeviceMalloc { bytes } => {
                 scan_expr_sites(bytes, env, kernel, b, guard, loops, sites);
             }
+            // Child kernels have no shared memory in our lowering and run
+            // as separate grids; the launch's operand expressions cannot
+            // touch shared memory either (they are scalar index math), but
+            // scan them anyway for soundness.
+            Stmt::ChildLaunch { extent, args, .. } => {
+                scan_expr_sites(extent, env, kernel, b, guard, loops, sites);
+                for a in args {
+                    scan_expr_sites(a, env, kernel, b, guard, loops, sites);
+                }
+            }
             Stmt::Break | Stmt::Sync => {}
         }
     }

@@ -32,6 +32,14 @@ pub fn emit_cuda(kp: &KernelProgram) -> String {
         );
     }
     let _ = writeln!(s);
+    for c in &kp.children {
+        let _ = writeln!(
+            s,
+            "// device-launchable child (grid chosen per launch; leading locals are launch args)"
+        );
+        emit_kernel(&mut s, kp, c);
+        let _ = writeln!(s);
+    }
     for k in &kp.kernels {
         emit_kernel(&mut s, kp, k);
         let _ = writeln!(s);
@@ -179,6 +187,22 @@ fn emit_stmt(s: &mut String, kp: &KernelProgram, st: &Stmt, depth: usize) {
                 s,
                 "malloc((size_t)({})); // per-thread temporary",
                 expr(kp, bytes)
+            );
+        }
+        Stmt::ChildLaunch {
+            kernel,
+            extent,
+            args,
+        } => {
+            let child = &kp.children[*kernel as usize];
+            let block = child.block_threads();
+            let child_args: Vec<String> = args.iter().map(|a| expr(kp, a)).collect();
+            let _ = writeln!(
+                s,
+                "{}<<<(int)ceil(({}) / {block}.0), {block}>>>({}); // device-side launch",
+                child.name,
+                expr(kp, extent),
+                child_args.join(", ")
             );
         }
     }
@@ -331,6 +355,7 @@ mod tests {
                     },
                 ],
             }],
+            children: vec![],
             notes: vec!["demo note".into()],
         }
     }

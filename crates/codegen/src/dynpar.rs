@@ -1,0 +1,1291 @@
+//! Dynamic-parallelism launch consolidation.
+//!
+//! Nests whose inner extent is *data-dependent* (`Pattern::dyn_extent`,
+//! e.g. a CSR row's nonzero count) cannot influence the launch
+//! configuration, so the baseline lowering inlines them as `Span(all)`
+//! loops. Device-side child launches (CUDA dynamic parallelism) are the
+//! alternative: the parent kernel launches one child grid per outer index.
+//! Naively that pays one launch overhead *per outer element* — the classic
+//! CDP pitfall — so a consolidation stage chooses per launch site between:
+//!
+//! * **thresholding** — inner nests below a work cutoff stay inlined
+//!   (the existing `Span(all)` serial-per-block path);
+//! * **coarsening** — a single kernel where each block handles `k`
+//!   consecutive outer indices with one warp striding the inner extent;
+//! * **aggregation** — the inner extents are prefix-summed into a work
+//!   queue (`off[]`) by a three-kernel scan, and *one* consolidated child
+//!   grid over the queue's total executes every inner element, locating
+//!   its outer index by binary search over `off[]`.
+//!
+//! This module owns the plan types ([`DynParPlan`], [`LaunchStrategy`]),
+//! launch-site discovery ([`find_site`]), and the strategy lowerings
+//! ([`lower_planned`]). The cost-model *chooser* that builds a plan lives
+//! in the `multidim-dynpar` crate.
+
+use crate::kernel::{
+    Axis, BufId, BufferDecl, BufferInit, KExpr, Kernel, KernelProgram, LocalId, SmemDecl, Stmt,
+};
+use crate::lower::{lower, CodegenOptions, LowerError};
+use multidim_ir::{
+    ArrayId, ArrayRole, BinOp, Body, Effect, Expr, Pattern, PatternKind, Program, ReadSrc,
+    ReduceOp, Size, UnOp, VarId,
+};
+use multidim_mapping::MappingDecision;
+use multidim_trace as trace;
+use std::collections::HashMap;
+
+/// How one dynamic-extent launch site is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaunchStrategy {
+    /// Keep the baseline lowering: the inner nest is a serial
+    /// (`Span(all)`) loop inside the parent kernel.
+    Inline,
+    /// One device-side child launch per outer element (the unconsolidated
+    /// baseline; pays per-element launch overhead).
+    Naive,
+    /// One kernel; each block owns `k` consecutive outer elements, one
+    /// warp strides each inner extent.
+    Coarsen(u32),
+    /// Prefix-sum the inner extents into a work queue and launch a single
+    /// consolidated child grid over the total.
+    Aggregate,
+}
+
+impl LaunchStrategy {
+    /// Short name for reports and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LaunchStrategy::Inline => "inline",
+            LaunchStrategy::Naive => "naive",
+            LaunchStrategy::Coarsen(_) => "coarsen",
+            LaunchStrategy::Aggregate => "aggregate",
+        }
+    }
+}
+
+/// The consolidation decision for one launch site (recorded in the
+/// compiled executable's metadata and in traces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteDecision {
+    /// `PatternId` of the inner (dynamic-extent) pattern.
+    pub pattern: u32,
+    /// Nest level of the inner pattern (currently always 1).
+    pub level: usize,
+    /// The chosen strategy.
+    pub strategy: LaunchStrategy,
+    /// Outer extent `P` evaluated under the launch bindings.
+    pub outer: i64,
+    /// Estimated mean inner extent (from the workload's size hint).
+    pub estimate: i64,
+    /// Child/worker block width.
+    pub child_block: u32,
+    /// Modeled seconds per strategy, `(name, seconds)`, for reports.
+    pub modeled: Vec<(String, f64)>,
+    /// One-line human rationale.
+    pub reason: String,
+}
+
+/// The per-program consolidation plan. `site: None` means the program has
+/// no supported dynamic-parallelism launch site (lowering proceeds
+/// unchanged).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DynParPlan {
+    /// The single supported site's decision, if any.
+    pub site: Option<SiteDecision>,
+}
+
+impl DynParPlan {
+    /// Does this plan change lowering at all?
+    pub fn consolidates(&self) -> bool {
+        self.site
+            .as_ref()
+            .is_some_and(|s| s.strategy != LaunchStrategy::Inline)
+    }
+}
+
+/// What the site's inner pattern does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteShape {
+    /// `map(P) { reduce_dyn(d(i), op) { body(i, j) } }` — e.g. SpMV.
+    MapReduce(ReduceOp),
+    /// `foreach(P) { lets…; foreach_dyn(d(i)) { effects(i, j) } }` —
+    /// e.g. a BFS step or a ragged filter-then-map.
+    ForeachForeach,
+}
+
+/// A discovered launch site: borrowed views into the program's nest.
+#[derive(Debug, Clone)]
+pub struct LaunchSite<'p> {
+    /// The outer (static-extent) pattern.
+    pub outer: &'p Pattern,
+    /// The inner (dynamic-extent) pattern.
+    pub inner: &'p Pattern,
+    /// Outer-scope scalar lets preceding the inner pattern (shape B).
+    pub lets: Vec<(VarId, &'p Expr)>,
+    /// Which shape matched.
+    pub shape: SiteShape,
+}
+
+/// Expressions our standalone kernel builder can lower: scalar math over
+/// literals, bound variables, and *array* reads. Patterns, `Iterate`, and
+/// collection temporaries are out (those sites fall back to `Inline`).
+fn expr_ok(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::SizeOf(_) => true,
+        Expr::LengthOf(ReadSrc::Array(_), _) => true,
+        Expr::LengthOf(ReadSrc::Var(_), _) => false,
+        Expr::Read(ReadSrc::Array(_), idxs) => idxs.iter().all(expr_ok),
+        Expr::Read(ReadSrc::Var(_), _) => false,
+        Expr::Bin(_, a, b) => expr_ok(a) && expr_ok(b),
+        Expr::Un(_, a) => expr_ok(a),
+        Expr::Select(c, t, f) => expr_ok(c) && expr_ok(t) && expr_ok(f),
+        Expr::Let(_, v, b) => !matches!(**v, Expr::Pat(_)) && expr_ok(v) && expr_ok(b),
+        Expr::Iterate { .. } | Expr::Pat(_) => false,
+    }
+}
+
+/// Find the program's dynamic-parallelism launch site, if its nest matches
+/// one of the supported shapes (see [`SiteShape`]). Anything else returns
+/// `None` and keeps the baseline lowering.
+pub fn find_site(program: &Program) -> Option<LaunchSite<'_>> {
+    let root = &program.root;
+    if root.size.is_dynamic() || root.dyn_extent.is_some() {
+        return None;
+    }
+    match &root.kind {
+        // Shape A: map whose body is directly a dynamic reduce with a
+        // pattern-free body, storing to the program output.
+        PatternKind::Map => {
+            let Body::Value(Expr::Pat(inner)) = &root.body else {
+                return None;
+            };
+            let PatternKind::Reduce { op } = &inner.kind else {
+                return None;
+            };
+            let dyn_e = inner.dyn_extent.as_ref()?;
+            let Body::Value(body) = &inner.body else {
+                return None;
+            };
+            program.output?;
+            if !expr_ok(dyn_e) || !expr_ok(body) {
+                return None;
+            }
+            Some(LaunchSite {
+                outer: root,
+                inner,
+                lets: Vec::new(),
+                shape: SiteShape::MapReduce(*op),
+            })
+        }
+        // Shape B: foreach whose effects are scalar lets followed by
+        // exactly one nested dynamic foreach of plain write/atomic
+        // effects.
+        PatternKind::Foreach => {
+            let Body::Effects(effs) = &root.body else {
+                return None;
+            };
+            let mut lets = Vec::new();
+            let mut nested: Option<&Pattern> = None;
+            for eff in effs {
+                match eff {
+                    Effect::LetScalar(v, e) if nested.is_none() => {
+                        if !expr_ok(e) {
+                            return None;
+                        }
+                        lets.push((*v, e));
+                    }
+                    Effect::Nested(p) if nested.is_none() => nested = Some(p),
+                    _ => return None,
+                }
+            }
+            let inner = nested?;
+            if !matches!(inner.kind, PatternKind::Foreach) {
+                return None;
+            }
+            let dyn_e = inner.dyn_extent.as_ref()?;
+            if !expr_ok(dyn_e) {
+                return None;
+            }
+            let Body::Effects(inner_effs) = &inner.body else {
+                return None;
+            };
+            for eff in inner_effs {
+                match eff {
+                    Effect::Write {
+                        cond, idx, value, ..
+                    }
+                    | Effect::AtomicRmw {
+                        cond, idx, value, ..
+                    } => {
+                        if cond.as_ref().is_some_and(|c| !expr_ok(c))
+                            || idx.iter().any(|i| !expr_ok(i))
+                            || !expr_ok(value)
+                        {
+                            return None;
+                        }
+                    }
+                    Effect::LetScalar(_, e) => {
+                        if !expr_ok(e) {
+                            return None;
+                        }
+                    }
+                    Effect::Nested(_) => return None,
+                }
+            }
+            Some(LaunchSite {
+                outer: root,
+                inner,
+                lets,
+                shape: SiteShape::ForeachForeach,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Lower `program` honoring a consolidation `plan`. With no site (or an
+/// `Inline` decision) this is exactly [`lower`]; otherwise the site's nest
+/// is compiled into the chosen consolidated kernel structure and the
+/// mapping decision is ignored (the kernels are launch-shaped by the
+/// strategy, not by the per-level span analysis).
+///
+/// # Errors
+///
+/// Returns [`LowerError`] if the planned site no longer matches the
+/// program (stale plan) or a body expression is outside the supported
+/// subset.
+pub fn lower_planned(
+    program: &Program,
+    mapping: &MappingDecision,
+    opts: &CodegenOptions,
+    plan: &DynParPlan,
+) -> Result<KernelProgram, LowerError> {
+    let Some(site_decision) = plan.site.as_ref() else {
+        return lower(program, mapping, opts);
+    };
+    if site_decision.strategy == LaunchStrategy::Inline {
+        return lower(program, mapping, opts);
+    }
+    let site = find_site(program).ok_or_else(|| {
+        LowerError("dynpar plan refers to a launch site the program no longer has".into())
+    })?;
+    if site.inner.id.0 != site_decision.pattern {
+        return Err(LowerError(format!(
+            "dynpar plan targets pattern {} but the site is pattern {}",
+            site_decision.pattern, site.inner.id.0
+        )));
+    }
+    if trace::enabled() {
+        trace::emit(
+            trace::Event::instant("codegen", "dynpar_consolidate")
+                .arg("program", program.name.as_str())
+                .arg("strategy", site_decision.strategy.name())
+                .arg("outer", site_decision.outer as u64)
+                .arg("estimate", site_decision.estimate as u64),
+        );
+    }
+    let mut b = SiteBuilder {
+        program,
+        site: &site,
+        cb: site_decision.child_block.max(32),
+        buffers: declare_buffers(program),
+        notes: vec![format!(
+            "dynpar: {} consolidation at level {} (P={}, ~{} inner)",
+            site_decision.strategy.name(),
+            site_decision.level,
+            site_decision.outer,
+            site_decision.estimate
+        )],
+    };
+    // Reduce-shape accumulation is order-free only from the identity:
+    // seed the output with it (rows the site never touches stay identity).
+    if let SiteShape::MapReduce(op) = site.shape {
+        let out = program.output.expect("shape A has an output");
+        b.buffers[out.0 as usize].init = BufferInit::Fill(op.identity());
+    }
+    let (kernels, children) = match site_decision.strategy {
+        LaunchStrategy::Naive => b.naive()?,
+        LaunchStrategy::Coarsen(k) => b.coarsen(k.max(1))?,
+        LaunchStrategy::Aggregate => b.aggregate()?,
+        LaunchStrategy::Inline => unreachable!("handled above"),
+    };
+    Ok(KernelProgram {
+        name: program.name.clone(),
+        buffers: b.buffers,
+        kernels,
+        children,
+        notes: b.notes,
+    })
+}
+
+/// Device buffers for the program's declared arrays (mirrors `lower`).
+fn declare_buffers(program: &Program) -> Vec<BufferDecl> {
+    program
+        .arrays
+        .iter()
+        .map(|decl| {
+            let mut len = Size::from(1);
+            for d in &decl.shape {
+                len = len * d.clone();
+            }
+            let init = match decl.role {
+                ArrayRole::Input => BufferInit::FromArray(decl.id),
+                _ => BufferInit::FromArrayOrZero(decl.id),
+            };
+            BufferDecl {
+                name: decl.name.clone(),
+                elem_bytes: decl.elem.bytes(),
+                len,
+                init,
+                array: Some(decl.id),
+            }
+        })
+        .collect()
+}
+
+/// Standalone scalar-expression lowering context (no mapping, no shared
+/// memory, no nest chain — launch sites guarantee pattern-free bodies).
+struct Ctx<'p> {
+    program: &'p Program,
+    vars: HashMap<VarId, KExpr>,
+    next_local: u32,
+}
+
+impl<'p> Ctx<'p> {
+    fn new(program: &'p Program, first_local: u32) -> Self {
+        Ctx {
+            program,
+            vars: HashMap::new(),
+            next_local: first_local,
+        }
+    }
+
+    fn local(&mut self) -> LocalId {
+        let l = self.next_local;
+        self.next_local += 1;
+        l
+    }
+
+    fn addr(
+        &mut self,
+        array: ArrayId,
+        idxs: &'p [Expr],
+        sink: &mut Vec<Stmt>,
+    ) -> Result<KExpr, LowerError> {
+        let shape = self.program.array(array).shape.clone();
+        let mut addr = KExpr::imm(0);
+        for (k, ie) in idxs.iter().enumerate() {
+            let i = self.lower(ie, sink)?;
+            let mut stride = Size::from(1);
+            for s in &shape[k + 1..] {
+                stride = stride * s.clone();
+            }
+            let term = if matches!(stride, Size::Const(1)) {
+                i
+            } else {
+                KExpr::mul(i, KExpr::SizeVal(stride))
+            };
+            addr = if k == 0 { term } else { KExpr::add(addr, term) };
+        }
+        Ok(addr)
+    }
+
+    fn lower(&mut self, e: &'p Expr, sink: &mut Vec<Stmt>) -> Result<KExpr, LowerError> {
+        match e {
+            Expr::Lit(v) => Ok(KExpr::Imm(*v)),
+            Expr::Var(v) => self
+                .vars
+                .get(v)
+                .cloned()
+                .ok_or_else(|| LowerError(format!("unbound variable {v:?} in dynpar site"))),
+            Expr::SizeOf(s) => Ok(KExpr::SizeVal(s.clone())),
+            Expr::LengthOf(ReadSrc::Array(a), dim) => {
+                let shape = &self.program.array(*a).shape;
+                shape
+                    .get(*dim)
+                    .map(|s| KExpr::SizeVal(s.clone()))
+                    .ok_or_else(|| LowerError("lengthOf out of rank".into()))
+            }
+            Expr::Read(ReadSrc::Array(a), idxs) => {
+                let addr = self.addr(*a, idxs, sink)?;
+                Ok(KExpr::Load {
+                    buf: BufId(a.0),
+                    idx: Box::new(addr),
+                })
+            }
+            Expr::Bin(op, a, bx) => {
+                let x = self.lower(a, sink)?;
+                let y = self.lower(bx, sink)?;
+                Ok(KExpr::Bin(*op, Box::new(x), Box::new(y)))
+            }
+            Expr::Un(op, a) => {
+                let x = self.lower(a, sink)?;
+                Ok(KExpr::Un(*op, Box::new(x)))
+            }
+            Expr::Select(c, t, f) => {
+                let cv = self.lower(c, sink)?;
+                let tv = self.lower(t, sink)?;
+                let fv = self.lower(f, sink)?;
+                Ok(KExpr::Select(Box::new(cv), Box::new(tv), Box::new(fv)))
+            }
+            Expr::Let(v, val, body) => {
+                let sv = self.lower(val, sink)?;
+                let l = self.local();
+                sink.push(Stmt::Assign { dst: l, value: sv });
+                self.vars.insert(*v, KExpr::Local(l));
+                let r = self.lower(body, sink);
+                self.vars.remove(v);
+                r
+            }
+            other => Err(LowerError(format!(
+                "unsupported expression in dynpar site: {other:?}"
+            ))),
+        }
+    }
+
+    /// Lower the site's outer scalar lets (each bound for the remainder of
+    /// the kernel body).
+    fn bind_lets(
+        &mut self,
+        lets: &[(VarId, &'p Expr)],
+        sink: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        for (v, e) in lets {
+            let val = self.lower(e, sink)?;
+            let l = self.local();
+            sink.push(Stmt::Assign { dst: l, value: val });
+            self.vars.insert(*v, KExpr::Local(l));
+        }
+        Ok(())
+    }
+
+    /// Lower shape-B inner effects.
+    fn lower_effects(
+        &mut self,
+        effs: &'p [Effect],
+        sink: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        for eff in effs {
+            match eff {
+                Effect::Write {
+                    cond,
+                    array,
+                    idx,
+                    value,
+                } => {
+                    let v = self.lower(value, sink)?;
+                    let addr = self.addr(*array, idx, sink)?;
+                    let st = Stmt::Store {
+                        buf: BufId(array.0),
+                        idx: addr,
+                        value: v,
+                    };
+                    match cond {
+                        Some(c) => {
+                            let cv = self.lower(c, sink)?;
+                            sink.push(Stmt::If {
+                                cond: cv,
+                                then: vec![st],
+                                els: vec![],
+                            });
+                        }
+                        None => sink.push(st),
+                    }
+                }
+                Effect::AtomicRmw {
+                    cond,
+                    array,
+                    idx,
+                    op,
+                    value,
+                } => {
+                    let v = self.lower(value, sink)?;
+                    let addr = self.addr(*array, idx, sink)?;
+                    let st = Stmt::AtomicRmw {
+                        buf: BufId(array.0),
+                        idx: addr,
+                        op: *op,
+                        value: v,
+                        capture: None,
+                    };
+                    match cond {
+                        Some(c) => {
+                            let cv = self.lower(c, sink)?;
+                            sink.push(Stmt::If {
+                                cond: cv,
+                                then: vec![st],
+                                els: vec![],
+                            });
+                        }
+                        None => sink.push(st),
+                    }
+                }
+                Effect::LetScalar(v, e) => {
+                    let val = self.lower(e, sink)?;
+                    let l = self.local();
+                    sink.push(Stmt::Assign { dst: l, value: val });
+                    self.vars.insert(*v, KExpr::Local(l));
+                }
+                Effect::Nested(_) => {
+                    return Err(LowerError("nested pattern in dynpar inner body".into()))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `op(a, b)` as a kernel expression.
+fn combine(op: ReduceOp, a: KExpr, b: KExpr) -> KExpr {
+    let bo = match op {
+        ReduceOp::Add => BinOp::Add,
+        ReduceOp::Mul => BinOp::Mul,
+        ReduceOp::Min => BinOp::Min,
+        ReduceOp::Max => BinOp::Max,
+    };
+    KExpr::Bin(bo, Box::new(a), Box::new(b))
+}
+
+fn kmin(a: KExpr, b: KExpr) -> KExpr {
+    KExpr::Bin(BinOp::Min, Box::new(a), Box::new(b))
+}
+
+fn kmax(a: KExpr, b: KExpr) -> KExpr {
+    KExpr::Bin(BinOp::Max, Box::new(a), Box::new(b))
+}
+
+fn kle(a: KExpr, b: KExpr) -> KExpr {
+    KExpr::Bin(BinOp::Le, Box::new(a), Box::new(b))
+}
+
+/// Builds the consolidated kernels for one site.
+struct SiteBuilder<'p> {
+    program: &'p Program,
+    site: &'p LaunchSite<'p>,
+    /// Child/worker block width.
+    cb: u32,
+    buffers: Vec<BufferDecl>,
+    notes: Vec<String>,
+}
+
+/// Width of the per-site scan blocks (also the chunk count of the serial
+/// block-sum scan, so one block always suffices for the second phase).
+const SCAN_B: u32 = 128;
+/// Warp width used by the coarsened kernel.
+const WARP: u32 = 32;
+/// Binary-search iteration cap: supports outer extents up to 2^47.
+const SEARCH_ITERS: i64 = 48;
+
+impl<'p> SiteBuilder<'p> {
+    fn outer_size(&self) -> Size {
+        self.site.outer.size.clone()
+    }
+
+    fn out_buf(&self) -> Result<BufId, LowerError> {
+        self.program
+            .output
+            .map(|o| BufId(o.0))
+            .ok_or_else(|| LowerError("dynpar shape A requires an output array".into()))
+    }
+
+    fn add_buffer(&mut self, name: String, len: Size) -> BufId {
+        let id = BufId(self.buffers.len() as u32);
+        self.buffers.push(BufferDecl {
+            name,
+            elem_bytes: 8,
+            len,
+            init: BufferInit::Zero,
+            array: None,
+        });
+        id
+    }
+
+    /// The inner-element body at `(i, j)`: accumulate-or-effects,
+    /// appended to `sink`. `i`/`j` are the outer/inner index expressions.
+    fn element_body(
+        &self,
+        ctx: &mut Ctx<'p>,
+        i: KExpr,
+        j: KExpr,
+        sink: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        ctx.vars.insert(self.site.outer.var, i.clone());
+        ctx.bind_lets(&self.site.lets, sink)?;
+        ctx.vars.insert(self.site.inner.var, j);
+        match self.site.shape {
+            SiteShape::MapReduce(op) => {
+                let Body::Value(body) = &self.site.inner.body else {
+                    return Err(LowerError("shape A inner body is not a value".into()));
+                };
+                let v = ctx.lower(body, sink)?;
+                sink.push(Stmt::AtomicRmw {
+                    buf: self.out_buf()?,
+                    idx: i,
+                    op,
+                    value: v,
+                    capture: None,
+                });
+            }
+            SiteShape::ForeachForeach => {
+                let Body::Effects(effs) = &self.site.inner.body else {
+                    return Err(LowerError("shape B inner body is not effects".into()));
+                };
+                ctx.lower_effects(effs, sink)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The clamped inner extent `max(d(i), 0)` assigned to a fresh local.
+    fn extent_local(
+        &self,
+        ctx: &mut Ctx<'p>,
+        i: KExpr,
+        sink: &mut Vec<Stmt>,
+    ) -> Result<LocalId, LowerError> {
+        ctx.vars.insert(self.site.outer.var, i);
+        ctx.bind_lets(&self.site.lets, sink)?;
+        let dyn_e = self
+            .site
+            .inner
+            .dyn_extent
+            .as_ref()
+            .expect("site has a dynamic extent");
+        let d = ctx.lower(dyn_e, sink)?;
+        let l = ctx.local();
+        sink.push(Stmt::Assign {
+            dst: l,
+            value: kmax(d, KExpr::imm(0)),
+        });
+        Ok(l)
+    }
+
+    // ------------------------------------------------------------------
+    // Naive: one child launch per outer element.
+    // ------------------------------------------------------------------
+
+    fn naive(&mut self) -> Result<(Vec<Kernel>, Vec<Kernel>), LowerError> {
+        let p = self.outer_size();
+        let cb = self.cb;
+
+        // Parent: i = gtid; if i < P { d = extent(i); launch(child, d, [d, i]) }
+        let mut ctx = Ctx::new(self.program, 0);
+        let i = ctx.local();
+        let mut then = Vec::new();
+        let d = self.extent_local(&mut ctx, KExpr::Local(i), &mut then)?;
+        then.push(Stmt::ChildLaunch {
+            kernel: 0,
+            extent: KExpr::Local(d),
+            args: vec![KExpr::Local(d), KExpr::Local(i)],
+        });
+        let parent = Kernel {
+            name: format!("{}_launcher", self.program.name),
+            grid: [
+                p.clone() / Size::from(i64::from(cb)),
+                Size::from(1),
+                Size::from(1),
+            ],
+            block: [cb, 1, 1],
+            smem: vec![],
+            locals: ctx.next_local,
+            body: vec![
+                Stmt::Assign {
+                    dst: i,
+                    value: KExpr::global_tid(Axis::X),
+                },
+                Stmt::If {
+                    cond: KExpr::lt(KExpr::Local(i), KExpr::SizeVal(p)),
+                    then,
+                    els: vec![],
+                },
+            ],
+        };
+
+        // Child: locals 0 = d, 1 = i (launch args); j = gtid; body(i, j).
+        let mut cctx = Ctx::new(self.program, 2);
+        let j = cctx.local();
+        let mut cthen = Vec::new();
+        self.element_body(&mut cctx, KExpr::Local(1), KExpr::Local(j), &mut cthen)?;
+        let child = Kernel {
+            name: format!("{}_child", self.program.name),
+            grid: [Size::from(1), Size::from(1), Size::from(1)],
+            block: [cb, 1, 1],
+            smem: vec![],
+            locals: cctx.next_local,
+            body: vec![
+                Stmt::Assign {
+                    dst: j,
+                    value: KExpr::global_tid(Axis::X),
+                },
+                Stmt::If {
+                    cond: KExpr::lt(KExpr::Local(j), KExpr::Local(0)),
+                    then: cthen,
+                    els: vec![],
+                },
+            ],
+        };
+        self.notes
+            .push("dynpar naive: one device-side child grid per outer element".into());
+        Ok((vec![parent], vec![child]))
+    }
+
+    // ------------------------------------------------------------------
+    // Coarsen(k): one kernel, each block serially owns k outer elements,
+    // one warp strides each inner extent (warp-synchronous combine).
+    // ------------------------------------------------------------------
+
+    fn coarsen(&mut self, k: u32) -> Result<(Vec<Kernel>, Vec<Kernel>), LowerError> {
+        let p = self.outer_size();
+        let mut ctx = Ctx::new(self.program, 0);
+        let s = ctx.local();
+        let i = ctx.local();
+
+        let mut per_i = vec![Stmt::Assign {
+            dst: i,
+            value: KExpr::add(
+                KExpr::mul(KExpr::Bid(Axis::X), KExpr::imm(i64::from(k))),
+                KExpr::Local(s),
+            ),
+        }];
+        let mut then = Vec::new();
+        let d = self.extent_local(&mut ctx, KExpr::Local(i), &mut then)?;
+
+        let mut smem = Vec::new();
+        match self.site.shape {
+            SiteShape::MapReduce(op) => {
+                // acc = identity; for (j = tid; j < d; j += 32) acc ⊕= body;
+                // then a warp-synchronous shared-memory tree, lane 0 stores.
+                let acc = ctx.local();
+                then.push(Stmt::Assign {
+                    dst: acc,
+                    value: KExpr::Imm(op.identity()),
+                });
+                let j = ctx.local();
+                let mut loop_body = Vec::new();
+                let mut bctx = Ctx::new(self.program, ctx.next_local);
+                bctx.vars.clone_from(&ctx.vars);
+                let Body::Value(body) = &self.site.inner.body else {
+                    return Err(LowerError("shape A inner body is not a value".into()));
+                };
+                bctx.vars.insert(self.site.inner.var, KExpr::Local(j));
+                bctx.vars.insert(self.site.outer.var, KExpr::Local(i));
+                let v = bctx.lower(body, &mut loop_body)?;
+                ctx.next_local = bctx.next_local;
+                loop_body.push(Stmt::Assign {
+                    dst: acc,
+                    value: combine(op, KExpr::Local(acc), v),
+                });
+                then.push(Stmt::For {
+                    var: j,
+                    start: KExpr::Tid(Axis::X),
+                    end: KExpr::Local(d),
+                    step: KExpr::imm(i64::from(WARP)),
+                    body: loop_body,
+                });
+                let red = smem.len() as u32;
+                smem.push(SmemDecl {
+                    name: "red".into(),
+                    len: WARP,
+                });
+                then.push(Stmt::SmemStore {
+                    arr: red,
+                    idx: KExpr::Tid(Axis::X),
+                    value: KExpr::Local(acc),
+                });
+                let slot = |e: KExpr| KExpr::SmemLoad {
+                    arr: red,
+                    idx: Box::new(e),
+                };
+                let mut stride = WARP / 2;
+                while stride >= 1 {
+                    then.push(Stmt::If {
+                        cond: KExpr::lt(KExpr::Tid(Axis::X), KExpr::imm(i64::from(stride))),
+                        then: vec![Stmt::SmemStore {
+                            arr: red,
+                            idx: KExpr::Tid(Axis::X),
+                            value: combine(
+                                op,
+                                slot(KExpr::Tid(Axis::X)),
+                                slot(KExpr::add(
+                                    KExpr::Tid(Axis::X),
+                                    KExpr::imm(i64::from(stride)),
+                                )),
+                            ),
+                        }],
+                        els: vec![],
+                    });
+                    stride /= 2;
+                }
+                then.push(Stmt::If {
+                    cond: KExpr::eq(KExpr::Tid(Axis::X), KExpr::imm(0)),
+                    then: vec![Stmt::Store {
+                        buf: self.out_buf()?,
+                        idx: KExpr::Local(i),
+                        value: slot(KExpr::imm(0)),
+                    }],
+                    els: vec![],
+                });
+            }
+            SiteShape::ForeachForeach => {
+                let j = ctx.local();
+                let mut loop_body = Vec::new();
+                let mut bctx = Ctx::new(self.program, ctx.next_local);
+                bctx.vars.clone_from(&ctx.vars);
+                let Body::Effects(effs) = &self.site.inner.body else {
+                    return Err(LowerError("shape B inner body is not effects".into()));
+                };
+                bctx.vars.insert(self.site.inner.var, KExpr::Local(j));
+                bctx.vars.insert(self.site.outer.var, KExpr::Local(i));
+                bctx.lower_effects(effs, &mut loop_body)?;
+                ctx.next_local = bctx.next_local;
+                then.push(Stmt::For {
+                    var: j,
+                    start: KExpr::Tid(Axis::X),
+                    end: KExpr::Local(d),
+                    step: KExpr::imm(i64::from(WARP)),
+                    body: loop_body,
+                });
+            }
+        }
+        per_i.push(Stmt::If {
+            cond: KExpr::lt(KExpr::Local(i), KExpr::SizeVal(p.clone())),
+            then,
+            els: vec![],
+        });
+
+        let kernel = Kernel {
+            name: format!("{}_coarsen", self.program.name),
+            grid: [p / Size::from(i64::from(k)), Size::from(1), Size::from(1)],
+            block: [WARP, 1, 1],
+            smem,
+            locals: ctx.next_local,
+            body: vec![Stmt::For {
+                var: s,
+                start: KExpr::imm(0),
+                end: KExpr::imm(i64::from(k)),
+                step: KExpr::imm(1),
+                body: per_i,
+            }],
+        };
+        self.notes.push(format!(
+            "dynpar coarsen: {k} outer elements per block, one warp per inner extent"
+        ));
+        Ok((vec![kernel], vec![]))
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregate: three-kernel prefix scan of the inner extents into a
+    // work queue, then ONE consolidated child grid over the total.
+    // ------------------------------------------------------------------
+
+    fn aggregate(&mut self) -> Result<(Vec<Kernel>, Vec<Kernel>), LowerError> {
+        let p = self.outer_size();
+        let name = &self.program.name;
+        let off = self.add_buffer(format!("{name}_off"), p.clone() + Size::from(1));
+        let nblocks = p.clone() / Size::from(i64::from(SCAN_B));
+        let bs = self.add_buffer(format!("{name}_blocksums"), nblocks.clone());
+
+        // k1: per-block exclusive scan of the extents. Each block loads
+        // its SCAN_B extents into shared memory, thread 0 serially
+        // prefix-sums them (blocks run concurrently, so the serial walk is
+        // hidden by occupancy), every thread writes its exclusive prefix
+        // to off[i], and thread 0 stores the block total to bs[bid].
+        let mut c1 = Ctx::new(self.program, 0);
+        let i1 = c1.local();
+        let d1 = c1.local();
+        let mut body1 = vec![
+            Stmt::Assign {
+                dst: i1,
+                value: KExpr::global_tid(Axis::X),
+            },
+            Stmt::Assign {
+                dst: d1,
+                value: KExpr::imm(0),
+            },
+        ];
+        let mut ext1 = Vec::new();
+        let dl = self.extent_local(&mut c1, KExpr::Local(i1), &mut ext1)?;
+        ext1.push(Stmt::Assign {
+            dst: d1,
+            value: KExpr::Local(dl),
+        });
+        body1.push(Stmt::If {
+            cond: KExpr::lt(KExpr::Local(i1), KExpr::SizeVal(p.clone())),
+            then: ext1,
+            els: vec![],
+        });
+        let sums = 0u32;
+        body1.push(Stmt::SmemStore {
+            arr: sums,
+            idx: KExpr::Tid(Axis::X),
+            value: KExpr::Local(d1),
+        });
+        body1.push(Stmt::Sync);
+        let run1 = c1.local();
+        let cvar1 = c1.local();
+        let tmp1 = c1.local();
+        body1.push(Stmt::If {
+            cond: KExpr::eq(KExpr::Tid(Axis::X), KExpr::imm(0)),
+            then: vec![
+                Stmt::Assign {
+                    dst: run1,
+                    value: KExpr::imm(0),
+                },
+                Stmt::For {
+                    var: cvar1,
+                    start: KExpr::imm(0),
+                    end: KExpr::imm(i64::from(SCAN_B)),
+                    step: KExpr::imm(1),
+                    body: vec![
+                        Stmt::Assign {
+                            dst: tmp1,
+                            value: KExpr::SmemLoad {
+                                arr: sums,
+                                idx: Box::new(KExpr::Local(cvar1)),
+                            },
+                        },
+                        Stmt::SmemStore {
+                            arr: sums,
+                            idx: KExpr::Local(cvar1),
+                            value: KExpr::Local(run1),
+                        },
+                        Stmt::Assign {
+                            dst: run1,
+                            value: KExpr::add(KExpr::Local(run1), KExpr::Local(tmp1)),
+                        },
+                    ],
+                },
+                Stmt::Store {
+                    buf: bs,
+                    idx: KExpr::Bid(Axis::X),
+                    value: KExpr::Local(run1),
+                },
+            ],
+            els: vec![],
+        });
+        body1.push(Stmt::Sync);
+        body1.push(Stmt::If {
+            cond: KExpr::lt(KExpr::Local(i1), KExpr::SizeVal(p.clone())),
+            then: vec![Stmt::Store {
+                buf: off,
+                idx: KExpr::Local(i1),
+                value: KExpr::SmemLoad {
+                    arr: sums,
+                    idx: Box::new(KExpr::Tid(Axis::X)),
+                },
+            }],
+            els: vec![],
+        });
+        let k1 = Kernel {
+            name: format!("{name}_scan_blocks"),
+            grid: [nblocks.clone(), Size::from(1), Size::from(1)],
+            block: [SCAN_B, 1, 1],
+            smem: vec![SmemDecl {
+                name: "sums".into(),
+                len: SCAN_B,
+            }],
+            locals: c1.next_local,
+            body: body1,
+        };
+
+        // k2: one SCAN_B-thread block turns bs[] into exclusive prefixes
+        // of the block totals (chunked three-phase scan) and stores the
+        // grand total at off[P].
+        let k2 = self.scan_block_sums(bs, off, &nblocks, &p);
+
+        // k3: off[i] += bs[bid] finalizes the global exclusive prefix;
+        // thread 0 launches the single consolidated worker grid over the
+        // total (children execute after this kernel completes).
+        let mut c3 = Ctx::new(self.program, 0);
+        let i3 = c3.local();
+        let t3 = c3.local();
+        let body3 = vec![
+            Stmt::Assign {
+                dst: i3,
+                value: KExpr::global_tid(Axis::X),
+            },
+            Stmt::If {
+                cond: KExpr::lt(KExpr::Local(i3), KExpr::SizeVal(p.clone())),
+                then: vec![Stmt::Store {
+                    buf: off,
+                    idx: KExpr::Local(i3),
+                    value: KExpr::add(
+                        KExpr::Load {
+                            buf: off,
+                            idx: Box::new(KExpr::Local(i3)),
+                        },
+                        KExpr::Load {
+                            buf: bs,
+                            idx: Box::new(KExpr::Bid(Axis::X)),
+                        },
+                    ),
+                }],
+                els: vec![],
+            },
+            Stmt::If {
+                cond: KExpr::eq(KExpr::global_tid(Axis::X), KExpr::imm(0)),
+                then: vec![
+                    Stmt::Assign {
+                        dst: t3,
+                        value: KExpr::Load {
+                            buf: off,
+                            idx: Box::new(KExpr::SizeVal(p.clone())),
+                        },
+                    },
+                    Stmt::ChildLaunch {
+                        kernel: 0,
+                        extent: KExpr::Local(t3),
+                        args: vec![KExpr::Local(t3)],
+                    },
+                ],
+                els: vec![],
+            },
+        ];
+        let k3 = Kernel {
+            name: format!("{name}_scan_apply"),
+            grid: [nblocks, Size::from(1), Size::from(1)],
+            block: [SCAN_B, 1, 1],
+            smem: vec![],
+            locals: c3.next_local,
+            body: body3,
+        };
+
+        let worker = self.aggregate_worker(off, &p)?;
+        self.notes
+            .push("dynpar aggregate: prefix-summed work queue, one consolidated child grid".into());
+        Ok((vec![k1, k2, k3], vec![worker]))
+    }
+
+    /// k2 of the aggregation scan: a single block scans the NB block sums
+    /// in place (exclusive) and stores the grand total at `off[P]`.
+    /// Three-phase chunked scan: per-thread chunk sums → thread-0 serial
+    /// scan of the SCAN_B chunk sums → per-thread chunk rewrite.
+    fn scan_block_sums(&self, bs: BufId, off: BufId, nblocks: &Size, p: &Size) -> Kernel {
+        let mut c = Ctx::new(self.program, 0);
+        let chunk = KExpr::SizeVal(nblocks.clone() / Size::from(i64::from(SCAN_B)));
+        let lo = c.local();
+        let hi = c.local();
+        let s = c.local();
+        let iv = c.local();
+        let run = c.local();
+        let cv = c.local();
+        let tmp = c.local();
+        let run2 = c.local();
+        let i2 = c.local();
+        let dt = c.local();
+        let sums = 0u32;
+        let body = vec![
+            Stmt::Assign {
+                dst: lo,
+                value: KExpr::mul(KExpr::Tid(Axis::X), chunk.clone()),
+            },
+            Stmt::Assign {
+                dst: hi,
+                value: kmin(
+                    KExpr::mul(KExpr::add(KExpr::Tid(Axis::X), KExpr::imm(1)), chunk),
+                    KExpr::SizeVal(nblocks.clone()),
+                ),
+            },
+            Stmt::Assign {
+                dst: s,
+                value: KExpr::imm(0),
+            },
+            Stmt::For {
+                var: iv,
+                start: KExpr::Local(lo),
+                end: KExpr::Local(hi),
+                step: KExpr::imm(1),
+                body: vec![Stmt::Assign {
+                    dst: s,
+                    value: KExpr::add(
+                        KExpr::Local(s),
+                        KExpr::Load {
+                            buf: bs,
+                            idx: Box::new(KExpr::Local(iv)),
+                        },
+                    ),
+                }],
+            },
+            Stmt::SmemStore {
+                arr: sums,
+                idx: KExpr::Tid(Axis::X),
+                value: KExpr::Local(s),
+            },
+            Stmt::Sync,
+            Stmt::If {
+                cond: KExpr::eq(KExpr::Tid(Axis::X), KExpr::imm(0)),
+                then: vec![
+                    Stmt::Assign {
+                        dst: run,
+                        value: KExpr::imm(0),
+                    },
+                    Stmt::For {
+                        var: cv,
+                        start: KExpr::imm(0),
+                        end: KExpr::imm(i64::from(SCAN_B)),
+                        step: KExpr::imm(1),
+                        body: vec![
+                            Stmt::Assign {
+                                dst: tmp,
+                                value: KExpr::SmemLoad {
+                                    arr: sums,
+                                    idx: Box::new(KExpr::Local(cv)),
+                                },
+                            },
+                            Stmt::SmemStore {
+                                arr: sums,
+                                idx: KExpr::Local(cv),
+                                value: KExpr::Local(run),
+                            },
+                            Stmt::Assign {
+                                dst: run,
+                                value: KExpr::add(KExpr::Local(run), KExpr::Local(tmp)),
+                            },
+                        ],
+                    },
+                    Stmt::Store {
+                        buf: off,
+                        idx: KExpr::SizeVal(p.clone()),
+                        value: KExpr::Local(run),
+                    },
+                ],
+                els: vec![],
+            },
+            Stmt::Sync,
+            Stmt::Assign {
+                dst: run2,
+                value: KExpr::SmemLoad {
+                    arr: sums,
+                    idx: Box::new(KExpr::Tid(Axis::X)),
+                },
+            },
+            Stmt::For {
+                var: i2,
+                start: KExpr::Local(lo),
+                end: KExpr::Local(hi),
+                step: KExpr::imm(1),
+                body: vec![
+                    Stmt::Assign {
+                        dst: dt,
+                        value: KExpr::Load {
+                            buf: bs,
+                            idx: Box::new(KExpr::Local(i2)),
+                        },
+                    },
+                    Stmt::Store {
+                        buf: bs,
+                        idx: KExpr::Local(i2),
+                        value: KExpr::Local(run2),
+                    },
+                    Stmt::Assign {
+                        dst: run2,
+                        value: KExpr::add(KExpr::Local(run2), KExpr::Local(dt)),
+                    },
+                ],
+            },
+        ];
+        Kernel {
+            name: format!("{}_scan_sums", self.program.name),
+            grid: [Size::from(1), Size::from(1), Size::from(1)],
+            block: [SCAN_B, 1, 1],
+            smem: vec![SmemDecl {
+                name: "sums".into(),
+                len: SCAN_B,
+            }],
+            locals: c.next_local,
+            body,
+        }
+    }
+
+    /// The consolidated worker: thread `t` of the single child grid binary
+    /// searches `off[]` for the largest `i` with `off[i] <= t`, recovers
+    /// `j = t - off[i]`, and executes the element body.
+    fn aggregate_worker(&self, off: BufId, p: &Size) -> Result<Kernel, LowerError> {
+        let mut ctx = Ctx::new(self.program, 1); // local 0 = T (launch arg)
+        let t = ctx.local();
+        let lo = ctx.local();
+        let hi = ctx.local();
+        let mid = ctx.local();
+        let it = ctx.local();
+        let i = ctx.local();
+        let j = ctx.local();
+        let offload = |e: KExpr| KExpr::Load {
+            buf: off,
+            idx: Box::new(e),
+        };
+        let mut then = vec![
+            Stmt::Assign {
+                dst: lo,
+                value: KExpr::imm(0),
+            },
+            Stmt::Assign {
+                dst: hi,
+                value: KExpr::sub(KExpr::SizeVal(p.clone()), KExpr::imm(1)),
+            },
+            Stmt::For {
+                var: it,
+                start: KExpr::imm(0),
+                end: KExpr::imm(SEARCH_ITERS),
+                step: KExpr::imm(1),
+                body: vec![
+                    Stmt::If {
+                        cond: KExpr::ge(KExpr::Local(lo), KExpr::Local(hi)),
+                        then: vec![Stmt::Break],
+                        els: vec![],
+                    },
+                    Stmt::Assign {
+                        dst: mid,
+                        value: KExpr::Un(
+                            UnOp::Floor,
+                            Box::new(KExpr::div(
+                                KExpr::add(
+                                    KExpr::add(KExpr::Local(lo), KExpr::Local(hi)),
+                                    KExpr::imm(1),
+                                ),
+                                KExpr::imm(2),
+                            )),
+                        ),
+                    },
+                    Stmt::If {
+                        cond: kle(offload(KExpr::Local(mid)), KExpr::Local(t)),
+                        then: vec![Stmt::Assign {
+                            dst: lo,
+                            value: KExpr::Local(mid),
+                        }],
+                        els: vec![Stmt::Assign {
+                            dst: hi,
+                            value: KExpr::sub(KExpr::Local(mid), KExpr::imm(1)),
+                        }],
+                    },
+                ],
+            },
+            Stmt::Assign {
+                dst: i,
+                value: KExpr::Local(lo),
+            },
+            Stmt::Assign {
+                dst: j,
+                value: KExpr::sub(KExpr::Local(t), offload(KExpr::Local(i))),
+            },
+        ];
+        self.element_body(&mut ctx, KExpr::Local(i), KExpr::Local(j), &mut then)?;
+        Ok(Kernel {
+            name: format!("{}_worker", self.program.name),
+            grid: [Size::from(1), Size::from(1), Size::from(1)],
+            block: [self.cb, 1, 1],
+            smem: vec![],
+            locals: ctx.next_local,
+            body: vec![
+                Stmt::Assign {
+                    dst: t,
+                    value: KExpr::global_tid(Axis::X),
+                },
+                Stmt::If {
+                    cond: KExpr::lt(KExpr::Local(t), KExpr::Local(0)),
+                    then,
+                    els: vec![],
+                },
+            ],
+        })
+    }
+}

@@ -263,6 +263,23 @@ pub enum Stmt {
         /// Allocation size in bytes.
         bytes: KExpr,
     },
+    /// Device-side kernel launch (CUDA dynamic parallelism): the executing
+    /// thread launches `kernel` (an index into
+    /// [`KernelProgram::children`]) over `ceil(extent / child.block)`
+    /// one-dimensional blocks. `args` are evaluated in the launching
+    /// thread and become the child's locals `0..args.len()` (uniform
+    /// across all child threads — kernel parameters). An `extent ≤ 0`
+    /// launches nothing. Child grids execute after the parent kernel's
+    /// body completes (fire-and-forget semantics: the parent must not
+    /// read what the child writes).
+    ChildLaunch {
+        /// Index into [`KernelProgram::children`].
+        kernel: u32,
+        /// Total child threads wanted (grid = `ceil(extent / block)`).
+        extent: KExpr,
+        /// Launch arguments, copied into child locals `0..n`.
+        args: Vec<KExpr>,
+    },
 }
 
 /// A shared-memory array declaration (element = 8-byte slot).
@@ -325,6 +342,11 @@ pub struct KernelProgram {
     pub buffers: Vec<BufferDecl>,
     /// Kernels, launched in order.
     pub kernels: Vec<Kernel>,
+    /// Device-launchable child kernels, referenced by
+    /// [`Stmt::ChildLaunch`]. A child's `grid` field is ignored — the
+    /// grid is computed per launch from the site's `extent` — and its
+    /// leading locals are filled from the launch arguments.
+    pub children: Vec<Kernel>,
     /// Human-readable notes from lowering (demotions, layout choices).
     pub notes: Vec<String>,
 }

@@ -42,12 +42,16 @@
 #![warn(missing_docs)]
 
 mod cuda;
+mod dynpar;
 mod fusion;
 mod kernel;
 mod lower;
 mod validate;
 
 pub use cuda::{emit_cuda, emit_kernel};
+pub use dynpar::{
+    find_site, lower_planned, DynParPlan, LaunchSite, LaunchStrategy, SiteDecision, SiteShape,
+};
 pub use fusion::{fuse_map_reduce, substitute_var};
 pub use kernel::{
     Axis, BufId, BufferDecl, BufferInit, KExpr, Kernel, KernelProgram, LocalId, SmemDecl, SmemId,

@@ -225,6 +225,7 @@ pub fn lower(
         name: program.name.clone(),
         buffers: lo.buffers,
         kernels,
+        children: vec![],
         notes: lo.notes,
     })
 }

@@ -33,15 +33,28 @@ pub fn validate_kernels(kp: &KernelProgram, smem_limit: u32) -> Result<(), Kerne
         validate_kernel(kp, k, smem_limit)
             .map_err(|e| KernelError(format!("kernel `{}`: {}", k.name, e.0)))?;
     }
+    for c in &kp.children {
+        validate_with(kp, c, smem_limit, true)
+            .map_err(|e| KernelError(format!("child kernel `{}`: {}", c.name, e.0)))?;
+    }
     Ok(())
 }
 
-/// Validate a single kernel.
+/// Validate a single (host-launched) kernel.
 ///
 /// # Errors
 ///
 /// Returns the first defect found.
 pub fn validate_kernel(kp: &KernelProgram, k: &Kernel, smem_limit: u32) -> Result<(), KernelError> {
+    validate_with(kp, k, smem_limit, false)
+}
+
+fn validate_with(
+    kp: &KernelProgram,
+    k: &Kernel,
+    smem_limit: u32,
+    in_child: bool,
+) -> Result<(), KernelError> {
     if k.block_threads() == 0 {
         return Err(KernelError("empty thread block".into()));
     }
@@ -58,7 +71,7 @@ pub fn validate_kernel(kp: &KernelProgram, k: &Kernel, smem_limit: u32) -> Resul
             smem_limit
         )));
     }
-    let ctx = Ctx { kp, k };
+    let ctx = Ctx { kp, k, in_child };
     ctx.stmts(&k.body, 0, false)?;
     Ok(())
 }
@@ -66,6 +79,8 @@ pub fn validate_kernel(kp: &KernelProgram, k: &Kernel, smem_limit: u32) -> Resul
 struct Ctx<'a> {
     kp: &'a KernelProgram,
     k: &'a Kernel,
+    /// Validating a device-launchable child (nested launches forbidden).
+    in_child: bool,
 }
 
 impl<'a> Ctx<'a> {
@@ -156,6 +171,34 @@ impl<'a> Ctx<'a> {
                 Ok(())
             }
             Stmt::DeviceMalloc { bytes } => self.expr(bytes),
+            Stmt::ChildLaunch {
+                kernel,
+                extent,
+                args,
+            } => {
+                if self.in_child {
+                    return Err(KernelError(
+                        "nested device-side launch (child launching a child)".into(),
+                    ));
+                }
+                let child =
+                    self.kp.children.get(*kernel as usize).ok_or_else(|| {
+                        KernelError(format!("child kernel {kernel} not declared"))
+                    })?;
+                if args.len() as u32 > child.locals {
+                    return Err(KernelError(format!(
+                        "child `{}` gets {} launch args but has only {} locals",
+                        child.name,
+                        args.len(),
+                        child.locals
+                    )));
+                }
+                self.expr(extent)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -261,6 +304,7 @@ mod tests {
                 array: None,
             }],
             kernels: vec![kernel],
+            children: vec![],
             notes: vec![],
         }
     }

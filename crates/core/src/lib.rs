@@ -49,8 +49,11 @@
 
 pub mod fingerprint;
 
-use multidim_codegen::{emit_cuda, fuse_map_reduce, lower, CodegenOptions, KernelProgram};
+use multidim_codegen::{
+    emit_cuda, fuse_map_reduce, lower_planned, CodegenOptions, DynParPlan, KernelProgram,
+};
 use multidim_device::GpuSpec;
+use multidim_dynpar::{choose, DynParConfig};
 use multidim_ir::{ArrayId, Bindings, NestInfo, Program};
 use multidim_mapping::{
     analyze_with, collect_constraints, fixed_mapping, Analysis, MappingDecision, Strategy, Weights,
@@ -66,15 +69,17 @@ pub use multidim_analyze::{
     AccessClass, AccessLocality, BankProof, Code, Diagnostic, LocalityFacts, LocalitySummary,
     Report as AnalysisReport, ReuseSummary, Severity, SmemProof, Verdict,
 };
-pub use multidim_codegen::LayoutPolicy;
+pub use multidim_codegen::{LaunchStrategy, LayoutPolicy, SiteDecision};
+pub use multidim_dynpar::DynParPolicy;
 pub use multidim_mapping::{Dim, Span};
 pub use multidim_sim::SanitizerReport;
 
 /// Commonly used items, re-exported for applications.
 pub mod prelude {
     pub use crate::{Compiler, Executable, RunReport};
-    pub use multidim_codegen::{CodegenOptions, LayoutPolicy};
+    pub use multidim_codegen::{CodegenOptions, LaunchStrategy, LayoutPolicy};
     pub use multidim_device::{CpuSpec, GpuSpec, PcieSpec};
+    pub use multidim_dynpar::{DynParConfig, DynParPolicy};
     pub use multidim_ir::{
         Bindings, Effect, Expr, Program, ProgramBuilder, ReduceOp, ScalarKind, Size, SymId,
     };
@@ -142,6 +147,7 @@ pub struct Compiler {
     fusion: bool,
     checks: bool,
     prune: bool,
+    dynpar: DynParConfig,
 }
 
 impl Default for Compiler {
@@ -161,6 +167,7 @@ impl Compiler {
             fusion: true,
             checks: true,
             prune: true,
+            dynpar: DynParConfig::default(),
         }
     }
 
@@ -196,6 +203,16 @@ impl Compiler {
         self
     }
 
+    /// Configure the dynamic-parallelism consolidation stage (enabled
+    /// with the `Auto` policy by default). Programs whose inner nest
+    /// extent is data-dependent get a per-site choice between inlining
+    /// (thresholding), launch coarsening, and launch aggregation; see
+    /// `multidim-dynpar` for the policy and cost model.
+    pub fn dynpar(mut self, config: DynParConfig) -> Self {
+        self.dynpar = config;
+        self
+    }
+
     /// Wrap this compiler in an [`Arc`](std::sync::Arc) for cheap sharing
     /// across service threads. Compilation takes `&self`, and every field
     /// is immutable configuration, so one shared compiler serves any
@@ -211,8 +228,8 @@ impl Compiler {
     /// shares cache entries with a fusion-on one.
     pub fn config_digest(&self) -> String {
         format!(
-            "strategy={:?};options={:?};weights={:?};fusion={};checks={}",
-            self.strategy, self.options, self.weights, self.fusion, self.checks
+            "strategy={:?};options={:?};weights={:?};fusion={};checks={};dynpar={:?}",
+            self.strategy, self.options, self.weights, self.fusion, self.checks, self.dynpar
         )
     }
 
@@ -354,7 +371,7 @@ impl Compiler {
         mapping: &MappingDecision,
     ) -> Option<f64> {
         let opts = self.effective_options();
-        let kernels = lower(&prepared.program, mapping, &opts).ok()?;
+        let kernels = lower_planned(&prepared.program, mapping, &opts, &prepared.dynpar).ok()?;
         multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
         let summary = locality_of(
             facts,
@@ -391,7 +408,16 @@ impl Compiler {
         };
         program.validate()?;
         let plan = multidim_mapping::plan(&program, bindings, &self.gpu, &self.weights, options);
-        Ok(TunePrepared { program, plan })
+        // One consolidation decision shared by every candidate: the plan
+        // depends only on the program, sizes, and device, so measuring
+        // candidates with it keeps tuning consistent with the final
+        // compile_tuned artifact.
+        let dynpar = choose(&program, bindings, &self.gpu, &self.dynpar);
+        Ok(TunePrepared {
+            program,
+            plan,
+            dynpar,
+        })
     }
 
     /// Measure one candidate of a prepared tuning plan: lower, validate
@@ -406,7 +432,13 @@ impl Compiler {
         inputs: &HashMap<ArrayId, Vec<f64>>,
         mapping: &MappingDecision,
     ) -> Option<f64> {
-        let kernels = lower(&prepared.program, mapping, &self.effective_options()).ok()?;
+        let kernels = lower_planned(
+            &prepared.program,
+            mapping,
+            &self.effective_options(),
+            &prepared.dynpar,
+        )
+        .ok()?;
         multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm).ok()?;
         let sim = run_program(&kernels, &self.gpu, bindings, inputs).ok()?;
         Some(sim.total_seconds)
@@ -463,7 +495,8 @@ impl Compiler {
             multidim_analyze::Report::default()
         };
         let opts = self.effective_options();
-        let kernels = lower(&program, &mapping, &opts)?;
+        let dynpar = choose(&program, bindings, &self.gpu, &self.dynpar);
+        let kernels = lower_planned(&program, &mapping, &opts, &dynpar)?;
         multidim_codegen::validate_kernels(&kernels, self.gpu.smem_per_sm)
             .map_err(|e| CompileError(multidim_analyze::kernel_defect(&e).render_line()))?;
         let locality = if self.checks {
@@ -506,6 +539,7 @@ impl Compiler {
             locality,
             kernels,
             fused_patterns,
+            dynpar,
             gpu: self.gpu.clone(),
             bindings: bindings.clone(),
         })
@@ -554,6 +588,8 @@ pub struct TunePrepared {
     pub program: Program,
     /// Candidates to measure, best static score first.
     pub plan: multidim_mapping::TunePlan,
+    /// The launch-consolidation decision shared by every candidate.
+    pub dynpar: DynParPlan,
 }
 
 /// A compiled program, ready to run on the simulator.
@@ -576,6 +612,9 @@ pub struct Executable {
     pub kernels: KernelProgram,
     /// Number of map→reduce fusions applied before analysis.
     pub fused_patterns: usize,
+    /// The dynamic-parallelism consolidation decision (`site: None` when
+    /// the program has no data-dependent launch site or the stage is off).
+    pub dynpar: DynParPlan,
     gpu: GpuSpec,
     bindings: Bindings,
 }
@@ -767,6 +806,61 @@ mod tests {
                 "{s} wrong"
             );
         }
+    }
+
+    #[test]
+    fn launch_policy_splits_the_fingerprint() {
+        // Same program, same sizes, same device: compilers differing only
+        // in the consolidation policy must not share cache entries (they
+        // generate different kernels).
+        let (p, bind, _) = sum_cols(32, 48);
+        let auto = Compiler::new();
+        let forced = Compiler::new().dynpar(multidim_dynpar::DynParConfig {
+            policy: DynParPolicy::Force(LaunchStrategy::Aggregate),
+            ..Default::default()
+        });
+        let off = Compiler::new().dynpar(multidim_dynpar::DynParConfig {
+            enabled: false,
+            ..Default::default()
+        });
+        let threshold = Compiler::new().dynpar(multidim_dynpar::DynParConfig {
+            threshold: 64,
+            ..Default::default()
+        });
+        let base = auto.fingerprint(&p, &bind);
+        assert_ne!(base, forced.fingerprint(&p, &bind));
+        assert_ne!(base, off.fingerprint(&p, &bind));
+        assert_ne!(base, threshold.fingerprint(&p, &bind));
+    }
+
+    #[test]
+    fn dynamic_estimate_hint_splits_the_fingerprint() {
+        // Two programs identical except for the mean inner-extent hint:
+        // the hint steers the consolidation choice, so the fingerprints
+        // must differ.
+        let build = |hint: i64| {
+            let mut b = ProgramBuilder::new("hinted");
+            let n = b.sym("N");
+            let rp = b.input("rp", ScalarKind::I32, &[Size::sym(n) + Size::from(1)]);
+            let root = b.map(Size::sym(n), |b, i| {
+                let start = b.read(rp, &[i.into()]);
+                let end = b.read(
+                    rp,
+                    &[multidim_ir::Expr::var(i) + multidim_ir::Expr::lit(1.0)],
+                );
+                b.reduce_dyn(end - start, hint, ReduceOp::Add, |_b, _j| {
+                    multidim_ir::Expr::lit(1.0)
+                })
+            });
+            let p = b.finish_map(root, "out", ScalarKind::F32).unwrap();
+            let mut bind = Bindings::new();
+            bind.bind(n, 64);
+            (p, bind)
+        };
+        let (p3, b3) = build(3);
+        let (p9, b9) = build(9);
+        let c = Compiler::new();
+        assert_ne!(c.fingerprint(&p3, &b3), c.fingerprint(&p9, &b9));
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct GpuSpec {
     pub mshr_per_sm: f64,
     /// Fixed kernel-launch overhead in seconds.
     pub kernel_launch_overhead_s: f64,
+    /// Fixed overhead of one *device-side* (dynamic-parallelism) child
+    /// launch in seconds. Measured CDP launch latencies on Kepler-class
+    /// parts are several microseconds — notably worse than host launches,
+    /// which is exactly why launch consolidation pays off.
+    pub child_launch_overhead_s: f64,
     /// Per-thread-block dispatch cost in cycles (scheduling overhead; the
     /// paper cites "the overhead of too many thread blocks").
     pub block_dispatch_cycles: f64,
@@ -94,6 +99,7 @@ impl GpuSpec {
             mlp_per_warp: 6.0,
             mshr_per_sm: 64.0,
             kernel_launch_overhead_s: 5e-6,
+            child_launch_overhead_s: 8e-6,
             block_dispatch_cycles: 30.0,
             device_malloc_cycles: 30_000.0,
             smem_cycles: 2.0,
@@ -120,6 +126,9 @@ impl GpuSpec {
             mlp_per_warp: 4.0,
             mshr_per_sm: 48.0,
             kernel_launch_overhead_s: 6e-6,
+            // Fermi has no hardware dynamic parallelism; model a costly
+            // software path so consolidation is always preferred.
+            child_launch_overhead_s: 2e-5,
             block_dispatch_cycles: 30.0,
             device_malloc_cycles: 50_000.0,
             smem_cycles: 2.0,

@@ -51,6 +51,22 @@ impl LevelInfo {
     /// pattern by its own extent); [`LevelInfo::extent_disagreement`] lets
     /// callers surface that case instead of silently accepting it.
     pub fn representative_size(&self) -> Size {
+        // A level with data-dependent extents has no launch-time size at
+        // all; the workload-provided estimates are the only information,
+        // so the representative is the largest estimate among the dynamic
+        // siblings (an explicit `Size::Dynamic`, so downstream consumers
+        // can tell an estimate from a known extent).
+        let dyn_estimate = self
+            .patterns
+            .iter()
+            .filter_map(|p| match p.size {
+                Size::Dynamic(est) => Some(est),
+                _ => None,
+            })
+            .max();
+        if let Some(est) = dyn_estimate {
+            return Size::Dynamic(est);
+        }
         let mut rep = match self.patterns.first() {
             Some(p) => p.size.clone(),
             None => return Size::Const(1),

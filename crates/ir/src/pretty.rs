@@ -42,7 +42,10 @@ pub fn pretty(program: &Program) -> String {
 fn pattern(s: &mut String, p: &Pattern, indent: usize) {
     let pad = "  ".repeat(indent);
     let ext = match &p.dyn_extent {
-        Some(e) => format!("dyn[{}]", expr(e)),
+        // The estimate hint rides along: it steers launch consolidation,
+        // so programs differing only in the hint must not print (and
+        // therefore fingerprint) identically.
+        Some(e) => format!("dyn[{} ~{}]", expr(e), p.size),
         None => p.size.to_string(),
     };
     let _ = writeln!(

@@ -44,6 +44,14 @@ pub struct KernelCost {
     /// Extra serialization cycles from contended atomics (lane count
     /// beyond the first per warp request).
     pub atomic_serial: u64,
+    /// Device-side child-kernel launches issued from this kernel
+    /// (dynamic parallelism); each pays
+    /// [`GpuSpec::child_launch_overhead_s`].
+    pub child_launches: u64,
+    /// Thread blocks dispatched for those child launches (their execution
+    /// cost is folded into the parent's counters; the blocks still pay
+    /// dispatch overhead).
+    pub child_blocks: u64,
 }
 
 impl KernelCost {
@@ -58,6 +66,8 @@ impl KernelCost {
         self.syncs += other.syncs;
         self.mallocs += other.mallocs;
         self.atomic_serial += other.atomic_serial;
+        self.child_launches += other.child_launches;
+        self.child_blocks += other.child_blocks;
     }
 }
 
@@ -148,7 +158,15 @@ pub fn kernel_time(gpu: &GpuSpec, shape: &LaunchShape, cost: &KernelCost) -> Ker
         / (active_sms as f64 * resident_warps as f64).clamp(1.0, 32.0);
     let overhead_s = gpu.kernel_launch_overhead_s
         + gpu
-            .cycles_to_seconds(shape.blocks as f64 * gpu.block_dispatch_cycles / active_sms as f64);
+            .cycles_to_seconds(shape.blocks as f64 * gpu.block_dispatch_cycles / active_sms as f64)
+        // Dynamic parallelism: each device-side launch pays a fixed
+        // overhead, and the child grids' blocks pay dispatch like any
+        // other block (their execution cost is already folded into the
+        // parent's counters).
+        + cost.child_launches as f64 * gpu.child_launch_overhead_s
+        + gpu.cycles_to_seconds(
+            cost.child_blocks as f64 * gpu.block_dispatch_cycles / active_sms as f64,
+        );
 
     let issue = gpu.cycles_to_seconds(issue_cycles);
     let bandwidth = gpu.cycles_to_seconds(bw_cycles);

@@ -239,31 +239,87 @@ fn run_program_inner(
     let mut times = Vec::new();
     let mut total = 0.0f64;
     let mut san_report = sanitize.then(SanitizerReport::default);
+    let children: Vec<Kernel> = kp
+        .children
+        .iter()
+        .map(|c| specialize(c, bindings))
+        .collect();
     for kernel in &kp.kernels {
         let k = specialize(kernel, bindings);
         // Fresh first-writer map per launch: kernel boundaries synchronize.
         let mut tracker = sanitize.then(WriteTracker::default);
+        let mut pending: Vec<PendingLaunch> = Vec::new();
         let mut ex = Exec {
             gpu,
             buffers: &mut buffers,
             cost: KernelCost::default(),
             kernel: &k,
             san: tracker.as_mut(),
+            pending: &mut pending,
+            tid_base: 0,
+            launch_args: &[],
         };
         let blocks = ex.run()?;
+        let mut cost = ex.cost;
+        // Fire the device-side launches the parent queued: every child
+        // grid belongs to this kernel's launch epoch — its work folds into
+        // the parent's cost record (plus the per-launch counters the
+        // timing model charges) and its stores share the parent's
+        // write-tracker epoch under distinct thread ids.
+        for (ordinal, launch) in pending.iter().enumerate() {
+            let child = children
+                .get(launch.kernel as usize)
+                .ok_or_else(|| SimError(format!("child kernel {} not declared", launch.kernel)))?;
+            let threads = u64::from(child.block_threads().max(1));
+            let cblocks = launch.extent.div_ceil(threads);
+            if cblocks > 1 << 22 {
+                return Err(SimError(format!(
+                    "child launch of {} blocks exceeds the sanity cap",
+                    cblocks
+                )));
+            }
+            let mut ck = child.clone();
+            ck.grid = [
+                Size::from(cblocks as i64),
+                Size::from(1i64),
+                Size::from(1i64),
+            ];
+            let mut child_pending: Vec<PendingLaunch> = Vec::new();
+            let mut cex = Exec {
+                gpu,
+                buffers: &mut buffers,
+                cost: KernelCost::default(),
+                kernel: &ck,
+                san: tracker.as_mut(),
+                pending: &mut child_pending,
+                // Disjoint per launch; far above any real parent tid.
+                tid_base: (ordinal as u64 + 1) << 40,
+                launch_args: &launch.args,
+            };
+            cex.run()?;
+            let child_cost = cex.cost;
+            if !child_pending.is_empty() {
+                return Err(SimError(format!(
+                    "child kernel `{}` issued a nested device-side launch",
+                    child.name
+                )));
+            }
+            cost.add(&child_cost);
+            cost.child_blocks += cblocks;
+        }
         let shape = LaunchShape {
             blocks,
             block_threads: k.block_threads(),
             smem_bytes: k.smem_bytes(),
         };
-        let t = kernel_time(gpu, &shape, &ex.cost);
+        let t = kernel_time(gpu, &shape, &cost);
         if trace::enabled() {
-            emit_kernel_timeline(gpu, &kernel.name, total, &shape, &ex.cost, &t);
+            emit_kernel_timeline(gpu, &kernel.name, total, &shape, &cost, &t);
         }
         total += t.total;
         names.push(kernel.name.clone());
         shapes.push(shape);
-        costs.push(ex.cost);
+        costs.push(cost);
         times.push(t);
         if let (Some(report), Some(tr)) = (san_report.as_mut(), tracker) {
             report.tracked_stores += tr.tracked;
@@ -338,7 +394,9 @@ fn emit_kernel_timeline(
             .arg("smem_conflicts", cost.smem_conflicts)
             .arg("syncs", cost.syncs)
             .arg("mallocs", cost.mallocs)
-            .arg("atomic_serial", cost.atomic_serial),
+            .arg("atomic_serial", cost.atomic_serial)
+            .arg("child_launches", cost.child_launches)
+            .arg("child_blocks", cost.child_blocks),
     );
     // Per-pipe roofline terms as parallel sub-tracks: the tallest slice is
     // the one the kernel is bound by.
@@ -420,6 +478,15 @@ fn spec_stmt(s: &Stmt, b: &Bindings) -> Stmt {
         Stmt::DeviceMalloc { bytes } => Stmt::DeviceMalloc {
             bytes: spec_expr(bytes, b),
         },
+        Stmt::ChildLaunch {
+            kernel,
+            extent,
+            args,
+        } => Stmt::ChildLaunch {
+            kernel: *kernel,
+            extent: spec_expr(extent, b),
+            args: args.iter().map(|a| spec_expr(a, b)).collect(),
+        },
     }
 }
 
@@ -460,6 +527,20 @@ struct BlockState {
     smem: Vec<Vec<f64>>,
 }
 
+/// One device-side launch recorded during parent execution. Child grids
+/// run after the parent kernel's body completes (fire-and-forget), in
+/// launch order — deterministic, and matching the guarantee the lowering
+/// relies on (parents never read child output within the same kernel).
+#[derive(Debug, Clone)]
+struct PendingLaunch {
+    /// Index into `KernelProgram::children`.
+    kernel: u32,
+    /// Requested child threads (grid = `ceil(extent / block)`).
+    extent: u64,
+    /// Evaluated launch arguments → child locals `0..n` (all threads).
+    args: Vec<f64>,
+}
+
 struct Exec<'a> {
     gpu: &'a GpuSpec,
     buffers: &'a mut Vec<DeviceBuffer>,
@@ -467,6 +548,15 @@ struct Exec<'a> {
     kernel: &'a Kernel,
     /// Sanitizer hook: records every non-atomic global store when set.
     san: Option<&'a mut WriteTracker>,
+    /// Child launches issued by this grid, drained by the caller.
+    pending: &'a mut Vec<PendingLaunch>,
+    /// Offset added to sanitizer thread ids: child grids must not collide
+    /// with parent threads (or with other child grids) in the write
+    /// tracker, since they all belong to one launch epoch.
+    tid_base: u64,
+    /// Launch arguments (child grids only): values for locals `0..n`,
+    /// uniform across every thread of the grid.
+    launch_args: &'a [f64],
 }
 
 impl<'a> Exec<'a> {
@@ -497,6 +587,13 @@ impl<'a> Exec<'a> {
                         locals: vec![0.0; self.kernel.locals as usize * threads as usize],
                         smem: smem.clone(),
                     };
+                    // Child grids: launch arguments arrive as the leading
+                    // locals, identical for every thread of the block.
+                    for (a, &v) in self.launch_args.iter().enumerate() {
+                        for t in 0..threads as usize {
+                            blk.locals[a * threads as usize + t] = v;
+                        }
+                    }
                     if lockstep {
                         self.exec_block(&self.kernel.body, &mut blk)?;
                     } else {
@@ -608,8 +705,9 @@ impl<'a> Exec<'a> {
                         ];
                         let blk_lin = (u64::from(blk.bid[2]) * g[1] + u64::from(blk.bid[1])) * g[0]
                             + u64::from(blk.bid[0]);
-                        let base_tid =
-                            blk_lin * u64::from(blk.threads) + u64::from(warp * WARP_SIZE);
+                        let base_tid = self.tid_base
+                            + blk_lin * u64::from(blk.threads)
+                            + u64::from(warp * WARP_SIZE);
                         for l in lanes(mask) {
                             tracker.record(*buf, ix[l] as u64, base_tid + l as u64);
                         }
@@ -731,6 +829,39 @@ impl<'a> Exec<'a> {
                     self.eval(bytes, blk, warp, mask, &mut bv)?;
                     self.cost.mallocs += mask.count_ones() as u64;
                     self.cost.warp_instr += 1;
+                }
+                Stmt::ChildLaunch {
+                    kernel,
+                    extent,
+                    args,
+                } => {
+                    let mut ev = [0.0; W];
+                    self.eval(extent, blk, warp, mask, &mut ev)?;
+                    let mut av: Vec<Lanes> = Vec::with_capacity(args.len());
+                    for a in args {
+                        let mut lane_vals = [0.0; W];
+                        self.eval(a, blk, warp, mask, &mut lane_vals)?;
+                        av.push(lane_vals);
+                    }
+                    for l in lanes(mask) {
+                        let e = ev[l];
+                        if e.fract() != 0.0 || e < 0.0 {
+                            return Err(SimError(format!(
+                                "child launch extent {e} is not a non-negative integer"
+                            )));
+                        }
+                        // `extent ≤ 0` launches nothing (common guard-free
+                        // form; real CDP would launch an empty grid).
+                        if e < 1.0 {
+                            continue;
+                        }
+                        self.cost.child_launches += 1;
+                        self.pending.push(PendingLaunch {
+                            kernel: *kernel,
+                            extent: e as u64,
+                            args: av.iter().map(|vals| vals[l]).collect(),
+                        });
+                    }
                 }
             }
             self.cost.warp_instr += 1;
@@ -1021,6 +1152,7 @@ mod tests {
                 },
             ],
             kernels: vec![kernel],
+            children: vec![],
             notes: vec![],
         }
     }
@@ -1363,6 +1495,7 @@ mod more_tests {
                 locals: 2,
                 body,
             }],
+            children: vec![],
             notes: vec![],
         };
         let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
@@ -1398,6 +1531,7 @@ mod more_tests {
                 locals: 0,
                 body,
             }],
+            children: vec![],
             notes: vec![],
         };
         let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
@@ -1434,6 +1568,7 @@ mod more_tests {
                 locals: 1,
                 body,
             }],
+            children: vec![],
             notes: vec![],
         };
         let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();
@@ -1488,6 +1623,7 @@ mod more_tests {
                 locals: 1,
                 body,
             }],
+            children: vec![],
             notes: vec![],
         };
         let mut bind = Bindings::new();
@@ -1525,6 +1661,7 @@ mod more_tests {
                 locals: 0,
                 body,
             }],
+            children: vec![],
             notes: vec![],
         };
         let inputs: HashMap<_, _> = [(ArrayId(0), vec![0.0])].into_iter().collect();

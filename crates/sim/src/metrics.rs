@@ -149,7 +149,7 @@ impl RunMetrics {
                 "simulated end-to-end run time per request",
             )
             .record(self.total_seconds);
-        let mut totals = [0u64; 9];
+        let mut totals = [0u64; 11];
         for k in &self.kernels {
             for (slot, (_, v)) in totals.iter_mut().zip(cost_fields(&k.cost)) {
                 *slot += v;
@@ -250,6 +250,10 @@ fn kernel_from_json(j: &Json) -> Result<KernelMetrics, String> {
             syncs: req_u64(cost, "syncs")?,
             mallocs: req_u64(cost, "mallocs")?,
             atomic_serial: req_u64(cost, "atomic_serial")?,
+            // Absent in metrics files written before the dynamic-
+            // parallelism counters existed.
+            child_launches: opt_u64(cost, "child_launches"),
+            child_blocks: opt_u64(cost, "child_blocks"),
         },
         time: KernelTime {
             issue: req_f64(time, "issue")?,
@@ -269,7 +273,7 @@ fn kernel_from_json(j: &Json) -> Result<KernelMetrics, String> {
 
 /// The nine [`KernelCost`] counters as (name, value) pairs — the single
 /// source of truth shared by serialization and reporting.
-pub fn cost_fields(c: &KernelCost) -> [(&'static str, u64); 9] {
+pub fn cost_fields(c: &KernelCost) -> [(&'static str, u64); 11] {
     [
         ("warp_instr", c.warp_instr),
         ("mem_requests", c.mem_requests),
@@ -280,7 +284,15 @@ pub fn cost_fields(c: &KernelCost) -> [(&'static str, u64); 9] {
         ("syncs", c.syncs),
         ("mallocs", c.mallocs),
         ("atomic_serial", c.atomic_serial),
+        ("child_launches", c.child_launches),
+        ("child_blocks", c.child_blocks),
     ]
+}
+
+/// A `u64` field that may be missing (counters added after the schema
+/// shipped); missing means zero.
+fn opt_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
 }
 
 fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
@@ -328,6 +340,8 @@ mod tests {
                     syncs: 8,
                     mallocs: 0,
                     atomic_serial: 0,
+                    child_launches: 0,
+                    child_blocks: 0,
                 },
                 time: KernelTime {
                     issue: 1e-6,
@@ -390,8 +404,10 @@ mod tests {
             syncs: 64,
             mallocs: 128,
             atomic_serial: 256,
+            child_launches: 512,
+            child_blocks: 1024,
         };
         let sum: u64 = cost_fields(&c).iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, 511);
+        assert_eq!(sum, 2047);
     }
 }

@@ -4,4 +4,5 @@ pub mod kmeans;
 pub mod msm;
 pub mod naive_bayes;
 pub mod qpscd;
+pub mod ragged;
 pub mod spmv;

@@ -17,7 +17,25 @@ use std::collections::HashMap;
 /// dense vector `x`.
 #[allow(clippy::type_complexity)]
 pub fn program(mean_nnz_hint: i64) -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, ArrayId) {
-    let mut b = ProgramBuilder::new("spmv");
+    named_program("spmv", mean_nnz_hint)
+}
+
+/// The same program under the name `spmv_zipf` — the catalog's
+/// Zipf-degree instance, sized so the launch-consolidation stage
+/// triggers (catalog names must be unique for unambiguous reports).
+#[allow(clippy::type_complexity)]
+pub fn zipf_program(
+    mean_nnz_hint: i64,
+) -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, ArrayId) {
+    named_program("spmv_zipf", mean_nnz_hint)
+}
+
+#[allow(clippy::type_complexity)]
+fn named_program(
+    name: &str,
+    mean_nnz_hint: i64,
+) -> (Program, SymId, SymId, ArrayId, ArrayId, ArrayId, ArrayId) {
+    let mut b = ProgramBuilder::new(name);
     let n = b.sym("N");
     let e = b.sym("E");
     let row_ptr = b.input("row_ptr", ScalarKind::I32, &[Size::sym(n) + Size::from(1)]);

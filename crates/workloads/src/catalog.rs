@@ -216,6 +216,45 @@ pub fn catalog() -> Vec<CatalogEntry> {
         ],
     ));
 
+    // --- irregular / dynamic-parallelism workloads ---
+    // Zipf-degree SpMV, sized so the Auto consolidation policy actually
+    // consolidates (1024 rows × mean 16 ≈ 16k inner elements clears the
+    // 12k work floor and the warp-filling rows pick coarsening) while
+    // staying cheap enough for the catalog-sweeping tests and benches.
+    let g = CsrGraph::zipf(1024, 16, 1.0, 91);
+    let (p, n, e, row_ptr, col_idx, vals, x) = apps::spmv::zipf_program(g.mean_degree());
+    let mut b = Bindings::new();
+    b.bind(n, g.nodes as i64);
+    b.bind(e, g.edges as i64);
+    let vs: Vec<f64> = (0..g.edges).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+    let xs: Vec<f64> = (0..g.nodes).map(|i| (i % 7) as f64 * 0.25).collect();
+    out.push(entry(
+        p,
+        b,
+        [
+            (row_ptr, g.row_ptr.clone()),
+            (col_idx, g.col_idx.clone()),
+            (vals, vs),
+            (x, xs),
+        ],
+    ));
+
+    // Ragged filter-then-map over Zipf segment lengths (the effects-only
+    // consolidation site shape), at a small below-threshold size.
+    let g = CsrGraph::zipf(192, 6, 1.0, 29);
+    let (p, n, e, seg_ptr, data, _out, _counts) = apps::ragged::program(g.mean_degree());
+    let mut b = Bindings::new();
+    b.bind(n, g.nodes as i64);
+    b.bind(e, g.edges as i64);
+    out.push(entry(
+        p,
+        b,
+        [
+            (seg_ptr, g.row_ptr.clone()),
+            (data, apps::ragged::element_data(g.edges)),
+        ],
+    ));
+
     // --- applications (Figure 14) ---
     let (points, clusters, dims) = (32, 4, 3);
     let (xs, centroids) = data::trajectories(points, clusters, dims, 77);

@@ -118,9 +118,57 @@ impl CsrGraph {
         }
     }
 
+    /// Generate a graph whose degree sequence follows a Zipf law with
+    /// exponent `alpha`, scaled so the mean degree is ≈ `mean_degree`:
+    /// node of rank `r` (1-based) gets degree ∝ `1/r^alpha`. Larger
+    /// `alpha` means heavier skew — a handful of hub nodes own most of
+    /// the edges while the tail degenerates to degree 0 — which is
+    /// exactly the regime where launch consolidation choices diverge.
+    /// Ranks are scattered over node ids deterministically so the hubs
+    /// are not clustered at the front of the CSR.
+    pub fn zipf(nodes: usize, mean_degree: usize, alpha: f64, seed: u64) -> CsrGraph {
+        let mut r = rng(seed);
+        // Unnormalized Zipf weights by rank, then scale to the target
+        // edge total.
+        let weights: Vec<f64> = (1..=nodes).map(|rank| (rank as f64).powf(-alpha)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let target = (nodes * mean_degree) as f64;
+        // Deterministic rank→node scatter: stride by a coprime of
+        // `nodes` so consecutive ranks land far apart.
+        let stride = (nodes / 2 + 1) | 1;
+        let mut degree = vec![0usize; nodes];
+        for (rank, w) in weights.iter().enumerate() {
+            let node = (rank * stride) % nodes;
+            degree[node] = (target * w / wsum).round() as usize;
+        }
+        let mut row_ptr = Vec::with_capacity(nodes + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0.0);
+        for &deg in &degree {
+            for _ in 0..deg.min(nodes) {
+                col_idx.push(r.below(nodes) as f64);
+            }
+            row_ptr.push(col_idx.len() as f64);
+        }
+        let edges = col_idx.len();
+        CsrGraph {
+            row_ptr,
+            col_idx,
+            nodes,
+            edges,
+        }
+    }
+
     /// The degree of node `n`.
     pub fn degree(&self, n: usize) -> usize {
         (self.row_ptr[n + 1] - self.row_ptr[n]) as usize
+    }
+
+    /// Mean degree, rounded to at least 1 (the estimate hint fed to
+    /// `reduce_dyn`/`foreach_dyn` so the mapper has a representative
+    /// size for the dynamic level).
+    pub fn mean_degree(&self) -> i64 {
+        ((self.edges / self.nodes.max(1)) as i64).max(1)
     }
 }
 
@@ -186,6 +234,30 @@ mod tests {
         let max_deg = (0..200).map(|n| g.degree(n)).max().unwrap();
         let mean = g.edges / 200;
         assert!(max_deg >= 3 * mean, "max {max_deg} mean {mean}");
+    }
+
+    #[test]
+    fn zipf_graph_matches_requested_statistics() {
+        let g = CsrGraph::zipf(256, 8, 1.0, 7);
+        assert_eq!(g.row_ptr.len(), 257);
+        assert_eq!(g.row_ptr[256] as usize, g.edges);
+        assert!(g.col_idx.iter().all(|&c| (c as usize) < 256));
+        // Mean lands near the request (rounding each rank's share costs
+        // a little mass in the tail).
+        let mean = g.edges as f64 / 256.0;
+        assert!((4.0..=9.0).contains(&mean), "mean {mean}");
+        // Heavier alpha concentrates more edges in the hubs. The top hub
+        // saturates at the node-count cap, so the second-largest degree
+        // is the robust skew signal.
+        let heavy = CsrGraph::zipf(256, 8, 1.2, 7);
+        let second = |g: &CsrGraph| {
+            let mut d: Vec<usize> = (0..256).map(|n| g.degree(n)).collect();
+            d.sort_unstable_by(|a, b| b.cmp(a));
+            d[1]
+        };
+        assert!(second(&heavy) > second(&g), "skew should grow with alpha");
+        // Same seed and parameters reproduce bit-identically.
+        assert_eq!(g, CsrGraph::zipf(256, 8, 1.0, 7));
     }
 
     #[test]

@@ -148,6 +148,7 @@ pub fn nn_manual(n: usize) -> Result<Outcome, WorkloadError> {
             locals: 3,
             body,
         }],
+        children: vec![],
         notes: vec![],
     };
     let recs: Vec<f64> = data::matrix(n, 2, 11)
@@ -373,6 +374,7 @@ fn fused_kernel(
             locals: 1,
             body,
         }],
+        children: vec![],
         notes: vec![],
     }
 }
@@ -530,6 +532,7 @@ fn panel_factor_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
             locals: 2,
             body,
         }],
+        children: vec![],
         notes: vec![],
     }
 }
@@ -605,6 +608,7 @@ fn u12_solve_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
             locals: 3,
             body,
         }],
+        children: vec![],
         notes: vec![],
     }
 }
@@ -737,6 +741,7 @@ fn gemm_update_kernel(n: usize, kb: usize, pend: usize) -> KernelProgram {
             locals: 4,
             body,
         }],
+        children: vec![],
         notes: vec![],
     }
 }
