@@ -1,0 +1,111 @@
+//! CI alert gate.
+//!
+//! ```text
+//! check_alerts <baseline.json> <current.json> [--alerts <log.json>] [--tolerance <ratio>]
+//! ```
+//!
+//! Derives page-severity alert rules from the committed load baseline
+//! (p99-under-load, shed rate, availability — see
+//! `multidim_bench::alerts_gate`), replays them against the fresh `load
+//! --report` JSON, and, when `--alerts` points at the run's alert-log
+//! artifact, also fails if any page-severity alert fired during the run.
+//! Ticket-severity alerts (the standing burn-rate rules, which fire by
+//! design under overdrive) never fail the gate.
+//!
+//! Exit code 0 when no page fires, 1 when one does, 2 on unreadable or
+//! schema-incomplete input — a missing metric is an error, never a
+//! silent pass. The tolerance can also be set with
+//! `MULTIDIM_REGRESSION_TOLERANCE`; the flag wins.
+
+use multidim_bench::alerts_gate::check_alerts;
+use multidim_bench::regression::DEFAULT_TOLERANCE;
+use multidim_trace::json::Json;
+use std::process::ExitCode;
+
+fn load(path: &str, which: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {which} `{path}`: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{which} `{path}` is not valid JSON: {e}"))
+}
+
+struct Args {
+    baseline: String,
+    current: String,
+    alerts: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut tolerance = match std::env::var("MULTIDIM_REGRESSION_TOLERANCE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("MULTIDIM_REGRESSION_TOLERANCE is not a number: `{v}`"))?,
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+    let mut alerts = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let v = args
+                .next()
+                .ok_or_else(|| "--tolerance needs a value".to_string())?;
+            tolerance = v
+                .parse::<f64>()
+                .map_err(|_| format!("--tolerance is not a number: `{v}`"))?;
+        } else if arg == "--alerts" {
+            alerts = Some(
+                args.next()
+                    .ok_or_else(|| "--alerts needs a path".to_string())?,
+            );
+        } else {
+            positional.push(arg);
+        }
+    }
+    match <[String; 2]>::try_from(positional) {
+        Ok([baseline, current]) => Ok(Args {
+            baseline,
+            current,
+            alerts,
+            tolerance,
+        }),
+        Err(_) => Err(
+            "usage: check_alerts <baseline.json> <current.json> [--alerts <log.json>] [--tolerance <ratio>]"
+                .to_string(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gate = load(&args.baseline, "baseline report").and_then(|baseline| {
+        let current = load(&args.current, "current report")?;
+        let run_log = match &args.alerts {
+            Some(path) => Some(load(path, "alert log")?),
+            None => None,
+        };
+        check_alerts(&baseline, &current, run_log.as_ref(), args.tolerance)
+    });
+    match gate {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                println!("alert gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!("alert gate: FAIL (page-severity alert fired)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

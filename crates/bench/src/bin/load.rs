@@ -30,13 +30,30 @@
 //! run). `--tenants M` spreads the clients over M tenants
 //! deterministically from the seed; quotas default to unlimited so the
 //! gate metrics stay comparable.
+//!
+//! Tracing and alerting:
+//! * `--traces PATH` installs a process-wide tail-sampling trace store
+//!   for the run and writes the kept traces (plus sampler stats) as
+//!   JSON; completions whose trace was kept land in the latency
+//!   histogram with exemplar trace ids, so the report's p99 links to a
+//!   stored trace.
+//! * `--alerts PATH` writes the run's alert transition log (the
+//!   `check_alerts` gate scans it for page-severity firings).
+//! * `--alert-baseline PATH` derives page-severity threshold rules from
+//!   a committed baseline and evaluates them live, alongside the
+//!   standing ticket-severity burn-rate rules.
 
 use multidim::Compiler;
+use multidim_bench::alerts_gate::rules_from_baseline;
 use multidim_bench::loadgen::{run_load, run_load_fleet, LoadConfig, LoadMode};
+use multidim_bench::regression::DEFAULT_TOLERANCE;
 use multidim_engine::{Engine, EngineConfig};
 use multidim_obs::Slo;
 use multidim_serve::{FrontDoor, FrontDoorConfig, QuotaPolicy};
+use multidim_trace::json::Json;
+use multidim_trace::{install_store, TailSamplerConfig, TraceStore};
 use multidim_workloads::catalog::catalog;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -45,7 +62,8 @@ fn usage() -> ! {
             [--mode closed|open|overdrive]
             [--duration 5s] [--requests N] [--target-rps R] [--overdrive-factor F]
             [--workers N] [--queue N] [--deadline-ms N] [--window-ms N]
-            [--availability-slo F] [--p99-slo-ms F] [--report PATH]"
+            [--availability-slo F] [--p99-slo-ms F] [--report PATH]
+            [--traces PATH] [--alerts PATH] [--alert-baseline PATH]"
     );
     std::process::exit(2);
 }
@@ -81,6 +99,9 @@ fn main() {
     let mut availability_slo = 0.99f64;
     let mut p99_slo_ms = 50.0f64;
     let mut report: Option<String> = None;
+    let mut traces: Option<String> = None;
+    let mut alerts: Option<String> = None;
+    let mut alert_baseline: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +129,9 @@ fn main() {
             "--availability-slo" => availability_slo = value().parse().unwrap_or_else(|_| usage()),
             "--p99-slo-ms" => p99_slo_ms = value().parse().unwrap_or_else(|_| usage()),
             "--report" => report = Some(value()),
+            "--traces" => traces = Some(value()),
+            "--alerts" => alerts = Some(value()),
+            "--alert-baseline" => alert_baseline = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -144,6 +168,35 @@ fn main() {
     }
     let entries = catalog();
 
+    // Page rules derived from the committed baseline join the standing
+    // ticket-severity burn rules for live evaluation.
+    let mut alert_rules = LoadConfig::default_alert_rules();
+    if let Some(path) = &alert_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read alert baseline `{path}`: {e}"))
+            .and_then(|text| {
+                Json::parse(&text)
+                    .map_err(|e| format!("alert baseline `{path}` is not valid JSON: {e}"))
+            })
+            .and_then(|json| rules_from_baseline(&json, DEFAULT_TOLERANCE))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        alert_rules.extend(baseline);
+    }
+
+    // Keep every interesting trace of a CI smoke without eviction: the
+    // store is bounded, but 32k kept traces is far beyond what a 5 s
+    // overdrive run keeps (errors + sheds + slow + ~5% of the rest).
+    let store = traces.as_ref().map(|_| {
+        Arc::new(TraceStore::new(TailSamplerConfig {
+            capacity: 32_768,
+            ..TailSamplerConfig::default()
+        }))
+    });
+    let _store_guard = store.clone().map(install_store);
+
     let cfg = LoadConfig {
         clients,
         tenants,
@@ -153,6 +206,7 @@ fn main() {
         slo: Slo::new("load", availability_slo, p99_slo_ms / 1e3),
         window: Duration::from_millis(window_ms),
         windows: 64,
+        alert_rules,
     };
     let rep = if shards > 1 {
         // Split the worker budget across shards so total parallelism
@@ -183,14 +237,30 @@ fn main() {
         rep
     };
     println!("{}", rep.render_text());
+    if let Some(store) = &store {
+        let stats = store.stats();
+        println!(
+            "  traces: kept {} of {} finished (dropped {} boring, evicted {})",
+            stats.kept, stats.finished, stats.dropped_sampled, stats.evicted
+        );
+    }
 
-    if let Some(path) = report {
-        match std::fs::write(&path, rep.to_json().render()) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(err) => {
-                eprintln!("failed to write {path}: {err}");
-                std::process::exit(1);
-            }
+    let write = |path: &str, body: String, what: &str| match std::fs::write(path, body) {
+        Ok(()) => eprintln!("wrote {path} ({what})"),
+        Err(err) => {
+            eprintln!("failed to write {path}: {err}");
+            std::process::exit(1);
         }
+    };
+    if let Some(path) = report {
+        write(&path, rep.to_json().render(), "load report");
+    }
+    if let Some(path) = traces {
+        let store = store.as_ref().expect("store installed with --traces");
+        write(&path, store.to_json().render(), "kept traces");
+    }
+    if let Some(path) = alerts {
+        let log = Json::Arr(rep.alerts.iter().map(|e| e.to_json()).collect());
+        write(&path, log.render(), "alert transition log");
     }
 }

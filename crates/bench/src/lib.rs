@@ -12,7 +12,12 @@
 //! [`loadgen`] module is the zipf load generator behind the `load`
 //! binary, whose `--report` output the same gate checks against
 //! `BENCH_load_baseline.json` (p99-under-load, shed rate, availability).
+//! The [`alerts_gate`] module expresses the same baseline contract as
+//! page-severity alert rules: the `load` bin evaluates them live
+//! (`--alert-baseline`), and the `check_alerts` binary fails CI when a
+//! page fires against a fresh report or fired during the run.
 
+pub mod alerts_gate;
 pub mod loadgen;
 pub mod regression;
 

@@ -24,15 +24,31 @@
 //!   tenants deterministically from the seed;
 //! * a [`LoadReport`] carrying the gate metrics (`p99_under_load_us`,
 //!   `shed_rate`, `availability`), per-workload and per-tenant rows,
-//!   the [`SloStatus`] dashboard, and overload time series.
+//!   the [`SloStatus`] dashboard, and overload time series;
+//! * closed-loop **alerting**: the coordinator thread evaluates an
+//!   [`AlertEngine`] once per window rotation against the run's SLO
+//!   tracker and a live metrics registry (`p99_under_load_us`,
+//!   `shed_rate`, `availability`, `queue_depth`), and the report carries
+//!   the transition log — ticket-severity burn alerts fire by design
+//!   under overdrive, page-severity rules come from a committed baseline
+//!   (see the `check_alerts` gate);
+//! * trace-linked **exemplars**: when a
+//!   [`TraceStore`](multidim_trace::TraceStore) is installed, each
+//!   completion whose trace the tail sampler kept lands in the latency
+//!   histogram with its trace id attached, so the report's p99 links to
+//!   a stored trace.
 
 use multidim_engine::{Engine, EngineError, Request, Response, Ticket};
-use multidim_obs::{HistogramSnapshot, Slo, SloStatus, SloTracker, TimeSeries};
+use multidim_obs::{
+    AlertEngine, AlertEvent, AlertRule, AlertSeverity, BurnObjective, BurnRateRule, Exemplar,
+    HistogramSnapshot, Registry, Slo, SloStatus, SloTracker, TimeSeries,
+};
 use multidim_serve::{FrontDoor, ServeError};
 use multidim_trace::json::Json;
 use multidim_workloads::catalog::CatalogEntry;
 use multidim_workloads::data::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Retained samples per overload time series.
@@ -223,8 +239,13 @@ impl AnyTicket {
 
 /// Unified classification of one request's fate, target-independent.
 enum Outcome {
-    /// Served; carries end-to-end latency (seconds) and the cache view.
-    Completed { latency: f64, cache_hit: bool },
+    /// Served; carries end-to-end latency (seconds), the cache view, and
+    /// the request's trace id when tracing was on for it.
+    Completed {
+        latency: f64,
+        cache_hit: bool,
+        trace: Option<u128>,
+    },
     /// Rejected by backpressure or shed at admission (deadline
     /// unmeetable, every shard overloaded).
     Shed,
@@ -243,6 +264,7 @@ impl Outcome {
             Ok(resp) => Outcome::Completed {
                 latency: (resp.queue_wait + resp.service_time).as_secs_f64(),
                 cache_hit: resp.cache_hit,
+                trace: resp.trace.map(|c| c.trace_id),
             },
             Err(e) => Outcome::from_engine_error(e),
         }
@@ -266,6 +288,7 @@ impl Outcome {
             Ok(served) => Outcome::Completed {
                 latency: (served.response.queue_wait + served.response.service_time).as_secs_f64(),
                 cache_hit: served.response.cache_hit,
+                trace: served.response.trace.map(|c| c.trace_id),
             },
             Err(e) => Outcome::from_serve_error(e),
         }
@@ -345,6 +368,41 @@ pub struct LoadConfig {
     pub window: Duration,
     /// SLO windows retained (the burn-rate horizon).
     pub windows: usize,
+    /// Alert rules the coordinator evaluates once per window rotation.
+    /// Defaults to [`LoadConfig::default_alert_rules`]; extend with
+    /// page-severity rules derived from a committed baseline to make a
+    /// run CI-gateable (see `alerts_gate::rules_from_baseline`).
+    pub alert_rules: Vec<AlertRule>,
+}
+
+impl LoadConfig {
+    /// The standing rule set: ticket-severity multi-window burn alerts
+    /// on both halves of the SLO. Overdrive burns budget *by design* —
+    /// these fire to show the pipeline is live, and being tickets they
+    /// never fail the CI alert gate (page rules are reserved for
+    /// baseline-conditioned regressions).
+    pub fn default_alert_rules() -> Vec<AlertRule> {
+        vec![
+            AlertRule::Burn(BurnRateRule {
+                name: "availability-burn".to_string(),
+                severity: AlertSeverity::Ticket,
+                slo: "load".to_string(),
+                objective: BurnObjective::Availability,
+                fast_windows: 4,
+                slow_windows: 16,
+                threshold: 6.0,
+            }),
+            AlertRule::Burn(BurnRateRule {
+                name: "latency-burn".to_string(),
+                severity: AlertSeverity::Ticket,
+                slo: "load".to_string(),
+                objective: BurnObjective::Latency,
+                fast_windows: 4,
+                slow_windows: 16,
+                threshold: 6.0,
+            }),
+        ]
+    }
 }
 
 impl Default for LoadConfig {
@@ -365,6 +423,7 @@ impl Default for LoadConfig {
             slo: Slo::new("load", 0.99, 0.050),
             window: Duration::from_millis(250),
             windows: 64,
+            alert_rules: LoadConfig::default_alert_rules(),
         }
     }
 }
@@ -474,6 +533,12 @@ pub struct LoadReport {
     pub slo: SloStatus,
     /// Overload telemetry (queue depth, in-flight, shed rate, …).
     pub series: Vec<SeriesReport>,
+    /// Alert transition log (firing/resolved edges, evaluation order).
+    pub alerts: Vec<AlertEvent>,
+    /// `(bucket, exemplar)` pairs from the end-to-end latency histogram:
+    /// trace ids of kept traces, one per occupied bucket. Empty when no
+    /// trace store was installed for the run.
+    pub exemplars: Vec<(usize, Exemplar)>,
 }
 
 impl LoadReport {
@@ -649,6 +714,25 @@ impl LoadReport {
                 "series".to_string(),
                 Json::Arr(self.series.iter().map(|s| s.series.to_json()).collect()),
             ),
+            (
+                "alerts".to_string(),
+                Json::Arr(self.alerts.iter().map(AlertEvent::to_json).collect()),
+            ),
+            (
+                "exemplars".to_string(),
+                Json::Arr(
+                    self.exemplars
+                        .iter()
+                        .map(|(bucket, e)| {
+                            Json::Obj(vec![
+                                ("bucket".to_string(), Json::Num(*bucket as f64)),
+                                ("trace_id".to_string(), Json::Str(e.trace_hex())),
+                                ("latency_seconds".to_string(), num(e.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -739,6 +823,29 @@ impl LoadReport {
                 );
             }
         }
+        out.push('\n');
+        if self.alerts.is_empty() {
+            let _ = writeln!(out, "  alerts: none fired");
+        } else {
+            let _ = writeln!(out, "  alerts ({} transitions):", self.alerts.len());
+            for e in &self.alerts {
+                let _ = writeln!(out, "    {}", e.render_line());
+            }
+        }
+        if !self.exemplars.is_empty() {
+            let slowest = self
+                .exemplars
+                .iter()
+                .max_by(|(a, _), (b, _)| a.cmp(b))
+                .expect("non-empty");
+            let _ = writeln!(
+                out,
+                "  exemplars: {} buckets carry trace ids (slowest {} @ {:.2} ms)",
+                self.exemplars.len(),
+                slowest.1.trace_hex(),
+                slowest.1.value * 1e3
+            );
+        }
         if self.per_tenant.len() > 1 {
             out.push('\n');
             let _ = writeln!(
@@ -804,10 +911,14 @@ struct TenantCounters {
 }
 
 /// Shared run state: counters, the SLO tracker, and latency histograms.
+/// The end-to-end latency histogram lives in a [`Registry`] (as
+/// `load_request_seconds`) so alert threshold rules can read it and
+/// attach its exemplars to firing events.
 struct RunState {
     workloads: Vec<WorkloadCounters>,
     tenants: Vec<TenantCounters>,
-    latency: multidim_obs::Histogram,
+    registry: Registry,
+    latency: Arc<multidim_obs::Histogram>,
     per_workload_latency: Vec<multidim_obs::Histogram>,
     per_tenant_latency: Vec<multidim_obs::Histogram>,
     tracker: SloTracker,
@@ -822,10 +933,16 @@ struct RunState {
 impl RunState {
     fn new(n: usize, tenants: usize, slo: Slo, windows: usize) -> RunState {
         let tenants = tenants.max(1);
+        let registry = Registry::new();
+        let latency = registry.histogram(
+            "load_request_seconds",
+            "end-to-end latency of served requests (client view)",
+        );
         RunState {
             workloads: (0..n).map(|_| WorkloadCounters::default()).collect(),
             tenants: (0..tenants).map(|_| TenantCounters::default()).collect(),
-            latency: multidim_obs::Histogram::new(),
+            registry,
+            latency,
             per_workload_latency: (0..n).map(|_| multidim_obs::Histogram::new()).collect(),
             per_tenant_latency: (0..tenants)
                 .map(|_| multidim_obs::Histogram::new())
@@ -854,7 +971,11 @@ impl RunState {
         let w = &self.workloads[workload];
         let t = &self.tenants[tenant];
         match outcome {
-            Outcome::Completed { latency, cache_hit } => {
+            Outcome::Completed {
+                latency,
+                cache_hit,
+                trace,
+            } => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 w.completed.fetch_add(1, Ordering::Relaxed);
                 t.completed.fetch_add(1, Ordering::Relaxed);
@@ -863,7 +984,16 @@ impl RunState {
                 } else {
                     w.cache_misses.fetch_add(1, Ordering::Relaxed);
                 }
-                self.latency.record(*latency);
+                // Attach the trace id as an exemplar only when the tail
+                // sampler kept the trace (the serving tier finishes the
+                // trace before the outcome reaches the client), so every
+                // published exemplar resolves to a stored trace.
+                let kept =
+                    trace.filter(|id| multidim_trace::store().is_some_and(|s| s.contains(*id)));
+                match kept {
+                    Some(id) => self.latency.record_with_exemplar(*latency, id),
+                    None => self.latency.record(*latency),
+                }
                 self.per_workload_latency[workload].record(*latency);
                 self.per_tenant_latency[tenant].record(*latency);
                 self.tracker.record(*latency, true);
@@ -893,6 +1023,32 @@ impl RunState {
             }
         }
     }
+}
+
+/// Refresh the gauges alert threshold rules read. The names mirror the
+/// report's gate schema (`p99_under_load_us`, `shed_rate`,
+/// `availability`) so the same baseline-derived rules work against a
+/// live run and against a finished report in the `check_alerts` gate.
+fn sample_alert_gauges(state: &RunState, target: LoadTarget<'_>) {
+    let r = &state.registry;
+    if let Some(p99) = state.latency.quantile(0.99) {
+        r.gauge(
+            "p99_under_load_us",
+            "p99 latency of completions so far (µs)",
+        )
+        .set(p99 * 1e6);
+    }
+    let attempted = state.attempted.load(Ordering::Relaxed);
+    if attempted > 0 {
+        let shed = state.shed.load(Ordering::Relaxed);
+        let completed = state.completed.load(Ordering::Relaxed);
+        r.gauge("shed_rate", "shed fraction of attempted requests")
+            .set(shed as f64 / attempted as f64);
+        r.gauge("availability", "served fraction of attempted requests")
+            .set(completed as f64 / attempted as f64);
+    }
+    r.gauge("queue_depth", "target queue depth at last sample")
+        .set(target.queue_depth() as f64);
 }
 
 fn request_for(entry: &CatalogEntry) -> Request {
@@ -1082,9 +1238,11 @@ fn run_load_target(
 
     let stop = std::sync::atomic::AtomicBool::new(false);
     let started = Instant::now();
+    let mut alerts: Vec<AlertEvent> = Vec::new();
     std::thread::scope(|s| {
-        // Coordinator: rotate SLO windows and sample overload telemetry
-        // on the window cadence until the clients are done.
+        // Coordinator: rotate SLO windows, sample overload telemetry,
+        // and evaluate the alert rules on the window cadence until the
+        // clients are done. Returns the alert transition log.
         let coordinator = {
             let state = &state;
             let stop = &stop;
@@ -1095,6 +1253,7 @@ fn run_load_target(
                 &miss_per_sec,
                 &done_per_sec,
             );
+            let mut engine = AlertEngine::new(cfg.alert_rules.clone());
             s.spawn(move || {
                 let (queue_depth, in_flight, shed_per_sec, miss_per_sec, done_per_sec) = series;
                 let mut last = (0u64, 0u64, 0u64);
@@ -1113,9 +1272,18 @@ fn run_load_target(
                     miss_per_sec.push(t, (now.1 - last.1) as f64 / window_secs);
                     done_per_sec.push(t, (now.2 - last.2) as f64 / window_secs);
                     last = now;
+                    // Evaluate *before* rotating: burn-rate spans start
+                    // at the live window, which the rotation would empty.
+                    sample_alert_gauges(state, target);
+                    engine.evaluate(Some(&state.registry), &[("load", &state.tracker)]);
                     state.tracker.rotate();
                     target.rotate_target_slo();
                 }
+                // One final pass over the drained run so short tests that
+                // never complete a full window still get an evaluation.
+                sample_alert_gauges(state, target);
+                engine.evaluate(Some(&state.registry), &[("load", &state.tracker)]);
+                engine.log().to_vec()
             })
         };
 
@@ -1168,7 +1336,7 @@ fn run_load_target(
             }
         });
         stop.store(true, Ordering::Relaxed);
-        let _ = coordinator.join();
+        alerts = coordinator.join().expect("coordinator thread panicked");
     });
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -1181,6 +1349,7 @@ fn run_load_target(
         target_rps,
         calibrated_rps,
         elapsed,
+        alerts,
         vec![
             SeriesReport {
                 name: "queue_depth".to_string(),
@@ -1216,6 +1385,7 @@ fn finish_report(
     target_rps: Option<f64>,
     calibrated_rps: Option<f64>,
     elapsed: f64,
+    alerts: Vec<AlertEvent>,
     series: Vec<SeriesReport>,
 ) -> LoadReport {
     let per_workload: Vec<WorkloadRow> = entries
@@ -1315,5 +1485,7 @@ fn finish_report(
         per_tenant,
         slo: state.tracker.status(),
         series,
+        alerts,
+        exemplars: state.latency.exemplars(),
     }
 }

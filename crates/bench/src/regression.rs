@@ -99,7 +99,7 @@ impl GateReport {
     }
 }
 
-fn req_f64(j: &Json, key: &'static str, which: &str) -> Result<f64, String> {
+pub(crate) fn req_f64(j: &Json, key: &'static str, which: &str) -> Result<f64, String> {
     j.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{which} report: missing number `{key}`"))

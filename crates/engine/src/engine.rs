@@ -11,7 +11,7 @@ use multidim_obs::{
     Counter, CounterFamily, FlightRecorder, Histogram, HistogramFamily, PhaseBreakdown, PostMortem,
     Registry, RequestProfile, SearchBreakdown,
 };
-use multidim_trace::Sink;
+use multidim_trace::{instant_us, Sink, SpanRecord, TraceContext, TraceOutcome};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -73,6 +73,17 @@ pub struct Request {
     pub inputs: HashMap<ArrayId, Vec<f64>>,
     /// Per-request deadline override (else [`EngineConfig::default_deadline`]).
     pub deadline: Option<Duration>,
+    /// Request-scoped trace context. `None` lets the engine mint one at
+    /// submission (when a trace store is installed); an upstream tier
+    /// (the sharded front door) sets it to stitch its own spans and the
+    /// engine's into one trace — whoever minted the context owns the
+    /// root span and the tail-sampling decision.
+    pub trace: Option<TraceContext>,
+    /// When the request was first admitted upstream. Queue accounting
+    /// uses this instead of the submission instant, so a spilled
+    /// resubmission is charged for its *full* wait, not just the slice
+    /// after the retry. `None` means "admitted now".
+    pub admitted_at: Option<Instant>,
 }
 
 impl Request {
@@ -87,6 +98,8 @@ impl Request {
             bindings,
             inputs,
             deadline: None,
+            trace: None,
+            admitted_at: None,
         }
     }
 }
@@ -115,6 +128,8 @@ pub struct Response {
     pub compile_time: Duration,
     /// Time executing on the simulator (wall clock).
     pub run_time: Duration,
+    /// The trace context the request ran under, when tracing was on.
+    pub trace: Option<TraceContext>,
 }
 
 /// The completion slot shared by a [`Ticket`] and its worker-side
@@ -332,6 +347,11 @@ struct EngineMetrics {
     request_seconds_by_workload: Arc<HistogramFamily>,
     cache_hits_by_workload: Arc<CounterFamily>,
     cache_misses_by_workload: Arc<CounterFamily>,
+    // Dynamic-parallelism visibility: the simulator's global
+    // `sim_child_*_total` counters can't say *which* workload launched
+    // child kernels; these families can.
+    child_launches_by_workload: Arc<CounterFamily>,
+    child_blocks_by_workload: Arc<CounterFamily>,
 }
 
 impl EngineMetrics {
@@ -405,6 +425,16 @@ impl EngineMetrics {
             cache_misses_by_workload: registry.counter_family(
                 "engine_cache_misses_by_workload",
                 "compile-cache misses (cold compiles), by program",
+                "workload",
+            ),
+            child_launches_by_workload: registry.counter_family(
+                "engine_child_launches_by_workload",
+                "dynamic-parallelism child kernel launches, by program",
+                "workload",
+            ),
+            child_blocks_by_workload: registry.counter_family(
+                "engine_child_blocks_by_workload",
+                "dynamic-parallelism child blocks launched, by program",
                 "workload",
             ),
         }
@@ -522,13 +552,25 @@ impl Engine {
     /// backpressure — the call never blocks), [`EngineError::ShuttingDown`]
     /// when the pool is draining.
     pub fn submit(&self, request: Request) -> Result<Ticket, EngineError> {
+        let mut request = request;
+        // Mint a trace at the boundary when nobody upstream did — the
+        // engine then owns the root span and the tail-sampling decision.
+        // An upstream-minted context (the front door's) is carried through
+        // untouched; its minter finishes the trace.
+        let owns_trace = request.trace.is_none();
+        if owns_trace && multidim_trace::store_enabled() {
+            request.trace = Some(TraceContext::mint());
+        }
+        let trace = request.trace;
         let (ticket, sender) = Ticket::new();
         let shared = self.shared.clone();
         let deadline = request.deadline.or(self.default_deadline);
-        let enqueued = Instant::now();
+        // A spilled resubmission carries its original admission instant so
+        // queue accounting charges the full wait, not the retry's slice.
+        let enqueued = request.admitted_at.unwrap_or_else(Instant::now);
         let workload = request.program.name.clone();
         let job = Box::new(move || {
-            process_request(&shared, request, deadline, enqueued, &sender);
+            process_request(&shared, request, deadline, enqueued, owns_trace, &sender);
         });
         match self.pool.try_submit(job) {
             Ok(()) => {
@@ -545,6 +587,7 @@ impl Engine {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 self.shared.metrics.rejected_total.inc();
                 self.shared.metrics.shed_by_workload.with(&workload).inc();
+                finish_trace(trace, owns_trace, TraceOutcome::Shed, None);
                 Err(self.rejection())
             }
             Err(None) => Err(EngineError::ShuttingDown),
@@ -1031,21 +1074,80 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Finish a trace in the installed store if this tier minted it; the
+/// context's minter owns the sampling decision. Returns the kept trace id
+/// when the sampler retained the trace.
+fn finish_trace(
+    trace: Option<TraceContext>,
+    owns: bool,
+    outcome: TraceOutcome,
+    latency_seconds: Option<f64>,
+) -> Option<u128> {
+    if !owns {
+        return None;
+    }
+    let ctx = trace.filter(|c| c.sampled)?;
+    let store = multidim_trace::store()?;
+    store
+        .finish(&ctx, outcome, latency_seconds)
+        .then_some(ctx.trace_id)
+}
+
+/// Record one already-elapsed child span of `ctx` (queue waits and other
+/// phases reconstructed after the fact, where a live [`RequestSpan`]
+/// guard can't wrap the work).
+fn record_child_span(
+    ctx: &TraceContext,
+    cat: &'static str,
+    name: &'static str,
+    start: Instant,
+    dur: Duration,
+    args: Vec<(&'static str, multidim_trace::Value)>,
+) {
+    if !ctx.sampled {
+        return;
+    }
+    if let Some(store) = multidim_trace::store() {
+        let child = ctx.child();
+        store.record(
+            ctx,
+            SpanRecord {
+                span_id: child.span_id,
+                parent: Some(ctx.span_id),
+                cat,
+                name,
+                start_us: instant_us(start),
+                dur_us: dur.as_secs_f64() * 1e6,
+                args,
+            },
+        );
+    }
+}
+
 fn process_request(
     shared: &Shared,
     request: Request,
     deadline: Option<Duration>,
     enqueued: Instant,
+    owns_trace: bool,
     sender: &TicketSender,
 ) {
     shared.in_flight.fetch_add(1, Ordering::Relaxed);
     let _in_flight = InFlightGuard(&shared.in_flight);
+    // Make the request's context current on this worker thread so every
+    // span recorded below (and inside `serve`) stitches into one trace
+    // even though admission happened on a different thread.
+    let trace = request.trace;
+    let _ctx_guard = trace.map(multidim_trace::set_current);
     let workload = request.program.name.clone();
     let queue_wait = enqueued.elapsed();
     shared
         .metrics
         .queue_seconds
         .record(queue_wait.as_secs_f64());
+    if let Some(ctx) = &trace {
+        record_child_span(ctx, "engine", "queue", enqueued, queue_wait, Vec::new());
+    }
     // Deadline check #1: the request may have expired while queued.
     if let Some(d) = deadline {
         if queue_wait > d {
@@ -1069,6 +1171,13 @@ fn process_request(
                 ..ServePhases::default()
             };
             record_failure(shared, &request, err.to_string(), queue_wait, &phases);
+            record_root_span(trace, owns_trace, &workload, enqueued, "expired");
+            finish_trace(
+                trace,
+                owns_trace,
+                TraceOutcome::Expired,
+                Some(queue_wait.as_secs_f64()),
+            );
             sender.send(Err(err));
             return;
         }
@@ -1101,19 +1210,60 @@ fn process_request(
             service_time: started.elapsed(),
             compile_time: phases.compile.unwrap_or_default(),
             run_time: phases.run.unwrap_or_default(),
+            trace,
         }
     });
+    // Stitch the trace before touching the histograms: the root span must
+    // land before `finish` seals the trace, and the sampler's keep/drop
+    // verdict decides whether the latency sample carries an exemplar.
+    let (trace_outcome, trace_latency) = match &result {
+        Ok(resp) => (
+            TraceOutcome::Completed,
+            Some((resp.queue_wait + resp.service_time).as_secs_f64()),
+        ),
+        Err(EngineError::DeadlineExceeded { .. }) => (
+            TraceOutcome::Expired,
+            Some(enqueued.elapsed().as_secs_f64()),
+        ),
+        Err(_) => (TraceOutcome::Failed, None),
+    };
+    record_root_span(
+        trace,
+        owns_trace,
+        &workload,
+        enqueued,
+        trace_outcome.as_str(),
+    );
+    let kept_trace = finish_trace(trace, owns_trace, trace_outcome, trace_latency);
     match &result {
         Ok(resp) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.completed_total.inc();
             let latency = (resp.queue_wait + resp.service_time).as_secs_f64();
-            shared.metrics.request_seconds.record(latency);
-            shared
-                .metrics
-                .request_seconds_by_workload
-                .with(&workload)
-                .record(latency);
+            // Kept traces become exemplars: the p99 bucket of the latency
+            // histogram then links to a trace the store can actually
+            // resolve (dropped traces never publish their ids).
+            match kept_trace {
+                Some(id) => {
+                    shared
+                        .metrics
+                        .request_seconds
+                        .record_with_exemplar(latency, id);
+                    shared
+                        .metrics
+                        .request_seconds_by_workload
+                        .with(&workload)
+                        .record_with_exemplar(latency, id);
+                }
+                None => {
+                    shared.metrics.request_seconds.record(latency);
+                    shared
+                        .metrics
+                        .request_seconds_by_workload
+                        .with(&workload)
+                        .record(latency);
+                }
+            }
             shared
                 .metrics
                 .run_seconds
@@ -1132,7 +1282,21 @@ fn process_request(
                     .record(resp.compile_time.as_secs_f64());
             }
             // Fold the simulator's roofline counters into the registry.
-            resp.executable.metrics(&resp.run).record(&shared.registry);
+            let run_metrics = resp.executable.metrics(&resp.run);
+            run_metrics.record(&shared.registry);
+            let (child_launches, child_blocks) = run_metrics.child_totals();
+            if child_launches > 0 {
+                shared
+                    .metrics
+                    .child_launches_by_workload
+                    .with(&workload)
+                    .add(child_launches);
+                shared
+                    .metrics
+                    .child_blocks_by_workload
+                    .with(&workload)
+                    .add(child_blocks);
+            }
             shared.observe_service_time(resp.service_time.as_secs_f64());
         }
         Err(err) => {
@@ -1148,6 +1312,40 @@ fn process_request(
         }
     }
     sender.send(result);
+}
+
+/// Record the root "request" span when this tier minted the context (an
+/// upstream front door records its own root covering admission→outcome).
+fn record_root_span(
+    trace: Option<TraceContext>,
+    owns: bool,
+    workload: &str,
+    enqueued: Instant,
+    outcome: &'static str,
+) {
+    if !owns {
+        return;
+    }
+    let Some(ctx) = trace.filter(|c| c.sampled) else {
+        return;
+    };
+    if let Some(store) = multidim_trace::store() {
+        store.record(
+            &ctx,
+            SpanRecord {
+                span_id: ctx.span_id,
+                parent: None,
+                cat: "engine",
+                name: "request",
+                start_us: instant_us(enqueued),
+                dur_us: enqueued.elapsed().as_secs_f64() * 1e6,
+                args: vec![
+                    ("workload", workload.to_string().into()),
+                    ("outcome", outcome.into()),
+                ],
+            },
+        );
+    }
 }
 
 type Served = (Fingerprint, Arc<Executable>, RunReport, bool, bool);
@@ -1167,6 +1365,9 @@ fn serve(
     let tuned = tuned_record.is_some();
     let mut cache_hit = true;
     phases.compile_started = Some(Instant::now());
+    // A live guard wraps the phase: if compilation errors out (`?`), the
+    // drop still records the span with the time spent so far.
+    let mut compile_span = multidim_trace::request_span("engine", "compile");
     let exe = shared.cache.get_or_compile(fp, || {
         cache_hit = false;
         match &tuned_record {
@@ -1179,6 +1380,11 @@ fn serve(
             None => shared.compiler.compile(&request.program, &request.bindings),
         }
     })?;
+    if let Some(span) = compile_span.as_mut() {
+        span.arg("cache_hit", cache_hit);
+        span.arg("tuned", tuned);
+    }
+    drop(compile_span);
     phases.compile = phases.compile_started.map(|t| t.elapsed());
     phases.cache_hit = Some(cache_hit);
     if !cache_hit {
@@ -1205,7 +1411,9 @@ fn serve(
         }
     }
     phases.run_started = Some(Instant::now());
+    let run_span = multidim_trace::request_span("engine", "run");
     let run = exe.run(&request.inputs)?;
+    drop(run_span);
     phases.run = phases.run_started.map(|t| t.elapsed());
     Ok((fp, exe, run, cache_hit, tuned))
 }

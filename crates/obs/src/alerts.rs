@@ -1,0 +1,548 @@
+//! SLO burn-rate and metric-threshold alerting.
+//!
+//! The engine evaluates a fixed rule set on a caller-driven cadence (once
+//! per load-generator window rotation, once per CI gate run) and emits
+//! structured [`AlertEvent`]s on state *transitions*: a rule that starts
+//! breaching emits one `firing` event, a rule that stops emits one
+//! `resolved` event, and a rule that keeps breaching stays silent — the
+//! log records edges, not levels.
+//!
+//! Two rule shapes:
+//!
+//! * [`BurnRateRule`] — the multi-window burn-rate alert from the SRE
+//!   playbook: fire only when **both** a fast span and a slow span of an
+//!   [`SloTracker`] burn the error budget faster
+//!   than `threshold`. The fast window catches the onset quickly; the
+//!   slow window keeps a brief blip from paging anyone.
+//! * [`ThresholdRule`] — a plain comparison against any metric in the
+//!   [`Registry`] (counter, gauge, family total, or histogram quantile),
+//!   with `for_cycles` consecutive-breach hysteresis. When the watched
+//!   metric is a latency histogram carrying exemplars, the firing event
+//!   links the trace ids of the slowest recorded requests so the alert
+//!   lands with evidence attached.
+//!
+//! Severities follow the two-tier convention: [`AlertSeverity::Page`]
+//! means a human should look now (and fails the `check_alerts` CI gate);
+//! [`AlertSeverity::Ticket`] means the budget is burning but the
+//! situation is expected or survivable (an overdrive load test burning
+//! budget on purpose files tickets, not pages).
+
+use crate::registry::Registry;
+use crate::slo::SloTracker;
+use multidim_trace::json::Json;
+
+/// How urgent a firing alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertSeverity {
+    /// Wake a human; fails the CI alert gate.
+    Page,
+    /// File a ticket; informational under intentional overload.
+    Ticket,
+}
+
+impl AlertSeverity {
+    /// Stable lowercase name used in logs and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertSeverity::Page => "page",
+            AlertSeverity::Ticket => "ticket",
+        }
+    }
+}
+
+/// Which half of an SLO a burn-rate rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnObjective {
+    /// The availability error budget (sheds, deadline misses, failures).
+    Availability,
+    /// The latency error budget (successes over the threshold).
+    Latency,
+}
+
+impl BurnObjective {
+    /// Stable lowercase name used in logs and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BurnObjective::Availability => "availability",
+            BurnObjective::Latency => "latency",
+        }
+    }
+}
+
+/// Which direction of excursion breaches a [`ThresholdRule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// Breach when the observed value exceeds the threshold.
+    Above,
+    /// Breach when the observed value falls below the threshold.
+    Below,
+}
+
+/// Multi-window SLO burn-rate rule: fire when both the fast and the slow
+/// trailing spans burn budget faster than `threshold`.
+#[derive(Debug, Clone)]
+pub struct BurnRateRule {
+    /// Rule name (unique within an engine).
+    pub name: String,
+    /// Page or ticket.
+    pub severity: AlertSeverity,
+    /// Name of the SLO tracker this rule reads (matched against the
+    /// tracker names passed to [`AlertEngine::evaluate`]).
+    pub slo: String,
+    /// Which error budget to watch.
+    pub objective: BurnObjective,
+    /// Span of the fast window, in rotations.
+    pub fast_windows: usize,
+    /// Span of the slow window, in rotations.
+    pub slow_windows: usize,
+    /// Both spans must burn faster than this multiple of the budget rate.
+    pub threshold: f64,
+}
+
+/// Plain comparison rule over any registry metric.
+#[derive(Debug, Clone)]
+pub struct ThresholdRule {
+    /// Rule name (unique within an engine).
+    pub name: String,
+    /// Page or ticket.
+    pub severity: AlertSeverity,
+    /// Registry metric name to read (counter, gauge, family, histogram).
+    pub metric: String,
+    /// For histograms, the quantile to compare (default p99).
+    pub quantile: Option<f64>,
+    /// Direction of breach.
+    pub comparison: Comparison,
+    /// The threshold value.
+    pub threshold: f64,
+    /// Consecutive breaching evaluations required before firing (0 and 1
+    /// both mean "fire immediately").
+    pub for_cycles: u64,
+    /// Optional histogram name whose tail exemplars are attached to the
+    /// firing event (defaults to `metric` when it is a histogram).
+    pub exemplar_metric: Option<String>,
+}
+
+/// One alert rule of either shape.
+#[derive(Debug, Clone)]
+pub enum AlertRule {
+    /// Multi-window SLO burn-rate rule.
+    Burn(BurnRateRule),
+    /// Registry metric threshold rule.
+    Threshold(ThresholdRule),
+}
+
+impl AlertRule {
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        match self {
+            AlertRule::Burn(r) => &r.name,
+            AlertRule::Threshold(r) => &r.name,
+        }
+    }
+
+    /// The rule's severity.
+    pub fn severity(&self) -> AlertSeverity {
+        match self {
+            AlertRule::Burn(r) => r.severity,
+            AlertRule::Threshold(r) => r.severity,
+        }
+    }
+}
+
+/// A state transition of one rule: `firing == true` is the onset edge,
+/// `firing == false` the resolution edge.
+#[derive(Debug, Clone)]
+pub struct AlertEvent {
+    /// Name of the rule that transitioned.
+    pub rule: String,
+    /// Severity of the rule.
+    pub severity: AlertSeverity,
+    /// `true` for the onset edge, `false` for resolution.
+    pub firing: bool,
+    /// Evaluation cycle (0-based) at which the transition happened.
+    pub cycle: u64,
+    /// The observed value at transition time (fast-window burn rate for
+    /// burn rules, the metric reading for threshold rules).
+    pub value: f64,
+    /// The rule's threshold, for self-contained log lines.
+    pub threshold: f64,
+    /// Trace ids (hex) of exemplar requests backing the alert, when the
+    /// rule watches a histogram that records exemplars.
+    pub exemplars: Vec<String>,
+}
+
+impl AlertEvent {
+    /// Serialize the event.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".to_string(), Json::Str(self.rule.clone())),
+            (
+                "severity".to_string(),
+                Json::Str(self.severity.as_str().to_string()),
+            ),
+            (
+                "state".to_string(),
+                Json::Str(if self.firing { "firing" } else { "resolved" }.to_string()),
+            ),
+            ("cycle".to_string(), Json::Num(self.cycle as f64)),
+            ("value".to_string(), Json::Num(self.value)),
+            ("threshold".to_string(), Json::Num(self.threshold)),
+            (
+                "exemplars".to_string(),
+                Json::Arr(
+                    self.exemplars
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// One-line human rendering for logs and dashboards.
+    pub fn render_line(&self) -> String {
+        let state = if self.firing { "FIRING" } else { "resolved" };
+        let mut line = format!(
+            "[{}] {} {}: value {:.4} vs threshold {:.4} (cycle {})",
+            self.severity.as_str(),
+            state,
+            self.rule,
+            self.value,
+            self.threshold,
+            self.cycle
+        );
+        if !self.exemplars.is_empty() {
+            line.push_str(&format!(" exemplars={}", self.exemplars.join(",")));
+        }
+        line
+    }
+}
+
+/// Per-rule evaluation state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    firing: bool,
+    consecutive_breaches: u64,
+}
+
+/// Evaluates a rule set against SLO trackers and a metrics registry,
+/// tracking firing state and accumulating a transition log.
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    log: Vec<AlertEvent>,
+    cycle: u64,
+}
+
+impl AlertEngine {
+    /// An engine over a fixed rule set; all rules start resolved.
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        let states = vec![RuleState::default(); rules.len()];
+        AlertEngine {
+            rules,
+            states,
+            log: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule once. Burn rules look up their tracker by name
+    /// in `trackers`; threshold rules read `registry`. Returns the events
+    /// emitted this cycle (transitions only) and appends them to the log.
+    pub fn evaluate(
+        &mut self,
+        registry: Option<&Registry>,
+        trackers: &[(&str, &SloTracker)],
+    ) -> Vec<AlertEvent> {
+        let cycle = self.cycle;
+        self.cycle += 1;
+        let mut events = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            let (breaching, value, threshold, exemplars) = match rule {
+                AlertRule::Burn(r) => {
+                    let Some((_, tracker)) = trackers.iter().find(|(n, _)| *n == r.slo) else {
+                        continue; // tracker not wired this cycle: skip, keep state
+                    };
+                    let pick = |b: &crate::slo::BurnRate| match r.objective {
+                        BurnObjective::Availability => b.availability,
+                        BurnObjective::Latency => b.latency,
+                    };
+                    let fast = pick(&tracker.burn_rate(r.fast_windows));
+                    let slow = pick(&tracker.burn_rate(r.slow_windows));
+                    let breaching = match (fast, slow) {
+                        (Some(f), Some(s)) => f > r.threshold && s > r.threshold,
+                        _ => false, // no eligible samples: nothing to alert on
+                    };
+                    (breaching, fast.unwrap_or(0.0), r.threshold, Vec::new())
+                }
+                AlertRule::Threshold(r) => {
+                    let Some(value) = registry.and_then(|reg| reg.value(&r.metric, r.quantile))
+                    else {
+                        continue; // metric absent: skip, keep state
+                    };
+                    let breaching = match r.comparison {
+                        Comparison::Above => value > r.threshold,
+                        Comparison::Below => value < r.threshold,
+                    };
+                    let exemplars = if breaching {
+                        let source = r.exemplar_metric.as_deref().unwrap_or(&r.metric);
+                        registry
+                            .map(|reg| {
+                                reg.tail_exemplars(source, 3)
+                                    .iter()
+                                    .map(|e| e.trace_hex())
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    (breaching, value, r.threshold, exemplars)
+                }
+            };
+
+            let required = match rule {
+                AlertRule::Burn(_) => 1, // multi-window spans are the hysteresis
+                AlertRule::Threshold(r) => r.for_cycles.max(1),
+            };
+            if breaching {
+                state.consecutive_breaches += 1;
+            } else {
+                state.consecutive_breaches = 0;
+            }
+            let should_fire = state.consecutive_breaches >= required;
+            if should_fire != state.firing {
+                state.firing = should_fire;
+                events.push(AlertEvent {
+                    rule: rule.name().to_string(),
+                    severity: rule.severity(),
+                    firing: should_fire,
+                    cycle,
+                    value,
+                    threshold,
+                    exemplars,
+                });
+            }
+        }
+        self.log.extend(events.iter().cloned());
+        events
+    }
+
+    /// Names and severities of the rules currently firing.
+    pub fn firing(&self) -> Vec<(String, AlertSeverity)> {
+        self.rules
+            .iter()
+            .zip(self.states.iter())
+            .filter(|(_, s)| s.firing)
+            .map(|(r, _)| (r.name().to_string(), r.severity()))
+            .collect()
+    }
+
+    /// The full transition log since construction.
+    pub fn log(&self) -> &[AlertEvent] {
+        &self.log
+    }
+
+    /// The transition log as a JSON array.
+    pub fn log_json(&self) -> Json {
+        Json::Arr(self.log.iter().map(|e| e.to_json()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::Slo;
+
+    fn burn_rule(threshold: f64) -> AlertRule {
+        AlertRule::Burn(BurnRateRule {
+            name: "availability-burn".to_string(),
+            severity: AlertSeverity::Page,
+            slo: "test".to_string(),
+            objective: BurnObjective::Availability,
+            fast_windows: 1,
+            slow_windows: 4,
+            threshold,
+        })
+    }
+
+    #[test]
+    fn burn_rule_requires_both_windows() {
+        let tracker = SloTracker::new(Slo::new("test", 0.99, 0.010), 4);
+        let mut engine = AlertEngine::new(vec![burn_rule(2.0)]);
+
+        // Three clean windows, then one on fire.
+        for _ in 0..3 {
+            for _ in 0..100 {
+                tracker.record(0.001, true);
+            }
+            tracker.rotate();
+        }
+        for i in 0..100 {
+            tracker.record(0.001, i % 10 != 0); // 10% errors → fast burn 10x
+        }
+        // Fast: 10/100 over 0.01 → 10x. Slow: 10/400 over 0.01 → 2.5x.
+        // Both exceed 2.0 → the alert fires.
+        let events = engine.evaluate(None, &[("test", &tracker)]);
+        assert_eq!(events.len(), 1, "both spans breach → fires");
+        assert!(events[0].firing);
+        assert_eq!(events[0].severity, AlertSeverity::Page);
+
+        // Recovery: rotate the bad window toward the back of the horizon
+        // and fill with clean traffic until the fast span is clean.
+        tracker.rotate();
+        for _ in 0..400 {
+            tracker.record(0.001, true);
+        }
+        let events = engine.evaluate(None, &[("test", &tracker)]);
+        assert_eq!(events.len(), 1, "fast span clean → resolves");
+        assert!(!events[0].firing);
+        assert!(engine.firing().is_empty());
+        assert_eq!(engine.log().len(), 2);
+    }
+
+    #[test]
+    fn burn_rule_stays_quiet_when_only_fast_breaches() {
+        let tracker = SloTracker::new(Slo::new("test", 0.99, 0.010), 8);
+        // Seven very clean windows dilute the slow span.
+        for _ in 0..7 {
+            for _ in 0..1000 {
+                tracker.record(0.001, true);
+            }
+            tracker.rotate();
+        }
+        for i in 0..100 {
+            tracker.record(0.001, i % 10 != 0); // fast burn 10x
+        }
+        let mut engine = AlertEngine::new(vec![AlertRule::Burn(BurnRateRule {
+            name: "availability-burn".to_string(),
+            severity: AlertSeverity::Page,
+            slo: "test".to_string(),
+            objective: BurnObjective::Availability,
+            fast_windows: 1,
+            slow_windows: 8,
+            threshold: 2.0,
+        })]);
+        // Slow: 10 / 7100 ≈ 0.14% over 1% budget → 0.14x, below 2.0.
+        let events = engine.evaluate(None, &[("test", &tracker)]);
+        assert!(events.is_empty(), "slow span clean → no page: {events:?}");
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn threshold_rule_honours_for_cycles_and_resolves() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("queue_depth", "queue depth");
+        let mut engine = AlertEngine::new(vec![AlertRule::Threshold(ThresholdRule {
+            name: "deep-queue".to_string(),
+            severity: AlertSeverity::Ticket,
+            metric: "queue_depth".to_string(),
+            quantile: None,
+            comparison: Comparison::Above,
+            threshold: 10.0,
+            for_cycles: 3,
+            exemplar_metric: None,
+        })]);
+
+        gauge.set(50.0);
+        assert!(engine.evaluate(Some(&registry), &[]).is_empty(), "1/3");
+        assert!(engine.evaluate(Some(&registry), &[]).is_empty(), "2/3");
+        let events = engine.evaluate(Some(&registry), &[]);
+        assert_eq!(events.len(), 1, "3/3 → fires");
+        assert!(events[0].firing);
+        assert_eq!(events[0].value, 50.0);
+        assert_eq!(engine.firing().len(), 1);
+
+        // One clean reading resets the streak and resolves.
+        gauge.set(2.0);
+        let events = engine.evaluate(Some(&registry), &[]);
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].firing);
+        // A fresh breach must re-earn all three cycles.
+        gauge.set(50.0);
+        assert!(engine.evaluate(Some(&registry), &[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_rule_attaches_histogram_exemplars() {
+        let registry = Registry::new();
+        let hist = registry.histogram("latency_seconds", "latency");
+        for i in 1..=50 {
+            hist.record(i as f64 * 1e-3);
+        }
+        hist.record_with_exemplar(0.200, 0xabcdu128);
+        let mut engine = AlertEngine::new(vec![AlertRule::Threshold(ThresholdRule {
+            name: "slow-p99".to_string(),
+            severity: AlertSeverity::Page,
+            metric: "latency_seconds".to_string(),
+            quantile: Some(0.99),
+            comparison: Comparison::Above,
+            threshold: 0.050,
+            for_cycles: 1,
+            exemplar_metric: None,
+        })]);
+        let events = engine.evaluate(Some(&registry), &[]);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].firing);
+        assert_eq!(
+            events[0].exemplars,
+            vec![multidim_trace::trace_id_hex(0xabcd)],
+            "the slowest exemplar backs the alert"
+        );
+    }
+
+    #[test]
+    fn missing_metric_or_tracker_keeps_state() {
+        let registry = Registry::new();
+        let mut engine = AlertEngine::new(vec![
+            AlertRule::Threshold(ThresholdRule {
+                name: "ghost".to_string(),
+                severity: AlertSeverity::Page,
+                metric: "does_not_exist".to_string(),
+                quantile: None,
+                comparison: Comparison::Above,
+                threshold: 1.0,
+                for_cycles: 1,
+                exemplar_metric: None,
+            }),
+            burn_rule(1.0),
+        ]);
+        let events = engine.evaluate(Some(&registry), &[]);
+        assert!(events.is_empty(), "absent inputs never transition");
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn log_json_round_trips() {
+        let registry = Registry::new();
+        registry.gauge("g", "gauge").set(5.0);
+        let mut engine = AlertEngine::new(vec![AlertRule::Threshold(ThresholdRule {
+            name: "g-high".to_string(),
+            severity: AlertSeverity::Ticket,
+            metric: "g".to_string(),
+            quantile: None,
+            comparison: Comparison::Above,
+            threshold: 1.0,
+            for_cycles: 1,
+            exemplar_metric: None,
+        })]);
+        engine.evaluate(Some(&registry), &[]);
+        let rendered = engine.log_json().render();
+        let parsed = Json::parse(&rendered).expect("valid JSON");
+        let arr = parsed.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("state").and_then(|s| s.as_str()), Some("firing"));
+        assert_eq!(
+            arr[0].get("severity").and_then(|s| s.as_str()),
+            Some("ticket")
+        );
+        let line = engine.log()[0].render_line();
+        assert!(line.contains("FIRING") && line.contains("g-high"), "{line}");
+    }
+}

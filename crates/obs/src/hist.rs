@@ -83,14 +83,34 @@ fn atomic_f64_max(bits: &AtomicU64, v: f64) {
     }
 }
 
+/// An exemplar: the trace id of one recent sample in a bucket, linking a
+/// histogram's tail back to a kept trace in the tail sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// 128-bit trace id of the exemplified request.
+    pub trace_id: u128,
+    /// The recorded sample value (e.g. latency in seconds).
+    pub value: f64,
+}
+
+impl Exemplar {
+    /// The trace id as the 32-char lowercase hex used in expositions.
+    pub fn trace_hex(&self) -> String {
+        multidim_trace::trace_id_hex(self.trace_id)
+    }
+}
+
 /// A thread-safe log-bucketed histogram. Recording is lock-free
 /// (`&self`, relaxed atomics); reading goes through [`Histogram::snapshot`].
+/// Exemplars (one recent traced sample per bucket) sit behind a single
+/// mutex taken only on the [`Histogram::record_with_exemplar`] path.
 pub struct Histogram {
     counts: Box<[AtomicU64; BUCKETS]>,
     count: AtomicU64,
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    exemplars: Mutex<std::collections::BTreeMap<usize, Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -124,6 +144,7 @@ impl Histogram {
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplars: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -138,6 +159,42 @@ impl Histogram {
         atomic_f64_add(&self.sum_bits, value);
         atomic_f64_min(&self.min_bits, value);
         atomic_f64_max(&self.max_bits, value);
+    }
+
+    /// Record one sample that belongs to a kept trace: like
+    /// [`Histogram::record`], and additionally remembers `trace_id` as
+    /// the exemplar for the sample's bucket (latest write wins). Callers
+    /// should only pass ids of traces the tail sampler *kept*, so every
+    /// published exemplar resolves to a stored trace.
+    pub fn record_with_exemplar(&self, value: f64, trace_id: u128) {
+        if value.is_nan() {
+            return;
+        }
+        self.record(value);
+        let bucket = bucket_index(value);
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(bucket, Exemplar { trace_id, value });
+    }
+
+    /// The exemplar stored for `bucket`, if any.
+    pub fn exemplar(&self, bucket: usize) -> Option<Exemplar> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&bucket)
+            .copied()
+    }
+
+    /// Every stored exemplar as `(bucket, exemplar)`, ascending bucket.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(b, e)| (*b, *e))
+            .collect()
     }
 
     /// Samples recorded so far.
@@ -292,6 +349,24 @@ impl HistogramSnapshot {
             }
         }
         Some(self.max) // unreachable if counts is consistent with count
+    }
+
+    /// The bucket index holding the sample at quantile `q` — the bucket
+    /// whose exemplar (if any) exemplifies that quantile. `None` when
+    /// empty. Uses the same rank rule as [`HistogramSnapshot::quantile`].
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Some(i);
+            }
+        }
+        None // unreachable if counts is consistent with count
     }
 }
 
@@ -476,6 +551,46 @@ mod tests {
         assert_eq!(m.count(), 2);
         assert_eq!(m.min(), Some(10.0));
         assert_eq!(m.max(), Some(100.0));
+    }
+
+    #[test]
+    fn exemplars_track_buckets_latest_wins() {
+        let h = Histogram::new();
+        assert!(h.exemplars().is_empty());
+        h.record(0.010); // no exemplar: plain record
+        h.record_with_exemplar(0.010, 0xaaaa);
+        h.record_with_exemplar(0.010, 0xbbbb); // same bucket: replaces
+        h.record_with_exemplar(0.080, 0xcccc); // different bucket
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1.trace_id, 0xbbbb);
+        assert_eq!(ex[0].1.value, 0.010);
+        assert_eq!(ex[1].1.trace_id, 0xcccc);
+        assert_eq!(h.exemplar(ex[1].0).unwrap().trace_id, 0xcccc);
+        assert_eq!(h.exemplar(0), None);
+        // The p99 bucket's exemplar resolves to the tail sample.
+        let s = h.snapshot();
+        let p99_bucket = s.quantile_bucket(0.99).unwrap();
+        assert_eq!(h.exemplar(p99_bucket).unwrap().trace_id, 0xcccc);
+        assert_eq!(ex[1].1.trace_hex(), format!("{:032x}", 0xcccc_u128));
+    }
+
+    #[test]
+    fn quantile_bucket_matches_quantile_estimate() {
+        let mut s = HistogramSnapshot::new();
+        assert_eq!(s.quantile_bucket(0.5), None);
+        for i in 1..=1000 {
+            s.record(i as f64 * 0.001);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let bucket = s.quantile_bucket(q).unwrap();
+            let est = s.quantile(q).unwrap();
+            // The reported quantile lies inside (or clamps against) the
+            // bucket the index points to.
+            assert!(bucket > 0 && bucket < BUCKETS - 1);
+            let width = 2f64.powf(1.0 / SUB_BUCKETS as f64);
+            assert!(est / bucket_mid(bucket) <= width && bucket_mid(bucket) / est <= width);
+        }
     }
 
     #[test]

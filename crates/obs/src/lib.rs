@@ -25,7 +25,13 @@
 //!   and multi-window burn rates ([`SloTracker`]) over the same explicit
 //!   rotation model as [`SlidingWindow`];
 //! * **[`TimeSeries`]** — bounded overload telemetry rings (queue depth,
-//!   in-flight, shed rate) with sparkline and JSON rendering.
+//!   in-flight, shed rate) with sparkline and JSON rendering;
+//! * an **[`alerts`] module** — an [`AlertEngine`] evaluating multi-window
+//!   SLO burn-rate rules and metric threshold rules, emitting structured
+//!   firing/resolved [`AlertEvent`]s with exemplar trace ids attached;
+//! * histogram **[`Exemplar`]s** — each latency bucket remembers the
+//!   trace id of a recent request that landed there, so a p99 spike in
+//!   the exposition links straight to a kept trace.
 //!
 //! Like the rest of the workspace, the crate has no external
 //! dependencies; JSON goes through [`multidim_trace::json`] and trace
@@ -53,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod flight;
 pub mod hist;
 pub mod profile;
@@ -60,8 +67,12 @@ pub mod registry;
 pub mod slo;
 pub mod timeseries;
 
+pub use alerts::{
+    AlertEngine, AlertEvent, AlertRule, AlertSeverity, BurnObjective, BurnRateRule, Comparison,
+    ThresholdRule,
+};
 pub use flight::{FlightRecorder, PostMortem};
-pub use hist::{Histogram, HistogramSnapshot, SlidingWindow, BUCKETS, SUB_BUCKETS};
+pub use hist::{Exemplar, Histogram, HistogramSnapshot, SlidingWindow, BUCKETS, SUB_BUCKETS};
 pub use profile::{PhaseBreakdown, RequestProfile, SearchBreakdown};
 pub use registry::{
     Counter, CounterFamily, Gauge, GaugeFamily, HistogramFamily, Registry, QUANTILES,
@@ -84,4 +95,5 @@ const _: () = {
     assert_send_sync::<HistogramFamily>();
     assert_send_sync::<SloTracker>();
     assert_send_sync::<TimeSeries>();
+    assert_send_sync::<AlertEngine>();
 };

@@ -188,6 +188,16 @@ impl HistogramFamily {
             .collect()
     }
 
+    /// Every child's `(label value, handle)`, in label order — for
+    /// readers that need more than a snapshot (e.g. exemplars).
+    pub fn children(&self) -> Vec<(String, Arc<Histogram>)> {
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+        children
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
+    }
+
     /// All children merged into one snapshot (exact: identical layouts).
     pub fn merged(&self) -> crate::hist::HistogramSnapshot {
         let mut out = crate::hist::HistogramSnapshot::new();
@@ -353,6 +363,14 @@ impl Registry {
                     }
                     let _ = writeln!(out, "{name}_sum {}", snap.sum());
                     let _ = writeln!(out, "{name}_count {}", snap.count());
+                    for (bucket, ex) in h.exemplars() {
+                        let _ = writeln!(
+                            out,
+                            "{name}_exemplar{{bucket=\"{bucket}\",trace_id=\"{}\"}} {}",
+                            ex.trace_hex(),
+                            ex.value
+                        );
+                    }
                 }
                 Metric::CounterFamily(f) => {
                     let _ = writeln!(out, "# TYPE {name} counter");
@@ -372,7 +390,8 @@ impl Registry {
                 Metric::HistogramFamily(f) => {
                     let _ = writeln!(out, "# TYPE {name} summary");
                     let key = f.label();
-                    for (value, snap) in f.snapshot() {
+                    for (value, child) in f.children() {
+                        let snap = child.snapshot();
                         let value = escape_label(&value);
                         for q in QUANTILES {
                             let v = snap.quantile(q).unwrap_or(f64::NAN);
@@ -381,6 +400,14 @@ impl Registry {
                         }
                         let _ = writeln!(out, "{name}_sum{{{key}=\"{value}\"}} {}", snap.sum());
                         let _ = writeln!(out, "{name}_count{{{key}=\"{value}\"}} {}", snap.count());
+                        for (bucket, ex) in child.exemplars() {
+                            let _ = writeln!(
+                                out,
+                                "{name}_exemplar{{{key}=\"{value}\",bucket=\"{bucket}\",trace_id=\"{}\"}} {}",
+                                ex.trace_hex(),
+                                ex.value
+                            );
+                        }
                     }
                 }
             }
@@ -399,7 +426,7 @@ impl Registry {
             let value = match &e.metric {
                 Metric::Counter(c) => Json::Num(c.get() as f64),
                 Metric::Gauge(g) => Json::Num(g.get()),
-                Metric::Histogram(h) => snapshot_json(&h.snapshot()),
+                Metric::Histogram(h) => histogram_json(h),
                 Metric::CounterFamily(f) => Json::Obj(
                     f.snapshot()
                         .into_iter()
@@ -413,9 +440,9 @@ impl Registry {
                         .collect(),
                 ),
                 Metric::HistogramFamily(f) => Json::Obj(
-                    f.snapshot()
+                    f.children()
                         .into_iter()
-                        .map(|(k, snap)| (k, snapshot_json(&snap)))
+                        .map(|(k, child)| (k, histogram_json(&child)))
                         .collect(),
                 ),
             };
@@ -424,9 +451,93 @@ impl Registry {
         Json::Obj(fields)
     }
 
+    /// The current scalar value of the metric `name`, for alert-rule
+    /// evaluation over *any* registered metric: counters and counter
+    /// families read their (total) count, gauges and gauge families
+    /// their (total) value, histograms and histogram families the
+    /// `quantile` estimate (default p99) of everything recorded.
+    /// `None` when the metric does not exist or the histogram is empty.
+    pub fn value(&self, name: &str, quantile: Option<f64>) -> Option<f64> {
+        let entries = self.lock();
+        match &entries.get(name)?.metric {
+            Metric::Counter(c) => Some(c.get() as f64),
+            Metric::Gauge(g) => Some(g.get()),
+            Metric::Histogram(h) => h.snapshot().quantile(quantile.unwrap_or(0.99)),
+            Metric::CounterFamily(f) => Some(f.total() as f64),
+            Metric::GaugeFamily(f) => Some(f.total()),
+            Metric::HistogramFamily(f) => f.merged().quantile(quantile.unwrap_or(0.99)),
+        }
+    }
+
+    /// A registered plain histogram's handle, without creating one.
+    pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        let entries = self.lock();
+        match &entries.get(name)?.metric {
+            Metric::Histogram(h) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Up to `cap` exemplar trace ids for the metric `name` (a histogram
+    /// or histogram family), highest bucket first — the tail end, where
+    /// alert-worthy samples live. Used to attach trace links to alert
+    /// events.
+    pub fn tail_exemplars(&self, name: &str, cap: usize) -> Vec<crate::hist::Exemplar> {
+        let entries = self.lock();
+        let mut all: Vec<(usize, crate::hist::Exemplar)> = match entries.get(name) {
+            Some(Entry {
+                metric: Metric::Histogram(h),
+                ..
+            }) => h.exemplars(),
+            Some(Entry {
+                metric: Metric::HistogramFamily(f),
+                ..
+            }) => f
+                .children()
+                .into_iter()
+                .flat_map(|(_, child)| child.exemplars())
+                .collect(),
+            _ => return Vec::new(),
+        };
+        all.sort_by_key(|(bucket, _)| std::cmp::Reverse(*bucket));
+        let mut seen = std::collections::BTreeSet::new();
+        all.into_iter()
+            .filter(|(_, e)| seen.insert(e.trace_id))
+            .take(cap)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// [`snapshot_json`] plus an `"exemplars"` array (present only when the
+/// histogram holds exemplars, keeping exemplar-free exports unchanged).
+fn histogram_json(h: &Histogram) -> Json {
+    let mut j = snapshot_json(&h.snapshot());
+    let exemplars = h.exemplars();
+    if !exemplars.is_empty() {
+        if let Json::Obj(fields) = &mut j {
+            fields.push((
+                "exemplars".to_string(),
+                Json::Arr(
+                    exemplars
+                        .into_iter()
+                        .map(|(bucket, ex)| {
+                            Json::Obj(vec![
+                                ("bucket".to_string(), Json::Num(bucket as f64)),
+                                ("trace_id".to_string(), Json::Str(ex.trace_hex())),
+                                ("value".to_string(), Json::Num(ex.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    j
 }
 
 /// The JSON shape shared by plain histograms and family children:
@@ -605,6 +716,94 @@ engine_requests_total 7
         let r = Registry::new();
         r.counter("x", "a counter");
         r.counter_family("x", "not a family", "k");
+    }
+
+    #[test]
+    fn exemplars_render_in_text_and_json() {
+        // A golden-format check for the exemplar lines: they follow the
+        // summary block and carry bucket + trace_id labels. Histograms
+        // without exemplars render exactly as before (the main golden
+        // test above covers that).
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.record(2.0);
+        h.record_with_exemplar(2.0, 0xabcd);
+        let text = r.render_text();
+        let expected_line = format!(
+            "lat_seconds_exemplar{{bucket=\"{}\",trace_id=\"{:032x}\"}} 2",
+            h.exemplars()[0].0,
+            0xabcd_u128
+        );
+        assert!(text.contains(&expected_line), "{text}");
+        let j = r.to_json();
+        let ex = j
+            .get("lat_seconds")
+            .and_then(|h| h.get("exemplars"))
+            .and_then(Json::as_arr)
+            .expect("exemplars array");
+        assert_eq!(
+            ex[0].get("trace_id").and_then(Json::as_str),
+            Some(format!("{:032x}", 0xabcd_u128).as_str())
+        );
+        // Family children carry exemplars too, with the family label first.
+        let fam = r.histogram_family("lat_by_workload", "latency by workload", "workload");
+        fam.with("spmv").record_with_exemplar(0.5, 0x77);
+        let text = r.render_text();
+        assert!(
+            text.contains("lat_by_workload_exemplar{workload=\"spmv\",bucket="),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn value_reads_any_metric_kind() {
+        let r = Registry::new();
+        r.counter("c", "counter").add(3);
+        r.gauge("g", "gauge").set(1.5);
+        let h = r.histogram("h", "hist");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        r.counter_family("cf", "family", "k").with("a").add(2);
+        r.gauge_family("gf", "family", "k").with("a").set(4.0);
+        r.histogram_family("hf", "family", "k")
+            .with("a")
+            .record(7.0);
+        assert_eq!(r.value("c", None), Some(3.0));
+        assert_eq!(r.value("g", None), Some(1.5));
+        assert_eq!(r.value("h", Some(0.0)), Some(1.0));
+        assert!(
+            r.value("h", None).unwrap() > 90.0,
+            "default quantile is p99"
+        );
+        assert_eq!(r.value("cf", None), Some(2.0));
+        assert_eq!(r.value("gf", None), Some(4.0));
+        assert_eq!(r.value("hf", Some(1.0)), Some(7.0));
+        assert_eq!(r.value("missing", None), None);
+        assert_eq!(r.value("h2", None), None);
+    }
+
+    #[test]
+    fn tail_exemplars_prefer_high_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency");
+        h.record_with_exemplar(0.001, 0x1);
+        h.record_with_exemplar(0.100, 0x2);
+        h.record_with_exemplar(10.0, 0x3);
+        let tail = r.tail_exemplars("lat", 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].trace_id, 0x3, "highest bucket first");
+        assert_eq!(tail[1].trace_id, 0x2);
+        assert!(r.tail_exemplars("missing", 4).is_empty());
+        assert!(r.find_histogram("lat").is_some());
+        assert!(r.find_histogram("missing").is_none());
+        // Families pool exemplars across children.
+        let fam = r.histogram_family("lat_w", "by workload", "workload");
+        fam.with("a").record_with_exemplar(5.0, 0x10);
+        fam.with("b").record_with_exemplar(0.5, 0x11);
+        let tail = r.tail_exemplars("lat_w", 4);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].trace_id, 0x10);
     }
 
     #[test]

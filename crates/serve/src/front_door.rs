@@ -43,6 +43,7 @@ use multidim_obs::{
     Counter, CounterFamily, GaugeFamily, Histogram, HistogramFamily, Registry, RequestProfile, Slo,
     SloStatus, SloTracker,
 };
+use multidim_trace::{instant_us, SpanRecord, TraceContext, TraceOutcome};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -234,16 +235,34 @@ impl DoorShared {
     }
 
     /// Account a finished request against counters, latency histograms,
-    /// and the tenant's SLO.
-    fn record_outcome(&self, tenant: &str, outcome: &Result<Response, EngineError>) {
+    /// and the tenant's SLO. `exemplar` is the kept trace id, if the
+    /// tail sampler retained this request's trace — the latency sample
+    /// then publishes it as a bucket exemplar (only kept traces may be
+    /// published, or exemplar lookups would dangle).
+    fn record_outcome(
+        &self,
+        tenant: &str,
+        outcome: &Result<Response, EngineError>,
+        exemplar: Option<u128>,
+    ) {
         let m = &self.metrics;
         match outcome {
             Ok(resp) => {
                 let latency = (resp.queue_wait + resp.service_time).as_secs_f64();
                 m.completed.inc();
                 m.tenant_completed.with(tenant).inc();
-                m.latency.record(latency);
-                m.tenant_latency.with(tenant).record(latency);
+                match exemplar {
+                    Some(id) => {
+                        m.latency.record_with_exemplar(latency, id);
+                        m.tenant_latency
+                            .with(tenant)
+                            .record_with_exemplar(latency, id);
+                    }
+                    None => {
+                        m.latency.record(latency);
+                        m.tenant_latency.with(tenant).record(latency);
+                    }
+                }
                 self.record_slo(tenant, latency, true);
             }
             Err(EngineError::DeadlineExceeded { .. }) => {
@@ -274,6 +293,81 @@ struct Inflight {
     since: Instant,
 }
 
+/// Record the door-owned root span and seal the trace in the installed
+/// store: the root covers admission → outcome and carries the routing
+/// facts, so a stored trace reads as one stitched tree (serve root, then
+/// the shard's queue/compile/run children). Returns the trace id when
+/// the tail sampler kept the trace; `None` when the door didn't mint the
+/// context (`trace` is `None`), tracing is off, or the trace was
+/// sampled out.
+#[allow(clippy::too_many_arguments)]
+fn finish_door_trace(
+    trace: Option<TraceContext>,
+    admitted: Option<Instant>,
+    tenant: &str,
+    shard: Option<usize>,
+    spilled: bool,
+    coalesced: bool,
+    outcome: TraceOutcome,
+    latency_seconds: Option<f64>,
+) -> Option<u128> {
+    let ctx = trace.filter(|c| c.sampled)?;
+    let store = multidim_trace::store()?;
+    let admitted = admitted?;
+    let mut args: Vec<(&'static str, multidim_trace::Value)> = vec![
+        ("tenant", tenant.to_string().into()),
+        ("outcome", outcome.as_str().into()),
+        ("spilled", spilled.into()),
+        ("coalesced", coalesced.into()),
+    ];
+    if let Some(shard) = shard {
+        args.push(("shard", (shard as u64).into()));
+    }
+    store.record(
+        &ctx,
+        SpanRecord {
+            span_id: ctx.span_id,
+            parent: None,
+            cat: "serve",
+            name: "request",
+            start_us: instant_us(admitted),
+            dur_us: admitted.elapsed().as_secs_f64() * 1e6,
+            args,
+        },
+    );
+    store
+        .finish(&ctx, outcome, latency_seconds)
+        .then_some(ctx.trace_id)
+}
+
+/// Record one already-elapsed child span of `ctx` (routing decisions
+/// reconstructed at the moment they're known).
+fn record_door_span(
+    ctx: &TraceContext,
+    name: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, multidim_trace::Value)>,
+) {
+    if !ctx.sampled {
+        return;
+    }
+    if let Some(store) = multidim_trace::store() {
+        let child = ctx.child();
+        store.record(
+            ctx,
+            SpanRecord {
+                span_id: child.span_id,
+                parent: Some(ctx.span_id),
+                cat: "serve",
+                name,
+                start_us: instant_us(start),
+                dur_us: start.elapsed().as_secs_f64() * 1e6,
+                args,
+            },
+        );
+    }
+}
+
 /// A front-door completion handle: the shard ticket plus the routing
 /// facts (tenant, shard, spill/coalesce flags) that annotate the
 /// response and drive per-tenant accounting when the result lands.
@@ -281,6 +375,11 @@ pub struct Ticket {
     inner: EngineTicket,
     shared: Arc<DoorShared>,
     tenant: String,
+    /// The trace the door minted for this request (`None` when tracing
+    /// is off or an upstream caller supplied its own context).
+    trace: Option<TraceContext>,
+    /// When the door admitted the request.
+    admitted: Option<Instant>,
     /// Shard the request was queued on.
     pub shard: usize,
     /// `true` when the home shard rejected and the request ran on the
@@ -292,15 +391,37 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    #[allow(clippy::too_many_arguments)]
     fn conclude(
         shared: &DoorShared,
         tenant: &str,
         shard: usize,
         spilled: bool,
         coalesced: bool,
+        trace: Option<TraceContext>,
+        admitted: Option<Instant>,
         outcome: Result<Response, EngineError>,
     ) -> Result<ServeResponse, ServeError> {
-        shared.record_outcome(tenant, &outcome);
+        let (trace_outcome, latency) = match &outcome {
+            Ok(resp) => (
+                TraceOutcome::Completed,
+                Some((resp.queue_wait + resp.service_time).as_secs_f64()),
+            ),
+            Err(EngineError::DeadlineExceeded { .. }) => (TraceOutcome::Expired, None),
+            Err(EngineError::Rejected { .. }) => (TraceOutcome::Shed, None),
+            Err(_) => (TraceOutcome::Failed, None),
+        };
+        let kept = finish_door_trace(
+            trace,
+            admitted,
+            tenant,
+            Some(shard),
+            spilled,
+            coalesced,
+            trace_outcome,
+            latency,
+        );
+        shared.record_outcome(tenant, &outcome, kept);
         match outcome {
             Ok(response) => Ok(ServeResponse {
                 tenant: tenant.to_string(),
@@ -322,6 +443,8 @@ impl Ticket {
             self.shard,
             self.spilled,
             self.coalesced,
+            self.trace,
+            self.admitted,
             outcome,
         )
     }
@@ -337,6 +460,8 @@ impl Ticket {
             self.shard,
             self.spilled,
             self.coalesced,
+            self.trace,
+            self.admitted,
             outcome,
         )
     }
@@ -357,6 +482,8 @@ impl Ticket {
             self.shard,
             self.spilled,
             self.coalesced,
+            self.trace,
+            self.admitted,
             outcome,
         ))
     }
@@ -531,6 +658,23 @@ impl FrontDoor {
     /// returned [`Ticket`] means the request is queued on
     /// [`Ticket::shard`].
     pub fn submit(&self, tenant: &str, request: Request) -> Result<Ticket, ServeError> {
+        let mut request = request;
+        // Mint the request's trace context at the outermost boundary —
+        // before the retry clone below, so a spilled resubmission
+        // continues the *same* trace — and stamp the admission instant
+        // so shard queue accounting covers the full wait.
+        let door_trace = if request.trace.is_none() && multidim_trace::store_enabled() {
+            let ctx = TraceContext::mint();
+            request.trace = Some(ctx);
+            Some(ctx)
+        } else {
+            None
+        };
+        if request.admitted_at.is_none() {
+            request.admitted_at = Some(Instant::now());
+        }
+        let admitted = request.admitted_at;
+
         let m = &self.shared.metrics;
         m.requests.inc();
         m.tenant_requests.with(tenant).inc();
@@ -541,6 +685,16 @@ impl FrontDoor {
             m.quota_rejected.inc();
             m.tenant_quota_rejected.with(tenant).inc();
             self.shared.record_slo(tenant, 0.0, false);
+            finish_door_trace(
+                door_trace,
+                admitted,
+                tenant,
+                None,
+                false,
+                false,
+                TraceOutcome::QuotaRejected,
+                None,
+            );
             return Err(ServeError::QuotaExceeded {
                 tenant: tenant.to_string(),
                 retry_after,
@@ -566,6 +720,16 @@ impl FrontDoor {
                 m.shed_deadline.inc();
                 m.tenant_shed.with(tenant).inc();
                 self.shared.record_slo(tenant, 0.0, false);
+                finish_door_trace(
+                    door_trace,
+                    admitted,
+                    tenant,
+                    Some(target),
+                    false,
+                    coalesced,
+                    TraceOutcome::Shed,
+                    None,
+                );
                 return Err(ServeError::DeadlineUnmeetable {
                     shard: target,
                     estimated_wait,
@@ -578,7 +742,9 @@ impl FrontDoor {
         let spillable = self.spill && !coalesced && self.shards.len() > 1;
         let retry = spillable.then(|| request.clone());
         match self.shards[target].submit(request) {
-            Ok(inner) => Ok(self.admitted(inner, tenant, target, false, coalesced)),
+            Ok(inner) => Ok(self.admitted(
+                inner, tenant, target, false, coalesced, door_trace, admitted,
+            )),
             Err(EngineError::Rejected {
                 queue_depth,
                 retry_after,
@@ -586,6 +752,7 @@ impl FrontDoor {
             }) => {
                 if let Some(request) = retry {
                     let alt = self.least_loaded_except(target);
+                    let spill_started = Instant::now();
                     match self.shards[alt].submit(request) {
                         Ok(inner) => {
                             m.spilled.inc();
@@ -593,7 +760,23 @@ impl FrontDoor {
                             if claimed {
                                 self.reclaim(fp, target, alt);
                             }
-                            Ok(self.admitted(inner, tenant, alt, true, coalesced))
+                            // The retry clone carries the same context,
+                            // so the spill hop shows up inside the one
+                            // trace rather than starting a second one.
+                            if let Some(ctx) = &door_trace {
+                                record_door_span(
+                                    ctx,
+                                    "spill",
+                                    spill_started,
+                                    vec![
+                                        ("from_shard", (target as u64).into()),
+                                        ("to_shard", (alt as u64).into()),
+                                    ],
+                                );
+                            }
+                            Ok(self.admitted(
+                                inner, tenant, alt, true, coalesced, door_trace, admitted,
+                            ))
                         }
                         Err(EngineError::Rejected {
                             queue_depth,
@@ -604,6 +787,16 @@ impl FrontDoor {
                                 self.unclaim(fp, target);
                             }
                             self.shed_overload(tenant);
+                            finish_door_trace(
+                                door_trace,
+                                admitted,
+                                tenant,
+                                Some(alt),
+                                true,
+                                coalesced,
+                                TraceOutcome::Shed,
+                                None,
+                            );
                             Err(ServeError::Overloaded {
                                 home_shard: target,
                                 spill_shard: Some(alt),
@@ -616,6 +809,16 @@ impl FrontDoor {
                                 self.unclaim(fp, target);
                             }
                             self.failed(tenant);
+                            finish_door_trace(
+                                door_trace,
+                                admitted,
+                                tenant,
+                                Some(alt),
+                                true,
+                                coalesced,
+                                TraceOutcome::Failed,
+                                None,
+                            );
                             Err(ServeError::Engine(e))
                         }
                     }
@@ -624,6 +827,16 @@ impl FrontDoor {
                         self.unclaim(fp, target);
                     }
                     self.shed_overload(tenant);
+                    finish_door_trace(
+                        door_trace,
+                        admitted,
+                        tenant,
+                        Some(target),
+                        false,
+                        coalesced,
+                        TraceOutcome::Shed,
+                        None,
+                    );
                     Err(ServeError::Overloaded {
                         home_shard: target,
                         spill_shard: None,
@@ -637,12 +850,23 @@ impl FrontDoor {
                     self.unclaim(fp, target);
                 }
                 self.failed(tenant);
+                finish_door_trace(
+                    door_trace,
+                    admitted,
+                    tenant,
+                    Some(target),
+                    false,
+                    coalesced,
+                    TraceOutcome::Failed,
+                    None,
+                );
                 Err(ServeError::Engine(e))
             }
         }
     }
 
     /// Wrap a shard ticket after a successful queue.
+    #[allow(clippy::too_many_arguments)]
     fn admitted(
         &self,
         inner: EngineTicket,
@@ -650,6 +874,8 @@ impl FrontDoor {
         shard: usize,
         spilled: bool,
         coalesced: bool,
+        trace: Option<TraceContext>,
+        admitted: Option<Instant>,
     ) -> Ticket {
         self.shared
             .metrics
@@ -660,6 +886,8 @@ impl FrontDoor {
             inner,
             shared: Arc::clone(&self.shared),
             tenant: tenant.to_string(),
+            trace,
+            admitted,
             shard,
             spilled,
             coalesced,

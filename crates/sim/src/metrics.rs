@@ -165,6 +165,19 @@ impl RunMetrics {
                 .add(total);
         }
     }
+
+    /// Total dynamic-parallelism child launches and child blocks across
+    /// every kernel of the run — `(child_launches, child_blocks)`. The
+    /// engine exports these per workload so consolidation wins show up as
+    /// labelled metric families, not just global `sim_*_total` counters.
+    pub fn child_totals(&self) -> (u64, u64) {
+        self.kernels.iter().fold((0, 0), |(launches, blocks), k| {
+            (
+                launches + k.cost.child_launches,
+                blocks + k.cost.child_blocks,
+            )
+        })
+    }
 }
 
 fn kernel_json(k: &KernelMetrics) -> Json {
@@ -409,5 +422,18 @@ mod tests {
         };
         let sum: u64 = cost_fields(&c).iter().map(|(_, v)| v).sum();
         assert_eq!(sum, 2047);
+    }
+
+    #[test]
+    fn child_totals_sum_across_kernels() {
+        let mut m = sample();
+        assert_eq!(m.child_totals(), (0, 0));
+        m.kernels[0].cost.child_launches = 3;
+        m.kernels[0].cost.child_blocks = 48;
+        let mut second = m.kernels[0].clone();
+        second.cost.child_launches = 2;
+        second.cost.child_blocks = 16;
+        m.kernels.push(second);
+        assert_eq!(m.child_totals(), (5, 64));
     }
 }

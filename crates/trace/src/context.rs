@@ -1,0 +1,417 @@
+//! Request-scoped trace contexts: 128-bit trace ids, span ids, and the
+//! thread-local "current context" that stitches one request's spans into
+//! a single tree even as the request hops across worker threads and
+//! shards.
+//!
+//! The model follows W3C/OpenTelemetry conventions scaled down to a
+//! zero-dependency crate:
+//!
+//! * a [`TraceContext`] is minted once per request at the serving tier's
+//!   admission edge (128-bit trace id + 64-bit span id + a sampling
+//!   flag) and travels *with the request* — through the router, the
+//!   shard queue ticket, and into whichever engine worker thread ends up
+//!   serving it;
+//! * each thread that works on the request installs the context as its
+//!   *current* context ([`set_current`], RAII-restored), so nested spans
+//!   opened with [`request_span`] parent themselves correctly without
+//!   any plumbing through intermediate call signatures;
+//! * spans land in the process-wide [`TraceStore`]
+//!   (installed with [`install_store`]), which applies *tail-based*
+//!   sampling when the request finishes: traces that end badly (shed /
+//!   expired / failed) or slow are always kept, boring ones are
+//!   probabilistically dropped with the drops counted.
+//!
+//! Id minting is seeded from [`std::collections::hash_map::RandomState`]
+//! (per-process random) mixed through SplitMix64, so ids are unique
+//! within a process and collide across processes with negligible
+//! probability — without any new dependency.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::store::{SpanRecord, TraceStore};
+use crate::Value;
+
+/// A request-scoped trace context: everything a hop needs to attach its
+/// spans to the right trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id, unique per request.
+    pub trace_id: u128,
+    /// Span id of the *current* span (the parent of any span opened
+    /// while this context is current).
+    pub span_id: u64,
+    /// Head-sampling hint: whether a [`TraceStore`] was installed when
+    /// the context was minted. Spans skip the store lookup entirely when
+    /// this is `false`.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Mint a fresh root context. `sampled` reflects whether a process
+    /// store is currently installed.
+    pub fn mint() -> TraceContext {
+        TraceContext {
+            trace_id: mint_trace_id(),
+            span_id: mint_span_id(),
+            sampled: store_enabled(),
+        }
+    }
+
+    /// Derive a child context: same trace, fresh span id.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mint_span_id(),
+            sampled: self.sampled,
+        }
+    }
+
+    /// The trace id as a fixed-width 32-character lowercase hex string —
+    /// the form used in exemplars, alert events, and `traces.json`.
+    pub fn trace_hex(&self) -> String {
+        trace_id_hex(self.trace_id)
+    }
+}
+
+/// Render a 128-bit trace id as 32 lowercase hex characters.
+pub fn trace_id_hex(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parse a hex trace id produced by [`trace_id_hex`].
+pub fn parse_trace_id(hex: &str) -> Option<u128> {
+    if hex.is_empty() || hex.len() > 32 {
+        return None;
+    }
+    u128::from_str_radix(hex, 16).ok()
+}
+
+/// SplitMix64 finalizer: bijective, well-mixed — used to turn sequential
+/// counters into uniformly distributed ids.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = RandomState::new().build_hasher();
+        h.write_u64(0x6d74_7261_6365); // "mtrace"
+        h.finish()
+    })
+}
+
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(1);
+static SPAN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn mint_trace_id() -> u128 {
+    let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let seed = process_seed();
+    let hi = splitmix64(seed ^ n);
+    let lo = splitmix64(n.wrapping_add(seed.rotate_left(32)));
+    let id = ((hi as u128) << 64) | lo as u128;
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+fn mint_span_id() -> u64 {
+    // The counter is bijectively mixed, so span ids are unique within
+    // the process (no birthday collisions, unlike random draws).
+    let n = SPAN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(process_seed().rotate_left(17) ^ n);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The calling thread's current trace context, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Restores the previously current context when dropped.
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev.take()));
+    }
+}
+
+/// Install `ctx` as the calling thread's current context until the
+/// returned guard drops. Worker threads call this when they pick up a
+/// request whose ticket carries a context, so spans they open nest under
+/// the request's root.
+pub fn set_current(ctx: TraceContext) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    ContextGuard { prev }
+}
+
+// Process-wide tail-sampling trace store, mirroring the shared-sink
+// design: a single RwLock slot plus a relaxed fast-path flag.
+static STORE: RwLock<Option<Arc<TraceStore>>> = RwLock::new(None);
+static STORE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is a process-wide [`TraceStore`] installed? Single relaxed load; span
+/// sites check this before doing any work.
+#[inline]
+pub fn store_enabled() -> bool {
+    STORE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed process-wide store, if any.
+pub fn store() -> Option<Arc<TraceStore>> {
+    if !store_enabled() {
+        return None;
+    }
+    STORE
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+/// Restores the previously installed store when dropped.
+pub struct StoreGuard {
+    prev: Option<Arc<TraceStore>>,
+}
+
+impl Drop for StoreGuard {
+    fn drop(&mut self) {
+        let mut slot = STORE.write().unwrap_or_else(|e| e.into_inner());
+        STORE_ENABLED.store(self.prev.is_some(), Ordering::Relaxed);
+        *slot = self.prev.take();
+    }
+}
+
+/// Install `store` as the process-wide trace store until the returned
+/// guard drops. Every thread's [`request_span`] and finish calls deliver
+/// to it.
+pub fn install_store(store: Arc<TraceStore>) -> StoreGuard {
+    let mut slot = STORE.write().unwrap_or_else(|e| e.into_inner());
+    STORE_ENABLED.store(true, Ordering::Relaxed);
+    let prev = slot.replace(store);
+    StoreGuard { prev }
+}
+
+/// Microseconds between the process tracing epoch and `t` (saturating at
+/// zero for instants before the epoch). Lets callers place spans for
+/// externally captured [`Instant`]s — e.g. a queue-wait span whose start
+/// is the admission timestamp — on the same timeline as [`now_us`].
+///
+/// [`now_us`]: crate::now_us
+pub fn instant_us(t: Instant) -> f64 {
+    let epoch = crate::epoch();
+    match t.checked_duration_since(epoch) {
+        Some(d) => d.as_secs_f64() * 1e6,
+        None => 0.0,
+    }
+}
+
+/// An open request-scoped span: records a [`SpanRecord`] into the
+/// process store when dropped (or when [`RequestSpan::finish`] is
+/// called). While the span is open it is the thread's *current* context,
+/// so spans opened inside nest under it.
+pub struct RequestSpan {
+    ctx: TraceContext,
+    parent: Option<u64>,
+    cat: &'static str,
+    name: &'static str,
+    start_us: f64,
+    args: Vec<(&'static str, Value)>,
+    _guard: ContextGuard,
+}
+
+impl RequestSpan {
+    /// Attach an argument reported when the span closes.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<Value>) {
+        self.args.push((key, value.into()));
+    }
+
+    /// The span's own context (child of whatever was current).
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Close the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for RequestSpan {
+    fn drop(&mut self) {
+        if let Some(store) = store() {
+            let end = crate::now_us();
+            store.record(
+                &self.ctx,
+                SpanRecord {
+                    span_id: self.ctx.span_id,
+                    parent: self.parent,
+                    cat: self.cat,
+                    name: self.name,
+                    start_us: self.start_us,
+                    dur_us: end - self.start_us,
+                    args: std::mem::take(&mut self.args),
+                },
+            );
+        }
+    }
+}
+
+/// Open a span under the thread's current context. Returns `None` (and
+/// allocates nothing) when there is no current context or no installed
+/// store — so instrumented code pays one thread-local read on the cold
+/// path and nothing more.
+pub fn request_span(cat: &'static str, name: &'static str) -> Option<RequestSpan> {
+    let parent = current()?;
+    if !parent.sampled || !store_enabled() {
+        return None;
+    }
+    let ctx = parent.child();
+    let guard = set_current(ctx);
+    Some(RequestSpan {
+        ctx,
+        parent: Some(parent.span_id),
+        cat,
+        name,
+        start_us: crate::now_us(),
+        args: Vec::new(),
+        _guard: guard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{TailSamplerConfig, TraceOutcome};
+    use std::collections::HashSet;
+
+    /// Tests touching the process-global store slot serialize on the
+    /// same lock idea as the sink tests.
+    static STORE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_nonzero() {
+        let mut traces = HashSet::new();
+        let mut spans = HashSet::new();
+        for _ in 0..10_000 {
+            let ctx = TraceContext::mint();
+            assert_ne!(ctx.trace_id, 0);
+            assert_ne!(ctx.span_id, 0);
+            assert!(traces.insert(ctx.trace_id), "duplicate trace id");
+            assert!(spans.insert(ctx.span_id), "duplicate span id");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let ctx = TraceContext::mint();
+        let hex = ctx.trace_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(parse_trace_id(&hex), Some(ctx.trace_id));
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("zz"), None);
+    }
+
+    #[test]
+    fn child_keeps_trace_changes_span() {
+        let root = TraceContext::mint();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn current_context_guard_restores() {
+        let _l = lock();
+        assert_eq!(current(), None);
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        {
+            let _ga = set_current(a);
+            assert_eq!(current(), Some(a));
+            {
+                let _gb = set_current(b);
+                assert_eq!(current(), Some(b));
+            }
+            assert_eq!(current(), Some(a));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn request_span_requires_context_and_store() {
+        let _l = lock();
+        // No context, no store: nothing.
+        assert!(request_span("t", "a").is_none());
+        let store = Arc::new(TraceStore::new(TailSamplerConfig::default()));
+        let _gs = install_store(store.clone());
+        // Store but no current context: still nothing.
+        assert!(request_span("t", "b").is_none());
+        let root = TraceContext::mint();
+        let _gc = set_current(root);
+        {
+            let mut outer = request_span("t", "outer").expect("span opens");
+            outer.arg("k", 1u64);
+            let inner = request_span("t", "inner").expect("nested span opens");
+            // The nested span's parent is the outer span, not the root.
+            assert_eq!(inner.parent, Some(outer.ctx.span_id));
+        }
+        // Restored: next span parents to the root again.
+        let after = request_span("t", "after").unwrap();
+        assert_eq!(after.parent, Some(root.span_id));
+        drop(after);
+        store.finish(&root, TraceOutcome::Failed, None);
+        let kept = store.kept_traces();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].spans.len(), 3);
+    }
+
+    #[test]
+    fn store_guard_restores_previous() {
+        let _l = lock();
+        assert!(store().is_none());
+        let outer = Arc::new(TraceStore::new(TailSamplerConfig::default()));
+        let inner = Arc::new(TraceStore::new(TailSamplerConfig::default()));
+        let _g1 = install_store(outer.clone());
+        {
+            let _g2 = install_store(inner.clone());
+            assert!(Arc::ptr_eq(&store().unwrap(), &inner));
+        }
+        assert!(Arc::ptr_eq(&store().unwrap(), &outer));
+        drop(_g1);
+        assert!(store().is_none());
+        assert!(!store_enabled());
+    }
+
+    #[test]
+    fn instant_us_is_monotonic_on_timeline() {
+        let t0 = Instant::now();
+        let a = instant_us(t0);
+        let b = crate::now_us();
+        // t0 was captured before now_us() was sampled.
+        assert!(a <= b + 1.0, "a={a} b={b}");
+    }
+}

@@ -64,7 +64,15 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod context;
 pub mod json;
+pub mod store;
+
+pub use context::{
+    current, install_store, instant_us, request_span, set_current, store, store_enabled,
+    trace_id_hex, ContextGuard, RequestSpan, StoreGuard, TraceContext,
+};
+pub use store::{SpanRecord, StoredTrace, TailSamplerConfig, TailStats, TraceOutcome, TraceStore};
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
@@ -452,6 +460,11 @@ static SHARED_ENABLED: AtomicBool = AtomicBool::new(false);
 /// is set by whichever thread traces first.
 pub fn now_us() -> f64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// The process tracing epoch (first use sets it).
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
 }
 
 /// Does any installed sink — this thread's local one, or the process-wide

@@ -338,3 +338,76 @@ fn corrupt_store_falls_back_to_analytic_mapping() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&quarantined);
 }
+
+#[test]
+fn trace_stitches_spans_and_backdated_admission_charges_full_wait() {
+    use multidim_trace::{install_store, TailSamplerConfig, TraceOutcome, TraceStore};
+    use std::time::Instant;
+
+    // `latency_threshold: 0.0` marks every completion slow, so the tail
+    // sampler keeps this trace deterministically. Other tests in this
+    // binary may stream traces into the same process-wide store while the
+    // guard is held; every assertion below is scoped to our own trace id.
+    let store = Arc::new(TraceStore::new(TailSamplerConfig {
+        latency_threshold: 0.0,
+        ..TailSamplerConfig::default()
+    }));
+    let _guard = install_store(store.clone());
+
+    let entries = catalog();
+    let entry = &entries[0];
+    let engine = Engine::new(Compiler::new(), small_config());
+    let mut request = Request::new(
+        entry.program.clone(),
+        entry.bindings.clone(),
+        entry.inputs.clone(),
+    );
+    // A spilled resubmission carries its original admission instant; the
+    // engine must charge the full wait, not just the retry's slice.
+    request.admitted_at = Some(Instant::now() - Duration::from_millis(50));
+    let resp = engine
+        .submit(request)
+        .expect("accepted")
+        .wait()
+        .expect("served");
+    engine.shutdown();
+
+    assert!(
+        resp.queue_wait >= Duration::from_millis(50),
+        "backdated admission undercounted: {:?}",
+        resp.queue_wait
+    );
+    let ctx = resp
+        .trace
+        .expect("engine mints a trace when a store is installed");
+    let stored = store
+        .lookup(ctx.trace_id)
+        .expect("completion kept at latency_threshold 0");
+    assert_eq!(stored.outcome, TraceOutcome::Completed);
+
+    // One stitched tree: a single root, with the queue wait and both
+    // service phases hanging off it even though admission happened on
+    // this thread and the work ran on a pool worker.
+    let roots: Vec<_> = stored.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span: {:?}", stored.spans);
+    let root = roots[0];
+    assert_eq!((root.cat, root.name), ("engine", "request"));
+    for name in ["queue", "compile", "run"] {
+        let span = stored
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing `{name}` span in {:?}", stored.spans));
+        assert_eq!(
+            span.parent,
+            Some(root.span_id),
+            "`{name}` stitches under the root"
+        );
+    }
+    let queue = stored.spans.iter().find(|s| s.name == "queue").unwrap();
+    assert!(
+        queue.dur_us >= 50_000.0,
+        "queue span must cover the backdated wait: {} us",
+        queue.dur_us
+    );
+}

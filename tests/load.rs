@@ -46,6 +46,7 @@ fn closed_cfg(requests_per_client: usize) -> LoadConfig {
         slo: Slo::new("test", 0.99, 0.050),
         window: Duration::from_millis(50),
         windows: 16,
+        alert_rules: LoadConfig::default_alert_rules(),
     }
 }
 
@@ -211,6 +212,7 @@ fn shed_rate_and_slo_figures_match_hand_computation_under_overload() {
         slo: Slo::new("test", 0.99, 0.050),
         window: Duration::from_millis(50),
         windows: 32,
+        alert_rules: LoadConfig::default_alert_rules(),
     };
     let report = run_load(&engine, &entries, &cfg);
     engine.shutdown();

@@ -355,3 +355,106 @@ fn metrics_expose_per_shard_gauges_and_per_tenant_counters() {
     assert_eq!(profile.program, entries[0].name());
     door.shutdown();
 }
+
+#[test]
+fn spilled_request_trace_is_one_stitched_tree_with_a_spill_span() {
+    use multidim_trace::{install_store, TailSamplerConfig, TraceStore};
+    use std::sync::Arc;
+
+    // Keep every finished trace deterministically; the store is
+    // process-wide within this test binary, so every assertion below is
+    // scoped to trace ids returned by our own tickets.
+    let store = Arc::new(TraceStore::new(TailSamplerConfig {
+        latency_threshold: 0.0,
+        ..TailSamplerConfig::default()
+    }));
+    let _guard = install_store(store.clone());
+
+    // Same saturation fixture as the spill test above: distinct programs
+    // sharing a home shard, queues of one, so overflow must spill.
+    let entries = catalog();
+    let door = door_with(
+        2,
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..EngineConfig::default()
+        },
+        QuotaPolicy::default(),
+    );
+    let home0 = door.home_shard(door.fingerprint_of(&entries[0].program, &entries[0].bindings));
+    let same_home: Vec<&multidim_workloads::catalog::CatalogEntry> = entries
+        .iter()
+        .filter(|e| door.home_shard(door.fingerprint_of(&e.program, &e.bindings)) == home0)
+        .take(6)
+        .collect();
+    assert!(same_home.len() >= 4, "catalog too small for the fixture");
+
+    let mut tickets = Vec::new();
+    for e in &same_home {
+        match door.submit("t", request_for(e)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => {}
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    let mut spilled_traces = 0usize;
+    for t in tickets {
+        let served = t.wait().expect("served");
+        let ctx = served
+            .response
+            .trace
+            .expect("door mints a trace when a store is installed");
+        let stored = store
+            .lookup(ctx.trace_id)
+            .expect("completion kept at latency_threshold 0");
+
+        // One tree per request: the door owns the single root span, and
+        // every shard-side span (queue/compile/run) plus any routing
+        // span (spill) hangs directly off it — even for a spilled
+        // request, whose retry clone crossed into a second engine.
+        let roots: Vec<_> = stored.spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "one root per trace: {:?}", stored.spans);
+        let root = roots[0];
+        assert_eq!((root.cat, root.name), ("serve", "request"));
+        for span in &stored.spans {
+            if span.span_id != root.span_id {
+                assert_eq!(
+                    span.parent,
+                    Some(root.span_id),
+                    "span `{}` not stitched under the door root",
+                    span.name
+                );
+            }
+        }
+        let queue = stored
+            .spans
+            .iter()
+            .find(|s| s.name == "queue")
+            .expect("queue span");
+        if served.spilled {
+            spilled_traces += 1;
+            let spill = stored
+                .spans
+                .iter()
+                .find(|s| s.name == "spill")
+                .expect("spilled request records a spill span");
+            assert_eq!(spill.cat, "serve");
+            // Full-wait attribution: the resubmission carried the
+            // original admission instant, so the shard's queue span
+            // starts at (or before) the spill hop, not after it.
+            assert!(
+                queue.start_us <= spill.start_us + 1.0,
+                "spilled queue span must start at original admission \
+                 (queue {} vs spill {})",
+                queue.start_us,
+                spill.start_us
+            );
+        }
+    }
+    assert!(
+        spilled_traces > 0,
+        "queue of one never overflowed into a spill"
+    );
+    door.shutdown();
+}
